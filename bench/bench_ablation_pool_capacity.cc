@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ablation: device model-pool capacity (§3.4 consolidation).
+ *
+ * The paper caps on-device versions with LRU + consolidation but does
+ * not sweep the cap. This ablation runs the Cityscapes e2e workload
+ * with caps 1/2/3/unbounded. Expectation: with the full RCA pipeline
+ * producing ~3 live weather causes, a cap of 3 should be free, while a
+ * cap of 1 forces the single surviving version to serve every drift.
+ */
+#include "bench_util.h"
+
+#include "common/table_printer.h"
+
+using namespace nazar;
+
+int
+main()
+{
+    bench::QuietLogs quiet;
+    bench::printHeader("Ablation", "device model-pool capacity");
+    bench::printPaperNote("not swept in the paper; the paper's Fig 8c "
+                          "shows ~3 live causes, so cap >= 3 should "
+                          "cost nothing");
+
+    data::AppSpec app = data::makeCityscapesApp();
+    data::WeatherModel weather(app.locations, kSimPeriodDays, 2020);
+    nn::Classifier base =
+        bench::trainBase(app, nn::Architecture::kResNet18);
+
+    sim::RunnerConfig config;
+    config.arch = nn::Architecture::kResNet18;
+    config.strategy = sim::Strategy::kNazar;
+    config.windows = 8;
+    config.workload.days = kSimPeriodDays;
+    config.workload.seed = 77;
+    config.seed = 78;
+
+    TablePrinter t({"pool capacity", "accuracy (all)",
+                    "accuracy (drifted)", "final pool size"});
+    for (size_t cap : {1u, 2u, 3u, 0u}) {
+        config.poolCapacity = cap;
+        sim::RunResult r =
+            sim::Runner(app, weather, config, &base).run();
+        t.addRow({cap == 0 ? "unbounded" : std::to_string(cap),
+                  TablePrinter::pct(r.avgAccuracyAll()),
+                  TablePrinter::pct(r.avgAccuracyDrifted()),
+                  std::to_string(r.windows.back().poolSize)});
+    }
+    std::printf("%s", t.toString().c_str());
+    return 0;
+}

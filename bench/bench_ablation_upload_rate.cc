@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation: raw-input upload sample rate (§3.1 "the device samples a
+ * percentage of the actual input data").
+ *
+ * More uploads mean more by-cause adaptation data at more bandwidth /
+ * privacy cost. Expectation: accuracy saturates once each cause
+ * gathers enough samples per window; very low rates starve adaptation
+ * and converge to no-adapt behaviour.
+ */
+#include "bench_util.h"
+
+#include "common/table_printer.h"
+
+using namespace nazar;
+
+int
+main()
+{
+    bench::QuietLogs quiet;
+    bench::printHeader("Ablation", "upload sample rate");
+    bench::printPaperNote("not swept in the paper; the prototype "
+                          "uploads a sampled fraction of inputs");
+
+    data::AppSpec app = data::makeCityscapesApp();
+    data::WeatherModel weather(app.locations, kSimPeriodDays, 2020);
+    nn::Classifier base =
+        bench::trainBase(app, nn::Architecture::kResNet18);
+
+    sim::RunnerConfig config;
+    config.arch = nn::Architecture::kResNet18;
+    config.strategy = sim::Strategy::kNazar;
+    config.windows = 8;
+    config.workload.days = kSimPeriodDays;
+    config.workload.seed = 77;
+    config.seed = 78;
+
+    TablePrinter t({"upload rate", "accuracy (all)",
+                    "accuracy (drifted)", "versions produced"});
+    for (double rate : {0.02, 0.05, 0.10, 0.25, 0.50}) {
+        config.uploadSampleRate = rate;
+        sim::RunResult r =
+            sim::Runner(app, weather, config, &base).run();
+        size_t versions = 0;
+        for (const auto &w : r.windows)
+            versions += w.newVersions;
+        t.addRow({TablePrinter::pct(rate, 0),
+                  TablePrinter::pct(r.avgAccuracyAll()),
+                  TablePrinter::pct(r.avgAccuracyDrifted()),
+                  std::to_string(versions)});
+    }
+    std::printf("%s", t.toString().c_str());
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 9d: runtime of the root-cause analysis as a function of the
+ * drift-log size (google-benchmark).
+ *
+ * Paper result: runtime is completely linear in the number of rows —
+ * the FIM pass is linear and set reduction prunes the candidate set
+ * before the counterfactual stage.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "driftlog/drift_log.h"
+#include "rca/analyzer.h"
+
+using namespace nazar;
+
+namespace {
+
+/** Build a synthetic drift log with fleet-realistic cardinalities. */
+driftlog::DriftLog
+makeLog(size_t rows, uint64_t seed)
+{
+    Rng rng(seed);
+    const char *weathers[] = {"clear-day", "rain", "snow", "fog"};
+    const char *locations[] = {"new_york", "tibet", "beijing",
+                               "new_south_wales", "united_kingdom",
+                               "quebec", "sao_paulo"};
+    driftlog::DriftLog log;
+    for (size_t i = 0; i < rows; ++i) {
+        driftlog::DriftLogEntry e;
+        e.time = SimDate(static_cast<int>(i % 112));
+        int device = static_cast<int>(rng.index(112));
+        e.deviceId = "android_" + std::to_string(device);
+        e.deviceModel = "model_" + std::to_string(device % 4);
+        e.location = locations[rng.index(7)];
+        size_t w = rng.index(4);
+        e.weather = weathers[w];
+        // Weather drifts are true causes; the rest is FP noise.
+        e.drift = w != 0 ? rng.bernoulli(0.7) : rng.bernoulli(0.2);
+        log.add(e);
+    }
+    return log;
+}
+
+void
+BM_RootCauseAnalysis(benchmark::State &state)
+{
+    size_t rows = static_cast<size_t>(state.range(0));
+    driftlog::DriftLog log = makeLog(rows, 123);
+    rca::RcaConfig config;
+    config.attributeColumns =
+        driftlog::DriftLog::defaultAttributeColumns();
+    rca::Analyzer analyzer(config);
+
+    for (auto _ : state) {
+        auto result = analyzer.analyze(log.table());
+        benchmark::DoNotOptimize(result.rootCauses.size());
+    }
+    state.SetComplexityN(state.range(0));
+    state.counters["rows"] = static_cast<double>(rows);
+}
+
+} // namespace
+
+BENCHMARK(BM_RootCauseAnalysis)
+    ->RangeMultiplier(2)
+    ->Range(10000, 320000)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oN);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * §3.2.1 cost argument: GOdin "triples the inference time", which is
+ * why Nazar uses the MSP threshold on devices. This bench measures the
+ * per-inference latency of MSP detection (a free by-product of
+ * inference) vs GOdin (forward + backward + forward) on the same
+ * model, plus their detection quality on the standard half-drifted
+ * stream.
+ */
+#include <chrono>
+
+#include "bench_util.h"
+
+#include "common/table_printer.h"
+#include "detect/godin.h"
+#include "detect/metrics.h"
+#include "detect/scores.h"
+#include "nn/loss.h"
+
+using namespace nazar;
+
+int
+main()
+{
+    bench::QuietLogs quiet;
+    bench::printHeader("§3.2.1 (GOdin cost)",
+                       "per-inference latency: MSP vs GOdin");
+    bench::printPaperNote("GOdin needs backprop + a second forward "
+                          "pass, tripling inference time — unsuitable "
+                          "for on-device detection");
+
+    data::AppSpec app = data::makeAnimalsApp();
+    nn::Classifier model = bench::trainBase(app);
+    Rng rng(131);
+    data::Corruptor corruptor(app.domain.featureDim());
+    auto types = data::allCorruptionTypes();
+
+    // Evaluation stream: half clean / half drifted.
+    data::DatasetBuilder builder;
+    std::vector<bool> truth;
+    auto src = app.domain.makeBalancedDataset(20, rng);
+    for (size_t r = 0; r < src.x.rows(); ++r) {
+        if (r % 2 == 0) {
+            builder.add(src.x.rowVec(r), src.labels[r]);
+            truth.push_back(false);
+        } else {
+            builder.add(corruptor.apply(src.x.rowVec(r),
+                                        types[(r / 2) % types.size()],
+                                        3, rng),
+                        src.labels[r]);
+            truth.push_back(true);
+        }
+    }
+    data::Dataset d = builder.build();
+
+    detect::MspDetector msp(0.9);
+    detect::GOdinDetector godin(model, 0.75);
+
+    // ---- latency --------------------------------------------------------
+    auto time_per_inference = [&](auto &&detect_one) {
+        auto t0 = std::chrono::steady_clock::now();
+        size_t flagged = 0;
+        for (size_t r = 0; r < d.x.rows(); ++r)
+            flagged += detect_one(d.x.rowVec(r)) ? 1 : 0;
+        double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        return std::pair<double, size_t>(
+            secs / static_cast<double>(d.x.rows()), flagged);
+    };
+
+    auto [msp_time, msp_flags] =
+        time_per_inference([&](const std::vector<double> &x) {
+            nn::Matrix z = model.logits(nn::Matrix::rowVector(x));
+            return msp.isDrift(z.rowVec(0));
+        });
+    auto [godin_time, godin_flags] =
+        time_per_inference([&](const std::vector<double> &x) {
+            return godin.isDrift(x);
+        });
+
+    // ---- quality ----------------------------------------------------------
+    ConfusionCounts msp_counts, godin_counts;
+    for (size_t r = 0; r < d.x.rows(); ++r) {
+        nn::Matrix z = model.logits(nn::Matrix::rowVector(d.x.rowVec(r)));
+        msp_counts.add(msp.isDrift(z.rowVec(0)), truth[r]);
+        godin_counts.add(godin.isDrift(d.x.rowVec(r)), truth[r]);
+    }
+
+    TablePrinter t({"detector", "time/inference (us)", "relative",
+                    "F1"});
+    t.addRow({"msp@0.9 (inference + threshold)",
+              TablePrinter::num(msp_time * 1e6, 1), "1.0x",
+              TablePrinter::num(msp_counts.f1())});
+    t.addRow({"godin (fwd + bwd + fwd)",
+              TablePrinter::num(godin_time * 1e6, 1),
+              TablePrinter::num(godin_time / msp_time, 1) + "x",
+              TablePrinter::num(godin_counts.f1())});
+    std::printf("%s", t.toString().c_str());
+    std::printf("paper: ~3x (one backward + one extra forward on top "
+                "of the inference the app runs anyway)\n");
+    return 0;
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness. Every bench binary
+ * regenerates one table or figure of the paper's evaluation and prints
+ * paper-vs-measured rows.
+ */
+#ifndef NAZAR_BENCH_BENCH_UTIL_H
+#define NAZAR_BENCH_BENCH_UTIL_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "data/apps.h"
+#include "data/stream.h"
+#include "sim/runner.h"
+#include "data/corruption.h"
+#include "nn/classifier.h"
+
+namespace nazar::bench {
+
+/** Print the standard experiment banner. */
+inline void
+printHeader(const std::string &id, const std::string &title)
+{
+    std::printf("\n================================================="
+                "=============\n");
+    std::printf("%s — %s\n", id.c_str(), title.c_str());
+    std::printf("==================================================="
+                "===========\n");
+}
+
+/** Print the expectation from the paper for easy comparison. */
+inline void
+printPaperNote(const std::string &note)
+{
+    std::printf("paper: %s\n\n", note.c_str());
+}
+
+/** Train a base classifier for an app (clean data). */
+inline nn::Classifier
+trainBase(const data::AppSpec &app,
+          nn::Architecture arch = nn::Architecture::kResNet50,
+          uint64_t seed = 5, int epochs = 40)
+{
+    Rng rng(seed);
+    auto train = app.domain.makeBalancedDataset(app.trainPerClass, rng);
+    nn::Classifier model(arch, app.domain.featureDim(),
+                         app.domain.numClasses(), seed);
+    nn::TrainConfig tc;
+    tc.epochs = epochs;
+    model.trainSupervised(train.x, train.labels, tc);
+    return model;
+}
+
+/** How held-out severities are drawn for a partition set. */
+enum class SeverityMode {
+    kFixed,  ///< Every sample at the given severity (setting (a)).
+    kNormal, ///< round(clip(N(severity, 1), 0, 5)) (setting (b)).
+};
+
+/** One by-cause data partition (paper §5.5): 16 drifts + clean. */
+struct Partition
+{
+    data::CorruptionType type; ///< kNone for the clean partition.
+    data::Dataset adaptSet;    ///< Data the model adapts on.
+    data::Dataset testSet;     ///< Held-out data of the same cause.
+};
+
+/**
+ * Build the 17 partitions of §5.5: one per corruption type plus a
+ * clean one. Adaptation sets always use the fixed severity; test sets
+ * follow @p test_mode.
+ */
+inline std::vector<Partition>
+makePartitions(const data::AppSpec &app, size_t per_class_adapt,
+               size_t per_class_test, int severity,
+               SeverityMode test_mode, uint64_t seed)
+{
+    Rng rng(seed);
+    data::Corruptor corruptor(app.domain.featureDim());
+
+    auto corrupt_set = [&](const data::Dataset &src,
+                           data::CorruptionType type, bool vary) {
+        if (type == data::CorruptionType::kNone)
+            return src;
+        data::DatasetBuilder builder;
+        for (size_t r = 0; r < src.x.rows(); ++r) {
+            int s = severity;
+            if (vary) {
+                double raw = rng.normal(static_cast<double>(severity),
+                                        1.0);
+                s = static_cast<int>(
+                    std::lround(std::clamp(raw, 0.0, 5.0)));
+            }
+            builder.add(corruptor.apply(src.x.rowVec(r), type, s, rng),
+                        src.labels[r]);
+        }
+        return builder.build();
+    };
+
+    std::vector<Partition> partitions;
+    std::vector<data::CorruptionType> types = data::allCorruptionTypes();
+    types.push_back(data::CorruptionType::kNone); // the clean partition
+    for (data::CorruptionType type : types) {
+        Partition p;
+        p.type = type;
+        auto adapt_src =
+            app.domain.makeBalancedDataset(per_class_adapt, rng);
+        auto test_src =
+            app.domain.makeBalancedDataset(per_class_test, rng);
+        p.adaptSet = corrupt_set(adapt_src, type, /*vary=*/false);
+        p.testSet = corrupt_set(test_src, type,
+                                test_mode == SeverityMode::kNormal);
+        partitions.push_back(std::move(p));
+    }
+    return partitions;
+}
+
+/** Results of running the three strategies over one workload. */
+struct StrategyOutcomes
+{
+    sim::RunResult nazar;
+    sim::RunResult adaptAll;
+    sim::RunResult noAdapt;
+};
+
+/**
+ * Run Nazar, adapt-all and no-adapt over the same workload with a
+ * shared pretrained base model.
+ */
+inline StrategyOutcomes
+runStrategies(const data::AppSpec &app, const data::WeatherModel &weather,
+              sim::RunnerConfig config, const nn::Classifier &base)
+{
+    StrategyOutcomes out;
+    config.strategy = sim::Strategy::kNazar;
+    out.nazar = sim::Runner(app, weather, config, &base).run();
+    config.strategy = sim::Strategy::kAdaptAll;
+    out.adaptAll = sim::Runner(app, weather, config, &base).run();
+    config.strategy = sim::Strategy::kNoAdapt;
+    out.noAdapt = sim::Runner(app, weather, config, &base).run();
+    return out;
+}
+
+/** RAII: silence library logging for the duration of a bench. */
+struct QuietLogs
+{
+    QuietLogs() { setLogLevel(LogLevel::kWarn); }
+    ~QuietLogs() { setLogLevel(LogLevel::kInfo); }
+};
+
+} // namespace nazar::bench
+
+#endif // NAZAR_BENCH_BENCH_UTIL_H

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Animal-identifier scenario (paper §5.1 "Animals"): a geo-distributed
+ * species-classification app across 7 world locations, 16 devices
+ * each, with weather driven by the historical-weather emulation.
+ *
+ * Runs a shortened end-to-end deployment with the full Nazar loop and
+ * narrates each analysis window: detection rates, diagnosed causes,
+ * deployed versions, and accuracy on clean vs drifted traffic.
+ *
+ * Run: ./animal_monitor
+ */
+#include <cstdio>
+
+#include "common/logging.h"
+#include "core/nazar.h"
+#include "data/stream.h"
+
+using namespace nazar;
+
+int
+main()
+{
+    setLogLevel(LogLevel::kWarn);
+    std::printf("animal monitor — geo-distributed species "
+                "identification\n");
+    std::printf("======================================================"
+                "\n\n");
+
+    data::AppSpec app = data::makeAnimalsApp();
+    const int days = 56; // an 8-week deployment
+    data::WeatherModel weather(app.locations, days, 2020);
+    std::printf("%zu locations, %.0f%% of location-days have weather "
+                "drift\n\n",
+                app.locations.size(),
+                100.0 * weather.driftDayFraction());
+
+    // Train the base model in the "cloud".
+    Rng rng(7);
+    auto train = app.domain.makeBalancedDataset(app.trainPerClass, rng);
+    nn::Classifier base(nn::Architecture::kResNet50,
+                        app.domain.featureDim(),
+                        app.domain.numClasses(), 7);
+    std::printf("training ResNet50-class base model...\n");
+    base.trainSupervised(train.x, train.labels, nn::TrainConfig{});
+
+    // Bring up Nazar and the fleet.
+    core::NazarConfig config;
+    config.uploadSampleRate = 0.3;
+    core::Nazar nazar(config, std::move(base));
+    data::WorkloadConfig workload;
+    workload.days = days;
+    workload.seed = 2020;
+    data::WorkloadGenerator generator(app, weather, workload);
+    for (int d = 0; d < generator.deviceCount(); ++d) {
+        nazar.registerDevice(
+            d, app.locations[static_cast<size_t>(
+                   generator.locationOfDevice(d))].name);
+    }
+    std::printf("registered %zu devices\n\n", nazar.deviceCount());
+
+    // Stream the deployment in weekly analysis windows.
+    auto events = generator.generate();
+    auto windows = makeTimeWindows(days, 8);
+    size_t next = 0;
+    for (const auto &window : windows) {
+        size_t events_in_window = 0, drifted = 0, flagged = 0;
+        size_t correct = 0, correct_drifted = 0;
+        while (next < events.size() &&
+               window.contains(events[next].when.dayIndex())) {
+            const auto &ev = events[next++];
+            auto out = nazar.infer(ev.deviceId, ev);
+            ++events_in_window;
+            flagged += out.driftFlag ? 1 : 0;
+            bool ok = out.predicted == ev.label;
+            correct += ok ? 1 : 0;
+            if (ev.trueDrift) {
+                ++drifted;
+                correct_drifted += ok ? 1 : 0;
+            }
+        }
+        auto cycle = nazar.analyzeNow();
+        std::printf("week %d: %4zu inferences (%3zu drifted), "
+                    "detection rate %.2f, accuracy %.1f%% "
+                    "(drifted %.1f%%)\n",
+                    window.index + 1, events_in_window, drifted,
+                    events_in_window
+                        ? static_cast<double>(flagged) / events_in_window
+                        : 0.0,
+                    events_in_window ? 100.0 * correct / events_in_window
+                                     : 0.0,
+                    drifted ? 100.0 * correct_drifted / drifted : 0.0);
+        for (const auto &cause : cycle.analysis.rootCauses)
+            std::printf("         cause: %s (rr %.2f)\n",
+                        cause.attrs.toString().c_str(),
+                        cause.metrics.riskRatio);
+        for (const auto &version : cycle.newVersions)
+            std::printf("         deployed %s (%zu bytes)\n",
+                        version.toString().c_str(),
+                        version.patch.sizeBytes());
+    }
+
+    std::printf("\nfinal state: %zu analysis cycles, device 0 holds "
+                "%zu model versions\n",
+                nazar.cycleCount(), nazar.device(0).pool().size());
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Walkthrough of the paper's §3.3 worked example (Tables 2 and 3):
+ * builds the exact 5-entry drift log, prints the FIM metric table,
+ * shows set reduction merging the fine-grained causes, and runs the
+ * counterfactual pass that leaves {weather=snow} as the single root
+ * cause.
+ *
+ * Run: ./driftlog_walkthrough
+ */
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "driftlog/drift_log.h"
+#include "rca/analyzer.h"
+
+using namespace nazar;
+
+int
+main()
+{
+    std::printf("drift-log walkthrough (paper §3.3, Tables 2-3)\n");
+    std::printf("==============================================\n\n");
+
+    // ---- Table 2: the drift log ---------------------------------------
+    driftlog::Table table(driftlog::Schema({
+        {"time", driftlog::ValueType::kString},
+        {"device_id", driftlog::ValueType::kString},
+        {"weather", driftlog::ValueType::kString},
+        {"location", driftlog::ValueType::kString},
+        {"drift", driftlog::ValueType::kBool},
+    }));
+    using driftlog::Value;
+    table.append({Value("06:02:01"), Value("android_42"),
+                  Value("clear-day"), Value("helsinki"), Value(false)});
+    table.append({Value("06:02:23"), Value("android_21"),
+                  Value("clear-day"), Value("new_york"), Value(false)});
+    table.append({Value("06:04:55"), Value("android_21"),
+                  Value("clear-day"), Value("new_york"), Value(true)});
+    table.append({Value("08:03:32"), Value("android_21"), Value("snow"),
+                  Value("new_york"), Value(true)});
+    table.append({Value("11:05:01"), Value("android_42"), Value("snow"),
+                  Value("helsinki"), Value(true)});
+
+    TablePrinter t2({"Time", "Device ID", "Weather", "Location",
+                     "Drift"});
+    for (size_t r = 0; r < table.rowCount(); ++r) {
+        t2.addRow({table.at(r, 0).toString(), table.at(r, 1).toString(),
+                   table.at(r, 2).toString(), table.at(r, 3).toString(),
+                   table.at(r, 4).toString()});
+    }
+    std::printf("Table 2 — the drift log (entry 3 is a detector false "
+                "positive):\n%s\n",
+                t2.toString().c_str());
+
+    // ---- Table 3: frequent itemset mining ------------------------------
+    rca::RcaConfig config;
+    config.attributeColumns = {"weather", "location", "device_id"};
+    rca::Analyzer analyzer(config);
+    auto result = analyzer.analyze(table);
+
+    TablePrinter t3({"rank", "Occ", "Sup", "RR", "Conf", "attributes",
+                     "passes thresholds"});
+    int rank = 0;
+    for (const auto &cause : result.fimTable) {
+        t3.addRow({std::to_string(rank++),
+                   TablePrinter::num(cause.metrics.occurrence, 2),
+                   TablePrinter::num(cause.metrics.support, 2),
+                   TablePrinter::num(cause.metrics.riskRatio, 2),
+                   TablePrinter::num(cause.metrics.confidence, 2),
+                   cause.attrs.toString(),
+                   rca::passesThresholds(cause.metrics, config) ? "yes"
+                                                                : "no"});
+        if (rank > 15)
+            break; // the paper's table shows the top rows
+    }
+    std::printf("Table 3 — FIM metrics (top rows):\n%s\n",
+                t3.toString().c_str());
+
+    // ---- Set reduction --------------------------------------------------
+    std::printf("set reduction — coarse associations:\n");
+    for (const auto &assoc : result.associations) {
+        std::printf("  %s  (rr %.2f)\n",
+                    assoc.key.attrs.toString().c_str(),
+                    assoc.key.metrics.riskRatio);
+        for (const auto &fine : assoc.merged)
+            std::printf("    <- merged %s\n",
+                        fine.attrs.toString().c_str());
+    }
+
+    // ---- Counterfactual analysis ---------------------------------------
+    std::printf("\ncounterfactual analysis — final root causes:\n");
+    for (const auto &cause : result.rootCauses)
+        std::printf("  %s (confidence %.2f, risk ratio %.2f)\n",
+                    cause.attrs.toString().c_str(),
+                    cause.metrics.confidence, cause.metrics.riskRatio);
+    std::printf("\n-> the single surviving cause is {weather=snow}, "
+                "exactly as the paper concludes: {new_york} and "
+                "{android_21} passed the FIM thresholds but their "
+                "remaining drift evidence (one false positive) is not "
+                "significant once snow's entries are explained.\n");
+    return 0;
+}

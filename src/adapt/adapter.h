@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Self-supervised test-time adaptation interface (paper §3.4).
+ *
+ * Adapters modify a model *in place* using only unlabeled inputs.
+ * Per the paper's efficiency rule, all adapters in Nazar update only
+ * the BatchNorm layers (Mode::kAdapt exposes exactly those parameters),
+ * so the delta an adaptation produces is a deployable BnPatch.
+ */
+#ifndef NAZAR_ADAPT_ADAPTER_H
+#define NAZAR_ADAPT_ADAPTER_H
+
+#include <string>
+
+#include "common/rng.h"
+#include "nn/classifier.h"
+
+namespace nazar::adapt {
+
+/** Hyperparameters shared by the adaptation methods. */
+struct AdaptConfig
+{
+    int steps = 8;             ///< Passes over the adaptation set.
+    size_t batchSize = 32;     ///< Mini-batch size (BN needs >= 2).
+    double learningRate = 1e-3; ///< Adam step size on BN affines.
+    uint64_t seed = 3;
+    /** MEMO only: number of augmented copies per input (Eq. 3's B). */
+    int numAugments = 8;
+    /**
+     * MEMO only: cap on how many inputs receive the per-input
+     * adaptation treatment per call (MEMO is per-image and expensive;
+     * the paper notes it "incurs too frequent adaptations").
+     */
+    size_t maxInputs = 256;
+};
+
+/** Base class of the self-supervised adaptation methods. */
+class Adapter
+{
+  public:
+    explicit Adapter(AdaptConfig config) : config_(config) {}
+    virtual ~Adapter() = default;
+
+    /**
+     * Adapt @p model in place on unlabeled inputs @p x.
+     * @return Final value of the method's self-supervised objective.
+     */
+    virtual double adapt(nn::Classifier &model, const nn::Matrix &x) const
+        = 0;
+
+    virtual std::string name() const = 0;
+
+    const AdaptConfig &config() const { return config_; }
+
+  protected:
+    AdaptConfig config_;
+};
+
+} // namespace nazar::adapt
+
+#endif // NAZAR_ADAPT_ADAPTER_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Implementation of MEMO augmentations.
+ */
+#include "augment.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace nazar::adapt {
+
+std::vector<double>
+augmentOnce(const std::vector<double> &x, Rng &rng)
+{
+    std::vector<double> y = x;
+    const size_t d = y.size();
+
+    // Gain jitter (analog of brightness/contrast augmentation).
+    double gain = rng.uniform(0.9, 1.1);
+    for (auto &e : y)
+        e *= gain;
+
+    // Additive noise.
+    for (auto &e : y)
+        e += 0.08 * rng.normal();
+
+    // With probability 1/2, light local smoothing (analog of small
+    // geometric transforms).
+    if (rng.bernoulli(0.5) && d >= 3) {
+        std::vector<double> s(d);
+        for (size_t i = 0; i < d; ++i) {
+            size_t prev = (i + d - 1) % d;
+            size_t next = (i + 1) % d;
+            s[i] = 0.25 * y[prev] + 0.5 * y[i] + 0.25 * y[next];
+        }
+        y = std::move(s);
+    }
+
+    // With probability 1/3, mild quantization (analog of posterize).
+    if (rng.bernoulli(1.0 / 3.0)) {
+        double step = 0.2;
+        for (auto &e : y)
+            e = std::round(e / step) * step;
+    }
+    return y;
+}
+
+nn::Matrix
+augmentBatch(const std::vector<double> &x, int count, Rng &rng)
+{
+    NAZAR_CHECK(count >= 2, "MEMO needs at least 2 augmented copies");
+    nn::Matrix out(static_cast<size_t>(count), x.size());
+    for (int i = 0; i < count; ++i)
+        out.setRow(static_cast<size_t>(i), augmentOnce(x, rng));
+    return out;
+}
+
+} // namespace nazar::adapt

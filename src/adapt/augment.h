@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Input augmentations for MEMO (paper Eq. 3).
+ *
+ * MEMO averages predictions over randomly augmented copies of one
+ * input (the paper mentions rotating and posterizing images). The
+ * feature-space analogs here are label-preserving perturbations:
+ * gain jitter, additive noise, local smoothing and value quantization.
+ */
+#ifndef NAZAR_ADAPT_AUGMENT_H
+#define NAZAR_ADAPT_AUGMENT_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/matrix.h"
+
+namespace nazar::adapt {
+
+/** Produce one randomly augmented copy of a feature vector. */
+std::vector<double> augmentOnce(const std::vector<double> &x, Rng &rng);
+
+/** Produce @p count augmented copies of one input as a matrix. */
+nn::Matrix augmentBatch(const std::vector<double> &x, int count, Rng &rng);
+
+} // namespace nazar::adapt
+
+#endif // NAZAR_ADAPT_AUGMENT_H

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Implementation of MEMO.
+ *
+ * Per the paper (§3.4), Nazar runs MEMO "using the setups similar to
+ * TENT": BN-only updates driven by small batches of inputs. Each
+ * optimization step takes one mini-batch of images, expands every
+ * image into B augmented copies, runs all copies through the network
+ * in a single batch-statistics forward pass, and minimizes the *mean
+ * marginal entropy* (Eq. 3) over the images — the per-image gradients
+ * are assembled into one backward pass so the BN affines receive a
+ * batch-averaged update (which also guards against the trivial
+ * single-image solution).
+ */
+#include "memo.h"
+
+#include <numeric>
+
+#include "common/error.h"
+#include "adapt/augment.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace nazar::adapt {
+
+double
+MemoAdapter::adapt(nn::Classifier &model, const nn::Matrix &x) const
+{
+    NAZAR_CHECK(x.rows() >= 1, "MEMO needs at least one input");
+    Rng rng(config_.seed);
+    nn::Adam opt(model.net().params(nn::Mode::kAdapt),
+                 config_.learningRate);
+
+    const size_t copies = static_cast<size_t>(config_.numAugments);
+    const size_t images_per_batch = std::max<size_t>(
+        2, config_.batchSize / std::max<size_t>(1, copies / 2));
+
+    // Cap total optimization work (MEMO is augmentation-heavy).
+    std::vector<size_t> order(x.rows());
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+    size_t limit = std::min(order.size(), config_.maxInputs);
+    order.resize(limit);
+
+    double last_loss = 0.0;
+    for (int step = 0; step < config_.steps; ++step) {
+        rng.shuffle(order);
+        double step_loss = 0.0;
+        size_t updates = 0;
+        for (size_t start = 0; start < order.size();
+             start += images_per_batch) {
+            size_t end =
+                std::min(order.size(), start + images_per_batch);
+            size_t images = end - start;
+            if (images < 1)
+                break;
+
+            // Expand every image of the mini-batch into B copies.
+            nn::Matrix combined(images * copies, x.cols());
+            for (size_t i = 0; i < images; ++i) {
+                nn::Matrix group = augmentBatch(
+                    x.rowVec(order[start + i]),
+                    static_cast<int>(copies), rng);
+                for (size_t c = 0; c < copies; ++c)
+                    combined.setRow(i * copies + c, group.rowVec(c));
+            }
+
+            opt.zeroGrads();
+            nn::Matrix z =
+                model.net().forward(combined, nn::Mode::kAdapt);
+
+            // Mean marginal entropy across images; per-image gradients
+            // assembled into one backward matrix.
+            nn::Matrix grad(z.rows(), z.cols());
+            double loss = 0.0;
+            for (size_t i = 0; i < images; ++i) {
+                std::vector<size_t> rows(copies);
+                std::iota(rows.begin(), rows.end(), i * copies);
+                nn::LossResult res =
+                    nn::marginalEntropy(z.selectRows(rows));
+                loss += res.loss;
+                for (size_t c = 0; c < copies; ++c)
+                    for (size_t k = 0; k < z.cols(); ++k)
+                        grad(i * copies + c, k) =
+                            res.grad(c, k) /
+                            static_cast<double>(images);
+            }
+            model.net().backward(grad, nn::Mode::kAdapt);
+            opt.step();
+
+            step_loss += loss / static_cast<double>(images);
+            ++updates;
+        }
+        last_loss = updates ? step_loss / updates : 0.0;
+    }
+    return last_loss;
+}
+
+} // namespace nazar::adapt

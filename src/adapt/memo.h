@@ -1,0 +1,33 @@
+/**
+ * @file
+ * MEMO: test-time robustness via adaptation and augmentation (Zhang et
+ * al., NeurIPS 2022) — the alternative objective Nazar supports (paper
+ * §3.4, Eq. 3).
+ *
+ * For each input, MEMO minimizes the entropy of the prediction
+ * averaged over B augmented copies. Per the paper, Nazar runs MEMO
+ * "using setups similar to TENT": only BatchNorm layers adapt, and the
+ * method is applied over a set of inputs rather than triggering on
+ * every single image.
+ */
+#ifndef NAZAR_ADAPT_MEMO_H
+#define NAZAR_ADAPT_MEMO_H
+
+#include "adapt/adapter.h"
+
+namespace nazar::adapt {
+
+/** Marginal-entropy adapter (MEMO). */
+class MemoAdapter : public Adapter
+{
+  public:
+    explicit MemoAdapter(AdaptConfig config = {}) : Adapter(config) {}
+
+    double adapt(nn::Classifier &model, const nn::Matrix &x) const override;
+
+    std::string name() const override { return "memo"; }
+};
+
+} // namespace nazar::adapt
+
+#endif // NAZAR_ADAPT_MEMO_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Implementation of TENT.
+ */
+#include "tent.h"
+
+#include <numeric>
+
+#include "common/error.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace nazar::adapt {
+
+double
+TentAdapter::adapt(nn::Classifier &model, const nn::Matrix &x) const
+{
+    NAZAR_CHECK(x.rows() >= 2, "TENT needs a batch of at least 2 inputs");
+    Rng rng(config_.seed);
+    nn::Adam opt(model.net().params(nn::Mode::kAdapt),
+                 config_.learningRate);
+
+    std::vector<size_t> order(x.rows());
+    std::iota(order.begin(), order.end(), 0);
+
+    double last_loss = 0.0;
+    for (int step = 0; step < config_.steps; ++step) {
+        rng.shuffle(order);
+        double step_loss = 0.0;
+        size_t batches = 0;
+        for (size_t start = 0; start < order.size();
+             start += config_.batchSize) {
+            size_t end = std::min(order.size(), start + config_.batchSize);
+            if (end - start < 2)
+                break; // BN batch statistics need >= 2 rows
+            std::vector<size_t> idx(order.begin() + start,
+                                    order.begin() + end);
+            nn::Matrix xb = x.selectRows(idx);
+
+            opt.zeroGrads();
+            nn::Matrix z = model.net().forward(xb, nn::Mode::kAdapt);
+            nn::LossResult res = nn::meanEntropy(z);
+            model.net().backward(res.grad, nn::Mode::kAdapt);
+            opt.step();
+
+            step_loss += res.loss;
+            ++batches;
+        }
+        last_loss = batches ? step_loss / batches : 0.0;
+    }
+    return last_loss;
+}
+
+} // namespace nazar::adapt

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * TENT: fully test-time adaptation by entropy minimization (Wang et
+ * al., ICLR 2021) — Nazar's default adaptation method (paper §3.4,
+ * Eq. 2).
+ *
+ * TENT minimizes the mean prediction entropy of batched outputs while
+ * updating only BatchNorm affine parameters; normalization statistics
+ * are re-estimated from the adaptation batches as a side effect of
+ * running forward passes in Mode::kAdapt.
+ */
+#ifndef NAZAR_ADAPT_TENT_H
+#define NAZAR_ADAPT_TENT_H
+
+#include "adapt/adapter.h"
+
+namespace nazar::adapt {
+
+/** Entropy-minimization adapter (TENT). */
+class TentAdapter : public Adapter
+{
+  public:
+    explicit TentAdapter(AdaptConfig config = {}) : Adapter(config) {}
+
+    double adapt(nn::Classifier &model, const nn::Matrix &x) const override;
+
+    std::string name() const override { return "tent"; }
+};
+
+} // namespace nazar::adapt
+
+#endif // NAZAR_ADAPT_TENT_H

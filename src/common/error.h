@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Error-handling helpers shared across all Nazar modules.
+ *
+ * Following the gem5 fatal/panic convention:
+ *  - NAZAR_CHECK / NazarError    -> user-facing error (bad config, bad
+ *    arguments); recoverable by fixing the input.
+ *  - NAZAR_ASSERT                -> internal invariant violation (a bug
+ *    in Nazar itself).
+ */
+#ifndef NAZAR_COMMON_ERROR_H
+#define NAZAR_COMMON_ERROR_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nazar {
+
+/** Exception thrown for user-level errors (invalid configuration or input). */
+class NazarError : public std::runtime_error
+{
+  public:
+    explicit NazarError(const std::string &what) : std::runtime_error(what) {}
+};
+
+/** Exception thrown for internal invariant violations (Nazar bugs). */
+class NazarInternalError : public std::logic_error
+{
+  public:
+    explicit NazarInternalError(const std::string &what)
+        : std::logic_error(what)
+    {}
+};
+
+namespace detail {
+
+inline std::string
+formatCheckMessage(const char *kind, const char *cond, const char *file,
+                   int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << kind << " failed: (" << cond << ") at " << file << ":" << line;
+    if (!msg.empty())
+        os << " — " << msg;
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace nazar
+
+/** Validate a user-facing precondition; throws nazar::NazarError. */
+#define NAZAR_CHECK(cond, msg)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            throw ::nazar::NazarError(::nazar::detail::formatCheckMessage(   \
+                "check", #cond, __FILE__, __LINE__, (msg)));                 \
+        }                                                                    \
+    } while (0)
+
+/** Validate an internal invariant; throws nazar::NazarInternalError. */
+#define NAZAR_ASSERT(cond, msg)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            throw ::nazar::NazarInternalError(                              \
+                ::nazar::detail::formatCheckMessage("assert", #cond,        \
+                                                    __FILE__, __LINE__,     \
+                                                    (msg)));                \
+        }                                                                   \
+    } while (0)
+
+#endif // NAZAR_COMMON_ERROR_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Implementation of the leveled logger.
+ */
+#include "logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace nazar {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo:  return "INFO ";
+      case LogLevel::kWarn:  return "WARN ";
+      case LogLevel::kError: return "ERROR";
+      default:               return "?????";
+    }
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (level < logLevel())
+        return;
+    std::fprintf(stderr, "[nazar %s] %s\n", levelName(level), msg.c_str());
+}
+
+} // namespace nazar

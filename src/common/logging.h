@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal leveled logger for Nazar.
+ *
+ * Benchmarks and the end-to-end simulator use this to narrate progress;
+ * library code logs sparingly at Info and below. The level is a global
+ * knob so bench binaries can silence the library.
+ */
+#ifndef NAZAR_COMMON_LOGGING_H
+#define NAZAR_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace nazar {
+
+/** Log severity levels, in increasing order of importance. */
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3,
+                      kSilent = 4 };
+
+/** Global minimum level that will be emitted (default: Info). */
+LogLevel logLevel();
+
+/** Set the global minimum level. */
+void setLogLevel(LogLevel level);
+
+/** Emit a message at the given level (no-op if below the threshold). */
+void logMessage(LogLevel level, const std::string &msg);
+
+namespace detail {
+
+/** Builds a log line via operator<<, emits on destruction. */
+class LogLine
+{
+  public:
+    explicit LogLine(LogLevel level) : level_(level) {}
+
+    ~LogLine() { logMessage(level_, os_.str()); }
+
+    LogLine(const LogLine &) = delete;
+    LogLine &operator=(const LogLine &) = delete;
+
+    template <typename T>
+    LogLine &
+    operator<<(const T &v)
+    {
+        os_ << v;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream os_;
+};
+
+} // namespace detail
+
+/** Stream-style helpers: NAZAR_LOG_INFO() << "windows: " << n; */
+inline detail::LogLine logDebug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine logInfo() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine logWarn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine logError() { return detail::LogLine(LogLevel::kError); }
+
+} // namespace nazar
+
+#endif // NAZAR_COMMON_LOGGING_H

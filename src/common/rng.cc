@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Implementation of the deterministic RNG (xoshiro256** + splitmix64).
+ */
+#include "rng.h"
+
+#include <cmath>
+
+#include "error.h"
+
+namespace nazar {
+
+namespace {
+
+inline uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::operator()()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53-bit mantissa => uniform in [0, 1).
+    return ((*this)() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    NAZAR_CHECK(lo <= hi, "uniformInt requires lo <= hi");
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<int64_t>((*this)());
+    // Rejection sampling to avoid modulo bias.
+    uint64_t limit = (~0ULL / span) * span;
+    uint64_t x;
+    do {
+        x = (*this)();
+    } while (x >= limit);
+    return lo + static_cast<int64_t>(x % span);
+}
+
+double
+Rng::normal()
+{
+    if (haveCachedNormal_) {
+        haveCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    // Box-Muller; u1 in (0,1] to keep log finite.
+    double u1 = 1.0 - uniform();
+    double u2 = uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cachedNormal_ = r * std::sin(theta);
+    haveCachedNormal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+int
+Rng::poisson(double mean)
+{
+    NAZAR_CHECK(mean >= 0.0, "poisson mean must be non-negative");
+    if (mean == 0.0)
+        return 0;
+    if (mean < 30.0) {
+        // Knuth's multiplication method.
+        double limit = std::exp(-mean);
+        double prod = uniform();
+        int n = 0;
+        while (prod > limit) {
+            prod *= uniform();
+            ++n;
+        }
+        return n;
+    }
+    // Normal approximation for large means (adequate for workload gen).
+    double x = normal(mean, std::sqrt(mean));
+    return x < 0.0 ? 0 : static_cast<int>(x + 0.5);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+size_t
+Rng::index(size_t n)
+{
+    NAZAR_CHECK(n > 0, "index requires a non-empty range");
+    return static_cast<size_t>(uniformInt(0, static_cast<int64_t>(n) - 1));
+}
+
+size_t
+Rng::weightedIndex(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        NAZAR_CHECK(w >= 0.0, "weights must be non-negative");
+        total += w;
+    }
+    NAZAR_CHECK(total > 0.0, "weightedIndex requires positive total weight");
+    double target = uniform() * total;
+    double cum = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        cum += weights[i];
+        if (target < cum)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng((*this)());
+}
+
+} // namespace nazar

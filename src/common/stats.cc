@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Implementation of statistics helpers.
+ */
+#include "stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "error.h"
+
+namespace nazar {
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    size_t n = count_ + other.count_;
+    double delta = other.mean_ - mean_;
+    double new_mean =
+        mean_ + delta * static_cast<double>(other.count_) /
+                    static_cast<double>(n);
+    m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                           static_cast<double>(other.count_) /
+                           static_cast<double>(n);
+    mean_ = new_mean;
+    count_ = n;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    NAZAR_CHECK(!xs.empty(), "percentile of an empty vector");
+    NAZAR_CHECK(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs[0];
+    double pos = p / 100.0 * static_cast<double>(xs.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, xs.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+void
+ConfusionCounts::add(bool predicted_positive, bool actually_positive)
+{
+    if (predicted_positive && actually_positive)
+        ++tp_;
+    else if (predicted_positive && !actually_positive)
+        ++fp_;
+    else if (!predicted_positive && actually_positive)
+        ++fn_;
+    else
+        ++tn_;
+}
+
+double
+ConfusionCounts::precision() const
+{
+    size_t denom = tp_ + fp_;
+    return denom ? static_cast<double>(tp_) / denom : 0.0;
+}
+
+double
+ConfusionCounts::recall() const
+{
+    size_t denom = tp_ + fn_;
+    return denom ? static_cast<double>(tp_) / denom : 0.0;
+}
+
+double
+ConfusionCounts::f1() const
+{
+    size_t denom = 2 * tp_ + fp_ + fn_;
+    return denom ? 2.0 * static_cast<double>(tp_) / denom : 0.0;
+}
+
+double
+ConfusionCounts::accuracy() const
+{
+    size_t n = total();
+    return n ? static_cast<double>(tp_ + tn_) / n : 0.0;
+}
+
+double
+ConfusionCounts::positiveRate() const
+{
+    size_t n = total();
+    return n ? static_cast<double>(tp_ + fp_) / n : 0.0;
+}
+
+} // namespace nazar

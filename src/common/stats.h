@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Small statistics helpers used throughout the evaluation harness:
+ * running accumulators, summary statistics, and binary-classification
+ * confusion counting (precision / recall / F1).
+ */
+#ifndef NAZAR_COMMON_STATS_H
+#define NAZAR_COMMON_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace nazar {
+
+/** Welford-style running mean/variance accumulator. */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    size_t count() const { return count_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance (0 with fewer than two observations). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat &other);
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Mean of a vector (0 when empty). */
+double mean(const std::vector<double> &xs);
+
+/** Sample standard deviation of a vector (0 with < 2 elements). */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Percentile with linear interpolation; p in [0, 100].
+ * The input need not be sorted.
+ */
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Binary-classification confusion counts and the derived metrics the
+ * paper reports for drift detection (Eq. 1).
+ */
+class ConfusionCounts
+{
+  public:
+    /** Record one (predicted, actual) pair. */
+    void add(bool predicted_positive, bool actually_positive);
+
+    size_t tp() const { return tp_; }
+    size_t fp() const { return fp_; }
+    size_t tn() const { return tn_; }
+    size_t fn() const { return fn_; }
+    size_t total() const { return tp_ + fp_ + tn_ + fn_; }
+
+    /** TP / (TP + FP); 0 when undefined. */
+    double precision() const;
+
+    /** TP / (TP + FN); 0 when undefined. */
+    double recall() const;
+
+    /** Harmonic mean of precision and recall (Eq. 1); 0 when undefined. */
+    double f1() const;
+
+    /** (TP + TN) / total; 0 when empty. */
+    double accuracy() const;
+
+    /** Fraction of all samples flagged positive (the "detection rate"). */
+    double positiveRate() const;
+
+  private:
+    size_t tp_ = 0, fp_ = 0, tn_ = 0, fn_ = 0;
+};
+
+} // namespace nazar
+
+#endif // NAZAR_COMMON_STATS_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Implementation of the ASCII table renderer.
+ */
+#include "table_printer.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "error.h"
+
+namespace nazar {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    NAZAR_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    NAZAR_CHECK(row.size() == header_.size(),
+                "row width must match header width");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+TablePrinter::toString() const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &row,
+                          std::ostringstream &os) {
+        os << "|";
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << " " << row[c];
+            os << std::string(widths[c] - row[c].size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+
+    std::ostringstream os;
+    std::string sep = "+";
+    for (size_t w : widths)
+        sep += std::string(w + 2, '-') + "+";
+    sep += "\n";
+
+    os << sep;
+    render_row(header_, os);
+    os << sep;
+    for (const auto &row : rows_)
+        render_row(row, os);
+    os << sep;
+    return os.str();
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    os << toString();
+}
+
+} // namespace nazar

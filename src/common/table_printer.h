@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ASCII table rendering for benchmark output.
+ *
+ * Every bench binary regenerates a paper table/figure as rows of text;
+ * TablePrinter renders them with aligned columns so output is directly
+ * comparable with the paper.
+ */
+#ifndef NAZAR_COMMON_TABLE_PRINTER_H
+#define NAZAR_COMMON_TABLE_PRINTER_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nazar {
+
+/** Column-aligned ASCII table builder. */
+class TablePrinter
+{
+  public:
+    /** Set the header row (column titles). */
+    explicit TablePrinter(std::vector<std::string> header);
+
+    /** Append one data row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Convenience: format a percentage, e.g. 0.153 -> "15.3%". */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render the full table. */
+    std::string toString() const;
+
+    /** Stream the rendered table. */
+    void print(std::ostream &os) const;
+
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace nazar
+
+#endif // NAZAR_COMMON_TABLE_PRINTER_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Implementation of the Zipf sampler.
+ */
+#include "zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "error.h"
+
+namespace nazar {
+
+ZipfSampler::ZipfSampler(size_t n, double alpha) : alpha_(alpha)
+{
+    NAZAR_CHECK(n > 0, "ZipfSampler requires at least one rank");
+    NAZAR_CHECK(alpha >= 0.0, "Zipf alpha must be non-negative");
+    cdf_.resize(n);
+    double total = 0.0;
+    for (size_t k = 0; k < n; ++k) {
+        total += 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+        cdf_[k] = total;
+    }
+    for (auto &c : cdf_)
+        c /= total;
+    cdf_.back() = 1.0; // guard against accumulated rounding error
+}
+
+size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    double u = rng.uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<size_t>(it - cdf_.begin());
+}
+
+double
+ZipfSampler::probability(size_t rank) const
+{
+    NAZAR_CHECK(rank < cdf_.size(), "rank out of range");
+    return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+} // namespace nazar

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Zipf-distributed sampling over a finite set of ranks.
+ *
+ * The Animals dataset uses a Zipf distribution to skew the class mix at
+ * each location (paper §5.1, "Class skew"): P(rank k) ∝ 1 / k^alpha,
+ * with alpha = 0 meaning uniform.
+ */
+#ifndef NAZAR_COMMON_ZIPF_H
+#define NAZAR_COMMON_ZIPF_H
+
+#include <cstddef>
+#include <vector>
+
+#include "rng.h"
+
+namespace nazar {
+
+/**
+ * Precomputed Zipf sampler over n ranks with skew parameter alpha.
+ * Rank 0 is the most likely outcome.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n     Number of ranks (must be > 0).
+     * @param alpha Skew; 0 yields the uniform distribution.
+     */
+    ZipfSampler(size_t n, double alpha);
+
+    /** Sample a rank in [0, n). */
+    size_t sample(Rng &rng) const;
+
+    /** Probability assigned to a rank. */
+    double probability(size_t rank) const;
+
+    size_t size() const { return cdf_.size(); }
+    double alpha() const { return alpha_; }
+
+  private:
+    std::vector<double> cdf_; ///< Cumulative probabilities, cdf_.back()==1.
+    double alpha_;
+};
+
+} // namespace nazar
+
+#endif // NAZAR_COMMON_ZIPF_H

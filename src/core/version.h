@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Library version constants.
+ */
+#ifndef NAZAR_CORE_VERSION_H
+#define NAZAR_CORE_VERSION_H
+
+namespace nazar::core {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char *kVersionString = "1.0.0";
+
+} // namespace nazar::core
+
+#endif // NAZAR_CORE_VERSION_H

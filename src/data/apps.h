@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The two emulated applications of the paper's evaluation (§5.1):
+ * Cityscapes (self-driving object classification) and Animals
+ * (geo-distributed species identification).
+ */
+#ifndef NAZAR_DATA_APPS_H
+#define NAZAR_DATA_APPS_H
+
+#include <string>
+#include <vector>
+
+#include "data/domain.h"
+#include "data/locations.h"
+
+namespace nazar::data {
+
+/** A full application specification: domain + deployment geography. */
+struct AppSpec
+{
+    std::string name;
+    Domain domain;
+    std::vector<Location> locations;
+    std::vector<std::string> classNames;
+
+    /** Fleet defaults used by the end-to-end workloads. */
+    int devicesPerLocation = 16;
+    double imagesPerDevicePerDay = 2.0;
+
+    /** Training-set size per class (paper: Animals averages 793). */
+    size_t trainPerClass = 120;
+    /** Validation-set size per class. */
+    size_t valPerClass = 30;
+};
+
+/**
+ * Cityscapes-analog app: 10 traffic-object classes, European cities,
+ * a few vehicles (devices) per city, temporally ordered stream.
+ */
+AppSpec makeCityscapesApp(uint64_t seed = 11);
+
+/**
+ * Animals-analog app: a configurable number of species classes across
+ * 7 world locations with 16 devices each (paper default).
+ */
+AppSpec makeAnimalsApp(uint64_t seed = 13, size_t num_classes = 40);
+
+/** Human-readable device identifier, e.g. "android_42". */
+std::string deviceName(int device_id);
+
+/**
+ * Hardware model of a device (an extra drift-log attribute; a few
+ * brands across the fleet, derived deterministically from the id).
+ */
+std::string deviceModel(int device_id);
+
+} // namespace nazar::data
+
+#endif // NAZAR_DATA_APPS_H

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Implementation of the 16 feature-space corruptions.
+ *
+ * Each corruption composes up to three primitives, chosen so the
+ * transform is damaging but (partially) recoverable by BatchNorm
+ * re-estimation + affine tuning, mirroring how image corruptions
+ * interact with TENT:
+ *
+ *  - a *diagonal shrink* with a fixed per-type mask (signal attenuation
+ *    that per-feature normalization can rescale),
+ *  - a *structured shift* along a fixed per-type vector (a consistent
+ *    distribution shift BN statistics absorb),
+ *  - *post noise* added after the shrink (the genuinely lossy part —
+ *    rescaling amplifies it, so recovery is partial, as in the paper).
+ *
+ * Magnitudes scale with severity via u = severity / 3 (severity 3 is
+ * the paper's default).
+ */
+#include "corruption.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace nazar::data {
+
+const std::vector<CorruptionType> &
+allCorruptionTypes()
+{
+    static const std::vector<CorruptionType> kAll = {
+        CorruptionType::kGaussianNoise,
+        CorruptionType::kShotNoise,
+        CorruptionType::kImpulseNoise,
+        CorruptionType::kDefocusBlur,
+        CorruptionType::kGlassBlur,
+        CorruptionType::kMotionBlur,
+        CorruptionType::kZoomBlur,
+        CorruptionType::kSnow,
+        CorruptionType::kFrost,
+        CorruptionType::kFog,
+        CorruptionType::kRain,
+        CorruptionType::kBrightness,
+        CorruptionType::kContrast,
+        CorruptionType::kElasticTransform,
+        CorruptionType::kPixelate,
+        CorruptionType::kJpegCompression,
+    };
+    return kAll;
+}
+
+std::string
+toString(CorruptionType type)
+{
+    switch (type) {
+      case CorruptionType::kNone:             return "none";
+      case CorruptionType::kGaussianNoise:    return "gaussian_noise";
+      case CorruptionType::kShotNoise:        return "shot_noise";
+      case CorruptionType::kImpulseNoise:     return "impulse_noise";
+      case CorruptionType::kDefocusBlur:      return "defocus_blur";
+      case CorruptionType::kGlassBlur:        return "glass_blur";
+      case CorruptionType::kMotionBlur:       return "motion_blur";
+      case CorruptionType::kZoomBlur:         return "zoom_blur";
+      case CorruptionType::kSnow:             return "snow";
+      case CorruptionType::kFrost:            return "frost";
+      case CorruptionType::kFog:              return "fog";
+      case CorruptionType::kRain:             return "rain";
+      case CorruptionType::kBrightness:       return "brightness";
+      case CorruptionType::kContrast:         return "contrast";
+      case CorruptionType::kElasticTransform: return "elastic_transform";
+      case CorruptionType::kPixelate:         return "pixelate";
+      case CorruptionType::kJpegCompression:  return "jpeg_compression";
+    }
+    return "?";
+}
+
+CorruptionType
+corruptionFromString(const std::string &name)
+{
+    if (name == "none")
+        return CorruptionType::kNone;
+    for (CorruptionType t : allCorruptionTypes())
+        if (toString(t) == name)
+            return t;
+    throw NazarError("unknown corruption type: " + name);
+}
+
+bool
+isWeatherCorruption(CorruptionType type)
+{
+    return type == CorruptionType::kSnow || type == CorruptionType::kFrost ||
+           type == CorruptionType::kFog || type == CorruptionType::kRain;
+}
+
+Corruptor::Corruptor(size_t feature_dim, uint64_t seed)
+    : featureDim_(feature_dim)
+{
+    NAZAR_CHECK(feature_dim >= 8, "corruptor needs at least 8 features");
+    // Fixed per-type structure: a shift vector with N(0,1) entries and
+    // an attenuation mask with U(0.1, 1) entries, deterministic in
+    // (seed, type). directions_ stores shift and mask interleaved:
+    // index 2t is the shift vector, 2t+1 the mask.
+    directions_.resize(2 * (kNumCorruptionTypes + 1));
+    for (int t = 1; t <= kNumCorruptionTypes; ++t) {
+        Rng rng(seed * 1000003ULL + static_cast<uint64_t>(t));
+        std::vector<double> shift(feature_dim);
+        std::vector<double> mask(feature_dim);
+        for (auto &e : shift)
+            e = rng.normal();
+        for (auto &e : mask)
+            e = rng.uniform(0.1, 1.0);
+        directions_[2 * static_cast<size_t>(t)] = std::move(shift);
+        directions_[2 * static_cast<size_t>(t) + 1] = std::move(mask);
+    }
+    Rng perm_rng(seed ^ 0xABCDEF12345ULL);
+    pairPermutation_.resize(feature_dim);
+    std::iota(pairPermutation_.begin(), pairPermutation_.end(), 0);
+    perm_rng.shuffle(pairPermutation_);
+}
+
+const std::vector<double> &
+Corruptor::direction(CorruptionType type) const
+{
+    return directions_[2 * static_cast<size_t>(type)];
+}
+
+std::vector<double>
+Corruptor::apply(const std::vector<double> &x, CorruptionType type,
+                 int severity, Rng &rng) const
+{
+    NAZAR_CHECK(x.size() == featureDim_, "feature width mismatch");
+    NAZAR_CHECK(severity >= 0 && severity <= 5,
+                "severity must be in [0, 5]");
+    if (type == CorruptionType::kNone || severity == 0)
+        return x;
+
+    const size_t d = featureDim_;
+    const double u = static_cast<double>(severity) / 3.0;
+    std::vector<double> y = x;
+
+    const auto &shift = directions_[2 * static_cast<size_t>(type)];
+    const auto &mask = directions_[2 * static_cast<size_t>(type) + 1];
+
+    auto vec_mean = [&](const std::vector<double> &v) {
+        double m = 0.0;
+        for (double e : v)
+            m += e;
+        return m / static_cast<double>(v.size());
+    };
+    /** Circular moving average with half-width w. */
+    auto smooth = [&](const std::vector<double> &v, int w) {
+        std::vector<double> out(d);
+        for (size_t i = 0; i < d; ++i) {
+            double acc = 0.0;
+            for (int k = -w; k <= w; ++k) {
+                size_t j =
+                    (i + d + static_cast<size_t>(k + static_cast<int>(d))) %
+                    d;
+                acc += v[j];
+            }
+            out[i] = acc / static_cast<double>(2 * w + 1);
+        }
+        return out;
+    };
+    /** Attenuate with the per-type mask: y_i *= 1 - a*(1 - m_i). */
+    auto mask_shrink = [&](double a) {
+        for (size_t i = 0; i < d; ++i)
+            y[i] *= 1.0 - std::min(0.95, a) * (1.0 - mask[i]);
+    };
+    /** Shift along the per-type direction: y_i += c * shift_i. */
+    auto dir_shift = [&](double c) {
+        for (size_t i = 0; i < d; ++i)
+            y[i] += c * shift[i];
+    };
+    /** Post-shrink additive noise (the lossy component). */
+    auto post_noise = [&](double sigma) {
+        for (auto &e : y)
+            e += sigma * rng.normal();
+    };
+
+    switch (type) {
+      case CorruptionType::kGaussianNoise:
+        post_noise(1.15 * u);
+        break;
+
+      case CorruptionType::kShotNoise:
+        for (auto &e : y)
+            e *= 1.0 + 0.85 * u * rng.normal();
+        break;
+
+      case CorruptionType::kImpulseNoise: {
+        double p = std::min(0.5, 0.09 * static_cast<double>(severity));
+        for (auto &e : y)
+            if (rng.bernoulli(p))
+                e = rng.bernoulli(0.5) ? 2.2 : -2.2;
+        break;
+      }
+
+      case CorruptionType::kDefocusBlur: {
+        double b = std::min(1.0, 0.65 * u);
+        auto s = smooth(y, 2);
+        for (size_t i = 0; i < d; ++i)
+            y[i] = (1.0 - b) * y[i] + b * s[i];
+        post_noise(0.3 * u);
+        break;
+      }
+
+      case CorruptionType::kGlassBlur: {
+        int swaps = severity * static_cast<int>(d) / 8;
+        for (int k = 0; k < swaps; ++k) {
+            size_t i = rng.index(d);
+            size_t j = (i + 1 + rng.index(2)) % d;
+            std::swap(y[i], y[j]);
+        }
+        post_noise(0.15 * u);
+        break;
+      }
+
+      case CorruptionType::kMotionBlur: {
+        // Directional (one-sided) moving average, blended in.
+        double b = std::min(1.0, 0.7 * u);
+        int w = 2;
+        std::vector<double> s(d);
+        for (size_t i = 0; i < d; ++i) {
+            double acc = 0.0;
+            for (int k = 0; k <= w; ++k) {
+                size_t back = static_cast<size_t>(k) % d;
+                acc += y[(i + d - back) % d];
+            }
+            s[i] = acc / static_cast<double>(w + 1);
+        }
+        for (size_t i = 0; i < d; ++i)
+            y[i] = (1.0 - b) * y[i] + b * s[i];
+        break;
+      }
+
+      case CorruptionType::kZoomBlur: {
+        double a = std::min(0.9, 0.5 * u);
+        double m = vec_mean(y);
+        for (auto &e : y)
+            e = (1.0 - a) * e + a * m;
+        post_noise(0.25 * u);
+        break;
+      }
+
+      case CorruptionType::kSnow:
+        mask_shrink(0.6 * u);
+        dir_shift(0.45 * u);
+        post_noise(0.5 * u);
+        break;
+
+      case CorruptionType::kFrost:
+        mask_shrink(0.55 * u);
+        dir_shift(-0.4 * u);
+        for (auto &e : y)
+            e = std::clamp(e, -2.0, 2.0);
+        post_noise(0.45 * u);
+        break;
+
+      case CorruptionType::kFog: {
+        // Uniform haze: contract toward a constant plateau, then noise.
+        double a = std::min(0.9, 0.55 * u);
+        for (auto &e : y)
+            e = (1.0 - a) * e + a * 1.5;
+        post_noise(0.45 * u);
+        break;
+      }
+
+      case CorruptionType::kRain: {
+        mask_shrink(0.5 * u);
+        dir_shift(0.35 * u);
+        // Sparse "streaks": strong spikes on a few coordinates.
+        double p = std::min(0.5, 0.06 * static_cast<double>(severity));
+        for (size_t i = 0; i < d; ++i)
+            if (rng.bernoulli(p))
+                y[i] += 1.8 * (shift[(i + 1) % d] > 0 ? 1.0 : -1.0);
+        post_noise(0.4 * u);
+        break;
+      }
+
+      case CorruptionType::kBrightness:
+        for (auto &e : y)
+            e += 1.0 * u;
+        post_noise(0.25 * u);
+        break;
+
+      case CorruptionType::kContrast: {
+        double gain = std::max(0.1, 1.0 - 0.6 * u);
+        double m = vec_mean(y);
+        for (auto &e : y)
+            e = m + (e - m) * gain;
+        post_noise(0.35 * u);
+        break;
+      }
+
+      case CorruptionType::kElasticTransform: {
+        // Rotate fixed coordinate pairs by a severity-scaled angle.
+        double theta = 0.6 * u;
+        double c = std::cos(theta), sn = std::sin(theta);
+        for (size_t k = 0; k + 1 < d; k += 2) {
+            size_t i = pairPermutation_[k];
+            size_t j = pairPermutation_[k + 1];
+            double a = y[i], b = y[j];
+            y[i] = c * a - sn * b;
+            y[j] = sn * a + c * b;
+        }
+        post_noise(0.2 * u);
+        break;
+      }
+
+      case CorruptionType::kPixelate: {
+        double b = std::min(1.0, 0.75 * u);
+        size_t block = std::min(d, static_cast<size_t>(2 + severity / 2));
+        for (size_t start = 0; start < d; start += block) {
+            size_t end = std::min(d, start + block);
+            double m = 0.0;
+            for (size_t i = start; i < end; ++i)
+                m += y[i];
+            m /= static_cast<double>(end - start);
+            for (size_t i = start; i < end; ++i)
+                y[i] = (1.0 - b) * y[i] + b * m;
+        }
+        break;
+      }
+
+      case CorruptionType::kJpegCompression: {
+        double step = 0.75 * u + 0.1;
+        for (auto &e : y)
+            e = std::round(e / step) * step;
+        post_noise(0.2 * u);
+        break;
+      }
+
+      case CorruptionType::kNone:
+        break;
+    }
+
+    // Universal severity-scaled contraction ("feature fade"): corrupted
+    // images yield weaker deep-feature responses in real CNNs, which is
+    // what makes the softmax flatten and MSP drop under drift. The fade
+    // strength varies per type (derived from the type's fixed mask).
+    double fade = (0.22 + 0.18 * mask[0]) * std::min(u, 5.0 / 3.0);
+    for (auto &e : y)
+        e *= 1.0 - fade;
+    return y;
+}
+
+} // namespace nazar::data

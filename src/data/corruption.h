@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Parametric data-drift corruptions — the feature-space analog of the
+ * 16 ImageNet-C-style corruptions the paper applies (Hendrycks &
+ * Dietterich 2019 plus rain; paper §5.1-§5.2).
+ *
+ * Each corruption is a distinct parametric transform of a feature
+ * vector with a severity knob in [0, 5] (0 = identity, 3 = the paper's
+ * default). The transforms are built so that:
+ *   - each corruption is a *consistent* distribution shift (it mixes a
+ *     fixed per-type direction / kernel with the input), so a model can
+ *     adapt to it;
+ *   - applying one lowers the model's softmax confidence, making it
+ *     detectable by the MSP threshold;
+ *   - the shift is largely correctable by re-estimating BatchNorm
+ *     statistics plus entropy-minimizing the BN affines (TENT), the
+ *     same structural property the image corruptions have.
+ */
+#ifndef NAZAR_DATA_CORRUPTION_H
+#define NAZAR_DATA_CORRUPTION_H
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace nazar::data {
+
+/** The 16 corruption families (plus kNone for clean data). */
+enum class CorruptionType {
+    kNone = 0,
+    // Noise family.
+    kGaussianNoise,
+    kShotNoise,
+    kImpulseNoise,
+    // Blur family.
+    kDefocusBlur,
+    kGlassBlur,
+    kMotionBlur,
+    kZoomBlur,
+    // Weather family (the subset driven by historical weather).
+    kSnow,
+    kFrost,
+    kFog,
+    kRain,
+    // Digital family.
+    kBrightness,
+    kContrast,
+    kElasticTransform,
+    kPixelate,
+    kJpegCompression,
+};
+
+/** Number of real corruption types (excluding kNone). */
+inline constexpr int kNumCorruptionTypes = 16;
+
+/** All 16 real corruption types, in enum order. */
+const std::vector<CorruptionType> &allCorruptionTypes();
+
+/** Printable name, e.g. "gaussian_noise". */
+std::string toString(CorruptionType type);
+
+/** Parse a name produced by toString; throws NazarError on unknown. */
+CorruptionType corruptionFromString(const std::string &name);
+
+/** True for the weather-driven corruptions (snow, frost, fog, rain). */
+bool isWeatherCorruption(CorruptionType type);
+
+/**
+ * Applies corruptions to feature vectors. One Corruptor instance fixes
+ * the per-type structured directions for a given feature width (seeded
+ * deterministically), so a corruption type is the *same* distribution
+ * shift everywhere in an experiment.
+ */
+class Corruptor
+{
+  public:
+    /**
+     * @param feature_dim Width of the vectors this corruptor serves.
+     * @param seed        Seed for the per-type fixed structure.
+     */
+    explicit Corruptor(size_t feature_dim, uint64_t seed = 0xC0FFEE);
+
+    /**
+     * Corrupt one feature vector.
+     *
+     * @param x        Clean features (size feature_dim).
+     * @param type     Which corruption; kNone returns x unchanged.
+     * @param severity In [0, 5]; 0 returns x unchanged.
+     * @param rng      Source for the stochastic noise component.
+     */
+    std::vector<double> apply(const std::vector<double> &x,
+                              CorruptionType type, int severity,
+                              Rng &rng) const;
+
+    size_t featureDim() const { return featureDim_; }
+
+  private:
+    /** Fixed unit direction associated with a structured corruption. */
+    const std::vector<double> &direction(CorruptionType type) const;
+
+    size_t featureDim_;
+    /** One fixed direction per corruption type (indexed by enum). */
+    std::vector<std::vector<double>> directions_;
+    /** Fixed coordinate pairing used by elastic/glass transforms. */
+    std::vector<size_t> pairPermutation_;
+};
+
+} // namespace nazar::data
+
+#endif // NAZAR_DATA_CORRUPTION_H

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Implementation of the dataset container.
+ */
+#include "dataset.h"
+
+#include "common/error.h"
+
+namespace nazar::data {
+
+void
+Dataset::append(const std::vector<double> &features, int label)
+{
+    if (x.empty()) {
+        x = nn::Matrix(1, features.size());
+        x.setRow(0, features);
+    } else {
+        NAZAR_CHECK(features.size() == x.cols(), "feature width mismatch");
+        nn::Matrix grown(x.rows() + 1, x.cols());
+        for (size_t r = 0; r < x.rows(); ++r)
+            for (size_t c = 0; c < x.cols(); ++c)
+                grown(r, c) = x(r, c);
+        grown.setRow(x.rows(), features);
+        x = std::move(grown);
+    }
+    labels.push_back(label);
+}
+
+void
+Dataset::append(const Dataset &other)
+{
+    if (other.empty())
+        return;
+    if (x.empty()) {
+        *this = other;
+        return;
+    }
+    NAZAR_CHECK(other.x.cols() == x.cols(), "feature width mismatch");
+    nn::Matrix grown(x.rows() + other.x.rows(), x.cols());
+    for (size_t r = 0; r < x.rows(); ++r)
+        for (size_t c = 0; c < x.cols(); ++c)
+            grown(r, c) = x(r, c);
+    for (size_t r = 0; r < other.x.rows(); ++r)
+        for (size_t c = 0; c < x.cols(); ++c)
+            grown(x.rows() + r, c) = other.x(r, c);
+    x = std::move(grown);
+    labels.insert(labels.end(), other.labels.begin(), other.labels.end());
+}
+
+Dataset
+Dataset::subset(const std::vector<size_t> &indices) const
+{
+    Dataset out;
+    if (indices.empty())
+        return out;
+    out.x = x.selectRows(indices);
+    out.labels.reserve(indices.size());
+    for (size_t i : indices) {
+        NAZAR_CHECK(i < labels.size(), "subset index out of range");
+        out.labels.push_back(labels[i]);
+    }
+    return out;
+}
+
+std::vector<size_t>
+Dataset::indicesOfClass(int label) const
+{
+    std::vector<size_t> out;
+    for (size_t i = 0; i < labels.size(); ++i)
+        if (labels[i] == label)
+            out.push_back(i);
+    return out;
+}
+
+std::pair<Dataset, Dataset>
+splitDataset(const Dataset &d, double first_fraction)
+{
+    NAZAR_CHECK(first_fraction >= 0.0 && first_fraction <= 1.0,
+                "fraction must be in [0, 1]");
+    size_t cut = static_cast<size_t>(first_fraction *
+                                     static_cast<double>(d.size()));
+    std::vector<size_t> a(cut), b(d.size() - cut);
+    for (size_t i = 0; i < cut; ++i)
+        a[i] = i;
+    for (size_t i = cut; i < d.size(); ++i)
+        b[i - cut] = i;
+    return {d.subset(a), d.subset(b)};
+}
+
+void
+DatasetBuilder::add(const std::vector<double> &features, int label)
+{
+    if (labels_.empty())
+        width_ = features.size();
+    NAZAR_CHECK(features.size() == width_, "feature width mismatch");
+    flat_.insert(flat_.end(), features.begin(), features.end());
+    labels_.push_back(label);
+}
+
+Dataset
+DatasetBuilder::build()
+{
+    Dataset out;
+    if (!labels_.empty()) {
+        out.x = nn::Matrix(labels_.size(), width_);
+        std::copy(flat_.begin(), flat_.end(), out.x.data());
+        out.labels = std::move(labels_);
+    }
+    flat_.clear();
+    labels_.clear();
+    width_ = 0;
+    return out;
+}
+
+} // namespace nazar::data

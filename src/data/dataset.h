@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Labeled dataset container used across training, adaptation and
+ * evaluation.
+ */
+#ifndef NAZAR_DATA_DATASET_H
+#define NAZAR_DATA_DATASET_H
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace nazar::data {
+
+/** A batch of feature vectors with integer class labels. */
+struct Dataset
+{
+    nn::Matrix x;            ///< samples x features.
+    std::vector<int> labels; ///< One class index per row.
+
+    size_t size() const { return labels.size(); }
+    bool empty() const { return labels.empty(); }
+
+    /** Append one sample. x must be empty or have matching width. */
+    void append(const std::vector<double> &features, int label);
+
+    /** Append all samples of another dataset. */
+    void append(const Dataset &other);
+
+    /** Extract the subset at the given row indices. */
+    Dataset subset(const std::vector<size_t> &indices) const;
+
+    /** Rows whose label equals @p label. */
+    std::vector<size_t> indicesOfClass(int label) const;
+};
+
+/**
+ * Split a dataset into two parts, the first taking @p first_fraction of
+ * the rows in order (callers shuffle beforehand if needed).
+ */
+std::pair<Dataset, Dataset> splitDataset(const Dataset &d,
+                                         double first_fraction);
+
+/**
+ * Amortized O(1)-per-row dataset accumulator. Dataset::append reshapes
+ * the underlying matrix on every call, which is quadratic; bulk
+ * generation paths use this builder instead.
+ */
+class DatasetBuilder
+{
+  public:
+    /** Append one sample (all rows must share a width). */
+    void add(const std::vector<double> &features, int label);
+
+    size_t size() const { return labels_.size(); }
+
+    /** Produce the dataset and reset the builder. */
+    Dataset build();
+
+  private:
+    std::vector<double> flat_;
+    std::vector<int> labels_;
+    size_t width_ = 0;
+};
+
+} // namespace nazar::data
+
+#endif // NAZAR_DATA_DATASET_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Implementation of the synthetic data domain.
+ */
+#include "domain.h"
+
+#include "common/error.h"
+
+namespace nazar::data {
+
+Domain::Domain(const DomainConfig &config) : config_(config)
+{
+    NAZAR_CHECK(config.numClasses >= 2, "need at least two classes");
+    NAZAR_CHECK(config.featureDim >= 8, "need at least 8 features");
+    NAZAR_CHECK(config.noiseMin > 0.0 && config.noiseMax >= config.noiseMin,
+                "invalid noise range");
+
+    Rng rng(config.seed);
+    prototypes_.resize(config.numClasses);
+    noise_.resize(config.numClasses);
+    for (size_t c = 0; c < config.numClasses; ++c) {
+        prototypes_[c].resize(config.featureDim);
+        for (auto &e : prototypes_[c])
+            e = rng.normal(0.0, config.prototypeScale);
+        noise_[c] = rng.uniform(config.noiseMin, config.noiseMax);
+    }
+}
+
+double
+Domain::classNoise(int cls) const
+{
+    NAZAR_CHECK(cls >= 0 && static_cast<size_t>(cls) < noise_.size(),
+                "class out of range");
+    return noise_[static_cast<size_t>(cls)];
+}
+
+const std::vector<double> &
+Domain::prototype(int cls) const
+{
+    NAZAR_CHECK(cls >= 0 && static_cast<size_t>(cls) < prototypes_.size(),
+                "class out of range");
+    return prototypes_[static_cast<size_t>(cls)];
+}
+
+std::vector<double>
+Domain::sample(int cls, Rng &rng) const
+{
+    const auto &proto = prototype(cls);
+    double sigma = classNoise(cls);
+    std::vector<double> x(proto.size());
+    for (size_t i = 0; i < x.size(); ++i)
+        x[i] = proto[i] + rng.normal(0.0, sigma);
+    return x;
+}
+
+Dataset
+Domain::makeBalancedDataset(size_t per_class, Rng &rng) const
+{
+    std::vector<size_t> counts(config_.numClasses, per_class);
+    return makeDataset(counts, rng);
+}
+
+Dataset
+Domain::makeDataset(const std::vector<size_t> &counts, Rng &rng) const
+{
+    NAZAR_CHECK(counts.size() == config_.numClasses,
+                "counts must cover every class");
+    DatasetBuilder builder;
+    for (size_t c = 0; c < counts.size(); ++c)
+        for (size_t i = 0; i < counts[c]; ++i)
+            builder.add(sample(static_cast<int>(c), rng),
+                        static_cast<int>(c));
+    Dataset d = builder.build();
+    // Shuffle rows so batches are class-mixed.
+    std::vector<size_t> order(d.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    rng.shuffle(order);
+    return d.subset(order);
+}
+
+} // namespace nazar::data

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Location tables for the two emulated applications.
+ */
+#include "locations.h"
+
+namespace nazar::data {
+
+std::vector<Location>
+animalsLocations()
+{
+    // Climate priors chosen so that over Jan-Apr roughly a third of
+    // days carry weather drift fleet-wide (paper §5.2 reports 36% for
+    // the animal dataset), with geographic diversity: snow concentrates
+    // in northern/alpine locations, rain in temperate ones.
+    std::vector<Location> locs = {
+        {0, "new_york",        {0.14, 0.16, 0.04, 0.7}},
+        {1, "tibet",           {0.05, 0.22, 0.06, 0.5}},
+        {2, "beijing",         {0.08, 0.10, 0.10, 0.6}},
+        {3, "new_south_wales", {0.18, 0.00, 0.03, 0.2}},
+        {4, "united_kingdom",  {0.24, 0.05, 0.12, 0.4}},
+        {5, "quebec",          {0.10, 0.25, 0.05, 0.8}},
+        {6, "sao_paulo",       {0.22, 0.00, 0.05, 0.1}},
+    };
+    return locs;
+}
+
+std::vector<Location>
+cityscapesLocations()
+{
+    // Cities from the Cityscapes collection (train + val splits). All
+    // are European with broadly similar winter climates; small
+    // variations keep the drift log's location attribute informative.
+    const char *names[] = {
+        "aachen",   "bochum",    "bremen",   "cologne", "darmstadt",
+        "dusseldorf", "erfurt",  "hamburg",  "hanover", "jena",
+        "krefeld",  "monchengladbach", "strasbourg", "stuttgart",
+        "tubingen", "ulm",       "weimar",   "zurich",  "frankfurt",
+        "lindau",   "munster",
+    };
+    std::vector<Location> locs;
+    int id = 0;
+    for (const char *name : names) {
+        ClimateProfile climate;
+        climate.rain = 0.10 + 0.03 * ((id * 7) % 3);  // 0.10..0.16
+        climate.snow = 0.05 + 0.02 * ((id * 5) % 3);  // 0.05..0.09
+        climate.fog = 0.04 + 0.02 * ((id * 3) % 2);   // 0.04..0.06
+        climate.seasonality = 0.6;
+        locs.push_back({id, name, climate});
+        ++id;
+    }
+    return locs;
+}
+
+} // namespace nazar::data

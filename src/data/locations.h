@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deployment locations and their climate profiles.
+ *
+ * The Animals app emulates 7 locations on different continents (paper
+ * §5.1); the Cityscapes app emulates European cities from the
+ * Cityscapes collection. Each location carries a climate profile that
+ * parameterizes the WeatherModel (e.g. Helsinki is snowier than New
+ * South Wales in the January-April window).
+ */
+#ifndef NAZAR_DATA_LOCATIONS_H
+#define NAZAR_DATA_LOCATIONS_H
+
+#include <string>
+#include <vector>
+
+namespace nazar::data {
+
+/**
+ * Climate profile: relative propensity of each non-clear weather kind
+ * during the simulated period. Probabilities are per-day priors before
+ * the Markov persistence dynamics are applied.
+ */
+struct ClimateProfile
+{
+    double rain = 0.12; ///< Daily prior of a rainy day.
+    double snow = 0.05; ///< Daily prior of a snowy day.
+    double fog = 0.05;  ///< Daily prior of a foggy day.
+    /**
+     * Seasonal modulation: how strongly snow decays (and rain grows)
+     * from January toward April; 0 = constant climate.
+     */
+    double seasonality = 0.5;
+};
+
+/** A deployment location. */
+struct Location
+{
+    int id = 0;
+    std::string name;
+    ClimateProfile climate;
+};
+
+/** The 7 Animals-app locations (paper §5.1). */
+std::vector<Location> animalsLocations();
+
+/**
+ * Cityscapes collection cities (the paper uses the Cityscapes dataset,
+ * photos from cities across Europe, mostly Germany).
+ */
+std::vector<Location> cityscapesLocations();
+
+} // namespace nazar::data
+
+#endif // NAZAR_DATA_LOCATIONS_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Implementation of the real-rain domain emulation.
+ */
+#include "real_rain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace nazar::data {
+
+namespace {
+
+/** Fixed unit direction of the RID camera's color cast. */
+std::vector<double>
+ridCastDirection(size_t dim)
+{
+    Rng rng(0x51D0CA57ULL);
+    std::vector<double> v(dim);
+    double norm = 0.0;
+    for (auto &e : v) {
+        e = rng.normal();
+        norm += e * e;
+    }
+    norm = std::sqrt(norm);
+    for (auto &e : v)
+        e /= norm;
+    return v;
+}
+
+} // namespace
+
+std::vector<double>
+ridDomainTransform(const std::vector<double> &x, Rng &rng)
+{
+    static const std::vector<double> cast = ridCastDirection(32);
+    NAZAR_CHECK(x.size() == cast.size(),
+                "RID transform is defined for 32-dim features");
+    std::vector<double> y(x.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+        // Mild gain change, fixed color-cast shift, sensor noise —
+        // a different camera, not a destroyed image.
+        y[i] = 0.93 * x[i] + 0.45 * cast[i] + 0.18 * rng.normal();
+    }
+    return y;
+}
+
+RealRainSet
+makeRealRainSet(const AppSpec &cityscapes, size_t per_half, uint64_t seed)
+{
+    constexpr size_t kSharedClasses = 5;
+    NAZAR_CHECK(cityscapes.domain.numClasses() >= kSharedClasses,
+                "cityscapes app must have at least 5 classes");
+    Rng rng(seed);
+    Corruptor corruptor(cityscapes.domain.featureDim());
+
+    // The five classes both datasets share are the abundant,
+    // well-recognized ones (car, person, ...): model them as the five
+    // lowest-noise (easiest) classes of the domain.
+    std::vector<std::pair<double, int>> by_noise;
+    for (size_t c = 0; c < cityscapes.domain.numClasses(); ++c)
+        by_noise.push_back({cityscapes.domain.classNoise(
+                                static_cast<int>(c)),
+                            static_cast<int>(c)});
+    std::sort(by_noise.begin(), by_noise.end());
+    std::vector<int> shared;
+    for (size_t i = 0; i < kSharedClasses; ++i)
+        shared.push_back(by_noise[i].second);
+
+    DatasetBuilder builder;
+    std::vector<bool> is_rid;
+    // Clean half: Cityscapes domain, shared classes only.
+    for (size_t i = 0; i < per_half; ++i) {
+        int cls = shared[rng.index(kSharedClasses)];
+        builder.add(cityscapes.domain.sample(cls, rng), cls);
+        is_rid.push_back(false);
+    }
+    // RID half: sensing-domain transform + real rain at mixed severity.
+    for (size_t i = 0; i < per_half; ++i) {
+        int cls = shared[rng.index(kSharedClasses)];
+        std::vector<double> x = cityscapes.domain.sample(cls, rng);
+        x = ridDomainTransform(x, rng);
+        int severity = static_cast<int>(rng.uniformInt(1, 3));
+        x = corruptor.apply(x, CorruptionType::kRain, severity, rng);
+        builder.add(x, cls);
+        is_rid.push_back(true);
+    }
+    return RealRainSet{builder.build(), std::move(is_rid)};
+}
+
+} // namespace nazar::data

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Implementation of streaming-workload generation.
+ */
+#include "stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/zipf.h"
+
+namespace nazar::data {
+
+WorkloadGenerator::WorkloadGenerator(const AppSpec &app,
+                                     const WeatherModel &weather,
+                                     const WorkloadConfig &config)
+    : app_(app), weather_(weather), config_(config)
+{
+    NAZAR_CHECK(config.days > 0 && config.days <= weather.days(),
+                "workload days must fit the weather model");
+    devicesPerLocation_ = config.devicesPerLocation >= 0
+                              ? config.devicesPerLocation
+                              : app.devicesPerLocation;
+    imagesPerDevicePerDay_ = config.imagesPerDevicePerDay >= 0.0
+                                 ? config.imagesPerDevicePerDay
+                                 : app.imagesPerDevicePerDay;
+    NAZAR_CHECK(devicesPerLocation_ > 0, "need at least one device");
+    NAZAR_CHECK(imagesPerDevicePerDay_ > 0.0, "need a positive rate");
+}
+
+int
+WorkloadGenerator::deviceCount() const
+{
+    return devicesPerLocation_ * static_cast<int>(app_.locations.size());
+}
+
+int
+WorkloadGenerator::locationOfDevice(int device_id) const
+{
+    NAZAR_CHECK(device_id >= 0 && device_id < deviceCount(),
+                "device id out of range");
+    return device_id / devicesPerLocation_;
+}
+
+std::vector<StreamEvent>
+WorkloadGenerator::generate() const
+{
+    const size_t num_classes = app_.domain.numClasses();
+    Corruptor corruptor(app_.domain.featureDim());
+
+    // Per-location class mix: a Zipf distribution over a
+    // location-specific permutation of the classes, so different
+    // locations favour different species (paper §5.1).
+    ZipfSampler zipf(num_classes, config_.zipfAlpha);
+    std::vector<std::vector<size_t>> class_perm(app_.locations.size());
+    for (size_t li = 0; li < app_.locations.size(); ++li) {
+        Rng perm_rng(config_.seed * 31 + li * 977 + 5);
+        class_perm[li].resize(num_classes);
+        std::iota(class_perm[li].begin(), class_perm[li].end(), 0);
+        perm_rng.shuffle(class_perm[li]);
+    }
+
+    std::vector<StreamEvent> events;
+    Rng rng(config_.seed);
+    for (int day = 0; day < config_.days; ++day) {
+        for (size_t li = 0; li < app_.locations.size(); ++li) {
+            Weather weather =
+                weather_.weatherAt(static_cast<int>(li), day);
+            CorruptionType weather_corruption = weatherCorruption(weather);
+            for (int di = 0; di < devicesPerLocation_; ++di) {
+                int device_id =
+                    static_cast<int>(li) * devicesPerLocation_ + di;
+                int arrivals = rng.poisson(imagesPerDevicePerDay_);
+                for (int a = 0; a < arrivals; ++a) {
+                    StreamEvent ev;
+                    ev.when = SimDate(
+                        day, static_cast<int>(rng.uniformInt(6 * 3600,
+                                                             22 * 3600)));
+                    ev.deviceId = device_id;
+                    ev.locationId = static_cast<int>(li);
+                    ev.weather = weather;
+                    ev.label = static_cast<int>(
+                        class_perm[li][zipf.sample(rng)]);
+
+                    std::vector<double> x =
+                        app_.domain.sample(ev.label, rng);
+
+                    bool drifted =
+                        weather_corruption != CorruptionType::kNone &&
+                        rng.bernoulli(config_.weatherDriftProb);
+                    if (drifted) {
+                        int severity = config_.severity;
+                        if (config_.severityPolicy ==
+                            SeverityPolicy::kNormal) {
+                            double raw = rng.normal(
+                                static_cast<double>(config_.severity),
+                                config_.severityStd);
+                            severity = static_cast<int>(std::lround(
+                                std::clamp(raw, 0.0, 5.0)));
+                        }
+                        ev.severity = severity;
+                        if (severity > 0) {
+                            ev.corruption = weather_corruption;
+                            ev.trueDrift = true;
+                            x = corruptor.apply(x, weather_corruption,
+                                                severity, rng);
+                        }
+                    }
+                    ev.features = std::move(x);
+                    events.push_back(std::move(ev));
+                }
+            }
+        }
+    }
+    // Chronological order within each day is randomized by second.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const StreamEvent &a, const StreamEvent &b) {
+                         return a.when < b.when;
+                     });
+    return events;
+}
+
+} // namespace nazar::data

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Streaming-workload generation: the inference traffic that user
+ * devices produce over the simulated deployment period.
+ *
+ * Each event is one on-device inference request: a (possibly
+ * weather-corrupted) feature vector with full ground-truth annotations
+ * that the evaluation harness uses but Nazar itself never sees.
+ */
+#ifndef NAZAR_DATA_STREAM_H
+#define NAZAR_DATA_STREAM_H
+
+#include <vector>
+
+#include "common/sim_date.h"
+#include "data/apps.h"
+#include "data/corruption.h"
+#include "data/weather.h"
+
+namespace nazar::data {
+
+/** How corruption severity is assigned to drifted events. */
+enum class SeverityPolicy {
+    kFixed,  ///< Every drifted event uses the configured severity.
+    kNormal, ///< Severity ~ round(clip(N(mean, std), 0, 5)), paper §5.5(b).
+};
+
+/** Workload-generation knobs. */
+struct WorkloadConfig
+{
+    int days = kSimPeriodDays;
+    /** Overrides AppSpec defaults when >= 0. */
+    int devicesPerLocation = -1;
+    double imagesPerDevicePerDay = -1.0;
+
+    int severity = 3;                ///< Paper default severity level.
+    SeverityPolicy severityPolicy = SeverityPolicy::kFixed;
+    double severityStd = 1.0;        ///< Std for kNormal policy.
+
+    /** Zipf skew of the class mix per location (0 = uniform). */
+    double zipfAlpha = 0.0;
+
+    /**
+     * Probability that an image taken on a non-clear day actually
+     * carries the weather corruption (1.0 = the paper's "apply a drift
+     * function for rain on that image").
+     */
+    double weatherDriftProb = 1.0;
+
+    uint64_t seed = 99;
+};
+
+/** One on-device inference request with ground-truth annotations. */
+struct StreamEvent
+{
+    SimDate when;
+    int deviceId = 0;
+    int locationId = 0;
+    Weather weather = Weather::kClear;
+    CorruptionType corruption = CorruptionType::kNone; ///< Ground truth.
+    int severity = 0;
+    int label = 0;                 ///< Ground-truth class.
+    std::vector<double> features;  ///< Possibly corrupted input.
+    bool trueDrift = false;        ///< corruption != kNone.
+};
+
+/**
+ * Generates the chronological event stream for an application over the
+ * deployment period, combining per-device Poisson arrivals, a
+ * per-location (optionally Zipf-skewed) class mix, and weather-driven
+ * corruptions.
+ */
+class WorkloadGenerator
+{
+  public:
+    WorkloadGenerator(const AppSpec &app, const WeatherModel &weather,
+                      const WorkloadConfig &config);
+
+    /** Generate the full chronological stream. */
+    std::vector<StreamEvent> generate() const;
+
+    /** Total number of devices in the fleet. */
+    int deviceCount() const;
+
+    /** Location of a device. */
+    int locationOfDevice(int device_id) const;
+
+    const WorkloadConfig &config() const { return config_; }
+
+  private:
+    const AppSpec &app_;
+    const WeatherModel &weather_;
+    WorkloadConfig config_;
+    int devicesPerLocation_;
+    double imagesPerDevicePerDay_;
+};
+
+} // namespace nazar::data
+
+#endif // NAZAR_DATA_STREAM_H

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Implementation of the weather emulation.
+ */
+#include "weather.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace nazar::data {
+
+std::string
+toString(Weather w)
+{
+    switch (w) {
+      case Weather::kClear: return "clear-day";
+      case Weather::kRain:  return "rain";
+      case Weather::kSnow:  return "snow";
+      case Weather::kFog:   return "fog";
+    }
+    return "?";
+}
+
+Weather
+weatherFromString(const std::string &name)
+{
+    if (name == "clear-day")
+        return Weather::kClear;
+    if (name == "rain")
+        return Weather::kRain;
+    if (name == "snow")
+        return Weather::kSnow;
+    if (name == "fog")
+        return Weather::kFog;
+    throw NazarError("unknown weather: " + name);
+}
+
+CorruptionType
+weatherCorruption(Weather w)
+{
+    switch (w) {
+      case Weather::kClear: return CorruptionType::kNone;
+      case Weather::kRain:  return CorruptionType::kRain;
+      case Weather::kSnow:  return CorruptionType::kSnow;
+      case Weather::kFog:   return CorruptionType::kFog;
+    }
+    return CorruptionType::kNone;
+}
+
+WeatherModel::WeatherModel(std::vector<Location> locations, int days,
+                           uint64_t seed)
+    : locations_(std::move(locations)), days_(days)
+{
+    NAZAR_CHECK(!locations_.empty(), "need at least one location");
+    NAZAR_CHECK(days > 0, "need at least one day");
+
+    table_.resize(locations_.size());
+    for (size_t li = 0; li < locations_.size(); ++li) {
+        const ClimateProfile &climate = locations_[li].climate;
+        Rng rng(seed * 7919ULL + static_cast<uint64_t>(li) + 1);
+        auto &row = table_[li];
+        row.resize(days_);
+        Weather prev = Weather::kClear;
+        for (int day = 0; day < days_; ++day) {
+            // Seasonal modulation over Jan 1 .. end of period:
+            // progress in [0,1]; snow decays, rain grows with spring.
+            double progress =
+                static_cast<double>(day) / static_cast<double>(days_);
+            double season = climate.seasonality;
+            double p_snow =
+                climate.snow * (1.0 - season * progress);
+            double p_rain =
+                climate.rain * (1.0 + 0.5 * season * progress);
+            double p_fog = climate.fog;
+
+            // Persistence: weather spells last multiple days.
+            constexpr double kPersistBonus = 0.35;
+            double b_rain = prev == Weather::kRain ? kPersistBonus : 0.0;
+            double b_snow = prev == Weather::kSnow ? kPersistBonus : 0.0;
+            double b_fog = prev == Weather::kFog ? kPersistBonus : 0.0;
+
+            p_rain = std::min(0.9, p_rain + b_rain);
+            p_snow = std::min(0.9, p_snow + b_snow);
+            p_fog = std::min(0.9, p_fog + b_fog);
+            double p_clear = std::max(0.0, 1.0 - p_rain - p_snow - p_fog);
+
+            size_t pick = rng.weightedIndex(
+                {p_clear, p_rain, p_snow, p_fog});
+            prev = static_cast<Weather>(pick);
+            row[day] = prev;
+        }
+    }
+}
+
+Weather
+WeatherModel::weatherAt(int location_id, int day) const
+{
+    NAZAR_CHECK(location_id >= 0 &&
+                    static_cast<size_t>(location_id) < table_.size(),
+                "location id out of range");
+    NAZAR_CHECK(day >= 0 && day < days_, "day out of range");
+    return table_[static_cast<size_t>(location_id)]
+                 [static_cast<size_t>(day)];
+}
+
+double
+WeatherModel::driftDayFraction() const
+{
+    size_t drift = 0, total = 0;
+    for (const auto &row : table_) {
+        for (Weather w : row) {
+            total += 1;
+            if (w != Weather::kClear)
+                drift += 1;
+        }
+    }
+    return total ? static_cast<double>(drift) / total : 0.0;
+}
+
+double
+WeatherModel::anyDriftDayFraction() const
+{
+    int drift_days = 0;
+    for (int day = 0; day < days_; ++day) {
+        for (size_t li = 0; li < table_.size(); ++li) {
+            if (table_[li][static_cast<size_t>(day)] != Weather::kClear) {
+                ++drift_days;
+                break;
+            }
+        }
+    }
+    return static_cast<double>(drift_days) / static_cast<double>(days_);
+}
+
+} // namespace nazar::data

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Historical-weather emulation.
+ *
+ * The paper drives its weather drifts from 2020 historical records
+ * (Kaggle daily weather + Weather Underground). Offline, we substitute
+ * a seeded per-location Markov chain whose stationary behaviour matches
+ * each location's climate profile and whose day-to-day persistence
+ * produces realistic multi-day weather spells (see DESIGN.md §1).
+ */
+#ifndef NAZAR_DATA_WEATHER_H
+#define NAZAR_DATA_WEATHER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/corruption.h"
+#include "data/locations.h"
+
+namespace nazar::data {
+
+/** Daily weather condition at a location. */
+enum class Weather { kClear = 0, kRain, kSnow, kFog };
+
+/** Printable name, e.g. "clear-day" / "rain" / "snow" / "fog". */
+std::string toString(Weather w);
+
+/** Parse a name produced by toString. */
+Weather weatherFromString(const std::string &name);
+
+/** The drift corruption a weather condition induces (kNone for clear). */
+CorruptionType weatherCorruption(Weather w);
+
+/**
+ * Deterministic per-location daily weather over the simulated period.
+ *
+ * Generation: for each location an independent Markov chain over the
+ * four conditions. Transition probabilities combine the location's
+ * climate priors (seasonally modulated: snow decays toward April, rain
+ * grows) with a persistence bonus for remaining in yesterday's
+ * condition.
+ */
+class WeatherModel
+{
+  public:
+    /**
+     * @param locations Locations to generate weather for.
+     * @param days      Length of the simulated period.
+     * @param seed      Generation seed (per-location streams derive
+     *                  from it).
+     */
+    WeatherModel(std::vector<Location> locations, int days,
+                 uint64_t seed = 2020);
+
+    /** Weather at a location on a day (0-based day index). */
+    Weather weatherAt(int location_id, int day) const;
+
+    /** Fraction of (location, day) cells with non-clear weather. */
+    double driftDayFraction() const;
+
+    /** Fraction of days on which at least one location has drift. */
+    double anyDriftDayFraction() const;
+
+    int days() const { return days_; }
+    const std::vector<Location> &locations() const { return locations_; }
+
+  private:
+    std::vector<Location> locations_;
+    int days_;
+    /** weather_[loc][day]. */
+    std::vector<std::vector<Weather>> table_;
+};
+
+} // namespace nazar::data
+
+#endif // NAZAR_DATA_WEATHER_H

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Implementation of on-device version selection.
+ */
+#include "matcher.h"
+
+namespace nazar::deploy {
+
+bool
+causeMatchesContext(const rca::AttributeSet &cause,
+                    const rca::AttributeSet &context)
+{
+    return cause.isSubsetOf(context);
+}
+
+const ModelVersion *
+selectVersion(const ModelPool &pool, const rca::AttributeSet &context)
+{
+    const ModelVersion *best = nullptr;
+    for (const auto &v : pool.versions()) {
+        if (!causeMatchesContext(v.cause, context))
+            continue;
+        if (best == nullptr) {
+            best = &v;
+            continue;
+        }
+        if (v.cause.size() != best->cause.size()) {
+            if (v.cause.size() > best->cause.size())
+                best = &v;
+            continue;
+        }
+        if (v.updatedAt != best->updatedAt) {
+            if (v.updatedAt > best->updatedAt)
+                best = &v;
+            continue;
+        }
+        if (v.riskRatio > best->riskRatio)
+            best = &v;
+    }
+    return best;
+}
+
+} // namespace nazar::deploy

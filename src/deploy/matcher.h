@@ -1,0 +1,41 @@
+/**
+ * @file
+ * On-device model-version selection (paper §3.4, "Picking which
+ * version to use for inference").
+ *
+ * For each input the device assembles its current context attributes
+ * (weather, location, its own id/model) and picks, among pool versions
+ * whose cause is satisfied by the context, the one with:
+ *   1. the most matching attributes (most specific cause),
+ *   2. then the most recent update,
+ *   3. then the highest risk ratio.
+ * If no version matches, the clean model is used. Selection runs
+ * entirely on the device — no cloud involvement.
+ */
+#ifndef NAZAR_DEPLOY_MATCHER_H
+#define NAZAR_DEPLOY_MATCHER_H
+
+#include "deploy/model_pool.h"
+
+namespace nazar::deploy {
+
+/**
+ * Pick the best version for a context; nullptr means "use the clean
+ * model".
+ *
+ * @param pool    The device's model pool.
+ * @param context Current input metadata as an attribute set.
+ */
+const ModelVersion *selectVersion(const ModelPool &pool,
+                                  const rca::AttributeSet &context);
+
+/**
+ * True when a version's cause is satisfied by the context (every cause
+ * attribute appears in the context).
+ */
+bool causeMatchesContext(const rca::AttributeSet &cause,
+                         const rca::AttributeSet &context);
+
+} // namespace nazar::deploy
+
+#endif // NAZAR_DEPLOY_MATCHER_H

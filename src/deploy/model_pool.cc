@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Implementation of the consolidating model pool.
+ */
+#include "model_pool.h"
+
+#include "common/error.h"
+
+namespace nazar::deploy {
+
+size_t
+ModelPool::install(ModelVersion version)
+{
+    NAZAR_CHECK(!version.cause.empty(),
+                "the clean model is managed outside the pool");
+    size_t evicted = 0;
+
+    // Rule 1 + 2: drop versions with the identical cause, and older
+    // versions whose cause is an attribute-superset of the incoming
+    // one (the incoming version covers them).
+    for (auto it = versions_.begin(); it != versions_.end();) {
+        bool same = it->cause == version.cause;
+        bool covered = version.cause.isProperSubsetOf(it->cause);
+        if (same || covered) {
+            it = versions_.erase(it);
+            ++evicted;
+        } else {
+            ++it;
+        }
+    }
+
+    // Most recently updated at the front.
+    versions_.push_front(std::move(version));
+
+    // Rule 3: LRU eviction beyond capacity.
+    while (capacity_ > 0 && versions_.size() > capacity_) {
+        versions_.pop_back();
+        ++evicted;
+    }
+    return evicted;
+}
+
+const ModelVersion *
+ModelPool::findByCause(const rca::AttributeSet &cause) const
+{
+    for (const auto &v : versions_)
+        if (v.cause == cause)
+            return &v;
+    return nullptr;
+}
+
+const ModelVersion *
+ModelPool::findById(int64_t id) const
+{
+    for (const auto &v : versions_)
+        if (v.id == id)
+            return &v;
+    return nullptr;
+}
+
+} // namespace nazar::deploy

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * On-device model pool with the paper's consolidation rules (§3.4):
+ *
+ *  1. Same-cause replacement: a new version whose cause exactly
+ *     matches an existing one replaces that version (not the LRU
+ *     tail).
+ *  2. Superset eviction: a new version whose cause *covers* an older
+ *     version's cause (its attribute set is a proper subset, i.e. it
+ *     matches strictly more inputs) evicts that older version — the
+ *     model-pool analog of set reduction.
+ *  3. LRU: beyond those, when the pool exceeds its capacity the least
+ *     recently *updated* version is evicted.
+ *
+ * The clean (base) model lives outside the pool and is never evicted.
+ */
+#ifndef NAZAR_DEPLOY_MODEL_POOL_H
+#define NAZAR_DEPLOY_MODEL_POOL_H
+
+#include <list>
+#include <optional>
+
+#include "deploy/model_version.h"
+
+namespace nazar::deploy {
+
+/** LRU-consolidated set of adapted model versions. */
+class ModelPool
+{
+  public:
+    /** @param capacity Max stored versions; 0 means unbounded. */
+    explicit ModelPool(size_t capacity = 0) : capacity_(capacity) {}
+
+    /**
+     * Install a version, applying the consolidation rules. Returns the
+     * number of versions evicted.
+     */
+    size_t install(ModelVersion version);
+
+    /** Number of stored versions. */
+    size_t size() const { return versions_.size(); }
+
+    size_t capacity() const { return capacity_; }
+
+    /** Versions in most-recently-updated-first order. */
+    const std::list<ModelVersion> &versions() const { return versions_; }
+
+    /** Look up a version by exact cause. */
+    const ModelVersion *findByCause(const rca::AttributeSet &cause) const;
+
+    /** Look up a version by id. */
+    const ModelVersion *findById(int64_t id) const;
+
+    /** Remove everything. */
+    void clear() { versions_.clear(); }
+
+  private:
+    size_t capacity_;
+    /** Most recently updated at the front. */
+    std::list<ModelVersion> versions_;
+};
+
+} // namespace nazar::deploy
+
+#endif // NAZAR_DEPLOY_MODEL_POOL_H

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Implementation of model-version display.
+ */
+#include "model_version.h"
+
+#include <sstream>
+
+namespace nazar::deploy {
+
+std::string
+ModelVersion::toString() const
+{
+    std::ostringstream os;
+    os << "v" << id << " "
+       << (cause.empty() ? std::string("{clean}") : cause.toString())
+       << " rr=" << riskRatio << " t=" << updatedAt;
+    return os.str();
+}
+
+} // namespace nazar::deploy

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Deployable model versions (paper §3.4, "Consolidating model
+ * versions").
+ *
+ * Nazar adapts only BatchNorm layers, so a model version is a BnPatch
+ * tagged with the root cause it was adapted to, the cause's risk-ratio
+ * rank (used for tie-breaking during on-device selection) and a
+ * logical update timestamp (used by the LRU consolidation).
+ */
+#ifndef NAZAR_DEPLOY_MODEL_VERSION_H
+#define NAZAR_DEPLOY_MODEL_VERSION_H
+
+#include <cstdint>
+#include <string>
+
+#include "nn/bn_patch.h"
+#include "rca/attribute_set.h"
+
+namespace nazar::deploy {
+
+/** One deployable adapted-model version. */
+struct ModelVersion
+{
+    int64_t id = 0;          ///< Unique version id (cloud-assigned).
+    rca::AttributeSet cause; ///< Root cause; empty == the clean model.
+    double riskRatio = 0.0;  ///< Rank of the cause at adaptation time.
+    nn::BnPatch patch;       ///< The BN delta to install.
+    int64_t updatedAt = 0;   ///< Logical update time (monotonic).
+
+    bool isClean() const { return cause.empty(); }
+
+    /** Display string, e.g. "v7 {weather=snow} rr=3.2". */
+    std::string toString() const;
+};
+
+} // namespace nazar::deploy
+
+#endif // NAZAR_DEPLOY_MODEL_VERSION_H

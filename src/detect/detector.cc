@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Shared detector helpers.
+ */
+#include "detector.h"
+
+namespace nazar::detect {
+
+std::vector<bool>
+Detector::detectBatch(const nn::Matrix &logits) const
+{
+    std::vector<bool> out(logits.rows());
+    for (size_t r = 0; r < logits.rows(); ++r)
+        out[r] = isDrift(logits.rowVec(r));
+    return out;
+}
+
+} // namespace nazar::detect

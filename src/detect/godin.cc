@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Implementation of the GOdin-style detector.
+ */
+#include "godin.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "nn/loss.h"
+
+namespace nazar::detect {
+
+GOdinDetector::GOdinDetector(nn::Classifier &model, double threshold,
+                             double epsilon, double temperature)
+    : model_(&model), threshold_(threshold), epsilon_(epsilon),
+      temperature_(temperature)
+{
+    NAZAR_CHECK(threshold >= 0.0 && threshold <= 1.0,
+                "threshold must be in [0, 1]");
+    NAZAR_CHECK(epsilon >= 0.0, "epsilon must be non-negative");
+    NAZAR_CHECK(temperature > 0.0, "temperature must be positive");
+}
+
+double
+GOdinDetector::score(const std::vector<double> &features) const
+{
+    NAZAR_CHECK(features.size() == model_->inputDim(),
+                "feature width mismatch");
+    nn::Matrix x = nn::Matrix::rowVector(features);
+
+    // Pass 1: forward, temperature-scaled confidence loss.
+    nn::Matrix z = model_->net().forward(x, nn::Mode::kEval);
+    nn::Matrix zt = z * (1.0 / temperature_);
+    nn::Matrix p = nn::softmax(zt);
+    size_t top = zt.argmaxRow(0);
+
+    // Pass 2: backward of L = -log p_top w.r.t. the input. dL/dz_c =
+    // (p_c - 1[c == top]) / T.
+    nn::Matrix grad_logits(1, z.cols());
+    for (size_t c = 0; c < z.cols(); ++c) {
+        grad_logits(0, c) =
+            (p(0, c) - (c == top ? 1.0 : 0.0)) / temperature_;
+    }
+    nn::Matrix grad_input =
+        model_->net().backward(grad_logits, nn::Mode::kEval);
+
+    // Perturb against the gradient: nudge the input toward higher
+    // confidence. In-distribution inputs respond strongly; drifted
+    // ones don't.
+    nn::Matrix perturbed = x;
+    for (size_t c = 0; c < perturbed.cols(); ++c) {
+        double g = grad_input(0, c);
+        double step = g > 0.0 ? -epsilon_ : (g < 0.0 ? epsilon_ : 0.0);
+        perturbed(0, c) += step;
+    }
+
+    // Pass 3: forward on the perturbed input.
+    nn::Matrix z2 = model_->net().forward(perturbed, nn::Mode::kEval);
+    return nn::maxSoftmax(z2 * (1.0 / temperature_))[0];
+}
+
+bool
+GOdinDetector::isDrift(const std::vector<double> &features) const
+{
+    return score(features) < threshold_;
+}
+
+std::string
+GOdinDetector::name() const
+{
+    return "godin@" + std::to_string(threshold_);
+}
+
+} // namespace nazar::detect

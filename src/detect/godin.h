@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Generalized-ODIN-style detector (Hsu et al. 2020) — implemented to
+ * reproduce the paper's §3.2.1 cost argument: the method needs "an
+ * extra step of backpropagation after the softmax values are read ...
+ * followed by another step of inference on the perturbed input", which
+ * "triples the inference time" and is why Nazar rejects it for
+ * on-device use.
+ *
+ * Unlike the score-threshold detectors, GOdin is *not* a pure function
+ * of the logits: it needs the model itself (for the input-gradient
+ * perturbation), which is exactly the deployment problem.
+ */
+#ifndef NAZAR_DETECT_GODIN_H
+#define NAZAR_DETECT_GODIN_H
+
+#include <string>
+#include <vector>
+
+#include "nn/classifier.h"
+
+namespace nazar::detect {
+
+/** Input-perturbation confidence detector (ODIN / Generalized ODIN). */
+class GOdinDetector
+{
+  public:
+    /**
+     * @param model       The deployed classifier (held by reference;
+     *                    the detector never modifies it).
+     * @param threshold   Flag drift when the perturbed, temperature-
+     *                    scaled confidence falls below this.
+     * @param epsilon     Input-perturbation magnitude.
+     * @param temperature Softmax temperature (> 1 flattens).
+     */
+    GOdinDetector(nn::Classifier &model, double threshold,
+                  double epsilon = 0.02, double temperature = 2.0);
+
+    /** Drift verdict for one input feature vector. */
+    bool isDrift(const std::vector<double> &features) const;
+
+    /**
+     * The detector's confidence score: max softmax(z'/T) of the
+     * *perturbed* input (three model passes: forward, backward,
+     * forward).
+     */
+    double score(const std::vector<double> &features) const;
+
+    /** Model passes per detection (the paper's 3x cost claim). */
+    static constexpr int kPassesPerInference = 3;
+
+    std::string name() const;
+
+    double threshold() const { return threshold_; }
+
+  private:
+    nn::Classifier *model_;
+    double threshold_;
+    double epsilon_;
+    double temperature_;
+};
+
+} // namespace nazar::detect
+
+#endif // NAZAR_DETECT_GODIN_H

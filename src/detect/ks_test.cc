@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Implementation of the KS-test batch detector.
+ */
+#include "ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace nazar::detect {
+
+double
+ksStatistic(std::vector<double> a, std::vector<double> b)
+{
+    NAZAR_CHECK(!a.empty() && !b.empty(),
+                "KS statistic needs non-empty samples");
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    size_t i = 0, j = 0;
+    double d = 0.0;
+    double na = static_cast<double>(a.size());
+    double nb = static_cast<double>(b.size());
+    while (i < a.size() && j < b.size()) {
+        double va = a[i], vb = b[j];
+        // Consume all duplicates of the smaller value from both sides
+        // so ties advance the two CDFs together.
+        if (va <= vb)
+            while (i < a.size() && a[i] == va)
+                ++i;
+        if (vb <= va)
+            while (j < b.size() && b[j] == vb)
+                ++j;
+        double fa = static_cast<double>(i) / na;
+        double fb = static_cast<double>(j) / nb;
+        d = std::max(d, std::fabs(fa - fb));
+    }
+    return d;
+}
+
+double
+ksPValue(double statistic, size_t n, size_t m)
+{
+    NAZAR_CHECK(n > 0 && m > 0, "KS p-value needs sample sizes");
+    double en = std::sqrt(static_cast<double>(n) *
+                          static_cast<double>(m) /
+                          static_cast<double>(n + m));
+    // Stephens' approximation improves small-sample accuracy.
+    double lambda = (en + 0.12 + 0.11 / en) * statistic;
+    if (lambda < 1e-12)
+        return 1.0;
+    // Kolmogorov tail sum Q(lambda) = 2 sum_{k>=1} (-1)^{k-1}
+    // exp(-2 k^2 lambda^2).
+    double sum = 0.0;
+    double sign = 1.0;
+    for (int k = 1; k <= 100; ++k) {
+        double term = std::exp(-2.0 * k * k * lambda * lambda);
+        sum += sign * term;
+        if (term < 1e-12)
+            break;
+        sign = -sign;
+    }
+    return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsTestDetector::KsTestDetector(std::vector<double> reference, double alpha)
+    : reference_(std::move(reference)), alpha_(alpha)
+{
+    NAZAR_CHECK(!reference_.empty(), "KS detector needs a reference");
+    NAZAR_CHECK(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    std::sort(reference_.begin(), reference_.end());
+}
+
+double
+KsTestDetector::statistic(const std::vector<double> &batch_scores) const
+{
+    return ksStatistic(reference_, batch_scores);
+}
+
+double
+KsTestDetector::pValue(const std::vector<double> &batch_scores) const
+{
+    return ksPValue(statistic(batch_scores), reference_.size(),
+                    batch_scores.size());
+}
+
+bool
+KsTestDetector::isDriftBatch(const std::vector<double> &batch_scores) const
+{
+    return pValue(batch_scores) < alpha_;
+}
+
+std::string
+KsTestDetector::name() const
+{
+    return "ks-test@" + std::to_string(alpha_);
+}
+
+} // namespace nazar::detect

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Two-sample Kolmogorov-Smirnov drift detection on batches of MSP
+ * scores (paper §3.2.1, "Statistical test on a batch of outputs").
+ *
+ * Following Rabanser et al. ("Failing Loudly"), the KS test compares
+ * the empirical CDF of a batch of softmax scores from inference
+ * against a reference sample collected on clean (training-time)
+ * data; the whole batch is flagged as drifted when the KS statistic
+ * exceeds the significance threshold.
+ */
+#ifndef NAZAR_DETECT_KS_TEST_H
+#define NAZAR_DETECT_KS_TEST_H
+
+#include <string>
+#include <vector>
+
+namespace nazar::detect {
+
+/**
+ * Two-sample KS statistic: sup_x |F1(x) - F2(x)| of the empirical
+ * CDFs. Both samples must be non-empty.
+ */
+double ksStatistic(std::vector<double> a, std::vector<double> b);
+
+/**
+ * Asymptotic p-value of a two-sample KS statistic via the Kolmogorov
+ * distribution.
+ */
+double ksPValue(double statistic, size_t n, size_t m);
+
+/** Batched drift detector based on the two-sample KS test. */
+class KsTestDetector
+{
+  public:
+    /**
+     * @param reference Clean-data score sample (e.g. MSP scores of the
+     *                  validation set under the deployed model).
+     * @param alpha     Significance level; the batch is drifted when
+     *                  p-value < alpha.
+     */
+    KsTestDetector(std::vector<double> reference, double alpha = 0.05);
+
+    /** True when the batch's score distribution diverges from clean. */
+    bool isDriftBatch(const std::vector<double> &batch_scores) const;
+
+    /** KS statistic of a batch vs. the reference. */
+    double statistic(const std::vector<double> &batch_scores) const;
+
+    /** p-value of a batch vs. the reference. */
+    double pValue(const std::vector<double> &batch_scores) const;
+
+    double alpha() const { return alpha_; }
+    size_t referenceSize() const { return reference_.size(); }
+
+    std::string name() const;
+
+  private:
+    std::vector<double> reference_; ///< Sorted clean scores.
+    double alpha_;
+};
+
+} // namespace nazar::detect
+
+#endif // NAZAR_DETECT_KS_TEST_H

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Implementation of the Mahalanobis detector.
+ */
+#include "mahalanobis.h"
+
+#include <limits>
+#include <map>
+
+#include "common/error.h"
+
+namespace nazar::detect {
+
+MahalanobisDetector::MahalanobisDetector(const nn::Matrix &x,
+                                         const std::vector<int> &labels,
+                                         double max_distance2,
+                                         double ridge)
+    : maxDistance2_(max_distance2)
+{
+    NAZAR_CHECK(x.rows() == labels.size(), "label count mismatch");
+    NAZAR_CHECK(x.rows() >= 2, "need at least two training samples");
+    NAZAR_CHECK(max_distance2 > 0.0, "threshold must be positive");
+
+    const size_t d = x.cols();
+
+    // Per-class means.
+    std::map<int, std::pair<std::vector<double>, size_t>> sums;
+    for (size_t r = 0; r < x.rows(); ++r) {
+        auto &entry = sums[labels[r]];
+        if (entry.first.empty())
+            entry.first.assign(d, 0.0);
+        for (size_t c = 0; c < d; ++c)
+            entry.first[c] += x(r, c);
+        ++entry.second;
+    }
+    std::map<int, size_t> class_index;
+    for (auto &[cls, entry] : sums) {
+        for (auto &v : entry.first)
+            v /= static_cast<double>(entry.second);
+        class_index[cls] = means_.size();
+        means_.push_back(entry.first);
+    }
+
+    // Shared covariance of the centered data, ridge-regularized.
+    nn::Matrix cov(d, d);
+    for (size_t r = 0; r < x.rows(); ++r) {
+        const auto &mean = means_[class_index[labels[r]]];
+        for (size_t i = 0; i < d; ++i) {
+            double di = x(r, i) - mean[i];
+            for (size_t j = 0; j <= i; ++j) {
+                double dj = x(r, j) - mean[j];
+                cov(i, j) += di * dj;
+            }
+        }
+    }
+    double inv_n = 1.0 / static_cast<double>(x.rows());
+    for (size_t i = 0; i < d; ++i) {
+        for (size_t j = 0; j <= i; ++j) {
+            cov(i, j) *= inv_n;
+            cov(j, i) = cov(i, j);
+        }
+        cov(i, i) += ridge;
+    }
+    choleskyL_ = cov.choleskyFactor();
+}
+
+double
+MahalanobisDetector::minDistance2(const std::vector<double> &features)
+    const
+{
+    NAZAR_CHECK(features.size() == choleskyL_.rows(),
+                "feature width mismatch");
+    double best = std::numeric_limits<double>::infinity();
+    std::vector<double> delta(features.size());
+    for (const auto &mean : means_) {
+        for (size_t c = 0; c < features.size(); ++c)
+            delta[c] = features[c] - mean[c];
+        // d2 = delta^T Sigma^-1 delta = delta . solve(Sigma, delta).
+        std::vector<double> solved = choleskyL_.choleskySolve(delta);
+        double d2 = 0.0;
+        for (size_t c = 0; c < delta.size(); ++c)
+            d2 += delta[c] * solved[c];
+        best = std::min(best, d2);
+    }
+    return best;
+}
+
+double
+MahalanobisDetector::score(const std::vector<double> &features) const
+{
+    return -minDistance2(features);
+}
+
+bool
+MahalanobisDetector::isDrift(const std::vector<double> &features) const
+{
+    return minDistance2(features) > maxDistance2_;
+}
+
+std::string
+MahalanobisDetector::name() const
+{
+    return "mahalanobis@" + std::to_string(maxDistance2_);
+}
+
+} // namespace nazar::detect

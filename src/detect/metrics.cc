@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Implementation of detector evaluation.
+ */
+#include "metrics.h"
+
+#include "common/error.h"
+
+namespace nazar::detect {
+
+ConfusionCounts
+evaluateDetector(const Detector &detector, const nn::Matrix &logits,
+                 const std::vector<bool> &true_drift)
+{
+    NAZAR_CHECK(logits.rows() == true_drift.size(),
+                "ground-truth size mismatch");
+    ConfusionCounts counts;
+    for (size_t r = 0; r < logits.rows(); ++r)
+        counts.add(detector.isDrift(logits.rowVec(r)), true_drift[r]);
+    return counts;
+}
+
+ConfusionCounts
+evaluateKsDetector(const KsTestDetector &detector,
+                   const std::vector<double> &scores,
+                   const std::vector<bool> &true_drift, size_t batch_size)
+{
+    NAZAR_CHECK(scores.size() == true_drift.size(),
+                "ground-truth size mismatch");
+    NAZAR_CHECK(batch_size >= 1, "batch size must be >= 1");
+    ConfusionCounts counts;
+    for (size_t start = 0; start < scores.size(); start += batch_size) {
+        size_t end = std::min(scores.size(), start + batch_size);
+        std::vector<double> batch(scores.begin() + start,
+                                  scores.begin() + end);
+        bool flagged = detector.isDriftBatch(batch);
+        for (size_t i = start; i < end; ++i)
+            counts.add(flagged, true_drift[i]);
+    }
+    return counts;
+}
+
+double
+detectionRate(const Detector &detector, const nn::Matrix &logits)
+{
+    if (logits.rows() == 0)
+        return 0.0;
+    size_t flagged = 0;
+    for (size_t r = 0; r < logits.rows(); ++r)
+        if (detector.isDrift(logits.rowVec(r)))
+            ++flagged;
+    return static_cast<double>(flagged) /
+           static_cast<double>(logits.rows());
+}
+
+} // namespace nazar::detect

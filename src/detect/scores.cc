@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Implementation of the score-threshold detectors.
+ */
+#include "scores.h"
+
+#include "common/error.h"
+#include "nn/loss.h"
+
+namespace nazar::detect {
+
+namespace {
+
+nn::Matrix
+asRow(const std::vector<double> &logit_row)
+{
+    return nn::Matrix::rowVector(logit_row);
+}
+
+} // namespace
+
+MspDetector::MspDetector(double threshold) : threshold_(threshold)
+{
+    NAZAR_CHECK(threshold >= 0.0 && threshold <= 1.0,
+                "MSP threshold must be in [0, 1]");
+}
+
+bool
+MspDetector::isDrift(const std::vector<double> &logit_row) const
+{
+    return score(logit_row) < threshold_;
+}
+
+double
+MspDetector::score(const std::vector<double> &logit_row) const
+{
+    return nn::maxSoftmax(asRow(logit_row))[0];
+}
+
+std::string
+MspDetector::name() const
+{
+    return "msp@" + std::to_string(threshold_);
+}
+
+EntropyDetector::EntropyDetector(double max_entropy)
+    : maxEntropy_(max_entropy)
+{
+    NAZAR_CHECK(max_entropy >= 0.0, "entropy threshold must be >= 0");
+}
+
+bool
+EntropyDetector::isDrift(const std::vector<double> &logit_row) const
+{
+    return nn::softmaxEntropy(asRow(logit_row))[0] > maxEntropy_;
+}
+
+double
+EntropyDetector::score(const std::vector<double> &logit_row) const
+{
+    return -nn::softmaxEntropy(asRow(logit_row))[0];
+}
+
+std::string
+EntropyDetector::name() const
+{
+    return "entropy@" + std::to_string(maxEntropy_);
+}
+
+EnergyDetector::EnergyDetector(double max_energy) : maxEnergy_(max_energy)
+{
+}
+
+bool
+EnergyDetector::isDrift(const std::vector<double> &logit_row) const
+{
+    return nn::energyScore(asRow(logit_row))[0] > maxEnergy_;
+}
+
+double
+EnergyDetector::score(const std::vector<double> &logit_row) const
+{
+    return -nn::energyScore(asRow(logit_row))[0];
+}
+
+std::string
+EnergyDetector::name() const
+{
+    return "energy@" + std::to_string(maxEnergy_);
+}
+
+} // namespace nazar::detect

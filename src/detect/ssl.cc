@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Implementation of the SSL auxiliary-task detector.
+ */
+#include "ssl.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "nn/loss.h"
+
+namespace nazar::detect {
+
+std::vector<double>
+sslTransform(const std::vector<double> &x, int k)
+{
+    NAZAR_CHECK(k >= 0 && k < kSslTransforms, "transform out of range");
+    std::vector<double> y = x;
+    switch (k) {
+      case 0:
+        break; // identity
+      case 1:
+        std::reverse(y.begin(), y.end());
+        break;
+      case 2:
+        for (auto &e : y)
+            e = -e;
+        break;
+      case 3: {
+        // Cyclic shift by half the width.
+        std::rotate(y.begin(),
+                    y.begin() + static_cast<long>(y.size() / 2),
+                    y.end());
+        break;
+      }
+      default:
+        break;
+    }
+    return y;
+}
+
+SslDetector::SslDetector(const nn::Matrix &clean_x, double threshold,
+                         uint64_t seed, int epochs)
+    : threshold_(threshold)
+{
+    NAZAR_CHECK(clean_x.rows() >= 8, "need clean training data");
+    NAZAR_CHECK(threshold >= 0.0 && threshold <= 1.0,
+                "threshold must be in [0, 1]");
+
+    // Build the auxiliary training set: every clean sample under every
+    // transform, labeled by transform id.
+    nn::Matrix aux_x(clean_x.rows() * kSslTransforms, clean_x.cols());
+    std::vector<int> aux_y(clean_x.rows() * kSslTransforms);
+    for (size_t r = 0; r < clean_x.rows(); ++r) {
+        for (int k = 0; k < kSslTransforms; ++k) {
+            aux_x.setRow(r * kSslTransforms + static_cast<size_t>(k),
+                         sslTransform(clean_x.rowVec(r), k));
+            aux_y[r * kSslTransforms + static_cast<size_t>(k)] = k;
+        }
+    }
+
+    aux_ = std::make_unique<nn::Classifier>(
+        nn::Architecture::kResNet18, clean_x.cols(),
+        static_cast<size_t>(kSslTransforms), seed);
+    nn::TrainConfig tc;
+    tc.epochs = epochs;
+    tc.seed = seed;
+    aux_->trainSupervised(aux_x, aux_y, tc);
+}
+
+double
+SslDetector::score(const std::vector<double> &features) const
+{
+    double total = 0.0;
+    for (int k = 0; k < kSslTransforms; ++k) {
+        nn::Matrix z = aux_->logits(
+            nn::Matrix::rowVector(sslTransform(features, k)));
+        nn::Matrix p = nn::softmax(z);
+        total += p(0, static_cast<size_t>(k));
+    }
+    return total / kSslTransforms;
+}
+
+bool
+SslDetector::isDrift(const std::vector<double> &features) const
+{
+    return score(features) < threshold_;
+}
+
+double
+SslDetector::auxiliaryAccuracy(const nn::Matrix &clean_x) const
+{
+    size_t correct = 0, total = 0;
+    for (size_t r = 0; r < clean_x.rows(); ++r) {
+        for (int k = 0; k < kSslTransforms; ++k) {
+            int pred =
+                aux_->predictOne(sslTransform(clean_x.rowVec(r), k));
+            correct += pred == k ? 1 : 0;
+            ++total;
+        }
+    }
+    return total ? static_cast<double>(correct) / total : 0.0;
+}
+
+std::string
+SslDetector::name() const
+{
+    return "ssl@" + std::to_string(threshold_);
+}
+
+} // namespace nazar::detect

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Implementation of CSV import/export.
+ */
+#include "csv.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace nazar::driftlog {
+
+std::string
+csvEscape(const std::string &cell)
+{
+    bool needs_quotes =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::vector<std::string>
+csvSplit(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string current;
+    bool in_quotes = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    current += '"';
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                current += c;
+            }
+        } else if (c == '"') {
+            in_quotes = true;
+        } else if (c == ',') {
+            cells.push_back(std::move(current));
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    NAZAR_CHECK(!in_quotes, "unterminated quoted cell in CSV");
+    cells.push_back(std::move(current));
+    return cells;
+}
+
+Value
+parseCell(const std::string &cell, ValueType type)
+{
+    if (cell.empty())
+        return Value();
+    try {
+        switch (type) {
+          case ValueType::kNull:
+            return Value();
+          case ValueType::kInt:
+            return Value(static_cast<int64_t>(std::stoll(cell)));
+          case ValueType::kDouble:
+            return Value(std::stod(cell));
+          case ValueType::kBool:
+            if (cell == "true" || cell == "1")
+                return Value(true);
+            if (cell == "false" || cell == "0")
+                return Value(false);
+            throw NazarError("not a boolean: " + cell);
+          case ValueType::kString:
+            return Value(cell);
+        }
+    } catch (const std::invalid_argument &) {
+        throw NazarError("unparsable cell: " + cell);
+    } catch (const std::out_of_range &) {
+        throw NazarError("out-of-range cell: " + cell);
+    }
+    throw NazarError("unknown value type");
+}
+
+void
+writeCsv(const Table &table, std::ostream &os)
+{
+    const Schema &schema = table.schema();
+    for (size_t c = 0; c < schema.columnCount(); ++c)
+        os << (c ? "," : "") << csvEscape(schema.column(c).name);
+    os << "\n";
+    for (size_t r = 0; r < table.rowCount(); ++r) {
+        for (size_t c = 0; c < schema.columnCount(); ++c) {
+            const Value &v = table.at(r, c);
+            os << (c ? "," : "")
+               << csvEscape(v.isNull() ? "" : v.toString());
+        }
+        os << "\n";
+    }
+}
+
+Table
+readCsv(const Schema &schema, std::istream &is)
+{
+    std::string line;
+    NAZAR_CHECK(static_cast<bool>(std::getline(is, line)),
+                "CSV stream is empty");
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    auto header = csvSplit(line);
+    NAZAR_CHECK(header.size() == schema.columnCount(),
+                "CSV header width does not match schema");
+    for (size_t c = 0; c < header.size(); ++c)
+        NAZAR_CHECK(header[c] == schema.column(c).name,
+                    "CSV header mismatch at column " +
+                        std::to_string(c) + ": " + header[c]);
+
+    Table table(schema);
+    while (std::getline(is, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        auto cells = csvSplit(line);
+        NAZAR_CHECK(cells.size() == schema.columnCount(),
+                    "CSV row width does not match schema");
+        Row row;
+        row.reserve(cells.size());
+        for (size_t c = 0; c < cells.size(); ++c)
+            row.push_back(parseCell(cells[c], schema.column(c).type));
+        table.append(row);
+    }
+    return table;
+}
+
+} // namespace nazar::driftlog

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * CSV import/export for drift-log tables.
+ *
+ * Gives the drift log durable, interoperable persistence (the cloud
+ * prototype's Aurora tables can be dumped/loaded as CSV) and feeds the
+ * `nazar_ops` command-line tool.
+ *
+ * Format: header row with column names; RFC-4180-style quoting (cells
+ * containing commas, quotes or newlines are wrapped in double quotes,
+ * embedded quotes doubled). Cell types come from the target schema on
+ * import; empty unquoted cells load as NULL.
+ */
+#ifndef NAZAR_DRIFTLOG_CSV_H
+#define NAZAR_DRIFTLOG_CSV_H
+
+#include <iosfwd>
+
+#include "driftlog/table.h"
+
+namespace nazar::driftlog {
+
+/** Write a table as CSV (header + rows). */
+void writeCsv(const Table &table, std::ostream &os);
+
+/**
+ * Read a CSV stream into a table with the given schema. The header
+ * must match the schema's column names exactly (same order).
+ * @throws NazarError on malformed input or unparsable cells.
+ */
+Table readCsv(const Schema &schema, std::istream &is);
+
+/** Escape one cell for CSV output. */
+std::string csvEscape(const std::string &cell);
+
+/** Split one CSV line into cells (handles quoting). */
+std::vector<std::string> csvSplit(const std::string &line);
+
+/** Parse a cell string into a Value of the given type. */
+Value parseCell(const std::string &cell, ValueType type);
+
+} // namespace nazar::driftlog
+
+#endif // NAZAR_DRIFTLOG_CSV_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Implementation of the drift-log facade.
+ */
+#include "drift_log.h"
+
+namespace nazar::driftlog {
+
+namespace {
+
+Schema
+canonicalSchema()
+{
+    return Schema({
+        {columns::kDay, ValueType::kInt},
+        {columns::kTime, ValueType::kString},
+        {columns::kDeviceId, ValueType::kString},
+        {columns::kDeviceModel, ValueType::kString},
+        {columns::kLocation, ValueType::kString},
+        {columns::kWeather, ValueType::kString},
+        {columns::kModelVersion, ValueType::kInt},
+        {columns::kDrift, ValueType::kBool},
+    });
+}
+
+} // namespace
+
+DriftLog::DriftLog() : table_(canonicalSchema())
+{
+}
+
+void
+DriftLog::add(const DriftLogEntry &entry)
+{
+    table_.append(Row{
+        Value(static_cast<int64_t>(entry.time.dayIndex())),
+        Value(entry.time.toDateTimeString()),
+        Value(entry.deviceId),
+        Value(entry.deviceModel),
+        Value(entry.location),
+        Value(entry.weather),
+        Value(entry.modelVersion),
+        Value(entry.drift),
+    });
+}
+
+size_t
+DriftLog::driftCount() const
+{
+    return query().where(columns::kDrift, Value(true)).count();
+}
+
+std::vector<std::string>
+DriftLog::defaultAttributeColumns()
+{
+    return {columns::kWeather, columns::kLocation, columns::kDeviceId,
+            columns::kDeviceModel};
+}
+
+DriftLogEntry
+DriftLog::entry(size_t row) const
+{
+    DriftLogEntry e;
+    e.time = SimDate(
+        static_cast<int>(table_.at(row, columns::kDay).asInt()));
+    e.deviceId = table_.at(row, columns::kDeviceId).asString();
+    e.deviceModel = table_.at(row, columns::kDeviceModel).asString();
+    e.location = table_.at(row, columns::kLocation).asString();
+    e.weather = table_.at(row, columns::kWeather).asString();
+    e.modelVersion = table_.at(row, columns::kModelVersion).asInt();
+    e.drift = table_.at(row, columns::kDrift).asBool();
+    return e;
+}
+
+} // namespace nazar::driftlog

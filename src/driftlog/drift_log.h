@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The drift log: the cloud database of on-device detection results
+ * (paper §3.3, Table 2).
+ *
+ * Each inference on a device produces one entry: detection verdict
+ * plus metadata attributes (time, device, location, weather, model
+ * version). The root-cause analyzer mines this table.
+ */
+#ifndef NAZAR_DRIFTLOG_DRIFT_LOG_H
+#define NAZAR_DRIFTLOG_DRIFT_LOG_H
+
+#include <string>
+#include <vector>
+
+#include "common/sim_date.h"
+#include "driftlog/query.h"
+#include "driftlog/table.h"
+
+namespace nazar::driftlog {
+
+/** One drift-log record, mirroring the paper's Table 2 schema. */
+struct DriftLogEntry
+{
+    SimDate time;
+    std::string deviceId;    ///< e.g. "android_42".
+    std::string deviceModel; ///< Hardware model attribute.
+    std::string location;    ///< e.g. "new_york".
+    std::string weather;     ///< e.g. "snow" (cloud-enriched metadata).
+    int64_t modelVersion = 0;
+    bool drift = false;      ///< On-device detector verdict.
+};
+
+/** Column names of the drift log's canonical schema. */
+namespace columns {
+inline constexpr const char *kDay = "day";
+inline constexpr const char *kTime = "time";
+inline constexpr const char *kDeviceId = "device_id";
+inline constexpr const char *kDeviceModel = "device_model";
+inline constexpr const char *kLocation = "location";
+inline constexpr const char *kWeather = "weather";
+inline constexpr const char *kModelVersion = "model_version";
+inline constexpr const char *kDrift = "drift";
+} // namespace columns
+
+/** Ingestion facade over the column store with the canonical schema. */
+class DriftLog
+{
+  public:
+    DriftLog();
+
+    /** Ingest one entry. */
+    void add(const DriftLogEntry &entry);
+
+    /** Number of entries. */
+    size_t size() const { return table_.rowCount(); }
+
+    /** Number of entries flagged as drift. */
+    size_t driftCount() const;
+
+    /** Drop all entries (e.g. at an analysis-window boundary). */
+    void clear() { table_.clear(); }
+
+    const Table &table() const { return table_; }
+
+    /** Start a query over the log. */
+    Query query() const { return Query(table_); }
+
+    /**
+     * The metadata attributes root-cause analysis mines by default.
+     * (Time and model version are bookkeeping, not candidate causes.)
+     */
+    static std::vector<std::string> defaultAttributeColumns();
+
+    /** Materialize one row back into an entry. */
+    DriftLogEntry entry(size_t row) const;
+
+  private:
+    Table table_;
+};
+
+} // namespace nazar::driftlog
+
+#endif // NAZAR_DRIFTLOG_DRIFT_LOG_H

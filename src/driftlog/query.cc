@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Implementation of the query layer.
+ */
+#include "query.h"
+
+#include "common/error.h"
+
+namespace nazar::driftlog {
+
+bool
+Condition::matches(const Value &cell) const
+{
+    switch (op) {
+      case CompareOp::kEq: return cell == value;
+      case CompareOp::kNe: return cell != value;
+      case CompareOp::kLt: return cell < value;
+      case CompareOp::kLe: return cell <= value;
+      case CompareOp::kGt: return cell > value;
+      case CompareOp::kGe: return cell >= value;
+    }
+    return false;
+}
+
+Query
+Query::where(const std::string &column, Value value) const
+{
+    return where(column, CompareOp::kEq, std::move(value));
+}
+
+Query
+Query::where(const std::string &column, CompareOp op, Value value) const
+{
+    NAZAR_CHECK(table_->schema().has(column), "no such column: " + column);
+    Query q = *this;
+    q.conditions_.push_back(Condition{column, op, std::move(value)});
+    return q;
+}
+
+std::vector<size_t>
+Query::resolveConditionColumns() const
+{
+    std::vector<size_t> cols;
+    cols.reserve(conditions_.size());
+    for (const auto &cond : conditions_)
+        cols.push_back(table_->schema().indexOf(cond.column));
+    return cols;
+}
+
+bool
+Query::rowMatches(size_t row, const std::vector<size_t> &cond_cols) const
+{
+    for (size_t i = 0; i < conditions_.size(); ++i)
+        if (!conditions_[i].matches(table_->column(cond_cols[i])[row]))
+            return false;
+    return true;
+}
+
+size_t
+Query::count() const
+{
+    auto cols = resolveConditionColumns();
+    size_t n = 0;
+    for (size_t r = 0; r < table_->rowCount(); ++r)
+        if (rowMatches(r, cols))
+            ++n;
+    return n;
+}
+
+std::vector<size_t>
+Query::select() const
+{
+    auto cols = resolveConditionColumns();
+    std::vector<size_t> out;
+    for (size_t r = 0; r < table_->rowCount(); ++r)
+        if (rowMatches(r, cols))
+            out.push_back(r);
+    return out;
+}
+
+std::map<Value, size_t>
+Query::groupByCount(const std::string &column) const
+{
+    size_t group_col = table_->schema().indexOf(column);
+    auto cols = resolveConditionColumns();
+    std::map<Value, size_t> out;
+    const auto &data = table_->column(group_col);
+    for (size_t r = 0; r < table_->rowCount(); ++r)
+        if (rowMatches(r, cols))
+            ++out[data[r]];
+    return out;
+}
+
+std::map<std::vector<Value>, size_t>
+Query::groupByCount(const std::vector<std::string> &columns) const
+{
+    NAZAR_CHECK(!columns.empty(), "group by needs at least one column");
+    std::vector<size_t> group_cols;
+    group_cols.reserve(columns.size());
+    for (const auto &name : columns)
+        group_cols.push_back(table_->schema().indexOf(name));
+    auto cols = resolveConditionColumns();
+    std::map<std::vector<Value>, size_t> out;
+    for (size_t r = 0; r < table_->rowCount(); ++r) {
+        if (!rowMatches(r, cols))
+            continue;
+        std::vector<Value> key;
+        key.reserve(group_cols.size());
+        for (size_t gc : group_cols)
+            key.push_back(table_->column(gc)[r]);
+        ++out[key];
+    }
+    return out;
+}
+
+} // namespace nazar::driftlog

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Relational query layer over the drift-log table.
+ *
+ * Provides the filter / count / group-by-count operations that the
+ * paper's FIM implementation issues as SQL ("a simple SQL Count
+ * aggregation, with appropriate conditions", §4).
+ */
+#ifndef NAZAR_DRIFTLOG_QUERY_H
+#define NAZAR_DRIFTLOG_QUERY_H
+
+#include <functional>
+#include <map>
+
+#include "driftlog/table.h"
+
+namespace nazar::driftlog {
+
+/** Comparison operators for simple predicates. */
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/** One column-vs-constant condition. */
+struct Condition
+{
+    std::string column;
+    CompareOp op = CompareOp::kEq;
+    Value value;
+
+    /** Evaluate against a cell value. */
+    bool matches(const Value &cell) const;
+};
+
+/**
+ * Immutable fluent query builder (each where() returns a new Query),
+ * evaluated lazily by the terminal operations. Conditions are ANDed.
+ */
+class Query
+{
+  public:
+    explicit Query(const Table &table) : table_(&table) {}
+
+    /** AND a column == value condition. */
+    Query where(const std::string &column, Value value) const;
+
+    /** AND a general condition. */
+    Query where(const std::string &column, CompareOp op, Value value) const;
+
+    /** Number of matching rows. */
+    size_t count() const;
+
+    /** Matching row indices, ascending. */
+    std::vector<size_t> select() const;
+
+    /** Count of matching rows per distinct value of @p column. */
+    std::map<Value, size_t> groupByCount(const std::string &column) const;
+
+    /**
+     * Count of matching rows per distinct *combination* of the given
+     * columns (multi-column GROUP BY).
+     */
+    std::map<std::vector<Value>, size_t>
+    groupByCount(const std::vector<std::string> &columns) const;
+
+    const std::vector<Condition> &conditions() const { return conditions_; }
+
+  private:
+    bool rowMatches(size_t row,
+                    const std::vector<size_t> &cond_cols) const;
+
+    /** Resolve condition column names to indices once per evaluation. */
+    std::vector<size_t> resolveConditionColumns() const;
+
+    const Table *table_;
+    std::vector<Condition> conditions_;
+};
+
+} // namespace nazar::driftlog
+
+#endif // NAZAR_DRIFTLOG_QUERY_H

@@ -1,0 +1,519 @@
+/**
+ * @file
+ * Implementation of the SQL dialect: tokenizer, parser, executor.
+ */
+#include "sql.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "common/error.h"
+#include "driftlog/query.h"
+
+namespace nazar::driftlog {
+
+namespace {
+
+// ---- tokenizer ----------------------------------------------------------
+
+enum class TokenKind {
+    kIdent,   ///< bare identifier or keyword
+    kNumber,  ///< integer or double literal
+    kString,  ///< single-quoted string literal
+    kSymbol,  ///< punctuation / operator
+    kEnd,
+};
+
+struct Token
+{
+    TokenKind kind = TokenKind::kEnd;
+    std::string text; ///< Raw text (uppercased for idents? no — raw).
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &src) : src_(src) { advance(); }
+
+    const Token &peek() const { return current_; }
+
+    Token
+    next()
+    {
+        Token t = current_;
+        advance();
+        return t;
+    }
+
+  private:
+    void
+    advance()
+    {
+        while (pos_ < src_.size() &&
+               std::isspace(static_cast<unsigned char>(src_[pos_])))
+            ++pos_;
+        if (pos_ >= src_.size()) {
+            current_ = Token{TokenKind::kEnd, ""};
+            return;
+        }
+        char c = src_[pos_];
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t start = pos_;
+            while (pos_ < src_.size() &&
+                   (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                    src_[pos_] == '_'))
+                ++pos_;
+            current_ =
+                Token{TokenKind::kIdent, src_.substr(start, pos_ - start)};
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '-' && pos_ + 1 < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+            size_t start = pos_;
+            ++pos_;
+            while (pos_ < src_.size() &&
+                   (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+                    src_[pos_] == '.'))
+                ++pos_;
+            current_ =
+                Token{TokenKind::kNumber, src_.substr(start, pos_ - start)};
+            return;
+        }
+        if (c == '\'') {
+            ++pos_;
+            size_t start = pos_;
+            while (pos_ < src_.size() && src_[pos_] != '\'')
+                ++pos_;
+            NAZAR_CHECK(pos_ < src_.size(),
+                        "unterminated string literal in SQL");
+            current_ =
+                Token{TokenKind::kString, src_.substr(start, pos_ - start)};
+            ++pos_; // closing quote
+            return;
+        }
+        // Multi-char operators first.
+        for (const char *op : {"<=", ">=", "!=", "<>"}) {
+            if (src_.compare(pos_, 2, op) == 0) {
+                current_ = Token{TokenKind::kSymbol, op};
+                pos_ += 2;
+                return;
+            }
+        }
+        current_ = Token{TokenKind::kSymbol, std::string(1, c)};
+        ++pos_;
+    }
+
+    const std::string &src_;
+    size_t pos_ = 0;
+    Token current_;
+};
+
+std::string
+upper(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::toupper(c));
+    });
+    return s;
+}
+
+// ---- AST ---------------------------------------------------------------
+
+struct SelectItem
+{
+    bool isCountStar = false;
+    std::string column; ///< When !isCountStar.
+};
+
+struct ParsedQuery
+{
+    std::vector<SelectItem> select;
+    bool selectStar = false;
+    std::string table;
+    std::vector<Condition> where;
+    std::vector<std::string> groupBy;
+    bool hasOrderBy = false;
+    bool orderByCount = false;
+    std::string orderByColumn;
+    bool orderDescending = false;
+    long limit = -1;
+};
+
+// ---- parser -------------------------------------------------------------
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &src) : lexer_(src) {}
+
+    ParsedQuery
+    parse()
+    {
+        ParsedQuery q;
+        expectKeyword("SELECT");
+        parseSelectList(q);
+        expectKeyword("FROM");
+        q.table = expectIdent();
+        if (acceptKeyword("WHERE"))
+            parseWhere(q);
+        if (acceptKeyword("GROUP")) {
+            expectKeyword("BY");
+            q.groupBy.push_back(expectIdent());
+            while (acceptSymbol(","))
+                q.groupBy.push_back(expectIdent());
+        }
+        if (acceptKeyword("ORDER")) {
+            expectKeyword("BY");
+            q.hasOrderBy = true;
+            if (peekKeyword("COUNT")) {
+                parseCountStar();
+                q.orderByCount = true;
+            } else {
+                q.orderByColumn = expectIdent();
+            }
+            if (acceptKeyword("DESC"))
+                q.orderDescending = true;
+            else
+                acceptKeyword("ASC");
+        }
+        if (acceptKeyword("LIMIT")) {
+            Token t = lexer_.next();
+            NAZAR_CHECK(t.kind == TokenKind::kNumber,
+                        "LIMIT expects a number");
+            q.limit = std::stol(t.text);
+            NAZAR_CHECK(q.limit >= 0, "LIMIT must be non-negative");
+        }
+        acceptSymbol(";");
+        NAZAR_CHECK(lexer_.peek().kind == TokenKind::kEnd,
+                    "unexpected trailing SQL: " + lexer_.peek().text);
+        return q;
+    }
+
+  private:
+    void
+    parseSelectList(ParsedQuery &q)
+    {
+        if (acceptSymbol("*")) {
+            q.selectStar = true;
+            return;
+        }
+        do {
+            SelectItem item;
+            if (peekKeyword("COUNT")) {
+                parseCountStar();
+                item.isCountStar = true;
+            } else {
+                item.column = expectIdent();
+            }
+            q.select.push_back(std::move(item));
+        } while (acceptSymbol(","));
+    }
+
+    void
+    parseCountStar()
+    {
+        expectKeyword("COUNT");
+        NAZAR_CHECK(acceptSymbol("("), "expected ( after COUNT");
+        NAZAR_CHECK(acceptSymbol("*"), "expected * in COUNT(*)");
+        NAZAR_CHECK(acceptSymbol(")"), "expected ) after COUNT(*");
+    }
+
+    void
+    parseWhere(ParsedQuery &q)
+    {
+        do {
+            Condition cond;
+            cond.column = expectIdent();
+            cond.op = parseOp();
+            cond.value = parseLiteral();
+            q.where.push_back(std::move(cond));
+        } while (acceptKeyword("AND"));
+    }
+
+    CompareOp
+    parseOp()
+    {
+        Token t = lexer_.next();
+        NAZAR_CHECK(t.kind == TokenKind::kSymbol,
+                    "expected a comparison operator, got: " + t.text);
+        if (t.text == "=")
+            return CompareOp::kEq;
+        if (t.text == "!=" || t.text == "<>")
+            return CompareOp::kNe;
+        if (t.text == "<")
+            return CompareOp::kLt;
+        if (t.text == "<=")
+            return CompareOp::kLe;
+        if (t.text == ">")
+            return CompareOp::kGt;
+        if (t.text == ">=")
+            return CompareOp::kGe;
+        throw NazarError("unknown operator: " + t.text);
+    }
+
+    Value
+    parseLiteral()
+    {
+        Token t = lexer_.next();
+        switch (t.kind) {
+          case TokenKind::kNumber:
+            if (t.text.find('.') != std::string::npos)
+                return Value(std::stod(t.text));
+            return Value(static_cast<int64_t>(std::stoll(t.text)));
+          case TokenKind::kString:
+            return Value(t.text);
+          case TokenKind::kIdent: {
+            std::string u = upper(t.text);
+            if (u == "TRUE")
+                return Value(true);
+            if (u == "FALSE")
+                return Value(false);
+            if (u == "NULL")
+                return Value();
+            throw NazarError("expected a literal, got: " + t.text);
+          }
+          default:
+            throw NazarError("expected a literal, got: " + t.text);
+        }
+    }
+
+    bool
+    peekKeyword(const char *kw) const
+    {
+        return lexer_.peek().kind == TokenKind::kIdent &&
+               upper(lexer_.peek().text) == kw;
+    }
+
+    bool
+    acceptKeyword(const char *kw)
+    {
+        if (peekKeyword(kw)) {
+            lexer_.next();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expectKeyword(const char *kw)
+    {
+        NAZAR_CHECK(acceptKeyword(kw),
+                    std::string("expected ") + kw + ", got: " +
+                        lexer_.peek().text);
+    }
+
+    bool
+    acceptSymbol(const char *sym)
+    {
+        if (lexer_.peek().kind == TokenKind::kSymbol &&
+            lexer_.peek().text == sym) {
+            lexer_.next();
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    expectIdent()
+    {
+        Token t = lexer_.next();
+        NAZAR_CHECK(t.kind == TokenKind::kIdent,
+                    "expected an identifier, got: " + t.text);
+        return t.text;
+    }
+
+    Lexer lexer_;
+};
+
+} // namespace
+
+// ---- result helpers ------------------------------------------------------
+
+size_t
+SqlResult::columnIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < columns.size(); ++i)
+        if (columns[i] == name)
+            return i;
+    throw NazarError("no such result column: " + name);
+}
+
+const Value &
+SqlResult::at(size_t row, const std::string &column) const
+{
+    NAZAR_CHECK(row < rows.size(), "result row out of range");
+    return rows[row][columnIndex(column)];
+}
+
+std::string
+SqlResult::toString() const
+{
+    std::vector<size_t> widths(columns.size());
+    for (size_t c = 0; c < columns.size(); ++c)
+        widths[c] = columns[c].size();
+    std::vector<std::vector<std::string>> rendered;
+    for (const auto &row : rows) {
+        std::vector<std::string> cells;
+        for (size_t c = 0; c < row.size(); ++c) {
+            cells.push_back(row[c].toString());
+            widths[c] = std::max(widths[c], cells.back().size());
+        }
+        rendered.push_back(std::move(cells));
+    }
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << (c ? " | " : "") << cells[c]
+               << std::string(widths[c] - cells[c].size(), ' ');
+        }
+        os << "\n";
+    };
+    emit(columns);
+    for (const auto &cells : rendered)
+        emit(cells);
+    return os.str();
+}
+
+// ---- executor -------------------------------------------------------------
+
+SqlResult
+executeSql(const Table &table, const std::string &table_name,
+           const std::string &query_text)
+{
+    ParsedQuery parsed = Parser(query_text).parse();
+    NAZAR_CHECK(parsed.table == table_name,
+                "unknown table: " + parsed.table);
+
+    // Validate referenced columns.
+    auto check_col = [&](const std::string &name) {
+        NAZAR_CHECK(table.schema().has(name), "no such column: " + name);
+    };
+    for (const auto &item : parsed.select)
+        if (!item.isCountStar)
+            check_col(item.column);
+    for (const auto &col : parsed.groupBy)
+        check_col(col);
+    if (parsed.hasOrderBy && !parsed.orderByCount)
+        check_col(parsed.orderByColumn);
+
+    // WHERE filtering via the query layer.
+    Query q(table);
+    for (const auto &cond : parsed.where)
+        q = q.where(cond.column, cond.op, cond.value);
+    std::vector<size_t> row_ids = q.select();
+
+    SqlResult result;
+
+    if (!parsed.groupBy.empty()) {
+        // Grouped: selected columns must be group keys or COUNT(*).
+        for (const auto &item : parsed.select) {
+            if (item.isCountStar)
+                continue;
+            bool is_key =
+                std::find(parsed.groupBy.begin(), parsed.groupBy.end(),
+                          item.column) != parsed.groupBy.end();
+            NAZAR_CHECK(is_key, "selected column " + item.column +
+                                    " must appear in GROUP BY");
+        }
+        std::vector<size_t> group_cols;
+        for (const auto &name : parsed.groupBy)
+            group_cols.push_back(table.schema().indexOf(name));
+
+        std::map<std::vector<Value>, size_t> groups;
+        for (size_t r : row_ids) {
+            std::vector<Value> key;
+            key.reserve(group_cols.size());
+            for (size_t gc : group_cols)
+                key.push_back(table.column(gc)[r]);
+            ++groups[key];
+        }
+
+        // Default select list: group keys then COUNT(*).
+        std::vector<SelectItem> items = parsed.select;
+        if (parsed.selectStar || items.empty()) {
+            items.clear();
+            for (const auto &name : parsed.groupBy)
+                items.push_back(SelectItem{false, name});
+            items.push_back(SelectItem{true, ""});
+        }
+        for (const auto &item : items)
+            result.columns.push_back(item.isCountStar ? "count"
+                                                      : item.column);
+
+        for (const auto &[key, count] : groups) {
+            Row row;
+            for (const auto &item : items) {
+                if (item.isCountStar) {
+                    row.push_back(Value(static_cast<int64_t>(count)));
+                } else {
+                    size_t key_pos = static_cast<size_t>(
+                        std::find(parsed.groupBy.begin(),
+                                  parsed.groupBy.end(), item.column) -
+                        parsed.groupBy.begin());
+                    row.push_back(key[key_pos]);
+                }
+            }
+            result.rows.push_back(std::move(row));
+        }
+    } else if (parsed.select.size() == 1 &&
+               parsed.select[0].isCountStar) {
+        // Plain aggregation: SELECT COUNT(*) FROM ...
+        result.columns = {"count"};
+        result.rows.push_back(
+            Row{Value(static_cast<int64_t>(row_ids.size()))});
+    } else {
+        // Plain projection.
+        NAZAR_CHECK(parsed.selectStar ||
+                        std::none_of(parsed.select.begin(),
+                                     parsed.select.end(),
+                                     [](const SelectItem &i) {
+                                         return i.isCountStar;
+                                     }),
+                    "COUNT(*) mixed with columns requires GROUP BY");
+        std::vector<size_t> cols;
+        if (parsed.selectStar) {
+            for (size_t c = 0; c < table.schema().columnCount(); ++c) {
+                cols.push_back(c);
+                result.columns.push_back(table.schema().column(c).name);
+            }
+        } else {
+            for (const auto &item : parsed.select) {
+                cols.push_back(table.schema().indexOf(item.column));
+                result.columns.push_back(item.column);
+            }
+        }
+        for (size_t r : row_ids) {
+            Row row;
+            for (size_t c : cols)
+                row.push_back(table.column(c)[r]);
+            result.rows.push_back(std::move(row));
+        }
+    }
+
+    // ORDER BY over the result rows.
+    if (parsed.hasOrderBy) {
+        size_t key;
+        if (parsed.orderByCount) {
+            key = result.columnIndex("count");
+        } else {
+            key = result.columnIndex(parsed.orderByColumn);
+        }
+        std::stable_sort(result.rows.begin(), result.rows.end(),
+                         [&](const Row &a, const Row &b) {
+                             return parsed.orderDescending
+                                        ? b[key] < a[key]
+                                        : a[key] < b[key];
+                         });
+    }
+
+    if (parsed.limit >= 0 &&
+        result.rows.size() > static_cast<size_t>(parsed.limit))
+        result.rows.resize(static_cast<size_t>(parsed.limit));
+
+    return result;
+}
+
+} // namespace nazar::driftlog

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A small SQL dialect over drift-log tables.
+ *
+ * The paper's prototype runs frequent-itemset mining as "a set of SQL
+ * queries" with Count aggregations against Amazon Aurora (§4). This
+ * module provides the offline equivalent: a tokenizer, a
+ * recursive-descent parser and an executor for the query shapes the
+ * RCA workload needs —
+ *
+ *   SELECT <cols | COUNT(*) | both> FROM <table>
+ *     [WHERE col <op> literal [AND ...]]
+ *     [GROUP BY col [, col ...]]
+ *     [ORDER BY col | COUNT(*) [ASC | DESC]]
+ *     [LIMIT n]
+ *
+ * Operators: = != <> < <= > >=. Literals: integers, doubles,
+ * single-quoted strings, true/false. Keywords are case-insensitive;
+ * identifiers are snake_case column names.
+ */
+#ifndef NAZAR_DRIFTLOG_SQL_H
+#define NAZAR_DRIFTLOG_SQL_H
+
+#include <string>
+#include <vector>
+
+#include "driftlog/table.h"
+
+namespace nazar::driftlog {
+
+/** A query result: named columns over materialized rows. */
+struct SqlResult
+{
+    std::vector<std::string> columns;
+    std::vector<Row> rows;
+
+    size_t rowCount() const { return rows.size(); }
+
+    /** Index of a result column; throws NazarError when absent. */
+    size_t columnIndex(const std::string &name) const;
+
+    /** Cell accessor by result column name. */
+    const Value &at(size_t row, const std::string &column) const;
+
+    /** Render as an aligned ASCII table (for tooling/debugging). */
+    std::string toString() const;
+};
+
+/**
+ * Parse and execute a query against a table.
+ *
+ * @param table      The data.
+ * @param table_name Name the FROM clause must match (e.g. "drift_log").
+ * @param query      The SQL text.
+ * @throws NazarError on syntax errors, unknown columns/tables, or
+ *         type-invalid comparisons.
+ */
+SqlResult executeSql(const Table &table, const std::string &table_name,
+                     const std::string &query);
+
+} // namespace nazar::driftlog
+
+#endif // NAZAR_DRIFTLOG_SQL_H

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Implementation of the column-store table.
+ */
+#include "table.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+
+namespace nazar::driftlog {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns))
+{
+    NAZAR_CHECK(!columns_.empty(), "schema needs at least one column");
+    for (size_t i = 0; i < columns_.size(); ++i)
+        for (size_t j = i + 1; j < columns_.size(); ++j)
+            NAZAR_CHECK(columns_[i].name != columns_[j].name,
+                        "duplicate column name: " + columns_[i].name);
+}
+
+size_t
+Schema::indexOf(const std::string &name) const
+{
+    for (size_t i = 0; i < columns_.size(); ++i)
+        if (columns_[i].name == name)
+            return i;
+    throw NazarError("no such column: " + name);
+}
+
+bool
+Schema::has(const std::string &name) const
+{
+    for (const auto &c : columns_)
+        if (c.name == name)
+            return true;
+    return false;
+}
+
+Table::Table(Schema schema) : schema_(std::move(schema))
+{
+    columns_.resize(schema_.columnCount());
+}
+
+void
+Table::append(const Row &row)
+{
+    NAZAR_CHECK(row.size() == schema_.columnCount(),
+                "row width does not match schema");
+    for (size_t i = 0; i < row.size(); ++i) {
+        if (!row[i].isNull()) {
+            NAZAR_CHECK(row[i].type() == schema_.column(i).type,
+                        "type mismatch in column " +
+                            schema_.column(i).name);
+        }
+    }
+    for (size_t i = 0; i < row.size(); ++i)
+        columns_[i].push_back(row[i]);
+    ++rowCount_;
+}
+
+const Value &
+Table::at(size_t row, size_t col) const
+{
+    NAZAR_CHECK(row < rowCount_, "row out of range");
+    NAZAR_CHECK(col < columns_.size(), "column out of range");
+    return columns_[col][row];
+}
+
+const Value &
+Table::at(size_t row, const std::string &column) const
+{
+    return at(row, schema_.indexOf(column));
+}
+
+Row
+Table::row(size_t r) const
+{
+    NAZAR_CHECK(r < rowCount_, "row out of range");
+    Row out;
+    out.reserve(columns_.size());
+    for (const auto &col : columns_)
+        out.push_back(col[r]);
+    return out;
+}
+
+const std::vector<Value> &
+Table::column(size_t col) const
+{
+    NAZAR_CHECK(col < columns_.size(), "column out of range");
+    return columns_[col];
+}
+
+const std::vector<Value> &
+Table::column(const std::string &name) const
+{
+    return column(schema_.indexOf(name));
+}
+
+std::vector<Value>
+Table::distinct(const std::string &name) const
+{
+    const auto &col = column(name);
+    std::set<Value> seen(col.begin(), col.end());
+    return std::vector<Value>(seen.begin(), seen.end());
+}
+
+void
+Table::clear()
+{
+    for (auto &col : columns_)
+        col.clear();
+    rowCount_ = 0;
+}
+
+} // namespace nazar::driftlog

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Column-store table — the offline stand-in for the Amazon Aurora
+ * drift log (paper §4, "Drift log").
+ *
+ * The root-cause analysis of §3.3 runs as relational scans and
+ * count-aggregations over this table, exactly where the paper issues
+ * SQL queries. Storage is column-major, so scans touch only the
+ * attribute columns FIM cares about; this is what makes the Fig 9d
+ * linear-scaling experiment a property of the real code path.
+ */
+#ifndef NAZAR_DRIFTLOG_TABLE_H
+#define NAZAR_DRIFTLOG_TABLE_H
+
+#include <string>
+#include <vector>
+
+#include "driftlog/value.h"
+
+namespace nazar::driftlog {
+
+/** A column definition. */
+struct ColumnDef
+{
+    std::string name;
+    ValueType type;
+};
+
+/** Ordered set of column definitions. */
+class Schema
+{
+  public:
+    Schema() = default;
+    explicit Schema(std::vector<ColumnDef> columns);
+
+    size_t columnCount() const { return columns_.size(); }
+    const ColumnDef &column(size_t i) const { return columns_.at(i); }
+
+    /** Index of a column by name; throws NazarError when absent. */
+    size_t indexOf(const std::string &name) const;
+
+    /** True when a column with this name exists. */
+    bool has(const std::string &name) const;
+
+    const std::vector<ColumnDef> &columns() const { return columns_; }
+
+  private:
+    std::vector<ColumnDef> columns_;
+};
+
+/** A row as an ordered list of cell values. */
+using Row = std::vector<Value>;
+
+/** Column-major table with append + scan + aggregate operations. */
+class Table
+{
+  public:
+    explicit Table(Schema schema);
+
+    const Schema &schema() const { return schema_; }
+    size_t rowCount() const { return rowCount_; }
+
+    /** Append one row; values must match the schema's types
+     *  (kNull cells are allowed anywhere). */
+    void append(const Row &row);
+
+    /** Cell accessor. */
+    const Value &at(size_t row, size_t col) const;
+
+    /** Cell accessor by column name. */
+    const Value &at(size_t row, const std::string &column) const;
+
+    /** Materialize one row. */
+    Row row(size_t r) const;
+
+    /** Entire column. */
+    const std::vector<Value> &column(size_t col) const;
+    const std::vector<Value> &column(const std::string &name) const;
+
+    /** Distinct values of a column, sorted. */
+    std::vector<Value> distinct(const std::string &column) const;
+
+    /** Remove all rows (schema retained). */
+    void clear();
+
+  private:
+    Schema schema_;
+    size_t rowCount_ = 0;
+    std::vector<std::vector<Value>> columns_;
+};
+
+} // namespace nazar::driftlog
+
+#endif // NAZAR_DRIFTLOG_TABLE_H

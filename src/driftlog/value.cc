@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Implementation of the typed cell value.
+ */
+#include "value.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace nazar::driftlog {
+
+std::string
+toString(ValueType type)
+{
+    switch (type) {
+      case ValueType::kNull:   return "null";
+      case ValueType::kInt:    return "int";
+      case ValueType::kDouble: return "double";
+      case ValueType::kBool:   return "bool";
+      case ValueType::kString: return "string";
+    }
+    return "?";
+}
+
+ValueType
+Value::type() const
+{
+    switch (data_.index()) {
+      case 0: return ValueType::kNull;
+      case 1: return ValueType::kInt;
+      case 2: return ValueType::kDouble;
+      case 3: return ValueType::kBool;
+      case 4: return ValueType::kString;
+    }
+    return ValueType::kNull;
+}
+
+int64_t
+Value::asInt() const
+{
+    NAZAR_CHECK(std::holds_alternative<int64_t>(data_),
+                "value is not an int");
+    return std::get<int64_t>(data_);
+}
+
+double
+Value::asDouble() const
+{
+    if (std::holds_alternative<int64_t>(data_))
+        return static_cast<double>(std::get<int64_t>(data_));
+    NAZAR_CHECK(std::holds_alternative<double>(data_),
+                "value is not a double");
+    return std::get<double>(data_);
+}
+
+bool
+Value::asBool() const
+{
+    NAZAR_CHECK(std::holds_alternative<bool>(data_),
+                "value is not a bool");
+    return std::get<bool>(data_);
+}
+
+const std::string &
+Value::asString() const
+{
+    NAZAR_CHECK(std::holds_alternative<std::string>(data_),
+                "value is not a string");
+    return std::get<std::string>(data_);
+}
+
+std::string
+Value::toString() const
+{
+    switch (type()) {
+      case ValueType::kNull:
+        return "NULL";
+      case ValueType::kInt:
+        return std::to_string(std::get<int64_t>(data_));
+      case ValueType::kDouble: {
+        std::ostringstream os;
+        os << std::get<double>(data_);
+        return os.str();
+      }
+      case ValueType::kBool:
+        return std::get<bool>(data_) ? "true" : "false";
+      case ValueType::kString:
+        return std::get<std::string>(data_);
+    }
+    return "?";
+}
+
+std::strong_ordering
+Value::operator<=>(const Value &other) const
+{
+    if (auto c = data_.index() <=> other.data_.index(); c != 0)
+        return c;
+    switch (type()) {
+      case ValueType::kNull:
+        return std::strong_ordering::equal;
+      case ValueType::kInt:
+        return std::get<int64_t>(data_) <=> std::get<int64_t>(other.data_);
+      case ValueType::kDouble: {
+        double a = std::get<double>(data_);
+        double b = std::get<double>(other.data_);
+        if (a < b)
+            return std::strong_ordering::less;
+        if (a > b)
+            return std::strong_ordering::greater;
+        return std::strong_ordering::equal;
+      }
+      case ValueType::kBool:
+        return std::get<bool>(data_) <=> std::get<bool>(other.data_);
+      case ValueType::kString:
+        return std::get<std::string>(data_) <=>
+               std::get<std::string>(other.data_);
+    }
+    return std::strong_ordering::equal;
+}
+
+std::ostream &
+operator<<(std::ostream &os, const Value &v)
+{
+    return os << v.toString();
+}
+
+} // namespace nazar::driftlog

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Typed cell values of the drift-log column store.
+ */
+#ifndef NAZAR_DRIFTLOG_VALUE_H
+#define NAZAR_DRIFTLOG_VALUE_H
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+
+namespace nazar::driftlog {
+
+/** Column data types supported by the store. */
+enum class ValueType { kNull = 0, kInt, kDouble, kBool, kString };
+
+/** Printable type name. */
+std::string toString(ValueType type);
+
+/** A dynamically typed cell value. */
+class Value
+{
+  public:
+    Value() = default;
+    Value(int64_t v) : data_(v) {}                     // NOLINT(implicit)
+    Value(int v) : data_(static_cast<int64_t>(v)) {}   // NOLINT(implicit)
+    Value(double v) : data_(v) {}                      // NOLINT(implicit)
+    Value(bool v) : data_(v) {}                        // NOLINT(implicit)
+    Value(std::string v) : data_(std::move(v)) {}      // NOLINT(implicit)
+    Value(const char *v) : data_(std::string(v)) {}    // NOLINT(implicit)
+
+    ValueType type() const;
+
+    bool isNull() const { return type() == ValueType::kNull; }
+
+    /** Typed accessors; throw NazarError on type mismatch. */
+    int64_t asInt() const;
+    double asDouble() const;
+    bool asBool() const;
+    const std::string &asString() const;
+
+    /** Render for display / serialization. */
+    std::string toString() const;
+
+    bool operator==(const Value &other) const = default;
+    std::strong_ordering operator<=>(const Value &other) const;
+
+  private:
+    std::variant<std::monostate, int64_t, double, bool, std::string> data_;
+};
+
+std::ostream &operator<<(std::ostream &os, const Value &v);
+
+} // namespace nazar::driftlog
+
+#endif // NAZAR_DRIFTLOG_VALUE_H

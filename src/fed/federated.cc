@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Implementation of federated by-cause adaptation.
+ */
+#include "federated.h"
+
+#include "common/error.h"
+
+namespace nazar::fed {
+
+nn::BnPatch
+aggregatePatches(const std::vector<nn::BnPatch> &patches,
+                 const std::vector<double> &weights)
+{
+    NAZAR_CHECK(!patches.empty(), "nothing to aggregate");
+    NAZAR_CHECK(patches.size() == weights.size(),
+                "one weight per patch required");
+    double total = 0.0;
+    for (double w : weights) {
+        NAZAR_CHECK(w >= 0.0, "weights must be non-negative");
+        total += w;
+    }
+    NAZAR_CHECK(total > 0.0, "weights must not all be zero");
+
+    const size_t layers = patches[0].layerCount();
+    for (const auto &p : patches)
+        NAZAR_CHECK(p.layerCount() == layers, "patch layout mismatch");
+
+    std::vector<nn::BnState> states;
+    states.reserve(layers);
+    for (size_t layer = 0; layer < layers; ++layer) {
+        const nn::BnState &proto = patches[0].state(layer);
+        nn::BnState acc;
+        acc.gamma = nn::Matrix(proto.gamma.rows(), proto.gamma.cols());
+        acc.beta = nn::Matrix(proto.beta.rows(), proto.beta.cols());
+        acc.runningMean = nn::Matrix(proto.runningMean.rows(),
+                                     proto.runningMean.cols());
+        acc.runningVar = nn::Matrix(proto.runningVar.rows(),
+                                    proto.runningVar.cols());
+        for (size_t p = 0; p < patches.size(); ++p) {
+            const nn::BnState &s = patches[p].state(layer);
+            double w = weights[p] / total;
+            NAZAR_CHECK(s.gamma.cols() == acc.gamma.cols(),
+                        "patch tensor shape mismatch");
+            acc.gamma += s.gamma * w;
+            acc.beta += s.beta * w;
+            acc.runningMean += s.runningMean * w;
+            acc.runningVar += s.runningVar * w;
+        }
+        states.push_back(std::move(acc));
+    }
+    return nn::BnPatch::fromStates(std::move(states));
+}
+
+FederatedResult
+federatedAdapt(const FederatedConfig &config, const nn::Classifier &base,
+               const nn::BnPatch &init,
+               const std::vector<DeviceShard> &shards)
+{
+    NAZAR_CHECK(config.rounds >= 1, "need at least one round");
+    FederatedResult result;
+    result.patch = init;
+
+    for (int round = 0; round < config.rounds; ++round) {
+        std::vector<nn::BnPatch> local_patches;
+        std::vector<double> weights;
+        double objective_sum = 0.0;
+        size_t participants = 0;
+        size_t samples = 0;
+
+        for (const auto &shard : shards) {
+            if (shard.samples.size() < config.minDeviceSamples)
+                continue;
+            // Local adaptation: the device clones the base model,
+            // installs the current global patch, and runs TENT on its
+            // private samples.
+            nn::Classifier local = base.clone();
+            local.applyBnPatch(result.patch);
+            adapt::AdaptConfig local_config = config.local;
+            // Decorrelate device-local shuffles.
+            local_config.seed =
+                config.local.seed * 1000003ULL +
+                static_cast<uint64_t>(shard.deviceId) + 17;
+            adapt::TentAdapter tent(local_config);
+            objective_sum += tent.adapt(local, shard.samples.x);
+
+            local_patches.push_back(local.bnPatch());
+            weights.push_back(
+                static_cast<double>(shard.samples.size()));
+            ++participants;
+            samples += shard.samples.size();
+        }
+        if (local_patches.empty())
+            break; // nobody can participate
+        result.patch = aggregatePatches(local_patches, weights);
+        result.roundObjectives.push_back(
+            objective_sum / static_cast<double>(participants));
+        result.participatingDevices = participants;
+        result.totalSamples = samples;
+    }
+    return result;
+}
+
+} // namespace nazar::fed

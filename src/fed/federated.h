@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Federated by-cause adaptation — the extension the paper names as
+ * future work ("Interesting avenues for future work are adapting Nazar
+ * to distributed federated learning", §6).
+ *
+ * In the cloud design, devices upload sampled raw inputs and the cloud
+ * runs TENT. The federated variant keeps raw data on the devices:
+ * every device affected by a root cause adapts a *local copy* of the
+ * current BN patch on its own private samples, and the server
+ * aggregates the resulting patches with a sample-count-weighted
+ * average (the BN-only analog of FedAvg — note that *only* BN state
+ * moves over the network, the same deployment-size win as the cloud
+ * path).
+ */
+#ifndef NAZAR_FED_FEDERATED_H
+#define NAZAR_FED_FEDERATED_H
+
+#include <vector>
+
+#include "adapt/tent.h"
+#include "data/dataset.h"
+#include "nn/classifier.h"
+
+namespace nazar::fed {
+
+/**
+ * Element-wise weighted average of BN patches. All patches must share
+ * a layout; weights must be non-negative with a positive sum.
+ */
+nn::BnPatch aggregatePatches(const std::vector<nn::BnPatch> &patches,
+                             const std::vector<double> &weights);
+
+/** Federated-adaptation knobs. */
+struct FederatedConfig
+{
+    adapt::AdaptConfig local; ///< Per-device TENT configuration.
+    int rounds = 3;           ///< Server aggregation rounds.
+    /** Devices with fewer private samples than this sit a round out
+     *  (BN statistics need a minimal batch). */
+    size_t minDeviceSamples = 8;
+};
+
+/** One participating device's private data. */
+struct DeviceShard
+{
+    int deviceId = 0;
+    data::Dataset samples; ///< Never leaves the device.
+};
+
+/** Outcome of a federated adaptation run. */
+struct FederatedResult
+{
+    nn::BnPatch patch;          ///< The aggregated by-cause patch.
+    size_t participatingDevices = 0;
+    size_t totalSamples = 0;
+    std::vector<double> roundObjectives; ///< Mean TENT loss per round.
+};
+
+/**
+ * Run federated by-cause adaptation.
+ *
+ * @param config Configuration.
+ * @param base   The (frozen) base model; devices clone it locally.
+ * @param init   Starting BN patch (usually the current clean patch).
+ * @param shards Per-device private datasets for the cause.
+ */
+FederatedResult federatedAdapt(const FederatedConfig &config,
+                               const nn::Classifier &base,
+                               const nn::BnPatch &init,
+                               const std::vector<DeviceShard> &shards);
+
+} // namespace nazar::fed
+
+#endif // NAZAR_FED_FEDERATED_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Elementwise activation layers.
+ */
+#ifndef NAZAR_NN_ACTIVATION_H
+#define NAZAR_NN_ACTIVATION_H
+
+#include "nn/layer.h"
+
+namespace nazar::nn {
+
+/** Rectified linear unit: y = max(0, x). */
+class Relu : public Layer
+{
+  public:
+    explicit Relu(size_t features) : features_(features) {}
+
+    Matrix forward(const Matrix &x, Mode mode) override;
+    Matrix backward(const Matrix &grad_out, Mode mode) override;
+    std::vector<Param *> params(Mode mode) override { (void)mode; return {}; }
+    std::string name() const override;
+    size_t outputDim() const override { return features_; }
+
+  private:
+    size_t features_;
+    Matrix lastMask_; ///< 1 where input > 0.
+};
+
+/** Hyperbolic tangent activation. */
+class Tanh : public Layer
+{
+  public:
+    explicit Tanh(size_t features) : features_(features) {}
+
+    Matrix forward(const Matrix &x, Mode mode) override;
+    Matrix backward(const Matrix &grad_out, Mode mode) override;
+    std::vector<Param *> params(Mode mode) override { (void)mode; return {}; }
+    std::string name() const override;
+    size_t outputDim() const override { return features_; }
+
+  private:
+    size_t features_;
+    Matrix lastOutput_; ///< tanh(x), cached for the backward pass.
+};
+
+} // namespace nazar::nn
+
+#endif // NAZAR_NN_ACTIVATION_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * BnPatch — the unit of model versioning in Nazar.
+ *
+ * The paper (§3.4) adapts only the batch-normalization layers of a
+ * model: a deployed "model version" is the set of BN parameters and
+ * statistics, which is two orders of magnitude smaller than the full
+ * model (217x for ResNet50). A BnPatch captures exactly that state and
+ * can be applied onto any network with the same BN layout.
+ */
+#ifndef NAZAR_NN_BN_PATCH_H
+#define NAZAR_NN_BN_PATCH_H
+
+#include <iosfwd>
+#include <vector>
+
+#include "nn/batchnorm.h"
+#include "nn/sequential.h"
+
+namespace nazar::nn {
+
+/** Snapshot of all BN layers of a network, in network order. */
+class BnPatch
+{
+  public:
+    BnPatch() = default;
+
+    /** Capture the BN state of a network. */
+    static BnPatch extract(const Sequential &net);
+
+    /** Build a patch directly from per-layer states (federated
+     *  aggregation constructs averaged patches this way). */
+    static BnPatch fromStates(std::vector<BnState> states);
+
+    /** Overwrite the BN state of a network with this patch. */
+    void apply(Sequential &net) const;
+
+    /** Number of BN layers captured. */
+    size_t layerCount() const { return states_.size(); }
+
+    /** Total number of scalars in the patch (4 tensors per layer). */
+    size_t scalarCount() const;
+
+    /** Approximate wire size in bytes (float32 per scalar, as a real
+     *  deployment would ship). */
+    size_t sizeBytes() const { return scalarCount() * sizeof(float); }
+
+    const BnState &state(size_t i) const { return states_.at(i); }
+
+    /** True when both patches have the same layout and values within
+     *  eps. */
+    bool approxEquals(const BnPatch &other, double eps = 1e-9) const;
+
+    /** Largest absolute difference over all scalars (layout must
+     *  match). Useful as a "distance" between adapted versions. */
+    double maxAbsDiff(const BnPatch &other) const;
+
+    /** Serialize to a text stream. */
+    void save(std::ostream &os) const;
+
+    /** Deserialize from a text stream (throws NazarError on bad data). */
+    static BnPatch load(std::istream &is);
+
+  private:
+    std::vector<BnState> states_;
+};
+
+} // namespace nazar::nn
+
+#endif // NAZAR_NN_BN_PATCH_H

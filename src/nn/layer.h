@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Layer abstraction for Nazar's NN substrate.
+ *
+ * Layers implement forward/backward passes over batches (Matrix of
+ * shape batch x features). The Mode enum distinguishes the three ways
+ * Nazar runs a network:
+ *
+ *  - kTrain: supervised training in the cloud. BatchNorm uses batch
+ *    statistics and updates its running estimates; all parameters
+ *    receive gradients.
+ *  - kEval: on-device inference. BatchNorm uses running statistics;
+ *    no state changes.
+ *  - kAdapt: self-supervised test-time adaptation (TENT / MEMO,
+ *    paper §3.4). BatchNorm uses batch statistics and refreshes its
+ *    running estimates, and only BatchNorm affine parameters are
+ *    trainable — the rest of the model is frozen.
+ */
+#ifndef NAZAR_NN_LAYER_H
+#define NAZAR_NN_LAYER_H
+
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace nazar::nn {
+
+/** Execution mode of a forward pass; see file comment. */
+enum class Mode { kTrain, kEval, kAdapt };
+
+/**
+ * A trainable parameter tensor with its gradient accumulator.
+ * Optimizers consume Param pointers collected from layers.
+ */
+struct Param
+{
+    Matrix value; ///< Current parameter values.
+    Matrix grad;  ///< Accumulated gradient (same shape as value).
+    std::string name; ///< Diagnostic name, e.g. "linear0.weight".
+
+    explicit Param(Matrix v, std::string n = "")
+        : value(std::move(v)), grad(value.rows(), value.cols()),
+          name(std::move(n))
+    {}
+
+    /** Reset the gradient accumulator to zero. */
+    void zeroGrad() { grad.setZero(); }
+};
+
+/**
+ * Base class of all layers. A layer caches whatever it needs from the
+ * last forward() call so that the matching backward() can run; callers
+ * must pair them (forward then backward with the same batch).
+ */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** Compute the layer output for a batch. */
+    virtual Matrix forward(const Matrix &x, Mode mode) = 0;
+
+    /**
+     * Given dLoss/dOutput, accumulate parameter gradients (into the
+     * Param::grad members) and return dLoss/dInput.
+     *
+     * @param grad_out Gradient w.r.t. the output of the last forward().
+     * @param mode     Must match the mode of the last forward().
+     */
+    virtual Matrix backward(const Matrix &grad_out, Mode mode) = 0;
+
+    /**
+     * Parameters that receive gradients in the given mode. In kAdapt
+     * mode only BatchNorm affine parameters are returned (TENT's
+     * "adapt only the BN layers" rule); in kTrain mode everything is.
+     */
+    virtual std::vector<Param *> params(Mode mode) = 0;
+
+    /** Short diagnostic name, e.g. "Linear(32->64)". */
+    virtual std::string name() const = 0;
+
+    /** Width of the output this layer produces. */
+    virtual size_t outputDim() const = 0;
+};
+
+} // namespace nazar::nn
+
+#endif // NAZAR_NN_LAYER_H

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Implementation of losses and probability utilities.
+ */
+#include "loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace nazar::nn {
+
+Matrix
+softmax(const Matrix &logits)
+{
+    Matrix p = logits;
+    for (size_t r = 0; r < p.rows(); ++r) {
+        double *a = p.row(r);
+        double mx = a[0];
+        for (size_t c = 1; c < p.cols(); ++c)
+            mx = std::max(mx, a[c]);
+        double sum = 0.0;
+        for (size_t c = 0; c < p.cols(); ++c) {
+            a[c] = std::exp(a[c] - mx);
+            sum += a[c];
+        }
+        for (size_t c = 0; c < p.cols(); ++c)
+            a[c] /= sum;
+    }
+    return p;
+}
+
+Matrix
+logSoftmax(const Matrix &logits)
+{
+    Matrix lp = logits;
+    for (size_t r = 0; r < lp.rows(); ++r) {
+        double *a = lp.row(r);
+        double mx = a[0];
+        for (size_t c = 1; c < lp.cols(); ++c)
+            mx = std::max(mx, a[c]);
+        double sum = 0.0;
+        for (size_t c = 0; c < lp.cols(); ++c)
+            sum += std::exp(a[c] - mx);
+        double lse = mx + std::log(sum);
+        for (size_t c = 0; c < lp.cols(); ++c)
+            a[c] -= lse;
+    }
+    return lp;
+}
+
+std::vector<double>
+maxSoftmax(const Matrix &logits)
+{
+    Matrix p = softmax(logits);
+    std::vector<double> out(p.rows());
+    for (size_t r = 0; r < p.rows(); ++r) {
+        const double *a = p.row(r);
+        out[r] = *std::max_element(a, a + p.cols());
+    }
+    return out;
+}
+
+std::vector<double>
+softmaxEntropy(const Matrix &logits)
+{
+    Matrix p = softmax(logits);
+    std::vector<double> out(p.rows(), 0.0);
+    for (size_t r = 0; r < p.rows(); ++r) {
+        const double *a = p.row(r);
+        double h = 0.0;
+        for (size_t c = 0; c < p.cols(); ++c)
+            if (a[c] > 0.0)
+                h -= a[c] * std::log(a[c]);
+        out[r] = h;
+    }
+    return out;
+}
+
+std::vector<double>
+energyScore(const Matrix &logits)
+{
+    std::vector<double> out(logits.rows());
+    for (size_t r = 0; r < logits.rows(); ++r) {
+        const double *a = logits.row(r);
+        double mx = a[0];
+        for (size_t c = 1; c < logits.cols(); ++c)
+            mx = std::max(mx, a[c]);
+        double sum = 0.0;
+        for (size_t c = 0; c < logits.cols(); ++c)
+            sum += std::exp(a[c] - mx);
+        out[r] = -(mx + std::log(sum));
+    }
+    return out;
+}
+
+LossResult
+crossEntropy(const Matrix &logits, const std::vector<int> &labels)
+{
+    NAZAR_CHECK(logits.rows() == labels.size(),
+                "label count must match batch size");
+    Matrix lp = logSoftmax(logits);
+    Matrix p = lp.unaryOp([](double v) { return std::exp(v); });
+    size_t n = logits.rows();
+    double inv_n = 1.0 / static_cast<double>(n);
+
+    double loss = 0.0;
+    Matrix grad = p;
+    for (size_t r = 0; r < n; ++r) {
+        int y = labels[r];
+        NAZAR_CHECK(y >= 0 && static_cast<size_t>(y) < logits.cols(),
+                    "label out of range");
+        loss -= lp(r, static_cast<size_t>(y));
+        grad(r, static_cast<size_t>(y)) -= 1.0;
+    }
+    grad *= inv_n;
+    return LossResult{loss * inv_n, std::move(grad)};
+}
+
+LossResult
+meanEntropy(const Matrix &logits)
+{
+    NAZAR_CHECK(logits.rows() > 0, "meanEntropy on an empty batch");
+    Matrix lp = logSoftmax(logits);
+    Matrix p = lp.unaryOp([](double v) { return std::exp(v); });
+    size_t n = logits.rows();
+    double inv_n = 1.0 / static_cast<double>(n);
+
+    Matrix grad(n, logits.cols());
+    double total = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+        double h = 0.0;
+        for (size_t c = 0; c < logits.cols(); ++c)
+            h -= p(r, c) * lp(r, c);
+        total += h;
+        // dH/dz_k = -p_k (log p_k + H)
+        for (size_t c = 0; c < logits.cols(); ++c)
+            grad(r, c) = -p(r, c) * (lp(r, c) + h) * inv_n;
+    }
+    return LossResult{total * inv_n, std::move(grad)};
+}
+
+LossResult
+marginalEntropy(const Matrix &logits)
+{
+    NAZAR_CHECK(logits.rows() > 0, "marginalEntropy on an empty batch");
+    Matrix p = softmax(logits);
+    size_t b = logits.rows();
+    size_t k = logits.cols();
+    double inv_b = 1.0 / static_cast<double>(b);
+
+    // Averaged distribution over the augmented copies.
+    std::vector<double> pbar(k, 0.0);
+    for (size_t r = 0; r < b; ++r)
+        for (size_t c = 0; c < k; ++c)
+            pbar[c] += p(r, c) * inv_b;
+
+    double loss = 0.0;
+    std::vector<double> log_pbar(k);
+    for (size_t c = 0; c < k; ++c) {
+        log_pbar[c] = std::log(std::max(pbar[c], 1e-300));
+        loss -= pbar[c] * log_pbar[c];
+    }
+
+    // dL/dz_{i,k} = (1/B) p_{i,k} (sum_c p_{i,c} log pbar_c - log pbar_k)
+    Matrix grad(b, k);
+    for (size_t r = 0; r < b; ++r) {
+        double dot = 0.0;
+        for (size_t c = 0; c < k; ++c)
+            dot += p(r, c) * log_pbar[c];
+        for (size_t c = 0; c < k; ++c)
+            grad(r, c) = inv_b * p(r, c) * (dot - log_pbar[c]);
+    }
+    return LossResult{loss, std::move(grad)};
+}
+
+} // namespace nazar::nn

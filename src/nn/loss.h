@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Loss functions and probability utilities over logit batches.
+ *
+ * Everything Nazar derives from a model — predictions, MSP confidence
+ * scores, the TENT entropy objective (Eq. 2), the MEMO marginal
+ * entropy (Eq. 3), the training cross-entropy — is a function of the
+ * logit matrix produced by Sequential::forward. This header gathers
+ * those functions.
+ */
+#ifndef NAZAR_NN_LOSS_H
+#define NAZAR_NN_LOSS_H
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace nazar::nn {
+
+/** Row-wise softmax with the max-subtraction stabilizer. */
+Matrix softmax(const Matrix &logits);
+
+/** Row-wise log-softmax. */
+Matrix logSoftmax(const Matrix &logits);
+
+/** Maximum softmax probability per row (the MSP confidence score). */
+std::vector<double> maxSoftmax(const Matrix &logits);
+
+/** Shannon entropy (nats) of the softmax of each row. */
+std::vector<double> softmaxEntropy(const Matrix &logits);
+
+/**
+ * Energy score per row: -log sum_c exp(z_c). Lower (more negative)
+ * values indicate in-distribution data (Liu et al., 2020).
+ */
+std::vector<double> energyScore(const Matrix &logits);
+
+/**
+ * Mean cross-entropy loss and its gradient w.r.t. logits.
+ * grad = (softmax(z) - onehot(y)) / batch.
+ */
+struct LossResult
+{
+    double loss;  ///< Mean loss over the batch.
+    Matrix grad;  ///< dLoss/dLogits, batch x classes.
+};
+
+/**
+ * Supervised cross-entropy.
+ * @param logits batch x classes.
+ * @param labels class index per row.
+ */
+LossResult crossEntropy(const Matrix &logits, const std::vector<int> &labels);
+
+/**
+ * TENT objective (paper Eq. 2): mean prediction entropy over the batch,
+ * with gradient dH/dz_k = -p_k (log p_k + H) averaged over rows.
+ */
+LossResult meanEntropy(const Matrix &logits);
+
+/**
+ * MEMO marginal-entropy objective (paper Eq. 3) for one source input
+ * whose B augmented copies produced @p logits (B x classes): entropy of
+ * the *averaged* softmax distribution; gradient is w.r.t. each copy's
+ * logits.
+ */
+LossResult marginalEntropy(const Matrix &logits);
+
+} // namespace nazar::nn
+
+#endif // NAZAR_NN_LOSS_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Implementation of SGD and Adam.
+ */
+#include "optimizer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace nazar::nn {
+
+void
+Optimizer::zeroGrads()
+{
+    for (Param *p : params_)
+        p->zeroGrad();
+}
+
+Sgd::Sgd(std::vector<Param *> params, double lr, double momentum,
+         double weight_decay)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum),
+      weightDecay_(weight_decay)
+{
+    NAZAR_CHECK(lr > 0.0, "learning rate must be positive");
+    velocity_.reserve(params_.size());
+    for (Param *p : params_)
+        velocity_.emplace_back(p->value.rows(), p->value.cols());
+}
+
+void
+Sgd::step()
+{
+    for (size_t i = 0; i < params_.size(); ++i) {
+        Param *p = params_[i];
+        Matrix &vel = velocity_[i];
+        for (size_t r = 0; r < p->value.rows(); ++r) {
+            for (size_t c = 0; c < p->value.cols(); ++c) {
+                double g = p->grad(r, c) + weightDecay_ * p->value(r, c);
+                vel(r, c) = momentum_ * vel(r, c) + g;
+                p->value(r, c) -= lr_ * vel(r, c);
+            }
+        }
+    }
+}
+
+Adam::Adam(std::vector<Param *> params, double lr, double beta1,
+           double beta2, double eps)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps)
+{
+    NAZAR_CHECK(lr > 0.0, "learning rate must be positive");
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (Param *p : params_) {
+        m_.emplace_back(p->value.rows(), p->value.cols());
+        v_.emplace_back(p->value.rows(), p->value.cols());
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    double bc1 = 1.0 - std::pow(beta1_, t_);
+    double bc2 = 1.0 - std::pow(beta2_, t_);
+    for (size_t i = 0; i < params_.size(); ++i) {
+        Param *p = params_[i];
+        for (size_t r = 0; r < p->value.rows(); ++r) {
+            for (size_t c = 0; c < p->value.cols(); ++c) {
+                double g = p->grad(r, c);
+                m_[i](r, c) = beta1_ * m_[i](r, c) + (1.0 - beta1_) * g;
+                v_[i](r, c) = beta2_ * v_[i](r, c) + (1.0 - beta2_) * g * g;
+                double mh = m_[i](r, c) / bc1;
+                double vh = v_[i](r, c) / bc2;
+                p->value(r, c) -= lr_ * mh / (std::sqrt(vh) + eps_);
+            }
+        }
+    }
+}
+
+} // namespace nazar::nn

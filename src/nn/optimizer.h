@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Gradient-based optimizers over collections of Param pointers.
+ */
+#ifndef NAZAR_NN_OPTIMIZER_H
+#define NAZAR_NN_OPTIMIZER_H
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace nazar::nn {
+
+/** Optimizer interface: consumes accumulated grads, updates values. */
+class Optimizer
+{
+  public:
+    explicit Optimizer(std::vector<Param *> params)
+        : params_(std::move(params))
+    {}
+
+    virtual ~Optimizer() = default;
+
+    /** Apply one update step from the accumulated gradients. */
+    virtual void step() = 0;
+
+    /** Zero the gradients of all managed parameters. */
+    void zeroGrads();
+
+    const std::vector<Param *> &params() const { return params_; }
+
+  protected:
+    std::vector<Param *> params_;
+};
+
+/** SGD with classical momentum and optional L2 weight decay. */
+class Sgd : public Optimizer
+{
+  public:
+    Sgd(std::vector<Param *> params, double lr, double momentum = 0.9,
+        double weight_decay = 0.0);
+
+    void step() override;
+
+    double learningRate() const { return lr_; }
+    void setLearningRate(double lr) { lr_ = lr; }
+
+  private:
+    double lr_;
+    double momentum_;
+    double weightDecay_;
+    std::vector<Matrix> velocity_; ///< One buffer per parameter.
+};
+
+/** Adam (Kingma & Ba) with bias correction. */
+class Adam : public Optimizer
+{
+  public:
+    Adam(std::vector<Param *> params, double lr, double beta1 = 0.9,
+         double beta2 = 0.999, double eps = 1e-8);
+
+    void step() override;
+
+    double learningRate() const { return lr_; }
+    void setLearningRate(double lr) { lr_ = lr; }
+
+  private:
+    double lr_;
+    double beta1_;
+    double beta2_;
+    double eps_;
+    int t_ = 0;
+    std::vector<Matrix> m_; ///< First-moment estimates.
+    std::vector<Matrix> v_; ///< Second-moment estimates.
+};
+
+} // namespace nazar::nn
+
+#endif // NAZAR_NN_OPTIMIZER_H

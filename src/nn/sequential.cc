@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Implementation of the sequential container.
+ */
+#include "sequential.h"
+
+#include "common/error.h"
+
+namespace nazar::nn {
+
+Sequential &
+Sequential::add(std::unique_ptr<Layer> layer)
+{
+    NAZAR_CHECK(layer != nullptr, "cannot add a null layer");
+    layers_.push_back(std::move(layer));
+    return *this;
+}
+
+Matrix
+Sequential::forward(const Matrix &x, Mode mode)
+{
+    Matrix h = x;
+    for (auto &layer : layers_)
+        h = layer->forward(h, mode);
+    return h;
+}
+
+Matrix
+Sequential::backward(const Matrix &grad_logits, Mode mode)
+{
+    Matrix g = grad_logits;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        g = (*it)->backward(g, mode);
+    return g;
+}
+
+std::vector<Param *>
+Sequential::params(Mode mode)
+{
+    std::vector<Param *> out;
+    for (auto &layer : layers_)
+        for (Param *p : layer->params(mode))
+            out.push_back(p);
+    return out;
+}
+
+void
+Sequential::zeroGrads()
+{
+    for (Param *p : params(Mode::kTrain))
+        p->zeroGrad();
+}
+
+std::vector<BatchNorm1d *>
+Sequential::batchNormLayers()
+{
+    std::vector<BatchNorm1d *> out;
+    for (auto &layer : layers_)
+        if (auto *bn = dynamic_cast<BatchNorm1d *>(layer.get()))
+            out.push_back(bn);
+    return out;
+}
+
+std::vector<const BatchNorm1d *>
+Sequential::batchNormLayers() const
+{
+    std::vector<const BatchNorm1d *> out;
+    for (const auto &layer : layers_)
+        if (const auto *bn = dynamic_cast<const BatchNorm1d *>(layer.get()))
+            out.push_back(bn);
+    return out;
+}
+
+size_t
+Sequential::parameterCount()
+{
+    size_t n = 0;
+    for (Param *p : params(Mode::kTrain))
+        n += p->value.size();
+    return n;
+}
+
+} // namespace nazar::nn

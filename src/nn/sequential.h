@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Sequential layer container — Nazar's network graph is a simple chain.
+ */
+#ifndef NAZAR_NN_SEQUENTIAL_H
+#define NAZAR_NN_SEQUENTIAL_H
+
+#include <memory>
+
+#include "nn/batchnorm.h"
+#include "nn/layer.h"
+
+namespace nazar::nn {
+
+/** Ordered chain of layers with whole-network forward/backward. */
+class Sequential
+{
+  public:
+    Sequential() = default;
+
+    // The container owns its layers; moving is fine, copying is not.
+    Sequential(const Sequential &) = delete;
+    Sequential &operator=(const Sequential &) = delete;
+    Sequential(Sequential &&) = default;
+    Sequential &operator=(Sequential &&) = default;
+
+    /** Append a layer; returns a reference for chaining. */
+    Sequential &add(std::unique_ptr<Layer> layer);
+
+    /** Run the full chain forward. */
+    Matrix forward(const Matrix &x, Mode mode);
+
+    /**
+     * Run the full chain backward from dLoss/dLogits, accumulating
+     * parameter gradients; returns dLoss/dInput.
+     */
+    Matrix backward(const Matrix &grad_logits, Mode mode);
+
+    /** All parameters trainable in the given mode. */
+    std::vector<Param *> params(Mode mode);
+
+    /** Zero every parameter gradient (all modes). */
+    void zeroGrads();
+
+    /** Pointers to the BatchNorm layers, in network order. */
+    std::vector<BatchNorm1d *> batchNormLayers();
+    std::vector<const BatchNorm1d *> batchNormLayers() const;
+
+    size_t layerCount() const { return layers_.size(); }
+    Layer &layer(size_t i) { return *layers_.at(i); }
+    const Layer &layer(size_t i) const { return *layers_.at(i); }
+
+    /** Total number of scalar parameters (train mode). */
+    size_t parameterCount();
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+} // namespace nazar::nn
+
+#endif // NAZAR_NN_SEQUENTIAL_H

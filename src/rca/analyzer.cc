@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Implementation of the root-cause analysis pipeline (Algorithm 1).
+ */
+#include "analyzer.h"
+
+#include "common/error.h"
+
+namespace nazar::rca {
+
+std::string
+toString(AnalysisMode mode)
+{
+    switch (mode) {
+      case AnalysisMode::kFimOnly:         return "fim";
+      case AnalysisMode::kFimSetReduction: return "fim+set-reduction";
+      case AnalysisMode::kFull:            return "fim+set-reduction+cf";
+    }
+    return "?";
+}
+
+Analyzer::Analyzer(RcaConfig config) : config_(std::move(config))
+{
+    NAZAR_CHECK(!config_.attributeColumns.empty(),
+                "RcaConfig.attributeColumns must be set");
+}
+
+AnalysisResult
+Analyzer::analyze(const driftlog::Table &table, AnalysisMode mode) const
+{
+    AnalysisResult result;
+    if (table.rowCount() == 0)
+        return result;
+
+    Fim fim(table, config_);
+    result.fimTable = fim.mine();
+
+    // Causes that pass all four thresholds, in rank order.
+    std::vector<RankedCause> passing;
+    for (const auto &cause : result.fimTable)
+        if (passesThresholds(cause.metrics, config_))
+            passing.push_back(cause);
+
+    if (mode == AnalysisMode::kFimOnly) {
+        result.rootCauses = std::move(passing);
+        return result;
+    }
+
+    result.associations = reduceCauses(passing);
+
+    if (mode == AnalysisMode::kFimSetReduction) {
+        for (const auto &assoc : result.associations)
+            result.rootCauses.push_back(assoc.key);
+        return result;
+    }
+
+    // Counterfactual analysis (Algorithm 1): walk associations in rank
+    // order; re-check significance against flags with already-accepted
+    // causes marked non-drift.
+    std::vector<bool> flags = Fim::driftFlags(table, config_.driftColumn);
+    auto mark_no_drift = [&](const AttributeSet &attrs) {
+        for (size_t r = 0; r < table.rowCount(); ++r)
+            if (flags[r] && attrs.matchesRow(table, r))
+                flags[r] = false;
+    };
+
+    for (const auto &assoc : result.associations) {
+        CauseMetrics current =
+            computeMetrics(table, flags, assoc.key.attrs);
+        if (passesThresholds(current, config_)) {
+            // Still significant after higher-ranked causes explained
+            // their share: accept, then absorb its evidence.
+            RankedCause accepted = assoc.key;
+            accepted.metrics = current;
+            result.rootCauses.push_back(std::move(accepted));
+            mark_no_drift(assoc.key.attrs);
+        } else {
+            // The coarse key is explained away; its finer merged
+            // causes may still carry independent signal.
+            for (const auto &fine : assoc.merged) {
+                CauseMetrics fm = computeMetrics(table, flags, fine.attrs);
+                if (passesThresholds(fm, config_)) {
+                    RankedCause accepted = fine;
+                    accepted.metrics = fm;
+                    result.rootCauses.push_back(std::move(accepted));
+                    mark_no_drift(fine.attrs);
+                }
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace nazar::rca

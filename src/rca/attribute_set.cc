@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Implementation of attribute sets.
+ */
+#include "attribute_set.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace nazar::rca {
+
+AttributeSet::AttributeSet(std::vector<Attribute> attrs)
+    : attrs_(std::move(attrs))
+{
+    std::sort(attrs_.begin(), attrs_.end());
+    for (size_t i = 0; i + 1 < attrs_.size(); ++i) {
+        NAZAR_CHECK(attrs_[i].column != attrs_[i + 1].column,
+                    "at most one value per column in an attribute set");
+    }
+}
+
+bool
+AttributeSet::hasColumn(const std::string &column) const
+{
+    for (const auto &a : attrs_)
+        if (a.column == column)
+            return true;
+    return false;
+}
+
+AttributeSet
+AttributeSet::extended(const Attribute &attr) const
+{
+    NAZAR_CHECK(!hasColumn(attr.column),
+                "column already constrained: " + attr.column);
+    std::vector<Attribute> next = attrs_;
+    next.push_back(attr);
+    return AttributeSet(std::move(next));
+}
+
+bool
+AttributeSet::isSubsetOf(const AttributeSet &other) const
+{
+    // Both sorted: subset check by merge walk.
+    size_t j = 0;
+    for (const auto &a : attrs_) {
+        while (j < other.attrs_.size() && other.attrs_[j] < a)
+            ++j;
+        if (j == other.attrs_.size() || !(other.attrs_[j] == a))
+            return false;
+    }
+    return true;
+}
+
+bool
+AttributeSet::isProperSubsetOf(const AttributeSet &other) const
+{
+    return size() < other.size() && isSubsetOf(other);
+}
+
+bool
+AttributeSet::matchesRow(const driftlog::Table &table, size_t row) const
+{
+    for (const auto &a : attrs_)
+        if (!(table.at(row, a.column) == a.value))
+            return false;
+    return true;
+}
+
+std::string
+AttributeSet::toString() const
+{
+    std::ostringstream os;
+    os << "{";
+    for (size_t i = 0; i < attrs_.size(); ++i) {
+        os << (i ? ", " : "") << attrs_[i].column << "="
+           << attrs_[i].value.toString();
+    }
+    os << "}";
+    return os.str();
+}
+
+} // namespace nazar::rca

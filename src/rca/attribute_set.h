@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Attribute sets — candidate root causes of drift (paper §3.3).
+ *
+ * A root cause is a set of (column, value) pairs over the drift log's
+ * metadata attributes, e.g. {weather=snow, location=new_york}. At most
+ * one value per column is meaningful, and the paper caps causes at 3
+ * attributes.
+ */
+#ifndef NAZAR_RCA_ATTRIBUTE_SET_H
+#define NAZAR_RCA_ATTRIBUTE_SET_H
+
+#include <string>
+#include <vector>
+
+#include "driftlog/table.h"
+
+namespace nazar::rca {
+
+/** One attribute constraint: column == value. */
+struct Attribute
+{
+    std::string column;
+    driftlog::Value value;
+
+    bool operator==(const Attribute &other) const = default;
+    auto operator<=>(const Attribute &other) const = default;
+};
+
+/**
+ * A set of attribute constraints, kept sorted by (column, value) so
+ * equality and subset tests are canonical.
+ */
+class AttributeSet
+{
+  public:
+    AttributeSet() = default;
+    explicit AttributeSet(std::vector<Attribute> attrs);
+
+    size_t size() const { return attrs_.size(); }
+    bool empty() const { return attrs_.empty(); }
+
+    const std::vector<Attribute> &attributes() const { return attrs_; }
+
+    /** True when this set already constrains the column. */
+    bool hasColumn(const std::string &column) const;
+
+    /**
+     * Extend with one more attribute; the column must not already be
+     * constrained.
+     */
+    AttributeSet extended(const Attribute &attr) const;
+
+    /**
+     * True when every attribute of this set also appears in @p other
+     * (i.e. this is coarser / covers at least the rows other covers).
+     */
+    bool isSubsetOf(const AttributeSet &other) const;
+
+    /** Proper subset: subset and strictly smaller. */
+    bool isProperSubsetOf(const AttributeSet &other) const;
+
+    /** True when a table row satisfies every constraint. */
+    bool matchesRow(const driftlog::Table &table, size_t row) const;
+
+    /** Canonical display, e.g. "{location=new_york, weather=snow}". */
+    std::string toString() const;
+
+    bool operator==(const AttributeSet &other) const = default;
+    auto operator<=>(const AttributeSet &other) const = default;
+
+  private:
+    std::vector<Attribute> attrs_;
+};
+
+} // namespace nazar::rca
+
+#endif // NAZAR_RCA_ATTRIBUTE_SET_H

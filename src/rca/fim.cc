@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Implementation of the apriori frequent-itemset miner.
+ */
+#include "fim.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "common/error.h"
+
+namespace nazar::rca {
+
+namespace {
+
+/** Derive the four metrics from raw counts. */
+CauseMetrics
+metricsFromCounts(size_t set_count, size_t set_drift, size_t total_rows,
+                  size_t total_drift)
+{
+    CauseMetrics m;
+    m.setCount = set_count;
+    m.setDriftCount = set_drift;
+    if (total_rows == 0)
+        return m;
+    m.occurrence =
+        static_cast<double>(set_count) / static_cast<double>(total_rows);
+    m.support = total_drift
+                    ? static_cast<double>(set_drift) /
+                          static_cast<double>(total_drift)
+                    : 0.0;
+    m.confidence = set_count
+                       ? static_cast<double>(set_drift) /
+                             static_cast<double>(set_count)
+                       : 0.0;
+    size_t not_set = total_rows - set_count;
+    size_t drift_not_set = total_drift - set_drift;
+    if (not_set == 0) {
+        // The set covers every entry (a constant of the table), so
+        // there is no contrast group: it cannot demonstrate elevated
+        // risk and must not outrank genuine causes.
+        m.riskRatio = 0.0;
+    } else {
+        double p_not = static_cast<double>(drift_not_set) /
+                       static_cast<double>(not_set);
+        if (p_not == 0.0) {
+            m.riskRatio = m.confidence > 0.0
+                              ? std::numeric_limits<double>::infinity()
+                              : 0.0;
+        } else {
+            m.riskRatio = m.confidence / p_not;
+        }
+    }
+    return m;
+}
+
+} // namespace
+
+CauseMetrics
+computeMetrics(const driftlog::Table &table,
+               const std::vector<bool> &drift_flags,
+               const AttributeSet &attrs)
+{
+    NAZAR_CHECK(drift_flags.size() == table.rowCount(),
+                "drift-flag vector must cover the table");
+    size_t total_drift = 0;
+    for (bool f : drift_flags)
+        total_drift += f ? 1 : 0;
+
+    // Resolve columns once.
+    std::vector<const std::vector<driftlog::Value> *> cols;
+    std::vector<const driftlog::Value *> wanted;
+    for (const auto &a : attrs.attributes()) {
+        cols.push_back(&table.column(a.column));
+        wanted.push_back(&a.value);
+    }
+
+    size_t set_count = 0, set_drift = 0;
+    for (size_t r = 0; r < table.rowCount(); ++r) {
+        bool match = true;
+        for (size_t i = 0; i < cols.size(); ++i) {
+            if (!((*cols[i])[r] == *wanted[i])) {
+                match = false;
+                break;
+            }
+        }
+        if (match) {
+            ++set_count;
+            if (drift_flags[r])
+                ++set_drift;
+        }
+    }
+    return metricsFromCounts(set_count, set_drift, table.rowCount(),
+                             total_drift);
+}
+
+bool
+passesThresholds(const CauseMetrics &metrics, const RcaConfig &config)
+{
+    return metrics.occurrence >= config.minOccurrence &&
+           metrics.support >= config.minSupport &&
+           metrics.confidence >= config.minConfidence &&
+           metrics.riskRatio >= config.minRiskRatio;
+}
+
+bool
+rankBefore(const RankedCause &a, const RankedCause &b)
+{
+    if (a.metrics.riskRatio != b.metrics.riskRatio)
+        return a.metrics.riskRatio > b.metrics.riskRatio;
+    if (a.metrics.confidence != b.metrics.confidence)
+        return a.metrics.confidence > b.metrics.confidence;
+    if (a.metrics.occurrence != b.metrics.occurrence)
+        return a.metrics.occurrence > b.metrics.occurrence;
+    if (a.attrs.size() != b.attrs.size())
+        return a.attrs.size() < b.attrs.size(); // coarser first
+    return a.attrs < b.attrs;
+}
+
+Fim::Fim(const driftlog::Table &table, const RcaConfig &config)
+    : table_(table), config_(config)
+{
+    NAZAR_CHECK(!config.attributeColumns.empty(),
+                "RcaConfig.attributeColumns must be set");
+    for (const auto &col : config.attributeColumns)
+        NAZAR_CHECK(table.schema().has(col), "no such column: " + col);
+    NAZAR_CHECK(table.schema().has(config.driftColumn),
+                "no such drift column: " + config.driftColumn);
+}
+
+std::vector<bool>
+Fim::driftFlags(const driftlog::Table &table,
+                const std::string &drift_column)
+{
+    const auto &col = table.column(drift_column);
+    std::vector<bool> flags(col.size());
+    for (size_t r = 0; r < col.size(); ++r)
+        flags[r] = col[r].asBool();
+    return flags;
+}
+
+std::vector<RankedCause>
+Fim::mine() const
+{
+    return mine(driftFlags(table_, config_.driftColumn));
+}
+
+std::vector<RankedCause>
+Fim::mine(const std::vector<bool> &drift_flags) const
+{
+    NAZAR_CHECK(drift_flags.size() == table_.rowCount(),
+                "drift-flag vector must cover the table");
+    const size_t n = table_.rowCount();
+    size_t total_drift = 0;
+    for (bool f : drift_flags)
+        total_drift += f ? 1 : 0;
+
+    std::vector<RankedCause> results;
+
+    // ---- Level 1: one aggregation pass per attribute column --------
+    std::vector<Attribute> frequent_singles;
+    std::vector<AttributeSet> frequent_prev;
+    for (const auto &col_name : config_.attributeColumns) {
+        const auto &col = table_.column(col_name);
+        std::map<driftlog::Value, std::pair<size_t, size_t>> counts;
+        for (size_t r = 0; r < n; ++r) {
+            auto &entry = counts[col[r]];
+            ++entry.first;
+            if (drift_flags[r])
+                ++entry.second;
+        }
+        for (const auto &[value, cnt] : counts) {
+            CauseMetrics m = metricsFromCounts(cnt.first, cnt.second, n,
+                                               total_drift);
+            AttributeSet set({Attribute{col_name, value}});
+            results.push_back(RankedCause{set, m});
+            if (m.occurrence >= config_.minOccurrence) {
+                frequent_singles.push_back(Attribute{col_name, value});
+                frequent_prev.push_back(std::move(set));
+            }
+        }
+    }
+    std::sort(frequent_singles.begin(), frequent_singles.end());
+
+    // ---- Levels 2..maxAttributes ------------------------------------
+    for (size_t level = 2;
+         level <= config_.maxAttributes && !frequent_prev.empty();
+         ++level) {
+        // Candidate generation: extend each frequent (k-1)-set with a
+        // frequent single strictly greater than its last attribute and
+        // over a column the set does not constrain yet.
+        std::vector<AttributeSet> candidates;
+        for (const auto &set : frequent_prev) {
+            const Attribute &last = set.attributes().back();
+            for (const auto &single : frequent_singles) {
+                if (!(last < single))
+                    continue;
+                if (set.hasColumn(single.column))
+                    continue;
+                candidates.push_back(set.extended(single));
+            }
+        }
+        if (candidates.empty())
+            break;
+
+        // Counting pass: resolve candidate columns once, then a single
+        // scan over the table.
+        struct CandidateProbe
+        {
+            std::vector<const std::vector<driftlog::Value> *> cols;
+            std::vector<const driftlog::Value *> wanted;
+            size_t count = 0;
+            size_t drift = 0;
+        };
+        std::vector<CandidateProbe> probes(candidates.size());
+        for (size_t i = 0; i < candidates.size(); ++i) {
+            for (const auto &a : candidates[i].attributes()) {
+                probes[i].cols.push_back(&table_.column(a.column));
+                probes[i].wanted.push_back(&a.value);
+            }
+        }
+        for (size_t r = 0; r < n; ++r) {
+            for (auto &probe : probes) {
+                bool match = true;
+                for (size_t i = 0; i < probe.cols.size(); ++i) {
+                    if (!((*probe.cols[i])[r] == *probe.wanted[i])) {
+                        match = false;
+                        break;
+                    }
+                }
+                if (match) {
+                    ++probe.count;
+                    if (drift_flags[r])
+                        ++probe.drift;
+                }
+            }
+        }
+
+        std::vector<AttributeSet> frequent_now;
+        for (size_t i = 0; i < candidates.size(); ++i) {
+            CauseMetrics m = metricsFromCounts(
+                probes[i].count, probes[i].drift, n, total_drift);
+            if (m.setCount == 0)
+                continue; // combination never occurs; not a real set
+            results.push_back(RankedCause{candidates[i], m});
+            if (m.occurrence >= config_.minOccurrence)
+                frequent_now.push_back(candidates[i]);
+        }
+        frequent_prev = std::move(frequent_now);
+    }
+
+    std::sort(results.begin(), results.end(), rankBefore);
+    return results;
+}
+
+} // namespace nazar::rca

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Frequent itemset mining over the drift log (paper §3.3, apriori).
+ *
+ * The miner computes, for every candidate attribute set, the four
+ * metrics of the paper's Table 3 — occurrence, support, confidence and
+ * risk ratio — prunes candidates level-by-level (apriori downward
+ * closure on occurrence), filters by the four thresholds, and ranks
+ * survivors by risk ratio.
+ */
+#ifndef NAZAR_RCA_FIM_H
+#define NAZAR_RCA_FIM_H
+
+#include <vector>
+
+#include "rca/attribute_set.h"
+
+namespace nazar::rca {
+
+/** Root-cause analysis thresholds (paper defaults, §3.3). */
+struct RcaConfig
+{
+    /** Metadata columns that may form causes (default: drift-log
+     *  attribute columns). Must be set by the caller. */
+    std::vector<std::string> attributeColumns;
+    /** Name of the boolean detection column. */
+    std::string driftColumn = "drift";
+
+    size_t maxAttributes = 3;     ///< Max attrs per cause (prior work).
+    double minOccurrence = 0.01;  ///< Paper default.
+    double minSupport = 0.01;     ///< Paper default.
+    double minConfidence = 0.51;  ///< Paper default.
+    double minRiskRatio = 1.1;    ///< Paper default.
+};
+
+/** The four FIM metrics of one attribute set (paper Table 3). */
+struct CauseMetrics
+{
+    double occurrence = 0.0; ///< P(set) over all entries.
+    double support = 0.0;    ///< P(set | drift).
+    double confidence = 0.0; ///< P(drift | set).
+    double riskRatio = 0.0;  ///< P(drift | set) / P(drift | !set).
+
+    size_t setCount = 0;      ///< Entries containing the set.
+    size_t setDriftCount = 0; ///< Drifted entries containing the set.
+};
+
+/** A candidate root cause with its metrics. */
+struct RankedCause
+{
+    AttributeSet attrs;
+    CauseMetrics metrics;
+};
+
+/**
+ * Compute the four metrics of one attribute set against the table,
+ * using an externally supplied drift-flag vector (the counterfactual
+ * pass re-evaluates causes after flipping flags, paper §3.3).
+ */
+CauseMetrics computeMetrics(const driftlog::Table &table,
+                            const std::vector<bool> &drift_flags,
+                            const AttributeSet &attrs);
+
+/** True when the metrics pass all four thresholds. */
+bool passesThresholds(const CauseMetrics &metrics, const RcaConfig &config);
+
+/**
+ * Frequent itemset miner. The mine() entry point runs the full apriori
+ * pass and returns every candidate that passed the occurrence pruning,
+ * ranked by risk ratio (descending; confidence, occurrence and set
+ * size break ties), together with its metrics. Filtering by the
+ * remaining thresholds is the caller's choice — the analyzer keeps
+ * passing causes, while benchmarks can display the full table (as the
+ * paper's Table 3 does).
+ */
+class Fim
+{
+  public:
+    Fim(const driftlog::Table &table, const RcaConfig &config);
+
+    /**
+     * Run apriori with the given drift flags (normally the table's own
+     * drift column; the counterfactual pass supplies modified flags).
+     */
+    std::vector<RankedCause>
+    mine(const std::vector<bool> &drift_flags) const;
+
+    /** Convenience: mine with the table's stored drift column. */
+    std::vector<RankedCause> mine() const;
+
+    /** Extract the drift column as a flag vector. */
+    static std::vector<bool> driftFlags(const driftlog::Table &table,
+                                        const std::string &drift_column);
+
+  private:
+    const driftlog::Table &table_;
+    const RcaConfig &config_;
+};
+
+/** Rank comparison: higher risk ratio first, then confidence, then
+ *  occurrence, then smaller (coarser) sets. */
+bool rankBefore(const RankedCause &a, const RankedCause &b);
+
+} // namespace nazar::rca
+
+#endif // NAZAR_RCA_FIM_H

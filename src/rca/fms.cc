@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Implementation of the Fowlkes-Mallows score.
+ */
+#include "fms.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/error.h"
+
+namespace nazar::rca {
+
+double
+fowlkesMallows(const std::vector<int> &truth,
+               const std::vector<int> &predicted)
+{
+    NAZAR_CHECK(truth.size() == predicted.size(),
+                "clusterings must cover the same items");
+    if (truth.empty())
+        return 1.0;
+
+    auto pairs = [](size_t n) {
+        return static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+    };
+
+    std::map<std::pair<int, int>, size_t> contingency;
+    std::map<int, size_t> truth_sizes;
+    std::map<int, size_t> pred_sizes;
+    for (size_t i = 0; i < truth.size(); ++i) {
+        ++contingency[{truth[i], predicted[i]}];
+        ++truth_sizes[truth[i]];
+        ++pred_sizes[predicted[i]];
+    }
+
+    double tp = 0.0; // pairs together in both
+    for (const auto &[key, n] : contingency)
+        tp += pairs(n);
+    double together_truth = 0.0; // TP + FN
+    for (const auto &[key, n] : truth_sizes)
+        together_truth += pairs(n);
+    double together_pred = 0.0; // TP + FP
+    for (const auto &[key, n] : pred_sizes)
+        together_pred += pairs(n);
+
+    if (together_truth == 0.0 && together_pred == 0.0)
+        return 1.0; // both clusterings are all-singletons: identical
+    if (together_truth == 0.0 || together_pred == 0.0)
+        return 0.0;
+    return std::sqrt((tp / together_pred) * (tp / together_truth));
+}
+
+} // namespace nazar::rca

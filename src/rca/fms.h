@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Fowlkes-Mallows score between two clusterings (paper §5.4, Eq. 4).
+ *
+ * Used to compare the grouping of drifted samples induced by the
+ * discovered root causes against the ground-truth drift causes.
+ */
+#ifndef NAZAR_RCA_FMS_H
+#define NAZAR_RCA_FMS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace nazar::rca {
+
+/**
+ * Fowlkes-Mallows score of two label assignments over the same items:
+ * sqrt( TP/(TP+FP) * TP/(TP+FN) ), where TP counts item pairs placed
+ * together by both clusterings. Computed from the contingency table in
+ * O(n + distinct-label-pairs). Returns 1.0 for two empty clusterings.
+ *
+ * @param truth     Ground-truth cluster id per item.
+ * @param predicted Predicted cluster id per item (same length).
+ */
+double fowlkesMallows(const std::vector<int> &truth,
+                      const std::vector<int> &predicted);
+
+} // namespace nazar::rca
+
+#endif // NAZAR_RCA_FMS_H

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Implementation of set reduction.
+ */
+#include "set_reduction.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace nazar::rca {
+
+std::vector<CoarseAssociation>
+reduceCauses(const std::vector<RankedCause> &ranked)
+{
+    // Process coarsest-first so that, when a cause picks its parent,
+    // the parent's own group is already resolved (a proper subset is
+    // always strictly smaller).
+    std::vector<size_t> order(ranked.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                         return ranked[a].attrs.size() <
+                                ranked[b].attrs.size();
+                     });
+
+    std::vector<CoarseAssociation> groups;
+    std::map<AttributeSet, size_t> group_of;
+
+    for (size_t idx : order) {
+        const RankedCause &cause = ranked[idx];
+        // Best-ranked proper attribute-subset present in the list.
+        // `ranked` is rank-sorted, so the smallest index wins.
+        size_t best = ranked.size();
+        for (size_t j = 0; j < ranked.size(); ++j) {
+            if (ranked[j].attrs.isProperSubsetOf(cause.attrs)) {
+                best = j;
+                break;
+            }
+        }
+        if (best == ranked.size()) {
+            group_of[cause.attrs] = groups.size();
+            groups.push_back(CoarseAssociation{cause, {}});
+        } else {
+            auto it = group_of.find(ranked[best].attrs);
+            NAZAR_ASSERT(it != group_of.end(),
+                         "parent cause must already have a group");
+            groups[it->second].merged.push_back(cause);
+            group_of[cause.attrs] = it->second;
+        }
+    }
+
+    // Report groups in rank order of their keys; merged lists keep
+    // rank order too.
+    std::sort(groups.begin(), groups.end(),
+              [](const CoarseAssociation &a, const CoarseAssociation &b) {
+                  return rankBefore(a.key, b.key);
+              });
+    for (auto &g : groups)
+        std::sort(g.merged.begin(), g.merged.end(), rankBefore);
+    return groups;
+}
+
+} // namespace nazar::rca

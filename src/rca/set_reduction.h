@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Set reduction (paper §3.3, Figure 3b).
+ *
+ * FIM emits overlapping causes that are attribute-supersets of each
+ * other — e.g. {snow, new_york} alongside {snow}. The finer cause
+ * covers a strict subset of the rows, so adapting to it separately is
+ * redundant. Set reduction merges every cause into its best-ranked
+ * coarser cause (fewest attributes, ties broken by FIM rank), yielding
+ * a list of coarse "association" groups that the counterfactual pass
+ * walks.
+ */
+#ifndef NAZAR_RCA_SET_REDUCTION_H
+#define NAZAR_RCA_SET_REDUCTION_H
+
+#include <vector>
+
+#include "rca/fim.h"
+
+namespace nazar::rca {
+
+/** A coarse cause with the finer causes merged into it. */
+struct CoarseAssociation
+{
+    RankedCause key;                  ///< The coarse cause.
+    std::vector<RankedCause> merged;  ///< Finer causes it subsumes.
+};
+
+/**
+ * Reduce a rank-sorted cause list into coarse associations.
+ *
+ * Every cause that has a proper attribute-subset in the list is merged
+ * into the *highest-ranked* such subset's group (transitively resolved
+ * to a group key that has no proper subset itself). Causes with no
+ * proper subset become group keys. Output preserves rank order of the
+ * keys.
+ */
+std::vector<CoarseAssociation>
+reduceCauses(const std::vector<RankedCause> &ranked);
+
+} // namespace nazar::rca
+
+#endif // NAZAR_RCA_SET_REDUCTION_H

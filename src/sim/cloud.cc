@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Implementation of the cloud orchestrator.
+ */
+#include "cloud.h"
+
+#include <chrono>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace nazar::sim {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+Cloud::Cloud(CloudConfig config, const nn::Classifier &base)
+    : config_(std::move(config)), base_(base)
+{
+    if (config_.rca.attributeColumns.empty())
+        config_.rca.attributeColumns =
+            driftlog::DriftLog::defaultAttributeColumns();
+}
+
+void
+Cloud::ingest(const driftlog::DriftLogEntry &entry,
+              std::optional<Upload> upload)
+{
+    driftLog_.add(entry);
+    ++totalIngested_;
+    if (upload.has_value())
+        uploads_.push_back(std::move(*upload));
+}
+
+data::Dataset
+Cloud::uploadsMatching(const rca::AttributeSet &cause) const
+{
+    data::DatasetBuilder builder;
+    for (const auto &up : uploads_)
+        if (cause.isSubsetOf(up.context))
+            builder.add(up.features, /*label=*/-1);
+    return builder.build();
+}
+
+data::Dataset
+Cloud::cleanUploads(const std::vector<rca::RankedCause> &causes) const
+{
+    data::DatasetBuilder builder;
+    for (const auto &up : uploads_) {
+        if (up.driftFlag)
+            continue;
+        bool matched = false;
+        for (const auto &cause : causes) {
+            if (cause.attrs.isSubsetOf(up.context)) {
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            builder.add(up.features, /*label=*/-1);
+    }
+    return builder.build();
+}
+
+data::Dataset
+Cloud::allUploads() const
+{
+    data::DatasetBuilder builder;
+    for (const auto &up : uploads_)
+        builder.add(up.features, /*label=*/-1);
+    return builder.build();
+}
+
+void
+Cloud::flush()
+{
+    driftLog_.clear();
+    uploads_.clear();
+}
+
+CycleResult
+Cloud::runCycle(const nn::BnPatch &clean_patch)
+{
+    CycleResult result;
+    ++logicalTime_;
+
+    // ---- Root-cause analysis stage ----------------------------------
+    auto rca_start = std::chrono::steady_clock::now();
+    rca::Analyzer analyzer(config_.rca);
+    result.analysis =
+        analyzer.analyze(driftLog_.table(), config_.analysisMode);
+    result.rcaSeconds = secondsSince(rca_start);
+
+    const auto &causes = result.analysis.rootCauses;
+    logInfo() << "cloud cycle " << logicalTime_ << ": "
+              << driftLog_.size() << " entries, " << uploads_.size()
+              << " uploads, " << causes.size() << " root causes";
+
+    // ---- By-cause adaptation stage -----------------------------------
+    auto adapt_start = std::chrono::steady_clock::now();
+    adapt::TentAdapter tent(config_.adapt);
+
+    size_t adapted = 0;
+    for (const auto &cause : causes) {
+        if (config_.maxCausesPerCycle > 0 &&
+            adapted >= config_.maxCausesPerCycle)
+            break;
+        data::Dataset samples = uploadsMatching(cause.attrs);
+        if (samples.size() < config_.minAdaptSamples) {
+            logDebug() << "skipping cause " << cause.attrs.toString()
+                       << ": only " << samples.size() << " samples";
+            continue;
+        }
+        // Adapt a clone of the base model, starting from the current
+        // clean BN state, on the cause's sampled inputs.
+        nn::Classifier model = base_.clone();
+        model.applyBnPatch(clean_patch);
+        tent.adapt(model, samples.x);
+
+        deploy::ModelVersion version;
+        version.id = nextVersionId_++;
+        version.cause = cause.attrs;
+        version.riskRatio = cause.metrics.riskRatio;
+        version.patch = model.bnPatch();
+        version.updatedAt = logicalTime_;
+        registry_.publish(version); // durably stored before deployment
+        result.newVersions.push_back(std::move(version));
+        result.adaptedSampleCount += samples.size();
+        ++adapted;
+    }
+
+    // ---- Clean-model calibration -------------------------------------
+    if (config_.adaptCleanModel) {
+        data::Dataset clean = cleanUploads(causes);
+        if (clean.size() >= config_.minAdaptSamples) {
+            nn::Classifier model = base_.clone();
+            model.applyBnPatch(clean_patch);
+            tent.adapt(model, clean.x);
+            result.newCleanPatch = model.bnPatch();
+        }
+    }
+    result.adaptSeconds = secondsSince(adapt_start);
+
+    // Archive this cycle's evidence.
+    driftLog_.clear();
+    uploads_.clear();
+    return result;
+}
+
+} // namespace nazar::sim

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The Nazar cloud side (paper §3.3-§3.4, §4): drift-log ingestion,
+ * periodic root-cause analysis, and by-cause adaptation producing
+ * deployable model versions.
+ */
+#ifndef NAZAR_SIM_CLOUD_H
+#define NAZAR_SIM_CLOUD_H
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "adapt/tent.h"
+#include "data/dataset.h"
+#include "deploy/model_version.h"
+#include "deploy/registry.h"
+#include "driftlog/drift_log.h"
+#include "rca/analyzer.h"
+
+namespace nazar::sim {
+
+/** A sampled raw-input upload accompanying a drift-log entry. */
+struct Upload
+{
+    std::vector<double> features;
+    rca::AttributeSet context; ///< Device context at inference time.
+    bool driftFlag = false;    ///< The on-device detector's verdict.
+};
+
+/** Cloud-side configuration. */
+struct CloudConfig
+{
+    rca::RcaConfig rca;
+    adapt::AdaptConfig adapt;
+    rca::AnalysisMode analysisMode = rca::AnalysisMode::kFull;
+    /** Minimum matching uploads required to adapt to a cause. */
+    size_t minAdaptSamples = 24;
+    /** Also keep the clean model calibrated on non-drifted uploads. */
+    bool adaptCleanModel = true;
+    /** Cap on causes adapted per cycle (0 = no cap). */
+    size_t maxCausesPerCycle = 0;
+};
+
+/** Result of one analysis/adaptation cycle. */
+struct CycleResult
+{
+    std::vector<deploy::ModelVersion> newVersions;
+    std::optional<nn::BnPatch> newCleanPatch;
+    rca::AnalysisResult analysis;
+    size_t adaptedSampleCount = 0;
+    double rcaSeconds = 0.0;   ///< Wall-clock of the RCA stage.
+    double adaptSeconds = 0.0; ///< Wall-clock of the adaptation stage.
+};
+
+/**
+ * Cloud orchestrator. Owns the drift log and the upload buffer;
+ * produces model versions at analysis-window boundaries.
+ */
+class Cloud
+{
+  public:
+    /**
+     * @param config Cloud configuration (RCA + adaptation).
+     * @param base   The base (clean-trained) model; cycles adapt
+     *               clones of it.
+     */
+    Cloud(CloudConfig config, const nn::Classifier &base);
+
+    /** Ingest one drift-log entry and optionally its sampled input. */
+    void ingest(const driftlog::DriftLogEntry &entry,
+                std::optional<Upload> upload);
+
+    /**
+     * Run one analysis + by-cause adaptation cycle over the entries
+     * ingested since the last cycle, then archive them.
+     *
+     * @param clean_patch Current clean-model BN patch (starting point
+     *                    for adaptations and detector calibration).
+     */
+    CycleResult runCycle(const nn::BnPatch &clean_patch);
+
+    /**
+     * All currently buffered uploads as one dataset (labels are -1;
+     * adaptation is unsupervised). Used by the adapt-all baseline.
+     */
+    data::Dataset allUploads() const;
+
+    /** Archive buffered entries and uploads without running analysis. */
+    void flush();
+
+    /** Entries currently awaiting analysis. */
+    const driftlog::DriftLog &driftLog() const { return driftLog_; }
+
+    /** Uploads currently buffered. */
+    size_t uploadCount() const { return uploads_.size(); }
+
+    /** Total entries ingested over the lifetime of the cloud. */
+    size_t totalIngested() const { return totalIngested_; }
+
+    /** Next version id that will be assigned. */
+    int64_t nextVersionId() const { return nextVersionId_; }
+
+    /**
+     * The version registry (every adapted version is published to the
+     * blob store before deployment — the §5.8 "written in S3" step).
+     */
+    const deploy::ModelRegistry &registry() const { return registry_; }
+
+    /** The blob store backing the registry. */
+    const deploy::BlobStore &blobStore() const { return blobStore_; }
+
+    const CloudConfig &config() const { return config_; }
+
+  private:
+    /** Collect uploads whose context matches a cause. */
+    data::Dataset uploadsMatching(const rca::AttributeSet &cause) const;
+
+    /** Uploads not matching any accepted cause and not drift-flagged. */
+    data::Dataset cleanUploads(
+        const std::vector<rca::RankedCause> &causes) const;
+
+    CloudConfig config_;
+    const nn::Classifier &base_;
+    driftlog::DriftLog driftLog_;
+    std::vector<Upload> uploads_;
+    deploy::BlobStore blobStore_;
+    deploy::ModelRegistry registry_{blobStore_};
+    int64_t nextVersionId_ = 1;
+    int64_t logicalTime_ = 0;
+    size_t totalIngested_ = 0;
+};
+
+} // namespace nazar::sim
+
+#endif // NAZAR_SIM_CLOUD_H

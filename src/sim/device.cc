@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Implementation of the simulated device.
+ */
+#include "device.h"
+
+#include "data/apps.h"
+#include "nn/loss.h"
+
+namespace nazar::sim {
+
+Device::Device(int id, std::string location_name, size_t pool_capacity)
+    : id_(id), locationName_(std::move(location_name)),
+      pool_(pool_capacity)
+{
+}
+
+rca::AttributeSet
+Device::contextFor(const data::StreamEvent &event) const
+{
+    using driftlog::columns::kDeviceId;
+    using driftlog::columns::kDeviceModel;
+    using driftlog::columns::kLocation;
+    using driftlog::columns::kWeather;
+    return rca::AttributeSet({
+        {kWeather, driftlog::Value(data::toString(event.weather))},
+        {kLocation, driftlog::Value(locationName_)},
+        {kDeviceId, driftlog::Value(data::deviceName(id_))},
+        {kDeviceModel, driftlog::Value(data::deviceModel(id_))},
+    });
+}
+
+InferenceOutcome
+Device::infer(const data::StreamEvent &event, nn::Classifier &scratch,
+              const nn::BnPatch &clean_patch,
+              const detect::MspDetector &detector) const
+{
+    const deploy::ModelVersion *version =
+        deploy::selectVersion(pool_, contextFor(event));
+    if (version != nullptr)
+        scratch.applyBnPatch(version->patch);
+    else
+        scratch.applyBnPatch(clean_patch);
+
+    nn::Matrix logits =
+        scratch.logits(nn::Matrix::rowVector(event.features));
+    InferenceOutcome out;
+    out.predicted = static_cast<int>(logits.argmaxRow(0));
+    out.msp = nn::maxSoftmax(logits)[0];
+    out.driftFlag = detector.isDrift(logits.rowVec(0));
+    out.versionId = version ? version->id : 0;
+    return out;
+}
+
+driftlog::DriftLogEntry
+Device::makeLogEntry(const data::StreamEvent &event,
+                     const InferenceOutcome &out) const
+{
+    driftlog::DriftLogEntry entry;
+    entry.time = event.when;
+    entry.deviceId = data::deviceName(id_);
+    entry.deviceModel = data::deviceModel(id_);
+    entry.location = locationName_;
+    entry.weather = data::toString(event.weather);
+    entry.modelVersion = out.versionId;
+    entry.drift = out.driftFlag;
+    return entry;
+}
+
+} // namespace nazar::sim

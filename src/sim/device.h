@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Simulated mobile device (paper §3.1-§3.2, §3.4 device side).
+ *
+ * A device holds a pool of deployed BN-patch model versions, runs
+ * inference with on-device version selection, applies the lightweight
+ * MSP drift detector to every inference, and emits drift-log entries
+ * (plus sampled raw inputs) to the cloud.
+ */
+#ifndef NAZAR_SIM_DEVICE_H
+#define NAZAR_SIM_DEVICE_H
+
+#include <string>
+
+#include "data/stream.h"
+#include "deploy/matcher.h"
+#include "deploy/model_pool.h"
+#include "detect/scores.h"
+#include "driftlog/drift_log.h"
+#include "nn/classifier.h"
+
+namespace nazar::sim {
+
+/** Outcome of one on-device inference. */
+struct InferenceOutcome
+{
+    int predicted = -1;      ///< Predicted class.
+    double msp = 0.0;        ///< Confidence score of the prediction.
+    bool driftFlag = false;  ///< On-device detector verdict.
+    int64_t versionId = 0;   ///< Model version used (0 == clean).
+};
+
+/** One simulated device. */
+class Device
+{
+  public:
+    /**
+     * @param id            Global device id.
+     * @param location_name Name of the device's location.
+     * @param pool_capacity Model-pool capacity (0 = unbounded).
+     */
+    Device(int id, std::string location_name, size_t pool_capacity);
+
+    int id() const { return id_; }
+    const std::string &locationName() const { return locationName_; }
+
+    /** The device's model pool (receives pushed versions). */
+    deploy::ModelPool &pool() { return pool_; }
+    const deploy::ModelPool &pool() const { return pool_; }
+
+    /**
+     * Current context attributes for an input (metadata the device
+     * knows at inference time), matching drift-log column names.
+     */
+    rca::AttributeSet contextFor(const data::StreamEvent &event) const;
+
+    /**
+     * Run one inference: select a version, apply its patch to the
+     * scratch model, predict, and run drift detection.
+     *
+     * @param event       The arriving input.
+     * @param scratch     A model holding the base weights; its BN state
+     *                    is overwritten by the selected version's patch.
+     * @param clean_patch BN patch of the current clean model.
+     * @param detector    The on-device MSP detector.
+     */
+    InferenceOutcome infer(const data::StreamEvent &event,
+                           nn::Classifier &scratch,
+                           const nn::BnPatch &clean_patch,
+                           const detect::MspDetector &detector) const;
+
+    /** Build the drift-log entry for an inference. */
+    driftlog::DriftLogEntry makeLogEntry(const data::StreamEvent &event,
+                                         const InferenceOutcome &out) const;
+
+  private:
+    int id_;
+    std::string locationName_;
+    deploy::ModelPool pool_;
+};
+
+} // namespace nazar::sim
+
+#endif // NAZAR_SIM_DEVICE_H

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Implementation of the end-to-end runner.
+ */
+#include "runner.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace nazar::sim {
+
+std::string
+toString(Strategy strategy)
+{
+    switch (strategy) {
+      case Strategy::kNazar:    return "nazar";
+      case Strategy::kAdaptAll: return "adapt-all";
+      case Strategy::kNoAdapt:  return "no-adapt";
+    }
+    return "?";
+}
+
+double
+WindowMetrics::accuracyAll() const
+{
+    return events ? static_cast<double>(correctAll) / events : 0.0;
+}
+
+double
+WindowMetrics::accuracyDrifted() const
+{
+    return driftedEvents
+               ? static_cast<double>(correctDrifted) / driftedEvents
+               : 0.0;
+}
+
+double
+WindowMetrics::accuracyClean() const
+{
+    size_t clean = events - driftedEvents;
+    return clean ? static_cast<double>(correctClean) / clean : 0.0;
+}
+
+double
+WindowMetrics::detectionRate() const
+{
+    return events ? static_cast<double>(flagged) / events : 0.0;
+}
+
+double
+RunResult::avgAccuracyAll(int skip) const
+{
+    size_t correct = 0, total = 0;
+    for (size_t i = static_cast<size_t>(skip); i < windows.size(); ++i) {
+        correct += windows[i].correctAll;
+        total += windows[i].events;
+    }
+    return total ? static_cast<double>(correct) / total : 0.0;
+}
+
+double
+RunResult::avgAccuracyDrifted(int skip) const
+{
+    size_t correct = 0, total = 0;
+    for (size_t i = static_cast<size_t>(skip); i < windows.size(); ++i) {
+        correct += windows[i].correctDrifted;
+        total += windows[i].driftedEvents;
+    }
+    return total ? static_cast<double>(correct) / total : 0.0;
+}
+
+double
+RunResult::stddevAccuracyAll(int skip) const
+{
+    std::vector<double> xs;
+    for (size_t i = static_cast<size_t>(skip); i < windows.size(); ++i)
+        if (windows[i].events)
+            xs.push_back(windows[i].accuracyAll());
+    return stddev(xs);
+}
+
+std::vector<double>
+RunResult::cumulativeAccuracyAll() const
+{
+    std::vector<double> out;
+    size_t correct = 0, total = 0;
+    for (const auto &w : windows) {
+        correct += w.correctAll;
+        total += w.events;
+        out.push_back(total ? static_cast<double>(correct) / total : 0.0);
+    }
+    return out;
+}
+
+std::vector<double>
+RunResult::cumulativeAccuracyDrifted() const
+{
+    std::vector<double> out;
+    size_t correct = 0, total = 0;
+    for (const auto &w : windows) {
+        correct += w.correctDrifted;
+        total += w.driftedEvents;
+        out.push_back(total ? static_cast<double>(correct) / total : 0.0);
+    }
+    return out;
+}
+
+Runner::Runner(const data::AppSpec &app, const data::WeatherModel &weather,
+               RunnerConfig config, const nn::Classifier *pretrained)
+    : app_(app), weather_(weather), config_(std::move(config)),
+      pretrained_(pretrained)
+{
+    NAZAR_CHECK(config_.windows >= 1, "need at least one window");
+    if (pretrained_ != nullptr) {
+        NAZAR_CHECK(pretrained_->architecture() == config_.arch,
+                    "pretrained base architecture must match config");
+    }
+}
+
+RunResult
+Runner::run()
+{
+    RunResult result;
+    Rng rng(config_.seed);
+
+    // ---- Train (or adopt) the base model on clean data ----------------
+    Rng data_rng = rng.fork();
+    data::Dataset val =
+        app_.domain.makeBalancedDataset(app_.valPerClass, data_rng);
+    if (pretrained_ != nullptr) {
+        base_ = std::make_unique<nn::Classifier>(pretrained_->clone());
+    } else {
+        base_ = std::make_unique<nn::Classifier>(
+            config_.arch, app_.domain.featureDim(),
+            app_.domain.numClasses(), config_.seed);
+        data::Dataset train = app_.domain.makeBalancedDataset(
+            app_.trainPerClass, data_rng);
+        base_->trainSupervised(train.x, train.labels, config_.train);
+    }
+    result.baseCleanAccuracy = base_->accuracy(val.x, val.labels);
+    logInfo() << "base " << nn::toString(config_.arch)
+              << " clean accuracy: " << result.baseCleanAccuracy;
+
+    // ---- Generate the workload ---------------------------------------
+    data::WorkloadGenerator generator(app_, weather_, config_.workload);
+    std::vector<data::StreamEvent> events = generator.generate();
+    auto windows =
+        makeTimeWindows(config_.workload.days, config_.windows);
+
+    // ---- Fleet + cloud state ------------------------------------------
+    std::vector<Device> devices;
+    devices.reserve(static_cast<size_t>(generator.deviceCount()));
+    for (int d = 0; d < generator.deviceCount(); ++d) {
+        devices.emplace_back(
+            d, app_.locations[static_cast<size_t>(
+                   generator.locationOfDevice(d))].name,
+            config_.poolCapacity);
+    }
+
+    CloudConfig cloud_config = config_.cloud;
+    Cloud cloud(cloud_config, *base_);
+    detect::MspDetector detector(config_.mspThreshold);
+
+    nn::Classifier scratch = base_->clone();
+    nn::BnPatch clean_patch = base_->bnPatch();
+    // Adapt-all: the single continuously adapted model's BN state.
+    nn::BnPatch global_patch = clean_patch;
+
+    Rng sample_rng = rng.fork();
+    size_t next_event = 0;
+    for (const auto &window : windows) {
+        WindowMetrics wm;
+        wm.window = window.index;
+
+        while (next_event < events.size() &&
+               window.contains(events[next_event].when.dayIndex())) {
+            const data::StreamEvent &ev = events[next_event];
+            ++next_event;
+            Device &device = devices[static_cast<size_t>(ev.deviceId)];
+
+            InferenceOutcome out;
+            switch (config_.strategy) {
+              case Strategy::kNazar:
+                out = device.infer(ev, scratch, clean_patch, detector);
+                break;
+              case Strategy::kAdaptAll:
+              case Strategy::kNoAdapt: {
+                // Baselines: one global model (adapted or frozen).
+                scratch.applyBnPatch(global_patch);
+                nn::Matrix logits = scratch.logits(
+                    nn::Matrix::rowVector(ev.features));
+                out.predicted = static_cast<int>(logits.argmaxRow(0));
+                out.driftFlag = detector.isDrift(logits.rowVec(0));
+                out.versionId = 0;
+                break;
+              }
+            }
+
+            // Metrics.
+            bool correct = out.predicted == ev.label;
+            ++wm.events;
+            wm.correctAll += correct ? 1 : 0;
+            if (ev.trueDrift) {
+                ++wm.driftedEvents;
+                wm.correctDrifted += correct ? 1 : 0;
+                auto &acc = result.perCorruption[ev.corruption];
+                acc.total += 1;
+                acc.correct += correct ? 1 : 0;
+            } else {
+                wm.correctClean += correct ? 1 : 0;
+            }
+            wm.flagged += out.driftFlag ? 1 : 0;
+
+            // Telemetry to the cloud.
+            std::optional<Upload> upload;
+            if (sample_rng.bernoulli(config_.uploadSampleRate)) {
+                upload = Upload{ev.features, device.contextFor(ev),
+                                out.driftFlag};
+            }
+            cloud.ingest(device.makeLogEntry(ev, out), std::move(upload));
+        }
+
+        // ---- Window boundary: run the strategy's adaptation ----------
+        switch (config_.strategy) {
+          case Strategy::kNazar: {
+            CycleResult cycle = cloud.runCycle(clean_patch);
+            result.totalRcaSeconds += cycle.rcaSeconds;
+            result.totalAdaptSeconds += cycle.adaptSeconds;
+            wm.rootCauses = cycle.analysis.rootCauses.size();
+            wm.newVersions = cycle.newVersions.size();
+            if (cycle.newCleanPatch.has_value())
+                clean_patch = *cycle.newCleanPatch;
+            for (const auto &version : cycle.newVersions)
+                for (auto &device : devices)
+                    device.pool().install(version);
+            wm.poolSize = devices.empty() ? 0 : devices[0].pool().size();
+            break;
+          }
+          case Strategy::kAdaptAll: {
+            // Adapt the single model on every upload of the window,
+            // continuing from its current state.
+            data::Dataset all = cloud.allUploads();
+            cloud.flush();
+            if (all.size() >= cloud_config.minAdaptSamples) {
+                auto t0 = std::chrono::steady_clock::now();
+                adapt::TentAdapter tent(cloud_config.adapt);
+                nn::Classifier model = base_->clone();
+                model.applyBnPatch(global_patch);
+                tent.adapt(model, all.x);
+                global_patch = model.bnPatch();
+                result.totalAdaptSeconds +=
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+            }
+            break;
+          }
+          case Strategy::kNoAdapt:
+            cloud.flush(); // telemetry still arrives; nothing is done
+            break;
+        }
+
+        result.windows.push_back(wm);
+    }
+    return result;
+}
+
+} // namespace nazar::sim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The worked example of the paper's §3.3 (Tables 2 and 3): a 5-entry
+ * drift log from two devices in Helsinki and New York where the true
+ * root cause is snowy weather and entry 3 is a detector false
+ * positive. Shared by the RCA tests.
+ */
+#ifndef NAZAR_TESTS_PAPER_EXAMPLE_H
+#define NAZAR_TESTS_PAPER_EXAMPLE_H
+
+#include "driftlog/table.h"
+#include "rca/fim.h"
+
+namespace nazar::rca::testing {
+
+/** Build the paper's Table 2 as a drift-log-shaped table. */
+inline driftlog::Table
+paperTable2()
+{
+    using driftlog::Schema;
+    using driftlog::Table;
+    using driftlog::Value;
+    using driftlog::ValueType;
+
+    Table t(Schema({{"time", ValueType::kString},
+                    {"device_id", ValueType::kString},
+                    {"weather", ValueType::kString},
+                    {"location", ValueType::kString},
+                    {"drift", ValueType::kBool}}));
+    t.append({Value("06:02:01"), Value("android_42"), Value("clear-day"),
+              Value("helsinki"), Value(false)});
+    t.append({Value("06:02:23"), Value("android_21"), Value("clear-day"),
+              Value("new_york"), Value(false)});
+    t.append({Value("06:04:55"), Value("android_21"), Value("clear-day"),
+              Value("new_york"), Value(true)}); // false positive
+    t.append({Value("08:03:32"), Value("android_21"), Value("snow"),
+              Value("new_york"), Value(true)});
+    t.append({Value("11:05:01"), Value("android_42"), Value("snow"),
+              Value("helsinki"), Value(true)});
+    return t;
+}
+
+/** RCA config matching the paper's example (3 metadata attributes). */
+inline RcaConfig
+paperConfig()
+{
+    RcaConfig config;
+    config.attributeColumns = {"weather", "location", "device_id"};
+    return config;
+}
+
+/** Find a cause by attribute set in a ranked list; nullptr if absent. */
+inline const RankedCause *
+findCause(const std::vector<RankedCause> &causes, const AttributeSet &attrs)
+{
+    for (const auto &c : causes)
+        if (c.attrs == attrs)
+            return &c;
+    return nullptr;
+}
+
+/** Shorthand attribute-set constructors for the example's values. */
+inline AttributeSet
+weatherIs(const std::string &value)
+{
+    return AttributeSet({{"weather", driftlog::Value(value)}});
+}
+
+inline AttributeSet
+locationIs(const std::string &value)
+{
+    return AttributeSet({{"location", driftlog::Value(value)}});
+}
+
+inline AttributeSet
+weatherAndLocation(const std::string &weather, const std::string &loc)
+{
+    return AttributeSet({{"weather", driftlog::Value(weather)},
+                         {"location", driftlog::Value(loc)}});
+}
+
+} // namespace nazar::rca::testing
+
+#endif // NAZAR_TESTS_PAPER_EXAMPLE_H

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the self-supervised adaptation methods (TENT, MEMO) and
+ * the augmentation library.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adapt/augment.h"
+#include "adapt/memo.h"
+#include "adapt/tent.h"
+#include "common/error.h"
+#include "data/corruption.h"
+#include "data/domain.h"
+#include "nn/loss.h"
+
+namespace nazar::adapt {
+namespace {
+
+/** Shared fixture: a trained model plus clean and drifted data. */
+struct AdaptFixture
+{
+    AdaptFixture()
+    {
+        data::DomainConfig dc;
+        dc.numClasses = 8;
+        dc.featureDim = 16;
+        dc.prototypeScale = 0.8;
+        dc.noiseMin = 0.5;
+        dc.noiseMax = 1.0;
+        dc.seed = 3;
+        domain = std::make_unique<data::Domain>(dc);
+        Rng rng(1);
+        auto train = domain->makeBalancedDataset(80, rng);
+        model = std::make_unique<nn::Classifier>(
+            nn::Architecture::kResNet18, 16, 8, 5);
+        nn::TrainConfig tc;
+        tc.epochs = 25;
+        model->trainSupervised(train.x, train.labels, tc);
+
+        clean = domain->makeBalancedDataset(25, rng);
+        data::Corruptor corr(16);
+        data::DatasetBuilder b;
+        for (size_t r = 0; r < clean.x.rows(); ++r)
+            b.add(corr.apply(clean.x.rowVec(r),
+                             data::CorruptionType::kFog, 3, rng),
+                  clean.labels[r]);
+        drifted = b.build();
+    }
+
+    std::unique_ptr<data::Domain> domain;
+    std::unique_ptr<nn::Classifier> model;
+    data::Dataset clean;
+    data::Dataset drifted;
+};
+
+TEST(Tent, ReducesEntropyObjective)
+{
+    // TENT minimizes entropy under batch-statistics normalization
+    // (Mode::kAdapt) — compare the objective in that mode before and
+    // after adaptation, each measured on a throwaway clone so the
+    // measurement forwards don't perturb the models under comparison.
+    AdaptFixture f;
+    auto adapt_mode_entropy = [&](const nn::Classifier &model) {
+        nn::Classifier probe = model.clone();
+        return nn::meanEntropy(
+                   probe.net().forward(f.drifted.x, nn::Mode::kAdapt))
+            .loss;
+    };
+    double before = adapt_mode_entropy(*f.model);
+    nn::Classifier adapted = f.model->clone();
+    AdaptConfig config;
+    config.steps = 6;
+    TentAdapter tent(config);
+    tent.adapt(adapted, f.drifted.x);
+    double after = adapt_mode_entropy(adapted);
+    EXPECT_LT(after, before);
+}
+
+TEST(Tent, ImprovesAccuracyOnDriftedData)
+{
+    AdaptFixture f;
+    nn::Classifier adapted = f.model->clone();
+    double before = adapted.accuracy(f.drifted.x, f.drifted.labels);
+    TentAdapter tent{AdaptConfig{}};
+    tent.adapt(adapted, f.drifted.x);
+    double after = adapted.accuracy(f.drifted.x, f.drifted.labels);
+    EXPECT_GT(after, before + 0.05);
+}
+
+TEST(Tent, OnlyBatchNormStateChanges)
+{
+    AdaptFixture f;
+    nn::Classifier adapted = f.model->clone();
+    TentAdapter tent{AdaptConfig{}};
+    tent.adapt(adapted, f.drifted.x);
+
+    // BN patches differ...
+    EXPECT_FALSE(
+        adapted.bnPatch().approxEquals(f.model->bnPatch(), 1e-9));
+    // ...but non-BN parameters are untouched: re-installing the
+    // original BN patch restores the original function exactly.
+    adapted.applyBnPatch(f.model->bnPatch());
+    EXPECT_TRUE(adapted.logits(f.clean.x)
+                    .approxEquals(f.model->logits(f.clean.x), 1e-9));
+}
+
+TEST(Tent, DeterministicGivenSeed)
+{
+    AdaptFixture f;
+    nn::Classifier a = f.model->clone();
+    nn::Classifier b = f.model->clone();
+    TentAdapter tent{AdaptConfig{}};
+    tent.adapt(a, f.drifted.x);
+    tent.adapt(b, f.drifted.x);
+    EXPECT_TRUE(a.bnPatch().approxEquals(b.bnPatch(), 1e-12));
+}
+
+TEST(Tent, RejectsTinyBatch)
+{
+    AdaptFixture f;
+    nn::Classifier adapted = f.model->clone();
+    TentAdapter tent{AdaptConfig{}};
+    EXPECT_THROW(tent.adapt(adapted, nn::Matrix(1, 16)), NazarError);
+}
+
+TEST(Tent, ByCauseBeatsMixedAdaptation)
+{
+    // Core claim of §3.4: a model adapted on one cause outperforms a
+    // model adapted on a mixture of causes when evaluated on that
+    // cause's data.
+    AdaptFixture f;
+    Rng rng(7);
+    data::Corruptor corr(16);
+
+    // Mixture: fog + gaussian noise + impulse noise.
+    data::DatasetBuilder b;
+    auto src = f.domain->makeBalancedDataset(25, rng);
+    const data::CorruptionType types[] = {
+        data::CorruptionType::kFog,
+        data::CorruptionType::kGaussianNoise,
+        data::CorruptionType::kImpulseNoise};
+    for (size_t r = 0; r < src.x.rows(); ++r)
+        b.add(corr.apply(src.x.rowVec(r), types[r % 3], 3, rng),
+              src.labels[r]);
+    data::Dataset mixture = b.build();
+
+    TentAdapter tent{AdaptConfig{}};
+    nn::Classifier by_cause = f.model->clone();
+    tent.adapt(by_cause, f.drifted.x); // fog only
+    nn::Classifier adapt_all = f.model->clone();
+    tent.adapt(adapt_all, mixture.x);
+
+    double by_cause_acc =
+        by_cause.accuracy(f.drifted.x, f.drifted.labels);
+    double adapt_all_acc =
+        adapt_all.accuracy(f.drifted.x, f.drifted.labels);
+    EXPECT_GT(by_cause_acc, adapt_all_acc);
+}
+
+TEST(Memo, ReducesMarginalEntropy)
+{
+    AdaptFixture f;
+    nn::Classifier adapted = f.model->clone();
+    AdaptConfig config;
+    config.steps = 2;
+    config.maxInputs = 40;
+    MemoAdapter memo(config);
+    double final_loss = memo.adapt(adapted, f.drifted.x);
+    EXPECT_GE(final_loss, 0.0);
+    // The BN state must have moved.
+    EXPECT_FALSE(
+        adapted.bnPatch().approxEquals(f.model->bnPatch(), 1e-9));
+}
+
+TEST(Memo, RespectsMaxInputsCap)
+{
+    AdaptFixture f;
+    AdaptConfig config;
+    config.steps = 1;
+    config.maxInputs = 1;
+    MemoAdapter memo(config);
+    nn::Classifier adapted = f.model->clone();
+    // Must not throw and must finish quickly with a single input.
+    EXPECT_NO_THROW(memo.adapt(adapted, f.drifted.x));
+}
+
+TEST(Memo, NamesAndConfig)
+{
+    MemoAdapter memo{AdaptConfig{}};
+    TentAdapter tent{AdaptConfig{}};
+    EXPECT_EQ(memo.name(), "memo");
+    EXPECT_EQ(tent.name(), "tent");
+    EXPECT_EQ(tent.config().batchSize, AdaptConfig{}.batchSize);
+}
+
+TEST(Augment, PreservesDimension)
+{
+    Rng rng(9);
+    std::vector<double> x(16, 1.0);
+    auto y = augmentOnce(x, rng);
+    EXPECT_EQ(y.size(), x.size());
+}
+
+TEST(Augment, CopiesDiffer)
+{
+    Rng rng(10);
+    std::vector<double> x(16, 1.0);
+    nn::Matrix batch = augmentBatch(x, 6, rng);
+    EXPECT_EQ(batch.rows(), 6u);
+    EXPECT_EQ(batch.cols(), 16u);
+    bool any_diff = false;
+    for (size_t r = 1; r < batch.rows(); ++r)
+        if (!(batch.rowVec(r) == batch.rowVec(0)))
+            any_diff = true;
+    EXPECT_TRUE(any_diff);
+    EXPECT_THROW(augmentBatch(x, 1, rng), NazarError);
+}
+
+TEST(Augment, StaysCloseToSource)
+{
+    // Augmentations must be label-preserving perturbations, not
+    // rewrites: the augmented copy stays within a bounded distance.
+    Rng rng(11);
+    std::vector<double> x(16);
+    for (size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<double>(i % 5) - 2.0;
+    for (int trial = 0; trial < 50; ++trial) {
+        auto y = augmentOnce(x, rng);
+        double dist = 0.0, norm = 0.0;
+        for (size_t i = 0; i < x.size(); ++i) {
+            dist += (y[i] - x[i]) * (y[i] - x[i]);
+            norm += x[i] * x[i];
+        }
+        EXPECT_LT(std::sqrt(dist), 0.8 * std::sqrt(norm));
+    }
+}
+
+} // namespace
+} // namespace nazar::adapt

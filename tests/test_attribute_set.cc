@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for attribute sets.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "paper_example.h"
+#include "rca/attribute_set.h"
+
+namespace nazar::rca {
+namespace {
+
+using driftlog::Value;
+
+TEST(AttributeSet, CanonicalOrdering)
+{
+    // Construction order must not matter.
+    AttributeSet a({{"weather", Value("snow")},
+                    {"location", Value("oslo")}});
+    AttributeSet b({{"location", Value("oslo")},
+                    {"weather", Value("snow")}});
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.toString(), b.toString());
+}
+
+TEST(AttributeSet, RejectsDuplicateColumns)
+{
+    EXPECT_THROW(AttributeSet({{"weather", Value("snow")},
+                               {"weather", Value("rain")}}),
+                 NazarError);
+}
+
+TEST(AttributeSet, HasColumnAndExtend)
+{
+    AttributeSet s({{"weather", Value("snow")}});
+    EXPECT_TRUE(s.hasColumn("weather"));
+    EXPECT_FALSE(s.hasColumn("location"));
+
+    AttributeSet bigger = s.extended({"location", Value("oslo")});
+    EXPECT_EQ(bigger.size(), 2u);
+    EXPECT_TRUE(bigger.hasColumn("location"));
+    EXPECT_THROW(s.extended({"weather", Value("rain")}), NazarError);
+    // extended() does not mutate the source.
+    EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(AttributeSet, SubsetSemantics)
+{
+    AttributeSet snow({{"weather", Value("snow")}});
+    AttributeSet snow_ny({{"weather", Value("snow")},
+                          {"location", Value("new_york")}});
+    AttributeSet rain({{"weather", Value("rain")}});
+    AttributeSet empty;
+
+    EXPECT_TRUE(snow.isSubsetOf(snow_ny));
+    EXPECT_TRUE(snow.isProperSubsetOf(snow_ny));
+    EXPECT_FALSE(snow_ny.isSubsetOf(snow));
+    EXPECT_TRUE(snow.isSubsetOf(snow));
+    EXPECT_FALSE(snow.isProperSubsetOf(snow));
+    EXPECT_FALSE(rain.isSubsetOf(snow_ny)); // same column, other value
+    EXPECT_TRUE(empty.isSubsetOf(snow));
+    EXPECT_TRUE(empty.isProperSubsetOf(snow));
+}
+
+TEST(AttributeSet, MatchesRow)
+{
+    driftlog::Table t = testing::paperTable2();
+    AttributeSet snow = testing::weatherIs("snow");
+    // Rows 3 and 4 are the snowy entries.
+    EXPECT_FALSE(snow.matchesRow(t, 0));
+    EXPECT_FALSE(snow.matchesRow(t, 2));
+    EXPECT_TRUE(snow.matchesRow(t, 3));
+    EXPECT_TRUE(snow.matchesRow(t, 4));
+
+    AttributeSet snow_hel =
+        testing::weatherAndLocation("snow", "helsinki");
+    EXPECT_FALSE(snow_hel.matchesRow(t, 3));
+    EXPECT_TRUE(snow_hel.matchesRow(t, 4));
+
+    AttributeSet empty;
+    for (size_t r = 0; r < t.rowCount(); ++r)
+        EXPECT_TRUE(empty.matchesRow(t, r));
+}
+
+TEST(AttributeSet, ToStringIsReadable)
+{
+    AttributeSet s({{"weather", Value("snow")},
+                    {"location", Value("oslo")}});
+    EXPECT_EQ(s.toString(), "{location=oslo, weather=snow}");
+    EXPECT_EQ(AttributeSet().toString(), "{}");
+}
+
+TEST(AttributeSet, TotalOrderIsStrict)
+{
+    AttributeSet a({{"weather", Value("rain")}});
+    AttributeSet b({{"weather", Value("snow")}});
+    EXPECT_TRUE(a < b || b < a);
+    EXPECT_FALSE(a < a);
+}
+
+} // namespace
+} // namespace nazar::rca

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the Nazar public facade.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "core/nazar.h"
+#include "core/version.h"
+#include "data/apps.h"
+
+namespace nazar::core {
+namespace {
+
+struct CoreFixture : ::testing::Test
+{
+    CoreFixture()
+    {
+        setLogLevel(LogLevel::kSilent);
+        app = data::makeAnimalsApp(13, 8);
+        Rng rng(1);
+        auto train = app.domain.makeBalancedDataset(60, rng);
+        nn::Classifier base(nn::Architecture::kResNet18,
+                            app.domain.featureDim(),
+                            app.domain.numClasses(), 5);
+        nn::TrainConfig tc;
+        tc.epochs = 20;
+        base.trainSupervised(train.x, train.labels, tc);
+        trained = std::make_unique<nn::Classifier>(std::move(base));
+    }
+
+    ~CoreFixture() override { setLogLevel(LogLevel::kInfo); }
+
+    data::StreamEvent
+    makeEvent(int device, data::Weather weather, uint64_t seed)
+    {
+        Rng rng(seed);
+        data::StreamEvent ev;
+        ev.when = SimDate(1, 600);
+        ev.deviceId = device;
+        ev.locationId = 0;
+        ev.weather = weather;
+        ev.label =
+            static_cast<int>(rng.index(app.domain.numClasses()));
+        ev.features = app.domain.sample(ev.label, rng);
+        if (weather != data::Weather::kClear) {
+            data::Corruptor corr(app.domain.featureDim());
+            ev.features =
+                corr.apply(ev.features,
+                           data::weatherCorruption(weather), 3, rng);
+            ev.trueDrift = true;
+            ev.corruption = data::weatherCorruption(weather);
+            ev.severity = 3;
+        }
+        return ev;
+    }
+
+    data::AppSpec app = data::makeAnimalsApp(13, 8);
+    std::unique_ptr<nn::Classifier> trained;
+};
+
+TEST_F(CoreFixture, RegisterAndAccessDevices)
+{
+    NazarConfig config;
+    Nazar nazar(config, trained->clone());
+    sim::Device &d0 = nazar.registerDevice(0, "tibet");
+    EXPECT_EQ(d0.id(), 0);
+    EXPECT_EQ(nazar.deviceCount(), 1u);
+    // Idempotent registration.
+    sim::Device &again = nazar.registerDevice(0, "tibet");
+    EXPECT_EQ(&d0, &again);
+    EXPECT_EQ(nazar.deviceCount(), 1u);
+    EXPECT_THROW(nazar.device(3), NazarError);
+}
+
+TEST_F(CoreFixture, InferReportsTelemetry)
+{
+    NazarConfig config;
+    config.uploadSampleRate = 1.0;
+    Nazar nazar(config, trained->clone());
+    nazar.registerDevice(0, "tibet");
+    auto out = nazar.infer(0, makeEvent(0, data::Weather::kClear, 3));
+    EXPECT_GE(out.predicted, 0);
+    EXPECT_EQ(nazar.cloud().driftLog().size(), 1u);
+    EXPECT_EQ(nazar.cloud().uploadCount(), 1u);
+}
+
+TEST_F(CoreFixture, ManualCycleDeploysVersionsAndAlerts)
+{
+    NazarConfig config;
+    config.uploadSampleRate = 1.0;
+    config.cloud.minAdaptSamples = 16;
+    Nazar nazar(config, trained->clone());
+    for (int d = 0; d < 4; ++d)
+        nazar.registerDevice(d, "tibet");
+
+    std::vector<Alert> alerts;
+    nazar.onAlert([&](const Alert &a) { alerts.push_back(a); });
+
+    // Feed a snowy drift burst plus clean traffic.
+    uint64_t seed = 100;
+    for (int i = 0; i < 120; ++i)
+        nazar.infer(i % 4, makeEvent(i % 4, data::Weather::kSnow,
+                                     seed++));
+    for (int i = 0; i < 120; ++i)
+        nazar.infer(i % 4, makeEvent(i % 4, data::Weather::kClear,
+                                     seed++));
+
+    sim::CycleResult cycle = nazar.analyzeNow();
+    EXPECT_EQ(nazar.cycleCount(), 1u);
+    ASSERT_FALSE(cycle.analysis.rootCauses.empty());
+    ASSERT_FALSE(cycle.newVersions.empty());
+
+    // Versions were pushed to every device.
+    for (int d = 0; d < 4; ++d)
+        EXPECT_EQ(nazar.device(d).pool().size(),
+                  cycle.newVersions.size());
+
+    // Alerts cover causes and deployments.
+    bool cause_alert = false, deploy_alert = false;
+    for (const auto &a : alerts) {
+        if (a.kind == Alert::Kind::kRootCauseFound)
+            cause_alert = true;
+        if (a.kind == Alert::Kind::kModelAdapted)
+            deploy_alert = true;
+    }
+    EXPECT_TRUE(cause_alert);
+    EXPECT_TRUE(deploy_alert);
+}
+
+TEST_F(CoreFixture, AutopilotTriggersCycles)
+{
+    NazarConfig config;
+    config.uploadSampleRate = 1.0;
+    config.autopilotEveryEntries = 50;
+    config.cloud.minAdaptSamples = 1000000; // avoid slow adaptation
+    Nazar nazar(config, trained->clone());
+    nazar.registerDevice(0, "tibet");
+    uint64_t seed = 1;
+    for (int i = 0; i < 120; ++i)
+        nazar.infer(0, makeEvent(0, data::Weather::kClear, seed++));
+    EXPECT_EQ(nazar.cycleCount(), 2u); // at entries 50 and 100
+}
+
+TEST_F(CoreFixture, CleanPatchEvolvesWhenRecalibrated)
+{
+    NazarConfig config;
+    config.uploadSampleRate = 1.0;
+    config.cloud.minAdaptSamples = 16;
+    // A conservative threshold so clean traffic from this small,
+    // soft-confidence model is not mass-flagged as drift (which would
+    // legitimately turn into a fleet-wide cause instead of a clean
+    // recalibration).
+    config.mspThreshold = 0.4;
+    Nazar nazar(config, trained->clone());
+    nazar.registerDevice(0, "tibet");
+    nn::BnPatch before = nazar.cleanPatch();
+    uint64_t seed = 1;
+    for (int i = 0; i < 100; ++i)
+        nazar.infer(0, makeEvent(0, data::Weather::kClear, seed++));
+    nazar.analyzeNow();
+    // Plenty of clean uploads: the clean model recalibrates.
+    EXPECT_FALSE(nazar.cleanPatch().approxEquals(before, 1e-12));
+}
+
+TEST(CoreVersion, Constants)
+{
+    EXPECT_STREQ(kVersionString, "1.0.0");
+    EXPECT_EQ(kVersionMajor, 1);
+}
+
+} // namespace
+} // namespace nazar::core

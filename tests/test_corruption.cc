@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the 16 drift corruptions.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "data/corruption.h"
+
+namespace nazar::data {
+namespace {
+
+std::vector<double>
+sampleVector(size_t dim, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> x(dim);
+    for (auto &e : x)
+        e = rng.normal(0.0, 1.0);
+    return x;
+}
+
+TEST(Corruption, CatalogHas16Types)
+{
+    EXPECT_EQ(allCorruptionTypes().size(),
+              static_cast<size_t>(kNumCorruptionTypes));
+}
+
+TEST(Corruption, NamesRoundTrip)
+{
+    for (CorruptionType t : allCorruptionTypes())
+        EXPECT_EQ(corruptionFromString(toString(t)), t);
+    EXPECT_EQ(corruptionFromString("none"), CorruptionType::kNone);
+    EXPECT_THROW(corruptionFromString("sharknado"), NazarError);
+}
+
+TEST(Corruption, WeatherSubset)
+{
+    EXPECT_TRUE(isWeatherCorruption(CorruptionType::kSnow));
+    EXPECT_TRUE(isWeatherCorruption(CorruptionType::kRain));
+    EXPECT_TRUE(isWeatherCorruption(CorruptionType::kFog));
+    EXPECT_TRUE(isWeatherCorruption(CorruptionType::kFrost));
+    EXPECT_FALSE(isWeatherCorruption(CorruptionType::kGaussianNoise));
+    EXPECT_FALSE(isWeatherCorruption(CorruptionType::kNone));
+}
+
+TEST(Corruptor, IdentityAtSeverityZeroAndNone)
+{
+    Corruptor corr(32);
+    Rng rng(1);
+    auto x = sampleVector(32, 2);
+    EXPECT_EQ(corr.apply(x, CorruptionType::kSnow, 0, rng), x);
+    EXPECT_EQ(corr.apply(x, CorruptionType::kNone, 3, rng), x);
+}
+
+TEST(Corruptor, RejectsBadArguments)
+{
+    Corruptor corr(32);
+    Rng rng(1);
+    auto x = sampleVector(32, 2);
+    EXPECT_THROW(corr.apply(x, CorruptionType::kSnow, 6, rng),
+                 NazarError);
+    EXPECT_THROW(corr.apply(x, CorruptionType::kSnow, -1, rng),
+                 NazarError);
+    EXPECT_THROW(corr.apply(sampleVector(16, 2),
+                            CorruptionType::kSnow, 3, rng),
+                 NazarError);
+    EXPECT_THROW(Corruptor(4), NazarError);
+}
+
+class CorruptionTypeTest
+    : public ::testing::TestWithParam<CorruptionType>
+{
+};
+
+TEST_P(CorruptionTypeTest, ChangesTheInput)
+{
+    Corruptor corr(32);
+    Rng rng(3);
+    auto x = sampleVector(32, 4);
+    auto y = corr.apply(x, GetParam(), 3, rng);
+    ASSERT_EQ(y.size(), x.size());
+    double diff = 0.0;
+    for (size_t i = 0; i < x.size(); ++i)
+        diff += std::fabs(y[i] - x[i]);
+    EXPECT_GT(diff, 0.01);
+}
+
+TEST_P(CorruptionTypeTest, OutputIsFinite)
+{
+    Corruptor corr(32);
+    Rng rng(5);
+    for (int severity = 1; severity <= 5; ++severity) {
+        auto y = corr.apply(sampleVector(32, 6), GetParam(), severity,
+                            rng);
+        for (double e : y)
+            EXPECT_TRUE(std::isfinite(e));
+    }
+}
+
+TEST_P(CorruptionTypeTest, SeverityIncreasesDistortion)
+{
+    Corruptor corr(32);
+    // Average distortion over many samples must grow from severity 1
+    // to severity 5 (per-sample monotonicity is not required — the
+    // transforms are stochastic).
+    double d1 = 0.0, d5 = 0.0;
+    for (int s = 0; s < 50; ++s) {
+        auto x = sampleVector(32, 100 + static_cast<uint64_t>(s));
+        Rng r1(7), r5(7);
+        auto y1 = corr.apply(x, GetParam(), 1, r1);
+        auto y5 = corr.apply(x, GetParam(), 5, r5);
+        for (size_t i = 0; i < x.size(); ++i) {
+            d1 += (y1[i] - x[i]) * (y1[i] - x[i]);
+            d5 += (y5[i] - x[i]) * (y5[i] - x[i]);
+        }
+    }
+    EXPECT_GT(d5, d1 * 1.5) << toString(GetParam());
+}
+
+TEST_P(CorruptionTypeTest, DeterministicGivenSameRngStream)
+{
+    Corruptor corr(32);
+    auto x = sampleVector(32, 8);
+    Rng a(11), b(11);
+    EXPECT_EQ(corr.apply(x, GetParam(), 3, a),
+              corr.apply(x, GetParam(), 3, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, CorruptionTypeTest,
+    ::testing::ValuesIn(allCorruptionTypes()),
+    [](const ::testing::TestParamInfo<CorruptionType> &info) {
+        return toString(info.param);
+    });
+
+TEST(Corruptor, TypesProduceDistinctDistortions)
+{
+    // Two different structured types must not produce identical
+    // outputs for the same input (they are distinct root causes).
+    Corruptor corr(32);
+    auto x = sampleVector(32, 9);
+    Rng r1(13), r2(13);
+    auto snow = corr.apply(x, CorruptionType::kSnow, 3, r1);
+    auto fog = corr.apply(x, CorruptionType::kFog, 3, r2);
+    double diff = 0.0;
+    for (size_t i = 0; i < x.size(); ++i)
+        diff += std::fabs(snow[i] - fog[i]);
+    EXPECT_GT(diff, 0.1);
+}
+
+TEST(Corruptor, StructureIsStableAcrossInstances)
+{
+    // Two corruptors with the same seed and dimension define the same
+    // transform (same fixed masks/directions).
+    Corruptor a(32, 777), b(32, 777);
+    auto x = sampleVector(32, 10);
+    Rng r1(17), r2(17);
+    EXPECT_EQ(a.apply(x, CorruptionType::kFrost, 4, r1),
+              b.apply(x, CorruptionType::kFrost, 4, r2));
+}
+
+TEST(Corruptor, DifferentSeedsDifferentStructure)
+{
+    Corruptor a(32, 1), b(32, 2);
+    auto x = sampleVector(32, 10);
+    Rng r1(17), r2(17);
+    EXPECT_NE(a.apply(x, CorruptionType::kSnow, 3, r1),
+              b.apply(x, CorruptionType::kSnow, 3, r2));
+}
+
+TEST(Corruptor, FadeShrinksFeatureNorm)
+{
+    // The universal feature fade means corrupted vectors of a
+    // deterministic type (no stochastic component dominating) have a
+    // smaller norm than the input on average.
+    Corruptor corr(32);
+    Rng rng(19);
+    double in_norm = 0.0, out_norm = 0.0;
+    for (int i = 0; i < 100; ++i) {
+        auto x = sampleVector(32, 200 + static_cast<uint64_t>(i));
+        auto y = corr.apply(x, CorruptionType::kJpegCompression, 3, rng);
+        for (size_t k = 0; k < x.size(); ++k) {
+            in_norm += x[k] * x[k];
+            out_norm += y[k] * y[k];
+        }
+    }
+    EXPECT_LT(out_norm, in_norm);
+}
+
+} // namespace
+} // namespace nazar::data

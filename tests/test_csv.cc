@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for CSV import/export of drift-log tables.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "driftlog/csv.h"
+#include "driftlog/drift_log.h"
+
+namespace nazar::driftlog {
+namespace {
+
+Schema
+testSchema()
+{
+    return Schema({{"name", ValueType::kString},
+                   {"count", ValueType::kInt},
+                   {"ratio", ValueType::kDouble},
+                   {"drift", ValueType::kBool}});
+}
+
+TEST(Csv, EscapeRules)
+{
+    EXPECT_EQ(csvEscape("plain"), "plain");
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, SplitHandlesQuoting)
+{
+    EXPECT_EQ(csvSplit("a,b,c"),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(csvSplit("\"a,b\",c"),
+              (std::vector<std::string>{"a,b", "c"}));
+    EXPECT_EQ(csvSplit("\"say \"\"hi\"\"\",x"),
+              (std::vector<std::string>{"say \"hi\"", "x"}));
+    EXPECT_EQ(csvSplit(""), (std::vector<std::string>{""}));
+    EXPECT_EQ(csvSplit("a,,c"),
+              (std::vector<std::string>{"a", "", "c"}));
+    EXPECT_THROW(csvSplit("\"unterminated"), NazarError);
+}
+
+TEST(Csv, ParseCellTypes)
+{
+    EXPECT_EQ(parseCell("42", ValueType::kInt).asInt(), 42);
+    EXPECT_EQ(parseCell("-7", ValueType::kInt).asInt(), -7);
+    EXPECT_EQ(parseCell("2.5", ValueType::kDouble).asDouble(), 2.5);
+    EXPECT_TRUE(parseCell("true", ValueType::kBool).asBool());
+    EXPECT_FALSE(parseCell("0", ValueType::kBool).asBool());
+    EXPECT_EQ(parseCell("hello", ValueType::kString).asString(),
+              "hello");
+    EXPECT_TRUE(parseCell("", ValueType::kInt).isNull());
+    EXPECT_THROW(parseCell("abc", ValueType::kInt), NazarError);
+    EXPECT_THROW(parseCell("maybe", ValueType::kBool), NazarError);
+}
+
+TEST(Csv, RoundTripPreservesEverything)
+{
+    Table t(testSchema());
+    t.append({Value("alpha"), Value(1), Value(0.5), Value(true)});
+    t.append({Value("with,comma"), Value(-2), Value(1.25),
+              Value(false)});
+    t.append({Value("quote\"inside"), Value(3), Value(2.0),
+              Value(true)});
+    t.append({Value(), Value(), Value(), Value()}); // null row
+
+    std::stringstream ss;
+    writeCsv(t, ss);
+    Table back = readCsv(testSchema(), ss);
+
+    ASSERT_EQ(back.rowCount(), t.rowCount());
+    for (size_t r = 0; r < t.rowCount(); ++r) {
+        for (size_t c = 0; c < 3; ++c) {
+            if (t.at(r, c).isNull())
+                EXPECT_TRUE(back.at(r, c).isNull());
+            else
+                EXPECT_EQ(back.at(r, c), t.at(r, c))
+                    << "row " << r << " col " << c;
+        }
+    }
+}
+
+TEST(Csv, HeaderValidation)
+{
+    std::stringstream wrong_width("name,count\n");
+    EXPECT_THROW(readCsv(testSchema(), wrong_width), NazarError);
+    std::stringstream wrong_name("name,count,ratio,flag\n");
+    EXPECT_THROW(readCsv(testSchema(), wrong_name), NazarError);
+    std::stringstream empty("");
+    EXPECT_THROW(readCsv(testSchema(), empty), NazarError);
+}
+
+TEST(Csv, SkipsBlankLinesAndHandlesCrLf)
+{
+    std::stringstream ss(
+        "name,count,ratio,drift\r\nfoo,1,0.5,true\r\n\r\n");
+    Table t = readCsv(testSchema(), ss);
+    ASSERT_EQ(t.rowCount(), 1u);
+    EXPECT_EQ(t.at(0, "name").asString(), "foo");
+    EXPECT_TRUE(t.at(0, "drift").asBool());
+}
+
+TEST(Csv, DriftLogRoundTrip)
+{
+    DriftLog log;
+    for (int i = 0; i < 25; ++i) {
+        DriftLogEntry e;
+        e.time = SimDate(i % 7, i * 137 % 86400);
+        e.deviceId = "android_" + std::to_string(i % 4);
+        e.deviceModel = "pixel_6";
+        e.location = i % 2 ? "oslo" : "new_york";
+        e.weather = i % 3 ? "clear-day" : "snow";
+        e.modelVersion = i % 5;
+        e.drift = i % 3 == 0;
+        log.add(e);
+    }
+    std::stringstream ss;
+    writeCsv(log.table(), ss);
+    Table back = readCsv(log.table().schema(), ss);
+    ASSERT_EQ(back.rowCount(), 25u);
+    for (size_t r = 0; r < 25; ++r) {
+        EXPECT_EQ(back.at(r, columns::kDeviceId),
+                  log.table().at(r, columns::kDeviceId));
+        EXPECT_EQ(back.at(r, columns::kDrift),
+                  log.table().at(r, columns::kDrift));
+    }
+}
+
+} // namespace
+} // namespace nazar::driftlog

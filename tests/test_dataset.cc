@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the dataset container and builder.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "data/dataset.h"
+
+namespace nazar::data {
+namespace {
+
+TEST(Dataset, AppendSingleSamples)
+{
+    Dataset d;
+    EXPECT_TRUE(d.empty());
+    d.append({1.0, 2.0}, 0);
+    d.append({3.0, 4.0}, 1);
+    EXPECT_EQ(d.size(), 2u);
+    EXPECT_EQ(d.x(1, 0), 3.0);
+    EXPECT_EQ(d.labels[1], 1);
+    EXPECT_THROW(d.append({1.0}, 2), NazarError);
+}
+
+TEST(Dataset, AppendDataset)
+{
+    Dataset a, b;
+    a.append({1.0}, 0);
+    b.append({2.0}, 1);
+    b.append({3.0}, 2);
+    a.append(b);
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_EQ(a.x(2, 0), 3.0);
+    EXPECT_EQ(a.labels[2], 2);
+
+    Dataset empty;
+    a.append(empty);
+    EXPECT_EQ(a.size(), 3u);
+    empty.append(a);
+    EXPECT_EQ(empty.size(), 3u);
+}
+
+TEST(Dataset, Subset)
+{
+    Dataset d;
+    for (int i = 0; i < 5; ++i)
+        d.append({static_cast<double>(i)}, i);
+    Dataset s = d.subset({4, 0, 2});
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_EQ(s.labels, (std::vector<int>{4, 0, 2}));
+    EXPECT_EQ(s.x(0, 0), 4.0);
+    EXPECT_THROW(d.subset({9}), NazarError);
+}
+
+TEST(Dataset, IndicesOfClass)
+{
+    Dataset d;
+    d.append({0.0}, 1);
+    d.append({0.0}, 2);
+    d.append({0.0}, 1);
+    EXPECT_EQ(d.indicesOfClass(1), (std::vector<size_t>{0, 2}));
+    EXPECT_TRUE(d.indicesOfClass(7).empty());
+}
+
+TEST(Dataset, SplitFractions)
+{
+    Dataset d;
+    for (int i = 0; i < 10; ++i)
+        d.append({static_cast<double>(i)}, i);
+    auto [a, b] = splitDataset(d, 0.3);
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_EQ(b.size(), 7u);
+    EXPECT_EQ(a.labels[0], 0);
+    EXPECT_EQ(b.labels[0], 3);
+    EXPECT_THROW(splitDataset(d, 1.5), NazarError);
+
+    auto [none, all] = splitDataset(d, 0.0);
+    EXPECT_TRUE(none.empty());
+    EXPECT_EQ(all.size(), 10u);
+}
+
+TEST(DatasetBuilder, BuildsAndResets)
+{
+    DatasetBuilder b;
+    for (int i = 0; i < 100; ++i)
+        b.add({static_cast<double>(i), 1.0}, i % 3);
+    EXPECT_EQ(b.size(), 100u);
+    Dataset d = b.build();
+    EXPECT_EQ(d.size(), 100u);
+    EXPECT_EQ(d.x.cols(), 2u);
+    EXPECT_EQ(d.x(50, 0), 50.0);
+    EXPECT_EQ(d.labels[50], 50 % 3);
+    // Builder resets after build().
+    EXPECT_EQ(b.size(), 0u);
+    EXPECT_TRUE(b.build().empty());
+}
+
+TEST(DatasetBuilder, RejectsRaggedRows)
+{
+    DatasetBuilder b;
+    b.add({1.0, 2.0}, 0);
+    EXPECT_THROW(b.add({1.0}, 0), NazarError);
+}
+
+TEST(DatasetBuilder, MatchesAppendSemantics)
+{
+    Dataset via_append;
+    DatasetBuilder builder;
+    for (int i = 0; i < 20; ++i) {
+        std::vector<double> row = {i * 1.0, i * 2.0};
+        via_append.append(row, i);
+        builder.add(row, i);
+    }
+    Dataset via_builder = builder.build();
+    EXPECT_TRUE(via_append.x.approxEquals(via_builder.x));
+    EXPECT_EQ(via_append.labels, via_builder.labels);
+}
+
+} // namespace
+} // namespace nazar::data

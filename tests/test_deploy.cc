@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for model versioning: the consolidating pool and the
+ * on-device version matcher.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "deploy/matcher.h"
+#include "deploy/model_pool.h"
+
+namespace nazar::deploy {
+namespace {
+
+using driftlog::Value;
+using rca::AttributeSet;
+
+ModelVersion
+makeVersion(int64_t id, AttributeSet cause, double rr, int64_t t)
+{
+    ModelVersion v;
+    v.id = id;
+    v.cause = std::move(cause);
+    v.riskRatio = rr;
+    v.updatedAt = t;
+    return v;
+}
+
+AttributeSet
+weather(const std::string &w)
+{
+    return AttributeSet({{"weather", Value(w)}});
+}
+
+AttributeSet
+weatherLoc(const std::string &w, const std::string &l)
+{
+    return AttributeSet({{"weather", Value(w)},
+                         {"location", Value(l)}});
+}
+
+TEST(ModelPool, InstallAndLookup)
+{
+    ModelPool pool;
+    pool.install(makeVersion(1, weather("snow"), 3.0, 1));
+    pool.install(makeVersion(2, weather("rain"), 2.0, 2));
+    EXPECT_EQ(pool.size(), 2u);
+    EXPECT_NE(pool.findByCause(weather("snow")), nullptr);
+    EXPECT_EQ(pool.findByCause(weather("fog")), nullptr);
+    EXPECT_EQ(pool.findById(2)->cause, weather("rain"));
+    EXPECT_EQ(pool.findById(99), nullptr);
+}
+
+TEST(ModelPool, SameCauseReplacesOldVersion)
+{
+    ModelPool pool;
+    pool.install(makeVersion(1, weather("snow"), 3.0, 1));
+    size_t evicted = pool.install(makeVersion(2, weather("snow"), 3.5, 2));
+    EXPECT_EQ(evicted, 1u);
+    EXPECT_EQ(pool.size(), 1u);
+    EXPECT_EQ(pool.findByCause(weather("snow"))->id, 2);
+}
+
+TEST(ModelPool, CoarserCauseEvictsFinerOne)
+{
+    // Paper: "if an incoming model version has a root cause that is a
+    // superset of an older model version, the older version gets
+    // evicted" — a new {snow} version covers an old {snow, new_york}.
+    ModelPool pool;
+    pool.install(makeVersion(1, weatherLoc("snow", "new_york"), 2.0, 1));
+    size_t evicted = pool.install(makeVersion(2, weather("snow"), 3.0, 2));
+    EXPECT_EQ(evicted, 1u);
+    EXPECT_EQ(pool.size(), 1u);
+    EXPECT_EQ(pool.findById(2)->cause, weather("snow"));
+}
+
+TEST(ModelPool, FinerCauseDoesNotEvictCoarserOne)
+{
+    ModelPool pool;
+    pool.install(makeVersion(1, weather("snow"), 3.0, 1));
+    size_t evicted =
+        pool.install(makeVersion(2, weatherLoc("snow", "new_york"),
+                                 2.0, 2));
+    EXPECT_EQ(evicted, 0u);
+    EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(ModelPool, LruEvictionBeyondCapacity)
+{
+    ModelPool pool(2);
+    pool.install(makeVersion(1, weather("snow"), 1.0, 1));
+    pool.install(makeVersion(2, weather("rain"), 1.0, 2));
+    size_t evicted = pool.install(makeVersion(3, weather("fog"), 1.0, 3));
+    EXPECT_EQ(evicted, 1u);
+    EXPECT_EQ(pool.size(), 2u);
+    // The least-recently-updated (snow, t=1) is gone.
+    EXPECT_EQ(pool.findByCause(weather("snow")), nullptr);
+    EXPECT_NE(pool.findByCause(weather("rain")), nullptr);
+    EXPECT_NE(pool.findByCause(weather("fog")), nullptr);
+}
+
+TEST(ModelPool, SameCauseRefreshResetsRecency)
+{
+    ModelPool pool(2);
+    pool.install(makeVersion(1, weather("snow"), 1.0, 1));
+    pool.install(makeVersion(2, weather("rain"), 1.0, 2));
+    // Refresh snow: it becomes most-recent; next install evicts rain.
+    pool.install(makeVersion(3, weather("snow"), 1.0, 3));
+    pool.install(makeVersion(4, weather("fog"), 1.0, 4));
+    EXPECT_NE(pool.findByCause(weather("snow")), nullptr);
+    EXPECT_EQ(pool.findByCause(weather("rain")), nullptr);
+}
+
+TEST(ModelPool, ZeroCapacityMeansUnbounded)
+{
+    ModelPool pool(0);
+    for (int i = 0; i < 50; ++i)
+        pool.install(makeVersion(i, weather("w" + std::to_string(i)),
+                                 1.0, i));
+    EXPECT_EQ(pool.size(), 50u);
+}
+
+TEST(ModelPool, RejectsCleanVersion)
+{
+    ModelPool pool;
+    EXPECT_THROW(pool.install(makeVersion(1, AttributeSet(), 0.0, 1)),
+                 NazarError);
+}
+
+TEST(ModelPool, VersionsOrderedMostRecentFirst)
+{
+    ModelPool pool;
+    pool.install(makeVersion(1, weather("snow"), 1.0, 1));
+    pool.install(makeVersion(2, weather("rain"), 1.0, 2));
+    EXPECT_EQ(pool.versions().front().id, 2);
+    EXPECT_EQ(pool.versions().back().id, 1);
+}
+
+// ---- matcher ----------------------------------------------------------
+
+AttributeSet
+context(const std::string &w, const std::string &loc,
+        const std::string &dev)
+{
+    return AttributeSet({{"weather", Value(w)},
+                         {"location", Value(loc)},
+                         {"device_id", Value(dev)}});
+}
+
+TEST(Matcher, CauseMatchingIsSubsetOfContext)
+{
+    EXPECT_TRUE(causeMatchesContext(
+        weather("rain"), context("rain", "oslo", "android_1")));
+    EXPECT_FALSE(causeMatchesContext(
+        weather("snow"), context("rain", "oslo", "android_1")));
+    EXPECT_TRUE(causeMatchesContext(
+        weatherLoc("rain", "oslo"),
+        context("rain", "oslo", "android_1")));
+    EXPECT_FALSE(causeMatchesContext(
+        weatherLoc("rain", "tibet"),
+        context("rain", "oslo", "android_1")));
+}
+
+TEST(Matcher, NoMatchReturnsNull)
+{
+    ModelPool pool;
+    pool.install(makeVersion(1, weather("snow"), 3.0, 1));
+    EXPECT_EQ(selectVersion(pool,
+                            context("rain", "oslo", "android_1")),
+              nullptr);
+    ModelPool empty;
+    EXPECT_EQ(selectVersion(empty,
+                            context("rain", "oslo", "android_1")),
+              nullptr);
+}
+
+TEST(Matcher, MoreSpecificCauseWins)
+{
+    // Paper: "{rain, New York} has more attributes matching than
+    // {rain}" for an input associated with both.
+    ModelPool pool;
+    pool.install(makeVersion(1, weather("rain"), 5.0, 5));
+    pool.install(makeVersion(2, weatherLoc("rain", "new_york"), 2.0, 1));
+    const ModelVersion *picked =
+        selectVersion(pool, context("rain", "new_york", "android_1"));
+    ASSERT_NE(picked, nullptr);
+    EXPECT_EQ(picked->id, 2); // specificity beats recency and rank
+}
+
+TEST(Matcher, RecencyBreaksSpecificityTies)
+{
+    ModelPool pool;
+    pool.install(makeVersion(1, weather("rain"), 9.0, 1));
+    pool.install(
+        makeVersion(2, AttributeSet({{"location", Value("oslo")}}),
+                    1.0, 7));
+    const ModelVersion *picked =
+        selectVersion(pool, context("rain", "oslo", "android_1"));
+    ASSERT_NE(picked, nullptr);
+    EXPECT_EQ(picked->id, 2); // same size (1 attr), newer update wins
+}
+
+TEST(Matcher, RiskRatioBreaksFullTies)
+{
+    ModelPool pool;
+    pool.install(makeVersion(1, weather("rain"), 2.0, 3));
+    pool.install(
+        makeVersion(2, AttributeSet({{"location", Value("oslo")}}),
+                    6.0, 3));
+    const ModelVersion *picked =
+        selectVersion(pool, context("rain", "oslo", "android_1"));
+    ASSERT_NE(picked, nullptr);
+    EXPECT_EQ(picked->id, 2); // same size, same time: higher risk ratio
+}
+
+TEST(ModelVersion, DisplayString)
+{
+    ModelVersion v = makeVersion(7, weather("snow"), 3.25, 4);
+    std::string s = v.toString();
+    EXPECT_NE(s.find("v7"), std::string::npos);
+    EXPECT_NE(s.find("snow"), std::string::npos);
+    EXPECT_TRUE(makeVersion(1, AttributeSet(), 0, 0).isClean());
+    EXPECT_FALSE(v.isClean());
+}
+
+} // namespace
+} // namespace nazar::deploy

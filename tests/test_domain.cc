@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the synthetic data domain.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "data/apps.h"
+#include "data/domain.h"
+
+namespace nazar::data {
+namespace {
+
+DomainConfig
+smallConfig()
+{
+    DomainConfig c;
+    c.numClasses = 6;
+    c.featureDim = 16;
+    c.seed = 42;
+    return c;
+}
+
+TEST(Domain, ReproducibleFromSeed)
+{
+    Domain a(smallConfig()), b(smallConfig());
+    for (int c = 0; c < 6; ++c) {
+        EXPECT_EQ(a.prototype(c), b.prototype(c));
+        EXPECT_EQ(a.classNoise(c), b.classNoise(c));
+    }
+}
+
+TEST(Domain, DifferentSeedsDifferentPrototypes)
+{
+    DomainConfig c2 = smallConfig();
+    c2.seed = 43;
+    Domain a(smallConfig()), b(c2);
+    EXPECT_NE(a.prototype(0), b.prototype(0));
+}
+
+TEST(Domain, NoiseWithinConfiguredRange)
+{
+    Domain d(smallConfig());
+    for (int c = 0; c < 6; ++c) {
+        EXPECT_GE(d.classNoise(c), smallConfig().noiseMin);
+        EXPECT_LE(d.classNoise(c), smallConfig().noiseMax);
+    }
+}
+
+TEST(Domain, SamplesCenterOnPrototype)
+{
+    Domain d(smallConfig());
+    Rng rng(1);
+    std::vector<double> mean(16, 0.0);
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        auto x = d.sample(2, rng);
+        for (size_t k = 0; k < x.size(); ++k)
+            mean[k] += x[k] / n;
+    }
+    const auto &proto = d.prototype(2);
+    for (size_t k = 0; k < mean.size(); ++k)
+        EXPECT_NEAR(mean[k], proto[k], 0.1);
+}
+
+TEST(Domain, BalancedDatasetHasEqualCounts)
+{
+    Domain d(smallConfig());
+    Rng rng(2);
+    Dataset data = d.makeBalancedDataset(25, rng);
+    EXPECT_EQ(data.size(), 6u * 25u);
+    for (int c = 0; c < 6; ++c)
+        EXPECT_EQ(data.indicesOfClass(c).size(), 25u);
+}
+
+TEST(Domain, DatasetWithCustomCounts)
+{
+    Domain d(smallConfig());
+    Rng rng(3);
+    Dataset data = d.makeDataset({1, 0, 2, 0, 0, 3}, rng);
+    EXPECT_EQ(data.size(), 6u);
+    EXPECT_EQ(data.indicesOfClass(0).size(), 1u);
+    EXPECT_EQ(data.indicesOfClass(1).size(), 0u);
+    EXPECT_EQ(data.indicesOfClass(5).size(), 3u);
+    EXPECT_THROW(d.makeDataset({1, 2}, rng), NazarError);
+}
+
+TEST(Domain, DatasetRowsAreShuffled)
+{
+    Domain d(smallConfig());
+    Rng rng(4);
+    Dataset data = d.makeBalancedDataset(20, rng);
+    // Labels must not be sorted (the builder emits class-by-class,
+    // so a sorted output would mean no shuffle happened).
+    bool sorted = std::is_sorted(data.labels.begin(), data.labels.end());
+    EXPECT_FALSE(sorted);
+}
+
+TEST(Domain, RejectsBadConfigs)
+{
+    DomainConfig c = smallConfig();
+    c.numClasses = 1;
+    EXPECT_THROW(Domain{c}, NazarError);
+    c = smallConfig();
+    c.featureDim = 4;
+    EXPECT_THROW(Domain{c}, NazarError);
+    c = smallConfig();
+    c.noiseMin = -1.0;
+    EXPECT_THROW(Domain{c}, NazarError);
+    Domain ok(smallConfig());
+    EXPECT_THROW(ok.prototype(6), NazarError);
+    EXPECT_THROW(ok.classNoise(-1), NazarError);
+}
+
+TEST(Apps, CityscapesSpecMatchesPaper)
+{
+    AppSpec app = makeCityscapesApp();
+    EXPECT_EQ(app.name, "cityscapes");
+    EXPECT_EQ(app.domain.numClasses(), 10u);
+    EXPECT_EQ(app.classNames.size(), 10u);
+    EXPECT_GE(app.locations.size(), 10u); // European cities
+}
+
+TEST(Apps, AnimalsSpecMatchesPaper)
+{
+    AppSpec app = makeAnimalsApp();
+    EXPECT_EQ(app.name, "animals");
+    EXPECT_EQ(app.locations.size(), 7u); // 7 world locations
+    EXPECT_EQ(app.devicesPerLocation, 16); // paper default
+    EXPECT_NEAR(app.imagesPerDevicePerDay, 2.0, 1e-9); // paper default
+    EXPECT_EQ(app.classNames.size(), app.domain.numClasses());
+}
+
+TEST(Apps, AnimalsClassCountConfigurable)
+{
+    AppSpec app = makeAnimalsApp(13, 60);
+    EXPECT_EQ(app.domain.numClasses(), 60u);
+    EXPECT_EQ(app.classNames.size(), 60u);
+}
+
+TEST(Apps, DeviceNaming)
+{
+    EXPECT_EQ(deviceName(42), "android_42");
+    // Four brands cycling by id.
+    EXPECT_EQ(deviceModel(0), deviceModel(4));
+    EXPECT_NE(deviceModel(0), deviceModel(1));
+}
+
+} // namespace
+} // namespace nazar::data

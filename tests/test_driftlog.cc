@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the drift-log column store, query layer and facade.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "driftlog/drift_log.h"
+
+namespace nazar::driftlog {
+namespace {
+
+TEST(Value, TypesAndAccessors)
+{
+    EXPECT_EQ(Value().type(), ValueType::kNull);
+    EXPECT_TRUE(Value().isNull());
+    EXPECT_EQ(Value(3).asInt(), 3);
+    EXPECT_EQ(Value(int64_t{1} << 40).asInt(), int64_t{1} << 40);
+    EXPECT_EQ(Value(2.5).asDouble(), 2.5);
+    EXPECT_EQ(Value(7).asDouble(), 7.0); // int promotes to double
+    EXPECT_TRUE(Value(true).asBool());
+    EXPECT_EQ(Value("hi").asString(), "hi");
+    EXPECT_THROW(Value("hi").asInt(), NazarError);
+    EXPECT_THROW(Value(1).asString(), NazarError);
+}
+
+TEST(Value, ToStringForms)
+{
+    EXPECT_EQ(Value().toString(), "NULL");
+    EXPECT_EQ(Value(42).toString(), "42");
+    EXPECT_EQ(Value(true).toString(), "true");
+    EXPECT_EQ(Value("snow").toString(), "snow");
+}
+
+TEST(Value, OrderingWithinAndAcrossTypes)
+{
+    EXPECT_LT(Value(1), Value(2));
+    EXPECT_LT(Value("apple"), Value("banana"));
+    EXPECT_LT(Value(1.0), Value(2.0));
+    EXPECT_EQ(Value("x"), Value("x"));
+    EXPECT_NE(Value(1), Value("1")); // different types never equal
+}
+
+Schema
+testSchema()
+{
+    return Schema({{"city", ValueType::kString},
+                   {"temp", ValueType::kInt},
+                   {"drift", ValueType::kBool}});
+}
+
+TEST(Schema, LookupAndValidation)
+{
+    Schema s = testSchema();
+    EXPECT_EQ(s.columnCount(), 3u);
+    EXPECT_EQ(s.indexOf("temp"), 1u);
+    EXPECT_TRUE(s.has("drift"));
+    EXPECT_FALSE(s.has("humidity"));
+    EXPECT_THROW(s.indexOf("humidity"), NazarError);
+    EXPECT_THROW(Schema({{"a", ValueType::kInt},
+                         {"a", ValueType::kInt}}),
+                 NazarError);
+    EXPECT_THROW(Schema(std::vector<ColumnDef>{}), NazarError);
+}
+
+TEST(Table, AppendAndAccess)
+{
+    Table t(testSchema());
+    t.append({Value("oslo"), Value(-3), Value(true)});
+    t.append({Value("rome"), Value(18), Value(false)});
+    EXPECT_EQ(t.rowCount(), 2u);
+    EXPECT_EQ(t.at(0, "city").asString(), "oslo");
+    EXPECT_EQ(t.at(1, 1).asInt(), 18);
+    Row r = t.row(0);
+    EXPECT_EQ(r.size(), 3u);
+    EXPECT_EQ(r[2].asBool(), true);
+}
+
+TEST(Table, TypeChecking)
+{
+    Table t(testSchema());
+    EXPECT_THROW(t.append({Value("oslo"), Value("cold"), Value(true)}),
+                 NazarError);
+    EXPECT_THROW(t.append({Value("oslo"), Value(1)}), NazarError);
+    // Nulls are allowed in any column.
+    EXPECT_NO_THROW(t.append({Value(), Value(), Value()}));
+}
+
+TEST(Table, DistinctSorted)
+{
+    Table t(testSchema());
+    t.append({Value("b"), Value(1), Value(false)});
+    t.append({Value("a"), Value(2), Value(false)});
+    t.append({Value("b"), Value(3), Value(false)});
+    auto d = t.distinct("city");
+    ASSERT_EQ(d.size(), 2u);
+    EXPECT_EQ(d[0].asString(), "a");
+    EXPECT_EQ(d[1].asString(), "b");
+}
+
+TEST(Table, ClearKeepsSchema)
+{
+    Table t(testSchema());
+    t.append({Value("x"), Value(0), Value(false)});
+    t.clear();
+    EXPECT_EQ(t.rowCount(), 0u);
+    EXPECT_NO_THROW(t.append({Value("y"), Value(1), Value(true)}));
+}
+
+TEST(Query, WhereAndCount)
+{
+    Table t(testSchema());
+    t.append({Value("oslo"), Value(-3), Value(true)});
+    t.append({Value("rome"), Value(18), Value(false)});
+    t.append({Value("oslo"), Value(2), Value(false)});
+
+    EXPECT_EQ(Query(t).count(), 3u);
+    EXPECT_EQ(Query(t).where("city", Value("oslo")).count(), 2u);
+    EXPECT_EQ(Query(t)
+                  .where("city", Value("oslo"))
+                  .where("drift", Value(true))
+                  .count(),
+              1u);
+    EXPECT_EQ(Query(t)
+                  .where("temp", CompareOp::kGt, Value(0))
+                  .count(),
+              2u);
+    EXPECT_EQ(Query(t)
+                  .where("temp", CompareOp::kLe, Value(2))
+                  .count(),
+              2u);
+    EXPECT_EQ(Query(t)
+                  .where("city", CompareOp::kNe, Value("oslo"))
+                  .count(),
+              1u);
+    EXPECT_THROW(Query(t).where("bogus", Value(1)), NazarError);
+}
+
+TEST(Query, SelectReturnsRowIds)
+{
+    Table t(testSchema());
+    t.append({Value("a"), Value(1), Value(true)});
+    t.append({Value("b"), Value(2), Value(false)});
+    t.append({Value("a"), Value(3), Value(true)});
+    auto rows = Query(t).where("city", Value("a")).select();
+    EXPECT_EQ(rows, (std::vector<size_t>{0, 2}));
+}
+
+TEST(Query, GroupByCount)
+{
+    Table t(testSchema());
+    t.append({Value("a"), Value(1), Value(true)});
+    t.append({Value("b"), Value(2), Value(false)});
+    t.append({Value("a"), Value(3), Value(true)});
+    auto groups = Query(t).groupByCount("city");
+    EXPECT_EQ(groups[Value("a")], 2u);
+    EXPECT_EQ(groups[Value("b")], 1u);
+
+    auto filtered =
+        Query(t).where("drift", Value(true)).groupByCount("city");
+    EXPECT_EQ(filtered.size(), 1u);
+    EXPECT_EQ(filtered[Value("a")], 2u);
+}
+
+TEST(Query, MultiColumnGroupBy)
+{
+    Table t(testSchema());
+    t.append({Value("a"), Value(1), Value(true)});
+    t.append({Value("a"), Value(1), Value(false)});
+    t.append({Value("a"), Value(2), Value(true)});
+    auto groups = Query(t).groupByCount(
+        std::vector<std::string>{"city", "temp"});
+    EXPECT_EQ(groups.size(), 2u);
+    EXPECT_EQ((groups[{Value("a"), Value(1)}]), 2u);
+    EXPECT_THROW(Query(t).groupByCount(std::vector<std::string>{}),
+                 NazarError);
+}
+
+TEST(DriftLog, IngestAndReadBack)
+{
+    DriftLog log;
+    DriftLogEntry e;
+    e.time = SimDate(17, 3661);
+    e.deviceId = "android_42";
+    e.deviceModel = "pixel_6";
+    e.location = "helsinki";
+    e.weather = "snow";
+    e.modelVersion = 3;
+    e.drift = true;
+    log.add(e);
+
+    EXPECT_EQ(log.size(), 1u);
+    EXPECT_EQ(log.driftCount(), 1u);
+    DriftLogEntry back = log.entry(0);
+    EXPECT_EQ(back.deviceId, "android_42");
+    EXPECT_EQ(back.location, "helsinki");
+    EXPECT_EQ(back.weather, "snow");
+    EXPECT_EQ(back.modelVersion, 3);
+    EXPECT_TRUE(back.drift);
+    EXPECT_EQ(back.time.dayIndex(), 17);
+}
+
+TEST(DriftLog, DefaultAttributeColumnsExist)
+{
+    DriftLog log;
+    for (const auto &col : DriftLog::defaultAttributeColumns())
+        EXPECT_TRUE(log.table().schema().has(col)) << col;
+    // Bookkeeping columns are not candidate causes.
+    auto attrs = DriftLog::defaultAttributeColumns();
+    for (const auto &col : attrs) {
+        EXPECT_NE(col, columns::kTime);
+        EXPECT_NE(col, columns::kModelVersion);
+        EXPECT_NE(col, columns::kDrift);
+    }
+}
+
+TEST(DriftLog, QueryIntegration)
+{
+    DriftLog log;
+    for (int i = 0; i < 10; ++i) {
+        DriftLogEntry e;
+        e.time = SimDate(i);
+        e.deviceId = "android_1";
+        e.deviceModel = "pixel_6";
+        e.location = i % 2 ? "oslo" : "rome";
+        e.weather = "clear-day";
+        e.drift = i % 2 == 1;
+        log.add(e);
+    }
+    EXPECT_EQ(log.driftCount(), 5u);
+    EXPECT_EQ(log.query()
+                  .where(columns::kLocation, Value("oslo"))
+                  .where(columns::kDrift, Value(true))
+                  .count(),
+              5u);
+    log.clear();
+    EXPECT_EQ(log.size(), 0u);
+}
+
+} // namespace
+} // namespace nazar::driftlog

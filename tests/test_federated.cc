@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the federated by-cause adaptation extension.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "data/corruption.h"
+#include "data/domain.h"
+#include "fed/federated.h"
+#include "nn/linear.h"
+
+namespace nazar::fed {
+namespace {
+
+struct FedFixture : ::testing::Test
+{
+    FedFixture()
+    {
+        data::DomainConfig dc;
+        dc.numClasses = 8;
+        dc.featureDim = 16;
+        dc.prototypeScale = 0.8;
+        dc.noiseMin = 0.5;
+        dc.noiseMax = 1.0;
+        dc.seed = 3;
+        domain = std::make_unique<data::Domain>(dc);
+        Rng rng(1);
+        auto train = domain->makeBalancedDataset(80, rng);
+        base = std::make_unique<nn::Classifier>(
+            nn::Architecture::kResNet18, 16, 8, 5);
+        nn::TrainConfig tc;
+        tc.epochs = 25;
+        base->trainSupervised(train.x, train.labels, tc);
+    }
+
+    /** Split drifted samples across n devices. */
+    std::vector<DeviceShard>
+    makeShards(int n, size_t per_device, uint64_t seed)
+    {
+        Rng rng(seed);
+        data::Corruptor corr(16);
+        std::vector<DeviceShard> shards;
+        for (int d = 0; d < n; ++d) {
+            data::DatasetBuilder builder;
+            for (size_t i = 0; i < per_device; ++i) {
+                int cls = static_cast<int>(rng.index(8));
+                builder.add(corr.apply(domain->sample(cls, rng),
+                                       data::CorruptionType::kFog, 3,
+                                       rng),
+                            cls);
+            }
+            shards.push_back({d, builder.build()});
+        }
+        return shards;
+    }
+
+    data::Dataset
+    makeTestSet(size_t per_class, uint64_t seed)
+    {
+        Rng rng(seed);
+        data::Corruptor corr(16);
+        auto src = domain->makeBalancedDataset(per_class, rng);
+        data::DatasetBuilder builder;
+        for (size_t r = 0; r < src.x.rows(); ++r)
+            builder.add(corr.apply(src.x.rowVec(r),
+                                   data::CorruptionType::kFog, 3, rng),
+                        src.labels[r]);
+        return builder.build();
+    }
+
+    std::unique_ptr<data::Domain> domain;
+    std::unique_ptr<nn::Classifier> base;
+};
+
+TEST(Aggregate, IdenticalPatchesAverageToThemselves)
+{
+    Rng rng(2);
+    nn::Sequential net;
+    net.add(std::make_unique<nn::Linear>(4, 6, rng));
+    net.add(std::make_unique<nn::BatchNorm1d>(6));
+    net.forward(nn::Matrix::randomNormal(8, 4, 1.0, rng),
+                nn::Mode::kAdapt);
+    nn::BnPatch p = nn::BnPatch::extract(net);
+    nn::BnPatch avg = aggregatePatches({p, p, p}, {1.0, 2.0, 3.0});
+    EXPECT_TRUE(avg.approxEquals(p, 1e-12));
+}
+
+TEST(Aggregate, WeightsAreRespected)
+{
+    // Two patches with gamma 0 and gamma 2: weight 3:1 gives 0.5.
+    nn::BatchNorm1d bn_a(2), bn_b(2);
+    nn::BnState sa = bn_a.state(), sb = bn_b.state();
+    sa.gamma.fill(0.0);
+    sb.gamma.fill(2.0);
+    nn::BnPatch a = nn::BnPatch::fromStates({sa});
+    nn::BnPatch b = nn::BnPatch::fromStates({sb});
+    nn::BnPatch avg = aggregatePatches({a, b}, {3.0, 1.0});
+    EXPECT_NEAR(avg.state(0).gamma(0, 0), 0.5, 1e-12);
+    EXPECT_NEAR(avg.state(0).gamma(0, 1), 0.5, 1e-12);
+}
+
+TEST(Aggregate, ValidatesInput)
+{
+    nn::BatchNorm1d bn(2);
+    nn::BnPatch p = nn::BnPatch::fromStates({bn.state()});
+    EXPECT_THROW(aggregatePatches({}, {}), NazarError);
+    EXPECT_THROW(aggregatePatches({p}, {1.0, 2.0}), NazarError);
+    EXPECT_THROW(aggregatePatches({p}, {-1.0}), NazarError);
+    EXPECT_THROW(aggregatePatches({p, p}, {0.0, 0.0}), NazarError);
+    nn::BnPatch two_layers =
+        nn::BnPatch::fromStates({bn.state(), bn.state()});
+    EXPECT_THROW(aggregatePatches({p, two_layers}, {1.0, 1.0}),
+                 NazarError);
+}
+
+TEST_F(FedFixture, FederatedAdaptationImprovesDriftAccuracy)
+{
+    auto shards = makeShards(6, 32, 7);
+    auto test = makeTestSet(20, 8);
+
+    nn::Classifier before = base->clone();
+    double no_adapt = before.accuracy(test.x, test.labels);
+
+    FederatedConfig config;
+    config.rounds = 3;
+    config.local.steps = 3;
+    FederatedResult result =
+        federatedAdapt(config, *base, base->bnPatch(), shards);
+    EXPECT_EQ(result.participatingDevices, 6u);
+    EXPECT_EQ(result.totalSamples, 6u * 32u);
+    EXPECT_EQ(result.roundObjectives.size(), 3u);
+
+    nn::Classifier after = base->clone();
+    after.applyBnPatch(result.patch);
+    double fed = after.accuracy(test.x, test.labels);
+    EXPECT_GT(fed, no_adapt + 0.05);
+}
+
+TEST_F(FedFixture, ApproachesCentralizedAdaptation)
+{
+    auto shards = makeShards(6, 32, 9);
+    auto test = makeTestSet(20, 10);
+
+    // Centralized: TENT on the pooled data (what the cloud path does).
+    data::Dataset pooled;
+    for (const auto &shard : shards)
+        pooled.append(shard.samples);
+    nn::Classifier central = base->clone();
+    adapt::TentAdapter tent{adapt::AdaptConfig{}};
+    tent.adapt(central, pooled.x);
+    double central_acc = central.accuracy(test.x, test.labels);
+
+    FederatedConfig config;
+    config.rounds = 8;
+    config.local.steps = 3;
+    FederatedResult result =
+        federatedAdapt(config, *base, base->bnPatch(), shards);
+    nn::Classifier fed = base->clone();
+    fed.applyBnPatch(result.patch);
+    double fed_acc = fed.accuracy(test.x, test.labels);
+
+    // Federated must recover most of the centralized gain.
+    nn::Classifier frozen = base->clone();
+    double no_adapt = frozen.accuracy(test.x, test.labels);
+    EXPECT_GT(fed_acc - no_adapt, 0.5 * (central_acc - no_adapt));
+}
+
+TEST_F(FedFixture, TinyShardsSitOut)
+{
+    auto shards = makeShards(3, 32, 11);
+    shards.push_back({99, data::Dataset{}}); // empty device
+    FederatedConfig config;
+    config.rounds = 1;
+    config.local.steps = 2;
+    FederatedResult result =
+        federatedAdapt(config, *base, base->bnPatch(), shards);
+    EXPECT_EQ(result.participatingDevices, 3u);
+}
+
+TEST_F(FedFixture, NoParticipantsLeavesInitUnchanged)
+{
+    std::vector<DeviceShard> shards = {{0, data::Dataset{}}};
+    FederatedConfig config;
+    nn::BnPatch init = base->bnPatch();
+    FederatedResult result = federatedAdapt(config, *base, init, shards);
+    EXPECT_TRUE(result.patch.approxEquals(init, 1e-12));
+    EXPECT_EQ(result.participatingDevices, 0u);
+    EXPECT_TRUE(result.roundObjectives.empty());
+}
+
+} // namespace
+} // namespace nazar::fed

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the Fowlkes-Mallows score.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "rca/fms.h"
+
+namespace nazar::rca {
+namespace {
+
+TEST(Fms, IdenticalClusteringsScoreOne)
+{
+    std::vector<int> labels = {0, 0, 1, 1, 2, 2, 2};
+    EXPECT_NEAR(fowlkesMallows(labels, labels), 1.0, 1e-12);
+}
+
+TEST(Fms, LabelPermutationInvariant)
+{
+    std::vector<int> truth = {0, 0, 1, 1};
+    std::vector<int> renamed = {1, 1, 0, 0};
+    EXPECT_NEAR(fowlkesMallows(truth, renamed), 1.0, 1e-12);
+}
+
+TEST(Fms, CompletelyCrossedClusteringsScoreZero)
+{
+    std::vector<int> truth = {0, 0, 1, 1};
+    std::vector<int> pred = {0, 1, 0, 1};
+    EXPECT_NEAR(fowlkesMallows(truth, pred), 0.0, 1e-12);
+}
+
+TEST(Fms, KnownPartialValue)
+{
+    // Matches sklearn: FMS([0,0,1,1], [0,0,1,2]) = sqrt(1/1 * 1/2).
+    std::vector<int> truth = {0, 0, 1, 1};
+    std::vector<int> pred = {0, 0, 1, 2};
+    EXPECT_NEAR(fowlkesMallows(truth, pred), std::sqrt(0.5), 1e-12);
+}
+
+TEST(Fms, SingleClusterVsSingletons)
+{
+    std::vector<int> one_cluster = {0, 0, 0, 0};
+    std::vector<int> singletons = {0, 1, 2, 3};
+    // No predicted pairs at all: score 0 by convention.
+    EXPECT_NEAR(fowlkesMallows(one_cluster, singletons), 0.0, 1e-12);
+    // Both all-singletons: identical clusterings.
+    EXPECT_NEAR(fowlkesMallows(singletons, singletons), 1.0, 1e-12);
+}
+
+TEST(Fms, EmptyClusteringsScoreOne)
+{
+    EXPECT_NEAR(fowlkesMallows({}, {}), 1.0, 1e-12);
+}
+
+TEST(Fms, MismatchedLengthsRejected)
+{
+    EXPECT_THROW(fowlkesMallows({0, 1}, {0}), NazarError);
+}
+
+TEST(Fms, SymmetricInArguments)
+{
+    Rng rng(5);
+    std::vector<int> a(200), b(200);
+    for (size_t i = 0; i < a.size(); ++i) {
+        a[i] = static_cast<int>(rng.index(4));
+        b[i] = static_cast<int>(rng.index(3));
+    }
+    EXPECT_NEAR(fowlkesMallows(a, b), fowlkesMallows(b, a), 1e-12);
+}
+
+TEST(Fms, ScoreWithinUnitInterval)
+{
+    Rng rng(6);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<int> a(100), b(100);
+        for (size_t i = 0; i < a.size(); ++i) {
+            a[i] = static_cast<int>(rng.index(5));
+            b[i] = static_cast<int>(rng.index(5));
+        }
+        double s = fowlkesMallows(a, b);
+        EXPECT_GE(s, 0.0);
+        EXPECT_LE(s, 1.0);
+    }
+}
+
+TEST(Fms, DegradesWithNoiseMonotonically)
+{
+    // Flipping a growing fraction of labels must lower the score.
+    Rng rng(7);
+    std::vector<int> truth(600);
+    for (size_t i = 0; i < truth.size(); ++i)
+        truth[i] = static_cast<int>(i % 4);
+    double prev = 1.1;
+    for (double flip : {0.0, 0.1, 0.3, 0.6}) {
+        std::vector<int> pred = truth;
+        for (auto &p : pred)
+            if (rng.bernoulli(flip))
+                p = static_cast<int>(rng.index(4));
+        double s = fowlkesMallows(truth, pred);
+        EXPECT_LT(s, prev + 1e-9);
+        prev = s;
+    }
+}
+
+} // namespace
+} // namespace nazar::rca

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the GOdin-style input-perturbation detector.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "data/corruption.h"
+#include "data/domain.h"
+#include "detect/godin.h"
+#include "detect/scores.h"
+
+namespace nazar::detect {
+namespace {
+
+struct GOdinFixture : ::testing::Test
+{
+    GOdinFixture()
+    {
+        data::DomainConfig dc;
+        dc.numClasses = 8;
+        dc.featureDim = 16;
+        dc.prototypeScale = 0.8;
+        dc.noiseMin = 0.5;
+        dc.noiseMax = 1.0;
+        dc.seed = 3;
+        domain = std::make_unique<data::Domain>(dc);
+        Rng rng(1);
+        auto train = domain->makeBalancedDataset(80, rng);
+        model = std::make_unique<nn::Classifier>(
+            nn::Architecture::kResNet18, 16, 8, 5);
+        nn::TrainConfig tc;
+        tc.epochs = 25;
+        model->trainSupervised(train.x, train.labels, tc);
+    }
+
+    std::unique_ptr<data::Domain> domain;
+    std::unique_ptr<nn::Classifier> model;
+};
+
+TEST_F(GOdinFixture, ScoresAreProbabilities)
+{
+    GOdinDetector det(*model, 0.7);
+    Rng rng(2);
+    for (int i = 0; i < 20; ++i) {
+        double s = det.score(domain->sample(i % 8, rng));
+        EXPECT_GT(s, 0.0);
+        EXPECT_LE(s, 1.0);
+    }
+}
+
+TEST_F(GOdinFixture, DriftedScoresLowerOnAverage)
+{
+    GOdinDetector det(*model, 0.7);
+    Rng rng(3);
+    data::Corruptor corr(16);
+    double clean_sum = 0.0, drift_sum = 0.0;
+    const int n = 60;
+    for (int i = 0; i < n; ++i) {
+        auto x = domain->sample(i % 8, rng);
+        clean_sum += det.score(x);
+        drift_sum += det.score(
+            corr.apply(x, data::CorruptionType::kFog, 3, rng));
+    }
+    EXPECT_GT(clean_sum / n, drift_sum / n + 0.05);
+}
+
+TEST_F(GOdinFixture, DetectorDoesNotModifyTheModel)
+{
+    GOdinDetector det(*model, 0.7);
+    nn::BnPatch before = model->bnPatch();
+    Rng rng(4);
+    for (int i = 0; i < 10; ++i)
+        det.isDrift(domain->sample(i % 8, rng));
+    EXPECT_TRUE(model->bnPatch().approxEquals(before, 1e-12));
+}
+
+TEST_F(GOdinFixture, PerturbationRaisesInDistributionConfidence)
+{
+    // The defining GOdin property: the epsilon-step against the
+    // gradient increases confidence more for in-distribution inputs
+    // than the raw MSP.
+    GOdinDetector det(*model, 0.7, /*epsilon=*/0.05,
+                      /*temperature=*/1.0);
+    MspDetector msp(0.9);
+    Rng rng(5);
+    double raised = 0.0;
+    const int n = 40;
+    for (int i = 0; i < n; ++i) {
+        auto x = domain->sample(i % 8, rng);
+        nn::Matrix logits =
+            model->logits(nn::Matrix::rowVector(x));
+        double base = msp.score(logits.rowVec(0));
+        raised += det.score(x) - base;
+    }
+    EXPECT_GT(raised / n, 0.0);
+}
+
+TEST_F(GOdinFixture, ValidatesArguments)
+{
+    EXPECT_THROW(GOdinDetector(*model, 1.5), NazarError);
+    EXPECT_THROW(GOdinDetector(*model, 0.5, -0.1), NazarError);
+    EXPECT_THROW(GOdinDetector(*model, 0.5, 0.1, 0.0), NazarError);
+    GOdinDetector det(*model, 0.5);
+    EXPECT_THROW(det.score(std::vector<double>(3, 0.0)), NazarError);
+}
+
+TEST_F(GOdinFixture, ThreePassesPerInference)
+{
+    EXPECT_EQ(GOdinDetector::kPassesPerInference, 3);
+}
+
+} // namespace
+} // namespace nazar::detect

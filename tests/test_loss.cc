@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for losses and probability utilities, including numerical
+ * gradient checks of every loss gradient.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "nn/loss.h"
+
+namespace nazar::nn {
+namespace {
+
+TEST(Softmax, RowsSumToOne)
+{
+    Rng rng(1);
+    Matrix z = Matrix::randomNormal(6, 9, 3.0, rng);
+    Matrix p = softmax(z);
+    for (size_t r = 0; r < p.rows(); ++r) {
+        double s = 0.0;
+        for (size_t c = 0; c < p.cols(); ++c) {
+            EXPECT_GT(p(r, c), 0.0);
+            s += p(r, c);
+        }
+        EXPECT_NEAR(s, 1.0, 1e-9);
+    }
+}
+
+TEST(Softmax, StableUnderLargeLogits)
+{
+    Matrix z = Matrix::fromRows({{1000.0, 1000.0, 900.0}});
+    Matrix p = softmax(z);
+    EXPECT_NEAR(p(0, 0), 0.5, 1e-9);
+    EXPECT_NEAR(p(0, 1), 0.5, 1e-9);
+    EXPECT_NEAR(p(0, 2), 0.0, 1e-9);
+}
+
+TEST(LogSoftmax, MatchesLogOfSoftmax)
+{
+    Rng rng(2);
+    Matrix z = Matrix::randomNormal(4, 5, 2.0, rng);
+    Matrix lp = logSoftmax(z);
+    Matrix p = softmax(z);
+    for (size_t r = 0; r < z.rows(); ++r)
+        for (size_t c = 0; c < z.cols(); ++c)
+            EXPECT_NEAR(lp(r, c), std::log(p(r, c)), 1e-9);
+}
+
+TEST(MaxSoftmax, PicksRowMaxima)
+{
+    Matrix z = Matrix::fromRows({{0.0, 0.0}, {10.0, 0.0}});
+    auto msp = maxSoftmax(z);
+    EXPECT_NEAR(msp[0], 0.5, 1e-9);
+    EXPECT_GT(msp[1], 0.99);
+}
+
+TEST(SoftmaxEntropy, UniformIsMaximal)
+{
+    Matrix uniform = Matrix::fromRows({{1.0, 1.0, 1.0, 1.0}});
+    Matrix peaked = Matrix::fromRows({{20.0, 0.0, 0.0, 0.0}});
+    auto hu = softmaxEntropy(uniform);
+    auto hp = softmaxEntropy(peaked);
+    EXPECT_NEAR(hu[0], std::log(4.0), 1e-9);
+    EXPECT_LT(hp[0], 0.01);
+}
+
+TEST(EnergyScore, MatchesNegLogSumExp)
+{
+    Matrix z = Matrix::fromRows({{1.0, 2.0, 3.0}});
+    double lse = std::log(std::exp(1.0) + std::exp(2.0) + std::exp(3.0));
+    EXPECT_NEAR(energyScore(z)[0], -lse, 1e-9);
+}
+
+TEST(CrossEntropy, PerfectPredictionHasLowLoss)
+{
+    Matrix z = Matrix::fromRows({{30.0, 0.0}, {0.0, 30.0}});
+    LossResult res = crossEntropy(z, {0, 1});
+    EXPECT_LT(res.loss, 1e-6);
+}
+
+TEST(CrossEntropy, UniformLossIsLogK)
+{
+    Matrix z(3, 5); // all-zero logits -> uniform softmax
+    LossResult res = crossEntropy(z, {0, 2, 4});
+    EXPECT_NEAR(res.loss, std::log(5.0), 1e-9);
+}
+
+TEST(CrossEntropy, GradientIsSoftmaxMinusOneHot)
+{
+    Matrix z = Matrix::fromRows({{1.0, -2.0, 0.5}});
+    LossResult res = crossEntropy(z, {2});
+    Matrix p = softmax(z);
+    EXPECT_NEAR(res.grad(0, 0), p(0, 0), 1e-9);
+    EXPECT_NEAR(res.grad(0, 2), p(0, 2) - 1.0, 1e-9);
+}
+
+TEST(CrossEntropy, RejectsBadLabels)
+{
+    Matrix z(2, 3);
+    EXPECT_THROW(crossEntropy(z, {0}), NazarError);
+    EXPECT_THROW(crossEntropy(z, {0, 3}), NazarError);
+    EXPECT_THROW(crossEntropy(z, {0, -1}), NazarError);
+}
+
+/** Finite-difference check helper for logit-space gradients. */
+template <typename LossFn>
+void
+checkLogitGradient(LossFn loss_fn, const Matrix &z, double tol = 1e-5)
+{
+    LossResult res = loss_fn(z);
+    for (size_t r = 0; r < z.rows(); ++r) {
+        for (size_t c = 0; c < z.cols(); ++c) {
+            Matrix zp = z, zm = z;
+            zp(r, c) += 1e-6;
+            zm(r, c) -= 1e-6;
+            double num =
+                (loss_fn(zp).loss - loss_fn(zm).loss) / 2e-6;
+            EXPECT_NEAR(res.grad(r, c), num, tol)
+                << "at (" << r << "," << c << ")";
+        }
+    }
+}
+
+TEST(CrossEntropy, GradientCheck)
+{
+    Rng rng(3);
+    Matrix z = Matrix::randomNormal(4, 6, 2.0, rng);
+    std::vector<int> labels = {1, 0, 5, 3};
+    checkLogitGradient(
+        [&](const Matrix &zz) { return crossEntropy(zz, labels); }, z);
+}
+
+TEST(MeanEntropy, GradientCheck)
+{
+    Rng rng(4);
+    Matrix z = Matrix::randomNormal(5, 7, 1.5, rng);
+    checkLogitGradient(
+        [](const Matrix &zz) { return meanEntropy(zz); }, z);
+}
+
+TEST(MeanEntropy, ValueMatchesDirectEntropy)
+{
+    Rng rng(5);
+    Matrix z = Matrix::randomNormal(6, 4, 2.0, rng);
+    auto per_row = softmaxEntropy(z);
+    double expect = 0.0;
+    for (double h : per_row)
+        expect += h;
+    expect /= per_row.size();
+    EXPECT_NEAR(meanEntropy(z).loss, expect, 1e-9);
+}
+
+TEST(MarginalEntropy, GradientCheck)
+{
+    Rng rng(6);
+    Matrix z = Matrix::randomNormal(4, 5, 1.5, rng);
+    checkLogitGradient(
+        [](const Matrix &zz) { return marginalEntropy(zz); }, z);
+}
+
+TEST(MarginalEntropy, AgreesWithMeanEntropyForIdenticalCopies)
+{
+    // When every augmented copy yields identical logits, the marginal
+    // entropy equals the per-copy entropy.
+    Matrix row = Matrix::fromRows({{1.0, 0.2, -0.5}});
+    Matrix copies(4, 3);
+    for (size_t r = 0; r < 4; ++r)
+        copies.setRow(r, row.rowVec(0));
+    EXPECT_NEAR(marginalEntropy(copies).loss,
+                softmaxEntropy(row)[0], 1e-9);
+}
+
+TEST(MarginalEntropy, ExceedsMeanEntropyForDisagreeingCopies)
+{
+    // Entropy of an average distribution >= average of entropies
+    // (concavity of H).
+    Matrix copies = Matrix::fromRows({{5.0, 0.0}, {0.0, 5.0}});
+    EXPECT_GT(marginalEntropy(copies).loss, meanEntropy(copies).loss);
+}
+
+} // namespace
+} // namespace nazar::nn

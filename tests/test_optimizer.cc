@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for SGD and Adam.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "nn/optimizer.h"
+
+namespace nazar::nn {
+namespace {
+
+/** dL/dp for L = 0.5 * sum((p - target)^2). */
+void
+quadraticGrad(Param &p, const Matrix &target)
+{
+    p.zeroGrad();
+    for (size_t r = 0; r < p.value.rows(); ++r)
+        for (size_t c = 0; c < p.value.cols(); ++c)
+            p.grad(r, c) = p.value(r, c) - target(r, c);
+}
+
+TEST(Sgd, ConvergesOnQuadratic)
+{
+    Param p(Matrix::fromRows({{10.0, -8.0}}));
+    Matrix target = Matrix::fromRows({{1.0, 2.0}});
+    Sgd opt({&p}, /*lr=*/0.1, /*momentum=*/0.0);
+    for (int i = 0; i < 200; ++i) {
+        quadraticGrad(p, target);
+        opt.step();
+    }
+    EXPECT_TRUE(p.value.approxEquals(target, 1e-4));
+}
+
+TEST(Sgd, MomentumAcceleratesDescent)
+{
+    Param plain(Matrix::fromRows({{10.0}}));
+    Param heavy(Matrix::fromRows({{10.0}}));
+    Matrix target = Matrix::fromRows({{0.0}});
+    Sgd slow({&plain}, 0.01, 0.0);
+    Sgd fast({&heavy}, 0.01, 0.9);
+    for (int i = 0; i < 50; ++i) {
+        quadraticGrad(plain, target);
+        slow.step();
+        quadraticGrad(heavy, target);
+        fast.step();
+    }
+    EXPECT_LT(std::abs(heavy.value(0, 0)), std::abs(plain.value(0, 0)));
+}
+
+TEST(Sgd, WeightDecayShrinksParameters)
+{
+    Param p(Matrix::fromRows({{4.0}}));
+    Sgd opt({&p}, 0.1, 0.0, /*weight_decay=*/0.5);
+    p.zeroGrad(); // pure decay, no loss gradient
+    opt.step();
+    EXPECT_NEAR(p.value(0, 0), 4.0 - 0.1 * 0.5 * 4.0, 1e-12);
+}
+
+TEST(Sgd, RejectsNonPositiveLearningRate)
+{
+    Param p(Matrix(1, 1));
+    EXPECT_THROW(Sgd({&p}, 0.0), NazarError);
+}
+
+TEST(Adam, ConvergesOnQuadratic)
+{
+    Param p(Matrix::fromRows({{10.0, -8.0, 3.0}}));
+    Matrix target = Matrix::fromRows({{1.0, 2.0, -1.0}});
+    Adam opt({&p}, /*lr=*/0.3);
+    for (int i = 0; i < 500; ++i) {
+        quadraticGrad(p, target);
+        opt.step();
+    }
+    EXPECT_TRUE(p.value.approxEquals(target, 1e-3));
+}
+
+TEST(Adam, FirstStepIsLearningRateSized)
+{
+    // With bias correction, the first Adam step is ~lr in magnitude
+    // regardless of gradient scale.
+    Param big(Matrix::fromRows({{0.0}}));
+    Param small(Matrix::fromRows({{0.0}}));
+    Adam opt_big({&big}, 0.1);
+    Adam opt_small({&small}, 0.1);
+    big.grad(0, 0) = 1000.0;
+    small.grad(0, 0) = 0.001;
+    opt_big.step();
+    opt_small.step();
+    EXPECT_NEAR(big.value(0, 0), -0.1, 1e-3);
+    EXPECT_NEAR(small.value(0, 0), -0.1, 1e-3);
+}
+
+TEST(Optimizer, ZeroGradsClearsAll)
+{
+    Param a(Matrix::fromRows({{1.0}}));
+    Param b(Matrix::fromRows({{2.0, 3.0}}));
+    a.grad.fill(5.0);
+    b.grad.fill(7.0);
+    Sgd opt({&a, &b}, 0.1);
+    opt.zeroGrads();
+    EXPECT_EQ(a.grad.maxAbs(), 0.0);
+    EXPECT_EQ(b.grad.maxAbs(), 0.0);
+}
+
+TEST(Optimizer, MultipleParamsUpdatedIndependently)
+{
+    Param a(Matrix::fromRows({{5.0}}));
+    Param b(Matrix::fromRows({{-5.0}}));
+    Matrix ta = Matrix::fromRows({{0.0}});
+    Matrix tb = Matrix::fromRows({{0.0}});
+    Sgd opt({&a, &b}, 0.5, 0.0);
+    for (int i = 0; i < 100; ++i) {
+        quadraticGrad(a, ta);
+        quadraticGrad(b, tb);
+        opt.step();
+    }
+    EXPECT_NEAR(a.value(0, 0), 0.0, 1e-6);
+    EXPECT_NEAR(b.value(0, 0), 0.0, 1e-6);
+}
+
+} // namespace
+} // namespace nazar::nn

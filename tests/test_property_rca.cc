@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Property tests for root-cause analysis over randomized drift logs:
+ * structural invariants that must hold for any input.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "rca/analyzer.h"
+
+namespace nazar::rca {
+namespace {
+
+using driftlog::Schema;
+using driftlog::Table;
+using driftlog::Value;
+using driftlog::ValueType;
+
+/** Random drift log over 3 attribute columns. */
+Table
+randomLog(size_t rows, uint64_t seed, int weather_card = 4,
+          int location_card = 5, int device_card = 8)
+{
+    Rng rng(seed);
+    Table t(Schema({{"weather", ValueType::kString},
+                    {"location", ValueType::kString},
+                    {"device_id", ValueType::kString},
+                    {"drift", ValueType::kBool}}));
+    for (size_t i = 0; i < rows; ++i) {
+        std::string weather =
+            "w" + std::to_string(rng.index(
+                      static_cast<size_t>(weather_card)));
+        std::string location =
+            "l" + std::to_string(rng.index(
+                      static_cast<size_t>(location_card)));
+        std::string device =
+            "d" + std::to_string(rng.index(
+                      static_cast<size_t>(device_card)));
+        // Drift correlates with w1 and d3 plus noise. d3's signal is
+        // strong enough to stay significant after the counterfactual
+        // pass absorbs the overlapping w1 evidence (Algorithm 1 marks
+        // accepted causes' entries non-drifted, which dilutes weaker
+        // overlapping causes — a property of the paper's design).
+        double p = 0.15;
+        if (weather == "w1")
+            p += 0.5;
+        if (device == "d3")
+            p += 0.65;
+        t.append({Value(weather), Value(location), Value(device),
+                  Value(rng.bernoulli(std::min(0.95, p)))});
+    }
+    return t;
+}
+
+RcaConfig
+defaultConfig()
+{
+    RcaConfig config;
+    config.attributeColumns = {"weather", "location", "device_id"};
+    return config;
+}
+
+class RandomLogTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RandomLogTest, OccurrenceIsAntitoneInAttributeSets)
+{
+    Table t = randomLog(600, GetParam());
+    auto causes = Fim(t, defaultConfig()).mine();
+    // Indexed lookup of every mined set's occurrence.
+    std::map<AttributeSet, double> occurrence;
+    for (const auto &c : causes)
+        occurrence[c.attrs] = c.metrics.occurrence;
+    // For every mined pair where a is a proper attribute-subset of b,
+    // occurrence(a) >= occurrence(b) (downward closure).
+    for (const auto &a : causes) {
+        for (const auto &b : causes) {
+            if (a.attrs.isProperSubsetOf(b.attrs))
+                EXPECT_GE(a.metrics.occurrence + 1e-12,
+                          b.metrics.occurrence)
+                    << a.attrs.toString() << " vs "
+                    << b.attrs.toString();
+        }
+    }
+}
+
+TEST_P(RandomLogTest, CountsAreInternallyConsistent)
+{
+    Table t = randomLog(500, GetParam() + 100);
+    size_t total_drift = 0;
+    for (size_t r = 0; r < t.rowCount(); ++r)
+        total_drift += t.at(r, "drift").asBool() ? 1 : 0;
+    auto causes = Fim(t, defaultConfig()).mine();
+    for (const auto &c : causes) {
+        EXPECT_LE(c.metrics.setDriftCount, c.metrics.setCount);
+        EXPECT_LE(c.metrics.setCount, t.rowCount());
+        // occurrence == setCount / rows.
+        EXPECT_NEAR(c.metrics.occurrence,
+                    static_cast<double>(c.metrics.setCount) /
+                        static_cast<double>(t.rowCount()),
+                    1e-12);
+        // support == setDrift / totalDrift.
+        if (total_drift > 0)
+            EXPECT_NEAR(c.metrics.support,
+                        static_cast<double>(c.metrics.setDriftCount) /
+                            static_cast<double>(total_drift),
+                        1e-12);
+        // confidence == setDrift / setCount.
+        if (c.metrics.setCount > 0)
+            EXPECT_NEAR(c.metrics.confidence,
+                        static_cast<double>(c.metrics.setDriftCount) /
+                            static_cast<double>(c.metrics.setCount),
+                        1e-12);
+    }
+}
+
+TEST_P(RandomLogTest, MinedMetricsMatchIndependentComputation)
+{
+    Table t = randomLog(400, GetParam() + 200);
+    auto flags = Fim::driftFlags(t, "drift");
+    auto causes = Fim(t, defaultConfig()).mine();
+    // Spot-check a handful of mined sets against computeMetrics.
+    size_t step = std::max<size_t>(1, causes.size() / 7);
+    for (size_t i = 0; i < causes.size(); i += step) {
+        CauseMetrics direct = computeMetrics(t, flags, causes[i].attrs);
+        EXPECT_EQ(direct.setCount, causes[i].metrics.setCount);
+        EXPECT_EQ(direct.setDriftCount,
+                  causes[i].metrics.setDriftCount);
+        EXPECT_NEAR(direct.riskRatio, causes[i].metrics.riskRatio,
+                    1e-9);
+    }
+}
+
+TEST_P(RandomLogTest, SetReductionPartitionsThePassingCauses)
+{
+    Table t = randomLog(600, GetParam() + 300);
+    RcaConfig config = defaultConfig();
+    auto all = Fim(t, config).mine();
+    std::vector<RankedCause> passing;
+    for (const auto &c : all)
+        if (passesThresholds(c.metrics, config))
+            passing.push_back(c);
+    auto groups = reduceCauses(passing);
+
+    std::set<AttributeSet> seen;
+    size_t total = 0;
+    for (const auto &g : groups) {
+        EXPECT_TRUE(seen.insert(g.key.attrs).second);
+        ++total;
+        for (const auto &fine : g.merged) {
+            EXPECT_TRUE(seen.insert(fine.attrs).second);
+            ++total;
+            // Every merged cause is an attribute-superset of *some*
+            // passing cause that leads its group transitively; at
+            // minimum it must be a proper superset of its group key
+            // or of another member (the key is the coarsest).
+            EXPECT_TRUE(g.key.attrs.isProperSubsetOf(fine.attrs) ||
+                        std::any_of(
+                            g.merged.begin(), g.merged.end(),
+                            [&](const RankedCause &other) {
+                                return other.attrs.isProperSubsetOf(
+                                    fine.attrs);
+                            }));
+        }
+    }
+    EXPECT_EQ(total, passing.size());
+}
+
+TEST_P(RandomLogTest, FullPipelineCausesPassThresholdsAndAreUnique)
+{
+    Table t = randomLog(800, GetParam() + 400);
+    RcaConfig config = defaultConfig();
+    Analyzer analyzer(config);
+    auto result = analyzer.analyze(t);
+    std::set<AttributeSet> seen;
+    for (const auto &cause : result.rootCauses) {
+        EXPECT_TRUE(seen.insert(cause.attrs).second)
+            << "duplicate cause " << cause.attrs.toString();
+        // The metrics attached to an accepted cause were evaluated
+        // against the flag state at acceptance time and passed.
+        EXPECT_TRUE(passesThresholds(cause.metrics, config));
+    }
+}
+
+TEST_P(RandomLogTest, PlantedCausesAreRecovered)
+{
+    Table t = randomLog(2000, GetParam() + 500);
+    Analyzer analyzer(defaultConfig());
+    auto result = analyzer.analyze(t);
+    bool found_w1 = false, found_d3 = false;
+    for (const auto &cause : result.rootCauses) {
+        if (cause.attrs ==
+            AttributeSet({{"weather", Value("w1")}}))
+            found_w1 = true;
+        if (cause.attrs ==
+            AttributeSet({{"device_id", Value("d3")}}))
+            found_d3 = true;
+    }
+    EXPECT_TRUE(found_w1);
+    EXPECT_TRUE(found_d3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLogTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+} // namespace
+} // namespace nazar::rca

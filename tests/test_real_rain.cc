@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the real-rain (RID) domain emulation.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/real_rain.h"
+
+namespace nazar::data {
+namespace {
+
+TEST(RealRain, HalfCleanHalfRid)
+{
+    AppSpec app = makeCityscapesApp();
+    RealRainSet set = makeRealRainSet(app, 200);
+    EXPECT_EQ(set.data.size(), 400u);
+    size_t rid = 0;
+    for (bool b : set.isRid)
+        rid += b ? 1 : 0;
+    EXPECT_EQ(rid, 200u);
+    // Clean first, RID second.
+    EXPECT_FALSE(set.isRid.front());
+    EXPECT_TRUE(set.isRid.back());
+}
+
+TEST(RealRain, OnlySharedClasses)
+{
+    AppSpec app = makeCityscapesApp();
+    RealRainSet set = makeRealRainSet(app, 200);
+    std::set<int> labels(set.data.labels.begin(),
+                         set.data.labels.end());
+    // Exactly the five classes shared between the two datasets.
+    EXPECT_EQ(labels.size(), 5u);
+    for (int label : labels) {
+        EXPECT_GE(label, 0);
+        EXPECT_LT(label,
+                  static_cast<int>(app.domain.numClasses()));
+    }
+}
+
+TEST(RealRain, DeterministicFromSeed)
+{
+    AppSpec app = makeCityscapesApp();
+    RealRainSet a = makeRealRainSet(app, 50, 7);
+    RealRainSet b = makeRealRainSet(app, 50, 7);
+    EXPECT_TRUE(a.data.x.approxEquals(b.data.x));
+    EXPECT_EQ(a.data.labels, b.data.labels);
+}
+
+TEST(RealRain, RidDomainShiftsDistribution)
+{
+    // The RID half must be visibly displaced from the clean half:
+    // compare the mean feature vectors.
+    AppSpec app = makeCityscapesApp();
+    RealRainSet set = makeRealRainSet(app, 500);
+    std::vector<double> clean_mean(32, 0.0), rid_mean(32, 0.0);
+    for (size_t r = 0; r < set.data.size(); ++r) {
+        for (size_t c = 0; c < 32; ++c) {
+            if (set.isRid[r])
+                rid_mean[c] += set.data.x(r, c) / 500.0;
+            else
+                clean_mean[c] += set.data.x(r, c) / 500.0;
+        }
+    }
+    double dist = 0.0;
+    for (size_t c = 0; c < 32; ++c)
+        dist += (rid_mean[c] - clean_mean[c]) *
+                (rid_mean[c] - clean_mean[c]);
+    EXPECT_GT(std::sqrt(dist), 0.5);
+}
+
+TEST(RealRain, DomainTransformIsStochasticButCentered)
+{
+    Rng rng(3);
+    std::vector<double> x(32, 1.0);
+    auto a = ridDomainTransform(x, rng);
+    auto b = ridDomainTransform(x, rng);
+    EXPECT_NE(a, b); // sensor noise differs per call
+    EXPECT_EQ(a.size(), 32u);
+}
+
+} // namespace
+} // namespace nazar::data

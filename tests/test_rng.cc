@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the deterministic RNG.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace nazar {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a() == b() ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(3);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = rng.uniformInt(2, 5);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 5);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all four values hit
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(7, 7), 7);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange)
+{
+    Rng rng(3);
+    EXPECT_THROW(rng.uniformInt(5, 2), NazarError);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    const int n = 200000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale)
+{
+    Rng rng(13);
+    const int n = 50000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+class RngPoissonTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RngPoissonTest, MeanMatches)
+{
+    double mean = GetParam();
+    Rng rng(17);
+    const int n = 50000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.poisson(mean);
+    EXPECT_NEAR(sum / n, mean, std::max(0.05, mean * 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, RngPoissonTest,
+                         ::testing::Values(0.1, 0.5, 2.0, 8.0, 50.0));
+
+TEST(Rng, PoissonZeroMean)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, PoissonRejectsNegativeMean)
+{
+    Rng rng(5);
+    EXPECT_THROW(rng.poisson(-1.0), NazarError);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(19);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, IndexBounds)
+{
+    Rng rng(23);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.index(17), 17u);
+    EXPECT_THROW(rng.index(0), NazarError);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights)
+{
+    Rng rng(29);
+    std::vector<double> weights = {1.0, 0.0, 3.0};
+    std::vector<int> counts(3, 0);
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.weightedIndex(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedIndexRejectsBadWeights)
+{
+    Rng rng(29);
+    std::vector<double> zero = {0.0, 0.0};
+    EXPECT_THROW(rng.weightedIndex(zero), NazarError);
+    std::vector<double> negative = {1.0, -0.5};
+    EXPECT_THROW(rng.weightedIndex(negative), NazarError);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(31);
+    std::vector<int> v(50);
+    for (int i = 0; i < 50; ++i)
+        v[static_cast<size_t>(i)] = i;
+    auto original = v;
+    rng.shuffle(v);
+    EXPECT_NE(v, original); // astronomically unlikely to be identity
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(37);
+    Rng child = a.fork();
+    // The child must differ from the parent's continued stream.
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a() == child() ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator)
+{
+    static_assert(std::uniform_random_bit_generator<Rng>);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace nazar

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for set reduction, including the paper's example merge of
+ * {snow, new_york} into {snow}.
+ */
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+#include "rca/set_reduction.h"
+
+namespace nazar::rca {
+namespace {
+
+using testing::paperConfig;
+using testing::paperTable2;
+using testing::weatherAndLocation;
+using testing::weatherIs;
+
+/** Causes passing the paper's default thresholds, in rank order. */
+std::vector<RankedCause>
+passingCauses()
+{
+    driftlog::Table t = paperTable2();
+    RcaConfig config = paperConfig();
+    auto all = Fim(t, config).mine();
+    std::vector<RankedCause> passing;
+    for (const auto &c : all)
+        if (passesThresholds(c.metrics, config))
+            passing.push_back(c);
+    return passing;
+}
+
+TEST(SetReduction, PaperExampleMergesFineCausesIntoSnow)
+{
+    auto groups = reduceCauses(passingCauses());
+    ASSERT_FALSE(groups.empty());
+    // {snow} is top-ranked and has no proper subset: it is a key.
+    EXPECT_EQ(groups.front().key.attrs, weatherIs("snow"));
+    // Every snow-refinement must be merged into the {snow} group.
+    bool found_snow_ny = false;
+    for (const auto &fine : groups.front().merged) {
+        EXPECT_TRUE(
+            weatherIs("snow").isProperSubsetOf(fine.attrs));
+        if (fine.attrs == weatherAndLocation("snow", "new_york"))
+            found_snow_ny = true;
+    }
+    EXPECT_TRUE(found_snow_ny);
+}
+
+TEST(SetReduction, KeysHaveNoProperSubsetInList)
+{
+    auto causes = passingCauses();
+    auto groups = reduceCauses(causes);
+    for (const auto &g : groups)
+        for (const auto &c : causes)
+            EXPECT_FALSE(c.attrs.isProperSubsetOf(g.key.attrs))
+                << c.attrs.toString() << " subsumes key "
+                << g.key.attrs.toString();
+}
+
+TEST(SetReduction, EveryCauseAppearsExactlyOnce)
+{
+    auto causes = passingCauses();
+    auto groups = reduceCauses(causes);
+    size_t total = 0;
+    for (const auto &g : groups)
+        total += 1 + g.merged.size();
+    EXPECT_EQ(total, causes.size());
+}
+
+TEST(SetReduction, MergesIntoHighestRankedSubset)
+{
+    // Construct a synthetic ranked list: fine cause {a=1, b=2} with
+    // two possible parents {a=1} (rank 0) and {b=2} (rank 2, worse).
+    using driftlog::Value;
+    auto mk = [](std::vector<Attribute> attrs, double rr) {
+        RankedCause c;
+        c.attrs = AttributeSet(std::move(attrs));
+        c.metrics.riskRatio = rr;
+        c.metrics.confidence = 1.0;
+        return c;
+    };
+    std::vector<RankedCause> ranked = {
+        mk({{"a", Value(1)}}, 5.0),
+        mk({{"a", Value(1)}, {"b", Value(2)}}, 4.0),
+        mk({{"b", Value(2)}}, 3.0),
+    };
+    auto groups = reduceCauses(ranked);
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0].key.attrs, ranked[0].attrs);
+    ASSERT_EQ(groups[0].merged.size(), 1u);
+    EXPECT_EQ(groups[0].merged[0].attrs, ranked[1].attrs);
+    EXPECT_TRUE(groups[1].merged.empty());
+}
+
+TEST(SetReduction, TransitiveChainsResolveToUltimateKey)
+{
+    using driftlog::Value;
+    auto mk = [](std::vector<Attribute> attrs, double rr) {
+        RankedCause c;
+        c.attrs = AttributeSet(std::move(attrs));
+        c.metrics.riskRatio = rr;
+        return c;
+    };
+    // {a} > {a,b} > {a,b,c}: all collapse into the {a} group.
+    std::vector<RankedCause> ranked = {
+        mk({{"a", Value(1)}}, 9.0),
+        mk({{"a", Value(1)}, {"b", Value(2)}}, 8.0),
+        mk({{"a", Value(1)}, {"b", Value(2)}, {"c", Value(3)}}, 7.0),
+    };
+    auto groups = reduceCauses(ranked);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].merged.size(), 2u);
+}
+
+TEST(SetReduction, DisjointCausesStaySeparate)
+{
+    using driftlog::Value;
+    auto mk = [](std::vector<Attribute> attrs, double rr) {
+        RankedCause c;
+        c.attrs = AttributeSet(std::move(attrs));
+        c.metrics.riskRatio = rr;
+        return c;
+    };
+    std::vector<RankedCause> ranked = {
+        mk({{"weather", Value("snow")}}, 5.0),
+        mk({{"weather", Value("rain")}}, 4.0),
+    };
+    auto groups = reduceCauses(ranked);
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_TRUE(groups[0].merged.empty());
+    EXPECT_TRUE(groups[1].merged.empty());
+}
+
+TEST(SetReduction, OutputOrderedByKeyRank)
+{
+    auto groups = reduceCauses(passingCauses());
+    for (size_t i = 1; i < groups.size(); ++i)
+        EXPECT_GE(groups[i - 1].key.metrics.riskRatio,
+                  groups[i].key.metrics.riskRatio);
+}
+
+TEST(SetReduction, EmptyInputEmptyOutput)
+{
+    EXPECT_TRUE(reduceCauses({}).empty());
+}
+
+} // namespace
+} // namespace nazar::rca

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests for the SQL dialect over drift-log tables.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "driftlog/drift_log.h"
+#include "driftlog/sql.h"
+
+namespace nazar::driftlog {
+namespace {
+
+Table
+weatherTable()
+{
+    Table t(Schema({{"weather", ValueType::kString},
+                    {"location", ValueType::kString},
+                    {"temp", ValueType::kInt},
+                    {"drift", ValueType::kBool}}));
+    t.append({Value("snow"), Value("oslo"), Value(-3), Value(true)});
+    t.append({Value("clear-day"), Value("rome"), Value(18),
+              Value(false)});
+    t.append({Value("snow"), Value("oslo"), Value(-5), Value(true)});
+    t.append({Value("rain"), Value("rome"), Value(12), Value(true)});
+    t.append({Value("clear-day"), Value("oslo"), Value(2),
+              Value(false)});
+    return t;
+}
+
+TEST(Sql, CountStar)
+{
+    Table t = weatherTable();
+    SqlResult r = executeSql(t, "log", "SELECT COUNT(*) FROM log");
+    ASSERT_EQ(r.rowCount(), 1u);
+    EXPECT_EQ(r.at(0, "count").asInt(), 5);
+}
+
+TEST(Sql, CountWithWhere)
+{
+    Table t = weatherTable();
+    SqlResult r = executeSql(
+        t, "log",
+        "SELECT COUNT(*) FROM log WHERE weather = 'snow' AND "
+        "drift = true");
+    EXPECT_EQ(r.at(0, "count").asInt(), 2);
+}
+
+TEST(Sql, WhereComparisonOperators)
+{
+    Table t = weatherTable();
+    EXPECT_EQ(executeSql(t, "log",
+                         "SELECT COUNT(*) FROM log WHERE temp > 0")
+                  .at(0, "count")
+                  .asInt(),
+              3);
+    EXPECT_EQ(executeSql(t, "log",
+                         "SELECT COUNT(*) FROM log WHERE temp <= -3")
+                  .at(0, "count")
+                  .asInt(),
+              2);
+    EXPECT_EQ(executeSql(t, "log",
+                         "SELECT COUNT(*) FROM log WHERE weather != "
+                         "'snow'")
+                  .at(0, "count")
+                  .asInt(),
+              3);
+    EXPECT_EQ(executeSql(t, "log",
+                         "SELECT COUNT(*) FROM log WHERE weather <> "
+                         "'snow'")
+                  .at(0, "count")
+                  .asInt(),
+              3);
+}
+
+TEST(Sql, Projection)
+{
+    Table t = weatherTable();
+    SqlResult r = executeSql(
+        t, "log",
+        "SELECT weather, temp FROM log WHERE location = 'oslo'");
+    ASSERT_EQ(r.rowCount(), 3u);
+    EXPECT_EQ(r.columns, (std::vector<std::string>{"weather", "temp"}));
+    EXPECT_EQ(r.at(0, "weather").asString(), "snow");
+    EXPECT_EQ(r.at(0, "temp").asInt(), -3);
+}
+
+TEST(Sql, SelectStar)
+{
+    Table t = weatherTable();
+    SqlResult r = executeSql(t, "log", "SELECT * FROM log LIMIT 2");
+    EXPECT_EQ(r.rowCount(), 2u);
+    EXPECT_EQ(r.columns.size(), 4u);
+}
+
+TEST(Sql, GroupByCount)
+{
+    Table t = weatherTable();
+    SqlResult r = executeSql(
+        t, "log",
+        "SELECT weather, COUNT(*) FROM log GROUP BY weather "
+        "ORDER BY COUNT(*) DESC");
+    ASSERT_EQ(r.rowCount(), 3u);
+    // clear-day: 2, snow: 2, rain: 1 (stable sort: ties keep map
+    // order, clear-day < snow alphabetically).
+    EXPECT_EQ(r.rows[0][1].asInt(), 2);
+    EXPECT_EQ(r.rows[1][1].asInt(), 2);
+    EXPECT_EQ(r.rows[2][1].asInt(), 1);
+    EXPECT_EQ(r.rows[2][0].asString(), "rain");
+}
+
+TEST(Sql, GroupByMultipleColumnsWithWhere)
+{
+    Table t = weatherTable();
+    SqlResult r = executeSql(
+        t, "log",
+        "SELECT weather, location, COUNT(*) FROM log WHERE drift = "
+        "true GROUP BY weather, location");
+    ASSERT_EQ(r.rowCount(), 2u); // {snow,oslo} x2, {rain,rome} x1
+    size_t count_col = r.columnIndex("count");
+    int64_t total = 0;
+    for (const auto &row : r.rows)
+        total += row[count_col].asInt();
+    EXPECT_EQ(total, 3);
+}
+
+TEST(Sql, GroupByDefaultSelectList)
+{
+    Table t = weatherTable();
+    SqlResult r =
+        executeSql(t, "log", "SELECT * FROM log GROUP BY weather");
+    EXPECT_EQ(r.columns,
+              (std::vector<std::string>{"weather", "count"}));
+    EXPECT_EQ(r.rowCount(), 3u);
+}
+
+TEST(Sql, OrderByColumnAscendingAndLimit)
+{
+    Table t = weatherTable();
+    SqlResult r = executeSql(
+        t, "log", "SELECT temp FROM log ORDER BY temp ASC LIMIT 2");
+    ASSERT_EQ(r.rowCount(), 2u);
+    EXPECT_EQ(r.rows[0][0].asInt(), -5);
+    EXPECT_EQ(r.rows[1][0].asInt(), -3);
+}
+
+TEST(Sql, KeywordsAreCaseInsensitive)
+{
+    Table t = weatherTable();
+    SqlResult r = executeSql(
+        t, "log", "select count(*) from log where drift = TRUE");
+    EXPECT_EQ(r.at(0, "count").asInt(), 3);
+}
+
+TEST(Sql, FimStyleQuery)
+{
+    // The exact query shape the paper's FIM stage issues: how often is
+    // each attribute value associated with drift?
+    DriftLog log;
+    for (int i = 0; i < 20; ++i) {
+        DriftLogEntry e;
+        e.time = SimDate(i % 5);
+        e.deviceId = "android_1";
+        e.deviceModel = "pixel_6";
+        e.location = i % 2 ? "oslo" : "rome";
+        e.weather = i % 4 == 0 ? "snow" : "clear-day";
+        e.drift = i % 4 == 0;
+        log.add(e);
+    }
+    SqlResult r = executeSql(
+        log.table(), "drift_log",
+        "SELECT weather, COUNT(*) FROM drift_log WHERE drift = true "
+        "GROUP BY weather ORDER BY COUNT(*) DESC LIMIT 3");
+    ASSERT_EQ(r.rowCount(), 1u);
+    EXPECT_EQ(r.rows[0][0].asString(), "snow");
+    EXPECT_EQ(r.rows[0][1].asInt(), 5);
+}
+
+TEST(Sql, DoubleAndNegativeLiterals)
+{
+    Table t(Schema({{"x", ValueType::kDouble}}));
+    t.append({Value(1.5)});
+    t.append({Value(-2.5)});
+    EXPECT_EQ(executeSql(t, "t",
+                         "SELECT COUNT(*) FROM t WHERE x > 1.25")
+                  .at(0, "count")
+                  .asInt(),
+              1);
+    EXPECT_EQ(executeSql(t, "t",
+                         "SELECT COUNT(*) FROM t WHERE x = -2.5")
+                  .at(0, "count")
+                  .asInt(),
+              1);
+}
+
+TEST(Sql, SyntaxAndSemanticErrors)
+{
+    Table t = weatherTable();
+    EXPECT_THROW(executeSql(t, "log", "SELEKT * FROM log"), NazarError);
+    EXPECT_THROW(executeSql(t, "log", "SELECT * FROM other"),
+                 NazarError);
+    EXPECT_THROW(executeSql(t, "log", "SELECT bogus FROM log"),
+                 NazarError);
+    EXPECT_THROW(
+        executeSql(t, "log", "SELECT * FROM log WHERE weather ="),
+        NazarError);
+    EXPECT_THROW(
+        executeSql(t, "log",
+                   "SELECT * FROM log WHERE weather = 'unterminated"),
+        NazarError);
+    EXPECT_THROW(executeSql(t, "log", "SELECT * FROM log LIMIT -1"),
+                 NazarError);
+    EXPECT_THROW(
+        executeSql(t, "log", "SELECT temp, COUNT(*) FROM log"),
+        NazarError); // COUNT(*) with columns requires GROUP BY
+    EXPECT_THROW(executeSql(t, "log",
+                            "SELECT temp FROM log GROUP BY weather"),
+                 NazarError); // selected col not in GROUP BY
+    EXPECT_THROW(executeSql(t, "log", "SELECT * FROM log extra"),
+                 NazarError); // trailing garbage
+}
+
+TEST(Sql, ResultRendering)
+{
+    Table t = weatherTable();
+    SqlResult r = executeSql(t, "log",
+                             "SELECT weather, COUNT(*) FROM log GROUP "
+                             "BY weather");
+    std::string s = r.toString();
+    EXPECT_NE(s.find("weather"), std::string::npos);
+    EXPECT_NE(s.find("snow"), std::string::npos);
+    EXPECT_THROW(r.columnIndex("bogus"), NazarError);
+    EXPECT_THROW(r.at(99, "count"), NazarError);
+}
+
+TEST(Sql, TrailingSemicolonAccepted)
+{
+    Table t = weatherTable();
+    EXPECT_NO_THROW(executeSql(t, "log", "SELECT COUNT(*) FROM log;"));
+}
+
+} // namespace
+} // namespace nazar::driftlog

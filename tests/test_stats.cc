@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for statistics helpers.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace nazar {
+namespace {
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MatchesDirectComputation)
+{
+    RunningStat s;
+    std::vector<double> xs = {1.0, 4.0, 4.0, 9.0, -2.0, 0.5};
+    for (double x : xs)
+        s.add(x);
+    EXPECT_EQ(s.count(), xs.size());
+    EXPECT_NEAR(s.mean(), mean(xs), 1e-12);
+    EXPECT_NEAR(s.stddev(), stddev(xs), 1e-12);
+    EXPECT_EQ(s.min(), -2.0);
+    EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, MergeEquivalentToCombinedStream)
+{
+    RunningStat a, b, whole;
+    for (int i = 0; i < 100; ++i) {
+        double x = std::sin(i * 0.7) * i;
+        (i % 2 ? a : b).add(x);
+        whole.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+    EXPECT_EQ(a.min(), whole.min());
+    EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, empty;
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_EQ(empty.mean(), 3.0);
+}
+
+TEST(VectorStats, MeanAndStddev)
+{
+    EXPECT_EQ(mean({}), 0.0);
+    EXPECT_NEAR(mean({2.0, 4.0}), 3.0, 1e-12);
+    EXPECT_EQ(stddev({5.0}), 0.0);
+    EXPECT_NEAR(stddev({2.0, 4.0}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Percentile, KnownValues)
+{
+    std::vector<double> xs = {3.0, 1.0, 2.0, 4.0};
+    EXPECT_NEAR(percentile(xs, 0.0), 1.0, 1e-12);
+    EXPECT_NEAR(percentile(xs, 100.0), 4.0, 1e-12);
+    EXPECT_NEAR(percentile(xs, 50.0), 2.5, 1e-12);
+    EXPECT_NEAR(percentile({7.0}, 30.0), 7.0, 1e-12);
+}
+
+TEST(Percentile, RejectsBadInput)
+{
+    EXPECT_THROW(percentile({}, 50.0), NazarError);
+    EXPECT_THROW(percentile({1.0}, -1.0), NazarError);
+    EXPECT_THROW(percentile({1.0}, 101.0), NazarError);
+}
+
+TEST(ConfusionCounts, CountsRouteCorrectly)
+{
+    ConfusionCounts c;
+    c.add(true, true);   // TP
+    c.add(true, false);  // FP
+    c.add(false, true);  // FN
+    c.add(false, false); // TN
+    EXPECT_EQ(c.tp(), 1u);
+    EXPECT_EQ(c.fp(), 1u);
+    EXPECT_EQ(c.fn(), 1u);
+    EXPECT_EQ(c.tn(), 1u);
+    EXPECT_EQ(c.total(), 4u);
+    EXPECT_NEAR(c.precision(), 0.5, 1e-12);
+    EXPECT_NEAR(c.recall(), 0.5, 1e-12);
+    EXPECT_NEAR(c.f1(), 0.5, 1e-12);
+    EXPECT_NEAR(c.accuracy(), 0.5, 1e-12);
+    EXPECT_NEAR(c.positiveRate(), 0.5, 1e-12);
+}
+
+TEST(ConfusionCounts, F1MatchesPaperEquation)
+{
+    // F1 = 2 TP / (2 TP + FP + FN), paper Eq. 1.
+    ConfusionCounts c;
+    for (int i = 0; i < 8; ++i)
+        c.add(true, true);
+    for (int i = 0; i < 2; ++i)
+        c.add(true, false);
+    for (int i = 0; i < 4; ++i)
+        c.add(false, true);
+    EXPECT_NEAR(c.f1(), 2.0 * 8 / (2.0 * 8 + 2 + 4), 1e-12);
+    // Cross-check against the precision/recall form.
+    double p = c.precision(), r = c.recall();
+    EXPECT_NEAR(c.f1(), 2.0 * p * r / (p + r), 1e-12);
+}
+
+TEST(ConfusionCounts, DegenerateCasesAreZero)
+{
+    ConfusionCounts empty;
+    EXPECT_EQ(empty.precision(), 0.0);
+    EXPECT_EQ(empty.recall(), 0.0);
+    EXPECT_EQ(empty.f1(), 0.0);
+    EXPECT_EQ(empty.accuracy(), 0.0);
+
+    ConfusionCounts all_negative;
+    all_negative.add(false, false);
+    EXPECT_EQ(all_negative.precision(), 0.0);
+    EXPECT_EQ(all_negative.f1(), 0.0);
+    EXPECT_EQ(all_negative.positiveRate(), 0.0);
+}
+
+} // namespace
+} // namespace nazar

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for the ASCII table renderer.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/table_printer.h"
+
+namespace nazar {
+namespace {
+
+TEST(TablePrinter, RendersHeaderAndRows)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    std::string s = t.toString();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TablePrinter, ColumnsAreAligned)
+{
+    TablePrinter t({"a", "b"});
+    t.addRow({"short", "x"});
+    t.addRow({"a-much-longer-cell", "y"});
+    std::string s = t.toString();
+    // Every line must have the same width.
+    std::istringstream is(s);
+    std::string line;
+    size_t width = 0;
+    while (std::getline(is, line)) {
+        if (width == 0)
+            width = line.size();
+        EXPECT_EQ(line.size(), width);
+    }
+}
+
+TEST(TablePrinter, RejectsMismatchedRow)
+{
+    TablePrinter t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), NazarError);
+    EXPECT_THROW(TablePrinter({}), NazarError);
+}
+
+TEST(TablePrinter, NumberFormatting)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+    EXPECT_EQ(TablePrinter::pct(0.1234, 1), "12.3%");
+    EXPECT_EQ(TablePrinter::pct(1.0, 0), "100%");
+}
+
+TEST(TablePrinter, PrintStreams)
+{
+    TablePrinter t({"x"});
+    t.addRow({"1"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_EQ(os.str(), t.toString());
+}
+
+} // namespace
+} // namespace nazar

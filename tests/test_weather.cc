@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the weather emulation.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "data/weather.h"
+
+namespace nazar::data {
+namespace {
+
+TEST(Weather, NamesRoundTrip)
+{
+    for (Weather w : {Weather::kClear, Weather::kRain, Weather::kSnow,
+                      Weather::kFog})
+        EXPECT_EQ(weatherFromString(toString(w)), w);
+    EXPECT_EQ(toString(Weather::kClear), "clear-day"); // paper Table 2
+    EXPECT_THROW(weatherFromString("hail"), NazarError);
+}
+
+TEST(Weather, CorruptionMapping)
+{
+    EXPECT_EQ(weatherCorruption(Weather::kClear), CorruptionType::kNone);
+    EXPECT_EQ(weatherCorruption(Weather::kRain), CorruptionType::kRain);
+    EXPECT_EQ(weatherCorruption(Weather::kSnow), CorruptionType::kSnow);
+    EXPECT_EQ(weatherCorruption(Weather::kFog), CorruptionType::kFog);
+}
+
+TEST(WeatherModel, DeterministicFromSeed)
+{
+    auto locs = animalsLocations();
+    WeatherModel a(locs, 112, 2020), b(locs, 112, 2020);
+    for (int li = 0; li < static_cast<int>(locs.size()); ++li)
+        for (int day = 0; day < 112; ++day)
+            EXPECT_EQ(a.weatherAt(li, day), b.weatherAt(li, day));
+}
+
+TEST(WeatherModel, DifferentSeedsDiffer)
+{
+    auto locs = animalsLocations();
+    WeatherModel a(locs, 112, 1), b(locs, 112, 2);
+    int diff = 0;
+    for (int day = 0; day < 112; ++day)
+        diff += a.weatherAt(0, day) != b.weatherAt(0, day) ? 1 : 0;
+    EXPECT_GT(diff, 0);
+}
+
+TEST(WeatherModel, DriftFractionInPaperBallpark)
+{
+    // Paper §5.2: 29%-36% of days experience weather drift. Allow a
+    // generous band around it.
+    WeatherModel animals(animalsLocations(), 112, 2020);
+    EXPECT_GT(animals.driftDayFraction(), 0.15);
+    EXPECT_LT(animals.driftDayFraction(), 0.55);
+
+    WeatherModel city(cityscapesLocations(), 112, 2020);
+    EXPECT_GT(city.driftDayFraction(), 0.15);
+    EXPECT_LT(city.driftDayFraction(), 0.55);
+}
+
+TEST(WeatherModel, ClimateShapesDistribution)
+{
+    // Quebec (index 5) is configured far snowier than New South Wales
+    // (index 3, snow prior 0).
+    auto locs = animalsLocations();
+    WeatherModel model(locs, 112, 2020);
+    int quebec_snow = 0, nsw_snow = 0;
+    for (int day = 0; day < 112; ++day) {
+        quebec_snow += model.weatherAt(5, day) == Weather::kSnow ? 1 : 0;
+        nsw_snow += model.weatherAt(3, day) == Weather::kSnow ? 1 : 0;
+    }
+    EXPECT_GT(quebec_snow, nsw_snow);
+    EXPECT_EQ(nsw_snow, 0); // snow prior is exactly zero there
+}
+
+TEST(WeatherModel, SeasonalityReducesLateSnow)
+{
+    // Snow should concentrate early in the Jan-Apr period for
+    // strongly seasonal locations (aggregate over locations).
+    auto locs = animalsLocations();
+    WeatherModel model(locs, 112, 2020);
+    int early = 0, late = 0;
+    for (size_t li = 0; li < locs.size(); ++li) {
+        for (int day = 0; day < 56; ++day)
+            early += model.weatherAt(static_cast<int>(li), day) ==
+                             Weather::kSnow
+                         ? 1
+                         : 0;
+        for (int day = 56; day < 112; ++day)
+            late += model.weatherAt(static_cast<int>(li), day) ==
+                            Weather::kSnow
+                        ? 1
+                        : 0;
+    }
+    EXPECT_GT(early, late);
+}
+
+TEST(WeatherModel, AnyDriftFractionAtLeastPerCell)
+{
+    WeatherModel model(animalsLocations(), 112, 2020);
+    EXPECT_GE(model.anyDriftDayFraction(), model.driftDayFraction());
+}
+
+TEST(WeatherModel, BoundsChecked)
+{
+    WeatherModel model(animalsLocations(), 10, 1);
+    EXPECT_THROW(model.weatherAt(-1, 0), NazarError);
+    EXPECT_THROW(model.weatherAt(0, 10), NazarError);
+    EXPECT_THROW(model.weatherAt(99, 0), NazarError);
+    EXPECT_THROW(WeatherModel({}, 10), NazarError);
+    EXPECT_THROW(WeatherModel(animalsLocations(), 0), NazarError);
+}
+
+} // namespace
+} // namespace nazar::data

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the Zipf sampler.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/zipf.h"
+
+namespace nazar {
+namespace {
+
+TEST(Zipf, AlphaZeroIsUniform)
+{
+    ZipfSampler z(10, 0.0);
+    for (size_t k = 0; k < 10; ++k)
+        EXPECT_NEAR(z.probability(k), 0.1, 1e-12);
+}
+
+TEST(Zipf, ProbabilitiesSumToOne)
+{
+    ZipfSampler z(37, 1.3);
+    double total = 0.0;
+    for (size_t k = 0; k < z.size(); ++k)
+        total += z.probability(k);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, ProbabilitiesDecreaseWithRank)
+{
+    ZipfSampler z(20, 1.0);
+    for (size_t k = 1; k < z.size(); ++k)
+        EXPECT_LE(z.probability(k), z.probability(k - 1));
+}
+
+TEST(Zipf, ClassicRatios)
+{
+    // With alpha = 1, P(rank 0) / P(rank 1) == 2.
+    ZipfSampler z(100, 1.0);
+    EXPECT_NEAR(z.probability(0) / z.probability(1), 2.0, 1e-9);
+    EXPECT_NEAR(z.probability(0) / z.probability(3), 4.0, 1e-9);
+}
+
+TEST(Zipf, HigherAlphaMoreSkew)
+{
+    ZipfSampler mild(50, 0.5), harsh(50, 2.0);
+    EXPECT_GT(harsh.probability(0), mild.probability(0));
+    EXPECT_LT(harsh.probability(49), mild.probability(49));
+}
+
+TEST(Zipf, SamplingMatchesProbabilities)
+{
+    ZipfSampler z(5, 1.0);
+    Rng rng(101);
+    std::vector<int> counts(5, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[z.sample(rng)];
+    for (size_t k = 0; k < 5; ++k)
+        EXPECT_NEAR(static_cast<double>(counts[k]) / n, z.probability(k),
+                    0.01)
+            << "rank " << k;
+}
+
+TEST(Zipf, SingleRank)
+{
+    ZipfSampler z(1, 1.7);
+    Rng rng(5);
+    EXPECT_EQ(z.sample(rng), 0u);
+    EXPECT_NEAR(z.probability(0), 1.0, 1e-12);
+}
+
+TEST(Zipf, RejectsBadArguments)
+{
+    EXPECT_THROW(ZipfSampler(0, 1.0), NazarError);
+    EXPECT_THROW(ZipfSampler(5, -0.1), NazarError);
+    ZipfSampler z(3, 1.0);
+    EXPECT_THROW(z.probability(3), NazarError);
+}
+
+} // namespace
+} // namespace nazar

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * nazar_ops — the ML-ops command-line companion.
+ *
+ * Lets an operator work with drift logs outside the deployed system:
+ *
+ *   nazar_ops gen-log <out.csv> [rows] [seed]
+ *       Generate a synthetic drift log with planted weather causes.
+ *
+ *   nazar_ops analyze <log.csv> [fim|sr|full]
+ *       Run root-cause analysis on a drift-log CSV and print the
+ *       ranked FIM table plus the final causes (default: the full
+ *       pipeline, §3.3 / Algorithm 1).
+ *
+ *   nazar_ops sql <log.csv> "<query>"
+ *       Run a SQL query against the log (table name: drift_log),
+ *       e.g. "SELECT weather, COUNT(*) FROM drift_log WHERE drift =
+ *       true GROUP BY weather ORDER BY COUNT(*) DESC".
+ */
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "driftlog/csv.h"
+#include "driftlog/drift_log.h"
+#include "driftlog/sql.h"
+#include "rca/analyzer.h"
+
+using namespace nazar;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  nazar_ops gen-log <out.csv> [rows] [seed]\n"
+                 "  nazar_ops analyze <log.csv> [fim|sr|full]\n"
+                 "  nazar_ops sql <log.csv> \"<query>\"\n");
+    return 2;
+}
+
+driftlog::Table
+loadLog(const std::string &path)
+{
+    std::ifstream in(path);
+    NAZAR_CHECK(in.good(), "cannot open: " + path);
+    driftlog::DriftLog schema_holder;
+    return driftlog::readCsv(schema_holder.table().schema(), in);
+}
+
+int
+cmdGenLog(const std::string &path, size_t rows, uint64_t seed)
+{
+    Rng rng(seed);
+    const char *weathers[] = {"clear-day", "rain", "snow", "fog"};
+    const char *locations[] = {"new_york", "tibet", "beijing",
+                               "new_south_wales", "united_kingdom",
+                               "quebec", "sao_paulo"};
+    driftlog::DriftLog log;
+    for (size_t i = 0; i < rows; ++i) {
+        driftlog::DriftLogEntry e;
+        e.time = SimDate(static_cast<int>(i % 112),
+                         static_cast<int>(rng.uniformInt(0, 86399)));
+        int device = static_cast<int>(rng.index(112));
+        e.deviceId = "android_" + std::to_string(device);
+        e.deviceModel = "model_" + std::to_string(device % 4);
+        e.location = locations[rng.index(7)];
+        size_t w = rng.index(4);
+        e.weather = weathers[w];
+        e.drift = w != 0 ? rng.bernoulli(0.7) : rng.bernoulli(0.2);
+        log.add(e);
+    }
+    std::ofstream out(path);
+    NAZAR_CHECK(out.good(), "cannot write: " + path);
+    driftlog::writeCsv(log.table(), out);
+    std::printf("wrote %zu rows to %s (planted causes: rain, snow, "
+                "fog)\n",
+                rows, path.c_str());
+    return 0;
+}
+
+int
+cmdAnalyze(const std::string &path, const std::string &mode_name)
+{
+    rca::AnalysisMode mode = rca::AnalysisMode::kFull;
+    if (mode_name == "fim")
+        mode = rca::AnalysisMode::kFimOnly;
+    else if (mode_name == "sr")
+        mode = rca::AnalysisMode::kFimSetReduction;
+    else if (mode_name != "full")
+        throw NazarError("unknown analysis mode: " + mode_name);
+
+    driftlog::Table table = loadLog(path);
+    std::printf("%zu entries, %zu flagged as drift\n\n",
+                table.rowCount(),
+                driftlog::Query(table)
+                    .where(driftlog::columns::kDrift,
+                           driftlog::Value(true))
+                    .count());
+
+    rca::RcaConfig config;
+    config.attributeColumns =
+        driftlog::DriftLog::defaultAttributeColumns();
+    rca::Analyzer analyzer(config);
+    rca::AnalysisResult result = analyzer.analyze(table, mode);
+
+    TablePrinter fim({"rank", "occurrence", "support", "risk ratio",
+                      "confidence", "attributes"});
+    int rank = 0;
+    for (const auto &cause : result.fimTable) {
+        if (!rca::passesThresholds(cause.metrics, config))
+            continue;
+        fim.addRow({std::to_string(rank++),
+                    TablePrinter::num(cause.metrics.occurrence),
+                    TablePrinter::num(cause.metrics.support),
+                    TablePrinter::num(cause.metrics.riskRatio, 2),
+                    TablePrinter::num(cause.metrics.confidence, 2),
+                    cause.attrs.toString()});
+        if (rank >= 20)
+            break;
+    }
+    std::printf("thresholded FIM table (top %d):\n%s\n", rank,
+                fim.toString().c_str());
+
+    std::printf("root causes (%s):\n", toString(mode).c_str());
+    if (result.rootCauses.empty())
+        std::printf("  (none)\n");
+    for (const auto &cause : result.rootCauses)
+        std::printf("  %s  conf %.2f  rr %.2f  (%zu drifted entries)\n",
+                    cause.attrs.toString().c_str(),
+                    cause.metrics.confidence, cause.metrics.riskRatio,
+                    cause.metrics.setDriftCount);
+    return 0;
+}
+
+int
+cmdSql(const std::string &path, const std::string &query)
+{
+    driftlog::Table table = loadLog(path);
+    driftlog::SqlResult result =
+        driftlog::executeSql(table, "drift_log", query);
+    std::printf("%s(%zu rows)\n", result.toString().c_str(),
+                result.rowCount());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        if (argc < 3)
+            return usage();
+        std::string cmd = argv[1];
+        if (cmd == "gen-log") {
+            size_t rows = argc > 3 ? std::stoul(argv[3]) : 20000;
+            uint64_t seed = argc > 4 ? std::stoull(argv[4]) : 42;
+            return cmdGenLog(argv[2], rows, seed);
+        }
+        if (cmd == "analyze")
+            return cmdAnalyze(argv[2], argc > 3 ? argv[3] : "full");
+        if (cmd == "sql") {
+            if (argc < 4)
+                return usage();
+            return cmdSql(argv[2], argv[3]);
+        }
+        return usage();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
