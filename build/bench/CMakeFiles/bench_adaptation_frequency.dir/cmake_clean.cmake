@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptation_frequency.dir/bench_adaptation_frequency.cc.o"
+  "CMakeFiles/bench_adaptation_frequency.dir/bench_adaptation_frequency.cc.o.d"
+  "bench_adaptation_frequency"
+  "bench_adaptation_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptation_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_federated.dir/bench_ext_federated.cc.o"
+  "CMakeFiles/bench_ext_federated.dir/bench_ext_federated.cc.o.d"
+  "bench_ext_federated"
+  "bench_ext_federated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_federated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8c_model_versions.dir/bench_fig8c_model_versions.cc.o"
+  "CMakeFiles/bench_fig8c_model_versions.dir/bench_fig8c_model_versions.cc.o.d"
+  "bench_fig8c_model_versions"
+  "bench_fig8c_model_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8c_model_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9ab_severity.dir/bench_fig9ab_severity.cc.o"
+  "CMakeFiles/bench_fig9ab_severity.dir/bench_fig9ab_severity.cc.o.d"
+  "bench_fig9ab_severity"
+  "bench_fig9ab_severity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9ab_severity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_godin_cost.dir/bench_godin_cost.cc.o"
+  "CMakeFiles/bench_godin_cost.dir/bench_godin_cost.cc.o.d"
+  "bench_godin_cost"
+  "bench_godin_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_godin_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

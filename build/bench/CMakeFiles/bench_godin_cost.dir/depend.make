@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_godin_cost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_realrain_detection.dir/bench_realrain_detection.cc.o"
+  "CMakeFiles/bench_realrain_detection.dir/bench_realrain_detection.cc.o.d"
+  "bench_realrain_detection"
+  "bench_realrain_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_realrain_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

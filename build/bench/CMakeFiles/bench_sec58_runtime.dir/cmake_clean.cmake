@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec58_runtime.dir/bench_sec58_runtime.cc.o"
+  "CMakeFiles/bench_sec58_runtime.dir/bench_sec58_runtime.cc.o.d"
+  "bench_sec58_runtime"
+  "bench_sec58_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec58_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_detectors.dir/bench_table1_detectors.cc.o"
+  "CMakeFiles/bench_table1_detectors.dir/bench_table1_detectors.cc.o.d"
+  "bench_table1_detectors"
+  "bench_table1_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

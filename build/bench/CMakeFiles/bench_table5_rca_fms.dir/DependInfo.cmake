@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table5_rca_fms.cc" "bench/CMakeFiles/bench_table5_rca_fms.dir/bench_table5_rca_fms.cc.o" "gcc" "bench/CMakeFiles/bench_table5_rca_fms.dir/bench_table5_rca_fms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nazar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nazar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapt/CMakeFiles/nazar_adapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/fed/CMakeFiles/nazar_fed.dir/DependInfo.cmake"
+  "/root/repo/build/src/deploy/CMakeFiles/nazar_deploy.dir/DependInfo.cmake"
+  "/root/repo/build/src/rca/CMakeFiles/nazar_rca.dir/DependInfo.cmake"
+  "/root/repo/build/src/driftlog/CMakeFiles/nazar_driftlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/nazar_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nazar_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nazar_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nazar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_rca_fms.dir/bench_table5_rca_fms.cc.o"
+  "CMakeFiles/bench_table5_rca_fms.dir/bench_table5_rca_fms.cc.o.d"
+  "bench_table5_rca_fms"
+  "bench_table5_rca_fms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_rca_fms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table5_rca_fms.
+# This may be replaced when dependencies are built.

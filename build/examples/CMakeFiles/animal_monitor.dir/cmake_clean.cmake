@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/animal_monitor.dir/animal_monitor.cc.o"
+  "CMakeFiles/animal_monitor.dir/animal_monitor.cc.o.d"
+  "animal_monitor"
+  "animal_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animal_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driftlog_walkthrough.dir/driftlog_walkthrough.cc.o"
+  "CMakeFiles/driftlog_walkthrough.dir/driftlog_walkthrough.cc.o.d"
+  "driftlog_walkthrough"
+  "driftlog_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driftlog_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

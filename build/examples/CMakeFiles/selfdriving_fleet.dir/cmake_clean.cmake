@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfdriving_fleet.dir/selfdriving_fleet.cc.o"
+  "CMakeFiles/selfdriving_fleet.dir/selfdriving_fleet.cc.o.d"
+  "selfdriving_fleet"
+  "selfdriving_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfdriving_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

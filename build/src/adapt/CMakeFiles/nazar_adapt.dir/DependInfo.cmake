@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adapt/augment.cc" "src/adapt/CMakeFiles/nazar_adapt.dir/augment.cc.o" "gcc" "src/adapt/CMakeFiles/nazar_adapt.dir/augment.cc.o.d"
+  "/root/repo/src/adapt/memo.cc" "src/adapt/CMakeFiles/nazar_adapt.dir/memo.cc.o" "gcc" "src/adapt/CMakeFiles/nazar_adapt.dir/memo.cc.o.d"
+  "/root/repo/src/adapt/tent.cc" "src/adapt/CMakeFiles/nazar_adapt.dir/tent.cc.o" "gcc" "src/adapt/CMakeFiles/nazar_adapt.dir/tent.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nazar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nazar_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nazar_adapt.dir/augment.cc.o"
+  "CMakeFiles/nazar_adapt.dir/augment.cc.o.d"
+  "CMakeFiles/nazar_adapt.dir/memo.cc.o"
+  "CMakeFiles/nazar_adapt.dir/memo.cc.o.d"
+  "CMakeFiles/nazar_adapt.dir/tent.cc.o"
+  "CMakeFiles/nazar_adapt.dir/tent.cc.o.d"
+  "libnazar_adapt.a"
+  "libnazar_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nazar_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nazar_common.dir/logging.cc.o"
+  "CMakeFiles/nazar_common.dir/logging.cc.o.d"
+  "CMakeFiles/nazar_common.dir/rng.cc.o"
+  "CMakeFiles/nazar_common.dir/rng.cc.o.d"
+  "CMakeFiles/nazar_common.dir/sim_date.cc.o"
+  "CMakeFiles/nazar_common.dir/sim_date.cc.o.d"
+  "CMakeFiles/nazar_common.dir/stats.cc.o"
+  "CMakeFiles/nazar_common.dir/stats.cc.o.d"
+  "CMakeFiles/nazar_common.dir/table_printer.cc.o"
+  "CMakeFiles/nazar_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/nazar_common.dir/zipf.cc.o"
+  "CMakeFiles/nazar_common.dir/zipf.cc.o.d"
+  "libnazar_common.a"
+  "libnazar_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nazar_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

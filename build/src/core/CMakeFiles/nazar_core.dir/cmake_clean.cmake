@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nazar_core.dir/nazar.cc.o"
+  "CMakeFiles/nazar_core.dir/nazar.cc.o.d"
+  "libnazar_core.a"
+  "libnazar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nazar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/apps.cc" "src/data/CMakeFiles/nazar_data.dir/apps.cc.o" "gcc" "src/data/CMakeFiles/nazar_data.dir/apps.cc.o.d"
+  "/root/repo/src/data/corruption.cc" "src/data/CMakeFiles/nazar_data.dir/corruption.cc.o" "gcc" "src/data/CMakeFiles/nazar_data.dir/corruption.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/nazar_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/nazar_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/domain.cc" "src/data/CMakeFiles/nazar_data.dir/domain.cc.o" "gcc" "src/data/CMakeFiles/nazar_data.dir/domain.cc.o.d"
+  "/root/repo/src/data/locations.cc" "src/data/CMakeFiles/nazar_data.dir/locations.cc.o" "gcc" "src/data/CMakeFiles/nazar_data.dir/locations.cc.o.d"
+  "/root/repo/src/data/real_rain.cc" "src/data/CMakeFiles/nazar_data.dir/real_rain.cc.o" "gcc" "src/data/CMakeFiles/nazar_data.dir/real_rain.cc.o.d"
+  "/root/repo/src/data/stream.cc" "src/data/CMakeFiles/nazar_data.dir/stream.cc.o" "gcc" "src/data/CMakeFiles/nazar_data.dir/stream.cc.o.d"
+  "/root/repo/src/data/weather.cc" "src/data/CMakeFiles/nazar_data.dir/weather.cc.o" "gcc" "src/data/CMakeFiles/nazar_data.dir/weather.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nazar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nazar_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nazar_data.dir/apps.cc.o"
+  "CMakeFiles/nazar_data.dir/apps.cc.o.d"
+  "CMakeFiles/nazar_data.dir/corruption.cc.o"
+  "CMakeFiles/nazar_data.dir/corruption.cc.o.d"
+  "CMakeFiles/nazar_data.dir/dataset.cc.o"
+  "CMakeFiles/nazar_data.dir/dataset.cc.o.d"
+  "CMakeFiles/nazar_data.dir/domain.cc.o"
+  "CMakeFiles/nazar_data.dir/domain.cc.o.d"
+  "CMakeFiles/nazar_data.dir/locations.cc.o"
+  "CMakeFiles/nazar_data.dir/locations.cc.o.d"
+  "CMakeFiles/nazar_data.dir/real_rain.cc.o"
+  "CMakeFiles/nazar_data.dir/real_rain.cc.o.d"
+  "CMakeFiles/nazar_data.dir/stream.cc.o"
+  "CMakeFiles/nazar_data.dir/stream.cc.o.d"
+  "CMakeFiles/nazar_data.dir/weather.cc.o"
+  "CMakeFiles/nazar_data.dir/weather.cc.o.d"
+  "libnazar_data.a"
+  "libnazar_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nazar_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deploy/matcher.cc" "src/deploy/CMakeFiles/nazar_deploy.dir/matcher.cc.o" "gcc" "src/deploy/CMakeFiles/nazar_deploy.dir/matcher.cc.o.d"
+  "/root/repo/src/deploy/model_pool.cc" "src/deploy/CMakeFiles/nazar_deploy.dir/model_pool.cc.o" "gcc" "src/deploy/CMakeFiles/nazar_deploy.dir/model_pool.cc.o.d"
+  "/root/repo/src/deploy/model_version.cc" "src/deploy/CMakeFiles/nazar_deploy.dir/model_version.cc.o" "gcc" "src/deploy/CMakeFiles/nazar_deploy.dir/model_version.cc.o.d"
+  "/root/repo/src/deploy/registry.cc" "src/deploy/CMakeFiles/nazar_deploy.dir/registry.cc.o" "gcc" "src/deploy/CMakeFiles/nazar_deploy.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nazar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nazar_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/rca/CMakeFiles/nazar_rca.dir/DependInfo.cmake"
+  "/root/repo/build/src/driftlog/CMakeFiles/nazar_driftlog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

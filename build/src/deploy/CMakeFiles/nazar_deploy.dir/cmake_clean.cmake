@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nazar_deploy.dir/matcher.cc.o"
+  "CMakeFiles/nazar_deploy.dir/matcher.cc.o.d"
+  "CMakeFiles/nazar_deploy.dir/model_pool.cc.o"
+  "CMakeFiles/nazar_deploy.dir/model_pool.cc.o.d"
+  "CMakeFiles/nazar_deploy.dir/model_version.cc.o"
+  "CMakeFiles/nazar_deploy.dir/model_version.cc.o.d"
+  "CMakeFiles/nazar_deploy.dir/registry.cc.o"
+  "CMakeFiles/nazar_deploy.dir/registry.cc.o.d"
+  "libnazar_deploy.a"
+  "libnazar_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nazar_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

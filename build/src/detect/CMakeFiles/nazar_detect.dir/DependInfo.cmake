@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/detector.cc" "src/detect/CMakeFiles/nazar_detect.dir/detector.cc.o" "gcc" "src/detect/CMakeFiles/nazar_detect.dir/detector.cc.o.d"
+  "/root/repo/src/detect/godin.cc" "src/detect/CMakeFiles/nazar_detect.dir/godin.cc.o" "gcc" "src/detect/CMakeFiles/nazar_detect.dir/godin.cc.o.d"
+  "/root/repo/src/detect/ks_test.cc" "src/detect/CMakeFiles/nazar_detect.dir/ks_test.cc.o" "gcc" "src/detect/CMakeFiles/nazar_detect.dir/ks_test.cc.o.d"
+  "/root/repo/src/detect/mahalanobis.cc" "src/detect/CMakeFiles/nazar_detect.dir/mahalanobis.cc.o" "gcc" "src/detect/CMakeFiles/nazar_detect.dir/mahalanobis.cc.o.d"
+  "/root/repo/src/detect/metrics.cc" "src/detect/CMakeFiles/nazar_detect.dir/metrics.cc.o" "gcc" "src/detect/CMakeFiles/nazar_detect.dir/metrics.cc.o.d"
+  "/root/repo/src/detect/scores.cc" "src/detect/CMakeFiles/nazar_detect.dir/scores.cc.o" "gcc" "src/detect/CMakeFiles/nazar_detect.dir/scores.cc.o.d"
+  "/root/repo/src/detect/ssl.cc" "src/detect/CMakeFiles/nazar_detect.dir/ssl.cc.o" "gcc" "src/detect/CMakeFiles/nazar_detect.dir/ssl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nazar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nazar_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

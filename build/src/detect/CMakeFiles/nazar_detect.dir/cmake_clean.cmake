@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nazar_detect.dir/detector.cc.o"
+  "CMakeFiles/nazar_detect.dir/detector.cc.o.d"
+  "CMakeFiles/nazar_detect.dir/godin.cc.o"
+  "CMakeFiles/nazar_detect.dir/godin.cc.o.d"
+  "CMakeFiles/nazar_detect.dir/ks_test.cc.o"
+  "CMakeFiles/nazar_detect.dir/ks_test.cc.o.d"
+  "CMakeFiles/nazar_detect.dir/mahalanobis.cc.o"
+  "CMakeFiles/nazar_detect.dir/mahalanobis.cc.o.d"
+  "CMakeFiles/nazar_detect.dir/metrics.cc.o"
+  "CMakeFiles/nazar_detect.dir/metrics.cc.o.d"
+  "CMakeFiles/nazar_detect.dir/scores.cc.o"
+  "CMakeFiles/nazar_detect.dir/scores.cc.o.d"
+  "CMakeFiles/nazar_detect.dir/ssl.cc.o"
+  "CMakeFiles/nazar_detect.dir/ssl.cc.o.d"
+  "libnazar_detect.a"
+  "libnazar_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nazar_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

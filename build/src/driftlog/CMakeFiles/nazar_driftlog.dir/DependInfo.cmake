@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driftlog/csv.cc" "src/driftlog/CMakeFiles/nazar_driftlog.dir/csv.cc.o" "gcc" "src/driftlog/CMakeFiles/nazar_driftlog.dir/csv.cc.o.d"
+  "/root/repo/src/driftlog/drift_log.cc" "src/driftlog/CMakeFiles/nazar_driftlog.dir/drift_log.cc.o" "gcc" "src/driftlog/CMakeFiles/nazar_driftlog.dir/drift_log.cc.o.d"
+  "/root/repo/src/driftlog/query.cc" "src/driftlog/CMakeFiles/nazar_driftlog.dir/query.cc.o" "gcc" "src/driftlog/CMakeFiles/nazar_driftlog.dir/query.cc.o.d"
+  "/root/repo/src/driftlog/sql.cc" "src/driftlog/CMakeFiles/nazar_driftlog.dir/sql.cc.o" "gcc" "src/driftlog/CMakeFiles/nazar_driftlog.dir/sql.cc.o.d"
+  "/root/repo/src/driftlog/table.cc" "src/driftlog/CMakeFiles/nazar_driftlog.dir/table.cc.o" "gcc" "src/driftlog/CMakeFiles/nazar_driftlog.dir/table.cc.o.d"
+  "/root/repo/src/driftlog/value.cc" "src/driftlog/CMakeFiles/nazar_driftlog.dir/value.cc.o" "gcc" "src/driftlog/CMakeFiles/nazar_driftlog.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nazar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

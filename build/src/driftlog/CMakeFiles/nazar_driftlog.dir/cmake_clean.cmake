@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nazar_driftlog.dir/csv.cc.o"
+  "CMakeFiles/nazar_driftlog.dir/csv.cc.o.d"
+  "CMakeFiles/nazar_driftlog.dir/drift_log.cc.o"
+  "CMakeFiles/nazar_driftlog.dir/drift_log.cc.o.d"
+  "CMakeFiles/nazar_driftlog.dir/query.cc.o"
+  "CMakeFiles/nazar_driftlog.dir/query.cc.o.d"
+  "CMakeFiles/nazar_driftlog.dir/sql.cc.o"
+  "CMakeFiles/nazar_driftlog.dir/sql.cc.o.d"
+  "CMakeFiles/nazar_driftlog.dir/table.cc.o"
+  "CMakeFiles/nazar_driftlog.dir/table.cc.o.d"
+  "CMakeFiles/nazar_driftlog.dir/value.cc.o"
+  "CMakeFiles/nazar_driftlog.dir/value.cc.o.d"
+  "libnazar_driftlog.a"
+  "libnazar_driftlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nazar_driftlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

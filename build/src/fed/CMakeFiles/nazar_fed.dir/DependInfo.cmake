@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fed/federated.cc" "src/fed/CMakeFiles/nazar_fed.dir/federated.cc.o" "gcc" "src/fed/CMakeFiles/nazar_fed.dir/federated.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adapt/CMakeFiles/nazar_adapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nazar_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nazar_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nazar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nazar_fed.dir/federated.cc.o"
+  "CMakeFiles/nazar_fed.dir/federated.cc.o.d"
+  "libnazar_fed.a"
+  "libnazar_fed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nazar_fed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

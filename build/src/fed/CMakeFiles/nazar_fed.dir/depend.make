@@ -1,0 +1,2 @@
+# Empty dependencies file for nazar_fed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cc" "src/nn/CMakeFiles/nazar_nn.dir/activation.cc.o" "gcc" "src/nn/CMakeFiles/nazar_nn.dir/activation.cc.o.d"
+  "/root/repo/src/nn/batchnorm.cc" "src/nn/CMakeFiles/nazar_nn.dir/batchnorm.cc.o" "gcc" "src/nn/CMakeFiles/nazar_nn.dir/batchnorm.cc.o.d"
+  "/root/repo/src/nn/bn_patch.cc" "src/nn/CMakeFiles/nazar_nn.dir/bn_patch.cc.o" "gcc" "src/nn/CMakeFiles/nazar_nn.dir/bn_patch.cc.o.d"
+  "/root/repo/src/nn/classifier.cc" "src/nn/CMakeFiles/nazar_nn.dir/classifier.cc.o" "gcc" "src/nn/CMakeFiles/nazar_nn.dir/classifier.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/nazar_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/nazar_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/nazar_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/nazar_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/matrix.cc" "src/nn/CMakeFiles/nazar_nn.dir/matrix.cc.o" "gcc" "src/nn/CMakeFiles/nazar_nn.dir/matrix.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/nazar_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/nazar_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/sequential.cc" "src/nn/CMakeFiles/nazar_nn.dir/sequential.cc.o" "gcc" "src/nn/CMakeFiles/nazar_nn.dir/sequential.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nazar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

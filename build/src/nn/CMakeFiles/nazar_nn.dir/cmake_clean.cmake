@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nazar_nn.dir/activation.cc.o"
+  "CMakeFiles/nazar_nn.dir/activation.cc.o.d"
+  "CMakeFiles/nazar_nn.dir/batchnorm.cc.o"
+  "CMakeFiles/nazar_nn.dir/batchnorm.cc.o.d"
+  "CMakeFiles/nazar_nn.dir/bn_patch.cc.o"
+  "CMakeFiles/nazar_nn.dir/bn_patch.cc.o.d"
+  "CMakeFiles/nazar_nn.dir/classifier.cc.o"
+  "CMakeFiles/nazar_nn.dir/classifier.cc.o.d"
+  "CMakeFiles/nazar_nn.dir/linear.cc.o"
+  "CMakeFiles/nazar_nn.dir/linear.cc.o.d"
+  "CMakeFiles/nazar_nn.dir/loss.cc.o"
+  "CMakeFiles/nazar_nn.dir/loss.cc.o.d"
+  "CMakeFiles/nazar_nn.dir/matrix.cc.o"
+  "CMakeFiles/nazar_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/nazar_nn.dir/optimizer.cc.o"
+  "CMakeFiles/nazar_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/nazar_nn.dir/sequential.cc.o"
+  "CMakeFiles/nazar_nn.dir/sequential.cc.o.d"
+  "libnazar_nn.a"
+  "libnazar_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nazar_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rca/analyzer.cc" "src/rca/CMakeFiles/nazar_rca.dir/analyzer.cc.o" "gcc" "src/rca/CMakeFiles/nazar_rca.dir/analyzer.cc.o.d"
+  "/root/repo/src/rca/attribute_set.cc" "src/rca/CMakeFiles/nazar_rca.dir/attribute_set.cc.o" "gcc" "src/rca/CMakeFiles/nazar_rca.dir/attribute_set.cc.o.d"
+  "/root/repo/src/rca/fim.cc" "src/rca/CMakeFiles/nazar_rca.dir/fim.cc.o" "gcc" "src/rca/CMakeFiles/nazar_rca.dir/fim.cc.o.d"
+  "/root/repo/src/rca/fms.cc" "src/rca/CMakeFiles/nazar_rca.dir/fms.cc.o" "gcc" "src/rca/CMakeFiles/nazar_rca.dir/fms.cc.o.d"
+  "/root/repo/src/rca/set_reduction.cc" "src/rca/CMakeFiles/nazar_rca.dir/set_reduction.cc.o" "gcc" "src/rca/CMakeFiles/nazar_rca.dir/set_reduction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nazar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/driftlog/CMakeFiles/nazar_driftlog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nazar_rca.dir/analyzer.cc.o"
+  "CMakeFiles/nazar_rca.dir/analyzer.cc.o.d"
+  "CMakeFiles/nazar_rca.dir/attribute_set.cc.o"
+  "CMakeFiles/nazar_rca.dir/attribute_set.cc.o.d"
+  "CMakeFiles/nazar_rca.dir/fim.cc.o"
+  "CMakeFiles/nazar_rca.dir/fim.cc.o.d"
+  "CMakeFiles/nazar_rca.dir/fms.cc.o"
+  "CMakeFiles/nazar_rca.dir/fms.cc.o.d"
+  "CMakeFiles/nazar_rca.dir/set_reduction.cc.o"
+  "CMakeFiles/nazar_rca.dir/set_reduction.cc.o.d"
+  "libnazar_rca.a"
+  "libnazar_rca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nazar_rca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nazar_rca.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nazar_sim.dir/cloud.cc.o"
+  "CMakeFiles/nazar_sim.dir/cloud.cc.o.d"
+  "CMakeFiles/nazar_sim.dir/device.cc.o"
+  "CMakeFiles/nazar_sim.dir/device.cc.o.d"
+  "CMakeFiles/nazar_sim.dir/runner.cc.o"
+  "CMakeFiles/nazar_sim.dir/runner.cc.o.d"
+  "libnazar_sim.a"
+  "libnazar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nazar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

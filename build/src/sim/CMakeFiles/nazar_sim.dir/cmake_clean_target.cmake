@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnazar_sim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attribute_set.dir/test_attribute_set.cc.o"
+  "CMakeFiles/test_attribute_set.dir/test_attribute_set.cc.o.d"
+  "test_attribute_set"
+  "test_attribute_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attribute_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

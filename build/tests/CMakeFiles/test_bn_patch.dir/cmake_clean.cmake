@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bn_patch.dir/test_bn_patch.cc.o"
+  "CMakeFiles/test_bn_patch.dir/test_bn_patch.cc.o.d"
+  "test_bn_patch"
+  "test_bn_patch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bn_patch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

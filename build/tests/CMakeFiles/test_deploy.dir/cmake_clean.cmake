@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deploy.dir/test_deploy.cc.o"
+  "CMakeFiles/test_deploy.dir/test_deploy.cc.o.d"
+  "test_deploy"
+  "test_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detect_families.dir/test_detect_families.cc.o"
+  "CMakeFiles/test_detect_families.dir/test_detect_families.cc.o.d"
+  "test_detect_families"
+  "test_detect_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detect_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_driftlog.dir/test_driftlog.cc.o"
+  "CMakeFiles/test_driftlog.dir/test_driftlog.cc.o.d"
+  "test_driftlog"
+  "test_driftlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_driftlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

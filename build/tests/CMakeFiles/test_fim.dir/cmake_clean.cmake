@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fim.dir/test_fim.cc.o"
+  "CMakeFiles/test_fim.dir/test_fim.cc.o.d"
+  "test_fim"
+  "test_fim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_fim.
+# This may be replaced when dependencies are built.

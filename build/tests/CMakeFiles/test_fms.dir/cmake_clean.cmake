@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fms.dir/test_fms.cc.o"
+  "CMakeFiles/test_fms.dir/test_fms.cc.o.d"
+  "test_fms"
+  "test_fms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

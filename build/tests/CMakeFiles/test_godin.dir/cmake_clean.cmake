@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_godin.dir/test_godin.cc.o"
+  "CMakeFiles/test_godin.dir/test_godin.cc.o.d"
+  "test_godin"
+  "test_godin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_godin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

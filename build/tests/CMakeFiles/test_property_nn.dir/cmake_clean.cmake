@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_nn.dir/test_property_nn.cc.o"
+  "CMakeFiles/test_property_nn.dir/test_property_nn.cc.o.d"
+  "test_property_nn"
+  "test_property_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_pool.dir/test_property_pool.cc.o"
+  "CMakeFiles/test_property_pool.dir/test_property_pool.cc.o.d"
+  "test_property_pool"
+  "test_property_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_rca.dir/test_property_rca.cc.o"
+  "CMakeFiles/test_property_rca.dir/test_property_rca.cc.o.d"
+  "test_property_rca"
+  "test_property_rca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_rca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_real_rain.dir/test_real_rain.cc.o"
+  "CMakeFiles/test_real_rain.dir/test_real_rain.cc.o.d"
+  "test_real_rain"
+  "test_real_rain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_real_rain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

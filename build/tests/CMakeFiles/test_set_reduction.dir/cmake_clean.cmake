@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_set_reduction.dir/test_set_reduction.cc.o"
+  "CMakeFiles/test_set_reduction.dir/test_set_reduction.cc.o.d"
+  "test_set_reduction"
+  "test_set_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_set_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

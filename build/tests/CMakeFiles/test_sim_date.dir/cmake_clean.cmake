@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_date.dir/test_sim_date.cc.o"
+  "CMakeFiles/test_sim_date.dir/test_sim_date.cc.o.d"
+  "test_sim_date"
+  "test_sim_date.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_date.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

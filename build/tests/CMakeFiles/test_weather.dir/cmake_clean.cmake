@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weather.dir/test_weather.cc.o"
+  "CMakeFiles/test_weather.dir/test_weather.cc.o.d"
+  "test_weather"
+  "test_weather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

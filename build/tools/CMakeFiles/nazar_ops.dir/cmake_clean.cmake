@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nazar_ops.dir/nazar_ops.cc.o"
+  "CMakeFiles/nazar_ops.dir/nazar_ops.cc.o.d"
+  "nazar_ops"
+  "nazar_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nazar_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nazar_ops.
+# This may be replaced when dependencies are built.
