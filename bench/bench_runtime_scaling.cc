@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Runtime scaling benchmark: matmul and end-to-end window throughput
+ * at 1/2/4/8 threads, reported as JSON. Seeds the BENCH_*.json
+ * trajectory — each row compares against the 1-thread baseline, so
+ * the speedup column is the headline number for the parallel runtime.
+ *
+ * Usage: bench_runtime_scaling [--quick]
+ *   --quick shrinks the workload (CI smoke run).
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "data/apps.h"
+#include "nn/matrix.h"
+#include "runtime/thread_pool.h"
+#include "sim/runner.h"
+
+namespace {
+
+using nazar::Rng;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Multiply-accumulate throughput of the row-partitioned matmul. */
+double
+matmulGflops(size_t dim, int reps)
+{
+    Rng rng(7);
+    nazar::nn::Matrix a =
+        nazar::nn::Matrix::randomNormal(dim, dim, 1.0, rng);
+    nazar::nn::Matrix b =
+        nazar::nn::Matrix::randomNormal(dim, dim, 1.0, rng);
+    double sink = 0.0;
+    auto start = Clock::now();
+    for (int i = 0; i < reps; ++i)
+        sink += a.matmul(b)(0, 0);
+    double secs = secondsSince(start);
+    volatile double consume = sink;
+    (void)consume;
+    double flops = 2.0 * static_cast<double>(dim) * dim * dim * reps;
+    return flops / secs / 1e9;
+}
+
+/** Events per second through the full Nazar loop on a small fleet. */
+double
+e2eEventsPerSec(bool quick)
+{
+    nazar::data::AppSpec app = nazar::data::makeAnimalsApp(13, 8);
+    nazar::data::WeatherModel weather(app.locations, 21, 2020);
+    nazar::sim::RunnerConfig config;
+    config.arch = nazar::nn::Architecture::kResNet18;
+    config.strategy = nazar::sim::Strategy::kNazar;
+    config.windows = 3;
+    config.workload.days = 21;
+    config.workload.devicesPerLocation = quick ? 3 : 8;
+    config.workload.imagesPerDevicePerDay = quick ? 3.0 : 8.0;
+    config.train.epochs = quick ? 10 : 20;
+    config.cloud.minAdaptSamples = 16;
+    config.uploadSampleRate = 0.5;
+    config.seed = 17;
+    nazar::sim::Runner runner(app, weather, config);
+    auto start = Clock::now();
+    nazar::sim::RunResult result = runner.run();
+    double secs = secondsSince(start);
+    size_t events = 0;
+    for (const auto &w : result.windows)
+        events += w.events;
+    return static_cast<double>(events) / secs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+
+    nazar::setLogLevel(nazar::LogLevel::kSilent);
+
+    const size_t dim = quick ? 192 : 384;
+    const int reps = quick ? 4 : 8;
+    const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+
+    struct Row
+    {
+        size_t threads;
+        double gflops;
+        double eventsPerSec;
+    };
+    std::vector<Row> rows;
+    for (size_t threads : thread_counts) {
+        nazar::runtime::setThreads(threads);
+        Row row;
+        row.threads = threads;
+        row.gflops = matmulGflops(dim, reps);
+        row.eventsPerSec = e2eEventsPerSec(quick);
+        rows.push_back(row);
+    }
+    nazar::runtime::setThreads(0);
+
+    std::printf("{\n");
+    std::printf("  \"bench\": \"runtime_scaling\",\n");
+    std::printf("  \"matmul_dim\": %zu,\n", dim);
+    std::printf("  \"hardware_concurrency\": %u,\n",
+                std::thread::hardware_concurrency());
+    std::printf("  \"results\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::printf("    {\"threads\": %zu, \"matmul_gflops\": %.3f, "
+                    "\"matmul_speedup\": %.2f, "
+                    "\"e2e_events_per_sec\": %.1f, "
+                    "\"e2e_speedup\": %.2f}%s\n",
+                    r.threads, r.gflops, r.gflops / rows[0].gflops,
+                    r.eventsPerSec, r.eventsPerSec / rows[0].eventsPerSec,
+                    i + 1 < rows.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+}

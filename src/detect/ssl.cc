@@ -71,13 +71,16 @@ SslDetector::SslDetector(const nn::Matrix &clean_x, double threshold,
 double
 SslDetector::score(const std::vector<double> &features) const
 {
+    // One batched forward over all transforms instead of one call per
+    // transform; row k of the batch is bit-identical to the single-row
+    // forward for transform k.
+    nn::Matrix batch(kSslTransforms, features.size());
+    for (int k = 0; k < kSslTransforms; ++k)
+        batch.setRow(static_cast<size_t>(k), sslTransform(features, k));
+    nn::Matrix p = nn::softmax(aux_->logits(batch));
     double total = 0.0;
-    for (int k = 0; k < kSslTransforms; ++k) {
-        nn::Matrix z = aux_->logits(
-            nn::Matrix::rowVector(sslTransform(features, k)));
-        nn::Matrix p = nn::softmax(z);
-        total += p(0, static_cast<size_t>(k));
-    }
+    for (int k = 0; k < kSslTransforms; ++k)
+        total += p(static_cast<size_t>(k), static_cast<size_t>(k));
     return total / kSslTransforms;
 }
 
@@ -90,16 +93,20 @@ SslDetector::isDrift(const std::vector<double> &features) const
 double
 SslDetector::auxiliaryAccuracy(const nn::Matrix &clean_x) const
 {
-    size_t correct = 0, total = 0;
-    for (size_t r = 0; r < clean_x.rows(); ++r) {
-        for (int k = 0; k < kSslTransforms; ++k) {
-            int pred =
-                aux_->predictOne(sslTransform(clean_x.rowVec(r), k));
-            correct += pred == k ? 1 : 0;
-            ++total;
-        }
-    }
-    return total ? static_cast<double>(correct) / total : 0.0;
+    if (clean_x.rows() == 0)
+        return 0.0;
+    // Batched inference over every (sample, transform) pair; the big
+    // matmuls inside the forward pass parallelize over the runtime.
+    nn::Matrix batch(clean_x.rows() * kSslTransforms, clean_x.cols());
+    for (size_t r = 0; r < clean_x.rows(); ++r)
+        for (int k = 0; k < kSslTransforms; ++k)
+            batch.setRow(r * kSslTransforms + static_cast<size_t>(k),
+                         sslTransform(clean_x.rowVec(r), k));
+    std::vector<int> pred = aux_->predict(batch);
+    size_t correct = 0;
+    for (size_t i = 0; i < pred.size(); ++i)
+        correct += pred[i] == static_cast<int>(i % kSslTransforms) ? 1 : 0;
+    return static_cast<double>(correct) / static_cast<double>(pred.size());
 }
 
 std::string

@@ -4,12 +4,52 @@
  */
 #include "matrix.h"
 
+#include <algorithm>
 #include <cmath>
 #include <ostream>
 
 #include "common/error.h"
+#include "runtime/thread_pool.h"
 
 namespace nazar::nn {
+
+namespace {
+
+/**
+ * Minimum multiply-accumulate count before a matmul engages the
+ * thread pool. Below this the dispatch overhead dominates (the
+ * single-row inference path in sim::Device stays pool-free). The
+ * cutoff only selects between executing the same per-row kernel
+ * inline or on the pool, so results are bit-identical either way.
+ */
+constexpr size_t kParallelFlopCutoff = 32 * 1024;
+
+/** Rows per chunk so each chunk carries at least the cutoff's work. */
+size_t
+rowGrain(size_t flops_per_row)
+{
+    return std::max<size_t>(1, kParallelFlopCutoff /
+                                   std::max<size_t>(1, flops_per_row));
+}
+
+/** Run a per-output-row kernel serially or row-partitioned. */
+template <typename RowFn>
+void
+forEachRow(size_t rows, size_t flops_per_row, RowFn &&fn)
+{
+    if (rows * flops_per_row < kParallelFlopCutoff) {
+        for (size_t r = 0; r < rows; ++r)
+            fn(r);
+        return;
+    }
+    runtime::parallelFor(0, rows, rowGrain(flops_per_row),
+                         [&](size_t row_begin, size_t row_end) {
+                             for (size_t r = row_begin; r < row_end; ++r)
+                                 fn(r);
+                         });
+}
+
+} // namespace
 
 Matrix::Matrix(size_t rows, size_t cols)
     : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
@@ -150,7 +190,10 @@ Matrix::matmul(const Matrix &other) const
 {
     NAZAR_CHECK(cols_ == other.rows_, "inner dimension mismatch in matmul");
     Matrix out(rows_, other.cols_);
-    for (size_t r = 0; r < rows_; ++r) {
+    // Each output row is produced entirely by one thread with the same
+    // k-ascending accumulation order, so the result is bit-identical
+    // at every thread count.
+    forEachRow(rows_, cols_ * other.cols_, [&](size_t r) {
         const double *a = row(r);
         double *o = out.row(r);
         for (size_t k = 0; k < cols_; ++k) {
@@ -161,7 +204,7 @@ Matrix::matmul(const Matrix &other) const
             for (size_t c = 0; c < other.cols_; ++c)
                 o[c] += av * b[c];
         }
-    }
+    });
     return out;
 }
 
@@ -172,18 +215,19 @@ Matrix::transposeMatmul(const Matrix &other) const
     NAZAR_CHECK(rows_ == other.rows_,
                 "row-count mismatch in transposeMatmul");
     Matrix out(cols_, other.cols_);
-    for (size_t n = 0; n < rows_; ++n) {
-        const double *a = row(n);
-        const double *b = other.row(n);
-        for (size_t i = 0; i < cols_; ++i) {
-            double av = a[i];
+    // Partitioned over output rows i; each out(i, *) accumulates over
+    // n in ascending order exactly as the serial n-outer loop did.
+    forEachRow(cols_, rows_ * other.cols_, [&](size_t i) {
+        double *o = out.row(i);
+        for (size_t n = 0; n < rows_; ++n) {
+            double av = (*this)(n, i);
             if (av == 0.0)
                 continue;
-            double *o = out.row(i);
+            const double *b = other.row(n);
             for (size_t j = 0; j < other.cols_; ++j)
                 o[j] += av * b[j];
         }
-    }
+    });
     return out;
 }
 
@@ -194,7 +238,7 @@ Matrix::matmulTranspose(const Matrix &other) const
     NAZAR_CHECK(cols_ == other.cols_,
                 "column-count mismatch in matmulTranspose");
     Matrix out(rows_, other.rows_);
-    for (size_t r = 0; r < rows_; ++r) {
+    forEachRow(rows_, other.rows_ * cols_, [&](size_t r) {
         const double *a = row(r);
         for (size_t m = 0; m < other.rows_; ++m) {
             const double *b = other.row(m);
@@ -203,7 +247,7 @@ Matrix::matmulTranspose(const Matrix &other) const
                 acc += a[k] * b[k];
             out(r, m) = acc;
         }
-    }
+    });
     return out;
 }
 

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Implementation of the parallel-execution runtime.
+ */
+#include "thread_pool.h"
+
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace nazar::runtime {
+
+namespace {
+
+/**
+ * True while the current thread is executing chunks of a batch
+ * (worker or caller). Nested parallelFor calls from such a thread run
+ * inline to keep the pool deadlock-free.
+ */
+thread_local bool tl_in_parallel_region = false;
+
+/** RAII guard for tl_in_parallel_region. */
+struct RegionGuard
+{
+    bool prev;
+    RegionGuard() : prev(tl_in_parallel_region)
+    {
+        tl_in_parallel_region = true;
+    }
+    ~RegionGuard() { tl_in_parallel_region = prev; }
+};
+
+} // namespace
+
+size_t
+chunkCount(size_t begin, size_t end, size_t grain)
+{
+    if (begin >= end)
+        return 0;
+    if (grain == 0)
+        grain = 1;
+    return (end - begin + grain - 1) / grain;
+}
+
+ThreadPool::ThreadPool(size_t threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads - 1);
+    for (size_t i = 0; i + 1 < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            wake_.wait(lk,
+                       [&] { return stop_ || generation_ != seen; });
+            if (stop_)
+                return;
+            seen = generation_;
+            ++activeWorkers_;
+        }
+        {
+            RegionGuard guard;
+            runChunks();
+        }
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (--activeWorkers_ == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::runChunks()
+{
+    for (;;) {
+        size_t i = nextChunk_.fetch_add(1, std::memory_order_acq_rel);
+        if (i >= chunkTotal_)
+            return;
+        size_t chunk_begin = begin_ + i * grain_;
+        size_t chunk_end = std::min(end_, chunk_begin + grain_);
+        try {
+            (*body_)(chunk_begin, chunk_end);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(errorMutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        if (chunksDone_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            chunkTotal_) {
+            std::lock_guard<std::mutex> lk(mu_);
+            done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
+                        const std::function<void(size_t, size_t)> &body)
+{
+    if (begin >= end)
+        return;
+    if (grain == 0)
+        grain = 1;
+    const size_t chunks = chunkCount(begin, end, grain);
+
+    // Inline paths: sequential pool, nested call, or a single chunk.
+    // Chunk layout is identical to the pooled path, so every consumer
+    // (including parallelReduce's per-chunk partials) sees the same
+    // ranges regardless of which path executes them.
+    if (workers_.empty() || tl_in_parallel_region || chunks == 1) {
+        RegionGuard guard;
+        for (size_t i = 0; i < chunks; ++i) {
+            size_t chunk_begin = begin + i * grain;
+            size_t chunk_end = std::min(end, chunk_begin + grain);
+            body(chunk_begin, chunk_end);
+        }
+        return;
+    }
+
+    std::lock_guard<std::mutex> batch(batchMutex_);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        body_ = &body;
+        begin_ = begin;
+        end_ = end;
+        grain_ = grain;
+        chunkTotal_ = chunks;
+        chunksDone_.store(0, std::memory_order_relaxed);
+        nextChunk_.store(0, std::memory_order_relaxed);
+        firstError_ = nullptr;
+        ++generation_;
+    }
+    wake_.notify_all();
+    {
+        RegionGuard guard;
+        runChunks();
+    }
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        done_.wait(lk, [&] {
+            return chunksDone_.load(std::memory_order_acquire) ==
+                       chunkTotal_ &&
+                   activeWorkers_ == 0;
+        });
+        body_ = nullptr;
+    }
+    if (firstError_) {
+        std::exception_ptr err = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
+namespace {
+
+std::atomic<ThreadPool *> g_pool{nullptr};
+std::mutex g_pool_mutex;
+
+} // namespace
+
+size_t
+configuredThreads()
+{
+    if (const char *env = std::getenv("NAZAR_THREADS")) {
+        char *tail = nullptr;
+        unsigned long v = std::strtoul(env, &tail, 10);
+        if (tail != env && *tail == '\0' && v >= 1)
+            return static_cast<size_t>(v);
+    }
+    size_t hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool &
+globalPool()
+{
+    ThreadPool *pool = g_pool.load(std::memory_order_acquire);
+    if (pool != nullptr)
+        return *pool;
+    std::lock_guard<std::mutex> lk(g_pool_mutex);
+    pool = g_pool.load(std::memory_order_relaxed);
+    if (pool == nullptr) {
+        pool = new ThreadPool(configuredThreads());
+        g_pool.store(pool, std::memory_order_release);
+    }
+    return *pool;
+}
+
+void
+setThreads(size_t threads)
+{
+    std::lock_guard<std::mutex> lk(g_pool_mutex);
+    ThreadPool *old = g_pool.exchange(nullptr, std::memory_order_acq_rel);
+    delete old; // joins workers; callers must be quiescent
+    g_pool.store(new ThreadPool(threads ? threads : configuredThreads()),
+                 std::memory_order_release);
+}
+
+size_t
+threadCount()
+{
+    return globalPool().threadCount();
+}
+
+void
+parallelFor(size_t begin, size_t end, size_t grain,
+            const std::function<void(size_t, size_t)> &body)
+{
+    globalPool().parallelFor(begin, end, grain, body);
+}
+
+} // namespace nazar::runtime

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Parallel-execution runtime: a fixed-size thread pool with chunked
+ * `parallelFor` / `parallelReduce` primitives that every hot layer of
+ * Nazar (nn kernels, the fleet simulation, cloud adaptation) runs on.
+ *
+ * Design contract — determinism first:
+ *
+ *  - Chunk layout is a pure function of (begin, end, grain); it never
+ *    depends on the thread count or on runtime scheduling. Chunks are
+ *    claimed dynamically, but any per-chunk computation sees exactly
+ *    the same index range no matter how many workers exist.
+ *  - `parallelReduce` combines per-chunk partials in ascending chunk
+ *    order on the calling thread, so floating-point reductions are
+ *    bit-identical across thread counts.
+ *  - With an effective thread count of 1 (NAZAR_THREADS=1) no worker
+ *    threads are started at all: the chunks run inline on the caller
+ *    in ascending order — the exact sequential path.
+ *  - Nested calls (a `parallelFor` issued from inside a pool worker,
+ *    e.g. a parallel matmul inside a parallel fleet shard) execute
+ *    inline on the worker to keep the pool deadlock-free.
+ *
+ * The pool size defaults to std::thread::hardware_concurrency() and
+ * can be overridden by the NAZAR_THREADS environment variable or
+ * programmatically via setThreads() (tests use this to compare
+ * 1-thread vs N-thread runs in one process).
+ */
+#ifndef NAZAR_RUNTIME_THREAD_POOL_H
+#define NAZAR_RUNTIME_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nazar::runtime {
+
+/** Number of chunks a (begin, end, grain) range splits into. */
+size_t chunkCount(size_t begin, size_t end, size_t grain);
+
+/**
+ * Fixed-size worker pool executing chunked index ranges.
+ *
+ * One top-level batch runs at a time (concurrent top-level calls from
+ * different threads serialize on an internal mutex); calls made from
+ * inside a worker run inline.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Total parallelism including the calling thread;
+     *                clamped to >= 1. `threads == 1` starts no workers.
+     */
+    explicit ThreadPool(size_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total parallelism (worker threads + the calling thread). */
+    size_t threadCount() const { return workers_.size() + 1; }
+
+    /**
+     * Run `body(chunk_begin, chunk_end)` over [begin, end) split into
+     * chunks of at most `grain` indices (grain is clamped to >= 1).
+     * The caller participates in execution and the call returns after
+     * every chunk has finished. The first exception thrown by any
+     * chunk is rethrown on the caller after the batch drains.
+     */
+    void parallelFor(size_t begin, size_t end, size_t grain,
+                     const std::function<void(size_t, size_t)> &body);
+
+    /**
+     * Chunked map-reduce: `map(chunk_begin, chunk_end)` produces one
+     * partial per chunk; partials are folded left-to-right in chunk
+     * order with `combine(acc, partial)` starting from `identity`.
+     * Deterministic across thread counts by construction.
+     */
+    template <typename T>
+    T parallelReduce(size_t begin, size_t end, size_t grain, T identity,
+                     const std::function<T(size_t, size_t)> &map,
+                     const std::function<T(T, T)> &combine)
+    {
+        if (grain == 0)
+            grain = 1;
+        const size_t chunks = chunkCount(begin, end, grain);
+        std::vector<T> partials(chunks, identity);
+        parallelFor(begin, end, grain,
+                    [&](size_t chunk_begin, size_t chunk_end) {
+                        partials[(chunk_begin - begin) / grain] =
+                            map(chunk_begin, chunk_end);
+                    });
+        T acc = std::move(identity);
+        for (auto &p : partials)
+            acc = combine(std::move(acc), std::move(p));
+        return acc;
+    }
+
+  private:
+    void workerLoop();
+    void runChunks();
+
+    std::vector<std::thread> workers_;
+
+    std::mutex batchMutex_; ///< Serializes top-level batches.
+
+    std::mutex mu_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    bool stop_ = false;
+    uint64_t generation_ = 0;  ///< Bumped per batch to wake workers.
+    size_t activeWorkers_ = 0; ///< Workers currently inside runChunks().
+
+    // State of the in-flight batch (guarded by mu_ for publication;
+    // chunk claiming itself is a lock-free fetch_add).
+    const std::function<void(size_t, size_t)> *body_ = nullptr;
+    size_t begin_ = 0;
+    size_t end_ = 0;
+    size_t grain_ = 1;
+    std::atomic<size_t> nextChunk_{0};
+    size_t chunkTotal_ = 0;
+    std::atomic<size_t> chunksDone_{0};
+    std::exception_ptr firstError_;
+    std::mutex errorMutex_;
+};
+
+/**
+ * Effective thread count from configuration: NAZAR_THREADS if set to
+ * a positive integer, otherwise hardware_concurrency() (>= 1).
+ */
+size_t configuredThreads();
+
+/** The process-wide pool, created on first use with configuredThreads(). */
+ThreadPool &globalPool();
+
+/**
+ * Rebuild the global pool with an explicit thread count (0 = back to
+ * configuredThreads()). Must not be called while work is in flight.
+ */
+void setThreads(size_t threads);
+
+/** Thread count of the global pool (without forcing creation… it does). */
+size_t threadCount();
+
+/** `globalPool().parallelFor(...)` convenience wrapper. */
+void parallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)> &body);
+
+/** `globalPool().parallelReduce(...)` convenience wrapper. */
+template <typename T>
+T
+parallelReduce(size_t begin, size_t end, size_t grain, T identity,
+               const std::function<T(size_t, size_t)> &map,
+               const std::function<T(T, T)> &combine)
+{
+    return globalPool().parallelReduce<T>(begin, end, grain,
+                                          std::move(identity), map,
+                                          combine);
+}
+
+} // namespace nazar::runtime
+
+#endif // NAZAR_RUNTIME_THREAD_POOL_H

@@ -8,6 +8,7 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "runtime/thread_pool.h"
 
 namespace nazar::sim {
 
@@ -35,6 +36,7 @@ void
 Cloud::ingest(const driftlog::DriftLogEntry &entry,
               std::optional<Upload> upload)
 {
+    std::lock_guard<std::mutex> lk(ingestMutex_);
     driftLog_.add(entry);
     ++totalIngested_;
     if (upload.has_value())
@@ -109,10 +111,21 @@ Cloud::runCycle(const nn::BnPatch &clean_patch)
     auto adapt_start = std::chrono::steady_clock::now();
     adapt::TentAdapter tent(config_.adapt);
 
-    size_t adapted = 0;
+    // Select the causes to adapt sequentially (cheap, and keeps the
+    // per-cycle cap and version-id assignment deterministic), then fan
+    // the TENT adaptations — the expensive part — out across the pool.
+    // One BN-patch job per accepted cause, plus one for the clean
+    // model's recalibration; every job adapts its own clone of the
+    // base model, so jobs share no mutable state.
+    struct AdaptJob
+    {
+        const rca::RankedCause *cause = nullptr; ///< null == clean job.
+        data::Dataset samples;
+    };
+    std::vector<AdaptJob> jobs;
     for (const auto &cause : causes) {
         if (config_.maxCausesPerCycle > 0 &&
-            adapted >= config_.maxCausesPerCycle)
+            jobs.size() >= config_.maxCausesPerCycle)
             break;
         data::Dataset samples = uploadsMatching(cause.attrs);
         if (samples.size() < config_.minAdaptSamples) {
@@ -120,34 +133,43 @@ Cloud::runCycle(const nn::BnPatch &clean_patch)
                        << ": only " << samples.size() << " samples";
             continue;
         }
-        // Adapt a clone of the base model, starting from the current
-        // clean BN state, on the cause's sampled inputs.
-        nn::Classifier model = base_.clone();
-        model.applyBnPatch(clean_patch);
-        tent.adapt(model, samples.x);
+        jobs.push_back({&cause, std::move(samples)});
+    }
+    const size_t cause_jobs = jobs.size();
+    if (config_.adaptCleanModel) {
+        data::Dataset clean = cleanUploads(causes);
+        if (clean.size() >= config_.minAdaptSamples)
+            jobs.push_back({nullptr, std::move(clean)});
+    }
 
+    std::vector<nn::BnPatch> patches(jobs.size());
+    runtime::parallelFor(
+        0, jobs.size(), /*grain=*/1, [&](size_t begin, size_t end) {
+            for (size_t j = begin; j < end; ++j) {
+                // Adapt a clone of the base model, starting from the
+                // current clean BN state, on the job's sampled inputs.
+                nn::Classifier model = base_.clone();
+                model.applyBnPatch(clean_patch);
+                tent.adapt(model, jobs[j].samples.x);
+                patches[j] = model.bnPatch();
+            }
+        });
+
+    // Publish in cause-rank order so version ids match the sequential
+    // path no matter how the jobs were scheduled.
+    for (size_t j = 0; j < cause_jobs; ++j) {
         deploy::ModelVersion version;
         version.id = nextVersionId_++;
-        version.cause = cause.attrs;
-        version.riskRatio = cause.metrics.riskRatio;
-        version.patch = model.bnPatch();
+        version.cause = jobs[j].cause->attrs;
+        version.riskRatio = jobs[j].cause->metrics.riskRatio;
+        version.patch = std::move(patches[j]);
         version.updatedAt = logicalTime_;
         registry_.publish(version); // durably stored before deployment
         result.newVersions.push_back(std::move(version));
-        result.adaptedSampleCount += samples.size();
-        ++adapted;
+        result.adaptedSampleCount += jobs[j].samples.size();
     }
-
-    // ---- Clean-model calibration -------------------------------------
-    if (config_.adaptCleanModel) {
-        data::Dataset clean = cleanUploads(causes);
-        if (clean.size() >= config_.minAdaptSamples) {
-            nn::Classifier model = base_.clone();
-            model.applyBnPatch(clean_patch);
-            tent.adapt(model, clean.x);
-            result.newCleanPatch = model.bnPatch();
-        }
-    }
+    if (jobs.size() > cause_jobs)
+        result.newCleanPatch = std::move(patches.back());
     result.adaptSeconds = secondsSince(adapt_start);
 
     // Archive this cycle's evidence.

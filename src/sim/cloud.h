@@ -8,6 +8,7 @@
 #define NAZAR_SIM_CLOUD_H
 
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -67,7 +68,13 @@ class Cloud
      */
     Cloud(CloudConfig config, const nn::Classifier &base);
 
-    /** Ingest one drift-log entry and optionally its sampled input. */
+    /**
+     * Ingest one drift-log entry and optionally its sampled input.
+     * Thread-safe: concurrent emitters (fleet shards) serialize on an
+     * internal mutex. Callers needing a deterministic log order must
+     * order their calls themselves (sim::Runner buffers per shard and
+     * emits in event order).
+     */
     void ingest(const driftlog::DriftLogEntry &entry,
                 std::optional<Upload> upload);
 
@@ -122,6 +129,7 @@ class Cloud
 
     CloudConfig config_;
     const nn::Classifier &base_;
+    mutable std::mutex ingestMutex_; ///< Guards driftLog_ + uploads_.
     driftlog::DriftLog driftLog_;
     std::vector<Upload> uploads_;
     deploy::BlobStore blobStore_;

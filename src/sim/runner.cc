@@ -10,8 +10,63 @@
 #include "common/error.h"
 #include "common/logging.h"
 #include "common/stats.h"
+#include "runtime/thread_pool.h"
 
 namespace nazar::sim {
+
+namespace {
+
+/**
+ * Shard-local accumulator for one chunk of devices: the per-window
+ * counters plus the run-wide per-corruption tallies. Shards fill these
+ * independently; the runner merges them in ascending device order.
+ */
+struct ShardMetrics
+{
+    WindowMetrics window;
+    std::map<data::CorruptionType, TypeAccuracy> perCorruption;
+};
+
+/** Fold one inference outcome into an accumulator. */
+void
+accumulate(ShardMetrics &acc, const data::StreamEvent &ev,
+           const InferenceOutcome &out)
+{
+    bool correct = out.predicted == ev.label;
+    ++acc.window.events;
+    acc.window.correctAll += correct ? 1 : 0;
+    if (ev.trueDrift) {
+        ++acc.window.driftedEvents;
+        acc.window.correctDrifted += correct ? 1 : 0;
+        auto &type = acc.perCorruption[ev.corruption];
+        type.total += 1;
+        type.correct += correct ? 1 : 0;
+    } else {
+        acc.window.correctClean += correct ? 1 : 0;
+    }
+    acc.window.flagged += out.driftFlag ? 1 : 0;
+}
+
+/** Merge a shard accumulator into the window/run totals. */
+void
+merge(WindowMetrics &wm,
+      std::map<data::CorruptionType, TypeAccuracy> &per_corruption,
+      const ShardMetrics &shard)
+{
+    wm.events += shard.window.events;
+    wm.correctAll += shard.window.correctAll;
+    wm.driftedEvents += shard.window.driftedEvents;
+    wm.correctDrifted += shard.window.correctDrifted;
+    wm.correctClean += shard.window.correctClean;
+    wm.flagged += shard.window.flagged;
+    for (const auto &[type, acc] : shard.perCorruption) {
+        auto &total = per_corruption[type];
+        total.correct += acc.correct;
+        total.total += acc.total;
+    }
+}
+
+} // namespace
 
 std::string
 toString(Strategy strategy)
@@ -176,48 +231,96 @@ Runner::run()
         WindowMetrics wm;
         wm.window = window.index;
 
+        // ---- Collect this window's slice of the event stream ---------
+        const size_t window_begin = next_event;
         while (next_event < events.size() &&
-               window.contains(events[next_event].when.dayIndex())) {
-            const data::StreamEvent &ev = events[next_event];
+               window.contains(events[next_event].when.dayIndex()))
             ++next_event;
-            Device &device = devices[static_cast<size_t>(ev.deviceId)];
+        const size_t window_count = next_event - window_begin;
 
-            InferenceOutcome out;
-            switch (config_.strategy) {
-              case Strategy::kNazar:
-                out = device.infer(ev, scratch, clean_patch, detector);
-                break;
-              case Strategy::kAdaptAll:
-              case Strategy::kNoAdapt: {
-                // Baselines: one global model (adapted or frozen).
+        // Upload-sampling decisions are drawn sequentially in event
+        // order so the RNG stream is independent of sharding.
+        std::vector<char> do_upload(window_count);
+        for (size_t i = 0; i < window_count; ++i)
+            do_upload[i] =
+                sample_rng.bernoulli(config_.uploadSampleRate) ? 1 : 0;
+
+        std::vector<InferenceOutcome> outcomes(window_count);
+        switch (config_.strategy) {
+          case Strategy::kNazar: {
+            // Per-device shards: events of one device always run on
+            // one shard, each shard on its own clone of the base
+            // weights (BN state is overwritten per inference by the
+            // selected version's patch, so a fresh clone is equivalent
+            // to the shared scratch model of the sequential path).
+            std::vector<std::vector<size_t>> by_device(devices.size());
+            for (size_t i = 0; i < window_count; ++i)
+                by_device[static_cast<size_t>(
+                              events[window_begin + i].deviceId)]
+                    .push_back(i);
+            const size_t grain = std::max<size_t>(
+                1, devices.size() / (4 * runtime::threadCount()));
+            ShardMetrics totals = runtime::parallelReduce<ShardMetrics>(
+                0, devices.size(), grain, ShardMetrics{},
+                [&](size_t dev_begin, size_t dev_end) {
+                    ShardMetrics shard;
+                    nn::Classifier local = base_->clone();
+                    for (size_t d = dev_begin; d < dev_end; ++d) {
+                        for (size_t i : by_device[d]) {
+                            const data::StreamEvent &ev =
+                                events[window_begin + i];
+                            outcomes[i] = devices[d].infer(
+                                ev, local, clean_patch, detector);
+                            accumulate(shard, ev, outcomes[i]);
+                        }
+                    }
+                    return shard;
+                },
+                [](ShardMetrics acc, ShardMetrics shard) {
+                    merge(acc.window, acc.perCorruption, shard);
+                    return acc;
+                });
+            merge(wm, result.perCorruption, totals);
+            break;
+          }
+          case Strategy::kAdaptAll:
+          case Strategy::kNoAdapt: {
+            // Baselines: one global model (adapted or frozen) — one
+            // batched forward pass over the whole window; row r of the
+            // batch is bit-identical to a single-row forward.
+            if (window_count > 0) {
                 scratch.applyBnPatch(global_patch);
-                nn::Matrix logits = scratch.logits(
-                    nn::Matrix::rowVector(ev.features));
-                out.predicted = static_cast<int>(logits.argmaxRow(0));
-                out.driftFlag = detector.isDrift(logits.rowVec(0));
-                out.versionId = 0;
-                break;
-              }
+                nn::Matrix batch(window_count, app_.domain.featureDim());
+                for (size_t i = 0; i < window_count; ++i)
+                    batch.setRow(i, events[window_begin + i].features);
+                nn::Matrix logits = scratch.logits(batch);
+                ShardMetrics totals;
+                for (size_t i = 0; i < window_count; ++i) {
+                    outcomes[i].predicted =
+                        static_cast<int>(logits.argmaxRow(i));
+                    outcomes[i].driftFlag =
+                        detector.isDrift(logits.rowVec(i));
+                    outcomes[i].versionId = 0;
+                    accumulate(totals, events[window_begin + i],
+                               outcomes[i]);
+                }
+                merge(wm, result.perCorruption, totals);
             }
+            break;
+          }
+        }
 
-            // Metrics.
-            bool correct = out.predicted == ev.label;
-            ++wm.events;
-            wm.correctAll += correct ? 1 : 0;
-            if (ev.trueDrift) {
-                ++wm.driftedEvents;
-                wm.correctDrifted += correct ? 1 : 0;
-                auto &acc = result.perCorruption[ev.corruption];
-                acc.total += 1;
-                acc.correct += correct ? 1 : 0;
-            } else {
-                wm.correctClean += correct ? 1 : 0;
-            }
-            wm.flagged += out.driftFlag ? 1 : 0;
-
-            // Telemetry to the cloud.
+        // ---- Telemetry to the cloud, in event order ------------------
+        // Shards buffered their outcomes; emitting the drift log in
+        // the original event order keeps the log (and therefore RCA)
+        // bit-identical to the sequential path at any thread count.
+        for (size_t i = 0; i < window_count; ++i) {
+            const data::StreamEvent &ev = events[window_begin + i];
+            const InferenceOutcome &out = outcomes[i];
+            const Device &device =
+                devices[static_cast<size_t>(ev.deviceId)];
             std::optional<Upload> upload;
-            if (sample_rng.bernoulli(config_.uploadSampleRate)) {
+            if (do_upload[i]) {
                 upload = Upload{ev.features, device.contextFor(ev),
                                 out.driftFlag};
             }

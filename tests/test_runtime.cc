@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Tests for the parallel-execution runtime: pool lifecycle, chunking,
+ * exception propagation, nested-call safety, the deterministic
+ * reduce, and the end-to-end determinism contract — a full sim run
+ * must be bit-identical at NAZAR_THREADS=1 and 4.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "data/apps.h"
+#include "runtime/thread_pool.h"
+#include "sim/runner.h"
+
+namespace nazar::runtime {
+namespace {
+
+TEST(ChunkCount, EdgeCases)
+{
+    EXPECT_EQ(chunkCount(0, 0, 4), 0u);
+    EXPECT_EQ(chunkCount(5, 5, 4), 0u);
+    EXPECT_EQ(chunkCount(7, 5, 4), 0u); // begin past end
+    EXPECT_EQ(chunkCount(0, 1, 4), 1u);
+    EXPECT_EQ(chunkCount(0, 8, 4), 2u);
+    EXPECT_EQ(chunkCount(0, 9, 4), 3u);
+    EXPECT_EQ(chunkCount(0, 9, 0), 9u);   // grain clamps to 1
+    EXPECT_EQ(chunkCount(0, 3, 100), 1u); // grain > range
+    EXPECT_EQ(chunkCount(2, 9, 3), 3u);   // non-zero begin
+}
+
+TEST(ThreadPool, StartStopRepeatedly)
+{
+    for (size_t threads : {1u, 2u, 8u}) {
+        ThreadPool pool(threads);
+        EXPECT_EQ(pool.threadCount(), threads);
+        std::atomic<size_t> count{0};
+        pool.parallelFor(0, 100, 7, [&](size_t b, size_t e) {
+            count.fetch_add(e - b);
+        });
+        EXPECT_EQ(count.load(), 100u);
+    }
+    // Zero clamps to one (no workers, inline execution).
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 1u);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce)
+{
+    ThreadPool pool(4);
+    for (size_t grain : {0u, 1u, 3u, 16u, 1000u}) {
+        std::vector<std::atomic<int>> hits(257);
+        for (auto &h : hits)
+            h.store(0);
+        pool.parallelFor(0, hits.size(), grain, [&](size_t b, size_t e) {
+            for (size_t i = b; i < e; ++i)
+                hits[i].fetch_add(1);
+        });
+        for (size_t i = 0; i < hits.size(); ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i
+                                         << " grain " << grain;
+    }
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp)
+{
+    ThreadPool pool(4);
+    bool ran = false;
+    pool.parallelFor(5, 5, 1, [&](size_t, size_t) { ran = true; });
+    pool.parallelFor(9, 2, 1, [&](size_t, size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(0, 64, 1,
+                         [&](size_t b, size_t) {
+                             if (b == 13)
+                                 throw std::runtime_error("chunk 13");
+                         }),
+        std::runtime_error);
+    // The pool must stay usable after a failed batch.
+    std::atomic<size_t> count{0};
+    pool.parallelFor(0, 64, 1, [&](size_t b, size_t e) {
+        count.fetch_add(e - b);
+    });
+    EXPECT_EQ(count.load(), 64u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesInline)
+{
+    ThreadPool pool(1); // no workers: inline path
+    EXPECT_THROW(pool.parallelFor(0, 4, 1,
+                                  [](size_t, size_t) {
+                                      throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, NestedCallsRunInline)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(64);
+    for (auto &h : hits)
+        h.store(0);
+    pool.parallelFor(0, 8, 1, [&](size_t ob, size_t oe) {
+        for (size_t o = ob; o < oe; ++o) {
+            // Nested parallelFor from a pool thread must not deadlock.
+            pool.parallelFor(0, 8, 2, [&](size_t ib, size_t ie) {
+                for (size_t i = ib; i < ie; ++i)
+                    hits[o * 8 + i].fetch_add(1);
+            });
+        }
+    });
+    for (size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ReduceIsDeterministicAcrossThreadCounts)
+{
+    // Sum of doubles whose magnitudes differ wildly: any change in
+    // combination order changes the rounded result, so equality below
+    // checks the chunk-ordered combine contract, not luck.
+    std::vector<double> xs(1000);
+    for (size_t i = 0; i < xs.size(); ++i)
+        xs[i] = std::pow(-1.0, static_cast<double>(i % 3)) /
+                (1.0 + static_cast<double>(i * i));
+
+    auto sum_with = [&](size_t threads) {
+        ThreadPool pool(threads);
+        return pool.parallelReduce<double>(
+            0, xs.size(), 17, 0.0,
+            [&](size_t b, size_t e) {
+                double s = 0.0;
+                for (size_t i = b; i < e; ++i)
+                    s += xs[i];
+                return s;
+            },
+            [](double a, double b) { return a + b; });
+    };
+
+    double serial = sum_with(1);
+    EXPECT_EQ(serial, sum_with(2));
+    EXPECT_EQ(serial, sum_with(4));
+    EXPECT_EQ(serial, sum_with(8));
+}
+
+TEST(ThreadPool, ReduceEmptyRangeReturnsIdentity)
+{
+    ThreadPool pool(4);
+    double r = pool.parallelReduce<double>(
+        3, 3, 1, 42.0, [](size_t, size_t) { return 0.0; },
+        [](double a, double b) { return a + b; });
+    EXPECT_EQ(r, 42.0);
+}
+
+TEST(GlobalPool, ConfiguredThreadsReadsEnv)
+{
+    ASSERT_EQ(setenv("NAZAR_THREADS", "3", 1), 0);
+    EXPECT_EQ(configuredThreads(), 3u);
+    ASSERT_EQ(setenv("NAZAR_THREADS", "not-a-number", 1), 0);
+    EXPECT_GE(configuredThreads(), 1u); // falls back to hardware
+    ASSERT_EQ(unsetenv("NAZAR_THREADS"), 0);
+    EXPECT_GE(configuredThreads(), 1u);
+}
+
+TEST(GlobalPool, SetThreadsRebuildsPool)
+{
+    setThreads(3);
+    EXPECT_EQ(threadCount(), 3u);
+    std::atomic<size_t> count{0};
+    parallelFor(0, 50, 4, [&](size_t b, size_t e) {
+        count.fetch_add(e - b);
+    });
+    EXPECT_EQ(count.load(), 50u);
+    setThreads(1);
+    EXPECT_EQ(threadCount(), 1u);
+}
+
+// ---- End-to-end determinism contract --------------------------------
+
+/** Tiny but non-trivial fleet run exercising the full Nazar loop. */
+sim::RunResult
+runTinyFleet(sim::Strategy strategy)
+{
+    data::AppSpec app = data::makeAnimalsApp(13, 8);
+    data::WeatherModel weather(app.locations, 21, 2020);
+    sim::RunnerConfig config;
+    config.arch = nn::Architecture::kResNet18;
+    config.strategy = strategy;
+    config.windows = 3;
+    config.workload.days = 21;
+    config.workload.devicesPerLocation = 3;
+    config.workload.imagesPerDevicePerDay = 3.0;
+    config.train.epochs = 20;
+    config.cloud.minAdaptSamples = 16;
+    config.uploadSampleRate = 0.5;
+    config.seed = 17;
+    sim::Runner runner(app, weather, config);
+    return runner.run();
+}
+
+/** Bit-exact comparison of everything except wall-clock timings. */
+void
+expectIdenticalResults(const sim::RunResult &a, const sim::RunResult &b)
+{
+    EXPECT_EQ(a.baseCleanAccuracy, b.baseCleanAccuracy);
+    ASSERT_EQ(a.windows.size(), b.windows.size());
+    for (size_t i = 0; i < a.windows.size(); ++i) {
+        const auto &wa = a.windows[i];
+        const auto &wb = b.windows[i];
+        EXPECT_EQ(wa.window, wb.window) << "window " << i;
+        EXPECT_EQ(wa.events, wb.events) << "window " << i;
+        EXPECT_EQ(wa.driftedEvents, wb.driftedEvents) << "window " << i;
+        EXPECT_EQ(wa.correctAll, wb.correctAll) << "window " << i;
+        EXPECT_EQ(wa.correctDrifted, wb.correctDrifted)
+            << "window " << i;
+        EXPECT_EQ(wa.correctClean, wb.correctClean) << "window " << i;
+        EXPECT_EQ(wa.flagged, wb.flagged) << "window " << i;
+        EXPECT_EQ(wa.rootCauses, wb.rootCauses) << "window " << i;
+        EXPECT_EQ(wa.newVersions, wb.newVersions) << "window " << i;
+        EXPECT_EQ(wa.poolSize, wb.poolSize) << "window " << i;
+    }
+    ASSERT_EQ(a.perCorruption.size(), b.perCorruption.size());
+    auto ita = a.perCorruption.begin();
+    auto itb = b.perCorruption.begin();
+    for (; ita != a.perCorruption.end(); ++ita, ++itb) {
+        EXPECT_EQ(ita->first, itb->first);
+        EXPECT_EQ(ita->second.correct, itb->second.correct);
+        EXPECT_EQ(ita->second.total, itb->second.total);
+    }
+}
+
+struct RuntimeDeterminism : ::testing::Test
+{
+    RuntimeDeterminism() { setLogLevel(LogLevel::kSilent); }
+    ~RuntimeDeterminism() override
+    {
+        setThreads(0); // restore the configured default
+        setLogLevel(LogLevel::kInfo);
+    }
+};
+
+TEST_F(RuntimeDeterminism, NazarRunIdenticalAt1And4Threads)
+{
+    setThreads(1);
+    sim::RunResult sequential = runTinyFleet(sim::Strategy::kNazar);
+    setThreads(4);
+    sim::RunResult parallel = runTinyFleet(sim::Strategy::kNazar);
+    expectIdenticalResults(sequential, parallel);
+}
+
+TEST_F(RuntimeDeterminism, AdaptAllRunIdenticalAt1And4Threads)
+{
+    setThreads(1);
+    sim::RunResult sequential = runTinyFleet(sim::Strategy::kAdaptAll);
+    setThreads(4);
+    sim::RunResult parallel = runTinyFleet(sim::Strategy::kAdaptAll);
+    expectIdenticalResults(sequential, parallel);
+}
+
+} // namespace
+} // namespace nazar::runtime
