@@ -53,13 +53,36 @@ ThreadPool::ThreadPool(size_t threads)
 
 ThreadPool::~ThreadPool()
 {
+    // Drain any batch still in flight (parallelFor holds batchMutex_
+    // for the whole batch) before tearing the workers down.
+    std::lock_guard<std::mutex> batch(batchMutex_);
+    stopWorkers();
+}
+
+void
+ThreadPool::stopWorkers()
+{
     {
         std::lock_guard<std::mutex> lk(mu_);
         stop_ = true;
     }
     wake_.notify_all();
+    // joinable() guards the retire()-then-destroy sequence, where the
+    // workers were already joined once.
     for (auto &t : workers_)
-        t.join();
+        if (t.joinable())
+            t.join();
+}
+
+void
+ThreadPool::retire()
+{
+    // Hold batchMutex_ throughout: an in-flight batch drains first,
+    // and a stale caller blocked on batchMutex_ acquires it only
+    // after retired_ is set, taking the inline path in parallelFor.
+    std::lock_guard<std::mutex> batch(batchMutex_);
+    retired_.store(true, std::memory_order_release);
+    stopWorkers();
 }
 
 void
@@ -74,6 +97,7 @@ ThreadPool::workerLoop()
             if (stop_)
                 return;
             seen = generation_;
+            ++joinedWorkers_;
             ++activeWorkers_;
         }
         {
@@ -113,6 +137,22 @@ ThreadPool::runChunks()
 }
 
 void
+ThreadPool::runInline(size_t begin, size_t end, size_t grain,
+                      size_t chunks,
+                      const std::function<void(size_t, size_t)> &body)
+{
+    // Chunk layout is identical to the pooled path, so every consumer
+    // (including parallelReduce's per-chunk partials) sees the same
+    // ranges regardless of which path executes them.
+    RegionGuard guard;
+    for (size_t i = 0; i < chunks; ++i) {
+        size_t chunk_begin = begin + i * grain;
+        size_t chunk_end = std::min(end, chunk_begin + grain);
+        body(chunk_begin, chunk_end);
+    }
+}
+
+void
 ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
                         const std::function<void(size_t, size_t)> &body)
 {
@@ -122,21 +162,21 @@ ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
         grain = 1;
     const size_t chunks = chunkCount(begin, end, grain);
 
-    // Inline paths: sequential pool, nested call, or a single chunk.
-    // Chunk layout is identical to the pooled path, so every consumer
-    // (including parallelReduce's per-chunk partials) sees the same
-    // ranges regardless of which path executes them.
-    if (workers_.empty() || tl_in_parallel_region || chunks == 1) {
-        RegionGuard guard;
-        for (size_t i = 0; i < chunks; ++i) {
-            size_t chunk_begin = begin + i * grain;
-            size_t chunk_end = std::min(end, chunk_begin + grain);
-            body(chunk_begin, chunk_end);
-        }
+    // Inline paths: sequential pool, retired pool, nested call, or a
+    // single chunk.
+    if (workers_.empty() || tl_in_parallel_region || chunks == 1 ||
+        retired_.load(std::memory_order_acquire)) {
+        runInline(begin, end, grain, chunks, body);
         return;
     }
 
     std::lock_guard<std::mutex> batch(batchMutex_);
+    // retire() sets retired_ under batchMutex_, so a stale caller
+    // that was blocked on the mutex reliably observes it here.
+    if (retired_.load(std::memory_order_acquire)) {
+        runInline(begin, end, grain, chunks, body);
+        return;
+    }
     {
         std::lock_guard<std::mutex> lk(mu_);
         body_ = &body;
@@ -147,6 +187,7 @@ ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
         chunksDone_.store(0, std::memory_order_relaxed);
         nextChunk_.store(0, std::memory_order_relaxed);
         firstError_ = nullptr;
+        joinedWorkers_ = 0;
         ++generation_;
     }
     wake_.notify_all();
@@ -156,10 +197,16 @@ ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
     }
     {
         std::unique_lock<std::mutex> lk(mu_);
+        // Wait until every worker has both joined this generation and
+        // retired from it. A worker that has not joined yet is parked
+        // in wake_.wait and will still run; returning before it joins
+        // would let it wake during the next batch's publish and read
+        // the batch state unsynchronized (the stale-worker race).
         done_.wait(lk, [&] {
-            return chunksDone_.load(std::memory_order_acquire) ==
-                       chunkTotal_ &&
-                   activeWorkers_ == 0;
+            return joinedWorkers_ == workers_.size() &&
+                   activeWorkers_ == 0 &&
+                   chunksDone_.load(std::memory_order_acquire) ==
+                       chunkTotal_;
         });
         body_ = nullptr;
     }
@@ -174,6 +221,21 @@ namespace {
 
 std::atomic<ThreadPool *> g_pool{nullptr};
 std::mutex g_pool_mutex;
+
+/**
+ * Pools replaced by setThreads(), kept alive (intentionally leaked)
+ * for the process lifetime. Their workers are joined in retire(), so
+ * the only cost is the husk object; in exchange a thread that cached
+ * a globalPool() reference across setThreads() runs inline instead of
+ * dereferencing freed memory. Guarded by g_pool_mutex.
+ */
+std::vector<ThreadPool *> &
+retiredPools()
+{
+    static std::vector<ThreadPool *> *pools =
+        new std::vector<ThreadPool *>();
+    return *pools;
+}
 
 } // namespace
 
@@ -210,7 +272,11 @@ setThreads(size_t threads)
 {
     std::lock_guard<std::mutex> lk(g_pool_mutex);
     ThreadPool *old = g_pool.exchange(nullptr, std::memory_order_acq_rel);
-    delete old; // joins workers; callers must be quiescent
+    if (old != nullptr) {
+        // Drain + stop, then keep the husk alive: see retiredPools().
+        old->retire();
+        retiredPools().push_back(old);
+    }
     g_pool.store(new ThreadPool(threads ? threads : configuredThreads()),
                  std::memory_order_release);
 }

@@ -71,9 +71,27 @@ class ThreadPool
      * The caller participates in execution and the call returns after
      * every chunk has finished. The first exception thrown by any
      * chunk is rethrown on the caller after the batch drains.
+     *
+     * Batch lifecycle: each batch bumps `generation_`; every worker
+     * must join that generation (increment `joinedWorkers_` under
+     * `mu_`) and retire from it (decrement `activeWorkers_`) before
+     * the call returns. The next publish therefore can never race a
+     * worker that slept through the previous batch — by the time the
+     * batch state is rewritten, every worker is parked in its
+     * condition wait with `seen == generation_`.
      */
     void parallelFor(size_t begin, size_t end, size_t grain,
                      const std::function<void(size_t, size_t)> &body);
+
+    /**
+     * Drain any in-flight batch, stop and join the workers, and make
+     * every subsequent parallelFor on this pool run inline on its
+     * caller. Used by setThreads(): a retired pool stays alive (in a
+     * process-lifetime retired list), so a thread still holding a
+     * stale globalPool() reference degrades to sequential execution
+     * instead of touching freed memory.
+     */
+    void retire();
 
     /**
      * Chunked map-reduce: `map(chunk_begin, chunk_end)` produces one
@@ -104,16 +122,21 @@ class ThreadPool
   private:
     void workerLoop();
     void runChunks();
+    void runInline(size_t begin, size_t end, size_t grain, size_t chunks,
+                   const std::function<void(size_t, size_t)> &body);
+    void stopWorkers();
 
     std::vector<std::thread> workers_;
 
     std::mutex batchMutex_; ///< Serializes top-level batches.
+    std::atomic<bool> retired_{false}; ///< Set once by retire().
 
     std::mutex mu_;
     std::condition_variable wake_;
     std::condition_variable done_;
     bool stop_ = false;
     uint64_t generation_ = 0;  ///< Bumped per batch to wake workers.
+    size_t joinedWorkers_ = 0; ///< Workers that joined this generation.
     size_t activeWorkers_ = 0; ///< Workers currently inside runChunks().
 
     // State of the in-flight batch (guarded by mu_ for publication;
@@ -140,11 +163,14 @@ ThreadPool &globalPool();
 
 /**
  * Rebuild the global pool with an explicit thread count (0 = back to
- * configuredThreads()). Must not be called while work is in flight.
+ * configuredThreads()). The old pool is drained (an in-flight batch
+ * finishes first), its workers are joined, and the husk is kept alive
+ * so stale references degrade to inline execution; still, callers
+ * should be quiescent so new work lands on the new pool.
  */
 void setThreads(size_t threads);
 
-/** Thread count of the global pool (without forcing creation… it does). */
+/** Thread count of the global pool (creates the pool on first use). */
 size_t threadCount();
 
 /** `globalPool().parallelFor(...)` convenience wrapper. */

@@ -122,6 +122,36 @@ TEST(ThreadPool, NestedCallsRunInline)
         EXPECT_EQ(hits[i].load(), 1) << "index " << i;
 }
 
+TEST(ThreadPool, BackToBackShortBatchesStress)
+{
+    // Regression stress for the stale-worker race: publish thousands
+    // of tiny batches back to back. A worker that sleeps through one
+    // batch must never wake into the next batch's publish; every
+    // index still runs exactly once per batch.
+    ThreadPool pool(4);
+    std::atomic<size_t> total{0};
+    size_t expected = 0;
+    for (int round = 0; round < 2000; ++round) {
+        size_t n = 2 + static_cast<size_t>(round % 13);
+        expected += n;
+        pool.parallelFor(0, n, 1, [&](size_t b, size_t e) {
+            total.fetch_add(e - b);
+        });
+    }
+    EXPECT_EQ(total.load(), expected);
+}
+
+TEST(ThreadPool, RetiredPoolRunsInline)
+{
+    ThreadPool pool(4);
+    pool.retire();
+    std::atomic<size_t> count{0};
+    pool.parallelFor(0, 40, 4, [&](size_t b, size_t e) {
+        count.fetch_add(e - b);
+    });
+    EXPECT_EQ(count.load(), 40u);
+}
+
 TEST(ThreadPool, ReduceIsDeterministicAcrossThreadCounts)
 {
     // Sum of doubles whose magnitudes differ wildly: any change in
@@ -181,6 +211,23 @@ TEST(GlobalPool, SetThreadsRebuildsPool)
     EXPECT_EQ(count.load(), 50u);
     setThreads(1);
     EXPECT_EQ(threadCount(), 1u);
+    setThreads(0);
+}
+
+TEST(GlobalPool, StaleReferenceAfterSetThreadsRunsInline)
+{
+    setThreads(4);
+    ThreadPool &stale = globalPool();
+    setThreads(2);
+    // The replaced pool is retired, not freed: a stale reference must
+    // still execute work (inline), not crash or deadlock.
+    std::atomic<size_t> count{0};
+    stale.parallelFor(0, 40, 4, [&](size_t b, size_t e) {
+        count.fetch_add(e - b);
+    });
+    EXPECT_EQ(count.load(), 40u);
+    EXPECT_EQ(threadCount(), 2u);
+    setThreads(0);
 }
 
 // ---- End-to-end determinism contract --------------------------------
