@@ -1,17 +1,32 @@
 /**
  * @file
  * Figure 9d: runtime of the root-cause analysis as a function of the
- * drift-log size (google-benchmark).
+ * drift-log size (google-benchmark), plus a thread sweep.
  *
  * Paper result: runtime is completely linear in the number of rows —
  * the FIM pass is linear and set reduction prunes the candidate set
  * before the counterfactual stage.
+ *
+ * Usage:
+ *   bench_fig9d_rca_scaling [google-benchmark flags]
+ *     Default mode: the row-scaling sweep (complexity fit).
+ *   bench_fig9d_rca_scaling --sweep [--quick]
+ *     Thread sweep: Analyzer::analyze wall clock at 1/2/4/8 threads on
+ *     a fixed log, reported as JSON (seeds BENCH_rca_scaling.json).
+ *     --quick shrinks the log (CI smoke run).
  */
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
 #include "driftlog/drift_log.h"
 #include "rca/analyzer.h"
+#include "runtime/thread_pool.h"
 
 using namespace nazar;
 
@@ -61,6 +76,74 @@ BM_RootCauseAnalysis(benchmark::State &state)
     state.counters["rows"] = static_cast<double>(rows);
 }
 
+/** Best-of-reps wall clock of one full analyze() in milliseconds. */
+double
+analyzeMillis(const rca::Analyzer &analyzer, const driftlog::Table &table,
+              int reps)
+{
+    using Clock = std::chrono::steady_clock;
+    double best = 0.0;
+    for (int i = 0; i < reps; ++i) {
+        auto start = Clock::now();
+        auto result = analyzer.analyze(table);
+        benchmark::DoNotOptimize(result.rootCauses.size());
+        double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - start)
+                .count();
+        if (i == 0 || ms < best)
+            best = ms;
+    }
+    return best;
+}
+
+/** Thread sweep over the sharded RCA pipeline, reported as JSON. */
+int
+runThreadSweep(bool quick)
+{
+    const size_t rows = quick ? 20000 : 160000;
+    const int reps = quick ? 2 : 3;
+    driftlog::DriftLog log = makeLog(rows, 123);
+    rca::RcaConfig config;
+    config.attributeColumns =
+        driftlog::DriftLog::defaultAttributeColumns();
+    rca::Analyzer analyzer(config);
+
+    struct Row
+    {
+        size_t threads;
+        double millis;
+    };
+    std::vector<Row> results;
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+        runtime::setThreads(threads);
+        results.push_back(
+            Row{threads, analyzeMillis(analyzer, log.table(), reps)});
+    }
+    runtime::setThreads(0);
+
+    unsigned cores = std::thread::hardware_concurrency();
+    std::printf("{\n");
+    std::printf("  \"bench\": \"fig9d_rca_scaling\",\n");
+    std::printf("  \"rows\": %zu,\n", rows);
+    std::printf("  \"hardware_concurrency\": %u,\n", cores);
+    std::printf("  \"note\": \"%s\",\n",
+                cores <= 1
+                    ? "1-core machine: speedups ~1.0 expected; only "
+                      "the determinism contract is measurable here"
+                    : "speedup is analyze() wall clock vs the 1-thread "
+                      "run of the same binary");
+    std::printf("  \"results\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+        const Row &r = results[i];
+        std::printf("    {\"threads\": %zu, \"analyze_ms\": %.2f, "
+                    "\"speedup\": %.2f}%s\n",
+                    r.threads, r.millis, results[0].millis / r.millis,
+                    i + 1 < results.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+}
+
 } // namespace
 
 BENCHMARK(BM_RootCauseAnalysis)
@@ -69,4 +152,22 @@ BENCHMARK(BM_RootCauseAnalysis)
     ->Unit(benchmark::kMillisecond)
     ->Complexity(benchmark::oN);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool sweep = false, quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--sweep") == 0)
+            sweep = true;
+        else if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    }
+    if (sweep)
+        return runThreadSweep(quick);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

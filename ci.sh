@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# CI entry point — also runnable locally. Builds the Release tree and a
+# ThreadSanitizer tree, then runs the full ctest suite under both
+# NAZAR_THREADS=1 (sequential reference) and NAZAR_THREADS=4 (parallel
+# runtime). Any test regression or sanitizer report fails the script.
+#
+# Usage: ./ci.sh [--release-only|--tsan-only]
+set -euo pipefail
+
+cd "$(dirname "$0")"
+
+JOBS="$(nproc)"
+DO_RELEASE=1
+DO_TSAN=1
+for arg in "$@"; do
+    case "$arg" in
+      --release-only) DO_TSAN=0 ;;
+      --tsan-only) DO_RELEASE=0 ;;
+      *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+run_suite() {
+    local build_dir="$1"
+    for threads in 1 4; do
+        echo "==== ctest ($build_dir, NAZAR_THREADS=$threads) ===="
+        NAZAR_THREADS="$threads" \
+            ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+    done
+}
+
+if [ "$DO_RELEASE" = 1 ]; then
+    cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-ci -j "$JOBS"
+    run_suite build-ci
+    # Smoke-run the scaling benches in quick mode so a broken bench
+    # binary fails CI even though throughput is not asserted.
+    ./build-ci/bench/bench_runtime_scaling --quick > /dev/null
+    ./build-ci/bench/bench_fig9d_rca_scaling --sweep --quick > /dev/null
+fi
+
+if [ "$DO_TSAN" = 1 ]; then
+    cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DNAZAR_SANITIZE=thread
+    cmake --build build-tsan -j "$JOBS"
+    # TSAN aborts the process on any report (halt_on_error), so a data
+    # race in the parallel runtime or the sharded RCA scans fails ctest.
+    export TSAN_OPTIONS="halt_on_error=1"
+    run_suite build-tsan
+fi
+
+echo "CI OK"

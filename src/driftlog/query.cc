@@ -32,6 +32,14 @@ Query
 Query::where(const std::string &column, CompareOp op, Value value) const
 {
     NAZAR_CHECK(table_->schema().has(column), "no such column: " + column);
+    // Mirror Table's ingest normalization: an int literal against a
+    // double column widens, so the condition compares by numeric value
+    // instead of by variant index (which would order every int below
+    // every double).
+    const ColumnDef &def =
+        table_->schema().column(table_->schema().indexOf(column));
+    if (def.type == ValueType::kDouble && value.type() == ValueType::kInt)
+        value = Value(value.asDouble());
     Query q = *this;
     q.conditions_.push_back(Condition{column, op, std::move(value)});
     return q;

@@ -48,15 +48,27 @@ Table::append(const Row &row)
 {
     NAZAR_CHECK(row.size() == schema_.columnCount(),
                 "row width does not match schema");
-    for (size_t i = 0; i < row.size(); ++i) {
-        if (!row[i].isNull()) {
-            NAZAR_CHECK(row[i].type() == schema_.column(i).type,
-                        "type mismatch in column " +
-                            schema_.column(i).name);
+    // Validate (and normalize numeric cells) before touching any
+    // column, so a rejected row leaves the table unchanged.
+    Row normalized = row;
+    for (size_t i = 0; i < normalized.size(); ++i) {
+        Value &cell = normalized[i];
+        if (cell.isNull())
+            continue;
+        if (schema_.column(i).type == ValueType::kDouble &&
+            cell.type() == ValueType::kInt) {
+            // A double column widens int cells at ingest: 3 and 3.0
+            // must land as one cell value, or downstream Value-keyed
+            // aggregations (FIM level 1, group-bys) split a single
+            // attribute group into two by variant index.
+            cell = Value(cell.asDouble());
+            continue;
         }
+        NAZAR_CHECK(cell.type() == schema_.column(i).type,
+                    "type mismatch in column " + schema_.column(i).name);
     }
-    for (size_t i = 0; i < row.size(); ++i)
-        columns_[i].push_back(row[i]);
+    for (size_t i = 0; i < normalized.size(); ++i)
+        columns_[i].push_back(std::move(normalized[i]));
     ++rowCount_;
 }
 

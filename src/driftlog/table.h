@@ -60,8 +60,10 @@ class Table
     const Schema &schema() const { return schema_; }
     size_t rowCount() const { return rowCount_; }
 
-    /** Append one row; values must match the schema's types
-     *  (kNull cells are allowed anywhere). */
+    /** Append one row; values must match the schema's types.
+     *  kNull cells are allowed anywhere, and int cells appended to a
+     *  double column are widened to double at ingest (so a numeric
+     *  column holds one representation per value). */
     void append(const Row &row);
 
     /** Cell accessor. */

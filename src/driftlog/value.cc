@@ -102,15 +102,14 @@ Value::operator<=>(const Value &other) const
         return std::strong_ordering::equal;
       case ValueType::kInt:
         return std::get<int64_t>(data_) <=> std::get<int64_t>(other.data_);
-      case ValueType::kDouble: {
-        double a = std::get<double>(data_);
-        double b = std::get<double>(other.data_);
-        if (a < b)
-            return std::strong_ordering::less;
-        if (a > b)
-            return std::strong_ordering::greater;
-        return std::strong_ordering::equal;
-      }
+      case ValueType::kDouble:
+        // IEEE totalOrder, not `<`: a NaN cell must order consistently
+        // against every other double (and equal only to its own bit
+        // pattern), or the std::map aggregations in Fim::mine lose the
+        // strict-weak-ordering precondition and silently merge or drop
+        // keys.
+        return std::strong_order(std::get<double>(data_),
+                                 std::get<double>(other.data_));
       case ValueType::kBool:
         return std::get<bool>(data_) <=> std::get<bool>(other.data_);
       case ValueType::kString:

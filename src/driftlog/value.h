@@ -44,8 +44,22 @@ class Value
     /** Render for display / serialization. */
     std::string toString() const;
 
-    bool operator==(const Value &other) const = default;
+    /**
+     * Total order across all cells: by type first, then by value.
+     * Doubles use IEEE totalOrder (std::strong_order), so NaN sorts
+     * consistently (above +inf, below nothing) instead of comparing
+     * "equal" to everything — a strict-weak-ordering requirement for
+     * every std::map/std::set keyed on Value (Table::distinct, the
+     * query group-bys, and the FIM level-1 aggregation).
+     */
     std::strong_ordering operator<=>(const Value &other) const;
+
+    /** Agrees with <=> by construction: equal iff same type and same
+     *  value bits (NaN == NaN with the same payload; -0.0 != +0.0). */
+    bool operator==(const Value &other) const
+    {
+        return (*this <=> other) == 0;
+    }
 
   private:
     std::variant<std::monostate, int64_t, double, bool, std::string> data_;

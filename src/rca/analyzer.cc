@@ -56,12 +56,36 @@ Analyzer::analyze(const driftlog::Table &table, AnalysisMode mode) const
 
     // Counterfactual analysis (Algorithm 1): walk associations in rank
     // order; re-check significance against flags with already-accepted
-    // causes marked non-drift.
+    // causes marked non-drift. The per-cause count scans inside
+    // computeMetrics are sharded over the runtime pool; acceptance and
+    // flag mutation stay strictly sequential in rank order — each
+    // re-check must observe every higher-ranked cause's absorption, so
+    // this stage's dependency chain is inherent to the algorithm.
+    // (mark_no_drift also writes std::vector<bool>, whose packed bits
+    // must not be flipped concurrently.)
     std::vector<bool> flags = Fim::driftFlags(table, config_.driftColumn);
     auto mark_no_drift = [&](const AttributeSet &attrs) {
-        for (size_t r = 0; r < table.rowCount(); ++r)
-            if (flags[r] && attrs.matchesRow(table, r))
+        // Resolve the constrained columns once; matchesRow would redo
+        // the schema name lookup for every (row, attribute) pair.
+        std::vector<const std::vector<driftlog::Value> *> cols;
+        std::vector<const driftlog::Value *> wanted;
+        for (const auto &a : attrs.attributes()) {
+            cols.push_back(&table.column(a.column));
+            wanted.push_back(&a.value);
+        }
+        for (size_t r = 0; r < table.rowCount(); ++r) {
+            if (!flags[r])
+                continue;
+            bool match = true;
+            for (size_t i = 0; i < cols.size(); ++i) {
+                if (!((*cols[i])[r] == *wanted[i])) {
+                    match = false;
+                    break;
+                }
+            }
+            if (match)
                 flags[r] = false;
+        }
     };
 
     for (const auto &assoc : result.associations) {

@@ -10,6 +10,10 @@
  * statistically significant after the higher-ranked causes "took" its
  * overlapping evidence is a genuine independent root cause; otherwise
  * its merged finer causes get the same chance.
+ *
+ * The row scans of every stage run sharded over the runtime pool (see
+ * fim.h); the counterfactual walk itself — acceptance decisions and
+ * drift-flag absorption — is sequential in rank order by design.
  */
 #ifndef NAZAR_RCA_ANALYZER_H
 #define NAZAR_RCA_ANALYZER_H

@@ -5,14 +5,49 @@
 #include "fim.h"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 #include <map>
 
 #include "common/error.h"
+#include "runtime/thread_pool.h"
 
 namespace nazar::rca {
 
 namespace {
+
+/**
+ * Rows per chunk for the sharded table scans. Fixed (never derived
+ * from the thread count), so the chunk layout — and therefore every
+ * per-chunk partial and the chunk-ordered merge — is identical at any
+ * NAZAR_THREADS setting.
+ */
+constexpr size_t kRowGrain = 4096;
+
+/**
+ * Minimum row count before a scan engages the thread pool. Below this
+ * the batch dispatch overhead dominates (the counterfactual pass calls
+ * computeMetrics once per candidate cause, often on small logs). The
+ * cutoff only selects between running the identical per-chunk kernel
+ * inline or on the pool, so results are bit-identical either way.
+ */
+constexpr size_t kParallelRowCutoff = 2 * kRowGrain;
+
+/**
+ * Chunk-ordered reduce over table rows: below the cutoff the map
+ * kernel runs once over [0, n) on the caller (the exact sequential
+ * path); above it, per-chunk partials are combined in ascending chunk
+ * order by runtime::parallelReduce.
+ */
+template <typename T, typename Map, typename Combine>
+T
+rowReduce(size_t n, T identity, Map &&map, Combine &&combine)
+{
+    if (n < kParallelRowCutoff)
+        return map(size_t{0}, n);
+    return runtime::parallelReduce<T>(0, n, kRowGrain,
+                                      std::move(identity), map, combine);
+}
 
 /** Derive the four metrics from raw counts. */
 CauseMetrics
@@ -64,9 +99,6 @@ computeMetrics(const driftlog::Table &table,
 {
     NAZAR_CHECK(drift_flags.size() == table.rowCount(),
                 "drift-flag vector must cover the table");
-    size_t total_drift = 0;
-    for (bool f : drift_flags)
-        total_drift += f ? 1 : 0;
 
     // Resolve columns once.
     std::vector<const std::vector<driftlog::Value> *> cols;
@@ -76,23 +108,38 @@ computeMetrics(const driftlog::Table &table,
         wanted.push_back(&a.value);
     }
 
-    size_t set_count = 0, set_drift = 0;
-    for (size_t r = 0; r < table.rowCount(); ++r) {
-        bool match = true;
-        for (size_t i = 0; i < cols.size(); ++i) {
-            if (!((*cols[i])[r] == *wanted[i])) {
-                match = false;
-                break;
+    // One sharded scan accumulates all three counts; size_t sums are
+    // order-independent, and the chunk-ordered merge makes the path
+    // bit-identical across thread counts anyway.
+    using Counts = std::array<size_t, 3>; // set, set-and-drift, drift
+    Counts totals = rowReduce<Counts>(
+        table.rowCount(), Counts{0, 0, 0},
+        [&](size_t chunk_begin, size_t chunk_end) {
+            Counts part{0, 0, 0};
+            for (size_t r = chunk_begin; r < chunk_end; ++r) {
+                part[2] += drift_flags[r] ? 1 : 0;
+                bool match = true;
+                for (size_t i = 0; i < cols.size(); ++i) {
+                    if (!((*cols[i])[r] == *wanted[i])) {
+                        match = false;
+                        break;
+                    }
+                }
+                if (match) {
+                    ++part[0];
+                    if (drift_flags[r])
+                        ++part[1];
+                }
             }
-        }
-        if (match) {
-            ++set_count;
-            if (drift_flags[r])
-                ++set_drift;
-        }
-    }
-    return metricsFromCounts(set_count, set_drift, table.rowCount(),
-                             total_drift);
+            return part;
+        },
+        [](Counts acc, Counts part) {
+            for (size_t i = 0; i < acc.size(); ++i)
+                acc[i] += part[i];
+            return acc;
+        });
+    return metricsFromCounts(totals[0], totals[1], table.rowCount(),
+                             totals[2]);
 }
 
 bool
@@ -159,17 +206,40 @@ Fim::mine(const std::vector<bool> &drift_flags) const
     std::vector<RankedCause> results;
 
     // ---- Level 1: one aggregation pass per attribute column --------
+    // Each column's value histogram is a sharded scan: every chunk
+    // builds its own Value-keyed map, and the partials merge in
+    // ascending chunk order. Count addition is commutative, so the
+    // merged map — and the map-order emission below — is identical to
+    // the sequential single-map pass. Correctness of the merge leans
+    // on Value's total order (see Value::operator<=>): a NaN cell that
+    // compared "equal" to everything would corrupt each partial map
+    // independently.
+    using ValueCounts =
+        std::map<driftlog::Value, std::pair<size_t, size_t>>;
     std::vector<Attribute> frequent_singles;
     std::vector<AttributeSet> frequent_prev;
     for (const auto &col_name : config_.attributeColumns) {
         const auto &col = table_.column(col_name);
-        std::map<driftlog::Value, std::pair<size_t, size_t>> counts;
-        for (size_t r = 0; r < n; ++r) {
-            auto &entry = counts[col[r]];
-            ++entry.first;
-            if (drift_flags[r])
-                ++entry.second;
-        }
+        ValueCounts counts = rowReduce<ValueCounts>(
+            n, ValueCounts{},
+            [&](size_t chunk_begin, size_t chunk_end) {
+                ValueCounts part;
+                for (size_t r = chunk_begin; r < chunk_end; ++r) {
+                    auto &entry = part[col[r]];
+                    ++entry.first;
+                    if (drift_flags[r])
+                        ++entry.second;
+                }
+                return part;
+            },
+            [](ValueCounts acc, ValueCounts part) {
+                for (auto &[value, cnt] : part) {
+                    auto &entry = acc[value];
+                    entry.first += cnt.first;
+                    entry.second += cnt.second;
+                }
+                return acc;
+            });
         for (const auto &[value, cnt] : counts) {
             CauseMetrics m = metricsFromCounts(cnt.first, cnt.second, n,
                                                total_drift);
@@ -204,14 +274,16 @@ Fim::mine(const std::vector<bool> &drift_flags) const
         if (candidates.empty())
             break;
 
-        // Counting pass: resolve candidate columns once, then a single
-        // scan over the table.
+        // Counting pass: resolve candidate columns once (read-only,
+        // shared across chunks), then one sharded scan counts every
+        // candidate. Within a chunk the candidate is the OUTER loop,
+        // so the inner row loop walks each candidate's two or three
+        // column arrays contiguously instead of pointer-chasing every
+        // probe per row. Per-chunk count arrays sum in chunk order.
         struct CandidateProbe
         {
             std::vector<const std::vector<driftlog::Value> *> cols;
             std::vector<const driftlog::Value *> wanted;
-            size_t count = 0;
-            size_t drift = 0;
         };
         std::vector<CandidateProbe> probes(candidates.size());
         for (size_t i = 0; i < candidates.size(); ++i) {
@@ -220,27 +292,45 @@ Fim::mine(const std::vector<bool> &drift_flags) const
                 probes[i].wanted.push_back(&a.value);
             }
         }
-        for (size_t r = 0; r < n; ++r) {
-            for (auto &probe : probes) {
-                bool match = true;
-                for (size_t i = 0; i < probe.cols.size(); ++i) {
-                    if (!((*probe.cols[i])[r] == *probe.wanted[i])) {
-                        match = false;
-                        break;
+        using CountVec = std::vector<std::pair<size_t, size_t>>;
+        CountVec totals = rowReduce<CountVec>(
+            n, CountVec(probes.size(), {0, 0}),
+            [&](size_t chunk_begin, size_t chunk_end) {
+                CountVec part(probes.size(), {0, 0});
+                for (size_t c = 0; c < probes.size(); ++c) {
+                    const CandidateProbe &probe = probes[c];
+                    size_t count = 0, drift = 0;
+                    for (size_t r = chunk_begin; r < chunk_end; ++r) {
+                        bool match = true;
+                        for (size_t i = 0; i < probe.cols.size(); ++i) {
+                            if (!((*probe.cols[i])[r] ==
+                                  *probe.wanted[i])) {
+                                match = false;
+                                break;
+                            }
+                        }
+                        if (match) {
+                            ++count;
+                            if (drift_flags[r])
+                                ++drift;
+                        }
                     }
+                    part[c] = {count, drift};
                 }
-                if (match) {
-                    ++probe.count;
-                    if (drift_flags[r])
-                        ++probe.drift;
+                return part;
+            },
+            [](CountVec acc, CountVec part) {
+                for (size_t i = 0; i < acc.size(); ++i) {
+                    acc[i].first += part[i].first;
+                    acc[i].second += part[i].second;
                 }
-            }
-        }
+                return acc;
+            });
 
         std::vector<AttributeSet> frequent_now;
         for (size_t i = 0; i < candidates.size(); ++i) {
             CauseMetrics m = metricsFromCounts(
-                probes[i].count, probes[i].drift, n, total_drift);
+                totals[i].first, totals[i].second, n, total_drift);
             if (m.setCount == 0)
                 continue; // combination never occurs; not a real set
             results.push_back(RankedCause{candidates[i], m});

@@ -7,6 +7,12 @@
  * risk ratio — prunes candidates level-by-level (apriori downward
  * closure on occurrence), filters by the four thresholds, and ranks
  * survivors by risk ratio.
+ *
+ * All table scans (the level-1 value histograms, the level-k candidate
+ * counting pass, and computeMetrics) are sharded over src/runtime/
+ * with a fixed row grain and chunk-ordered merges, so results are
+ * bit-identical at every NAZAR_THREADS setting and NAZAR_THREADS=1
+ * runs the exact sequential path.
  */
 #ifndef NAZAR_RCA_FIM_H
 #define NAZAR_RCA_FIM_H

@@ -4,6 +4,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <map>
+
 #include "common/error.h"
 #include "driftlog/drift_log.h"
 
@@ -39,6 +43,71 @@ TEST(Value, OrderingWithinAndAcrossTypes)
     EXPECT_LT(Value(1.0), Value(2.0));
     EXPECT_EQ(Value("x"), Value("x"));
     EXPECT_NE(Value(1), Value("1")); // different types never equal
+}
+
+TEST(Value, NanHasATotalOrder)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+
+    // == and <=> agree on NaN (the defaulted variant == used to say
+    // NaN != NaN while <=> said equal).
+    EXPECT_EQ(Value(nan), Value(nan));
+    EXPECT_TRUE((Value(nan) <=> Value(nan)) == 0);
+    EXPECT_EQ(Value(nan) == Value(nan),
+              (Value(nan) <=> Value(nan)) == 0);
+
+    // NaN orders consistently against every finite double: exactly one
+    // of <, ==, > holds (IEEE totalOrder puts quiet NaN above +inf).
+    for (double x : {-1.0, 0.0, 1.0, inf, -inf}) {
+        EXPECT_NE(Value(nan), Value(x));
+        EXPECT_GT(Value(nan), Value(x));
+        EXPECT_LT(Value(x), Value(nan));
+    }
+    EXPECT_LT(Value(-nan), Value(-inf)); // negative NaN below -inf
+
+    // Signed zeros are distinct bit classes under the total order.
+    EXPECT_NE(Value(-0.0), Value(0.0));
+    EXPECT_LT(Value(-0.0), Value(0.0));
+}
+
+TEST(Value, NanKeysDoNotCorruptValueKeyedMaps)
+{
+    // Regression for the FIM level-1 aggregation: with the old
+    // ordering (NaN "equal" to everything) a NaN key swallowed every
+    // later double key, so three distinct values collapsed into one
+    // map entry.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    std::map<Value, int> m;
+    m[Value(nan)] = 1;
+    m[Value(1.0)] = 2;
+    m[Value(2.0)] = 3;
+    EXPECT_EQ(m.size(), 3u);
+    EXPECT_EQ(m[Value(1.0)], 2);
+    EXPECT_EQ(m[Value(2.0)], 3);
+    EXPECT_EQ(m[Value(nan)], 1);
+}
+
+TEST(Table, IntCellsWidenInDoubleColumns)
+{
+    // Value(3) and Value(3.0) differ by variant index; ingest must
+    // land them as one cell value or a numeric drift-log column splits
+    // a single FIM attribute group into two ranked causes.
+    Table t(Schema({{"score", ValueType::kDouble}}));
+    t.append({Value(3)});
+    t.append({Value(3.0)});
+    EXPECT_EQ(t.at(0, 0).type(), ValueType::kDouble);
+    EXPECT_EQ(t.at(0, 0), t.at(1, 0));
+    EXPECT_EQ(t.distinct("score").size(), 1u);
+
+    // Query conditions widen the same way.
+    EXPECT_EQ(Query(t).where("score", Value(3)).count(), 2u);
+    EXPECT_EQ(Query(t).where("score", CompareOp::kGe, Value(3)).count(),
+              2u);
+
+    // Narrowing is still a type error: doubles don't fit int columns.
+    Table ti(Schema({{"n", ValueType::kInt}}));
+    EXPECT_THROW(ti.append({Value(3.0)}), NazarError);
 }
 
 Schema

@@ -5,10 +5,13 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/rng.h"
 #include "rca/analyzer.h"
+#include "runtime/thread_pool.h"
 
 namespace nazar::rca {
 namespace {
@@ -205,6 +208,142 @@ TEST_P(RandomLogTest, PlantedCausesAreRecovered)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomLogTest,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---- Sharded-scan determinism contract ------------------------------
+
+/**
+ * Drift log big enough to engage the pool (past the parallel row
+ * cutoff), with a NaN-bearing double attribute column and drift
+ * probabilities tuned so several causes sit right at the confidence /
+ * risk-ratio thresholds — any cross-thread divergence in the merged
+ * counts flips an acceptance decision and shows up as a structural
+ * diff, not just a bit wiggle.
+ */
+Table
+nanThresholdLog(size_t rows, uint64_t seed)
+{
+    Rng rng(seed);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    Table t(Schema({{"weather", ValueType::kString},
+                    {"severity", ValueType::kDouble},
+                    {"device_id", ValueType::kString},
+                    {"drift", ValueType::kBool}}));
+    for (size_t i = 0; i < rows; ++i) {
+        size_t w = rng.index(4);
+        size_t s = rng.index(3);
+        size_t d = rng.index(8);
+        // severity: two finite bands plus NaN (sensor dropout) — the
+        // NaN cells must aggregate as one attribute value.
+        Value severity =
+            s == 2 ? Value(nan) : Value(0.5 + static_cast<double>(s));
+        // Near-threshold causes: w1's confidence hovers at the 0.51
+        // threshold; NaN severity carries a mild genuine signal.
+        double p = 0.18;
+        if (w == 1)
+            p += 0.33;
+        if (s == 2)
+            p += 0.4;
+        if (d == 3)
+            p += 0.55;
+        t.append({Value("w" + std::to_string(w)), severity,
+                  Value("d" + std::to_string(d)),
+                  Value(rng.bernoulli(std::min(0.95, p)))});
+    }
+    return t;
+}
+
+void
+expectBitIdentical(const RankedCause &a, const RankedCause &b)
+{
+    EXPECT_TRUE(a.attrs == b.attrs)
+        << a.attrs.toString() << " vs " << b.attrs.toString();
+    EXPECT_EQ(a.metrics.setCount, b.metrics.setCount);
+    EXPECT_EQ(a.metrics.setDriftCount, b.metrics.setDriftCount);
+    // Exact double equality on purpose: the contract is bit-identity.
+    EXPECT_EQ(a.metrics.occurrence, b.metrics.occurrence);
+    EXPECT_EQ(a.metrics.support, b.metrics.support);
+    EXPECT_EQ(a.metrics.confidence, b.metrics.confidence);
+    EXPECT_EQ(a.metrics.riskRatio, b.metrics.riskRatio);
+}
+
+void
+expectBitIdentical(const AnalysisResult &a, const AnalysisResult &b)
+{
+    ASSERT_EQ(a.rootCauses.size(), b.rootCauses.size());
+    for (size_t i = 0; i < a.rootCauses.size(); ++i)
+        expectBitIdentical(a.rootCauses[i], b.rootCauses[i]);
+    ASSERT_EQ(a.fimTable.size(), b.fimTable.size());
+    for (size_t i = 0; i < a.fimTable.size(); ++i)
+        expectBitIdentical(a.fimTable[i], b.fimTable[i]);
+    ASSERT_EQ(a.associations.size(), b.associations.size());
+    for (size_t i = 0; i < a.associations.size(); ++i) {
+        expectBitIdentical(a.associations[i].key, b.associations[i].key);
+        ASSERT_EQ(a.associations[i].merged.size(),
+                  b.associations[i].merged.size());
+        for (size_t j = 0; j < a.associations[i].merged.size(); ++j)
+            expectBitIdentical(a.associations[i].merged[j],
+                               b.associations[i].merged[j]);
+    }
+}
+
+struct RcaDeterminism : ::testing::Test
+{
+    ~RcaDeterminism() override
+    {
+        runtime::setThreads(0); // restore the configured default
+    }
+};
+
+TEST_F(RcaDeterminism, AnalyzeBitIdenticalAcross1And4And8Threads)
+{
+    // 12k rows crosses the parallel row cutoff, so at >1 thread every
+    // stage's scans really run sharded.
+    Table t = nanThresholdLog(12000, 99);
+    RcaConfig config;
+    config.attributeColumns = {"weather", "severity", "device_id"};
+    Analyzer analyzer(config);
+
+    for (AnalysisMode mode :
+         {AnalysisMode::kFimOnly, AnalysisMode::kFimSetReduction,
+          AnalysisMode::kFull}) {
+        runtime::setThreads(1);
+        AnalysisResult sequential = analyzer.analyze(t, mode);
+        EXPECT_FALSE(sequential.fimTable.empty());
+        for (size_t threads : {4u, 8u}) {
+            runtime::setThreads(threads);
+            AnalysisResult parallel = analyzer.analyze(t, mode);
+            expectBitIdentical(sequential, parallel);
+        }
+    }
+}
+
+TEST_F(RcaDeterminism, NanCellsFormASingleAttributeGroup)
+{
+    Table t = nanThresholdLog(12000, 7);
+    RcaConfig config;
+    config.attributeColumns = {"weather", "severity", "device_id"};
+    for (size_t threads : {1u, 4u}) {
+        runtime::setThreads(threads);
+        auto causes = Fim(t, config).mine();
+        // Exactly one level-1 severity cause has a NaN value, and its
+        // count matches a direct scan of the column.
+        size_t nan_causes = 0, nan_rows = 0;
+        const auto &col = t.column("severity");
+        for (size_t r = 0; r < t.rowCount(); ++r)
+            nan_rows += std::isnan(col[r].asDouble()) ? 1 : 0;
+        for (const auto &c : causes) {
+            if (c.attrs.size() != 1)
+                continue;
+            const auto &attr = c.attrs.attributes()[0];
+            if (attr.column == "severity" &&
+                std::isnan(attr.value.asDouble())) {
+                ++nan_causes;
+                EXPECT_EQ(c.metrics.setCount, nan_rows);
+            }
+        }
+        EXPECT_EQ(nan_causes, 1u) << "threads=" << threads;
+    }
+}
 
 } // namespace
 } // namespace nazar::rca
