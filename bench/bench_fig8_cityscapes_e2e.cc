@@ -18,9 +18,10 @@
 using namespace nazar;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
+    bench::MetricsExport metrics(argc, argv);
     bench::printHeader("Figures 8a/8b/8d",
                        "Cityscapes end-to-end workload");
     bench::printPaperNote("8a: Nazar +10.1-19.4% over adapt-all on "

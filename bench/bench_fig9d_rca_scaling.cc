@@ -20,11 +20,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "driftlog/drift_log.h"
+#include "obs/export.h"
 #include "rca/analyzer.h"
 #include "runtime/thread_pool.h"
 
@@ -156,18 +158,32 @@ int
 main(int argc, char **argv)
 {
     bool sweep = false, quick = false;
+    std::string metrics_out;
+    // Consume our own flags (compacting argv) so benchmark::Initialize
+    // only sees what it understands.
+    int kept = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--sweep") == 0)
             sweep = true;
         else if (std::strcmp(argv[i], "--quick") == 0)
             quick = true;
+        else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0)
+            metrics_out = argv[i] + 14;
+        else
+            argv[kept++] = argv[i];
     }
-    if (sweep)
-        return runThreadSweep(quick);
-    benchmark::Initialize(&argc, argv);
-    if (benchmark::ReportUnrecognizedArguments(argc, argv))
-        return 1;
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    return 0;
+    argc = kept;
+    int rc = 0;
+    if (sweep) {
+        rc = runThreadSweep(quick);
+    } else {
+        benchmark::Initialize(&argc, argv);
+        if (benchmark::ReportUnrecognizedArguments(argc, argv))
+            return 1;
+        benchmark::RunSpecifiedBenchmarks();
+        benchmark::Shutdown();
+    }
+    if (!metrics_out.empty())
+        nazar::obs::writeMetricsFile(metrics_out);
+    return rc;
 }

@@ -16,6 +16,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "obs/export.h"
 #include "data/apps.h"
 #include "nn/matrix.h"
 #include "runtime/thread_pool.h"
@@ -85,9 +86,13 @@ int
 main(int argc, char **argv)
 {
     bool quick = false;
-    for (int i = 1; i < argc; ++i)
+    std::string metrics_out;
+    for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0)
             quick = true;
+        else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0)
+            metrics_out = argv[i] + 14;
+    }
 
     nazar::setLogLevel(nazar::LogLevel::kSilent);
 
@@ -129,5 +134,7 @@ main(int argc, char **argv)
                     i + 1 < rows.size() ? "," : "");
     }
     std::printf("  ]\n}\n");
+    if (!metrics_out.empty())
+        nazar::obs::writeMetricsFile(metrics_out);
     return 0;
 }

@@ -19,9 +19,10 @@
 using namespace nazar;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
+    bench::MetricsExport metrics(argc, argv);
     bench::printHeader("§5.8", "cycle runtime: RCA vs adaptation");
     bench::printPaperNote("RCA ~46s of a ~50min cycle: adaptation "
                           "dominates (>95% of the cycle)");

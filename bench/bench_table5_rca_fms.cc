@@ -116,9 +116,10 @@ runScenario(const Scenario &scenario, const data::AppSpec &app,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
+    bench::MetricsExport metrics(argc, argv);
     bench::printHeader("Table 5",
                        "RCA Fowlkes-Mallows score across scenarios");
     bench::printPaperNote("full pipeline (FIM+SR+CF) dominates and is "

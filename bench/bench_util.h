@@ -15,6 +15,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "obs/export.h"
 #include "data/apps.h"
 #include "data/stream.h"
 #include "sim/runner.h"
@@ -152,6 +153,40 @@ struct QuietLogs
 {
     QuietLogs() { setLogLevel(LogLevel::kWarn); }
     ~QuietLogs() { setLogLevel(LogLevel::kInfo); }
+};
+
+/**
+ * RAII: honor a `--metrics-out=<path>` flag. Construct at the top of
+ * main(); at scope exit the obs registry snapshot is written to the
+ * given path (JSON by default, Prometheus text for .prom/.txt). With
+ * no flag on the command line this is a no-op.
+ */
+struct MetricsExport
+{
+    std::string path;
+
+    MetricsExport(int argc, char **argv)
+    {
+        const std::string flag = "--metrics-out=";
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind(flag, 0) == 0)
+                path = arg.substr(flag.size());
+        }
+    }
+
+    ~MetricsExport()
+    {
+        if (path.empty())
+            return;
+        try {
+            obs::writeMetricsFile(path);
+            std::printf("metrics snapshot: %s\n", path.c_str());
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "metrics export failed: %s\n",
+                         e.what());
+        }
+    }
 };
 
 } // namespace nazar::bench

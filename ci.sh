@@ -37,6 +37,21 @@ if [ "$DO_RELEASE" = 1 ]; then
     # binary fails CI even though throughput is not asserted.
     ./build-ci/bench/bench_runtime_scaling --quick > /dev/null
     ./build-ci/bench/bench_fig9d_rca_scaling --sweep --quick > /dev/null
+    # Observability smoke: a short e2e sim must produce a metrics
+    # snapshot that parses as JSON and contains spans/counters from
+    # every instrumented layer.
+    ./build-ci/tools/nazar_ops sim 1 \
+        --metrics-out=build-ci/metrics.json > /dev/null
+    for key in sim.window sim.cloud.rca rca.fim.mine nn.forward \
+               detect.msp.samples driftlog.rows_ingested \
+               runtime.batches.inline; do
+        grep -q "\"$key\"" build-ci/metrics.json || {
+            echo "metrics snapshot missing key: $key" >&2; exit 1; }
+    done
+    if command -v python3 > /dev/null; then
+        python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+            build-ci/metrics.json
+    fi
 fi
 
 if [ "$DO_TSAN" = 1 ]; then
@@ -47,6 +62,11 @@ if [ "$DO_TSAN" = 1 ]; then
     # race in the parallel runtime or the sharded RCA scans fails ctest.
     export TSAN_OPTIONS="halt_on_error=1"
     run_suite build-tsan
+    # Hammer the metrics registry explicitly under TSAN: 8 threads on
+    # shared counters/histograms plus concurrent registration.
+    echo "==== obs registry stress (TSAN) ===="
+    ./build-tsan/tests/test_obs \
+        --gtest_filter='ObsTest.ConcurrentRegistryStress'
 fi
 
 echo "CI OK"

@@ -1,17 +1,68 @@
 /**
  * @file
  * Implementation of the leveled logger.
+ *
+ * Emission is serialized behind a mutex so lines from pool workers
+ * never interleave mid-line, and every line is prefixed with the
+ * monotonic elapsed time since process start plus a compact thread id.
+ * The initial level honors the NAZAR_LOG_LEVEL environment variable
+ * (debug|info|warn|error|silent, mirroring NAZAR_THREADS's env-knob
+ * style); setLogLevel() still overrides it at runtime.
  */
 #include "logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
 
 namespace nazar {
 
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+/** Initial level: NAZAR_LOG_LEVEL if set and recognized, else Info. */
+LogLevel
+initialLevel()
+{
+    const char *env = std::getenv("NAZAR_LOG_LEVEL");
+    if (env == nullptr)
+        return LogLevel::kInfo;
+    if (std::strcmp(env, "debug") == 0)
+        return LogLevel::kDebug;
+    if (std::strcmp(env, "info") == 0)
+        return LogLevel::kInfo;
+    if (std::strcmp(env, "warn") == 0)
+        return LogLevel::kWarn;
+    if (std::strcmp(env, "error") == 0)
+        return LogLevel::kError;
+    if (std::strcmp(env, "silent") == 0)
+        return LogLevel::kSilent;
+    return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel> g_level{initialLevel()};
+
+/** Serializes emission so worker-thread lines never interleave. */
+std::mutex g_log_mutex;
+
+/** Process start, for the monotonic elapsed-seconds prefix. */
+const std::chrono::steady_clock::time_point g_start =
+    std::chrono::steady_clock::now();
+
+/**
+ * Compact per-thread id for the log prefix (0 = first logging thread).
+ * Local to the logger: common/ sits below obs/ in the layer stack, so
+ * it cannot reuse obs::detail::threadId().
+ */
+size_t
+logThreadId()
+{
+    static std::atomic<size_t> next{0};
+    thread_local size_t id = next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
 
 const char *
 levelName(LogLevel level)
@@ -44,7 +95,12 @@ logMessage(LogLevel level, const std::string &msg)
 {
     if (level < logLevel())
         return;
-    std::fprintf(stderr, "[nazar %s] %s\n", levelName(level), msg.c_str());
+    double elapsed = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - g_start)
+                         .count();
+    std::lock_guard<std::mutex> lk(g_log_mutex);
+    std::fprintf(stderr, "[nazar %9.3f t%zu %s] %s\n", elapsed,
+                 logThreadId(), levelName(level), msg.c_str());
 }
 
 } // namespace nazar

@@ -4,7 +4,10 @@
  *
  * Benchmarks and the end-to-end simulator use this to narrate progress;
  * library code logs sparingly at Info and below. The level is a global
- * knob so bench binaries can silence the library.
+ * knob so bench binaries can silence the library; its initial value can
+ * be set via NAZAR_LOG_LEVEL (debug|info|warn|error|silent). Lines are
+ * emitted atomically (a mutex serializes pool-worker output) with an
+ * elapsed-seconds + thread-id prefix.
  */
 #ifndef NAZAR_COMMON_LOGGING_H
 #define NAZAR_COMMON_LOGGING_H

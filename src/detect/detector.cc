@@ -4,14 +4,29 @@
  */
 #include "detector.h"
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace nazar::detect {
 
 std::vector<bool>
 Detector::detectBatch(const nn::Matrix &logits) const
 {
+    // Batch-level latency + row/flag counters; the per-sample
+    // detectors (msp/entropy/energy) additionally count their own
+    // samples inside isDrift.
+    NAZAR_SPAN("detect.batch");
+    static obs::Counter &rows =
+        obs::Registry::global().counter("detect.batch.rows");
+    static obs::Counter &flags =
+        obs::Registry::global().counter("detect.batch.flags");
+    rows.add(logits.rows());
     std::vector<bool> out(logits.rows());
-    for (size_t r = 0; r < logits.rows(); ++r)
+    for (size_t r = 0; r < logits.rows(); ++r) {
         out[r] = isDrift(logits.rowVec(r));
+        if (out[r])
+            flags.add(1);
+    }
     return out;
 }
 

@@ -6,6 +6,8 @@
 
 #include "common/error.h"
 #include "nn/loss.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace nazar::detect {
 
@@ -16,6 +18,28 @@ asRow(const std::vector<double> &logit_row)
 {
     return nn::Matrix::rowVector(logit_row);
 }
+
+/** Per-detector sample/flag counters (samples seen, drift flags raised). */
+struct DriftCounters
+{
+    obs::Counter &samples;
+    obs::Counter &flags;
+
+    DriftCounters(const char *samples_name, const char *flags_name)
+        : samples(obs::Registry::global().counter(samples_name)),
+          flags(obs::Registry::global().counter(flags_name))
+    {
+    }
+
+    bool
+    record(bool drift)
+    {
+        samples.add(1);
+        if (drift)
+            flags.add(1);
+        return drift;
+    }
+};
 
 } // namespace
 
@@ -28,7 +52,10 @@ MspDetector::MspDetector(double threshold) : threshold_(threshold)
 bool
 MspDetector::isDrift(const std::vector<double> &logit_row) const
 {
-    return score(logit_row) < threshold_;
+    NAZAR_SPAN("detect.msp.is_drift");
+    static DriftCounters counters("detect.msp.samples",
+                                  "detect.msp.flags");
+    return counters.record(score(logit_row) < threshold_);
 }
 
 double
@@ -52,7 +79,11 @@ EntropyDetector::EntropyDetector(double max_entropy)
 bool
 EntropyDetector::isDrift(const std::vector<double> &logit_row) const
 {
-    return nn::softmaxEntropy(asRow(logit_row))[0] > maxEntropy_;
+    NAZAR_SPAN("detect.entropy.is_drift");
+    static DriftCounters counters("detect.entropy.samples",
+                                  "detect.entropy.flags");
+    return counters.record(
+        nn::softmaxEntropy(asRow(logit_row))[0] > maxEntropy_);
 }
 
 double
@@ -74,7 +105,11 @@ EnergyDetector::EnergyDetector(double max_energy) : maxEnergy_(max_energy)
 bool
 EnergyDetector::isDrift(const std::vector<double> &logit_row) const
 {
-    return nn::energyScore(asRow(logit_row))[0] > maxEnergy_;
+    NAZAR_SPAN("detect.energy.is_drift");
+    static DriftCounters counters("detect.energy.samples",
+                                  "detect.energy.flags");
+    return counters.record(
+        nn::energyScore(asRow(logit_row))[0] > maxEnergy_);
 }
 
 double

@@ -4,6 +4,8 @@
  */
 #include "drift_log.h"
 
+#include "obs/metrics.h"
+
 namespace nazar::driftlog {
 
 namespace {
@@ -32,6 +34,9 @@ DriftLog::DriftLog() : table_(canonicalSchema())
 void
 DriftLog::add(const DriftLogEntry &entry)
 {
+    static obs::Counter &ingested =
+        obs::Registry::global().counter("driftlog.rows_ingested");
+    ingested.add(1);
     table_.append(Row{
         Value(static_cast<int64_t>(entry.time.dayIndex())),
         Value(entry.time.toDateTimeString()),

@@ -5,6 +5,7 @@
 #include "query.h"
 
 #include "common/error.h"
+#include "obs/span.h"
 
 namespace nazar::driftlog {
 
@@ -67,6 +68,7 @@ Query::rowMatches(size_t row, const std::vector<size_t> &cond_cols) const
 size_t
 Query::count() const
 {
+    NAZAR_SPAN("driftlog.query.count");
     auto cols = resolveConditionColumns();
     size_t n = 0;
     for (size_t r = 0; r < table_->rowCount(); ++r)
@@ -78,6 +80,7 @@ Query::count() const
 std::vector<size_t>
 Query::select() const
 {
+    NAZAR_SPAN("driftlog.query.select");
     auto cols = resolveConditionColumns();
     std::vector<size_t> out;
     for (size_t r = 0; r < table_->rowCount(); ++r)
@@ -89,6 +92,7 @@ Query::select() const
 std::map<Value, size_t>
 Query::groupByCount(const std::string &column) const
 {
+    NAZAR_SPAN("driftlog.query.group_by");
     size_t group_col = table_->schema().indexOf(column);
     auto cols = resolveConditionColumns();
     std::map<Value, size_t> out;
@@ -102,6 +106,7 @@ Query::groupByCount(const std::string &column) const
 std::map<std::vector<Value>, size_t>
 Query::groupByCount(const std::vector<std::string> &columns) const
 {
+    NAZAR_SPAN("driftlog.query.group_by");
     NAZAR_CHECK(!columns.empty(), "group by needs at least one column");
     std::vector<size_t> group_cols;
     group_cols.reserve(columns.size());

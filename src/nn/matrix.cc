@@ -9,6 +9,8 @@
 #include <ostream>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "runtime/thread_pool.h"
 
 namespace nazar::nn {
@@ -189,6 +191,10 @@ Matrix
 Matrix::matmul(const Matrix &other) const
 {
     NAZAR_CHECK(cols_ == other.rows_, "inner dimension mismatch in matmul");
+    NAZAR_SPAN("nn.matmul");
+    static obs::Counter &rows_processed =
+        obs::Registry::global().counter("nn.matmul.rows");
+    rows_processed.add(rows_);
     Matrix out(rows_, other.cols_);
     // Each output row is produced entirely by one thread with the same
     // k-ascending accumulation order, so the result is bit-identical
@@ -214,6 +220,7 @@ Matrix::transposeMatmul(const Matrix &other) const
     // (this^T * other): this is (n x a), other is (n x b), result (a x b).
     NAZAR_CHECK(rows_ == other.rows_,
                 "row-count mismatch in transposeMatmul");
+    NAZAR_SPAN("nn.transpose_matmul");
     Matrix out(cols_, other.cols_);
     // Partitioned over output rows i; each out(i, *) accumulates over
     // n in ascending order exactly as the serial n-outer loop did.
@@ -237,6 +244,7 @@ Matrix::matmulTranspose(const Matrix &other) const
     // (this * other^T): this is (n x k), other is (m x k), result (n x m).
     NAZAR_CHECK(cols_ == other.cols_,
                 "column-count mismatch in matmulTranspose");
+    NAZAR_SPAN("nn.matmul_transpose");
     Matrix out(rows_, other.rows_);
     forEachRow(rows_, other.rows_ * cols_, [&](size_t r) {
         const double *a = row(r);

@@ -5,6 +5,8 @@
 #include "sequential.h"
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace nazar::nn {
 
@@ -19,6 +21,10 @@ Sequential::add(std::unique_ptr<Layer> layer)
 Matrix
 Sequential::forward(const Matrix &x, Mode mode)
 {
+    NAZAR_SPAN("nn.forward");
+    static obs::Counter &rows =
+        obs::Registry::global().counter("nn.forward.rows");
+    rows.add(x.rows());
     Matrix h = x;
     for (auto &layer : layers_)
         h = layer->forward(h, mode);
@@ -28,6 +34,10 @@ Sequential::forward(const Matrix &x, Mode mode)
 Matrix
 Sequential::backward(const Matrix &grad_logits, Mode mode)
 {
+    NAZAR_SPAN("nn.backward");
+    static obs::Counter &rows =
+        obs::Registry::global().counter("nn.backward.rows");
+    rows.add(grad_logits.rows());
     Matrix g = grad_logits;
     for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
         g = (*it)->backward(g, mode);

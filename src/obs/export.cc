@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Implementation of the JSON and Prometheus exporters.
+ */
+#include "export.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+#include "obs/span.h"
+
+namespace nazar::obs {
+
+namespace {
+
+/** JSON string escaping (names are ASCII identifiers, but be safe). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Doubles as JSON numbers (JSON has no Infinity/NaN literals). */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+}
+
+/** `nazar_` prefix + [a-zA-Z0-9_] sanitization for Prometheus. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "nazar_";
+    for (char c : name)
+        out += std::isalnum(static_cast<unsigned char>(c))
+                   ? c
+                   : '_';
+    return out;
+}
+
+std::string
+promNumber(double v)
+{
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+void
+writeJson(const Snapshot &snap, std::ostream &os)
+{
+    os << "{\n";
+    os << "  \"uptime_seconds\": " << jsonNumber(snap.uptimeSeconds)
+       << ",\n";
+
+    os << "  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : snap.counters) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": " << value;
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n";
+
+    os << "  \"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : snap.gauges) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": " << jsonNumber(value);
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n";
+
+    os << "  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : snap.histograms) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": {\"count\": " << h.count
+           << ", \"sum\": " << jsonNumber(h.sum)
+           << ", \"mean\": " << jsonNumber(h.mean())
+           << ", \"buckets\": [";
+        for (size_t b = 0; b < h.buckets.size(); ++b) {
+            if (b > 0)
+                os << ", ";
+            os << "{\"le\": ";
+            if (b < h.bounds.size())
+                os << jsonNumber(h.bounds[b]);
+            else
+                os << "\"+Inf\"";
+            os << ", \"count\": " << h.buckets[b] << "}";
+        }
+        os << "]}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "}";
+
+    std::vector<TraceEvent> trace = traceEvents();
+    if (!trace.empty()) {
+        os << ",\n  \"trace_dropped\": " << traceDropped();
+        os << ",\n  \"trace\": [";
+        for (size_t i = 0; i < trace.size(); ++i) {
+            os << (i ? ",\n    " : "\n    ") << "{\"name\": \""
+               << jsonEscape(trace[i].name)
+               << "\", \"tid\": " << trace[i].threadId
+               << ", \"start\": " << jsonNumber(trace[i].startSeconds)
+               << ", \"dur\": " << jsonNumber(trace[i].durationSeconds)
+               << "}";
+        }
+        os << "\n  ]";
+    }
+    os << "\n}\n";
+}
+
+void
+writePrometheus(const Snapshot &snap, std::ostream &os)
+{
+    os << "# nazar self-monitoring snapshot (uptime "
+       << promNumber(snap.uptimeSeconds) << "s)\n";
+    for (const auto &[name, value] : snap.counters) {
+        std::string p = promName(name);
+        os << "# TYPE " << p << "_total counter\n";
+        os << p << "_total " << value << "\n";
+    }
+    for (const auto &[name, value] : snap.gauges) {
+        std::string p = promName(name);
+        os << "# TYPE " << p << " gauge\n";
+        os << p << " " << promNumber(value) << "\n";
+    }
+    for (const auto &[name, h] : snap.histograms) {
+        std::string p = promName(name);
+        os << "# TYPE " << p << " histogram\n";
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < h.buckets.size(); ++b) {
+            cumulative += h.buckets[b];
+            double le = b < h.bounds.size()
+                            ? h.bounds[b]
+                            : std::numeric_limits<double>::infinity();
+            os << p << "_bucket{le=\"" << promNumber(le) << "\"} "
+               << cumulative << "\n";
+        }
+        os << p << "_sum " << promNumber(h.sum) << "\n";
+        os << p << "_count " << h.count << "\n";
+    }
+}
+
+void
+writeMetricsFile(const std::string &path)
+{
+    std::ofstream out(path);
+    NAZAR_CHECK(out.good(), "cannot write metrics file: " + path);
+    Snapshot snap = Registry::global().snapshot();
+    bool prom = path.size() >= 5 &&
+                (path.rfind(".prom") == path.size() - 5 ||
+                 path.rfind(".txt") == path.size() - 4);
+    if (prom)
+        writePrometheus(snap, out);
+    else
+        writeJson(snap, out);
+    NAZAR_CHECK(out.good(), "error writing metrics file: " + path);
+}
+
+} // namespace nazar::obs

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Metric exporters: a JSON snapshot writer (machine-readable dump for
+ * benches, CI validation, and `nazar_ops stats`) and a Prometheus
+ * text-format dump (scrape-compatible for production monitoring).
+ */
+#ifndef NAZAR_OBS_EXPORT_H
+#define NAZAR_OBS_EXPORT_H
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace nazar::obs {
+
+/**
+ * Write the snapshot as a JSON object:
+ *
+ *   {
+ *     "uptime_seconds": 1.23,
+ *     "counters":   {"runtime.chunks.worker": 42, ...},
+ *     "gauges":     {"runtime.worker.0.busy_seconds": 0.8, ...},
+ *     "histograms": {
+ *       "rca.fim.mine": {"count": 3, "sum": 0.01, "mean": ...,
+ *                        "buckets": [{"le": 1e-06, "count": 0}, ...,
+ *                                    {"le": "+Inf", "count": 3}]},
+ *       ...
+ *     },
+ *     "trace": [{"name": ..., "tid": 0, "start": ..., "dur": ...}]
+ *   }
+ *
+ * The "trace" array is present only when the trace buffer holds
+ * events. Span histograms appear under their exact span name.
+ */
+void writeJson(const Snapshot &snap, std::ostream &os);
+
+/**
+ * Write the snapshot in Prometheus text exposition format. Metric
+ * names are prefixed with `nazar_` and sanitized (`.` and other
+ * non-identifier characters become `_`); counters get the `_total`
+ * suffix, histograms expand to `_bucket{le=...}` / `_sum` / `_count`.
+ */
+void writePrometheus(const Snapshot &snap, std::ostream &os);
+
+/**
+ * Snapshot the global registry and write it to @p path. The format is
+ * chosen by extension: `.prom` / `.txt` get Prometheus text, anything
+ * else JSON. Throws NazarError when the file cannot be written.
+ */
+void writeMetricsFile(const std::string &path);
+
+} // namespace nazar::obs
+
+#endif // NAZAR_OBS_EXPORT_H

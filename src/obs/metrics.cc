@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Implementation of the metrics registry.
+ */
+#include "metrics.h"
+
+#include <algorithm>
+
+namespace nazar::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+} // namespace
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+size_t
+threadId()
+{
+    static std::atomic<size_t> next{0};
+    thread_local size_t id = next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+void
+atomicAddDouble(std::atomic<double> &a, double x)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + x,
+                                    std::memory_order_relaxed,
+                                    std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace detail
+
+// ---- Counter --------------------------------------------------------
+
+uint64_t
+Counter::value() const
+{
+    uint64_t total = 0;
+    for (const auto &cell : cells_)
+        total += cell.v.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+Counter::reset()
+{
+    for (auto &cell : cells_)
+        cell.v.store(0, std::memory_order_relaxed);
+}
+
+// ---- Histogram ------------------------------------------------------
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)),
+      stripes_(detail::kStripes)
+{
+    std::sort(bounds_.begin(), bounds_.end());
+    for (auto &stripe : stripes_)
+        stripe.buckets =
+            std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+}
+
+size_t
+Histogram::bucketOf(double v) const
+{
+    // First bound >= v; the final bucket is the +Inf overflow.
+    return static_cast<size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+        bounds_.begin());
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    snap.bounds = bounds_;
+    snap.buckets.assign(bounds_.size() + 1, 0);
+    for (const auto &stripe : stripes_) {
+        for (size_t b = 0; b < stripe.buckets.size(); ++b)
+            snap.buckets[b] +=
+                stripe.buckets[b].load(std::memory_order_relaxed);
+        snap.sum += stripe.sum.load(std::memory_order_relaxed);
+    }
+    for (uint64_t c : snap.buckets)
+        snap.count += c;
+    return snap;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &stripe : stripes_) {
+        for (auto &b : stripe.buckets)
+            b.store(0, std::memory_order_relaxed);
+        stripe.sum.store(0.0, std::memory_order_relaxed);
+    }
+}
+
+const std::vector<double> &
+latencyBounds()
+{
+    static const std::vector<double> bounds = [] {
+        std::vector<double> b;
+        for (double decade = 1e-6; decade < 30.0; decade *= 10.0)
+            for (double step : {1.0, 2.5, 5.0})
+                b.push_back(decade * step);
+        b.push_back(30.0);
+        b.push_back(60.0);
+        return b;
+    }();
+    return bounds;
+}
+
+// ---- Registry -------------------------------------------------------
+
+Registry::Registry()
+    : epoch_(std::chrono::steady_clock::now().time_since_epoch().count())
+{
+}
+
+Registry &
+Registry::global()
+{
+    static Registry *registry = new Registry();
+    return *registry;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        it = counters_
+                 .emplace(name,
+                          std::unique_ptr<Counter>(new Counter(name)))
+                 .first;
+    return *it->second;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end())
+        it = gauges_
+                 .emplace(name, std::unique_ptr<Gauge>(new Gauge(name)))
+                 .first;
+    return *it->second;
+}
+
+Histogram &
+Registry::histogram(const std::string &name,
+                    const std::vector<double> &bounds)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_
+                 .emplace(name, std::unique_ptr<Histogram>(
+                                    new Histogram(name, bounds)))
+                 .first;
+    return *it->second;
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    Snapshot snap;
+    snap.uptimeSeconds = uptimeSeconds();
+    for (const auto &[name, c] : counters_)
+        snap.counters[name] = c->value();
+    for (const auto &[name, g] : gauges_)
+        snap.gauges[name] = g->value();
+    for (const auto &[name, h] : histograms_)
+        snap.histograms[name] = h->snapshot();
+    return snap;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+    epoch_.store(
+        std::chrono::steady_clock::now().time_since_epoch().count(),
+        std::memory_order_relaxed);
+}
+
+double
+Registry::uptimeSeconds() const
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch())
+        .count();
+}
+
+std::chrono::steady_clock::time_point
+Registry::epoch() const
+{
+    return std::chrono::steady_clock::time_point(
+        std::chrono::steady_clock::duration(
+            epoch_.load(std::memory_order_relaxed)));
+}
+
+} // namespace nazar::obs

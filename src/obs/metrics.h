@@ -1,0 +1,270 @@
+/**
+ * @file
+ * nazar::obs — the self-monitoring metrics layer.
+ *
+ * Nazar is a monitoring system; this registry lets it monitor itself:
+ * monotonic counters, gauges, and fixed-bucket histograms, collected
+ * from every hot layer (runtime, nn, detect, driftlog, rca, sim) and
+ * exported as JSON or Prometheus text (see obs/export.h).
+ *
+ * Design contract — observability is inert:
+ *
+ *  - Recording touches no RNG and no data path. Metrics-on and
+ *    metrics-off runs are bit-identical in every result, at every
+ *    NAZAR_THREADS setting (tests/test_obs.cc enforces this on a full
+ *    e2e run).
+ *  - The hot path is one relaxed atomic add into a per-thread stripe
+ *    (merge-on-read): counters and histogram buckets are sharded
+ *    across cache-line-padded slots indexed by a thread-local id, so
+ *    concurrent recorders never contend on a cache line in the common
+ *    case and never take a lock.
+ *  - Counter/histogram aggregation is order-independent (integer adds
+ *    commute), so the merged snapshot is the same no matter which
+ *    thread recorded what, or when the snapshot is taken relative to
+ *    in-flight adds.
+ *
+ * Metric handles are registered once (a mutex-guarded name lookup) and
+ * cached at the instrumentation site — typically in a function-local
+ * static — so steady-state recording never touches the registry map.
+ */
+#ifndef NAZAR_OBS_METRICS_H
+#define NAZAR_OBS_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nazar::obs {
+
+/**
+ * Global recording switch (default: on). When off, every record call
+ * is a single relaxed load and an early return; registration, handle
+ * lookup and snapshotting still work. Flipping the switch never
+ * changes any computation result — only whether telemetry is kept.
+ */
+bool enabled();
+void setEnabled(bool on);
+
+namespace detail {
+
+/** Stripes per metric; power of two, sized for typical pool widths. */
+inline constexpr size_t kStripes = 16;
+
+/** Compact per-thread id (assigned on first use, monotonically). */
+size_t threadId();
+
+/** The stripe the calling thread records into. */
+inline size_t
+stripeIndex()
+{
+    return threadId() & (kStripes - 1);
+}
+
+/** One cache-line-padded counter slot. */
+struct alignas(64) CounterCell
+{
+    std::atomic<uint64_t> v{0};
+};
+
+/** Relaxed add for atomic doubles (CAS loop; sums commute). */
+void atomicAddDouble(std::atomic<double> &a, double x);
+
+} // namespace detail
+
+/** Monotonic counter: per-thread-striped relaxed adds, summed on read. */
+class Counter
+{
+  public:
+    void
+    add(uint64_t n = 1)
+    {
+        if (!enabled())
+            return;
+        cells_[detail::stripeIndex()].v.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    /** Merge-on-read: sum of all stripes. */
+    uint64_t value() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    friend class Registry;
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+    void reset();
+
+    std::string name_;
+    std::array<detail::CounterCell, detail::kStripes> cells_;
+};
+
+/**
+ * Gauge: a last-write-wins double (set) that also supports relaxed
+ * accumulation (add) for "busy seconds" style meters. Gauges are
+ * low-frequency (per batch, not per row), so a single atomic cell is
+ * enough.
+ */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        if (!enabled())
+            return;
+        v_.store(v, std::memory_order_relaxed);
+    }
+
+    void
+    add(double v)
+    {
+        if (!enabled())
+            return;
+        detail::atomicAddDouble(v_, v);
+    }
+
+    double value() const { return v_.load(std::memory_order_relaxed); }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    friend class Registry;
+    explicit Gauge(std::string name) : name_(std::move(name)) {}
+    void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+    std::string name_;
+    std::atomic<double> v_{0.0};
+};
+
+/** Merged view of one histogram (see Histogram::snapshot). */
+struct HistogramSnapshot
+{
+    std::vector<double> bounds; ///< Upper bucket bounds (+Inf implicit).
+    std::vector<uint64_t> buckets; ///< bounds.size()+1 counts.
+    uint64_t count = 0;            ///< Total observations.
+    double sum = 0.0;              ///< Sum of observed values.
+
+    /** Mean observation (0 when empty). */
+    double
+    mean() const
+    {
+        return count ? sum / static_cast<double>(count) : 0.0;
+    }
+};
+
+/**
+ * Fixed-bucket histogram: bucket bounds are set at registration and
+ * never change; each observation is one relaxed add into the calling
+ * thread's stripe. Spans (obs/span.h) feed their durations here.
+ */
+class Histogram
+{
+  public:
+    void
+    observe(double v)
+    {
+        if (!enabled())
+            return;
+        Stripe &s = stripes_[detail::stripeIndex()];
+        s.buckets[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+        detail::atomicAddDouble(s.sum, v);
+    }
+
+    /** Merge-on-read across stripes. */
+    HistogramSnapshot snapshot() const;
+
+    const std::string &name() const { return name_; }
+    const std::vector<double> &bounds() const { return bounds_; }
+
+  private:
+    friend class Registry;
+    Histogram(std::string name, std::vector<double> bounds);
+    void reset();
+
+    size_t bucketOf(double v) const;
+
+    struct alignas(64) Stripe
+    {
+        std::vector<std::atomic<uint64_t>> buckets;
+        std::atomic<double> sum{0.0};
+    };
+
+    std::string name_;
+    std::vector<double> bounds_; ///< Sorted ascending; +Inf implicit.
+    std::vector<Stripe> stripes_;
+};
+
+/**
+ * Default span-latency bounds: 1-2.5-5 decades from 1 µs to 60 s —
+ * wide enough for a single matmul and a full cloud cycle alike.
+ */
+const std::vector<double> &latencyBounds();
+
+/** Point-in-time merged view of every registered metric. */
+struct Snapshot
+{
+    double uptimeSeconds = 0.0; ///< Since registry creation (or reset).
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/**
+ * The metric registry. Registration is mutex-guarded and idempotent
+ * (same name returns the same handle); handles have stable addresses
+ * for the registry's lifetime, so instrumentation sites cache them in
+ * function-local statics.
+ */
+class Registry
+{
+  public:
+    Registry();
+
+    /** The process-wide registry every NAZAR_SPAN / layer records to. */
+    static Registry &global();
+
+    /** Get-or-create. A histogram's bounds are fixed by the first
+     *  registration; later calls with different bounds get the
+     *  existing instance. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name,
+                         const std::vector<double> &bounds =
+                             latencyBounds());
+
+    /** Merge every metric into a consistent-enough point-in-time view
+     *  (concurrent relaxed adds may or may not be included; totals are
+     *  exact once recorders are quiescent). */
+    Snapshot snapshot() const;
+
+    /**
+     * Zero every registered metric and restart the uptime clock.
+     * Handles stay valid. Meant for test isolation and for tools that
+     * run several measured phases in one process — not for use while
+     * recorders are concurrently active.
+     */
+    void reset();
+
+    /** Seconds since construction or the last reset(). */
+    double uptimeSeconds() const;
+
+    /** Epoch the trace buffer timestamps are relative to. */
+    std::chrono::steady_clock::time_point epoch() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    std::atomic<std::chrono::steady_clock::time_point::rep> epoch_;
+};
+
+} // namespace nazar::obs
+
+#endif // NAZAR_OBS_METRICS_H

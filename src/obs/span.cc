@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Implementation of scoped spans and the trace buffer.
+ */
+#include "span.h"
+
+#include <mutex>
+
+namespace nazar::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing{false};
+
+std::mutex g_trace_mu;
+std::vector<TraceEvent> g_trace;
+size_t g_trace_dropped = 0;
+
+void
+appendTrace(const TraceEvent &ev)
+{
+    std::lock_guard<std::mutex> lk(g_trace_mu);
+    if (g_trace.size() >= kTraceCapacity) {
+        ++g_trace_dropped;
+        return;
+    }
+    g_trace.push_back(ev);
+}
+
+} // namespace
+
+double
+ScopedSpan::stop()
+{
+    if (site_ == nullptr)
+        return 0.0;
+    SpanSite *site = site_;
+    site_ = nullptr;
+    auto end = std::chrono::steady_clock::now();
+    double seconds =
+        std::chrono::duration<double>(end - start_).count();
+    if (enabled()) {
+        site->histogram().observe(seconds);
+        if (tracing()) {
+            TraceEvent ev;
+            ev.name = site->name();
+            ev.threadId = detail::threadId();
+            ev.startSeconds =
+                std::chrono::duration<double>(
+                    start_ - Registry::global().epoch())
+                    .count();
+            ev.durationSeconds = seconds;
+            appendTrace(ev);
+        }
+    }
+    return seconds;
+}
+
+void
+setTracing(bool on)
+{
+    g_tracing.store(on, std::memory_order_relaxed);
+}
+
+bool
+tracing()
+{
+    return g_tracing.load(std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent>
+traceEvents()
+{
+    std::lock_guard<std::mutex> lk(g_trace_mu);
+    return g_trace;
+}
+
+size_t
+traceDropped()
+{
+    std::lock_guard<std::mutex> lk(g_trace_mu);
+    return g_trace_dropped;
+}
+
+void
+clearTrace()
+{
+    std::lock_guard<std::mutex> lk(g_trace_mu);
+    g_trace.clear();
+    g_trace_dropped = 0;
+}
+
+} // namespace nazar::obs

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Scoped spans: RAII timers that feed a histogram named after the
+ * span plus an optional in-memory trace buffer.
+ *
+ * Usage at an instrumentation site:
+ *
+ *     void Analyzer::analyze(...) {
+ *         NAZAR_SPAN("rca.analyze");      // times the whole function
+ *         ...
+ *     }
+ *
+ * or, when the measured duration must also flow into a result field
+ * (e.g. CycleResult::rcaSeconds):
+ *
+ *     static obs::SpanSite site("sim.cloud.rca");
+ *     obs::ScopedSpan span(site);
+ *     ... work ...
+ *     result.rcaSeconds = span.stop();   // records AND returns seconds
+ *
+ * Span naming scheme: `<layer>.<operation>[.<stage>]` with the layer
+ * matching the source directory — runtime.*, nn.*, detect.*,
+ * driftlog.*, rca.*, sim.*. The span's histogram appears under that
+ * exact name in the JSON snapshot.
+ *
+ * Spans always measure (two steady_clock reads) so stop() can report
+ * wall time even with metrics disabled; recording into the histogram
+ * and the trace buffer is gated on obs::enabled() / obs::tracing().
+ * Like all of obs, spans are inert: no RNG, no data-path effect.
+ */
+#ifndef NAZAR_OBS_SPAN_H
+#define NAZAR_OBS_SPAN_H
+
+#include <chrono>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace nazar::obs {
+
+/**
+ * One span name's registered identity: the histogram durations feed.
+ * Construct once per site (function-local static) — construction does
+ * the registry lookup, so steady-state spans never touch the map.
+ */
+class SpanSite
+{
+  public:
+    explicit SpanSite(const char *name)
+        : name_(name), hist_(Registry::global().histogram(name))
+    {
+    }
+
+    const char *name() const { return name_; }
+    Histogram &histogram() { return hist_; }
+
+  private:
+    const char *name_;
+    Histogram &hist_;
+};
+
+/**
+ * RAII timer for one execution of a span. Records on destruction
+ * unless stop() was called first.
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(SpanSite &site)
+        : site_(&site), start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    ~ScopedSpan()
+    {
+        if (site_ != nullptr)
+            stop();
+    }
+
+    /** End the span now: record the duration, return elapsed seconds.
+     *  Idempotent (later calls return 0 without recording). */
+    double stop();
+
+  private:
+    SpanSite *site_; ///< Null once stopped.
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Time the rest of the enclosing scope under the given span name. */
+#define NAZAR_SPAN(name)                                                \
+    static ::nazar::obs::SpanSite NAZAR_SPAN_PASTE_(                    \
+        nazar_span_site_, __LINE__)(name);                              \
+    ::nazar::obs::ScopedSpan NAZAR_SPAN_PASTE_(nazar_span_,             \
+                                               __LINE__)(              \
+        NAZAR_SPAN_PASTE_(nazar_span_site_, __LINE__))
+
+/**
+ * Like NAZAR_SPAN but names the ScopedSpan `var` so a mid-scope
+ * `var.stop()` can end the span (and read its seconds) early.
+ */
+#define NAZAR_SPAN_BEGIN(var, name)                                     \
+    static ::nazar::obs::SpanSite NAZAR_SPAN_PASTE_(                    \
+        nazar_span_site_, __LINE__)(name);                              \
+    ::nazar::obs::ScopedSpan var(                                       \
+        NAZAR_SPAN_PASTE_(nazar_span_site_, __LINE__))
+
+#define NAZAR_SPAN_PASTE_(a, b) NAZAR_SPAN_PASTE2_(a, b)
+#define NAZAR_SPAN_PASTE2_(a, b) a##b
+
+// ---- Trace buffer ---------------------------------------------------
+
+/** One completed span occurrence in the trace buffer. */
+struct TraceEvent
+{
+    const char *name;    ///< Span name (static storage at the site).
+    size_t threadId;     ///< obs::detail::threadId() of the recorder.
+    double startSeconds; ///< Start, relative to the registry epoch.
+    double durationSeconds;
+};
+
+/**
+ * Toggle the in-memory trace buffer (default: off). When on, every
+ * finished span appends one TraceEvent; the buffer is bounded
+ * (kTraceCapacity) and drops new events once full, counting drops.
+ */
+void setTracing(bool on);
+bool tracing();
+
+/** Bounded trace capacity. */
+inline constexpr size_t kTraceCapacity = 8192;
+
+/** Copy of the buffered events, in completion order. */
+std::vector<TraceEvent> traceEvents();
+
+/** Events dropped since the last clearTrace(). */
+size_t traceDropped();
+
+/** Empty the buffer and zero the drop counter. */
+void clearTrace();
+
+} // namespace nazar::obs
+
+#endif // NAZAR_OBS_SPAN_H

@@ -5,6 +5,8 @@
 #include "analyzer.h"
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace nazar::rca {
 
@@ -28,6 +30,9 @@ Analyzer::Analyzer(RcaConfig config) : config_(std::move(config))
 AnalysisResult
 Analyzer::analyze(const driftlog::Table &table, AnalysisMode mode) const
 {
+    NAZAR_SPAN("rca.analyze");
+    static obs::Counter &accepted =
+        obs::Registry::global().counter("rca.causes_accepted");
     AnalysisResult result;
     if (table.rowCount() == 0)
         return result;
@@ -43,6 +48,7 @@ Analyzer::analyze(const driftlog::Table &table, AnalysisMode mode) const
 
     if (mode == AnalysisMode::kFimOnly) {
         result.rootCauses = std::move(passing);
+        accepted.add(result.rootCauses.size());
         return result;
     }
 
@@ -51,6 +57,7 @@ Analyzer::analyze(const driftlog::Table &table, AnalysisMode mode) const
     if (mode == AnalysisMode::kFimSetReduction) {
         for (const auto &assoc : result.associations)
             result.rootCauses.push_back(assoc.key);
+        accepted.add(result.rootCauses.size());
         return result;
     }
 
@@ -88,6 +95,7 @@ Analyzer::analyze(const driftlog::Table &table, AnalysisMode mode) const
         }
     };
 
+    NAZAR_SPAN("rca.walk");
     for (const auto &assoc : result.associations) {
         CauseMetrics current =
             computeMetrics(table, flags, assoc.key.attrs);
@@ -112,6 +120,7 @@ Analyzer::analyze(const driftlog::Table &table, AnalysisMode mode) const
             }
         }
     }
+    accepted.add(result.rootCauses.size());
     return result;
 }
 

@@ -10,6 +10,7 @@
 #include <map>
 
 #include "common/error.h"
+#include "obs/span.h"
 #include "runtime/thread_pool.h"
 
 namespace nazar::rca {
@@ -97,6 +98,7 @@ computeMetrics(const driftlog::Table &table,
                const std::vector<bool> &drift_flags,
                const AttributeSet &attrs)
 {
+    NAZAR_SPAN("rca.metrics");
     NAZAR_CHECK(drift_flags.size() == table.rowCount(),
                 "drift-flag vector must cover the table");
 
@@ -196,6 +198,7 @@ Fim::mine() const
 std::vector<RankedCause>
 Fim::mine(const std::vector<bool> &drift_flags) const
 {
+    NAZAR_SPAN("rca.fim.mine");
     NAZAR_CHECK(drift_flags.size() == table_.rowCount(),
                 "drift-flag vector must cover the table");
     const size_t n = table_.rowCount();
@@ -218,6 +221,7 @@ Fim::mine(const std::vector<bool> &drift_flags) const
         std::map<driftlog::Value, std::pair<size_t, size_t>>;
     std::vector<Attribute> frequent_singles;
     std::vector<AttributeSet> frequent_prev;
+    NAZAR_SPAN_BEGIN(level1_span, "rca.fim.level1");
     for (const auto &col_name : config_.attributeColumns) {
         const auto &col = table_.column(col_name);
         ValueCounts counts = rowReduce<ValueCounts>(
@@ -252,8 +256,10 @@ Fim::mine(const std::vector<bool> &drift_flags) const
         }
     }
     std::sort(frequent_singles.begin(), frequent_singles.end());
+    level1_span.stop();
 
     // ---- Levels 2..maxAttributes ------------------------------------
+    NAZAR_SPAN_BEGIN(levelk_span, "rca.fim.levelk");
     for (size_t level = 2;
          level <= config_.maxAttributes && !frequent_prev.empty();
          ++level) {
@@ -339,6 +345,7 @@ Fim::mine(const std::vector<bool> &drift_flags) const
         }
         frequent_prev = std::move(frequent_now);
     }
+    levelk_span.stop();
 
     std::sort(results.begin(), results.end(), rankBefore);
     return results;

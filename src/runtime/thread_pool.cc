@@ -4,13 +4,55 @@
  */
 #include "thread_pool.h"
 
+#include <chrono>
 #include <cstdlib>
+#include <string>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace nazar::runtime {
 
 namespace {
+
+/**
+ * Cached handles for the pool's self-monitoring. Recording is inert
+ * (relaxed striped adds, no lock, no effect on chunk layout or
+ * scheduling), so the determinism contract is untouched.
+ */
+struct PoolMetrics
+{
+    obs::Counter &batches;        ///< Pooled top-level batches.
+    obs::Counter &batchesInline;  ///< Batches run entirely inline.
+    obs::Counter &chunksWorker;   ///< Chunks executed by pool workers.
+    obs::Counter &chunksCaller;   ///< Chunks executed by the caller.
+    obs::Counter &chunksInline;   ///< Chunks on the inline path.
+    obs::Histogram &batchSeconds; ///< Wall time per pooled batch.
+    obs::Gauge &callerBusy;       ///< Cumulative caller chunk-run time.
+
+    static PoolMetrics &
+    get()
+    {
+        static PoolMetrics *m = new PoolMetrics{
+            obs::Registry::global().counter("runtime.batches"),
+            obs::Registry::global().counter("runtime.batches.inline"),
+            obs::Registry::global().counter("runtime.chunks.worker"),
+            obs::Registry::global().counter("runtime.chunks.caller"),
+            obs::Registry::global().counter("runtime.chunks.inline"),
+            obs::Registry::global().histogram("runtime.batch.seconds"),
+            obs::Registry::global().gauge(
+                "runtime.caller.busy_seconds"),
+        };
+        return *m;
+    }
+};
+
+double
+secondsBetween(std::chrono::steady_clock::time_point t0,
+               std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
 
 /**
  * True while the current thread is executing chunks of a batch
@@ -48,7 +90,7 @@ ThreadPool::ThreadPool(size_t threads)
         threads = 1;
     workers_.reserve(threads - 1);
     for (size_t i = 0; i + 1 < threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -86,8 +128,14 @@ ThreadPool::retire()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(size_t index)
 {
+    // Per-worker utilization meter: cumulative seconds this worker
+    // spent running chunks. Compared against the process uptime in a
+    // snapshot, it answers whether the one-batch-at-a-time design
+    // starves the workers.
+    obs::Gauge &busy = obs::Registry::global().gauge(
+        "runtime.worker." + std::to_string(index) + ".busy_seconds");
     uint64_t seen = 0;
     for (;;) {
         {
@@ -102,7 +150,11 @@ ThreadPool::workerLoop()
         }
         {
             RegionGuard guard;
-            runChunks();
+            auto t0 = std::chrono::steady_clock::now();
+            size_t executed = runChunks();
+            busy.add(secondsBetween(t0,
+                                    std::chrono::steady_clock::now()));
+            PoolMetrics::get().chunksWorker.add(executed);
         }
         {
             std::lock_guard<std::mutex> lk(mu_);
@@ -112,13 +164,15 @@ ThreadPool::workerLoop()
     }
 }
 
-void
+size_t
 ThreadPool::runChunks()
 {
+    size_t executed = 0;
     for (;;) {
         size_t i = nextChunk_.fetch_add(1, std::memory_order_acq_rel);
         if (i >= chunkTotal_)
-            return;
+            return executed;
+        ++executed;
         size_t chunk_begin = begin_ + i * grain_;
         size_t chunk_end = std::min(end_, chunk_begin + grain_);
         try {
@@ -150,6 +204,9 @@ ThreadPool::runInline(size_t begin, size_t end, size_t grain,
         size_t chunk_end = std::min(end, chunk_begin + grain);
         body(chunk_begin, chunk_end);
     }
+    PoolMetrics &pm = PoolMetrics::get();
+    pm.batchesInline.add(1);
+    pm.chunksInline.add(chunks);
 }
 
 void
@@ -191,9 +248,15 @@ ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
         ++generation_;
     }
     wake_.notify_all();
+    auto batch_t0 = std::chrono::steady_clock::now();
     {
         RegionGuard guard;
-        runChunks();
+        auto t0 = batch_t0;
+        size_t executed = runChunks();
+        PoolMetrics &pm = PoolMetrics::get();
+        pm.callerBusy.add(
+            secondsBetween(t0, std::chrono::steady_clock::now()));
+        pm.chunksCaller.add(executed);
     }
     {
         std::unique_lock<std::mutex> lk(mu_);
@@ -209,6 +272,12 @@ ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
                        chunkTotal_;
         });
         body_ = nullptr;
+    }
+    {
+        PoolMetrics &pm = PoolMetrics::get();
+        pm.batches.add(1);
+        pm.batchSeconds.observe(
+            secondsBetween(batch_t0, std::chrono::steady_clock::now()));
     }
     if (firstError_) {
         std::exception_ptr err = firstError_;

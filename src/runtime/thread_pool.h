@@ -120,8 +120,9 @@ class ThreadPool
     }
 
   private:
-    void workerLoop();
-    void runChunks();
+    void workerLoop(size_t index);
+    /** Claim and run chunks until drained; returns chunks executed. */
+    size_t runChunks();
     void runInline(size_t begin, size_t end, size_t grain, size_t chunks,
                    const std::function<void(size_t, size_t)> &body);
     void stopWorkers();

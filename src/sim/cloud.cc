@@ -4,25 +4,13 @@
  */
 #include "cloud.h"
 
-#include <chrono>
-
 #include "common/error.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "runtime/thread_pool.h"
 
 namespace nazar::sim {
-
-namespace {
-
-double
-secondsSince(std::chrono::steady_clock::time_point start)
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - start)
-        .count();
-}
-
-} // namespace
 
 Cloud::Cloud(CloudConfig config, const nn::Classifier &base)
     : config_(std::move(config)), base_(base)
@@ -36,6 +24,13 @@ void
 Cloud::ingest(const driftlog::DriftLogEntry &entry,
               std::optional<Upload> upload)
 {
+    static obs::Counter &rows =
+        obs::Registry::global().counter("sim.ingest.rows");
+    static obs::Counter &uploads =
+        obs::Registry::global().counter("sim.uploads");
+    rows.add(1);
+    if (upload.has_value())
+        uploads.add(1);
     std::lock_guard<std::mutex> lk(ingestMutex_);
     driftLog_.add(entry);
     ++totalIngested_;
@@ -92,15 +87,19 @@ Cloud::flush()
 CycleResult
 Cloud::runCycle(const nn::BnPatch &clean_patch)
 {
+    NAZAR_SPAN("sim.cloud.cycle");
     CycleResult result;
     ++logicalTime_;
 
     // ---- Root-cause analysis stage ----------------------------------
-    auto rca_start = std::chrono::steady_clock::now();
+    // The span both feeds the sim.cloud.rca histogram and reports the
+    // stage's wall time for CycleResult (so benches keep their numbers
+    // even with metrics disabled).
+    NAZAR_SPAN_BEGIN(rca_span, "sim.cloud.rca");
     rca::Analyzer analyzer(config_.rca);
     result.analysis =
         analyzer.analyze(driftLog_.table(), config_.analysisMode);
-    result.rcaSeconds = secondsSince(rca_start);
+    result.rcaSeconds = rca_span.stop();
 
     const auto &causes = result.analysis.rootCauses;
     logInfo() << "cloud cycle " << logicalTime_ << ": "
@@ -108,7 +107,7 @@ Cloud::runCycle(const nn::BnPatch &clean_patch)
               << " uploads, " << causes.size() << " root causes";
 
     // ---- By-cause adaptation stage -----------------------------------
-    auto adapt_start = std::chrono::steady_clock::now();
+    NAZAR_SPAN_BEGIN(adapt_span, "sim.cloud.adapt");
     adapt::TentAdapter tent(config_.adapt);
 
     // Select the causes to adapt sequentially (cheap, and keeps the
@@ -170,7 +169,7 @@ Cloud::runCycle(const nn::BnPatch &clean_patch)
     }
     if (jobs.size() > cause_jobs)
         result.newCleanPatch = std::move(patches.back());
-    result.adaptSeconds = secondsSince(adapt_start);
+    result.adaptSeconds = adapt_span.stop();
 
     // Archive this cycle's evidence.
     driftLog_.clear();

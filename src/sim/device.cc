@@ -6,6 +6,7 @@
 
 #include "data/apps.h"
 #include "nn/loss.h"
+#include "obs/metrics.h"
 
 namespace nazar::sim {
 
@@ -35,6 +36,9 @@ Device::infer(const data::StreamEvent &event, nn::Classifier &scratch,
               const nn::BnPatch &clean_patch,
               const detect::MspDetector &detector) const
 {
+    static obs::Counter &inferences =
+        obs::Registry::global().counter("sim.inferences");
+    inferences.add(1);
     const deploy::ModelVersion *version =
         deploy::selectVersion(pool_, contextFor(event));
     if (version != nullptr)

@@ -5,11 +5,11 @@
 #include "runner.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "common/error.h"
 #include "common/logging.h"
 #include "common/stats.h"
+#include "obs/span.h"
 #include "runtime/thread_pool.h"
 
 namespace nazar::sim {
@@ -228,6 +228,7 @@ Runner::run()
     Rng sample_rng = rng.fork();
     size_t next_event = 0;
     for (const auto &window : windows) {
+        NAZAR_SPAN("sim.window");
         WindowMetrics wm;
         wm.window = window.index;
 
@@ -349,16 +350,13 @@ Runner::run()
             data::Dataset all = cloud.allUploads();
             cloud.flush();
             if (all.size() >= cloud_config.minAdaptSamples) {
-                auto t0 = std::chrono::steady_clock::now();
+                NAZAR_SPAN_BEGIN(adapt_span, "sim.adapt_all");
                 adapt::TentAdapter tent(cloud_config.adapt);
                 nn::Classifier model = base_->clone();
                 model.applyBnPatch(global_patch);
                 tent.adapt(model, all.x);
                 global_patch = model.bnPatch();
-                result.totalAdaptSeconds +=
-                    std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count();
+                result.totalAdaptSeconds += adapt_span.stop();
             }
             break;
           }

@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Tests for nazar::obs — the metrics registry, spans, exporters, and
+ * the inertness contract: recording must never change computation
+ * results, at any thread count.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "data/apps.h"
+#include "data/stream.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "runtime/thread_pool.h"
+#include "sim/runner.h"
+
+namespace nazar::obs {
+namespace {
+
+/** Fresh registry state per test (handles stay valid). */
+struct ObsTest : ::testing::Test
+{
+    ObsTest()
+    {
+        setEnabled(true);
+        setTracing(false);
+        clearTrace();
+        Registry::global().reset();
+    }
+    ~ObsTest() override
+    {
+        setEnabled(true);
+        setTracing(false);
+        clearTrace();
+        Registry::global().reset();
+    }
+};
+
+TEST_F(ObsTest, CounterAddsAndRegistrationIsIdempotent)
+{
+    Counter &c = Registry::global().counter("test.counter");
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    EXPECT_EQ(&Registry::global().counter("test.counter"), &c);
+}
+
+TEST_F(ObsTest, GaugeSetAndAdd)
+{
+    Gauge &g = Registry::global().gauge("test.gauge");
+    g.set(2.5);
+    EXPECT_DOUBLE_EQ(g.value(), 2.5);
+    g.add(1.5);
+    EXPECT_DOUBLE_EQ(g.value(), 4.0);
+}
+
+TEST_F(ObsTest, HistogramBucketsAndSum)
+{
+    Histogram &h = Registry::global().histogram(
+        "test.hist", std::vector<double>{1.0, 10.0});
+    h.observe(0.5);  // bucket 0 (<= 1)
+    h.observe(5.0);  // bucket 1 (<= 10)
+    h.observe(50.0); // bucket 2 (+Inf)
+    HistogramSnapshot s = h.snapshot();
+    ASSERT_EQ(s.buckets.size(), 3u);
+    EXPECT_EQ(s.buckets[0], 1u);
+    EXPECT_EQ(s.buckets[1], 1u);
+    EXPECT_EQ(s.buckets[2], 1u);
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_DOUBLE_EQ(s.sum, 55.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 18.5);
+}
+
+TEST_F(ObsTest, DisabledRecordingIsDropped)
+{
+    Counter &c = Registry::global().counter("test.disabled");
+    Histogram &h = Registry::global().histogram("test.disabled.h");
+    setEnabled(false);
+    c.add(7);
+    h.observe(1.0);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(h.snapshot().count, 0u);
+    setEnabled(true);
+    c.add(7);
+    EXPECT_EQ(c.value(), 7u);
+}
+
+TEST_F(ObsTest, ResetZeroesButKeepsHandles)
+{
+    Counter &c = Registry::global().counter("test.reset");
+    c.add(9);
+    Registry::global().reset();
+    EXPECT_EQ(c.value(), 0u);
+    c.add(1);
+    EXPECT_EQ(Registry::global().counter("test.reset").value(), 1u);
+}
+
+// ---- Concurrency: the registry must be exact and TSAN-clean ---------
+
+TEST_F(ObsTest, ConcurrentRegistryStress)
+{
+    constexpr size_t kThreads = 8;
+    constexpr size_t kIters = 20000;
+    Counter &c = Registry::global().counter("stress.counter");
+    Gauge &g = Registry::global().gauge("stress.gauge");
+    Histogram &h = Registry::global().histogram(
+        "stress.hist", std::vector<double>{0.25, 0.5, 0.75});
+
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (size_t i = 0; i < kIters; ++i) {
+                c.add(1);
+                g.add(1.0);
+                h.observe(static_cast<double>((t + i) % 4) * 0.25);
+                // Concurrent same-name registration must be safe too.
+                Registry::global().counter("stress.shared").add(1);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(c.value(), kThreads * kIters);
+    EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kThreads * kIters));
+    EXPECT_EQ(Registry::global().counter("stress.shared").value(),
+              kThreads * kIters);
+    HistogramSnapshot s = h.snapshot();
+    EXPECT_EQ(s.count, kThreads * kIters);
+    uint64_t bucket_total = 0;
+    for (uint64_t b : s.buckets)
+        bucket_total += b;
+    EXPECT_EQ(bucket_total, s.count);
+}
+
+// ---- Spans ----------------------------------------------------------
+
+TEST_F(ObsTest, SpanFeedsItsHistogram)
+{
+    {
+        NAZAR_SPAN("test.span");
+    }
+    EXPECT_EQ(Registry::global()
+                  .histogram("test.span")
+                  .snapshot()
+                  .count,
+              1u);
+}
+
+TEST_F(ObsTest, SpanStopReturnsSecondsAndIsIdempotent)
+{
+    static SpanSite site("test.span.stop");
+    ScopedSpan span(site);
+    double seconds = span.stop();
+    EXPECT_GE(seconds, 0.0);
+    EXPECT_EQ(span.stop(), 0.0); // second stop: no-op
+    EXPECT_EQ(site.histogram().snapshot().count, 1u);
+}
+
+TEST_F(ObsTest, SpanMeasuresEvenWhenDisabled)
+{
+    setEnabled(false);
+    static SpanSite site("test.span.disabled");
+    ScopedSpan span(site);
+    // stop() must still report wall time (CycleResult::rcaSeconds
+    // depends on it) while recording nothing.
+    EXPECT_GE(span.stop(), 0.0);
+    EXPECT_EQ(site.histogram().snapshot().count, 0u);
+}
+
+TEST_F(ObsTest, TraceBufferCapturesSpans)
+{
+    setTracing(true);
+    {
+        NAZAR_SPAN("test.trace");
+    }
+    std::vector<TraceEvent> events = traceEvents();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_STREQ(events[0].name, "test.trace");
+    EXPECT_GE(events[0].durationSeconds, 0.0);
+    clearTrace();
+    EXPECT_TRUE(traceEvents().empty());
+}
+
+// ---- Exporters ------------------------------------------------------
+
+TEST_F(ObsTest, JsonExportContainsRegisteredMetrics)
+{
+    Registry::global().counter("json.counter").add(3);
+    Registry::global().gauge("json.gauge").set(1.5);
+    Registry::global().histogram("json.hist").observe(0.01);
+    std::ostringstream os;
+    writeJson(Registry::global().snapshot(), os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("\"json.counter\": 3"), std::string::npos);
+    EXPECT_NE(out.find("\"json.gauge\": 1.5"), std::string::npos);
+    EXPECT_NE(out.find("\"json.hist\""), std::string::npos);
+    EXPECT_NE(out.find("\"+Inf\""), std::string::npos);
+    // Structurally balanced (cheap well-formedness check).
+    EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+              std::count(out.begin(), out.end(), '}'));
+    EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+              std::count(out.begin(), out.end(), ']'));
+}
+
+TEST_F(ObsTest, PrometheusExportUsesExpositionFormat)
+{
+    Registry::global().counter("prom.counter").add(2);
+    Registry::global()
+        .histogram("prom.hist", std::vector<double>{1.0})
+        .observe(0.5);
+    std::ostringstream os;
+    writePrometheus(Registry::global().snapshot(), os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("nazar_prom_counter_total 2"), std::string::npos);
+    EXPECT_NE(out.find("# TYPE nazar_prom_hist histogram"),
+              std::string::npos);
+    EXPECT_NE(out.find("nazar_prom_hist_bucket{le=\"1\"} 1"),
+              std::string::npos);
+    EXPECT_NE(out.find("nazar_prom_hist_bucket{le=\"+Inf\"} 1"),
+              std::string::npos);
+    EXPECT_NE(out.find("nazar_prom_hist_count 1"), std::string::npos);
+}
+
+// ---- Inertness: e2e results identical with metrics on/off × threads -
+
+/** Tiny but non-trivial fleet run exercising the full Nazar loop. */
+sim::RunResult
+runTinyFleet()
+{
+    data::AppSpec app = data::makeAnimalsApp(13, 8);
+    data::WeatherModel weather(app.locations, 21, 2020);
+    sim::RunnerConfig config;
+    config.arch = nn::Architecture::kResNet18;
+    config.strategy = sim::Strategy::kNazar;
+    config.windows = 3;
+    config.workload.days = 21;
+    config.workload.devicesPerLocation = 3;
+    config.workload.imagesPerDevicePerDay = 3.0;
+    config.train.epochs = 20;
+    config.cloud.minAdaptSamples = 16;
+    config.uploadSampleRate = 0.5;
+    config.seed = 17;
+    sim::Runner runner(app, weather, config);
+    return runner.run();
+}
+
+/** Bit-exact comparison of everything except wall-clock timings. */
+void
+expectIdenticalResults(const sim::RunResult &a, const sim::RunResult &b)
+{
+    EXPECT_EQ(a.baseCleanAccuracy, b.baseCleanAccuracy);
+    ASSERT_EQ(a.windows.size(), b.windows.size());
+    for (size_t i = 0; i < a.windows.size(); ++i) {
+        const auto &wa = a.windows[i];
+        const auto &wb = b.windows[i];
+        EXPECT_EQ(wa.events, wb.events) << "window " << i;
+        EXPECT_EQ(wa.correctAll, wb.correctAll) << "window " << i;
+        EXPECT_EQ(wa.correctDrifted, wb.correctDrifted)
+            << "window " << i;
+        EXPECT_EQ(wa.flagged, wb.flagged) << "window " << i;
+        EXPECT_EQ(wa.rootCauses, wb.rootCauses) << "window " << i;
+        EXPECT_EQ(wa.newVersions, wb.newVersions) << "window " << i;
+        EXPECT_EQ(wa.poolSize, wb.poolSize) << "window " << i;
+    }
+}
+
+struct ObsDeterminism : ObsTest
+{
+    ObsDeterminism() { setLogLevel(LogLevel::kSilent); }
+    ~ObsDeterminism() override
+    {
+        runtime::setThreads(0);
+        setLogLevel(LogLevel::kInfo);
+    }
+};
+
+TEST_F(ObsDeterminism, MetricsOnOffBitIdenticalAcrossThreadCounts)
+{
+    runtime::setThreads(1);
+    setEnabled(true);
+    sim::RunResult on1 = runTinyFleet();
+    setEnabled(false);
+    sim::RunResult off1 = runTinyFleet();
+    runtime::setThreads(4);
+    setEnabled(true);
+    sim::RunResult on4 = runTinyFleet();
+    setEnabled(false);
+    sim::RunResult off4 = runTinyFleet();
+    setEnabled(true);
+
+    expectIdenticalResults(on1, off1);
+    expectIdenticalResults(on1, on4);
+    expectIdenticalResults(on1, off4);
+}
+
+TEST_F(ObsDeterminism, E2eSnapshotCoversEveryInstrumentedLayer)
+{
+    runtime::setThreads(2);
+    setEnabled(true);
+    Registry::global().reset();
+    runTinyFleet();
+    Snapshot snap = Registry::global().snapshot();
+
+    // Spans from every layer of the loop. (The driftlog layer shows
+    // up as its ingest counter below: the cloud cycle hands the raw
+    // table to RCA without going through Query.)
+    for (const char *span : {"nn.forward", "nn.matmul",
+                             "detect.msp.is_drift", "rca.fim.mine",
+                             "rca.analyze", "sim.cloud.rca",
+                             "sim.cloud.adapt", "sim.window"}) {
+        auto it = snap.histograms.find(span);
+        ASSERT_NE(it, snap.histograms.end()) << span;
+        EXPECT_GT(it->second.count, 0u) << span;
+    }
+    // Counters, including the runtime pool's.
+    for (const char *counter :
+         {"runtime.batches", "nn.forward.rows", "detect.msp.samples",
+          "driftlog.rows_ingested", "rca.causes_accepted",
+          "sim.inferences", "sim.ingest.rows", "sim.uploads"}) {
+        auto it = snap.counters.find(counter);
+        ASSERT_NE(it, snap.counters.end()) << counter;
+    }
+    // With 2 threads the pool ran real batches.
+    EXPECT_GT(snap.counters.at("runtime.batches"), 0u);
+    EXPECT_GT(snap.counters.at("sim.inferences"), 0u);
+}
+
+} // namespace
+} // namespace nazar::obs

@@ -16,19 +16,36 @@
  *       Run a SQL query against the log (table name: drift_log),
  *       e.g. "SELECT weather, COUNT(*) FROM drift_log WHERE drift =
  *       true GROUP BY weather ORDER BY COUNT(*) DESC".
+ *
+ *   nazar_ops stats <log.csv> [fim|sr|full] [--metrics-out=<path>]
+ *       Run root-cause analysis with self-monitoring on and print the
+ *       recorded span/counter table (per-stage latencies, rows
+ *       scanned); optionally write the full snapshot to a file (JSON,
+ *       or Prometheus text for .prom/.txt).
+ *
+ *   nazar_ops sim [windows] [--metrics-out=<path>]
+ *       Run a tiny end-to-end fleet simulation (animals app, Nazar
+ *       strategy) and report per-window accuracy plus the obs
+ *       snapshot covering every instrumented layer.
  */
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/error.h"
 #include "common/rng.h"
 #include "common/table_printer.h"
+#include "data/apps.h"
+#include "data/stream.h"
 #include "driftlog/csv.h"
 #include "driftlog/drift_log.h"
 #include "driftlog/sql.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "rca/analyzer.h"
+#include "sim/runner.h"
 
 using namespace nazar;
 
@@ -37,11 +54,15 @@ namespace {
 int
 usage()
 {
-    std::fprintf(stderr,
-                 "usage:\n"
-                 "  nazar_ops gen-log <out.csv> [rows] [seed]\n"
-                 "  nazar_ops analyze <log.csv> [fim|sr|full]\n"
-                 "  nazar_ops sql <log.csv> \"<query>\"\n");
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  nazar_ops gen-log <out.csv> [rows] [seed]\n"
+        "  nazar_ops analyze <log.csv> [fim|sr|full]\n"
+        "  nazar_ops sql <log.csv> \"<query>\"\n"
+        "  nazar_ops stats <log.csv> [fim|sr|full] "
+        "[--metrics-out=<path>]\n"
+        "  nazar_ops sim [windows] [--metrics-out=<path>]\n");
     return 2;
 }
 
@@ -150,26 +171,143 @@ cmdSql(const std::string &path, const std::string &query)
     return 0;
 }
 
+/** Print the registry snapshot as span + counter tables. */
+void
+printSnapshot(const obs::Snapshot &snap)
+{
+    TablePrinter spans(
+        {"span", "count", "mean ms", "total s"});
+    for (const auto &[name, h] : snap.histograms) {
+        if (h.count == 0)
+            continue;
+        spans.addRow({name, TablePrinter::num(h.count),
+                      TablePrinter::num(h.mean() * 1e3, 3),
+                      TablePrinter::num(h.sum, 3)});
+    }
+    std::printf("spans:\n%s\n", spans.toString().c_str());
+
+    TablePrinter counters({"counter", "value"});
+    for (const auto &[name, value] : snap.counters)
+        counters.addRow({name, TablePrinter::num(value)});
+    std::printf("counters:\n%s\n", counters.toString().c_str());
+}
+
+/** Write the snapshot to --metrics-out if given (empty = skip). */
+void
+maybeWriteMetrics(const std::string &path)
+{
+    if (path.empty())
+        return;
+    obs::writeMetricsFile(path);
+    std::printf("metrics snapshot: %s\n", path.c_str());
+}
+
+int
+cmdStats(const std::string &path, const std::string &mode_name,
+         const std::string &metrics_out)
+{
+    rca::AnalysisMode mode = rca::AnalysisMode::kFull;
+    if (mode_name == "fim")
+        mode = rca::AnalysisMode::kFimOnly;
+    else if (mode_name == "sr")
+        mode = rca::AnalysisMode::kFimSetReduction;
+    else if (mode_name != "full")
+        throw NazarError("unknown analysis mode: " + mode_name);
+
+    driftlog::Table table = loadLog(path);
+    rca::RcaConfig config;
+    config.attributeColumns =
+        driftlog::DriftLog::defaultAttributeColumns();
+    rca::Analyzer analyzer(config);
+    rca::AnalysisResult result = analyzer.analyze(table, mode);
+
+    std::printf("%zu entries analyzed (%s), %zu root causes\n\n",
+                table.rowCount(), toString(mode).c_str(),
+                result.rootCauses.size());
+    printSnapshot(obs::Registry::global().snapshot());
+    maybeWriteMetrics(metrics_out);
+    return 0;
+}
+
+int
+cmdSim(size_t windows, const std::string &metrics_out)
+{
+    // Tiny animals-app fleet (the test workload): big enough to light
+    // up every instrumented layer, small enough for a CI smoke run.
+    data::AppSpec app = data::makeAnimalsApp(13, 8);
+    data::WeatherModel weather(app.locations, 21, 2020);
+    sim::RunnerConfig config;
+    config.arch = nn::Architecture::kResNet18;
+    config.strategy = sim::Strategy::kNazar;
+    config.windows = windows;
+    config.workload.days = 21;
+    config.workload.devicesPerLocation = 3;
+    config.workload.imagesPerDevicePerDay = 3.0;
+    config.train.epochs = 20;
+    config.cloud.minAdaptSamples = 16;
+    config.uploadSampleRate = 0.5;
+    config.seed = 17;
+
+    sim::Runner runner(app, weather, config);
+    sim::RunResult result = runner.run();
+
+    std::printf("\n%zu windows, base clean accuracy %.3f\n",
+                result.windows.size(), result.baseCleanAccuracy);
+    for (const auto &w : result.windows)
+        std::printf("  window %d: events %zu acc %.3f drifted %.3f "
+                    "flagged %zu causes %zu versions %zu\n",
+                    w.window, w.events, w.accuracyAll(),
+                    w.accuracyDrifted(), w.flagged, w.rootCauses,
+                    w.newVersions);
+    std::printf("rca %.3fs, adapt %.3fs\n\n", result.totalRcaSeconds,
+                result.totalAdaptSeconds);
+    printSnapshot(obs::Registry::global().snapshot());
+    maybeWriteMetrics(metrics_out);
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     try {
-        if (argc < 3)
+        if (argc < 2)
             return usage();
         std::string cmd = argv[1];
-        if (cmd == "gen-log") {
-            size_t rows = argc > 3 ? std::stoul(argv[3]) : 20000;
-            uint64_t seed = argc > 4 ? std::stoull(argv[4]) : 42;
-            return cmdGenLog(argv[2], rows, seed);
+
+        // Pull out --metrics-out=<path> wherever it appears.
+        std::string metrics_out;
+        std::vector<std::string> args;
+        for (int i = 2; i < argc; ++i) {
+            std::string arg = argv[i];
+            const std::string flag = "--metrics-out=";
+            if (arg.rfind(flag, 0) == 0)
+                metrics_out = arg.substr(flag.size());
+            else
+                args.push_back(std::move(arg));
         }
-        if (cmd == "analyze")
-            return cmdAnalyze(argv[2], argc > 3 ? argv[3] : "full");
-        if (cmd == "sql") {
-            if (argc < 4)
-                return usage();
-            return cmdSql(argv[2], argv[3]);
+
+        if (cmd == "gen-log" && !args.empty()) {
+            size_t rows =
+                args.size() > 1 ? std::stoul(args[1]) : 20000;
+            uint64_t seed =
+                args.size() > 2 ? std::stoull(args[2]) : 42;
+            return cmdGenLog(args[0], rows, seed);
+        }
+        if (cmd == "analyze" && !args.empty())
+            return cmdAnalyze(args[0],
+                              args.size() > 1 ? args[1] : "full");
+        if (cmd == "sql" && args.size() >= 2)
+            return cmdSql(args[0], args[1]);
+        if (cmd == "stats" && !args.empty())
+            return cmdStats(args[0],
+                            args.size() > 1 ? args[1] : "full",
+                            metrics_out);
+        if (cmd == "sim") {
+            size_t windows =
+                args.empty() ? 3 : std::stoul(args[0]);
+            return cmdSim(windows, metrics_out);
         }
         return usage();
     } catch (const std::exception &e) {
