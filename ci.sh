@@ -52,6 +52,32 @@ if [ "$DO_RELEASE" = 1 ]; then
         python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
             build-ci/metrics.json
     fi
+    # Chaos smoke: a short e2e sim over a lossy channel must still
+    # complete, dedup retransmissions, and hold the documented
+    # accuracy floor (clean drifted accuracy is ~0.84 at this scale;
+    # 0.70 is the deliberately conservative bound — regression past it
+    # means graceful degradation broke, not that the network got
+    # unlucky: the fault seed is fixed).
+    echo "==== chaos smoke (Release) ===="
+    ./build-ci/tools/nazar_ops sim 2 --drop=0.2 --dup=0.1 \
+        --push-drop=0.2 --metrics-out=build-ci/chaos_metrics.json \
+        > build-ci/chaos_smoke.log
+    ./build-ci/tools/nazar_ops faults build-ci/chaos_metrics.json \
+        > /dev/null
+    dedup="$(grep -o '"net\.dedup_hits": [0-9]*' \
+        build-ci/chaos_metrics.json | grep -o '[0-9]*$')"
+    [ "${dedup:-0}" -gt 0 ] || {
+        echo "chaos smoke: net.dedup_hits is zero" >&2; exit 1; }
+    awk '/^avgAccuracyDrifted/ {
+            if ($2 + 0 < 0.70) {
+                print "chaos smoke: avgAccuracyDrifted " $2 \
+                      " below floor 0.70" > "/dev/stderr"
+                exit 1
+            }
+            found = 1
+         }
+         END { if (!found) exit 1 }' build-ci/chaos_smoke.log
+    ./build-ci/bench/bench_fault_sweep --quick > /dev/null
 fi
 
 if [ "$DO_TSAN" = 1 ]; then
@@ -67,6 +93,13 @@ if [ "$DO_TSAN" = 1 ]; then
     echo "==== obs registry stress (TSAN) ===="
     ./build-tsan/tests/test_obs \
         --gtest_filter='ObsTest.ConcurrentRegistryStress'
+    # Chaos smoke under TSAN: the faulted channel + idempotent ingest
+    # must be race-free at both pool widths.
+    for threads in 1 4; do
+        echo "==== chaos smoke (TSAN, NAZAR_THREADS=$threads) ===="
+        NAZAR_THREADS="$threads" ./build-tsan/tools/nazar_ops sim 1 \
+            --drop=0.2 --dup=0.1 --push-drop=0.2 > /dev/null
+    done
 fi
 
 echo "CI OK"

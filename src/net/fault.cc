@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Implementation of the fault-model helpers.
+ */
+#include "fault.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nazar::net {
+
+bool
+FaultConfig::anyFaults() const
+{
+    return dropProb > 0.0 || dupProb > 0.0 || delayProb > 0.0 ||
+           reorderProb > 0.0 || offlineProb > 0.0 || crashProb > 0.0 ||
+           pushDropProb > 0.0 || queueCapacity > 0;
+}
+
+double
+FaultConfig::backoffBeforeRetry(int attempt) const
+{
+    double raw = backoffBase * std::pow(2.0, attempt - 1);
+    return std::min(backoffCap, raw);
+}
+
+} // namespace nazar::net

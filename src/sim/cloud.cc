@@ -21,6 +21,16 @@ Cloud::Cloud(CloudConfig config, const nn::Classifier &base)
 }
 
 void
+Cloud::ingestLocked(const driftlog::DriftLogEntry &entry,
+                    std::optional<Upload> upload)
+{
+    driftLog_.add(entry);
+    ++totalIngested_;
+    if (upload.has_value())
+        uploads_.push_back(std::move(*upload));
+}
+
+void
 Cloud::ingest(const driftlog::DriftLogEntry &entry,
               std::optional<Upload> upload)
 {
@@ -32,27 +42,57 @@ Cloud::ingest(const driftlog::DriftLogEntry &entry,
     if (upload.has_value())
         uploads.add(1);
     std::lock_guard<std::mutex> lk(ingestMutex_);
-    driftLog_.add(entry);
-    ++totalIngested_;
+    ingestLocked(entry, std::move(upload));
+}
+
+bool
+Cloud::ingestFrom(int device, uint64_t seq,
+                  const driftlog::DriftLogEntry &entry,
+                  std::optional<Upload> upload)
+{
+    static obs::Counter &rows =
+        obs::Registry::global().counter("sim.ingest.rows");
+    static obs::Counter &uploads =
+        obs::Registry::global().counter("sim.uploads");
+    static obs::Counter &dedup_hits =
+        obs::Registry::global().counter("net.dedup_hits");
+
+    std::lock_guard<std::mutex> lk(ingestMutex_);
+    DedupState &state = dedup_[device];
+    if (seq < state.floor || state.seen.count(seq) > 0) {
+        ++dedupHits_;
+        dedup_hits.add(1);
+        return false;
+    }
+    state.seen.insert(seq);
+    while (state.seen.size() > config_.ingestDedupWindow) {
+        state.floor = *state.seen.begin() + 1;
+        state.seen.erase(state.seen.begin());
+    }
+    rows.add(1);
     if (upload.has_value())
-        uploads_.push_back(std::move(*upload));
+        uploads.add(1);
+    ingestLocked(entry, std::move(upload));
+    return true;
 }
 
 data::Dataset
-Cloud::uploadsMatching(const rca::AttributeSet &cause) const
+Cloud::uploadsMatching(const std::vector<Upload> &uploads,
+                       const rca::AttributeSet &cause)
 {
     data::DatasetBuilder builder;
-    for (const auto &up : uploads_)
+    for (const auto &up : uploads)
         if (cause.isSubsetOf(up.context))
             builder.add(up.features, /*label=*/-1);
     return builder.build();
 }
 
 data::Dataset
-Cloud::cleanUploads(const std::vector<rca::RankedCause> &causes) const
+Cloud::cleanUploads(const std::vector<Upload> &uploads,
+                    const std::vector<rca::RankedCause> &causes)
 {
     data::DatasetBuilder builder;
-    for (const auto &up : uploads_) {
+    for (const auto &up : uploads) {
         if (up.driftFlag)
             continue;
         bool matched = false;
@@ -71,15 +111,58 @@ Cloud::cleanUploads(const std::vector<rca::RankedCause> &causes) const
 data::Dataset
 Cloud::allUploads() const
 {
+    std::lock_guard<std::mutex> lk(ingestMutex_);
     data::DatasetBuilder builder;
     for (const auto &up : uploads_)
         builder.add(up.features, /*label=*/-1);
     return builder.build();
 }
 
+driftlog::DriftLog
+Cloud::driftLog() const
+{
+    std::lock_guard<std::mutex> lk(ingestMutex_);
+    return driftLog_;
+}
+
+size_t
+Cloud::driftLogSize() const
+{
+    std::lock_guard<std::mutex> lk(ingestMutex_);
+    return driftLog_.size();
+}
+
+size_t
+Cloud::uploadCount() const
+{
+    std::lock_guard<std::mutex> lk(ingestMutex_);
+    return uploads_.size();
+}
+
+size_t
+Cloud::dedupHits() const
+{
+    std::lock_guard<std::mutex> lk(ingestMutex_);
+    return dedupHits_;
+}
+
+size_t
+Cloud::totalIngested() const
+{
+    std::lock_guard<std::mutex> lk(ingestMutex_);
+    return totalIngested_;
+}
+
 void
 Cloud::flush()
 {
+    static obs::Counter &flushed_rows =
+        obs::Registry::global().counter("sim.cloud.flushed.rows");
+    static obs::Counter &flushed_uploads =
+        obs::Registry::global().counter("sim.cloud.flushed.uploads");
+    std::lock_guard<std::mutex> lk(ingestMutex_);
+    flushed_rows.add(driftLog_.size());
+    flushed_uploads.add(uploads_.size());
     driftLog_.clear();
     uploads_.clear();
 }
@@ -88,23 +171,47 @@ CycleResult
 Cloud::runCycle(const nn::BnPatch &clean_patch)
 {
     NAZAR_SPAN("sim.cloud.cycle");
+    static obs::Counter &archived_rows =
+        obs::Registry::global().counter("sim.cloud.archived.rows");
+    static obs::Counter &archived_uploads =
+        obs::Registry::global().counter("sim.cloud.archived.uploads");
+    static obs::Counter &skipped_causes =
+        obs::Registry::global().counter("sim.cloud.adapt.skipped_causes");
+
     CycleResult result;
     ++logicalTime_;
 
+    // Claim this cycle's evidence under the ingest lock, then analyze
+    // lock-free: concurrent ingest lands in the next cycle's buffers.
+    // Claiming is also the archival step, so record the counts now —
+    // analysis never loses rows, only transport can.
+    driftlog::DriftLog log;
+    std::vector<Upload> uploads;
+    {
+        std::lock_guard<std::mutex> lk(ingestMutex_);
+        log = std::move(driftLog_);
+        driftLog_ = driftlog::DriftLog();
+        uploads = std::move(uploads_);
+        uploads_.clear();
+    }
+    archived_rows.add(log.size());
+    archived_uploads.add(uploads.size());
+
     // ---- Root-cause analysis stage ----------------------------------
-    // The span both feeds the sim.cloud.rca histogram and reports the
-    // stage's wall time for CycleResult (so benches keep their numbers
-    // even with metrics disabled).
+    // Run on whatever actually arrived this window — a partial fleet
+    // (lost, shed or delayed telemetry) degrades the evidence, never
+    // the cycle itself. The span both feeds the sim.cloud.rca
+    // histogram and reports the stage's wall time for CycleResult (so
+    // benches keep their numbers even with metrics disabled).
     NAZAR_SPAN_BEGIN(rca_span, "sim.cloud.rca");
     rca::Analyzer analyzer(config_.rca);
-    result.analysis =
-        analyzer.analyze(driftLog_.table(), config_.analysisMode);
+    result.analysis = analyzer.analyze(log.table(), config_.analysisMode);
     result.rcaSeconds = rca_span.stop();
 
     const auto &causes = result.analysis.rootCauses;
-    logInfo() << "cloud cycle " << logicalTime_ << ": "
-              << driftLog_.size() << " entries, " << uploads_.size()
-              << " uploads, " << causes.size() << " root causes";
+    logInfo() << "cloud cycle " << logicalTime_ << ": " << log.size()
+              << " entries, " << uploads.size() << " uploads, "
+              << causes.size() << " root causes";
 
     // ---- By-cause adaptation stage -----------------------------------
     NAZAR_SPAN_BEGIN(adapt_span, "sim.cloud.adapt");
@@ -126,8 +233,12 @@ Cloud::runCycle(const nn::BnPatch &clean_patch)
         if (config_.maxCausesPerCycle > 0 &&
             jobs.size() >= config_.maxCausesPerCycle)
             break;
-        data::Dataset samples = uploadsMatching(cause.attrs);
+        data::Dataset samples = uploadsMatching(uploads, cause.attrs);
         if (samples.size() < config_.minAdaptSamples) {
+            // Graceful degradation: uploads matching this cause were
+            // sampled out — or lost/shed in transit — below the adapt
+            // floor. Skip the cause, don't fail the cycle.
+            skipped_causes.add(1);
             logDebug() << "skipping cause " << cause.attrs.toString()
                        << ": only " << samples.size() << " samples";
             continue;
@@ -136,7 +247,7 @@ Cloud::runCycle(const nn::BnPatch &clean_patch)
     }
     const size_t cause_jobs = jobs.size();
     if (config_.adaptCleanModel) {
-        data::Dataset clean = cleanUploads(causes);
+        data::Dataset clean = cleanUploads(uploads, causes);
         if (clean.size() >= config_.minAdaptSamples)
             jobs.push_back({nullptr, std::move(clean)});
     }
@@ -170,10 +281,6 @@ Cloud::runCycle(const nn::BnPatch &clean_patch)
     if (jobs.size() > cause_jobs)
         result.newCleanPatch = std::move(patches.back());
     result.adaptSeconds = adapt_span.stop();
-
-    // Archive this cycle's evidence.
-    driftLog_.clear();
-    uploads_.clear();
     return result;
 }
 

@@ -8,8 +8,10 @@
 #define NAZAR_SIM_CLOUD_H
 
 #include <functional>
+#include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "adapt/tent.h"
@@ -41,6 +43,14 @@ struct CloudConfig
     bool adaptCleanModel = true;
     /** Cap on causes adapted per cycle (0 = no cap). */
     size_t maxCausesPerCycle = 0;
+    /**
+     * Per-device sequence numbers remembered by the idempotent ingest
+     * path (ingestFrom). Retransmissions whose sequence number is
+     * still inside the window — or older than anything retained — are
+     * rejected as duplicates, so at-least-once delivery counts each
+     * drift row effectively once.
+     */
+    size_t ingestDedupWindow = 4096;
 };
 
 /** Result of one analysis/adaptation cycle. */
@@ -79,6 +89,18 @@ class Cloud
                 std::optional<Upload> upload);
 
     /**
+     * Idempotent ingest for messages arriving over an unreliable
+     * channel: @p seq is the sender's per-device monotone sequence
+     * number. Duplicate (retried or duplicated-in-flight) messages
+     * are dropped against a bounded per-device dedup window and
+     * counted in `net.dedup_hits`. Returns true when the entry was
+     * accepted, false on a dedup hit. Thread-safe like ingest().
+     */
+    bool ingestFrom(int device, uint64_t seq,
+                    const driftlog::DriftLogEntry &entry,
+                    std::optional<Upload> upload);
+
+    /**
      * Run one analysis + by-cause adaptation cycle over the entries
      * ingested since the last cycle, then archive them.
      *
@@ -90,20 +112,36 @@ class Cloud
     /**
      * All currently buffered uploads as one dataset (labels are -1;
      * adaptation is unsupervised). Used by the adapt-all baseline.
+     * Thread-safe against concurrent ingest.
      */
     data::Dataset allUploads() const;
 
-    /** Archive buffered entries and uploads without running analysis. */
+    /**
+     * Archive buffered entries and uploads without running analysis.
+     * The archived counts are recorded in obs
+     * (`sim.cloud.flushed.rows` / `sim.cloud.flushed.uploads`) so
+     * flushed rows stay distinguishable from rows lost in transit.
+     * Thread-safe against concurrent ingest.
+     */
     void flush();
 
-    /** Entries currently awaiting analysis. */
-    const driftlog::DriftLog &driftLog() const { return driftLog_; }
+    /**
+     * Snapshot of the entries currently awaiting analysis (copied
+     * under the ingest lock, so safe against concurrent ingest).
+     */
+    driftlog::DriftLog driftLog() const;
 
-    /** Uploads currently buffered. */
-    size_t uploadCount() const { return uploads_.size(); }
+    /** Entries currently awaiting analysis. Thread-safe. */
+    size_t driftLogSize() const;
+
+    /** Uploads currently buffered. Thread-safe. */
+    size_t uploadCount() const;
+
+    /** Dedup rejections by the idempotent ingest path. Thread-safe. */
+    size_t dedupHits() const;
 
     /** Total entries ingested over the lifetime of the cloud. */
-    size_t totalIngested() const { return totalIngested_; }
+    size_t totalIngested() const;
 
     /** Next version id that will be assigned. */
     int64_t nextVersionId() const { return nextVersionId_; }
@@ -120,18 +158,38 @@ class Cloud
     const CloudConfig &config() const { return config_; }
 
   private:
+    /** Per-device dedup window for the idempotent ingest path. */
+    struct DedupState
+    {
+        /** Sequence numbers still retained for duplicate detection. */
+        std::set<uint64_t> seen;
+        /** Everything below this was pruned from the window and is
+         *  assumed already ingested (conservative: rejected). */
+        uint64_t floor = 0;
+    };
+
+    /** Shared tail of ingest()/ingestFrom(); ingestMutex_ held. */
+    void ingestLocked(const driftlog::DriftLogEntry &entry,
+                      std::optional<Upload> upload);
+
     /** Collect uploads whose context matches a cause. */
-    data::Dataset uploadsMatching(const rca::AttributeSet &cause) const;
+    static data::Dataset uploadsMatching(
+        const std::vector<Upload> &uploads,
+        const rca::AttributeSet &cause);
 
     /** Uploads not matching any accepted cause and not drift-flagged. */
-    data::Dataset cleanUploads(
-        const std::vector<rca::RankedCause> &causes) const;
+    static data::Dataset cleanUploads(
+        const std::vector<Upload> &uploads,
+        const std::vector<rca::RankedCause> &causes);
 
     CloudConfig config_;
     const nn::Classifier &base_;
-    mutable std::mutex ingestMutex_; ///< Guards driftLog_ + uploads_.
+    /** Guards driftLog_, uploads_, dedup_, dedupHits_, totalIngested_. */
+    mutable std::mutex ingestMutex_;
     driftlog::DriftLog driftLog_;
     std::vector<Upload> uploads_;
+    std::map<int, DedupState> dedup_;
+    size_t dedupHits_ = 0;
     deploy::BlobStore blobStore_;
     deploy::ModelRegistry registry_{blobStore_};
     int64_t nextVersionId_ = 1;

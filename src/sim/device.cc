@@ -16,6 +16,13 @@ Device::Device(int id, std::string location_name, size_t pool_capacity)
 {
 }
 
+void
+Device::noteVersionReceived(int64_t id)
+{
+    if (id > lastSeenVersion_)
+        lastSeenVersion_ = id;
+}
+
 rca::AttributeSet
 Device::contextFor(const data::StreamEvent &event) const
 {

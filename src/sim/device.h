@@ -49,6 +49,25 @@ class Device
     const deploy::ModelPool &pool() const { return pool_; }
 
     /**
+     * Record that a pushed version reached this device. A device that
+     * misses a push (offline epoch, downlink drop) keeps serving its
+     * newest held patch — the matcher falls back to the clean model
+     * when nothing held matches — and reports as stale until a later
+     * push lands.
+     */
+    void noteVersionReceived(int64_t id);
+
+    /** Newest version id ever pushed successfully to this device. */
+    int64_t lastSeenVersion() const { return lastSeenVersion_; }
+
+    /** True when this device missed at least one newer push. */
+    bool
+    staleAgainst(int64_t latest_published) const
+    {
+        return lastSeenVersion_ < latest_published;
+    }
+
+    /**
      * Current context attributes for an input (metadata the device
      * knows at inference time), matching drift-log column names.
      */
@@ -77,6 +96,7 @@ class Device
     int id_;
     std::string locationName_;
     deploy::ModelPool pool_;
+    int64_t lastSeenVersion_ = 0;
 };
 
 } // namespace nazar::sim

@@ -9,12 +9,21 @@
 #include "common/error.h"
 #include "common/logging.h"
 #include "common/stats.h"
+#include "net/channel.h"
+#include "obs/metrics.h"
 #include "obs/span.h"
 #include "runtime/thread_pool.h"
 
 namespace nazar::sim {
 
 namespace {
+
+/** One device→cloud telemetry message (drift row + sampled input). */
+struct UplinkPayload
+{
+    driftlog::DriftLogEntry entry;
+    std::optional<Upload> upload;
+};
 
 /**
  * Shard-local accumulator for one chunk of devices: the per-window
@@ -217,8 +226,18 @@ Runner::run()
     }
 
     CloudConfig cloud_config = config_.cloud;
+    cloud_config.ingestDedupWindow = config_.faults.dedupWindow;
     Cloud cloud(cloud_config, *base_);
     detect::MspDetector detector(config_.mspThreshold);
+
+    // All device→cloud telemetry and cloud→device version pushes go
+    // through one unreliable channel. With the default FaultConfig the
+    // channel is a pass-through (no fault RNG, delivery order == send
+    // order), keeping this loop bit-identical to the pre-net runner.
+    net::Channel<UplinkPayload> uplink(config_.faults, devices.size());
+    static obs::Gauge &stale_gauge =
+        obs::Registry::global().gauge("fleet.stale_devices");
+    int64_t latest_pushed = 0;
 
     nn::Classifier scratch = base_->clone();
     nn::BnPatch clean_patch = base_->bnPatch();
@@ -231,6 +250,9 @@ Runner::run()
         NAZAR_SPAN("sim.window");
         WindowMetrics wm;
         wm.window = window.index;
+        // Draw this epoch's per-device offline/crash state. Inference
+        // is unaffected (it is local); only telemetry and pushes are.
+        uplink.beginEpoch();
 
         // ---- Collect this window's slice of the event stream ---------
         const size_t window_begin = next_event;
@@ -312,9 +334,12 @@ Runner::run()
         }
 
         // ---- Telemetry to the cloud, in event order ------------------
-        // Shards buffered their outcomes; emitting the drift log in
-        // the original event order keeps the log (and therefore RCA)
-        // bit-identical to the sequential path at any thread count.
+        // Shards buffered their outcomes; emitting in the original
+        // event order keeps the fault RNG stream (and, with faults
+        // off, the drift log and therefore RCA) bit-identical to the
+        // sequential path at any thread count. Every emission rides
+        // the unreliable channel; what survives transport is ingested
+        // idempotently via per-device sequence numbers.
         for (size_t i = 0; i < window_count; ++i) {
             const data::StreamEvent &ev = events[window_begin + i];
             const InferenceOutcome &out = outcomes[i];
@@ -325,8 +350,15 @@ Runner::run()
                 upload = Upload{ev.features, device.contextFor(ev),
                                 out.driftFlag};
             }
-            cloud.ingest(device.makeLogEntry(ev, out), std::move(upload));
+            uplink.send(static_cast<size_t>(ev.deviceId),
+                        UplinkPayload{device.makeLogEntry(ev, out),
+                                      std::move(upload)});
         }
+        uplink.deliver([&](size_t device, uint64_t seq,
+                           UplinkPayload &&payload) {
+            cloud.ingestFrom(static_cast<int>(device), seq,
+                             payload.entry, std::move(payload.upload));
+        });
 
         // ---- Window boundary: run the strategy's adaptation ----------
         switch (config_.strategy) {
@@ -338,9 +370,25 @@ Runner::run()
             wm.newVersions = cycle.newVersions.size();
             if (cycle.newCleanPatch.has_value())
                 clean_patch = *cycle.newCleanPatch;
-            for (const auto &version : cycle.newVersions)
-                for (auto &device : devices)
-                    device.pool().install(version);
+            // Push each new version over the downlink. A device whose
+            // push is lost (offline epoch, downlink drop) keeps
+            // serving its newest held patch; the matcher falls back to
+            // the clean model when nothing held matches.
+            for (const auto &version : cycle.newVersions) {
+                for (size_t d = 0; d < devices.size(); ++d) {
+                    if (!uplink.deliverPush(d))
+                        continue;
+                    devices[d].pool().install(version);
+                    devices[d].noteVersionReceived(version.id);
+                }
+                latest_pushed = std::max(latest_pushed, version.id);
+            }
+            if (latest_pushed > 0) {
+                for (const auto &device : devices)
+                    if (device.staleAgainst(latest_pushed))
+                        ++wm.staleDevices;
+            }
+            stale_gauge.set(static_cast<double>(wm.staleDevices));
             wm.poolSize = devices.empty() ? 0 : devices[0].pool().size();
             break;
           }
@@ -367,6 +415,10 @@ Runner::run()
 
         result.windows.push_back(wm);
     }
+    // Anything still queued or delayed past the last window is lost;
+    // account for it so `net.sent` always reconciles against
+    // delivered + shed + gave-up + undelivered.
+    uplink.shutdown();
     return result;
 }
 

@@ -11,6 +11,7 @@
 #include <map>
 
 #include "data/stream.h"
+#include "net/fault.h"
 #include "sim/cloud.h"
 #include "sim/device.h"
 
@@ -35,6 +36,13 @@ struct RunnerConfig
     double uploadSampleRate = 0.25; ///< Fraction of inputs uploaded.
     double mspThreshold = 0.9;     ///< On-device detector threshold.
     size_t poolCapacity = 0;       ///< Device pool cap (0 = unbounded).
+    /**
+     * Device↔cloud transport faults. The default (all zeros) selects
+     * the pass-through channel and is bit-identical to a run without
+     * the net layer; with faults on, the run is reproducible from
+     * (seed, faults.seed) at any NAZAR_THREADS setting.
+     */
+    net::FaultConfig faults;
     CloudConfig cloud;
     nn::TrainConfig train;         ///< Base-model training.
     data::WorkloadConfig workload;
@@ -53,7 +61,8 @@ struct WindowMetrics
     size_t flagged = 0;      ///< Drift-flagged inferences.
     size_t rootCauses = 0;   ///< Causes found at the window boundary.
     size_t newVersions = 0;  ///< Versions produced at the boundary.
-    size_t poolSize = 0;     ///< Device pool size after the boundary.
+    size_t poolSize = 0;     ///< Device 0's pool size after the boundary.
+    size_t staleDevices = 0; ///< Devices that missed ≥1 version push.
 
     double accuracyAll() const;
     double accuracyDrifted() const;

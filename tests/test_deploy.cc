@@ -136,6 +136,53 @@ TEST(ModelPool, VersionsOrderedMostRecentFirst)
     EXPECT_EQ(pool.versions().back().id, 1);
 }
 
+TEST(ModelPool, LruEvictionIsByInstallRecencyNotVersionId)
+{
+    // Under an unreliable downlink, pushes can land out of id order
+    // (a delayed older push arrives after a newer one). Eviction must
+    // follow install recency, never the numeric version id.
+    ModelPool pool(2);
+    pool.install(makeVersion(30, weather("snow"), 1.0, 1));
+    pool.install(makeVersion(10, weather("rain"), 1.0, 2));
+    size_t evicted = pool.install(makeVersion(20, weather("fog"), 1.0, 3));
+    EXPECT_EQ(evicted, 1u);
+    // id 30 was installed first, so it is the LRU victim even though
+    // it has the highest id.
+    EXPECT_EQ(pool.findById(30), nullptr);
+    EXPECT_NE(pool.findById(10), nullptr);
+    EXPECT_NE(pool.findById(20), nullptr);
+    EXPECT_EQ(pool.versions().front().id, 20);
+    EXPECT_EQ(pool.versions().back().id, 10);
+}
+
+TEST(ModelPool, SameCauseReinstallRefreshesRecencyWithLowerId)
+{
+    // A late retransmission of an older same-cause version still
+    // counts as the freshest install for that cause.
+    ModelPool pool(2);
+    pool.install(makeVersion(50, weather("snow"), 1.0, 5));
+    pool.install(makeVersion(60, weather("rain"), 1.0, 6));
+    pool.install(makeVersion(40, weather("snow"), 1.0, 7));
+    EXPECT_EQ(pool.size(), 2u);
+    EXPECT_EQ(pool.findByCause(weather("snow"))->id, 40);
+    // snow is now most-recent, so the next capacity eviction takes rain.
+    pool.install(makeVersion(70, weather("fog"), 1.0, 8));
+    EXPECT_NE(pool.findByCause(weather("snow")), nullptr);
+    EXPECT_EQ(pool.findByCause(weather("rain")), nullptr);
+}
+
+TEST(ModelPool, CapacityOneKeepsOnlyTheNewestInstall)
+{
+    ModelPool pool(1);
+    size_t evictions = 0;
+    evictions += pool.install(makeVersion(9, weather("snow"), 1.0, 1));
+    evictions += pool.install(makeVersion(3, weather("rain"), 1.0, 2));
+    evictions += pool.install(makeVersion(6, weather("fog"), 1.0, 3));
+    EXPECT_EQ(evictions, 2u);
+    EXPECT_EQ(pool.size(), 1u);
+    EXPECT_EQ(pool.versions().front().id, 6);
+}
+
 // ---- matcher ----------------------------------------------------------
 
 AttributeSet

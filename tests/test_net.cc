@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for the unreliable-transport layer: fault configuration,
+ * pass-through bit-identity mode, retry/backoff/give-up, duplication,
+ * delay carry-over, reorder, bounded-queue shedding, offline/crash
+ * epochs, downlink push drops, and seed reproducibility.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/channel.h"
+#include "net/fault.h"
+
+namespace nazar::net {
+namespace {
+
+struct Delivery
+{
+    size_t device;
+    uint64_t seq;
+    int payload;
+
+    bool
+    operator==(const Delivery &o) const
+    {
+        return device == o.device && seq == o.seq && payload == o.payload;
+    }
+};
+
+std::vector<Delivery>
+drain(Channel<int> &channel)
+{
+    std::vector<Delivery> out;
+    channel.deliver([&](size_t device, uint64_t seq, int &&payload) {
+        out.push_back({device, seq, payload});
+    });
+    return out;
+}
+
+TEST(FaultConfig, AnyFaultsDetectsEveryKnob)
+{
+    EXPECT_FALSE(FaultConfig{}.anyFaults());
+    auto one = [](auto set) {
+        FaultConfig c;
+        set(c);
+        return c.anyFaults();
+    };
+    EXPECT_TRUE(one([](FaultConfig &c) { c.dropProb = 0.1; }));
+    EXPECT_TRUE(one([](FaultConfig &c) { c.dupProb = 0.1; }));
+    EXPECT_TRUE(one([](FaultConfig &c) { c.delayProb = 0.1; }));
+    EXPECT_TRUE(one([](FaultConfig &c) { c.reorderProb = 0.1; }));
+    EXPECT_TRUE(one([](FaultConfig &c) { c.offlineProb = 0.1; }));
+    EXPECT_TRUE(one([](FaultConfig &c) { c.crashProb = 0.1; }));
+    EXPECT_TRUE(one([](FaultConfig &c) { c.pushDropProb = 0.1; }));
+    EXPECT_TRUE(one([](FaultConfig &c) { c.queueCapacity = 4; }));
+}
+
+TEST(FaultConfig, BackoffIsCappedExponential)
+{
+    FaultConfig c;
+    c.backoffBase = 1.0;
+    c.backoffCap = 8.0;
+    EXPECT_DOUBLE_EQ(c.backoffBeforeRetry(1), 1.0);
+    EXPECT_DOUBLE_EQ(c.backoffBeforeRetry(2), 2.0);
+    EXPECT_DOUBLE_EQ(c.backoffBeforeRetry(3), 4.0);
+    EXPECT_DOUBLE_EQ(c.backoffBeforeRetry(4), 8.0);
+    EXPECT_DOUBLE_EQ(c.backoffBeforeRetry(5), 8.0); // capped
+}
+
+TEST(Channel, PassThroughPreservesSendOrderAndSeqs)
+{
+    Channel<int> channel(FaultConfig{}, 2);
+    channel.beginEpoch(); // no-op in pass-through mode
+    channel.send(0, 10);
+    channel.send(1, 11);
+    channel.send(0, 12);
+    channel.send(1, 13);
+    std::vector<Delivery> got = drain(channel);
+    std::vector<Delivery> want = {
+        {0, 0, 10}, {1, 0, 11}, {0, 1, 12}, {1, 1, 13}};
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(channel.stats().sent, 4u);
+    EXPECT_EQ(channel.stats().delivered, 4u);
+    EXPECT_EQ(channel.stats().dropped, 0u);
+    EXPECT_TRUE(channel.deliverPush(0)); // pushes always land
+    EXPECT_TRUE(drain(channel).empty()); // nothing left
+}
+
+TEST(Channel, DropRetriesThenGivesUpAtAttemptCap)
+{
+    FaultConfig config;
+    config.dropProb = 1.0;
+    config.maxAttempts = 3;
+    config.timeoutTicks = 1000.0;
+    Channel<int> channel(config, 1);
+    for (int i = 0; i < 5; ++i)
+        channel.send(0, i);
+    EXPECT_TRUE(drain(channel).empty());
+    EXPECT_EQ(channel.stats().gaveUp, 5u);
+    EXPECT_EQ(channel.stats().dropped, 15u); // 3 attempts per message
+    EXPECT_EQ(channel.stats().retries, 10u); // 2 retries per message
+    EXPECT_EQ(channel.stats().delivered, 0u);
+}
+
+TEST(Channel, TimeoutGivesUpBeforeAttemptCap)
+{
+    FaultConfig config;
+    config.dropProb = 1.0;
+    config.maxAttempts = 100;
+    config.backoffBase = 1.0;
+    config.timeoutTicks = 2.0; // 1 + 2 > 2 after the second failure
+    Channel<int> channel(config, 1);
+    channel.send(0, 7);
+    EXPECT_TRUE(drain(channel).empty());
+    EXPECT_EQ(channel.stats().gaveUp, 1u);
+    EXPECT_EQ(channel.stats().dropped, 2u);
+    EXPECT_EQ(channel.stats().retries, 1u);
+}
+
+TEST(Channel, DuplicateDeliversTheSameSeqTwice)
+{
+    FaultConfig config;
+    config.dupProb = 1.0;
+    Channel<int> channel(config, 1);
+    for (int i = 0; i < 3; ++i)
+        channel.send(0, i);
+    std::vector<Delivery> got = drain(channel);
+    ASSERT_EQ(got.size(), 6u);
+    std::map<uint64_t, int> per_seq;
+    for (const auto &d : got)
+        ++per_seq[d.seq];
+    for (const auto &[seq, count] : per_seq)
+        EXPECT_EQ(count, 2) << "seq " << seq;
+    EXPECT_EQ(channel.stats().duplicates, 3u);
+}
+
+TEST(Channel, DelayedMessagesArriveNextRound)
+{
+    FaultConfig config;
+    config.delayProb = 1.0;
+    Channel<int> channel(config, 1);
+    channel.send(0, 1);
+    channel.send(0, 2);
+    EXPECT_TRUE(drain(channel).empty());
+    EXPECT_EQ(channel.stats().delayed, 2u);
+    std::vector<Delivery> second = drain(channel);
+    EXPECT_EQ(second.size(), 2u);
+    EXPECT_EQ(channel.stats().delivered, 2u);
+}
+
+TEST(Channel, BoundedQueueShedsOldestFirst)
+{
+    FaultConfig config;
+    config.queueCapacity = 2;
+    Channel<int> channel(config, 1);
+    for (int i = 0; i < 5; ++i)
+        channel.send(0, i);
+    std::vector<Delivery> got = drain(channel);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].seq, 3u); // oldest (0,1,2) were shed
+    EXPECT_EQ(got[1].seq, 4u);
+    EXPECT_EQ(channel.stats().shed, 3u);
+}
+
+TEST(Channel, OfflineEpochHoldsQueueAndMissesPushes)
+{
+    FaultConfig config;
+    config.offlineProb = 1.0;
+    Channel<int> channel(config, 1);
+    channel.beginEpoch();
+    EXPECT_TRUE(channel.offline(0));
+    channel.send(0, 5);
+    EXPECT_TRUE(drain(channel).empty());
+    EXPECT_FALSE(channel.deliverPush(0));
+    EXPECT_GE(channel.stats().offlineEpochs, 1u);
+    EXPECT_GE(channel.stats().pushDropped, 1u);
+    EXPECT_EQ(channel.pendingCount(), 1u);
+    channel.shutdown();
+    EXPECT_EQ(channel.stats().undelivered, 1u);
+}
+
+TEST(Channel, CrashRestartLosesTheQueue)
+{
+    FaultConfig config;
+    config.crashProb = 1.0;
+    Channel<int> channel(config, 1);
+    channel.send(0, 1);
+    channel.send(0, 2);
+    channel.beginEpoch(); // crash fires here
+    EXPECT_GE(channel.stats().crashRestarts, 1u);
+    EXPECT_EQ(channel.stats().shed, 2u);
+    EXPECT_TRUE(drain(channel).empty());
+}
+
+TEST(Channel, ReorderStillDeliversEverythingExactlyOnce)
+{
+    FaultConfig config;
+    config.reorderProb = 1.0;
+    Channel<int> channel(config, 2);
+    for (int i = 0; i < 25; ++i) {
+        channel.send(0, i);
+        channel.send(1, i);
+    }
+    std::vector<Delivery> got = drain(channel);
+    ASSERT_EQ(got.size(), 50u);
+    std::set<std::pair<size_t, uint64_t>> seen;
+    for (const auto &d : got)
+        seen.insert({d.device, d.seq});
+    EXPECT_EQ(seen.size(), 50u); // every (device, seq) exactly once
+    EXPECT_EQ(channel.stats().gaveUp, 0u);
+}
+
+/** Run a fully faulted two-epoch exchange and record what arrived. */
+std::vector<Delivery>
+faultedExchange(uint64_t seed)
+{
+    FaultConfig config;
+    config.dropProb = 0.3;
+    config.dupProb = 0.2;
+    config.delayProb = 0.2;
+    config.reorderProb = 0.5;
+    config.offlineProb = 0.1;
+    config.crashProb = 0.05;
+    config.pushDropProb = 0.2;
+    config.queueCapacity = 8;
+    config.seed = seed;
+    Channel<int> channel(config, 4);
+    std::vector<Delivery> all;
+    int payload = 0;
+    for (int epoch = 0; epoch < 3; ++epoch) {
+        channel.beginEpoch();
+        for (int i = 0; i < 20; ++i)
+            channel.send(static_cast<size_t>(i % 4), payload++);
+        channel.deliver([&](size_t device, uint64_t seq, int &&p) {
+            all.push_back({device, seq, p});
+        });
+        for (size_t d = 0; d < 4; ++d)
+            all.push_back(
+                {d, channel.deliverPush(d) ? 1u : 0u, -1});
+    }
+    return all;
+}
+
+TEST(Channel, ReproducibleFromTheFaultSeed)
+{
+    std::vector<Delivery> a = faultedExchange(41);
+    std::vector<Delivery> b = faultedExchange(41);
+    EXPECT_EQ(a, b);
+    std::vector<Delivery> c = faultedExchange(42);
+    EXPECT_NE(a, c); // 60 messages: a collision is astronomically rare
+}
+
+} // namespace
+} // namespace nazar::net

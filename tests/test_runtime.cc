@@ -234,7 +234,8 @@ TEST(GlobalPool, StaleReferenceAfterSetThreadsRunsInline)
 
 /** Tiny but non-trivial fleet run exercising the full Nazar loop. */
 sim::RunResult
-runTinyFleet(sim::Strategy strategy)
+runTinyFleet(sim::Strategy strategy,
+             const net::FaultConfig &faults = net::FaultConfig{})
 {
     data::AppSpec app = data::makeAnimalsApp(13, 8);
     data::WeatherModel weather(app.locations, 21, 2020);
@@ -249,6 +250,7 @@ runTinyFleet(sim::Strategy strategy)
     config.cloud.minAdaptSamples = 16;
     config.uploadSampleRate = 0.5;
     config.seed = 17;
+    config.faults = faults;
     sim::Runner runner(app, weather, config);
     return runner.run();
 }
@@ -273,6 +275,7 @@ expectIdenticalResults(const sim::RunResult &a, const sim::RunResult &b)
         EXPECT_EQ(wa.rootCauses, wb.rootCauses) << "window " << i;
         EXPECT_EQ(wa.newVersions, wb.newVersions) << "window " << i;
         EXPECT_EQ(wa.poolSize, wb.poolSize) << "window " << i;
+        EXPECT_EQ(wa.staleDevices, wb.staleDevices) << "window " << i;
     }
     ASSERT_EQ(a.perCorruption.size(), b.perCorruption.size());
     auto ita = a.perCorruption.begin();
@@ -309,6 +312,29 @@ TEST_F(RuntimeDeterminism, AdaptAllRunIdenticalAt1And4Threads)
     sim::RunResult sequential = runTinyFleet(sim::Strategy::kAdaptAll);
     setThreads(4);
     sim::RunResult parallel = runTinyFleet(sim::Strategy::kAdaptAll);
+    expectIdenticalResults(sequential, parallel);
+}
+
+TEST_F(RuntimeDeterminism, FaultedNazarRunIdenticalAt1And4Threads)
+{
+    // The fault channel draws its RNG on the emitting thread in event
+    // order, so even heavily faulted runs must not depend on the
+    // runtime pool width.
+    net::FaultConfig faults;
+    faults.dropProb = 0.25;
+    faults.dupProb = 0.15;
+    faults.delayProb = 0.1;
+    faults.reorderProb = 0.2;
+    faults.offlineProb = 0.05;
+    faults.pushDropProb = 0.2;
+    faults.queueCapacity = 64;
+    faults.seed = 424242;
+    setThreads(1);
+    sim::RunResult sequential =
+        runTinyFleet(sim::Strategy::kNazar, faults);
+    setThreads(4);
+    sim::RunResult parallel =
+        runTinyFleet(sim::Strategy::kNazar, faults);
     expectIdenticalResults(sequential, parallel);
 }
 

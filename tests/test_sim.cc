@@ -5,8 +5,12 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "common/logging.h"
 #include "data/apps.h"
+#include "obs/metrics.h"
 #include "sim/runner.h"
 
 namespace nazar::sim {
@@ -238,6 +242,134 @@ TEST_F(CloudTest, FlushArchivesWithoutAnalysis)
     EXPECT_EQ(cloud.driftLog().size(), 0u);
 }
 
+/** An untrained base model — enough for ingest-path tests. */
+nn::Classifier
+untrainedModel(const data::AppSpec &app)
+{
+    return nn::Classifier(nn::Architecture::kResNet18,
+                          app.domain.featureDim(),
+                          app.domain.numClasses(), 5);
+}
+
+driftlog::DriftLogEntry
+plainEntry(int i)
+{
+    driftlog::DriftLogEntry e;
+    e.time = SimDate(i % 14);
+    e.deviceId = "android_0";
+    e.deviceModel = "pixel_6";
+    e.location = "tibet";
+    e.weather = "clear-day";
+    e.drift = false;
+    return e;
+}
+
+TEST_F(CloudTest, IngestFromDedupsRetransmissions)
+{
+    data::AppSpec app = tinyApp();
+    nn::Classifier base = untrainedModel(app);
+    Cloud cloud(CloudConfig{}, base);
+    EXPECT_TRUE(cloud.ingestFrom(0, 0, plainEntry(0), std::nullopt));
+    EXPECT_TRUE(cloud.ingestFrom(0, 1, plainEntry(1), std::nullopt));
+    // At-least-once delivery retransmits seq 0 and 1; both rejected.
+    EXPECT_FALSE(cloud.ingestFrom(0, 0, plainEntry(0), std::nullopt));
+    EXPECT_FALSE(cloud.ingestFrom(0, 1, plainEntry(1), std::nullopt));
+    // Another device's seq 0 is a different stream.
+    EXPECT_TRUE(cloud.ingestFrom(1, 0, plainEntry(2), std::nullopt));
+    EXPECT_EQ(cloud.driftLogSize(), 3u);
+    EXPECT_EQ(cloud.dedupHits(), 2u);
+    EXPECT_EQ(cloud.totalIngested(), 3u);
+}
+
+TEST_F(CloudTest, DedupWindowRejectsBelowFloor)
+{
+    data::AppSpec app = tinyApp();
+    nn::Classifier base = untrainedModel(app);
+    CloudConfig config;
+    config.ingestDedupWindow = 4;
+    Cloud cloud(config, base);
+    for (uint64_t seq = 0; seq < 8; ++seq)
+        EXPECT_TRUE(cloud.ingestFrom(0, seq, plainEntry(0),
+                                     std::nullopt));
+    // seq 2 slid out of the 4-wide window; the floor still rejects it
+    // rather than double-counting a late retransmission.
+    EXPECT_FALSE(cloud.ingestFrom(0, 2, plainEntry(0), std::nullopt));
+    EXPECT_EQ(cloud.dedupHits(), 1u);
+    EXPECT_EQ(cloud.driftLogSize(), 8u);
+}
+
+TEST_F(CloudTest, ConcurrentIngestAndReadersAreSafe)
+{
+    // TSAN regression for the cloud buffer race: before the fix,
+    // allUploads()/uploadCount()/driftLog() read the buffers without
+    // taking ingestMutex_.
+    data::AppSpec app = tinyApp();
+    nn::Classifier base = untrainedModel(app);
+    Cloud cloud(CloudConfig{}, base);
+    constexpr int kWriters = 4;
+    constexpr int kPerWriter = 200;
+    std::atomic<bool> done{false};
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w)
+        writers.emplace_back([&, w] {
+            for (int i = 0; i < kPerWriter; ++i)
+                cloud.ingestFrom(w, static_cast<uint64_t>(i),
+                                 plainEntry(i),
+                                 Upload{{1.0, 2.0}, {}, false});
+        });
+    std::thread reader([&] {
+        size_t sink = 0;
+        while (!done.load()) {
+            sink += cloud.allUploads().size();
+            sink += cloud.uploadCount();
+            sink += cloud.driftLogSize();
+            sink += cloud.dedupHits();
+        }
+        EXPECT_GE(sink, 0u);
+    });
+    for (auto &t : writers)
+        t.join();
+    done = true;
+    reader.join();
+    EXPECT_EQ(cloud.totalIngested(),
+              static_cast<size_t>(kWriters * kPerWriter));
+    EXPECT_EQ(cloud.uploadCount(),
+              static_cast<size_t>(kWriters * kPerWriter));
+    EXPECT_EQ(cloud.dedupHits(), 0u);
+}
+
+TEST_F(CloudTest, RunCycleOnEmptyLogIsGraceful)
+{
+    data::AppSpec app = tinyApp();
+    nn::Classifier base = untrainedModel(app);
+    Cloud cloud(CloudConfig{}, base);
+    CycleResult cycle = cloud.runCycle(base.bnPatch());
+    EXPECT_TRUE(cycle.analysis.rootCauses.empty());
+    EXPECT_TRUE(cycle.newVersions.empty());
+    EXPECT_FALSE(cycle.newCleanPatch.has_value());
+    EXPECT_EQ(cycle.adaptedSampleCount, 0u);
+}
+
+TEST_F(CloudTest, FlushRecordsArchivedCountsInObs)
+{
+    data::AppSpec app = tinyApp();
+    nn::Classifier base = untrainedModel(app);
+    Cloud cloud(CloudConfig{}, base);
+    auto &rows = obs::Registry::global().counter("sim.cloud.flushed.rows");
+    auto &ups =
+        obs::Registry::global().counter("sim.cloud.flushed.uploads");
+    uint64_t rows0 = rows.value();
+    uint64_t ups0 = ups.value();
+    for (int i = 0; i < 5; ++i)
+        cloud.ingest(plainEntry(i),
+                     i < 2 ? std::optional<Upload>(
+                                 Upload{{1.0, 2.0}, {}, false})
+                           : std::nullopt);
+    cloud.flush();
+    EXPECT_EQ(rows.value() - rows0, 5u);
+    EXPECT_EQ(ups.value() - ups0, 2u);
+}
+
 class RunnerTest : public QuietLogs
 {
   protected:
@@ -320,6 +452,61 @@ TEST_F(RunnerTest, DeterministicAcrossRuns)
         EXPECT_EQ(a.windows[i].correctAll, b.windows[i].correctAll);
         EXPECT_EQ(a.windows[i].flagged, b.windows[i].flagged);
     }
+}
+
+TEST_F(RunnerTest, FaultedRunIsReproducibleFromFaultSeed)
+{
+    data::AppSpec app = tinyApp();
+    data::WeatherModel weather(app.locations, 21, 2020);
+    RunnerConfig config = smallRun(Strategy::kNazar);
+    config.faults.dropProb = 0.2;
+    config.faults.dupProb = 0.1;
+    config.faults.pushDropProb = 0.2;
+    config.faults.seed = 99;
+    RunResult a = Runner(app, weather, config).run();
+    RunResult b = Runner(app, weather, config).run();
+    ASSERT_EQ(a.windows.size(), b.windows.size());
+    for (size_t i = 0; i < a.windows.size(); ++i) {
+        EXPECT_EQ(a.windows[i].events, b.windows[i].events);
+        EXPECT_EQ(a.windows[i].correctAll, b.windows[i].correctAll);
+        EXPECT_EQ(a.windows[i].flagged, b.windows[i].flagged);
+        EXPECT_EQ(a.windows[i].staleDevices, b.windows[i].staleDevices);
+    }
+    // A different fault seed reshapes what the cloud sees.
+    config.faults.seed = 100;
+    RunResult c = Runner(app, weather, config).run();
+    bool differs = false;
+    for (size_t i = 0; i < a.windows.size(); ++i)
+        differs = differs ||
+                  a.windows[i].correctAll != c.windows[i].correctAll ||
+                  a.windows[i].staleDevices != c.windows[i].staleDevices;
+    EXPECT_TRUE(differs);
+}
+
+TEST_F(RunnerTest, HeavyLossDegradesGracefully)
+{
+    // Half the uplink traffic is lost and pushes frequently miss:
+    // the run must still complete every window over the same event
+    // stream, adapting on whatever arrives.
+    data::AppSpec app = tinyApp();
+    data::WeatherModel weather(app.locations, 21, 2020);
+    RunResult clean =
+        Runner(app, weather, smallRun(Strategy::kNazar)).run();
+    RunnerConfig config = smallRun(Strategy::kNazar);
+    config.faults.dropProb = 0.5;
+    config.faults.dupProb = 0.2;
+    config.faults.delayProb = 0.1;
+    config.faults.pushDropProb = 0.3;
+    config.faults.offlineProb = 0.1;
+    config.faults.queueCapacity = 64;
+    RunResult faulted = Runner(app, weather, config).run();
+    ASSERT_EQ(faulted.windows.size(), clean.windows.size());
+    for (size_t i = 0; i < faulted.windows.size(); ++i) {
+        // Faults hit the channel, never the device-side event stream.
+        EXPECT_EQ(faulted.windows[i].events, clean.windows[i].events);
+        EXPECT_GT(faulted.windows[i].events, 0u);
+    }
+    EXPECT_GT(faulted.avgAccuracyAll(0), 0.0);
 }
 
 TEST_F(RunnerTest, ResultAggregatesAreConsistent)

@@ -23,20 +23,32 @@
  *       scanned); optionally write the full snapshot to a file (JSON,
  *       or Prometheus text for .prom/.txt).
  *
- *   nazar_ops sim [windows] [--metrics-out=<path>]
+ *   nazar_ops sim [windows] [--metrics-out=<path>] [fault flags]
  *       Run a tiny end-to-end fleet simulation (animals app, Nazar
  *       strategy) and report per-window accuracy plus the obs
- *       snapshot covering every instrumented layer.
+ *       snapshot covering every instrumented layer. Fault flags
+ *       (--drop= --dup= --delay= --reorder= --offline= --crash=
+ *       --push-drop= --queue-cap= --fault-seed=) inject seeded
+ *       device↔cloud transport faults (src/net) into the run.
+ *
+ *   nazar_ops faults <metrics.json>
+ *       Print the net.* / fleet.* fault-channel counters and gauges
+ *       (plus the cloud ingest/archive counters) from a JSON metrics
+ *       snapshot written by --metrics-out.
  */
+#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
 #include "common/rng.h"
 #include "common/table_printer.h"
+#include "net/fault.h"
 #include "data/apps.h"
 #include "data/stream.h"
 #include "driftlog/csv.h"
@@ -62,7 +74,10 @@ usage()
         "  nazar_ops sql <log.csv> \"<query>\"\n"
         "  nazar_ops stats <log.csv> [fim|sr|full] "
         "[--metrics-out=<path>]\n"
-        "  nazar_ops sim [windows] [--metrics-out=<path>]\n");
+        "  nazar_ops sim [windows] [--metrics-out=<path>] "
+        "[--drop=P --dup=P --delay=P --reorder=P --offline=P "
+        "--crash=P --push-drop=P --queue-cap=N --fault-seed=S]\n"
+        "  nazar_ops faults <metrics.json>\n");
     return 2;
 }
 
@@ -229,8 +244,104 @@ cmdStats(const std::string &path, const std::string &mode_name,
     return 0;
 }
 
+/**
+ * Scan a flat JSON object (e.g. the "counters" map of a metrics
+ * snapshot) for its scalar members. Good enough for the exporter's
+ * own output; not a general JSON parser.
+ */
+std::vector<std::pair<std::string, std::string>>
+scalarMembers(const std::string &text, const std::string &section)
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    std::string key = "\"" + section + "\"";
+    size_t pos = text.find(key);
+    if (pos == std::string::npos)
+        return out;
+    pos = text.find('{', pos);
+    if (pos == std::string::npos)
+        return out;
+    size_t end = text.find('}', pos);
+    if (end == std::string::npos)
+        return out;
+    size_t cursor = pos + 1;
+    while (cursor < end) {
+        size_t name_begin = text.find('"', cursor);
+        if (name_begin == std::string::npos || name_begin >= end)
+            break;
+        size_t name_end = text.find('"', name_begin + 1);
+        size_t colon = text.find(':', name_end);
+        if (name_end == std::string::npos || colon == std::string::npos ||
+            colon >= end)
+            break;
+        size_t value_begin = colon + 1;
+        while (value_begin < end && std::isspace(static_cast<unsigned char>(
+                                        text[value_begin])))
+            ++value_begin;
+        size_t value_end = value_begin;
+        while (value_end < end && text[value_end] != ',' &&
+               text[value_end] != '\n')
+            ++value_end;
+        std::string value =
+            text.substr(value_begin, value_end - value_begin);
+        while (!value.empty() &&
+               std::isspace(static_cast<unsigned char>(value.back())))
+            value.pop_back();
+        out.emplace_back(
+            text.substr(name_begin + 1, name_end - name_begin - 1),
+            std::move(value));
+        cursor = value_end + 1;
+    }
+    return out;
+}
+
+bool
+hasAnyPrefix(const std::string &name,
+             const std::vector<std::string> &prefixes)
+{
+    for (const auto &p : prefixes)
+        if (name.rfind(p, 0) == 0)
+            return true;
+    return false;
+}
+
 int
-cmdSim(size_t windows, const std::string &metrics_out)
+cmdFaults(const std::string &path)
+{
+    std::ifstream in(path);
+    NAZAR_CHECK(in.good(), "cannot open: " + path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    const std::vector<std::string> prefixes = {
+        "net.", "fleet.", "sim.ingest", "sim.uploads", "sim.cloud."};
+
+    TablePrinter counters({"counter", "value"});
+    size_t matched = 0;
+    for (const auto &[name, value] : scalarMembers(text, "counters")) {
+        if (!hasAnyPrefix(name, prefixes))
+            continue;
+        counters.addRow({name, value});
+        ++matched;
+    }
+    std::printf("fault-channel counters (%s):\n%s\n", path.c_str(),
+                counters.toString().c_str());
+
+    TablePrinter gauges({"gauge", "value"});
+    for (const auto &[name, value] : scalarMembers(text, "gauges")) {
+        if (!hasAnyPrefix(name, prefixes))
+            continue;
+        gauges.addRow({name, value});
+    }
+    std::printf("fault-channel gauges:\n%s\n", gauges.toString().c_str());
+
+    if (matched == 0)
+        std::printf("(no net.* counters — run with faults enabled, or "
+                    "the snapshot predates the net layer)\n");
+    return 0;
+}
+
+int
+cmdSim(size_t windows, const net::FaultConfig &faults,
+       const std::string &metrics_out)
 {
     // Tiny animals-app fleet (the test workload): big enough to light
     // up every instrumented layer, small enough for a CI smoke run.
@@ -247,6 +358,7 @@ cmdSim(size_t windows, const std::string &metrics_out)
     config.cloud.minAdaptSamples = 16;
     config.uploadSampleRate = 0.5;
     config.seed = 17;
+    config.faults = faults;
 
     sim::Runner runner(app, weather, config);
     sim::RunResult result = runner.run();
@@ -255,12 +367,17 @@ cmdSim(size_t windows, const std::string &metrics_out)
                 result.windows.size(), result.baseCleanAccuracy);
     for (const auto &w : result.windows)
         std::printf("  window %d: events %zu acc %.3f drifted %.3f "
-                    "flagged %zu causes %zu versions %zu\n",
+                    "flagged %zu causes %zu versions %zu stale %zu\n",
                     w.window, w.events, w.accuracyAll(),
                     w.accuracyDrifted(), w.flagged, w.rootCauses,
-                    w.newVersions);
-    std::printf("rca %.3fs, adapt %.3fs\n\n", result.totalRcaSeconds,
+                    w.newVersions, w.staleDevices);
+    std::printf("rca %.3fs, adapt %.3fs\n", result.totalRcaSeconds,
                 result.totalAdaptSeconds);
+    // Machine-greppable summary lines (the CI chaos smoke asserts an
+    // accuracy floor on the drifted number).
+    std::printf("avgAccuracyAll %.4f\n", result.avgAccuracyAll());
+    std::printf("avgAccuracyDrifted %.4f\n\n",
+                result.avgAccuracyDrifted());
     printSnapshot(obs::Registry::global().snapshot());
     maybeWriteMetrics(metrics_out);
     return 0;
@@ -276,14 +393,35 @@ main(int argc, char **argv)
             return usage();
         std::string cmd = argv[1];
 
-        // Pull out --metrics-out=<path> wherever it appears.
+        // Pull out --metrics-out=<path> and the fault-injection flags
+        // wherever they appear.
         std::string metrics_out;
+        net::FaultConfig faults;
         std::vector<std::string> args;
+        auto probFlag = [](const std::string &arg,
+                           const std::string &flag, double &out) {
+            if (arg.rfind(flag, 0) != 0)
+                return false;
+            out = std::stod(arg.substr(flag.size()));
+            return true;
+        };
         for (int i = 2; i < argc; ++i) {
             std::string arg = argv[i];
             const std::string flag = "--metrics-out=";
             if (arg.rfind(flag, 0) == 0)
                 metrics_out = arg.substr(flag.size());
+            else if (probFlag(arg, "--drop=", faults.dropProb) ||
+                     probFlag(arg, "--dup=", faults.dupProb) ||
+                     probFlag(arg, "--delay=", faults.delayProb) ||
+                     probFlag(arg, "--reorder=", faults.reorderProb) ||
+                     probFlag(arg, "--offline=", faults.offlineProb) ||
+                     probFlag(arg, "--crash=", faults.crashProb) ||
+                     probFlag(arg, "--push-drop=", faults.pushDropProb))
+                continue;
+            else if (arg.rfind("--queue-cap=", 0) == 0)
+                faults.queueCapacity = std::stoul(arg.substr(12));
+            else if (arg.rfind("--fault-seed=", 0) == 0)
+                faults.seed = std::stoull(arg.substr(13));
             else
                 args.push_back(std::move(arg));
         }
@@ -307,8 +445,10 @@ main(int argc, char **argv)
         if (cmd == "sim") {
             size_t windows =
                 args.empty() ? 3 : std::stoul(args[0]);
-            return cmdSim(windows, metrics_out);
+            return cmdSim(windows, faults, metrics_out);
         }
+        if (cmd == "faults" && !args.empty())
+            return cmdFaults(args[0]);
         return usage();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
