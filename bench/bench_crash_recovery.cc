@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Crash-recovery benchmark: how fast the cloud reconstructs its state
+ * from the durability directory as the WAL grows, and how snapshots
+ * bound the replay work. Seeds BENCH_crash_recovery.json.
+ *
+ * For each snapshot interval in {0 (WAL-only), 512, 2048} and each
+ * ingest count, a cloud with persistence enabled absorbs the scripted
+ * telemetry (entries + uploads over the idempotent ingest path, with
+ * periodic analysis cycles) and is then dropped WITHOUT a final
+ * checkpoint — exactly what a crash leaves behind. Recovery is then
+ * timed over the resulting directory. The headline claim: with
+ * snapshots on, recovery time and replayed-record count stay bounded
+ * by the snapshot interval instead of growing with history length.
+ *
+ * Usage: bench_crash_recovery [--quick] [--metrics-out=<path>]
+ *   --quick shrinks the ingest counts (CI smoke run).
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "bench_util.h"
+#include "persist/cloud_persist.h"
+#include "sim/cloud.h"
+
+namespace {
+
+using namespace nazar;
+namespace fs = std::filesystem;
+
+driftlog::DriftLogEntry
+benchEntry(int i)
+{
+    driftlog::DriftLogEntry e;
+    e.time = SimDate(i % 21, (i * 37) % 86400);
+    int device = i % 16;
+    e.deviceId = data::deviceName(device);
+    e.deviceModel = data::deviceModel(device);
+    e.location = "tibet";
+    e.weather = i % 3 == 0 ? "snow" : "clear-day";
+    e.drift = i % 3 == 0;
+    return e;
+}
+
+sim::Upload
+benchUpload(const data::AppSpec &app, int i)
+{
+    driftlog::DriftLogEntry e = benchEntry(i);
+    sim::Upload up;
+    Rng rng(static_cast<uint64_t>(4000 + i));
+    int label = static_cast<int>(rng.index(app.domain.numClasses()));
+    up.features = app.domain.sample(label, rng);
+    up.context = rca::AttributeSet({
+        {driftlog::columns::kWeather, driftlog::Value(e.weather)},
+        {driftlog::columns::kLocation, driftlog::Value(e.location)},
+        {driftlog::columns::kDeviceId, driftlog::Value(e.deviceId)},
+        {driftlog::columns::kDeviceModel, driftlog::Value(e.deviceModel)},
+    });
+    up.driftFlag = e.drift;
+    return up;
+}
+
+struct Row
+{
+    uint64_t snapshotEvery;
+    size_t ingests;
+    uint64_t walBytes;
+    bool snapshotLoaded;
+    uint64_t replayedRecords;
+    double recoverMs;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    bench::MetricsExport metrics(argc, argv);
+    bench::QuietLogs quiet;
+    setLogLevel(LogLevel::kSilent);
+
+    data::AppSpec app = data::makeAnimalsApp(13, 8);
+    // Untrained base: the bench measures the durability layer, not
+    // adaptation quality. minAdaptSamples is set high so cycles still
+    // append kCycleCommit records but skip the (slow) fine-tuning.
+    nn::Classifier base(nn::Architecture::kResNet18,
+                        app.domain.featureDim(),
+                        app.domain.numClasses(), 5);
+
+    const std::vector<uint64_t> intervals = {0, 512, 2048};
+    const std::vector<size_t> counts =
+        quick ? std::vector<size_t>{500, 2000}
+              : std::vector<size_t>{500, 2000, 8000};
+    const fs::path dir = fs::current_path() / "bench_crash_recovery_state";
+
+    std::vector<Row> rows;
+    for (uint64_t interval : intervals) {
+        for (size_t count : counts) {
+            fs::remove_all(dir);
+            {
+                sim::CloudConfig config;
+                config.minAdaptSamples = 1u << 30;
+                config.persist.dir = dir.string();
+                config.persist.snapshotEvery = interval;
+                sim::Cloud cloud(config, base);
+                nn::BnPatch clean = base.bnPatch();
+                for (size_t i = 0; i < count; ++i) {
+                    cloud.ingestFrom(
+                        static_cast<int>(i % 16),
+                        static_cast<uint64_t>(i / 16),
+                        benchEntry(static_cast<int>(i)),
+                        benchUpload(app, static_cast<int>(i)));
+                    if ((i + 1) % 1000 == 0)
+                        cloud.runCycle(clean);
+                }
+                // No checkpoint: the directory is left exactly as a
+                // crash would leave it.
+            }
+            Row row;
+            row.snapshotEvery = interval;
+            row.ingests = count;
+            row.walBytes = fs::exists(dir / "wal.log")
+                               ? fs::file_size(dir / "wal.log")
+                               : 0;
+            auto t0 = std::chrono::steady_clock::now();
+            persist::RecoveredState st = persist::recoverDir(dir);
+            auto t1 = std::chrono::steady_clock::now();
+            row.snapshotLoaded = st.snapshotLoaded;
+            row.replayedRecords = st.replayedRecords;
+            row.recoverMs =
+                std::chrono::duration<double, std::milli>(t1 - t0)
+                    .count();
+            rows.push_back(row);
+        }
+    }
+    fs::remove_all(dir);
+
+    std::printf("{\n");
+    std::printf("  \"bench\": \"crash_recovery\",\n");
+    std::printf("  \"quick\": %s,\n", quick ? "true" : "false");
+    std::printf("  \"results\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::printf(
+            "    {\"snapshotEvery\": %llu, \"ingests\": %zu, "
+            "\"walBytes\": %llu, \"snapshotLoaded\": %s, "
+            "\"replayedRecords\": %llu, \"recoverMs\": %.3f}%s\n",
+            static_cast<unsigned long long>(r.snapshotEvery), r.ingests,
+            static_cast<unsigned long long>(r.walBytes),
+            r.snapshotLoaded ? "true" : "false",
+            static_cast<unsigned long long>(r.replayedRecords),
+            r.recoverMs, i + 1 < rows.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+}

@@ -48,6 +48,7 @@ struct Row
     double accAll;
     double accDrifted;
     size_t staleDeviceWindows;
+    size_t skippedCauses;
     uint64_t retries;
     uint64_t dedupHits;
     uint64_t shed;
@@ -102,8 +103,11 @@ main(int argc, char **argv)
         row.accAll = result.avgAccuracyAll(0);
         row.accDrifted = result.avgAccuracyDrifted(0);
         row.staleDeviceWindows = 0;
-        for (const auto &w : result.windows)
+        row.skippedCauses = 0;
+        for (const auto &w : result.windows) {
             row.staleDeviceWindows += w.staleDevices;
+            row.skippedCauses += w.skippedCauses;
+        }
         row.retries = registry.counter("net.retries").value();
         row.dedupHits = registry.counter("net.dedup_hits").value();
         row.shed = registry.counter("net.shed").value();
@@ -122,9 +126,11 @@ main(int argc, char **argv)
         std::printf(
             "    {\"drop\": %.2f, \"avgAccuracyAll\": %.4f, "
             "\"avgAccuracyDrifted\": %.4f, \"staleDeviceWindows\": %zu, "
+            "\"skippedCauses\": %zu, "
             "\"retries\": %llu, \"dedupHits\": %llu, \"shed\": %llu, "
             "\"gaveUp\": %llu, \"pushDropped\": %llu}%s\n",
             r.drop, r.accAll, r.accDrifted, r.staleDeviceWindows,
+            r.skippedCauses,
             static_cast<unsigned long long>(r.retries),
             static_cast<unsigned long long>(r.dedupHits),
             static_cast<unsigned long long>(r.shed),

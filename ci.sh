@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# CI entry point — also runnable locally. Builds the Release tree and a
-# ThreadSanitizer tree, then runs the full ctest suite under both
-# NAZAR_THREADS=1 (sequential reference) and NAZAR_THREADS=4 (parallel
-# runtime). Any test regression or sanitizer report fails the script.
+# CI entry point — also runnable locally. Builds the Release tree, a
+# ThreadSanitizer tree and an AddressSanitizer tree, then runs the full
+# ctest suite under both NAZAR_THREADS=1 (sequential reference) and
+# NAZAR_THREADS=4 (parallel runtime). Any test regression or sanitizer
+# report fails the script.
 #
-# Usage: ./ci.sh [--release-only|--tsan-only]
+# Usage: ./ci.sh [--release-only|--tsan-only|--asan-only]
 set -euo pipefail
 
 cd "$(dirname "$0")"
@@ -12,10 +13,12 @@ cd "$(dirname "$0")"
 JOBS="$(nproc)"
 DO_RELEASE=1
 DO_TSAN=1
+DO_ASAN=1
 for arg in "$@"; do
     case "$arg" in
-      --release-only) DO_TSAN=0 ;;
-      --tsan-only) DO_RELEASE=0 ;;
+      --release-only) DO_TSAN=0; DO_ASAN=0 ;;
+      --tsan-only) DO_RELEASE=0; DO_ASAN=0 ;;
+      --asan-only) DO_RELEASE=0; DO_TSAN=0 ;;
       *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -78,6 +81,31 @@ if [ "$DO_RELEASE" = 1 ]; then
          }
          END { if (!found) exit 1 }' build-ci/chaos_smoke.log
     ./build-ci/bench/bench_fault_sweep --quick > /dev/null
+    # Crash-recovery smoke: a lossy sim with durability on and the
+    # crash injector armed must lose the cloud mid-run, rebuild it
+    # from the WAL+snapshot directory, finish every window, and hold
+    # the same accuracy floor as the chaos smoke. The state directory
+    # it leaves behind must then be loadable offline.
+    echo "==== crash-recovery smoke (Release) ===="
+    rm -rf build-ci/crash_state
+    ./build-ci/tools/nazar_ops sim 2 --drop=0.1 --dup=0.05 \
+        --persist-dir=build-ci/crash_state --snapshot-every=64 \
+        --crash-at=333 > build-ci/crash_smoke.log
+    grep -q '^cloudCrashes [1-9]' build-ci/crash_smoke.log || {
+        echo "crash smoke: injected crash never fired" >&2; exit 1; }
+    awk '/^avgAccuracyDrifted/ {
+            if ($2 + 0 < 0.70) {
+                print "crash smoke: avgAccuracyDrifted " $2 \
+                      " below floor 0.70" > "/dev/stderr"
+                exit 1
+            }
+            found = 1
+         }
+         END { if (!found) exit 1 }' build-ci/crash_smoke.log
+    ./build-ci/tools/nazar_ops recover build-ci/crash_state > /dev/null
+    ./build-ci/tools/nazar_ops wal build-ci/crash_state/wal.log \
+        > /dev/null
+    ./build-ci/bench/bench_crash_recovery --quick > /dev/null
 fi
 
 if [ "$DO_TSAN" = 1 ]; then
@@ -100,6 +128,24 @@ if [ "$DO_TSAN" = 1 ]; then
         NAZAR_THREADS="$threads" ./build-tsan/tools/nazar_ops sim 1 \
             --drop=0.2 --dup=0.1 --push-drop=0.2 > /dev/null
     done
+fi
+
+if [ "$DO_ASAN" = 1 ]; then
+    cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DNAZAR_SANITIZE=address
+    cmake --build build-asan -j "$JOBS"
+    # ASAN + LSAN: heap misuse or a leak anywhere in the suite fails
+    # ctest. The durability layer is the main customer — every crash
+    # injection unwinds through the WAL/snapshot file handles.
+    export ASAN_OPTIONS="halt_on_error=1"
+    run_suite build-asan
+    # Crash-recovery smoke under ASAN: the crash/reopen cycle must not
+    # leak the WAL handle or the recovered buffers.
+    echo "==== crash-recovery smoke (ASAN) ===="
+    rm -rf build-asan/crash_state
+    ./build-asan/tools/nazar_ops sim 1 \
+        --persist-dir=build-asan/crash_state --snapshot-every=64 \
+        --crash-at=333 > /dev/null
 fi
 
 echo "CI OK"

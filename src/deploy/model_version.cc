@@ -1,10 +1,13 @@
 /**
  * @file
- * Implementation of model-version display.
+ * Implementation of model-version display and serialization.
  */
 #include "model_version.h"
 
+#include <istream>
 #include <sstream>
+
+#include "common/error.h"
 
 namespace nazar::deploy {
 
@@ -16,6 +19,83 @@ ModelVersion::toString() const
        << (cause.empty() ? std::string("{clean}") : cause.toString())
        << " rr=" << riskRatio << " t=" << updatedAt;
     return os.str();
+}
+
+std::string
+encodeValueLine(const driftlog::Value &v)
+{
+    switch (v.type()) {
+      case driftlog::ValueType::kNull:
+        return "n:";
+      case driftlog::ValueType::kInt:
+        return "i:" + v.toString();
+      case driftlog::ValueType::kDouble:
+        return "d:" + driftlog::formatDoubleExact(v.asDouble());
+      case driftlog::ValueType::kBool:
+        return "b:" + v.toString();
+      case driftlog::ValueType::kString:
+        return "s:" + v.asString();
+    }
+    return "n:";
+}
+
+driftlog::Value
+decodeValueLine(const std::string &s)
+{
+    NAZAR_CHECK(s.size() >= 2 && s[1] == ':',
+                "malformed value encoding: " + s);
+    std::string body = s.substr(2);
+    switch (s[0]) {
+      case 'n': return driftlog::Value();
+      case 'i': return driftlog::Value(
+          static_cast<int64_t>(std::stoll(body)));
+      case 'd': return driftlog::Value(std::stod(body));
+      case 'b': return driftlog::Value(body == "true");
+      case 's': return driftlog::Value(body);
+      default:
+        throw NazarError("unknown value tag in: " + s);
+    }
+}
+
+void
+ModelVersion::save(std::ostream &os) const
+{
+    os << "nazar-modelversion 1\n";
+    os << id << " " << driftlog::formatDoubleExact(riskRatio) << " "
+       << updatedAt << "\n";
+    os << cause.size() << "\n";
+    for (const auto &attr : cause.attributes())
+        os << attr.column << "\n" << encodeValueLine(attr.value) << "\n";
+    patch.save(os);
+}
+
+ModelVersion
+ModelVersion::load(std::istream &is)
+{
+    std::string magic;
+    int format = 0;
+    is >> magic >> format;
+    NAZAR_CHECK(is.good() && magic == "nazar-modelversion" && format == 1,
+                "not a ModelVersion stream");
+
+    ModelVersion version;
+    std::string risk;
+    size_t attr_count = 0;
+    is >> version.id >> risk >> version.updatedAt >> attr_count;
+    NAZAR_CHECK(!is.fail(), "truncated ModelVersion header");
+    version.riskRatio = std::stod(risk);
+    is.ignore(); // end-of-line
+    std::vector<rca::Attribute> attrs;
+    for (size_t i = 0; i < attr_count; ++i) {
+        std::string column, encoded;
+        NAZAR_CHECK(static_cast<bool>(std::getline(is, column)) &&
+                        static_cast<bool>(std::getline(is, encoded)),
+                    "truncated ModelVersion attributes");
+        attrs.push_back({column, decodeValueLine(encoded)});
+    }
+    version.cause = rca::AttributeSet(std::move(attrs));
+    version.patch = nn::BnPatch::load(is);
+    return version;
 }
 
 } // namespace nazar::deploy

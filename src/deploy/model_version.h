@@ -12,6 +12,7 @@
 #define NAZAR_DEPLOY_MODEL_VERSION_H
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 
 #include "nn/bn_patch.h"
@@ -32,7 +33,28 @@ struct ModelVersion
 
     /** Display string, e.g. "v7 {weather=snow} rr=3.2". */
     std::string toString() const;
+
+    /**
+     * Serialize the whole version (metadata + patch) to one text
+     * stream at full double precision, so save/load round-trips are
+     * bit-exact. The durability layer persists versions this way.
+     */
+    void save(std::ostream &os) const;
+
+    /** Deserialize; throws NazarError on malformed data. */
+    static ModelVersion load(std::istream &is);
 };
+
+/**
+ * Typed one-line Value encoding ("n:", "i:42", "d:2.5", "b:true",
+ * "s:snow") shared by the registry's metadata blobs and
+ * ModelVersion::save. Doubles are encoded at full precision, so
+ * decode(encode(v)) == v bit-exactly for finite values.
+ */
+std::string encodeValueLine(const driftlog::Value &v);
+
+/** Inverse of encodeValueLine; throws NazarError on malformed input. */
+driftlog::Value decodeValueLine(const std::string &s);
 
 } // namespace nazar::deploy
 

@@ -56,42 +56,6 @@ BlobStore::totalBytes() const
     return total;
 }
 
-namespace {
-
-/** Typed, line-oriented encoding of a Value (strings are one-line). */
-std::string
-encodeValue(const driftlog::Value &v)
-{
-    switch (v.type()) {
-      case driftlog::ValueType::kNull:   return "n:";
-      case driftlog::ValueType::kInt:    return "i:" + v.toString();
-      case driftlog::ValueType::kDouble: return "d:" + v.toString();
-      case driftlog::ValueType::kBool:   return "b:" + v.toString();
-      case driftlog::ValueType::kString: return "s:" + v.asString();
-    }
-    return "n:";
-}
-
-driftlog::Value
-decodeValue(const std::string &s)
-{
-    NAZAR_CHECK(s.size() >= 2 && s[1] == ':',
-                "malformed value encoding: " + s);
-    std::string body = s.substr(2);
-    switch (s[0]) {
-      case 'n': return driftlog::Value();
-      case 'i': return driftlog::Value(
-          static_cast<int64_t>(std::stoll(body)));
-      case 'd': return driftlog::Value(std::stod(body));
-      case 'b': return driftlog::Value(body == "true");
-      case 's': return driftlog::Value(body);
-      default:
-        throw NazarError("unknown value tag in: " + s);
-    }
-}
-
-} // namespace
-
 std::string
 ModelRegistry::metaKey(int64_t id)
 {
@@ -117,7 +81,8 @@ ModelRegistry::publish(ModelVersion version)
          << version.updatedAt << "\n";
     meta << version.cause.size() << "\n";
     for (const auto &attr : version.cause.attributes())
-        meta << attr.column << "\n" << encodeValue(attr.value) << "\n";
+        meta << attr.column << "\n"
+             << encodeValueLine(attr.value) << "\n";
     store_->put(metaKey(version.id), meta.str());
 
     std::ostringstream patch;
@@ -147,7 +112,7 @@ ModelRegistry::fetch(int64_t id) const
         NAZAR_CHECK(static_cast<bool>(std::getline(meta, column)) &&
                         static_cast<bool>(std::getline(meta, encoded)),
                     "truncated version metadata");
-        attrs.push_back({column, decodeValue(encoded)});
+        attrs.push_back({column, decodeValueLine(encoded)});
     }
     version.cause = rca::AttributeSet(std::move(attrs));
 

@@ -78,10 +78,13 @@ class ModelRegistry
 
     size_t size() const { return versionIds().size(); }
 
-  private:
+    /** Blob-store key of a version's metadata ("versions/<id>/meta"). */
     static std::string metaKey(int64_t id);
+
+    /** Blob-store key of a version's BN patch ("versions/<id>/patch"). */
     static std::string patchKey(int64_t id);
 
+  private:
     BlobStore *store_;
     int64_t nextId_ = 1;
 };

@@ -4,6 +4,8 @@
  */
 #include "csv.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -29,37 +31,77 @@ csvEscape(const std::string &cell)
     return out;
 }
 
-std::vector<std::string>
-csvSplit(const std::string &line)
+std::vector<CsvCell>
+csvSplitCells(const std::string &record)
 {
-    std::vector<std::string> cells;
-    std::string current;
+    std::vector<CsvCell> cells;
+    CsvCell current;
     bool in_quotes = false;
-    for (size_t i = 0; i < line.size(); ++i) {
-        char c = line[i];
+    for (size_t i = 0; i < record.size(); ++i) {
+        char c = record[i];
         if (in_quotes) {
             if (c == '"') {
-                if (i + 1 < line.size() && line[i + 1] == '"') {
-                    current += '"';
+                if (i + 1 < record.size() && record[i + 1] == '"') {
+                    current.text += '"';
                     ++i;
                 } else {
                     in_quotes = false;
                 }
             } else {
-                current += c;
+                current.text += c;
             }
         } else if (c == '"') {
             in_quotes = true;
+            current.quoted = true;
         } else if (c == ',') {
             cells.push_back(std::move(current));
-            current.clear();
+            current = CsvCell{};
         } else {
-            current += c;
+            current.text += c;
         }
     }
     NAZAR_CHECK(!in_quotes, "unterminated quoted cell in CSV");
     cells.push_back(std::move(current));
     return cells;
+}
+
+std::vector<std::string>
+csvSplit(const std::string &line)
+{
+    std::vector<std::string> out;
+    for (auto &cell : csvSplitCells(line))
+        out.push_back(std::move(cell.text));
+    return out;
+}
+
+bool
+readCsvRecord(std::istream &is, std::string &record)
+{
+    record.clear();
+    std::string line;
+    bool in_quotes = false;
+    bool first = true;
+    while (std::getline(is, line)) {
+        bool odd_quotes =
+            std::count(line.begin(), line.end(), '"') % 2 != 0;
+        bool open_after = in_quotes != odd_quotes;
+        // A trailing '\r' outside quotes is a CRLF artifact; inside an
+        // open quote it is cell content and must survive.
+        if (!open_after && !line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (first) {
+            record = std::move(line);
+            first = false;
+        } else {
+            record += '\n';
+            record += line;
+        }
+        in_quotes = open_after;
+        if (!in_quotes)
+            return true;
+    }
+    NAZAR_CHECK(!in_quotes, "unterminated quoted cell in CSV");
+    return !first;
 }
 
 Value
@@ -73,8 +115,17 @@ parseCell(const std::string &cell, ValueType type)
             return Value();
           case ValueType::kInt:
             return Value(static_cast<int64_t>(std::stoll(cell)));
-          case ValueType::kDouble:
-            return Value(std::stod(cell));
+          case ValueType::kDouble: {
+            // Not std::stod: it throws out_of_range on subnormals,
+            // where strtod returns the nearest representable value —
+            // required for formatDoubleExact output to round-trip.
+            const char *begin = cell.c_str();
+            char *end = nullptr;
+            double d = std::strtod(begin, &end);
+            if (end == begin || *end != '\0')
+                throw NazarError("unparsable cell: " + cell);
+            return Value(d);
+          }
           case ValueType::kBool:
             if (cell == "true" || cell == "1")
                 return Value(true);
@@ -102,8 +153,17 @@ writeCsv(const Table &table, std::ostream &os)
     for (size_t r = 0; r < table.rowCount(); ++r) {
         for (size_t c = 0; c < schema.columnCount(); ++c) {
             const Value &v = table.at(r, c);
-            os << (c ? "," : "")
-               << csvEscape(v.isNull() ? "" : v.toString());
+            os << (c ? "," : "");
+            if (v.isNull())
+                continue; // NULL: empty unquoted cell
+            if (v.type() == ValueType::kString &&
+                v.asString().empty()) {
+                os << "\"\""; // empty string, distinct from NULL
+            } else if (v.type() == ValueType::kDouble) {
+                os << csvEscape(formatDoubleExact(v.asDouble()));
+            } else {
+                os << csvEscape(v.toString());
+            }
         }
         os << "\n";
     }
@@ -112,12 +172,9 @@ writeCsv(const Table &table, std::ostream &os)
 Table
 readCsv(const Schema &schema, std::istream &is)
 {
-    std::string line;
-    NAZAR_CHECK(static_cast<bool>(std::getline(is, line)),
-                "CSV stream is empty");
-    if (!line.empty() && line.back() == '\r')
-        line.pop_back();
-    auto header = csvSplit(line);
+    std::string record;
+    NAZAR_CHECK(readCsvRecord(is, record), "CSV stream is empty");
+    auto header = csvSplit(record);
     NAZAR_CHECK(header.size() == schema.columnCount(),
                 "CSV header width does not match schema");
     for (size_t c = 0; c < header.size(); ++c)
@@ -126,18 +183,23 @@ readCsv(const Schema &schema, std::istream &is)
                         std::to_string(c) + ": " + header[c]);
 
     Table table(schema);
-    while (std::getline(is, line)) {
-        if (!line.empty() && line.back() == '\r')
-            line.pop_back();
-        if (line.empty())
+    while (readCsvRecord(is, record)) {
+        if (record.empty())
             continue;
-        auto cells = csvSplit(line);
+        auto cells = csvSplitCells(record);
         NAZAR_CHECK(cells.size() == schema.columnCount(),
                     "CSV row width does not match schema");
         Row row;
         row.reserve(cells.size());
-        for (size_t c = 0; c < cells.size(); ++c)
-            row.push_back(parseCell(cells[c], schema.column(c).type));
+        for (size_t c = 0; c < cells.size(); ++c) {
+            ValueType type = schema.column(c).type;
+            if (cells[c].text.empty() && cells[c].quoted &&
+                type == ValueType::kString) {
+                row.push_back(Value(std::string()));
+            } else {
+                row.push_back(parseCell(cells[c].text, type));
+            }
+        }
         table.append(row);
     }
     return table;

@@ -4,6 +4,7 @@
  */
 #include "drift_log.h"
 
+#include "common/error.h"
 #include "obs/metrics.h"
 
 namespace nazar::driftlog {
@@ -60,6 +61,25 @@ DriftLog::defaultAttributeColumns()
 {
     return {columns::kWeather, columns::kLocation, columns::kDeviceId,
             columns::kDeviceModel};
+}
+
+DriftLog
+DriftLog::fromTable(Table table)
+{
+    Schema canonical = canonicalSchema();
+    NAZAR_CHECK(table.schema().columnCount() == canonical.columnCount(),
+                "drift-log table has wrong column count");
+    for (size_t c = 0; c < canonical.columnCount(); ++c) {
+        NAZAR_CHECK(table.schema().column(c).name ==
+                            canonical.column(c).name &&
+                        table.schema().column(c).type ==
+                            canonical.column(c).type,
+                    "drift-log table schema mismatch at column " +
+                        canonical.column(c).name);
+    }
+    DriftLog log;
+    log.table_ = std::move(table);
+    return log;
 }
 
 DriftLogEntry

@@ -75,6 +75,14 @@ class DriftLog
     /** Materialize one row back into an entry. */
     DriftLogEntry entry(size_t row) const;
 
+    /**
+     * Adopt a table that already has the canonical schema (e.g. one
+     * read back from a CSV snapshot). Cell-exact: unlike re-adding
+     * entries, no formatting round-trip happens, and the obs ingest
+     * counter is not advanced. Throws NazarError on a schema mismatch.
+     */
+    static DriftLog fromTable(Table table);
+
   private:
     Table table_;
 };

@@ -4,6 +4,8 @@
  */
 #include "value.h"
 
+#include <cmath>
+#include <cstdio>
 #include <ostream>
 #include <sstream>
 
@@ -123,6 +125,18 @@ std::ostream &
 operator<<(std::ostream &os, const Value &v)
 {
     return os << v.toString();
+}
+
+std::string
+formatDoubleExact(double v)
+{
+    if (std::isnan(v))
+        return std::signbit(v) ? "-nan" : "nan";
+    if (std::isinf(v))
+        return std::signbit(v) ? "-inf" : "inf";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
 }
 
 } // namespace nazar::driftlog

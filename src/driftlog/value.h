@@ -67,6 +67,16 @@ class Value
 
 std::ostream &operator<<(std::ostream &os, const Value &v);
 
+/**
+ * Full-precision decimal rendering of a double ("%.17g", with
+ * nan/-nan/inf/-inf spelled so std::stod parses them back), so
+ * parse(format(v)) is bit-exact for every finite value and preserves
+ * the sign of NaN and infinity. Value::toString keeps the short
+ * display form; serialization paths (CSV export, version metadata)
+ * use this.
+ */
+std::string formatDoubleExact(double v);
+
 } // namespace nazar::driftlog
 
 #endif // NAZAR_DRIFTLOG_VALUE_H

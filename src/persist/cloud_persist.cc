@@ -1,0 +1,263 @@
+#include "persist/cloud_persist.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+#include "driftlog/csv.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace nazar::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr uint8_t kFlagHasUpload = 1;
+constexpr uint8_t kFlagFromDevice = 2;
+
+std::string
+blobKey(int64_t id, const char *kind)
+{
+    return "versions/" + std::to_string(id) + "/" + kind;
+}
+
+/** Replay one ingest attempt with the same dedup semantics as Cloud. */
+void
+replayIngest(RecoveredState &st, Reader &r, size_t dedup_window)
+{
+    uint8_t flags = r.getU8();
+    int64_t device = r.getI64();
+    uint64_t seq = r.getU64();
+    driftlog::DriftLogEntry entry = getEntry(r);
+    std::optional<UploadRecord> upload;
+    if (flags & kFlagHasUpload)
+        upload = getUpload(r);
+
+    if (flags & kFlagFromDevice) {
+        DedupWindow &window = st.dedup[device];
+        auto it = std::lower_bound(window.seen.begin(),
+                                   window.seen.end(), seq);
+        if (seq < window.floor ||
+            (it != window.seen.end() && *it == seq)) {
+            ++st.dedupHits;
+            return;
+        }
+        window.seen.insert(it, seq);
+        while (window.seen.size() > dedup_window) {
+            window.floor = window.seen.front() + 1;
+            window.seen.erase(window.seen.begin());
+        }
+    }
+    st.log.add(entry);
+    ++st.totalIngested;
+    if (upload.has_value())
+        st.uploads.push_back(std::move(*upload));
+}
+
+void
+replayCycleCommit(RecoveredState &st, Reader &r)
+{
+    st.logicalTime = r.getI64();
+    st.nextVersionId = r.getI64();
+    if (r.getBool()) {
+        st.cleanPatchText = r.getString();
+        st.cleanPatchTime = r.getI64();
+    }
+    uint32_t versions = r.getU32();
+    for (uint32_t i = 0; i < versions; ++i) {
+        int64_t id = r.getI64();
+        st.blobs.emplace_back(blobKey(id, "meta"), r.getString());
+        st.blobs.emplace_back(blobKey(id, "patch"), r.getString());
+    }
+    // The committed cycle archived everything it claimed.
+    st.log.clear();
+    st.uploads.clear();
+}
+
+void
+applyWalRecord(RecoveredState &st, const WalRecord &rec,
+               size_t dedup_window)
+{
+    Reader r(rec.payload);
+    switch (rec.type) {
+      case WalRecordType::kIngest:
+        replayIngest(st, r, dedup_window);
+        break;
+      case WalRecordType::kCycleCommit:
+        replayCycleCommit(st, r);
+        break;
+      case WalRecordType::kFlush:
+        st.log.clear();
+        st.uploads.clear();
+        break;
+    }
+}
+
+void
+applySnapshot(RecoveredState &st, SnapshotData &&snap)
+{
+    st.lastWalSeq = snap.lastWalSeq;
+    st.logicalTime = snap.logicalTime;
+    st.nextVersionId = snap.nextVersionId;
+    st.totalIngested = snap.totalIngested;
+    st.dedupHits = snap.dedupHits;
+    std::istringstream csv(snap.driftLogCsv);
+    st.log = driftlog::DriftLog::fromTable(
+        driftlog::readCsv(st.log.table().schema(), csv));
+    st.uploads = std::move(snap.uploads);
+    st.dedup = std::move(snap.dedup);
+    st.blobs = std::move(snap.blobs);
+    st.cleanPatchText = std::move(snap.cleanPatchText);
+    st.cleanPatchTime = snap.cleanPatchTime;
+}
+
+} // namespace
+
+RecoveredState
+recoverDir(const fs::path &dir, size_t dedup_window)
+{
+    RecoveredState st;
+    auto snap = loadSnapshotFile(dir / "snapshot.bin");
+    if (snap.has_value()) {
+        applySnapshot(st, std::move(*snap));
+        st.snapshotLoaded = true;
+    }
+    WalScan scan = Wal::scan(dir / "wal.log");
+    st.truncatedBytes = scan.truncatedBytes;
+    for (const auto &rec : scan.records) {
+        if (rec.seq <= st.lastWalSeq)
+            continue; // already inside the snapshot
+        applyWalRecord(st, rec, dedup_window);
+        st.lastWalSeq = rec.seq;
+        ++st.replayedRecords;
+    }
+    return st;
+}
+
+CloudPersistence::CloudPersistence(const PersistConfig &config,
+                                   size_t dedup_window)
+    : config_(config)
+{
+    NAZAR_SPAN("persist.recover");
+    NAZAR_CHECK(config_.enabled(),
+                "CloudPersistence requires a state directory");
+    fs::create_directories(config_.dir);
+    injector_.armAtHit(config_.crashAtHit);
+
+    fs::path dir(config_.dir);
+    auto snap = loadSnapshotFile(dir / "snapshot.bin");
+    if (snap.has_value()) {
+        applySnapshot(recovered_, std::move(*snap));
+        recovered_.snapshotLoaded = true;
+        obs::Registry::global()
+            .counter("persist.recover.snapshot_loads")
+            .add(1);
+    }
+    // A crash during the tmp phase leaves an orphan; it was never
+    // committed, so it is simply discarded.
+    std::error_code ec;
+    fs::remove(dir / "snapshot.tmp", ec);
+
+    wal_ = std::make_unique<Wal>(dir / "wal.log", &injector_);
+    wal_->bumpSeqPast(recovered_.lastWalSeq);
+    recovered_.truncatedBytes = wal_->truncatedBytes();
+    for (const auto &rec : wal_->records()) {
+        if (rec.seq <= recovered_.lastWalSeq)
+            continue;
+        applyWalRecord(recovered_, rec, dedup_window);
+        recovered_.lastWalSeq = rec.seq;
+        ++recovered_.replayedRecords;
+    }
+    wal_->dropRecords();
+    obs::Registry::global()
+        .counter("persist.recover.replayed_records")
+        .add(recovered_.replayedRecords);
+}
+
+uint64_t
+CloudPersistence::append(WalRecordType type, const std::string &payload)
+{
+    uint64_t seq = wal_->append(type, payload);
+    ++appendsSince_;
+    return seq;
+}
+
+void
+CloudPersistence::logIngest(int64_t device, uint64_t seq,
+                            const driftlog::DriftLogEntry &entry,
+                            const std::vector<double> *features,
+                            const rca::AttributeSet *context,
+                            bool drift_flag)
+{
+    Writer w;
+    uint8_t flags = 0;
+    if (features != nullptr)
+        flags |= kFlagHasUpload;
+    if (device >= 0)
+        flags |= kFlagFromDevice;
+    w.putU8(flags);
+    w.putI64(device);
+    w.putU64(seq);
+    putEntry(w, entry);
+    if (features != nullptr) {
+        w.putU64(features->size());
+        for (double f : *features)
+            w.putF64(f);
+        putAttributeSet(w, *context);
+        w.putBool(drift_flag);
+    }
+    append(WalRecordType::kIngest, w.bytes());
+}
+
+void
+CloudPersistence::logCycleCommit(
+    int64_t logical_time, int64_t next_version_id,
+    const std::vector<VersionBlobs> &versions,
+    const std::optional<std::string> &clean_patch_text,
+    int64_t clean_patch_time)
+{
+    Writer w;
+    w.putI64(logical_time);
+    w.putI64(next_version_id);
+    w.putBool(clean_patch_text.has_value());
+    if (clean_patch_text.has_value()) {
+        w.putString(*clean_patch_text);
+        w.putI64(clean_patch_time);
+    }
+    w.putU32(static_cast<uint32_t>(versions.size()));
+    for (const auto &v : versions) {
+        w.putI64(v.id);
+        w.putString(v.meta);
+        w.putString(v.patch);
+    }
+    append(WalRecordType::kCycleCommit, w.bytes());
+}
+
+void
+CloudPersistence::logFlush()
+{
+    append(WalRecordType::kFlush, std::string());
+}
+
+bool
+CloudPersistence::snapshotDue() const
+{
+    return config_.snapshotEvery > 0 &&
+           appendsSince_ >= config_.snapshotEvery;
+}
+
+void
+CloudPersistence::writeSnapshot(SnapshotData data)
+{
+    NAZAR_SPAN("persist.snapshot");
+    data.lastWalSeq = wal_->lastSeq();
+    fs::path dir(config_.dir);
+    writeSnapshotFile(dir / "snapshot.tmp", dir / "snapshot.bin", data,
+                      injector_);
+    wal_->truncateAll();
+    appendsSince_ = 0;
+}
+
+} // namespace nazar::persist

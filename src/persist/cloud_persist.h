@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Durable cloud state: the WAL + snapshot orchestrator sim::Cloud
+ * plugs into, plus standalone recovery for tools and tests.
+ *
+ * Protocol (WAL-first):
+ *
+ *  - Every ingest *attempt* (accepted or deduped) is appended as a
+ *    kIngest record before the in-memory apply. Replay re-runs the
+ *    dedup logic, so accepted rows, rejected duplicates, and the
+ *    per-device windows are all reproduced exactly.
+ *  - A completed runCycle appends one atomic kCycleCommit record
+ *    carrying the published version blobs, the new counters, and the
+ *    clean patch. A cycle whose commit record never landed (torn or
+ *    never written) rolls back wholesale on recovery: the claimed
+ *    buffers reappear and the cycle re-runs deterministically,
+ *    producing identical version ids.
+ *  - Baseline flushes append kFlush.
+ *  - Every snapshotEvery appends, the full state is snapshotted
+ *    (rename-on-commit) and the WAL is truncated; the snapshot's
+ *    lastWalSeq makes replay idempotent across every crash point in
+ *    that sequence.
+ *
+ * Determinism contract: with persistence off, Cloud never calls in
+ * here. With persistence on and the injector disarmed, no RNG is
+ * consumed and no result changes — only files are written.
+ */
+#ifndef NAZAR_PERSIST_CLOUD_PERSIST_H
+#define NAZAR_PERSIST_CLOUD_PERSIST_H
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "driftlog/drift_log.h"
+#include "persist/crash_point.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+
+namespace nazar::persist {
+
+/** Durability configuration (off by default: dir empty). */
+struct PersistConfig
+{
+    /** State directory (wal.log + snapshot.bin). Empty = off. */
+    std::string dir;
+    /** WAL appends between snapshots (0 = snapshot only on demand). */
+    uint64_t snapshotEvery = 256;
+    /** Arm the crash injector at the Nth site hit (0 = disarmed). */
+    uint64_t crashAtHit = 0;
+
+    bool enabled() const { return !dir.empty(); }
+};
+
+/** Everything recovery reconstructs from snapshot + WAL replay. */
+struct RecoveredState
+{
+    driftlog::DriftLog log;            ///< Pending (unanalyzed) rows.
+    std::vector<UploadRecord> uploads; ///< Pending upload buffer.
+    std::map<int64_t, DedupWindow> dedup;
+    uint64_t dedupHits = 0;
+    uint64_t totalIngested = 0;
+    int64_t nextVersionId = 1;
+    int64_t logicalTime = 0;
+    /** Registry blob store contents, key -> bytes. */
+    std::vector<std::pair<std::string, std::string>> blobs;
+    std::optional<std::string> cleanPatchText;
+    int64_t cleanPatchTime = 0;
+    uint64_t lastWalSeq = 0;
+    bool snapshotLoaded = false;
+    uint64_t replayedRecords = 0;
+    uint64_t truncatedBytes = 0; ///< Torn WAL tail dropped on open.
+};
+
+/** The blobs one published version wrote to the registry store. */
+struct VersionBlobs
+{
+    int64_t id = 0;
+    std::string meta;
+    std::string patch;
+};
+
+/**
+ * Read-only recovery: load the snapshot (when valid) and replay the
+ * WAL. Used by `nazar_ops recover` and by tests; Cloud recovery goes
+ * through CloudPersistence, which additionally opens the WAL for
+ * append (truncating any torn tail).
+ *
+ * @param dedup_window Dedup window size to replay ingests with; must
+ *                     match the CloudConfig the WAL was written under.
+ */
+RecoveredState recoverDir(const std::filesystem::path &dir,
+                          size_t dedup_window = 4096);
+
+/** Per-state-directory durability engine, owned by sim::Cloud. */
+class CloudPersistence
+{
+  public:
+    /**
+     * Open (creating if needed) the state directory, recover, and
+     * position the WAL for append. @p dedup_window must match the
+     * owning cloud's config so replayed ingests dedup identically.
+     */
+    CloudPersistence(const PersistConfig &config, size_t dedup_window);
+
+    /** State recovered at open; Cloud consumes it in its constructor. */
+    RecoveredState &recovered() { return recovered_; }
+
+    /** Free the recovered buffers once the owner has adopted them. */
+    void dropRecovered() { recovered_ = RecoveredState{}; }
+
+    /**
+     * Log one ingest attempt (WAL-first: call before applying).
+     * @p device is -1 for the non-deduped ingest() path; @p features
+     * is null when the entry carries no upload.
+     */
+    void logIngest(int64_t device, uint64_t seq,
+                   const driftlog::DriftLogEntry &entry,
+                   const std::vector<double> *features,
+                   const rca::AttributeSet *context, bool drift_flag);
+
+    /** Log one committed cycle (call after publishing to the store). */
+    void logCycleCommit(int64_t logical_time, int64_t next_version_id,
+                        const std::vector<VersionBlobs> &versions,
+                        const std::optional<std::string> &clean_patch_text,
+                        int64_t clean_patch_time);
+
+    /** Log one baseline flush (buffers cleared without analysis). */
+    void logFlush();
+
+    /** True when enough appends accumulated to warrant a snapshot. */
+    bool snapshotDue() const;
+
+    /**
+     * Write a snapshot (rename-on-commit) and truncate the WAL.
+     * data.lastWalSeq is filled in from the WAL's last appended seq.
+     */
+    void writeSnapshot(SnapshotData data);
+
+    CrashInjector &injector() { return injector_; }
+    const PersistConfig &config() const { return config_; }
+    const Wal &wal() const { return *wal_; }
+
+    /** Appends since the last snapshot (exposed for tests). */
+    uint64_t appendsSinceSnapshot() const { return appendsSince_; }
+
+  private:
+    uint64_t append(WalRecordType type, const std::string &payload);
+
+    PersistConfig config_;
+    CrashInjector injector_;
+    std::unique_ptr<Wal> wal_;
+    RecoveredState recovered_;
+    uint64_t appendsSince_ = 0;
+};
+
+} // namespace nazar::persist
+
+#endif // NAZAR_PERSIST_CLOUD_PERSIST_H

@@ -1,0 +1,264 @@
+#include "persist/serial.h"
+
+#include <array>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace nazar::persist {
+
+namespace {
+
+std::array<uint32_t, 256>
+makeCrcTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<uint32_t, 256> &
+crcTable()
+{
+    static const std::array<uint32_t, 256> table = makeCrcTable();
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32Update(uint32_t crc, const void *data, size_t len)
+{
+    const auto &table = crcTable();
+    const auto *p = static_cast<const unsigned char *>(data);
+    crc ^= 0xFFFFFFFFu;
+    for (size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+uint32_t
+crc32(const void *data, size_t len)
+{
+    return crc32Update(0, data, len);
+}
+
+void
+Writer::putU32(uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        putU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+Writer::putU64(uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        putU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+Writer::putF64(double v)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(bits);
+}
+
+void
+Writer::putBytes(const void *data, size_t len)
+{
+    buf_.append(static_cast<const char *>(data), len);
+}
+
+void
+Writer::putString(const std::string &s)
+{
+    putU64(s.size());
+    buf_.append(s);
+}
+
+const char *
+Reader::need(size_t n)
+{
+    NAZAR_CHECK(len_ - pos_ >= n,
+                "persist: truncated record (need " + std::to_string(n) +
+                    " bytes, have " + std::to_string(len_ - pos_) + ")");
+    const char *p = data_ + pos_;
+    pos_ += n;
+    return p;
+}
+
+uint8_t
+Reader::getU8()
+{
+    return static_cast<uint8_t>(*need(1));
+}
+
+uint32_t
+Reader::getU32()
+{
+    const char *p = need(4);
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+    return v;
+}
+
+uint64_t
+Reader::getU64()
+{
+    const char *p = need(8);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+    return v;
+}
+
+double
+Reader::getF64()
+{
+    uint64_t bits = getU64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+Reader::getString()
+{
+    uint64_t n = getU64();
+    NAZAR_CHECK(n <= remaining(),
+                "persist: string length exceeds buffer");
+    const char *p = need(static_cast<size_t>(n));
+    return std::string(p, static_cast<size_t>(n));
+}
+
+void
+putValue(Writer &w, const driftlog::Value &v)
+{
+    w.putU8(static_cast<uint8_t>(v.type()));
+    switch (v.type()) {
+      case driftlog::ValueType::kNull:
+        break;
+      case driftlog::ValueType::kInt:
+        w.putI64(v.asInt());
+        break;
+      case driftlog::ValueType::kDouble:
+        w.putF64(v.asDouble());
+        break;
+      case driftlog::ValueType::kBool:
+        w.putBool(v.asBool());
+        break;
+      case driftlog::ValueType::kString:
+        w.putString(v.asString());
+        break;
+    }
+}
+
+driftlog::Value
+getValue(Reader &r)
+{
+    auto type = static_cast<driftlog::ValueType>(r.getU8());
+    switch (type) {
+      case driftlog::ValueType::kNull:
+        return driftlog::Value();
+      case driftlog::ValueType::kInt:
+        return driftlog::Value(r.getI64());
+      case driftlog::ValueType::kDouble:
+        return driftlog::Value(r.getF64());
+      case driftlog::ValueType::kBool:
+        return driftlog::Value(r.getBool());
+      case driftlog::ValueType::kString:
+        return driftlog::Value(r.getString());
+    }
+    throw NazarError("persist: unknown Value type tag " +
+                     std::to_string(static_cast<int>(type)));
+}
+
+void
+putAttributeSet(Writer &w, const rca::AttributeSet &attrs)
+{
+    w.putU32(static_cast<uint32_t>(attrs.size()));
+    for (const auto &attr : attrs.attributes()) {
+        w.putString(attr.column);
+        putValue(w, attr.value);
+    }
+}
+
+rca::AttributeSet
+getAttributeSet(Reader &r)
+{
+    uint32_t n = r.getU32();
+    std::vector<rca::Attribute> attrs;
+    attrs.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        rca::Attribute attr;
+        attr.column = r.getString();
+        attr.value = getValue(r);
+        attrs.push_back(std::move(attr));
+    }
+    return rca::AttributeSet(std::move(attrs));
+}
+
+void
+putEntry(Writer &w, const driftlog::DriftLogEntry &e)
+{
+    w.putU32(static_cast<uint32_t>(e.time.dayIndex()));
+    w.putU32(static_cast<uint32_t>(e.time.secondOfDay()));
+    w.putString(e.deviceId);
+    w.putString(e.deviceModel);
+    w.putString(e.location);
+    w.putString(e.weather);
+    w.putI64(e.modelVersion);
+    w.putBool(e.drift);
+}
+
+driftlog::DriftLogEntry
+getEntry(Reader &r)
+{
+    driftlog::DriftLogEntry e;
+    int day = static_cast<int>(r.getU32());
+    int second = static_cast<int>(r.getU32());
+    e.time = SimDate(day, second);
+    e.deviceId = r.getString();
+    e.deviceModel = r.getString();
+    e.location = r.getString();
+    e.weather = r.getString();
+    e.modelVersion = r.getI64();
+    e.drift = r.getBool();
+    return e;
+}
+
+void
+putUpload(Writer &w, const UploadRecord &u)
+{
+    w.putU64(u.features.size());
+    for (double f : u.features)
+        w.putF64(f);
+    putAttributeSet(w, u.context);
+    w.putBool(u.driftFlag);
+}
+
+UploadRecord
+getUpload(Reader &r)
+{
+    UploadRecord u;
+    uint64_t n = r.getU64();
+    NAZAR_CHECK(n * 8 <= r.remaining(),
+                "persist: upload feature count exceeds buffer");
+    u.features.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i)
+        u.features.push_back(r.getF64());
+    u.context = getAttributeSet(r);
+    u.driftFlag = r.getBool();
+    return u;
+}
+
+} // namespace nazar::persist

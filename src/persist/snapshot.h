@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Checksummed cloud-state snapshots with atomic rename-on-commit.
+ *
+ * A snapshot is the full cloud state at a safe point — drift-log table
+ * (via the CSV codec), upload buffer, per-device dedup windows, the
+ * registry's blob store, counters, and the last published clean patch
+ * — plus `lastWalSeq`, the highest WAL sequence number the snapshot
+ * already includes. Recovery loads the snapshot (if valid) and replays
+ * only WAL records with seq > lastWalSeq, so a crash between the
+ * snapshot rename and the WAL truncation cannot double-apply.
+ *
+ * On-disk layout:
+ *
+ *     [8-byte magic "NZSNAP1\0"][u64 payloadLen][u32 crc32(payload)]
+ *     [payload]
+ *
+ * Writes go to `snapshot.tmp` first and are renamed over
+ * `snapshot.bin` only when complete (crash sites
+ * "snapshot.tmp.partial", "snapshot.tmp.done", "snapshot.rename.post"
+ * cover the three distinct failure windows). A corrupt or torn
+ * snapshot file is treated as absent: recovery falls back to replaying
+ * the full WAL.
+ */
+#ifndef NAZAR_PERSIST_SNAPSHOT_H
+#define NAZAR_PERSIST_SNAPSHOT_H
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "persist/crash_point.h"
+#include "persist/serial.h"
+
+namespace nazar::persist {
+
+/** One per-device dedup window (mirror of Cloud::DedupState). */
+struct DedupWindow
+{
+    uint64_t floor = 0;
+    std::vector<uint64_t> seen; ///< Ascending sequence numbers.
+
+    bool operator==(const DedupWindow &other) const = default;
+};
+
+/** Everything a snapshot captures. */
+struct SnapshotData
+{
+    uint64_t lastWalSeq = 0; ///< Highest WAL seq already included.
+    int64_t logicalTime = 0;
+    int64_t nextVersionId = 1;
+    uint64_t totalIngested = 0;
+    uint64_t dedupHits = 0;
+    std::string driftLogCsv; ///< Pending drift-log table, CSV-encoded.
+    std::vector<UploadRecord> uploads;
+    std::map<int64_t, DedupWindow> dedup;
+    /** Registry blob store, key -> bytes, sorted by key. */
+    std::vector<std::pair<std::string, std::string>> blobs;
+    std::optional<std::string> cleanPatchText; ///< BnPatch::save text.
+    int64_t cleanPatchTime = 0; ///< logicalTime that produced it.
+};
+
+/** Encode the payload bytes (no header/CRC — the file writer adds it). */
+std::string encodeSnapshot(const SnapshotData &data);
+
+/** Decode a payload; throws NazarError on malformed bytes. */
+SnapshotData decodeSnapshot(const std::string &payload);
+
+/**
+ * Write @p data to @p tmp, then atomically rename onto @p final.
+ * Fires the three snapshot crash sites along the way.
+ */
+void writeSnapshotFile(const std::filesystem::path &tmp,
+                       const std::filesystem::path &final,
+                       const SnapshotData &data, CrashInjector &injector);
+
+/**
+ * Load a snapshot file. Returns nullopt when the file is absent,
+ * torn, or fails its checksum — the caller then recovers from the WAL
+ * alone.
+ */
+std::optional<SnapshotData>
+loadSnapshotFile(const std::filesystem::path &path);
+
+} // namespace nazar::persist
+
+#endif // NAZAR_PERSIST_SNAPSHOT_H

@@ -1,0 +1,172 @@
+#include "persist/wal.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "persist/serial.h"
+
+namespace nazar::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Read an entire file into a string ("" when absent). */
+std::string
+slurp(const fs::path &path)
+{
+    std::FILE *f = std::fopen(path.string().c_str(), "rb");
+    if (!f)
+        return {};
+    std::string out;
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+/** Parse @p data; returns the scan plus the byte length of the good prefix. */
+std::pair<WalScan, size_t>
+parseWal(const std::string &data)
+{
+    WalScan scan;
+    if (data.size() < sizeof(Wal::kMagic) ||
+        std::memcmp(data.data(), Wal::kMagic, sizeof(Wal::kMagic)) != 0) {
+        scan.truncatedBytes = data.size();
+        return {std::move(scan), 0};
+    }
+    scan.validHeader = true;
+    size_t pos = sizeof(Wal::kMagic);
+    size_t good = pos;
+    uint64_t last_seq = 0;
+    while (data.size() - pos >= 8) {
+        Reader head(data.data() + pos, 8);
+        uint32_t len = head.getU32();
+        uint32_t crc = head.getU32();
+        if (data.size() - pos - 8 < len)
+            break; // short body: torn tail
+        const char *body = data.data() + pos + 8;
+        if (crc32(body, len) != crc)
+            break; // bit rot or torn rewrite
+        if (len < 9)
+            break; // body must hold at least type + seq
+        Reader r(body, len);
+        WalRecord rec;
+        rec.type = static_cast<WalRecordType>(r.getU8());
+        rec.seq = r.getU64();
+        if (rec.type != WalRecordType::kIngest &&
+            rec.type != WalRecordType::kCycleCommit &&
+            rec.type != WalRecordType::kFlush)
+            break; // unknown type: treat as corruption
+        if (rec.seq <= last_seq)
+            break; // seqs are strictly increasing
+        rec.payload.assign(body + 9, len - 9);
+        last_seq = rec.seq;
+        scan.records.push_back(std::move(rec));
+        pos += 8 + len;
+        good = pos;
+    }
+    scan.truncatedBytes = data.size() - good;
+    return {std::move(scan), good};
+}
+
+} // namespace
+
+WalScan
+Wal::scan(const fs::path &path)
+{
+    return parseWal(slurp(path)).first;
+}
+
+Wal::Wal(const fs::path &path, CrashInjector *injector)
+    : path_(path), injector_(injector)
+{
+    NAZAR_CHECK(injector_ != nullptr, "Wal: null crash injector");
+    std::string data = slurp(path_);
+    auto [scan, good] = parseWal(data);
+    truncatedBytes_ = scan.truncatedBytes;
+    records_ = std::move(scan.records);
+    if (!records_.empty())
+        nextSeq_ = records_.back().seq + 1;
+    if (!scan.validHeader) {
+        // Absent or unrecognizable file: start fresh with a header.
+        file_ = std::fopen(path_.string().c_str(), "wb");
+        NAZAR_CHECK(file_ != nullptr,
+                    "Wal: cannot create " + path_.string());
+        std::fwrite(kMagic, 1, sizeof(kMagic), file_);
+        std::fflush(file_);
+        return;
+    }
+    if (good < data.size())
+        fs::resize_file(path_, good); // drop the torn tail
+    file_ = std::fopen(path_.string().c_str(), "ab");
+    NAZAR_CHECK(file_ != nullptr, "Wal: cannot open " + path_.string());
+    if (truncatedBytes_ > 0)
+        obs::Registry::global()
+            .counter("persist.wal.torn_bytes")
+            .add(truncatedBytes_);
+}
+
+Wal::~Wal()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+uint64_t
+Wal::append(WalRecordType type, const std::string &payload)
+{
+    Writer body;
+    body.putU8(static_cast<uint8_t>(type));
+    body.putU64(nextSeq_);
+    body.putBytes(payload.data(), payload.size());
+
+    Writer frame;
+    frame.putU32(static_cast<uint32_t>(body.size()));
+    frame.putU32(crc32(body.bytes().data(), body.size()));
+    frame.putBytes(body.bytes().data(), body.size());
+    const std::string &bytes = frame.bytes();
+
+    if (injector_->fires("wal.append.partial")) {
+        // Torn write: the frame header plus roughly half the body
+        // reaches disk before the "process" dies. The record fails
+        // its CRC on reopen, so the operation was never durable.
+        size_t torn = 8 + (body.size() + 1) / 2;
+        std::fwrite(bytes.data(), 1, torn, file_);
+        std::fflush(file_);
+        throw CrashInjected("wal.append.partial", injector_->hitCount());
+    }
+    size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file_);
+    NAZAR_CHECK(written == bytes.size(),
+                "Wal: short write to " + path_.string());
+    NAZAR_CHECK(std::fflush(file_) == 0,
+                "Wal: flush failed for " + path_.string());
+    uint64_t seq = nextSeq_++;
+    obs::Registry::global().counter("persist.wal.appends").add(1);
+    injector_->check("wal.append.post");
+    return seq;
+}
+
+void
+Wal::truncateAll()
+{
+    std::fclose(file_);
+    file_ = nullptr;
+    fs::resize_file(path_, sizeof(kMagic));
+    file_ = std::fopen(path_.string().c_str(), "ab");
+    NAZAR_CHECK(file_ != nullptr, "Wal: cannot reopen " + path_.string());
+    obs::Registry::global().counter("persist.wal.truncations").add(1);
+    injector_->check("wal.truncate.post");
+}
+
+void
+Wal::bumpSeqPast(uint64_t last_seq)
+{
+    if (nextSeq_ <= last_seq)
+        nextSeq_ = last_seq + 1;
+}
+
+} // namespace nazar::persist

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Checksummed, length-prefixed write-ahead log.
+ *
+ * On-disk layout:
+ *
+ *     [8-byte magic "NZWAL1\0\0"]
+ *     repeated records: [u32 bodyLen][u32 crc32(body)][body]
+ *     body = [u8 recordType][u64 seq][payload...]
+ *
+ * Sequence numbers are strictly increasing across the WAL's lifetime
+ * and keep counting across truncations, so a snapshot can record "I
+ * contain everything up to seq S" and replay skips records <= S.
+ *
+ * Opening scans the file front to back; the first short read, CRC
+ * mismatch, or non-monotonic seq marks the torn tail left by a crash
+ * mid-append, and the file is truncated to the last good record.
+ * Everything before the tear is valid by construction (each record is
+ * independently checksummed), so a crash can only lose the operation
+ * that was being written — which by WAL-first ordering was never
+ * applied to memory either.
+ */
+#ifndef NAZAR_PERSIST_WAL_H
+#define NAZAR_PERSIST_WAL_H
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "persist/crash_point.h"
+
+namespace nazar::persist {
+
+/** Typed WAL records; the payload format is owned by cloud_persist. */
+enum class WalRecordType : uint8_t {
+    kIngest = 1,      ///< One drift-log ingest (+ optional upload/dedup).
+    kCycleCommit = 2, ///< One completed runCycle: publishes + counters.
+    kFlush = 3,       ///< Baseline window flush: buffers cleared.
+};
+
+/** One decoded record, as returned by scan() / replay. */
+struct WalRecord
+{
+    WalRecordType type;
+    uint64_t seq = 0;
+    std::string payload;
+};
+
+/** Result of scanning a WAL file without opening it for append. */
+struct WalScan
+{
+    std::vector<WalRecord> records;
+    uint64_t truncatedBytes = 0; ///< Torn-tail bytes dropped (0 = clean).
+    bool validHeader = false;
+};
+
+/** Append-only WAL file handle. */
+class Wal
+{
+  public:
+    /**
+     * Open (creating if absent) the WAL at @p path. Scans existing
+     * records, truncates any torn tail, and positions for append.
+     * Recovered records are available via records() until
+     * dropRecords() frees them.
+     */
+    Wal(const std::filesystem::path &path, CrashInjector *injector);
+    ~Wal();
+
+    Wal(const Wal &) = delete;
+    Wal &operator=(const Wal &) = delete;
+
+    /**
+     * Append one record durably (write + flush) and return its seq.
+     * Crash sites: "wal.append.partial" fires after writing a torn
+     * prefix of the record (the operation is NOT durable);
+     * "wal.append.post" fires after the full record is on disk (the
+     * operation IS durable, the in-memory apply was lost).
+     */
+    uint64_t append(WalRecordType type, const std::string &payload);
+
+    /**
+     * Drop all records: truncate the file back to the bare header.
+     * The seq counter keeps counting — snapshots rely on seq being
+     * unique across the whole history. Crash site:
+     * "wal.truncate.post" after the truncation took effect.
+     */
+    void truncateAll();
+
+    /** Records recovered at open time (seq > any snapshot's cut). */
+    const std::vector<WalRecord> &records() const { return records_; }
+
+    /** Free the recovered records once replay has consumed them. */
+    void dropRecords() { records_.clear(); records_.shrink_to_fit(); }
+
+    /** Torn-tail bytes truncated at open (0 when the shutdown was clean). */
+    uint64_t truncatedBytes() const { return truncatedBytes_; }
+
+    /** Next sequence number that append() would assign. */
+    uint64_t nextSeq() const { return nextSeq_; }
+
+    /** Last appended/recovered seq (0 when the log is empty). */
+    uint64_t lastSeq() const { return nextSeq_ == 1 ? 0 : nextSeq_ - 1; }
+
+    /**
+     * After a snapshot recorded lastWalSeq, seed the counter so new
+     * appends continue above it even though the file was truncated.
+     */
+    void bumpSeqPast(uint64_t last_seq);
+
+    const std::filesystem::path &path() const { return path_; }
+
+    /** Read-only scan (used by `nazar_ops wal` and recovery). */
+    static WalScan scan(const std::filesystem::path &path);
+
+    static constexpr char kMagic[8] = {'N', 'Z', 'W', 'A', 'L', '1', 0, 0};
+
+  private:
+    std::filesystem::path path_;
+    CrashInjector *injector_; ///< Never null; owned by CloudPersistence.
+    std::FILE *file_ = nullptr;
+    uint64_t nextSeq_ = 1;
+    uint64_t truncatedBytes_ = 0;
+    std::vector<WalRecord> records_;
+};
+
+} // namespace nazar::persist
+
+#endif // NAZAR_PERSIST_WAL_H

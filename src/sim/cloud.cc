@@ -4,8 +4,11 @@
  */
 #include "cloud.h"
 
+#include <sstream>
+
 #include "common/error.h"
 #include "common/logging.h"
+#include "driftlog/csv.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "runtime/thread_pool.h"
@@ -18,6 +21,49 @@ Cloud::Cloud(CloudConfig config, const nn::Classifier &base)
     if (config_.rca.attributeColumns.empty())
         config_.rca.attributeColumns =
             driftlog::DriftLog::defaultAttributeColumns();
+    if (config_.persist.enabled()) {
+        persist_ = std::make_unique<persist::CloudPersistence>(
+            config_.persist, config_.ingestDedupWindow);
+        adoptRecovered(persist_->recovered());
+        persist_->dropRecovered();
+    }
+}
+
+void
+Cloud::adoptRecovered(persist::RecoveredState &st)
+{
+    driftLog_ = std::move(st.log);
+    uploads_.clear();
+    uploads_.reserve(st.uploads.size());
+    for (auto &up : st.uploads)
+        uploads_.push_back(Upload{std::move(up.features),
+                                  std::move(up.context), up.driftFlag});
+    dedup_.clear();
+    for (auto &[device, window] : st.dedup) {
+        DedupState state;
+        state.floor = window.floor;
+        state.seen.insert(window.seen.begin(), window.seen.end());
+        dedup_[static_cast<int>(device)] = std::move(state);
+    }
+    dedupHits_ = st.dedupHits;
+    totalIngested_ = st.totalIngested;
+    nextVersionId_ = st.nextVersionId;
+    logicalTime_ = st.logicalTime;
+    for (auto &[key, bytes] : st.blobs)
+        blobStore_.put(key, std::move(bytes));
+    if (st.cleanPatchText.has_value()) {
+        std::istringstream is(*st.cleanPatchText);
+        recoveredCleanPatch_ = nn::BnPatch::load(is);
+        recoveredCleanPatchTime_ = st.cleanPatchTime;
+        lastCleanPatchText_ = std::move(st.cleanPatchText);
+        lastCleanPatchTime_ = st.cleanPatchTime;
+    }
+    if (st.snapshotLoaded || st.replayedRecords > 0) {
+        logInfo() << "cloud recovered: " << driftLog_.size()
+                  << " pending rows, " << uploads_.size()
+                  << " uploads, logical time " << logicalTime_ << ", "
+                  << st.replayedRecords << " WAL records replayed";
+    }
 }
 
 void
@@ -42,7 +88,17 @@ Cloud::ingest(const driftlog::DriftLogEntry &entry,
     if (upload.has_value())
         uploads.add(1);
     std::lock_guard<std::mutex> lk(ingestMutex_);
+    if (persist_) {
+        // WAL-first: the attempt is durable before the apply, so a
+        // crash between the two replays the row instead of losing it.
+        persist_->logIngest(
+            /*device=*/-1, /*seq=*/0, entry,
+            upload ? &upload->features : nullptr,
+            upload ? &upload->context : nullptr,
+            upload ? upload->driftFlag : false);
+    }
     ingestLocked(entry, std::move(upload));
+    maybeSnapshotLocked();
 }
 
 bool
@@ -58,10 +114,20 @@ Cloud::ingestFrom(int device, uint64_t seq,
         obs::Registry::global().counter("net.dedup_hits");
 
     std::lock_guard<std::mutex> lk(ingestMutex_);
+    if (persist_) {
+        // Log the *attempt* before the dedup check: replay re-runs the
+        // dedup logic, so accepted rows, rejected duplicates, and the
+        // per-device windows are all reproduced exactly.
+        persist_->logIngest(
+            device, seq, entry, upload ? &upload->features : nullptr,
+            upload ? &upload->context : nullptr,
+            upload ? upload->driftFlag : false);
+    }
     DedupState &state = dedup_[device];
     if (seq < state.floor || state.seen.count(seq) > 0) {
         ++dedupHits_;
         dedup_hits.add(1);
+        maybeSnapshotLocked();
         return false;
     }
     state.seen.insert(seq);
@@ -73,6 +139,7 @@ Cloud::ingestFrom(int device, uint64_t seq,
     if (upload.has_value())
         uploads.add(1);
     ingestLocked(entry, std::move(upload));
+    maybeSnapshotLocked();
     return true;
 }
 
@@ -161,10 +228,13 @@ Cloud::flush()
     static obs::Counter &flushed_uploads =
         obs::Registry::global().counter("sim.cloud.flushed.uploads");
     std::lock_guard<std::mutex> lk(ingestMutex_);
+    if (persist_)
+        persist_->logFlush();
     flushed_rows.add(driftLog_.size());
     flushed_uploads.add(uploads_.size());
     driftLog_.clear();
     uploads_.clear();
+    maybeSnapshotLocked();
 }
 
 CycleResult
@@ -239,6 +309,7 @@ Cloud::runCycle(const nn::BnPatch &clean_patch)
             // sampled out — or lost/shed in transit — below the adapt
             // floor. Skip the cause, don't fail the cycle.
             skipped_causes.add(1);
+            ++result.skippedCauses;
             logDebug() << "skipping cause " << cause.attrs.toString()
                        << ": only " << samples.size() << " samples";
             continue;
@@ -281,7 +352,106 @@ Cloud::runCycle(const nn::BnPatch &clean_patch)
     if (jobs.size() > cause_jobs)
         result.newCleanPatch = std::move(patches.back());
     result.adaptSeconds = adapt_span.stop();
+
+    if (persist_) {
+        // One atomic commit record for the whole cycle, carrying the
+        // exact blob bytes the registry published. Appended after the
+        // in-memory publishes: the only observer that could see the
+        // gap is disk recovery, which rolls the uncommitted cycle back
+        // (ingest replay restores the claimed buffers) and re-runs it
+        // deterministically, reassigning identical version ids.
+        std::vector<persist::VersionBlobs> blobs;
+        blobs.reserve(result.newVersions.size());
+        for (const auto &version : result.newVersions) {
+            blobs.push_back(
+                {version.id,
+                 blobStore_.get(deploy::ModelRegistry::metaKey(version.id)),
+                 blobStore_.get(
+                     deploy::ModelRegistry::patchKey(version.id))});
+        }
+        if (result.newCleanPatch.has_value()) {
+            std::ostringstream patch_text;
+            result.newCleanPatch->save(patch_text);
+            lastCleanPatchText_ = patch_text.str();
+            lastCleanPatchTime_ = logicalTime_;
+        }
+        persist_->logCycleCommit(logicalTime_, nextVersionId_, blobs,
+                                 result.newCleanPatch.has_value()
+                                     ? lastCleanPatchText_
+                                     : std::optional<std::string>(),
+                                 lastCleanPatchTime_);
+        std::lock_guard<std::mutex> lk(ingestMutex_);
+        maybeSnapshotLocked();
+    }
     return result;
+}
+
+std::vector<deploy::ModelVersion>
+Cloud::versionsSince(int64_t after_id) const
+{
+    std::vector<deploy::ModelVersion> versions;
+    for (int64_t id : registry_.versionIds())
+        if (id > after_id)
+            versions.push_back(registry_.fetch(id));
+    return versions;
+}
+
+std::map<int64_t, persist::DedupWindow>
+Cloud::dedupSnapshot() const
+{
+    std::lock_guard<std::mutex> lk(ingestMutex_);
+    std::map<int64_t, persist::DedupWindow> out;
+    for (const auto &[device, state] : dedup_) {
+        persist::DedupWindow window;
+        window.floor = state.floor;
+        window.seen.assign(state.seen.begin(), state.seen.end());
+        out[device] = std::move(window);
+    }
+    return out;
+}
+
+void
+Cloud::checkpoint()
+{
+    if (!persist_)
+        return;
+    std::lock_guard<std::mutex> lk(ingestMutex_);
+    writeSnapshotLocked();
+}
+
+void
+Cloud::maybeSnapshotLocked()
+{
+    if (persist_ && persist_->snapshotDue())
+        writeSnapshotLocked();
+}
+
+void
+Cloud::writeSnapshotLocked()
+{
+    persist::SnapshotData data;
+    data.logicalTime = logicalTime_;
+    data.nextVersionId = nextVersionId_;
+    data.totalIngested = totalIngested_;
+    data.dedupHits = dedupHits_;
+    std::ostringstream csv;
+    driftlog::writeCsv(driftLog_.table(), csv);
+    data.driftLogCsv = csv.str();
+    data.uploads.reserve(uploads_.size());
+    for (const auto &up : uploads_)
+        data.uploads.push_back(
+            persist::UploadRecord{up.features, up.context, up.driftFlag});
+    for (const auto &[device, state] : dedup_) {
+        persist::DedupWindow window;
+        window.floor = state.floor;
+        window.seen.assign(state.seen.begin(), state.seen.end());
+        data.dedup[device] = std::move(window);
+    }
+    for (const auto &key : blobStore_.list())
+        data.blobs.emplace_back(key, blobStore_.get(key));
+    data.cleanPatchText = lastCleanPatchText_;
+    data.cleanPatchTime = lastCleanPatchTime_;
+    persist_->writeSnapshot(std::move(data));
 }
 
 } // namespace nazar::sim

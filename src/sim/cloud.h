@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -19,6 +20,7 @@
 #include "deploy/model_version.h"
 #include "deploy/registry.h"
 #include "driftlog/drift_log.h"
+#include "persist/cloud_persist.h"
 #include "rca/analyzer.h"
 
 namespace nazar::sim {
@@ -51,6 +53,13 @@ struct CloudConfig
      * drift row effectively once.
      */
     size_t ingestDedupWindow = 4096;
+    /**
+     * Crash-safe durability for the cloud's state (drift log, upload
+     * buffer, dedup windows, registry, counters). Off by default
+     * (empty dir): no file is touched and the run is bit-identical to
+     * a cloud without the persist layer.
+     */
+    persist::PersistConfig persist;
 };
 
 /** Result of one analysis/adaptation cycle. */
@@ -60,6 +69,8 @@ struct CycleResult
     std::optional<nn::BnPatch> newCleanPatch;
     rca::AnalysisResult analysis;
     size_t adaptedSampleCount = 0;
+    /** Causes found by RCA but skipped for lack of matching uploads. */
+    size_t skippedCauses = 0;
     double rcaSeconds = 0.0;   ///< Wall-clock of the RCA stage.
     double adaptSeconds = 0.0; ///< Wall-clock of the adaptation stage.
 };
@@ -146,6 +157,45 @@ class Cloud
     /** Next version id that will be assigned. */
     int64_t nextVersionId() const { return nextVersionId_; }
 
+    /** Completed analysis cycles (advances once per runCycle). */
+    int64_t logicalTime() const { return logicalTime_; }
+
+    /**
+     * All published versions with id > @p after_id, ascending. Used
+     * after a crash-restart to re-push versions that devices never
+     * acknowledged.
+     */
+    std::vector<deploy::ModelVersion> versionsSince(int64_t after_id) const;
+
+    /**
+     * The clean BN patch recovered from the state directory, when one
+     * was persisted by an earlier incarnation's cycle. The owner (the
+     * runner) adopts it so adaptation resumes from the recovered
+     * calibration instead of the base model's.
+     */
+    const std::optional<nn::BnPatch> &recoveredCleanPatch() const
+    {
+        return recoveredCleanPatch_;
+    }
+
+    /** logicalTime of the cycle that produced the recovered patch. */
+    int64_t recoveredCleanPatchTime() const
+    {
+        return recoveredCleanPatchTime_;
+    }
+
+    /** Copy of the per-device dedup windows (for tests). Thread-safe. */
+    std::map<int64_t, persist::DedupWindow> dedupSnapshot() const;
+
+    /**
+     * Force a snapshot now (rename-on-commit + WAL truncation). No-op
+     * without persistence. Thread-safe against concurrent ingest.
+     */
+    void checkpoint();
+
+    /** The durability engine, or null when persistence is off. */
+    persist::CloudPersistence *persistence() { return persist_.get(); }
+
     /**
      * The version registry (every adapted version is published to the
      * blob store before deployment — the §5.8 "written in S3" step).
@@ -172,6 +222,17 @@ class Cloud
     void ingestLocked(const driftlog::DriftLogEntry &entry,
                       std::optional<Upload> upload);
 
+    /** Adopt the state a CloudPersistence recovered at open. */
+    void adoptRecovered(persist::RecoveredState &st);
+
+    /** Snapshot when due (ingestMutex_ held by the caller). */
+    void maybeSnapshotLocked();
+
+    /** Build + write a snapshot of the full state (ingestMutex_ held;
+     *  blobStore_/registry_ are safe to read because cycles never run
+     *  concurrently with ingest in the runner). */
+    void writeSnapshotLocked();
+
     /** Collect uploads whose context matches a cause. */
     static data::Dataset uploadsMatching(
         const std::vector<Upload> &uploads,
@@ -195,6 +256,14 @@ class Cloud
     int64_t nextVersionId_ = 1;
     int64_t logicalTime_ = 0;
     size_t totalIngested_ = 0;
+    /** Durability engine (null when CloudConfig::persist is off). */
+    std::unique_ptr<persist::CloudPersistence> persist_;
+    std::optional<nn::BnPatch> recoveredCleanPatch_;
+    int64_t recoveredCleanPatchTime_ = 0;
+    /** Last clean patch published by a cycle, as BnPatch::save text —
+     *  carried into snapshots so recovery can resume calibration. */
+    std::optional<std::string> lastCleanPatchText_;
+    int64_t lastCleanPatchTime_ = 0;
 };
 
 } // namespace nazar::sim

@@ -227,7 +227,8 @@ Runner::run()
 
     CloudConfig cloud_config = config_.cloud;
     cloud_config.ingestDedupWindow = config_.faults.dedupWindow;
-    Cloud cloud(cloud_config, *base_);
+    cloud_config.persist = config_.persist;
+    auto cloud = std::make_unique<Cloud>(cloud_config, *base_);
     detect::MspDetector detector(config_.mspThreshold);
 
     // All device→cloud telemetry and cloud→device version pushes go
@@ -241,8 +242,33 @@ Runner::run()
 
     nn::Classifier scratch = base_->clone();
     nn::BnPatch clean_patch = base_->bnPatch();
+    // A restarted run resumes calibration from the recovered clean
+    // patch instead of the base model's.
+    if (cloud->recoveredCleanPatch().has_value())
+        clean_patch = *cloud->recoveredCleanPatch();
     // Adapt-all: the single continuously adapted model's BN state.
     nn::BnPatch global_patch = clean_patch;
+
+    // Crash-restart: an injected crash "kills" the cloud process; the
+    // runner rebuilds it from the state directory with the injector
+    // disarmed (the armed site already fired). The clean patch is
+    // cloud-side state, so it too comes back from disk — the last
+    // *committed* cycle's patch, which is exactly what a re-run of an
+    // uncommitted cycle must start from.
+    static obs::Counter &crash_counter =
+        obs::Registry::global().counter("sim.cloud.crashes");
+    int64_t cycles_done = cloud->logicalTime();
+    auto rebuild_cloud = [&]() {
+        CloudConfig recover_config = cloud_config;
+        recover_config.persist.crashAtHit = 0;
+        cloud.reset(); // release the WAL handle before reopening
+        cloud = std::make_unique<Cloud>(recover_config, *base_);
+        clean_patch = cloud->recoveredCleanPatch().has_value()
+                          ? *cloud->recoveredCleanPatch()
+                          : base_->bnPatch();
+        ++result.cloudCrashes;
+        crash_counter.add(1);
+    };
 
     Rng sample_rng = rng.fork();
     size_t next_event = 0;
@@ -354,27 +380,72 @@ Runner::run()
                         UplinkPayload{device.makeLogEntry(ev, out),
                                       std::move(upload)});
         }
+        bool cloud_down = false;
         uplink.deliver([&](size_t device, uint64_t seq,
                            UplinkPayload &&payload) {
-            cloud.ingestFrom(static_cast<int>(device), seq,
-                             payload.entry, std::move(payload.upload));
+            if (cloud_down)
+                return; // cloud is down; telemetry in flight is lost
+            try {
+                cloud->ingestFrom(static_cast<int>(device), seq,
+                                  payload.entry,
+                                  std::move(payload.upload));
+            } catch (const persist::CrashInjected &crash) {
+                logInfo() << "cloud crash injected at "
+                          << crash.site() << " (hit " << crash.hit()
+                          << ") during ingest";
+                cloud_down = true;
+            }
         });
+        if (cloud_down)
+            rebuild_cloud();
 
         // ---- Window boundary: run the strategy's adaptation ----------
         switch (config_.strategy) {
           case Strategy::kNazar: {
-            CycleResult cycle = cloud.runCycle(clean_patch);
-            result.totalRcaSeconds += cycle.rcaSeconds;
-            result.totalAdaptSeconds += cycle.adaptSeconds;
-            wm.rootCauses = cycle.analysis.rootCauses.size();
-            wm.newVersions = cycle.newVersions.size();
-            if (cycle.newCleanPatch.has_value())
-                clean_patch = *cycle.newCleanPatch;
+            // Fold a completed cycle into the window/run metrics and
+            // hand back its versions for pushing.
+            auto apply_cycle = [&](CycleResult &&cycle) {
+                result.totalRcaSeconds += cycle.rcaSeconds;
+                result.totalAdaptSeconds += cycle.adaptSeconds;
+                wm.rootCauses = cycle.analysis.rootCauses.size();
+                wm.skippedCauses = cycle.skippedCauses;
+                if (cycle.newCleanPatch.has_value())
+                    clean_patch = *cycle.newCleanPatch;
+                return std::move(cycle.newVersions);
+            };
+            const int64_t pre_cycle_next = cloud->nextVersionId();
+            std::vector<deploy::ModelVersion> new_versions;
+            try {
+                new_versions = apply_cycle(cloud->runCycle(clean_patch));
+            } catch (const persist::CrashInjected &crash) {
+                logInfo() << "cloud crash injected at "
+                          << crash.site() << " (hit " << crash.hit()
+                          << ") during cycle";
+                rebuild_cloud();
+                if (cloud->logicalTime() > cycles_done) {
+                    // The commit record survived, so the cycle is
+                    // durable. The in-memory analysis summary died
+                    // with the process; the published versions are
+                    // re-read from the recovered registry and pushed
+                    // below — devices never acknowledged them.
+                    new_versions =
+                        cloud->versionsSince(pre_cycle_next - 1);
+                } else {
+                    // Uncommitted: WAL replay restored the claimed
+                    // buffers, and the rebuilt cloud re-runs the cycle
+                    // deterministically (the injector is disarmed),
+                    // reassigning identical version ids.
+                    new_versions =
+                        apply_cycle(cloud->runCycle(clean_patch));
+                }
+            }
+            cycles_done = cloud->logicalTime();
+            wm.newVersions = new_versions.size();
             // Push each new version over the downlink. A device whose
             // push is lost (offline epoch, downlink drop) keeps
             // serving its newest held patch; the matcher falls back to
             // the clean model when nothing held matches.
-            for (const auto &version : cycle.newVersions) {
+            for (const auto &version : new_versions) {
                 for (size_t d = 0; d < devices.size(); ++d) {
                     if (!uplink.deliverPush(d))
                         continue;
@@ -395,8 +466,14 @@ Runner::run()
           case Strategy::kAdaptAll: {
             // Adapt the single model on every upload of the window,
             // continuing from its current state.
-            data::Dataset all = cloud.allUploads();
-            cloud.flush();
+            data::Dataset all = cloud->allUploads();
+            try {
+                cloud->flush();
+            } catch (const persist::CrashInjected &) {
+                rebuild_cloud();
+                cloud->flush(); // idempotent: replay already cleared
+                                // or restored, and this clears again
+            }
             if (all.size() >= cloud_config.minAdaptSamples) {
                 NAZAR_SPAN_BEGIN(adapt_span, "sim.adapt_all");
                 adapt::TentAdapter tent(cloud_config.adapt);
@@ -409,11 +486,28 @@ Runner::run()
             break;
           }
           case Strategy::kNoAdapt:
-            cloud.flush(); // telemetry still arrives; nothing is done
+            // Telemetry still arrives; nothing is done with it.
+            try {
+                cloud->flush();
+            } catch (const persist::CrashInjected &) {
+                rebuild_cloud();
+                cloud->flush();
+            }
             break;
         }
 
         result.windows.push_back(wm);
+    }
+    // Leave a clean state directory behind: one final snapshot, so a
+    // later process (or `nazar_ops recover`) starts from the snapshot
+    // instead of a long WAL replay.
+    if (config_.persist.enabled()) {
+        try {
+            cloud->checkpoint();
+        } catch (const persist::CrashInjected &) {
+            rebuild_cloud();
+            cloud->checkpoint();
+        }
     }
     // Anything still queued or delayed past the last window is lost;
     // account for it so `net.sent` always reconciles against

@@ -43,6 +43,13 @@ struct RunnerConfig
      * (seed, faults.seed) at any NAZAR_THREADS setting.
      */
     net::FaultConfig faults;
+    /**
+     * Cloud-state durability. Off by default (empty dir); when on, the
+     * cloud WALs every ingest and cycle commit into persist.dir and
+     * the runner survives injected cloud crashes by rebuilding the
+     * cloud from disk (see RunResult::cloudCrashes).
+     */
+    persist::PersistConfig persist;
     CloudConfig cloud;
     nn::TrainConfig train;         ///< Base-model training.
     data::WorkloadConfig workload;
@@ -63,6 +70,9 @@ struct WindowMetrics
     size_t newVersions = 0;  ///< Versions produced at the boundary.
     size_t poolSize = 0;     ///< Device 0's pool size after the boundary.
     size_t staleDevices = 0; ///< Devices that missed ≥1 version push.
+    /** Causes RCA found but adaptation skipped (uploads sampled out or
+     *  lost below the adapt floor) at this window's boundary. */
+    size_t skippedCauses = 0;
 
     double accuracyAll() const;
     double accuracyDrifted() const;
@@ -91,6 +101,8 @@ struct RunResult
     double baseCleanAccuracy = 0.0; ///< Validation accuracy pre-deploy.
     double totalRcaSeconds = 0.0;
     double totalAdaptSeconds = 0.0;
+    /** Injected cloud crashes survived by rebuilding from disk. */
+    size_t cloudCrashes = 0;
 
     /** Mean accuracy over all events, skipping @p skip lead windows
      *  (the paper averages over the last 7 of 8 windows). */

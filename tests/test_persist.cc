@@ -1,0 +1,753 @@
+/**
+ * @file
+ * Tests for the durability layer: serialization, WAL torn-tail
+ * handling, snapshot atomicity, crash-point injection, and the
+ * headline property — an exhaustive sweep that crashes the cloud at
+ * every write boundary of a scripted scenario, reopens the state
+ * directory, and asserts recovery matches a never-crashed oracle.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "data/apps.h"
+#include "driftlog/csv.h"
+#include "persist/cloud_persist.h"
+#include "persist/crash_point.h"
+#include "persist/serial.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+#include "sim/cloud.h"
+
+namespace nazar::persist {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Unique scratch directory under the test's CWD, removed on exit. */
+struct TempDir
+{
+    fs::path path;
+
+    explicit TempDir(const std::string &tag)
+    {
+        static int counter = 0;
+        path = fs::current_path() /
+               ("persist_test_" + tag + "_" + std::to_string(counter++));
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+
+    ~TempDir() { fs::remove_all(path); }
+};
+
+struct QuietLogs : ::testing::Test
+{
+    QuietLogs() { setLogLevel(LogLevel::kSilent); }
+    ~QuietLogs() override { setLogLevel(LogLevel::kInfo); }
+};
+
+// ---- serial ---------------------------------------------------------
+
+TEST(Serial, Crc32KnownVector)
+{
+    // The standard check value for reflected 0xEDB88320.
+    EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+    uint32_t inc = crc32Update(0, "1234", 4);
+    inc = crc32Update(inc, "56789", 5);
+    EXPECT_EQ(inc, 0xCBF43926u);
+}
+
+TEST(Serial, ScalarRoundTrip)
+{
+    Writer w;
+    w.putU8(200);
+    w.putBool(true);
+    w.putU32(0xDEADBEEFu);
+    w.putU64(0x0123456789ABCDEFull);
+    w.putI64(-42);
+    w.putF64(-0.1);
+    w.putString(std::string("hello\0world", 11)); // embedded NUL survives
+    Reader r(w.bytes());
+    EXPECT_EQ(r.getU8(), 200);
+    EXPECT_TRUE(r.getBool());
+    EXPECT_EQ(r.getU32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.getU64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(r.getI64(), -42);
+    EXPECT_EQ(r.getF64(), -0.1);
+    EXPECT_EQ(r.getString(), std::string("hello\0world", 11));
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Serial, DoubleBitPatternsSurvive)
+{
+    const double values[] = {
+        0.0, -0.0, 1.0 / 3.0,
+        std::numeric_limits<double>::quiet_NaN(),
+        -std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::denorm_min(),
+    };
+    Writer w;
+    for (double v : values)
+        w.putF64(v);
+    Reader r(w.bytes());
+    for (double v : values) {
+        double got = r.getF64();
+        uint64_t a, b;
+        std::memcpy(&a, &v, 8);
+        std::memcpy(&b, &got, 8);
+        EXPECT_EQ(a, b);
+    }
+}
+
+TEST(Serial, ReaderThrowsOnUnderrun)
+{
+    Writer w;
+    w.putU32(7);
+    Reader r(w.bytes());
+    EXPECT_EQ(r.getU32(), 7u);
+    EXPECT_THROW(r.getU32(), NazarError);
+    // A declared string length past the end must not allocate blindly.
+    Writer w2;
+    w2.putU64(1ull << 40);
+    Reader r2(w2.bytes());
+    EXPECT_THROW(r2.getString(), NazarError);
+}
+
+TEST(Serial, ValueAndAttributeSetRoundTrip)
+{
+    Writer w;
+    putValue(w, driftlog::Value());
+    putValue(w, driftlog::Value(static_cast<int64_t>(-5)));
+    putValue(w, driftlog::Value(2.5));
+    putValue(w, driftlog::Value(true));
+    putValue(w, driftlog::Value(std::string("snow")));
+    rca::AttributeSet attrs({
+        {"weather", driftlog::Value(std::string("snow"))},
+        {"device_id", driftlog::Value(std::string("android_3"))},
+    });
+    putAttributeSet(w, attrs);
+
+    Reader r(w.bytes());
+    EXPECT_TRUE(getValue(r).isNull());
+    EXPECT_EQ(getValue(r).asInt(), -5);
+    EXPECT_EQ(getValue(r).asDouble(), 2.5);
+    EXPECT_EQ(getValue(r).asBool(), true);
+    EXPECT_EQ(getValue(r).asString(), "snow");
+    EXPECT_EQ(getAttributeSet(r), attrs);
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Serial, EntryAndUploadRoundTrip)
+{
+    driftlog::DriftLogEntry e;
+    e.time = SimDate(5, 12345);
+    e.deviceId = "android_7";
+    e.deviceModel = "pixel_6";
+    e.location = "tibet";
+    e.weather = "snow";
+    e.modelVersion = 42;
+    e.drift = true;
+    UploadRecord u;
+    u.features = {1.0, -2.5, 0.0};
+    u.context = rca::AttributeSet(
+        {{"weather", driftlog::Value(std::string("snow"))}});
+    u.driftFlag = true;
+
+    Writer w;
+    putEntry(w, e);
+    putUpload(w, u);
+    Reader r(w.bytes());
+    driftlog::DriftLogEntry e2 = getEntry(r);
+    EXPECT_EQ(e2.time.dayIndex(), e.time.dayIndex());
+    EXPECT_EQ(e2.time.toDateTimeString(), e.time.toDateTimeString());
+    EXPECT_EQ(e2.deviceId, e.deviceId);
+    EXPECT_EQ(e2.deviceModel, e.deviceModel);
+    EXPECT_EQ(e2.location, e.location);
+    EXPECT_EQ(e2.weather, e.weather);
+    EXPECT_EQ(e2.modelVersion, e.modelVersion);
+    EXPECT_EQ(e2.drift, e.drift);
+    UploadRecord u2 = getUpload(r);
+    EXPECT_EQ(u2.features, u.features);
+    EXPECT_EQ(u2.context, u.context);
+    EXPECT_EQ(u2.driftFlag, u.driftFlag);
+    EXPECT_TRUE(r.atEnd());
+}
+
+// ---- WAL ------------------------------------------------------------
+
+TEST(WalTest, AppendScanRoundTrip)
+{
+    TempDir dir("wal_rt");
+    fs::path log = dir.path / "wal.log";
+    CrashInjector injector;
+    {
+        Wal wal(log, &injector);
+        EXPECT_EQ(wal.append(WalRecordType::kIngest, "alpha"), 1u);
+        EXPECT_EQ(wal.append(WalRecordType::kCycleCommit, "beta"), 2u);
+        EXPECT_EQ(wal.append(WalRecordType::kFlush, ""), 3u);
+        EXPECT_EQ(wal.lastSeq(), 3u);
+    }
+    WalScan scan = Wal::scan(log);
+    EXPECT_TRUE(scan.validHeader);
+    EXPECT_EQ(scan.truncatedBytes, 0u);
+    ASSERT_EQ(scan.records.size(), 3u);
+    EXPECT_EQ(scan.records[0].type, WalRecordType::kIngest);
+    EXPECT_EQ(scan.records[0].payload, "alpha");
+    EXPECT_EQ(scan.records[2].seq, 3u);
+
+    // Reopening resumes the sequence counter after the existing tail.
+    Wal wal(log, &injector);
+    EXPECT_EQ(wal.records().size(), 3u);
+    EXPECT_EQ(wal.append(WalRecordType::kIngest, "gamma"), 4u);
+}
+
+TEST(WalTest, TornTailIsTruncatedOnOpen)
+{
+    TempDir dir("wal_torn");
+    fs::path log = dir.path / "wal.log";
+    CrashInjector injector;
+    {
+        Wal wal(log, &injector);
+        wal.append(WalRecordType::kIngest, "good record");
+    }
+    uintmax_t good_size = fs::file_size(log);
+    {
+        // Simulate a crash mid-append: a frame header promising more
+        // bytes than the file holds.
+        std::ofstream torn(log, std::ios::binary | std::ios::app);
+        const char garbage[] = "\xFF\xFF\x00\x00partial";
+        torn.write(garbage, sizeof(garbage) - 1);
+    }
+    Wal wal(log, &injector);
+    EXPECT_GT(wal.truncatedBytes(), 0u);
+    ASSERT_EQ(wal.records().size(), 1u);
+    EXPECT_EQ(wal.records()[0].payload, "good record");
+    EXPECT_EQ(fs::file_size(log), good_size);
+    // The log stays appendable after truncation.
+    EXPECT_EQ(wal.append(WalRecordType::kFlush, ""), 2u);
+}
+
+TEST(WalTest, CorruptRecordMarksTear)
+{
+    TempDir dir("wal_corrupt");
+    fs::path log = dir.path / "wal.log";
+    CrashInjector injector;
+    {
+        Wal wal(log, &injector);
+        wal.append(WalRecordType::kIngest, "first");
+        wal.append(WalRecordType::kIngest, "second");
+    }
+    // Flip one byte in the last record's payload: its CRC fails, so
+    // the scan keeps only the records before it.
+    uintmax_t size = fs::file_size(log);
+    {
+        std::fstream f(log,
+                       std::ios::binary | std::ios::in | std::ios::out);
+        f.seekp(static_cast<std::streamoff>(size) - 1);
+        f.put('X');
+    }
+    WalScan scan = Wal::scan(log);
+    ASSERT_EQ(scan.records.size(), 1u);
+    EXPECT_EQ(scan.records[0].payload, "first");
+    EXPECT_GT(scan.truncatedBytes, 0u);
+}
+
+TEST(WalTest, TruncateAllKeepsSeqCounting)
+{
+    TempDir dir("wal_trunc");
+    fs::path log = dir.path / "wal.log";
+    CrashInjector injector;
+    Wal wal(log, &injector);
+    wal.append(WalRecordType::kIngest, "a");
+    wal.append(WalRecordType::kIngest, "b");
+    wal.truncateAll();
+    EXPECT_EQ(Wal::scan(log).records.size(), 0u);
+    // Seqs keep counting: snapshots rely on uniqueness across history.
+    EXPECT_EQ(wal.append(WalRecordType::kIngest, "c"), 3u);
+}
+
+TEST(WalTest, ScanOfMissingFileIsInvalid)
+{
+    TempDir dir("wal_missing");
+    WalScan scan = Wal::scan(dir.path / "absent.log");
+    EXPECT_FALSE(scan.validHeader);
+    EXPECT_TRUE(scan.records.empty());
+}
+
+// ---- snapshots ------------------------------------------------------
+
+SnapshotData
+sampleSnapshot()
+{
+    SnapshotData data;
+    data.lastWalSeq = 17;
+    data.logicalTime = 3;
+    data.nextVersionId = 9;
+    data.totalIngested = 123;
+    data.dedupHits = 4;
+    driftlog::DriftLog log;
+    driftlog::DriftLogEntry e;
+    e.time = SimDate(2, 777);
+    e.deviceId = "android_1";
+    e.deviceModel = "pixel_6";
+    e.location = "tibet";
+    e.weather = "snow";
+    e.drift = true;
+    log.add(e);
+    std::ostringstream csv;
+    driftlog::writeCsv(log.table(), csv);
+    data.driftLogCsv = csv.str();
+    UploadRecord u;
+    u.features = {0.5, -1.0};
+    u.context = rca::AttributeSet(
+        {{"weather", driftlog::Value(std::string("snow"))}});
+    u.driftFlag = true;
+    data.uploads.push_back(u);
+    data.dedup[3] = DedupWindow{2, {5, 6, 9}};
+    data.blobs.emplace_back("versions/1/meta", "meta-bytes");
+    data.blobs.emplace_back("versions/1/patch", "patch-bytes");
+    data.cleanPatchText = "fake patch text";
+    data.cleanPatchTime = 2;
+    return data;
+}
+
+void
+expectSnapshotEq(const SnapshotData &a, const SnapshotData &b)
+{
+    EXPECT_EQ(a.lastWalSeq, b.lastWalSeq);
+    EXPECT_EQ(a.logicalTime, b.logicalTime);
+    EXPECT_EQ(a.nextVersionId, b.nextVersionId);
+    EXPECT_EQ(a.totalIngested, b.totalIngested);
+    EXPECT_EQ(a.dedupHits, b.dedupHits);
+    EXPECT_EQ(a.driftLogCsv, b.driftLogCsv);
+    ASSERT_EQ(a.uploads.size(), b.uploads.size());
+    for (size_t i = 0; i < a.uploads.size(); ++i) {
+        EXPECT_EQ(a.uploads[i].features, b.uploads[i].features);
+        EXPECT_EQ(a.uploads[i].context, b.uploads[i].context);
+        EXPECT_EQ(a.uploads[i].driftFlag, b.uploads[i].driftFlag);
+    }
+    EXPECT_EQ(a.dedup, b.dedup);
+    EXPECT_EQ(a.blobs, b.blobs);
+    EXPECT_EQ(a.cleanPatchText, b.cleanPatchText);
+    EXPECT_EQ(a.cleanPatchTime, b.cleanPatchTime);
+}
+
+TEST(SnapshotTest, EncodeDecodeRoundTrip)
+{
+    SnapshotData data = sampleSnapshot();
+    SnapshotData back = decodeSnapshot(encodeSnapshot(data));
+    expectSnapshotEq(data, back);
+}
+
+TEST(SnapshotTest, FileRoundTripAndCorruptionFallback)
+{
+    TempDir dir("snap");
+    fs::path tmp = dir.path / "snapshot.tmp";
+    fs::path final = dir.path / "snapshot.bin";
+    CrashInjector injector;
+    SnapshotData data = sampleSnapshot();
+    writeSnapshotFile(tmp, final, data, injector);
+    EXPECT_FALSE(fs::exists(tmp)); // renamed over the final name
+    auto loaded = loadSnapshotFile(final);
+    ASSERT_TRUE(loaded.has_value());
+    expectSnapshotEq(data, *loaded);
+
+    // A flipped payload byte fails the checksum: treated as absent.
+    uintmax_t size = fs::file_size(final);
+    {
+        std::fstream f(final,
+                       std::ios::binary | std::ios::in | std::ios::out);
+        f.seekp(static_cast<std::streamoff>(size) - 1);
+        f.put('X');
+    }
+    EXPECT_FALSE(loadSnapshotFile(final).has_value());
+    EXPECT_FALSE(loadSnapshotFile(dir.path / "nope.bin").has_value());
+}
+
+TEST(SnapshotTest, DecodeRejectsTruncatedPayload)
+{
+    std::string payload = encodeSnapshot(sampleSnapshot());
+    payload.resize(payload.size() / 2);
+    EXPECT_THROW(decodeSnapshot(payload), NazarError);
+}
+
+// ---- crash injector -------------------------------------------------
+
+TEST(CrashInjectorTest, DisarmedCountsWithoutFiring)
+{
+    CrashInjector injector;
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(injector.fires("site.a"));
+    EXPECT_EQ(injector.hitCount(), 10u);
+    EXPECT_EQ(injector.siteLog().size(), 10u);
+}
+
+TEST(CrashInjectorTest, FiresExactlyAtArmedHit)
+{
+    CrashInjector injector;
+    injector.armAtHit(3);
+    EXPECT_FALSE(injector.fires("a"));
+    EXPECT_FALSE(injector.fires("b"));
+    EXPECT_THROW(injector.check("c"), CrashInjected);
+    // Past the armed hit it never fires again.
+    EXPECT_FALSE(injector.fires("d"));
+    try {
+        CrashInjector again;
+        again.armAtHit(1);
+        again.check("the.site");
+        FAIL() << "expected CrashInjected";
+    } catch (const CrashInjected &e) {
+        EXPECT_EQ(e.site(), "the.site");
+        EXPECT_EQ(e.hit(), 1u);
+    }
+}
+
+TEST(CrashInjectorTest, SeededHitIsInRangeAndDeterministic)
+{
+    for (uint64_t seed = 0; seed < 50; ++seed) {
+        uint64_t hit = CrashInjector::seededHit(seed, 97);
+        EXPECT_GE(hit, 1u);
+        EXPECT_LE(hit, 97u);
+        EXPECT_EQ(hit, CrashInjector::seededHit(seed, 97));
+    }
+    EXPECT_EQ(CrashInjector::seededHit(1, 0), 0u);
+}
+
+// ---- scripted cloud scenario + crash sweep --------------------------
+
+data::AppSpec &
+scriptApp()
+{
+    static data::AppSpec app = data::makeAnimalsApp(13, 8);
+    return app;
+}
+
+nn::Classifier &
+scriptBase()
+{
+    static nn::Classifier base(nn::Architecture::kResNet18,
+                               scriptApp().domain.featureDim(),
+                               scriptApp().domain.numClasses(), 5);
+    return base;
+}
+
+sim::CloudConfig
+scriptConfig(const std::string &dir, uint64_t crash_at)
+{
+    sim::CloudConfig config;
+    config.minAdaptSamples = 4;
+    config.ingestDedupWindow = 8; // small: exercises floor advancement
+    config.persist.dir = dir;
+    config.persist.snapshotEvery = 8; // snapshot often inside the script
+    config.persist.crashAtHit = crash_at;
+    return config;
+}
+
+driftlog::DriftLogEntry
+scriptEntry(int i)
+{
+    driftlog::DriftLogEntry e;
+    e.time = SimDate(i % 14, (i * 37) % 86400);
+    int device = i % 3;
+    e.deviceId = data::deviceName(device);
+    e.deviceModel = data::deviceModel(device);
+    e.location = "tibet";
+    e.weather = i % 3 == 0 ? "snow" : "clear-day";
+    e.drift = i % 3 == 0; // deterministic planted cause {weather=snow}
+    return e;
+}
+
+std::optional<sim::Upload>
+scriptUpload(int i)
+{
+    if (i % 4 == 3)
+        return std::nullopt; // some entries arrive without a sample
+    driftlog::DriftLogEntry e = scriptEntry(i);
+    sim::Upload up;
+    Rng rng(static_cast<uint64_t>(1000 + i));
+    int label =
+        static_cast<int>(rng.index(scriptApp().domain.numClasses()));
+    up.features = scriptApp().domain.sample(label, rng);
+    up.context = rca::AttributeSet({
+        {driftlog::columns::kWeather, driftlog::Value(e.weather)},
+        {driftlog::columns::kLocation, driftlog::Value(e.location)},
+        {driftlog::columns::kDeviceId, driftlog::Value(e.deviceId)},
+        {driftlog::columns::kDeviceModel,
+         driftlog::Value(e.deviceModel)},
+    });
+    up.driftFlag = e.drift;
+    return up;
+}
+
+/** Everything the sweep compares between a crashed run and the oracle. */
+struct CloudState
+{
+    std::string driftCsv;
+    size_t uploadCount = 0;
+    size_t totalIngested = 0;
+    size_t dedupHits = 0;
+    int64_t nextVersionId = 1;
+    int64_t logicalTime = 0;
+    std::vector<int64_t> versionIds;
+    std::vector<std::pair<std::string, std::string>> blobs;
+    std::map<int64_t, DedupWindow> dedup;
+};
+
+CloudState
+captureState(sim::Cloud &cloud)
+{
+    CloudState st;
+    std::ostringstream csv;
+    driftlog::writeCsv(cloud.driftLog().table(), csv);
+    st.driftCsv = csv.str();
+    st.uploadCount = cloud.uploadCount();
+    st.totalIngested = cloud.totalIngested();
+    st.dedupHits = cloud.dedupHits();
+    st.nextVersionId = cloud.nextVersionId();
+    st.logicalTime = cloud.logicalTime();
+    st.versionIds = cloud.registry().versionIds();
+    for (const auto &key : cloud.blobStore().list())
+        st.blobs.emplace_back(key, cloud.blobStore().get(key));
+    st.dedup = cloud.dedupSnapshot();
+    return st;
+}
+
+/**
+ * Run the scripted scenario against a cloud, surviving injected
+ * crashes with the same retry discipline the runner uses: ingests
+ * are retried (at-least-once; the dedup window absorbs the
+ * retransmission), a cycle whose commit landed is not re-run, and
+ * flushes are always retried (idempotent).
+ */
+std::unique_ptr<sim::Cloud>
+driveScript(const std::string &dir, uint64_t crash_at, size_t *crashes,
+            std::vector<std::string> *sites)
+{
+    sim::CloudConfig config = scriptConfig(dir, crash_at);
+    auto cloud = std::make_unique<sim::Cloud>(config, scriptBase());
+    nn::BnPatch clean = scriptBase().bnPatch();
+    if (cloud->recoveredCleanPatch().has_value())
+        clean = *cloud->recoveredCleanPatch();
+
+    auto rebuild = [&](const CrashInjected &e) {
+        if (sites != nullptr)
+            sites->push_back(e.site());
+        if (crashes != nullptr)
+            ++*crashes;
+        sim::CloudConfig recover = config;
+        recover.persist.crashAtHit = 0;
+        cloud.reset();
+        cloud = std::make_unique<sim::Cloud>(recover, scriptBase());
+        clean = cloud->recoveredCleanPatch().has_value()
+                    ? *cloud->recoveredCleanPatch()
+                    : scriptBase().bnPatch();
+    };
+    auto ingest = [&](int device, uint64_t seq, int i) {
+        for (;;) {
+            try {
+                cloud->ingestFrom(device, seq, scriptEntry(i),
+                                  scriptUpload(i));
+                return;
+            } catch (const CrashInjected &e) {
+                rebuild(e);
+            }
+        }
+    };
+    auto cycle = [&]() {
+        int64_t before = cloud->logicalTime();
+        for (;;) {
+            try {
+                sim::CycleResult result = cloud->runCycle(clean);
+                if (result.newCleanPatch.has_value())
+                    clean = *result.newCleanPatch;
+                return;
+            } catch (const CrashInjected &e) {
+                rebuild(e);
+                if (cloud->logicalTime() > before)
+                    return; // the commit record landed before the crash
+            }
+        }
+    };
+    auto flush = [&]() {
+        for (;;) {
+            try {
+                cloud->flush();
+                return;
+            } catch (const CrashInjected &e) {
+                rebuild(e);
+            }
+        }
+    };
+
+    // The script: two analysis cycles over planted-cause telemetry
+    // with duplicate seqs sprinkled in, a baseline flush, and a tail
+    // of pending rows left unanalyzed (so recovery has live buffers
+    // to reconstruct).
+    for (int i = 0; i < 24; ++i) {
+        ingest(i % 3, static_cast<uint64_t>(i / 3), i);
+        if (i % 5 == 0 && i > 0) // retransmission: must dedup
+            ingest(i % 3, static_cast<uint64_t>(i / 3), i);
+    }
+    cycle();
+    for (int i = 24; i < 44; ++i)
+        ingest(i % 3, static_cast<uint64_t>(i / 3), i);
+    cycle();
+    for (int i = 44; i < 50; ++i)
+        ingest(i % 3, static_cast<uint64_t>(i / 3), i);
+    flush();
+    for (int i = 50; i < 56; ++i)
+        ingest(i % 3, static_cast<uint64_t>(i / 3), i);
+    return cloud;
+}
+
+class PersistCloudTest : public QuietLogs
+{
+};
+
+TEST_F(PersistCloudTest, PersistedRunMatchesInMemoryRun)
+{
+    // Persistence on (no crash) must not change a single observable
+    // output relative to a cloud without the persist layer.
+    TempDir dir("equiv");
+    CloudState oracle =
+        captureState(*driveScript("", 0, nullptr, nullptr));
+    auto persisted =
+        driveScript(dir.path.string(), 0, nullptr, nullptr);
+    CloudState on = captureState(*persisted);
+    EXPECT_EQ(on.driftCsv, oracle.driftCsv);
+    EXPECT_EQ(on.uploadCount, oracle.uploadCount);
+    EXPECT_EQ(on.totalIngested, oracle.totalIngested);
+    EXPECT_EQ(on.dedupHits, oracle.dedupHits);
+    EXPECT_EQ(on.nextVersionId, oracle.nextVersionId);
+    EXPECT_EQ(on.logicalTime, oracle.logicalTime);
+    EXPECT_EQ(on.versionIds, oracle.versionIds);
+    EXPECT_EQ(on.blobs, oracle.blobs);
+    EXPECT_EQ(on.dedup, oracle.dedup);
+    // A disarmed injector draws no randomness; it only counts.
+    EXPECT_GT(persisted->persistence()->injector().hitCount(), 0u);
+}
+
+TEST_F(PersistCloudTest, ReopenRestoresFullState)
+{
+    TempDir dir("reopen");
+    CloudState before =
+        captureState(*driveScript(dir.path.string(), 0, nullptr, nullptr));
+    // A brand-new cloud over the same directory recovers everything.
+    sim::Cloud reopened(scriptConfig(dir.path.string(), 0), scriptBase());
+    CloudState after = captureState(reopened);
+    EXPECT_EQ(after.driftCsv, before.driftCsv);
+    EXPECT_EQ(after.uploadCount, before.uploadCount);
+    EXPECT_EQ(after.totalIngested, before.totalIngested);
+    EXPECT_EQ(after.dedupHits, before.dedupHits);
+    EXPECT_EQ(after.nextVersionId, before.nextVersionId);
+    EXPECT_EQ(after.logicalTime, before.logicalTime);
+    EXPECT_EQ(after.versionIds, before.versionIds);
+    EXPECT_EQ(after.blobs, before.blobs);
+    EXPECT_EQ(after.dedup, before.dedup);
+}
+
+TEST_F(PersistCloudTest, NonDedupIngestIsReplayedToo)
+{
+    TempDir dir("plain_ingest");
+    {
+        sim::Cloud cloud(scriptConfig(dir.path.string(), 0),
+                         scriptBase());
+        for (int i = 0; i < 5; ++i)
+            cloud.ingest(scriptEntry(i), scriptUpload(i));
+    }
+    sim::Cloud reopened(scriptConfig(dir.path.string(), 0),
+                        scriptBase());
+    EXPECT_EQ(reopened.driftLogSize(), 5u);
+    EXPECT_EQ(reopened.totalIngested(), 5u);
+    EXPECT_EQ(reopened.uploadCount(), 4u); // i=3 had no upload
+}
+
+TEST_F(PersistCloudTest, ExhaustiveCrashSweepMatchesOracle)
+{
+    // The oracle: the same script against an in-memory cloud.
+    CloudState oracle =
+        captureState(*driveScript("", 0, nullptr, nullptr));
+
+    // Probe run: count every crash site the scenario reaches.
+    uint64_t total_hits = 0;
+    {
+        TempDir dir("probe");
+        auto cloud =
+            driveScript(dir.path.string(), 0, nullptr, nullptr);
+        total_hits = cloud->persistence()->injector().hitCount();
+    }
+    ASSERT_GT(total_hits, 0u);
+
+    // Crash at every single write boundary, recover, finish the
+    // script, and require the final state to match the oracle.
+    std::set<std::string> fired_sites;
+    for (uint64_t hit = 1; hit <= total_hits; ++hit) {
+        TempDir dir("sweep_" + std::to_string(hit));
+        size_t crashes = 0;
+        std::vector<std::string> sites;
+        auto cloud =
+            driveScript(dir.path.string(), hit, &crashes, &sites);
+        ASSERT_EQ(crashes, 1u) << "hit " << hit;
+        fired_sites.insert(sites[0]);
+        CloudState got = captureState(*cloud);
+        EXPECT_EQ(got.driftCsv, oracle.driftCsv) << "hit " << hit;
+        EXPECT_EQ(got.uploadCount, oracle.uploadCount) << "hit " << hit;
+        EXPECT_EQ(got.totalIngested, oracle.totalIngested)
+            << "hit " << hit;
+        EXPECT_EQ(got.nextVersionId, oracle.nextVersionId)
+            << "hit " << hit;
+        EXPECT_EQ(got.logicalTime, oracle.logicalTime) << "hit " << hit;
+        EXPECT_EQ(got.versionIds, oracle.versionIds) << "hit " << hit;
+        EXPECT_EQ(got.blobs, oracle.blobs) << "hit " << hit;
+        EXPECT_EQ(got.dedup, oracle.dedup) << "hit " << hit;
+        // A crash after the WAL append but before the in-memory apply
+        // makes the client's retry a retransmission; the dedup window
+        // absorbs it, at the cost of at most one extra dedup hit.
+        EXPECT_GE(got.dedupHits, oracle.dedupHits) << "hit " << hit;
+        EXPECT_LE(got.dedupHits, oracle.dedupHits + crashes)
+            << "hit " << hit;
+    }
+    // Every distinct crash site fired at least once in the sweep.
+    const std::set<std::string> expected = {
+        "wal.append.partial",  "wal.append.post",
+        "wal.truncate.post",   "snapshot.tmp.partial",
+        "snapshot.tmp.done",   "snapshot.rename.post",
+    };
+    EXPECT_EQ(fired_sites, expected);
+}
+
+TEST_F(PersistCloudTest, RecoverDirMatchesLiveState)
+{
+    TempDir dir("recover_dir");
+    auto cloud =
+        driveScript(dir.path.string(), 0, nullptr, nullptr);
+    CloudState live = captureState(*cloud);
+    // recoverDir() is read-only: it must see exactly what a reopened
+    // cloud would adopt, and leave the files untouched.
+    RecoveredState st =
+        recoverDir(dir.path, /*dedup_window=*/8);
+    std::ostringstream csv;
+    driftlog::writeCsv(st.log.table(), csv);
+    EXPECT_EQ(csv.str(), live.driftCsv);
+    EXPECT_EQ(st.uploads.size(), live.uploadCount);
+    EXPECT_EQ(st.totalIngested, live.totalIngested);
+    EXPECT_EQ(st.nextVersionId, live.nextVersionId);
+    EXPECT_EQ(st.logicalTime, live.logicalTime);
+    EXPECT_EQ(st.dedup, live.dedup);
+    RecoveredState again = recoverDir(dir.path, 8);
+    EXPECT_EQ(again.totalIngested, st.totalIngested);
+}
+
+} // namespace
+} // namespace nazar::persist

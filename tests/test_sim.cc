@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <thread>
 
 #include "common/logging.h"
@@ -527,6 +528,96 @@ TEST_F(RunnerTest, ResultAggregatesAreConsistent)
     for (const auto &[type, acc] : r.perCorruption)
         per_type += acc.total;
     EXPECT_EQ(per_type, drifted);
+}
+
+/** Scratch state directory under the test's CWD, removed on exit. */
+struct StateDir
+{
+    std::filesystem::path path;
+
+    explicit StateDir(const std::string &tag)
+        : path(std::filesystem::current_path() / ("sim_state_" + tag))
+    {
+        std::filesystem::remove_all(path);
+    }
+
+    ~StateDir() { std::filesystem::remove_all(path); }
+};
+
+TEST_F(RunnerTest, PersistenceOnMatchesPersistenceOff)
+{
+    // Durability with a disarmed injector must not perturb a single
+    // deterministic output — only write files.
+    data::AppSpec app = tinyApp();
+    data::WeatherModel weather(app.locations, 21, 2020);
+    RunResult off =
+        Runner(app, weather, smallRun(Strategy::kNazar)).run();
+    StateDir dir("equiv");
+    RunnerConfig config = smallRun(Strategy::kNazar);
+    config.persist.dir = dir.path.string();
+    RunResult on = Runner(app, weather, config).run();
+    ASSERT_EQ(on.windows.size(), off.windows.size());
+    for (size_t i = 0; i < on.windows.size(); ++i) {
+        EXPECT_EQ(on.windows[i].events, off.windows[i].events);
+        EXPECT_EQ(on.windows[i].correctAll, off.windows[i].correctAll);
+        EXPECT_EQ(on.windows[i].flagged, off.windows[i].flagged);
+        EXPECT_EQ(on.windows[i].newVersions,
+                  off.windows[i].newVersions);
+        EXPECT_EQ(on.windows[i].rootCauses, off.windows[i].rootCauses);
+        EXPECT_EQ(on.windows[i].skippedCauses,
+                  off.windows[i].skippedCauses);
+    }
+    EXPECT_EQ(on.cloudCrashes, 0u);
+    // The final checkpoint leaves a loadable state directory with an
+    // empty (truncated) WAL.
+    EXPECT_TRUE(
+        std::filesystem::exists(dir.path / "snapshot.bin"));
+    persist::RecoveredState st = persist::recoverDir(dir.path);
+    EXPECT_TRUE(st.snapshotLoaded);
+    EXPECT_EQ(st.replayedRecords, 0u);
+    EXPECT_EQ(st.logicalTime, 3);
+}
+
+TEST_F(RunnerTest, SeededCrashRunSurvivesAndRecovers)
+{
+    // Crash the cloud mid-run at an arbitrary persist-site hit: the
+    // runner rebuilds it from the state directory and finishes every
+    // window over the same device-side event stream.
+    data::AppSpec app = tinyApp();
+    data::WeatherModel weather(app.locations, 21, 2020);
+    RunResult clean =
+        Runner(app, weather, smallRun(Strategy::kNazar)).run();
+    StateDir dir("crash");
+    RunnerConfig config = smallRun(Strategy::kNazar);
+    config.persist.dir = dir.path.string();
+    config.persist.crashAtHit = 500;
+    RunResult crashed = Runner(app, weather, config).run();
+    EXPECT_GE(crashed.cloudCrashes, 1u);
+    ASSERT_EQ(crashed.windows.size(), clean.windows.size());
+    for (size_t i = 0; i < crashed.windows.size(); ++i)
+        EXPECT_EQ(crashed.windows[i].events, clean.windows[i].events);
+    EXPECT_GT(crashed.avgAccuracyAll(0), 0.0);
+}
+
+TEST_F(RunnerTest, SkippedCausesAreCountedPerWindow)
+{
+    // With an absurdly high adaptation threshold every root cause is
+    // found but skipped; the per-window counter must surface that.
+    data::AppSpec app = tinyApp();
+    data::WeatherModel weather(app.locations, 21, 2020);
+    RunnerConfig config = smallRun(Strategy::kNazar);
+    config.cloud.minAdaptSamples = 100000;
+    RunResult r = Runner(app, weather, config).run();
+    size_t causes = 0, skipped = 0, versions = 0;
+    for (const auto &w : r.windows) {
+        EXPECT_LE(w.skippedCauses, w.rootCauses);
+        causes += w.rootCauses;
+        skipped += w.skippedCauses;
+        versions += w.newVersions;
+    }
+    EXPECT_GT(causes, 0u);
+    EXPECT_EQ(skipped, causes);
+    EXPECT_EQ(versions, 0u);
 }
 
 TEST(WindowMetrics, DerivedRatios)

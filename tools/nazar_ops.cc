@@ -35,6 +35,23 @@
  *       Print the net.* / fleet.* fault-channel counters and gauges
  *       (plus the cloud ingest/archive counters) from a JSON metrics
  *       snapshot written by --metrics-out.
+ *
+ *   nazar_ops wal <wal.log>
+ *       Dump a cloud write-ahead log: one line per record (seq, type,
+ *       payload bytes; every listed record passed its CRC) plus any
+ *       torn tail the scanner would truncate.
+ *
+ *   nazar_ops recover <state-dir>
+ *       Run standalone recovery over a cloud state directory
+ *       (snapshot.bin + wal.log) and print what came back: pending
+ *       drift-log rows, uploads, registry versions, dedup windows,
+ *       counters.
+ *
+ * The sim subcommand also takes durability flags
+ * (--persist-dir=<dir> --snapshot-every=N --crash-at=N): with a
+ * persist dir the cloud WALs its state there, and --crash-at=N kills
+ * it at the Nth write-boundary crash site, exercising the
+ * recover-and-resume path end to end.
  */
 #include <cctype>
 #include <cstdio>
@@ -56,6 +73,8 @@
 #include "driftlog/sql.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "persist/cloud_persist.h"
+#include "persist/wal.h"
 #include "rca/analyzer.h"
 #include "sim/runner.h"
 
@@ -76,8 +95,11 @@ usage()
         "[--metrics-out=<path>]\n"
         "  nazar_ops sim [windows] [--metrics-out=<path>] "
         "[--drop=P --dup=P --delay=P --reorder=P --offline=P "
-        "--crash=P --push-drop=P --queue-cap=N --fault-seed=S]\n"
-        "  nazar_ops faults <metrics.json>\n");
+        "--crash=P --push-drop=P --queue-cap=N --fault-seed=S] "
+        "[--persist-dir=<dir> --snapshot-every=N --crash-at=N]\n"
+        "  nazar_ops faults <metrics.json>\n"
+        "  nazar_ops wal <wal.log>\n"
+        "  nazar_ops recover <state-dir>\n");
     return 2;
 }
 
@@ -339,8 +361,90 @@ cmdFaults(const std::string &path)
     return 0;
 }
 
+const char *
+walTypeName(persist::WalRecordType type)
+{
+    switch (type) {
+      case persist::WalRecordType::kIngest:      return "ingest";
+      case persist::WalRecordType::kCycleCommit: return "cycle-commit";
+      case persist::WalRecordType::kFlush:       return "flush";
+    }
+    return "?";
+}
+
+int
+cmdWal(const std::string &path)
+{
+    persist::WalScan scan = persist::Wal::scan(path);
+    if (!scan.validHeader) {
+        std::printf("%s: no valid WAL header (absent or empty file)\n",
+                    path.c_str());
+        return 1;
+    }
+    TablePrinter records({"seq", "type", "payload bytes", "crc"});
+    size_t by_type[4] = {0, 0, 0, 0};
+    for (const auto &rec : scan.records) {
+        records.addRow({TablePrinter::num(rec.seq),
+                        walTypeName(rec.type),
+                        TablePrinter::num(rec.payload.size()),
+                        "ok"}); // scan() only yields CRC-valid records
+        ++by_type[std::min<size_t>(
+            static_cast<size_t>(rec.type), 3)];
+    }
+    std::printf("%s: %zu records (%zu ingest, %zu cycle-commit, "
+                "%zu flush)\n%s\n",
+                path.c_str(), scan.records.size(), by_type[1],
+                by_type[2], by_type[3], records.toString().c_str());
+    if (scan.truncatedBytes > 0)
+        std::printf("torn tail: %llu bytes after the last valid record "
+                    "(a reopen would truncate them)\n",
+                    static_cast<unsigned long long>(scan.truncatedBytes));
+    else
+        std::printf("clean tail: no torn bytes\n");
+    return 0;
+}
+
+int
+cmdRecover(const std::string &dir)
+{
+    persist::RecoveredState st = persist::recoverDir(dir);
+    std::printf("%s: snapshot %s, %llu WAL records replayed",
+                dir.c_str(), st.snapshotLoaded ? "loaded" : "absent",
+                static_cast<unsigned long long>(st.replayedRecords));
+    if (st.truncatedBytes > 0)
+        std::printf(", torn tail %llu bytes",
+                    static_cast<unsigned long long>(st.truncatedBytes));
+    std::printf("\n");
+
+    size_t versions = 0;
+    for (const auto &[key, bytes] : st.blobs)
+        if (key.size() > 5 &&
+            key.compare(key.size() - 5, 5, "/meta") == 0)
+            ++versions;
+    TablePrinter state({"recovered state", "value"});
+    state.addRow({"pending drift-log rows",
+                  TablePrinter::num(st.log.size())});
+    state.addRow({"pending uploads", TablePrinter::num(st.uploads.size())});
+    state.addRow({"registry versions", TablePrinter::num(versions)});
+    state.addRow({"registry blobs", TablePrinter::num(st.blobs.size())});
+    state.addRow({"dedup windows", TablePrinter::num(st.dedup.size())});
+    state.addRow({"dedup hits", TablePrinter::num(st.dedupHits)});
+    state.addRow({"total ingested", TablePrinter::num(st.totalIngested)});
+    state.addRow({"logical time", TablePrinter::num(st.logicalTime)});
+    state.addRow({"next version id", TablePrinter::num(st.nextVersionId)});
+    state.addRow({"clean patch",
+                  st.cleanPatchText.has_value()
+                      ? "present (cycle " +
+                            std::to_string(st.cleanPatchTime) + ")"
+                      : "none"});
+    state.addRow({"last WAL seq", TablePrinter::num(st.lastWalSeq)});
+    std::printf("%s\n", state.toString().c_str());
+    return 0;
+}
+
 int
 cmdSim(size_t windows, const net::FaultConfig &faults,
+       const persist::PersistConfig &persist_config,
        const std::string &metrics_out)
 {
     // Tiny animals-app fleet (the test workload): big enough to light
@@ -359,6 +463,7 @@ cmdSim(size_t windows, const net::FaultConfig &faults,
     config.uploadSampleRate = 0.5;
     config.seed = 17;
     config.faults = faults;
+    config.persist = persist_config;
 
     sim::Runner runner(app, weather, config);
     sim::RunResult result = runner.run();
@@ -367,12 +472,15 @@ cmdSim(size_t windows, const net::FaultConfig &faults,
                 result.windows.size(), result.baseCleanAccuracy);
     for (const auto &w : result.windows)
         std::printf("  window %d: events %zu acc %.3f drifted %.3f "
-                    "flagged %zu causes %zu versions %zu stale %zu\n",
+                    "flagged %zu causes %zu versions %zu stale %zu "
+                    "skipped %zu\n",
                     w.window, w.events, w.accuracyAll(),
                     w.accuracyDrifted(), w.flagged, w.rootCauses,
-                    w.newVersions, w.staleDevices);
+                    w.newVersions, w.staleDevices, w.skippedCauses);
     std::printf("rca %.3fs, adapt %.3fs\n", result.totalRcaSeconds,
                 result.totalAdaptSeconds);
+    if (persist_config.enabled())
+        std::printf("cloudCrashes %zu\n", result.cloudCrashes);
     // Machine-greppable summary lines (the CI chaos smoke asserts an
     // accuracy floor on the drifted number).
     std::printf("avgAccuracyAll %.4f\n", result.avgAccuracyAll());
@@ -397,6 +505,7 @@ main(int argc, char **argv)
         // wherever they appear.
         std::string metrics_out;
         net::FaultConfig faults;
+        persist::PersistConfig persist_config;
         std::vector<std::string> args;
         auto probFlag = [](const std::string &arg,
                            const std::string &flag, double &out) {
@@ -422,6 +531,12 @@ main(int argc, char **argv)
                 faults.queueCapacity = std::stoul(arg.substr(12));
             else if (arg.rfind("--fault-seed=", 0) == 0)
                 faults.seed = std::stoull(arg.substr(13));
+            else if (arg.rfind("--persist-dir=", 0) == 0)
+                persist_config.dir = arg.substr(14);
+            else if (arg.rfind("--snapshot-every=", 0) == 0)
+                persist_config.snapshotEvery = std::stoull(arg.substr(17));
+            else if (arg.rfind("--crash-at=", 0) == 0)
+                persist_config.crashAtHit = std::stoull(arg.substr(11));
             else
                 args.push_back(std::move(arg));
         }
@@ -445,10 +560,14 @@ main(int argc, char **argv)
         if (cmd == "sim") {
             size_t windows =
                 args.empty() ? 3 : std::stoul(args[0]);
-            return cmdSim(windows, faults, metrics_out);
+            return cmdSim(windows, faults, persist_config, metrics_out);
         }
         if (cmd == "faults" && !args.empty())
             return cmdFaults(args[0]);
+        if (cmd == "wal" && !args.empty())
+            return cmdWal(args[0]);
+        if (cmd == "recover" && !args.empty())
+            return cmdRecover(args[0]);
         return usage();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
