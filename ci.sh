@@ -40,6 +40,29 @@ if [ "$DO_RELEASE" = 1 ]; then
     # binary fails CI even though throughput is not asserted.
     ./build-ci/bench/bench_runtime_scaling --quick > /dev/null
     ./build-ci/bench/bench_fig9d_rca_scaling --sweep --quick > /dev/null
+    # SQL engine smoke: a query and its EXPLAIN against a generated
+    # log. The EXPLAIN must show the planner actually pruned columns
+    # and bound the predicate to a dictionary-id range; the executed
+    # query must agree with the differential suite's oracle-checked
+    # path (test_columnar runs in every leg above — this checks the
+    # nazar_ops wiring on top of it).
+    echo "==== sql smoke (Release) ===="
+    ./build-ci/tools/nazar_ops gen-log build-ci/sql_smoke.csv 5000 7 \
+        > /dev/null
+    ./build-ci/tools/nazar_ops sql build-ci/sql_smoke.csv \
+        "SELECT weather, COUNT(*) FROM drift_log WHERE drift = true \
+         GROUP BY weather ORDER BY COUNT(*) DESC" \
+        > build-ci/sql_smoke.out
+    grep -q "rows)" build-ci/sql_smoke.out || {
+        echo "sql smoke: query produced no result table" >&2; exit 1; }
+    ./build-ci/tools/nazar_ops sql build-ci/sql_smoke.csv \
+        "EXPLAIN SELECT weather, COUNT(*) FROM drift_log \
+         WHERE drift = true GROUP BY weather" \
+        > build-ci/sql_explain.out
+    grep -q "pruned" build-ci/sql_explain.out || {
+        echo "sql smoke: EXPLAIN shows no column pruning" >&2; exit 1; }
+    grep -q "ids \[" build-ci/sql_explain.out || {
+        echo "sql smoke: EXPLAIN shows no bound id range" >&2; exit 1; }
     # Observability smoke: a short e2e sim must produce a metrics
     # snapshot that parses as JSON and contains spans/counters from
     # every instrumented layer.

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Dictionary-encoded column — the storage unit of the drift-log
+ * column store.
+ *
+ * Every column keeps a sorted dictionary of its distinct cell values
+ * and stores the rows as a dense vector of dictionary ids. The
+ * dictionary is sorted by Value's total order and ids are assigned in
+ * dictionary order, so
+ *
+ *     id(a) < id(b)  <=>  a < b        (id order == Value totalOrder)
+ *
+ * holds as a class invariant. Everything downstream leans on it:
+ *
+ *  - equality predicates resolve a literal to one id (or to "absent",
+ *    which matches nothing) and compare uint32s per row;
+ *  - range predicates (<, <=, >, >=) resolve to a half-open id
+ *    interval via lowerBound/upperBound, again uint32 compares;
+ *  - group-by aggregates count into dense per-id arrays and emit in
+ *    id order, which is exactly the sorted Value order the old
+ *    std::map<Value, ...> aggregations produced — bit-for-bit;
+ *  - distinct() is a read of the dictionary, no per-call sort.
+ *
+ * NULL cells are ordinary dictionary entries (Value{} sorts below
+ * every typed value in the total order), so the invariant covers them
+ * with no sentinel; nullCount() tracks how many rows are NULL.
+ *
+ * Appends are O(log m) in the dictionary size: a new distinct value
+ * is assigned the next free id and the column is marked unsorted
+ * unless the value extends the dictionary at the top. The first read
+ * after such an append re-establishes the invariant in one
+ * O(n + m log m) normalization pass (re-id the dictionary in sorted
+ * order, remap the row ids). Amortized over a batch of appends this
+ * is one remap per read barrier, independent of how many distinct
+ * values arrived — high-cardinality columns (e.g. the drift log's
+ * time strings) stay O(n log m) to build instead of O(n·m).
+ *
+ * Thread contract: mutation (append/clear) and the *first* read after
+ * a mutation are not synchronized internally; callers must order them
+ * before any concurrent reads. All call sites do — the RCA scans and
+ * the query executor resolve columns on the dispatching thread before
+ * fanning out, and the runtime pool's batch publish provides the
+ * happens-before edge to the workers.
+ */
+#ifndef NAZAR_DRIFTLOG_COLUMN_H
+#define NAZAR_DRIFTLOG_COLUMN_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "driftlog/value.h"
+
+namespace nazar::driftlog {
+
+/** One dictionary-encoded column of a table. */
+class Column
+{
+  public:
+    /** Dense dictionary id of a cell value within its column. */
+    using Id = uint32_t;
+
+    explicit Column(ValueType type) : type_(type) {}
+
+    /** Declared type of the column (cells are this type or NULL). */
+    ValueType type() const { return type_; }
+
+    /** Number of rows. */
+    size_t size() const { return ids_.size(); }
+
+    /** Number of NULL rows. */
+    size_t nullCount() const { return nullCount_; }
+
+    // ---- dictionary -----------------------------------------------
+
+    /** Number of distinct cell values (NULL counts as one entry). */
+    size_t dictSize() const
+    {
+        ensureSorted();
+        return dict_.size();
+    }
+
+    /** Dictionary value of an id. Ids are dense: 0 <= id < dictSize(),
+     *  and dictionary order equals Value total order. */
+    const Value &dictValue(Id id) const;
+
+    /** The sorted dictionary itself. Every entry is referenced by at
+     *  least one row (values only enter via append). */
+    const std::vector<Value> &dictionary() const
+    {
+        ensureSorted();
+        return dict_;
+    }
+
+    /**
+     * Id of an exact value, or nullopt when the value never occurs in
+     * the column. Predicate binding uses the absent case to
+     * short-circuit an equality to zero rows without any scan.
+     */
+    std::optional<Id> idOf(const Value &v) const;
+
+    /** First id whose dictionary value is >= v (dictSize() when none).
+     *  With the ordering invariant, `cell < v` over rows is exactly
+     *  `id < lowerBound(v)`. */
+    Id lowerBound(const Value &v) const;
+
+    /** First id whose dictionary value is > v (dictSize() when none). */
+    Id upperBound(const Value &v) const;
+
+    // ---- rows ------------------------------------------------------
+
+    /** Per-row dictionary ids — the typed integer spine the vectorized
+     *  executor and the FIM probes scan. */
+    const std::vector<Id> &ids() const
+    {
+        ensureSorted();
+        return ids_;
+    }
+
+    /** Dictionary id of one row. */
+    Id idAt(size_t row) const;
+
+    /** Cell value of one row (a dictionary read). */
+    const Value &at(size_t row) const;
+
+    /** Decode the whole column into a Value vector — the compatibility
+     *  view for row-at-a-time oracles and pre-dictionary call sites. */
+    std::vector<Value> materialize() const;
+
+    // ---- mutation --------------------------------------------------
+
+    /**
+     * Append one cell. The value must be NULL or match the column
+     * type; numeric widening is the Table's job and has already
+     * happened. O(log m); may leave the dictionary unsorted until the
+     * next read.
+     */
+    void append(const Value &v);
+
+    /** Drop all rows and the dictionary (type retained). */
+    void clear();
+
+  private:
+    /** Re-establish id order == Value totalOrder after appends that
+     *  introduced out-of-order dictionary entries. Const because every
+     *  read path triggers it; see the thread contract above. */
+    void ensureSorted() const;
+
+    ValueType type_;
+    size_t nullCount_ = 0;
+    /** Value -> current id. Keys iterate in Value total order, which
+     *  is what normalization walks to re-id the dictionary. */
+    mutable std::map<Value, Id> index_;
+    /** id -> value; sorted ascending whenever sorted_ is true. */
+    mutable std::vector<Value> dict_;
+    mutable std::vector<Id> ids_;
+    mutable bool sorted_ = true;
+};
+
+} // namespace nazar::driftlog
+
+#endif // NAZAR_DRIFTLOG_COLUMN_H

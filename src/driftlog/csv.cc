@@ -150,21 +150,34 @@ writeCsv(const Table &table, std::ostream &os)
     for (size_t c = 0; c < schema.columnCount(); ++c)
         os << (c ? "," : "") << csvEscape(schema.column(c).name);
     os << "\n";
-    for (size_t r = 0; r < table.rowCount(); ++r) {
-        for (size_t c = 0; c < schema.columnCount(); ++c) {
-            const Value &v = table.at(r, c);
-            os << (c ? "," : "");
-            if (v.isNull())
-                continue; // NULL: empty unquoted cell
-            if (v.type() == ValueType::kString &&
-                v.asString().empty()) {
-                os << "\"\""; // empty string, distinct from NULL
+
+    // Render each distinct value exactly once: escaping and double
+    // formatting run per dictionary entry, and the row loop is id
+    // lookups into the pre-rendered cells.
+    std::vector<std::vector<std::string>> rendered(schema.columnCount());
+    std::vector<const Column::Id *> ids(schema.columnCount());
+    for (size_t c = 0; c < schema.columnCount(); ++c) {
+        const Column &col = table.column(c);
+        ids[c] = col.ids().data();
+        rendered[c].reserve(col.dictSize());
+        for (const Value &v : col.dictionary()) {
+            if (v.isNull()) {
+                rendered[c].emplace_back(); // NULL: empty unquoted cell
+            } else if (v.type() == ValueType::kString &&
+                       v.asString().empty()) {
+                rendered[c].emplace_back(
+                    "\"\""); // empty string, distinct from NULL
             } else if (v.type() == ValueType::kDouble) {
-                os << csvEscape(formatDoubleExact(v.asDouble()));
+                rendered[c].push_back(
+                    csvEscape(formatDoubleExact(v.asDouble())));
             } else {
-                os << csvEscape(v.toString());
+                rendered[c].push_back(csvEscape(v.toString()));
             }
         }
+    }
+    for (size_t r = 0; r < table.rowCount(); ++r) {
+        for (size_t c = 0; c < rendered.size(); ++c)
+            os << (c ? "," : "") << rendered[c][ids[c][r]];
         os << "\n";
     }
 }

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Implementation of predicate binding and the vectorized scan
+ * primitives.
+ */
+#include "plan.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace nazar::driftlog {
+
+namespace {
+
+/**
+ * The per-scan view of a bound predicate: the column's id vector
+ * resolved to a raw pointer once, kAll predicates dropped. Only
+ * kIdRange and kNotId reach the row loop.
+ */
+struct ScanPredicate
+{
+    const Column::Id *ids;
+    bool isRange;
+    Column::Id lo, hi, excl;
+
+    bool matches(size_t row) const
+    {
+        Column::Id id = ids[row];
+        return isRange ? (id >= lo && id < hi) : (id != excl);
+    }
+};
+
+/** Compile bound predicates into scan form; empty optional when some
+ *  predicate is impossible (zero rows, no scan needed). */
+std::vector<ScanPredicate>
+compile(const Table &table, const std::vector<BoundPredicate> &preds)
+{
+    std::vector<ScanPredicate> scan;
+    scan.reserve(preds.size());
+    for (const auto &p : preds) {
+        if (p.kind == BoundPredicate::Kind::kAll)
+            continue;
+        NAZAR_CHECK(p.kind != BoundPredicate::Kind::kNone,
+                    "impossible predicate reached the scan");
+        scan.push_back(ScanPredicate{
+            table.column(p.col).ids().data(),
+            p.kind == BoundPredicate::Kind::kIdRange, p.lo, p.hi,
+            p.excl});
+    }
+    return scan;
+}
+
+bool
+rowMatches(const std::vector<ScanPredicate> &scan, size_t row)
+{
+    for (const auto &p : scan)
+        if (!p.matches(row))
+            return false;
+    return true;
+}
+
+} // namespace
+
+BoundPredicate
+bindCondition(const Table &table, const Condition &cond)
+{
+    size_t col_idx = table.schema().indexOf(cond.column);
+    const Column &col = table.column(col_idx);
+
+    BoundPredicate p;
+    p.col = col_idx;
+    p.op = cond.op;
+    p.literal = cond.value;
+    // Mirror Table's ingest normalization: an int literal against a
+    // double column widens, so the predicate compares by numeric value
+    // instead of by variant index.
+    if (col.type() == ValueType::kDouble &&
+        p.literal.type() == ValueType::kInt)
+        p.literal = Value(p.literal.asDouble());
+
+    const Column::Id dict_size =
+        static_cast<Column::Id>(col.dictSize());
+    switch (cond.op) {
+      case CompareOp::kEq: {
+        auto id = col.idOf(p.literal);
+        if (!id) {
+            p.kind = BoundPredicate::Kind::kNone;
+        } else {
+            p.kind = BoundPredicate::Kind::kIdRange;
+            p.lo = *id;
+            p.hi = *id + 1;
+        }
+        return p;
+      }
+      case CompareOp::kNe: {
+        auto id = col.idOf(p.literal);
+        if (!id) {
+            p.kind = BoundPredicate::Kind::kAll;
+        } else {
+            p.kind = BoundPredicate::Kind::kNotId;
+            p.excl = *id;
+        }
+        return p;
+      }
+      case CompareOp::kLt:
+        p.kind = BoundPredicate::Kind::kIdRange;
+        p.lo = 0;
+        p.hi = col.lowerBound(p.literal);
+        break;
+      case CompareOp::kLe:
+        p.kind = BoundPredicate::Kind::kIdRange;
+        p.lo = 0;
+        p.hi = col.upperBound(p.literal);
+        break;
+      case CompareOp::kGt:
+        p.kind = BoundPredicate::Kind::kIdRange;
+        p.lo = col.upperBound(p.literal);
+        p.hi = dict_size;
+        break;
+      case CompareOp::kGe:
+        p.kind = BoundPredicate::Kind::kIdRange;
+        p.lo = col.lowerBound(p.literal);
+        p.hi = dict_size;
+        break;
+    }
+    if (p.lo >= p.hi)
+        p.kind = BoundPredicate::Kind::kNone;
+    else if (p.lo == 0 && p.hi == dict_size)
+        p.kind = BoundPredicate::Kind::kAll;
+    return p;
+}
+
+std::vector<BoundPredicate>
+bindConditions(const Table &table, const std::vector<Condition> &conds)
+{
+    std::vector<BoundPredicate> out;
+    out.reserve(conds.size());
+    for (const auto &c : conds)
+        out.push_back(bindCondition(table, c));
+    return out;
+}
+
+bool
+anyImpossible(const std::vector<BoundPredicate> &preds)
+{
+    for (const auto &p : preds)
+        if (p.kind == BoundPredicate::Kind::kNone)
+            return true;
+    return false;
+}
+
+size_t
+countMatching(const Table &table,
+              const std::vector<BoundPredicate> &preds)
+{
+    if (anyImpossible(preds))
+        return 0;
+    auto scan = compile(table, preds);
+    if (scan.empty())
+        return table.rowCount();
+    size_t n = 0;
+    for (size_t r = 0; r < table.rowCount(); ++r)
+        if (rowMatches(scan, r))
+            ++n;
+    return n;
+}
+
+std::vector<size_t>
+selectMatching(const Table &table,
+               const std::vector<BoundPredicate> &preds)
+{
+    std::vector<size_t> out;
+    if (anyImpossible(preds))
+        return out;
+    auto scan = compile(table, preds);
+    for (size_t r = 0; r < table.rowCount(); ++r)
+        if (rowMatches(scan, r))
+            out.push_back(r);
+    return out;
+}
+
+std::vector<size_t>
+groupCountsSingle(const Table &table,
+                  const std::vector<BoundPredicate> &preds,
+                  size_t group_col)
+{
+    const Column &gc = table.column(group_col);
+    std::vector<size_t> counts(gc.dictSize(), 0);
+    if (anyImpossible(preds))
+        return counts;
+    auto scan = compile(table, preds);
+    const Column::Id *ids = gc.ids().data();
+    for (size_t r = 0; r < table.rowCount(); ++r)
+        if (rowMatches(scan, r))
+            ++counts[ids[r]];
+    return counts;
+}
+
+std::vector<std::pair<std::vector<Column::Id>, size_t>>
+groupCountsMulti(const Table &table,
+                 const std::vector<BoundPredicate> &preds,
+                 const std::vector<size_t> &group_cols)
+{
+    NAZAR_CHECK(!group_cols.empty(),
+                "group by needs at least one column");
+    std::vector<std::pair<std::vector<Column::Id>, size_t>> out;
+    if (anyImpossible(preds))
+        return out;
+    auto scan = compile(table, preds);
+    std::vector<const Column::Id *> key_ids;
+    key_ids.reserve(group_cols.size());
+    for (size_t gc : group_cols)
+        key_ids.push_back(table.column(gc).ids().data());
+
+    // Id tuples compare lexicographically exactly as the decoded
+    // Value tuples do (per-column id order == Value order), so this
+    // map iterates in the same order the old Value-keyed map did —
+    // with uint32 tuple keys instead of Value vectors.
+    std::map<std::vector<Column::Id>, size_t> groups;
+    std::vector<Column::Id> key(group_cols.size());
+    for (size_t r = 0; r < table.rowCount(); ++r) {
+        if (!rowMatches(scan, r))
+            continue;
+        for (size_t i = 0; i < key_ids.size(); ++i)
+            key[i] = key_ids[i][r];
+        ++groups[key];
+    }
+    out.reserve(groups.size());
+    for (auto &[k, count] : groups)
+        out.emplace_back(k, count);
+    return out;
+}
+
+std::string
+describePredicate(const Table &table, const BoundPredicate &pred)
+{
+    const Schema &schema = table.schema();
+    const Column &col = table.column(pred.col);
+    std::ostringstream os;
+    const char *op = "=";
+    switch (pred.op) {
+      case CompareOp::kEq: op = "="; break;
+      case CompareOp::kNe: op = "!="; break;
+      case CompareOp::kLt: op = "<"; break;
+      case CompareOp::kLe: op = "<="; break;
+      case CompareOp::kGt: op = ">"; break;
+      case CompareOp::kGe: op = ">="; break;
+    }
+    os << "where " << schema.column(pred.col).name << " " << op << " ";
+    if (pred.literal.type() == ValueType::kString)
+        os << "'" << pred.literal.toString() << "'";
+    else
+        os << pred.literal.toString();
+    os << ": ";
+    switch (pred.kind) {
+      case BoundPredicate::Kind::kAll:
+        os << "matches all rows (dropped from scan)";
+        break;
+      case BoundPredicate::Kind::kNone:
+        os << "no matching dictionary id -> 0 rows "
+              "(scan short-circuited)";
+        break;
+      case BoundPredicate::Kind::kIdRange:
+        os << "ids [" << pred.lo << "," << pred.hi << ") of dict("
+           << col.dictSize() << ")";
+        break;
+      case BoundPredicate::Kind::kNotId:
+        os << "id != " << pred.excl << " of dict(" << col.dictSize()
+           << ")";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace nazar::driftlog

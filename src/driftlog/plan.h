@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Predicate binding and vectorized scan primitives over
+ * dictionary-encoded columns — the shared execution layer under both
+ * the fluent Query API and the SQL engine.
+ *
+ * Binding resolves each column-vs-literal condition into the id space
+ * of its column exactly once per evaluation:
+ *
+ *  - `=`  resolves the literal through the dictionary to a single id
+ *    (an absent literal short-circuits the whole scan to zero rows);
+ *  - `!=` resolves to an excluded id (absent literal: matches all);
+ *  - `<  <= > >=` resolve to a half-open id interval via the sorted
+ *    dictionary's lower/upper bound — valid because id order equals
+ *    Value total order, including across NULL and mixed-type
+ *    comparisons, so the interval reproduces the old per-cell Value
+ *    comparison bit-for-bit.
+ *
+ * Execution then scans the dense per-row id vectors with pure uint32
+ * compares: selection vectors for row retrieval, dense per-id count
+ * arrays for group-by (emitted in id order == sorted Value order, the
+ * same order the old std::map<Value, ...> aggregations produced).
+ */
+#ifndef NAZAR_DRIFTLOG_PLAN_H
+#define NAZAR_DRIFTLOG_PLAN_H
+
+#include <string>
+#include <vector>
+
+#include "driftlog/query.h"
+#include "driftlog/table.h"
+
+namespace nazar::driftlog {
+
+/** One condition bound to the id space of its column. */
+struct BoundPredicate
+{
+    enum class Kind {
+        kAll,     ///< Matches every row; dropped before the scan.
+        kNone,    ///< Matches no row; short-circuits the scan.
+        kIdRange, ///< Matches iff lo <= id < hi.
+        kNotId,   ///< Matches iff id != excl.
+    };
+
+    size_t col = 0;   ///< Schema column index.
+    CompareOp op = CompareOp::kEq;
+    Value literal;    ///< Widened literal (kept for EXPLAIN).
+    Kind kind = Kind::kAll;
+    Column::Id lo = 0;
+    Column::Id hi = 0;
+    Column::Id excl = 0;
+
+    bool matchesId(Column::Id id) const
+    {
+        switch (kind) {
+          case Kind::kAll:     return true;
+          case Kind::kNone:    return false;
+          case Kind::kIdRange: return id >= lo && id < hi;
+          case Kind::kNotId:   return id != excl;
+        }
+        return false;
+    }
+};
+
+/**
+ * Bind one condition: widen an int literal against a double column
+ * (mirroring Table ingest, so 3 and 3.0 compare as one value), then
+ * resolve it to the column's id space.
+ * @throws NazarError when the column does not exist.
+ */
+BoundPredicate bindCondition(const Table &table, const Condition &cond);
+
+/** Bind a conjunction of conditions. */
+std::vector<BoundPredicate>
+bindConditions(const Table &table, const std::vector<Condition> &conds);
+
+/** True when any predicate is kNone — zero rows, skip the scan. */
+bool anyImpossible(const std::vector<BoundPredicate> &preds);
+
+/** Number of rows matching all predicates. */
+size_t countMatching(const Table &table,
+                     const std::vector<BoundPredicate> &preds);
+
+/** Selection vector: matching row indices, ascending. */
+std::vector<size_t>
+selectMatching(const Table &table,
+               const std::vector<BoundPredicate> &preds);
+
+/**
+ * Single-column group-by: matching-row counts indexed by the group
+ * column's dictionary id — a dense array, no per-evaluation map.
+ * Entry i is the count for dictionary value i (zero when no matching
+ * row carries it).
+ */
+std::vector<size_t>
+groupCountsSingle(const Table &table,
+                  const std::vector<BoundPredicate> &preds,
+                  size_t group_col);
+
+/**
+ * Multi-column group-by: (id-tuple, count) pairs over matching rows,
+ * sorted by id tuple — which is the lexicographic sorted-Value order
+ * of the decoded key tuples.
+ */
+std::vector<std::pair<std::vector<Column::Id>, size_t>>
+groupCountsMulti(const Table &table,
+                 const std::vector<BoundPredicate> &preds,
+                 const std::vector<size_t> &group_cols);
+
+/** One-line human rendering of a bound predicate (EXPLAIN). */
+std::string describePredicate(const Table &table,
+                              const BoundPredicate &pred);
+
+} // namespace nazar::driftlog
+
+#endif // NAZAR_DRIFTLOG_PLAN_H

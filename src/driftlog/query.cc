@@ -1,10 +1,13 @@
 /**
  * @file
- * Implementation of the query layer.
+ * Implementation of the query layer: the fluent API binds its
+ * conditions to dictionary-id space once per evaluation and executes
+ * through the shared vectorized scan primitives (driftlog/plan.h).
  */
 #include "query.h"
 
 #include "common/error.h"
+#include "driftlog/plan.h"
 #include "obs/span.h"
 
 namespace nazar::driftlog {
@@ -36,7 +39,8 @@ Query::where(const std::string &column, CompareOp op, Value value) const
     // Mirror Table's ingest normalization: an int literal against a
     // double column widens, so the condition compares by numeric value
     // instead of by variant index (which would order every int below
-    // every double).
+    // every double). Binding widens again (idempotently) so that SQL
+    // conditions, which skip this builder, get the same treatment.
     const ColumnDef &def =
         table_->schema().column(table_->schema().indexOf(column));
     if (def.type == ValueType::kDouble && value.type() == ValueType::kInt)
@@ -46,47 +50,18 @@ Query::where(const std::string &column, CompareOp op, Value value) const
     return q;
 }
 
-std::vector<size_t>
-Query::resolveConditionColumns() const
-{
-    std::vector<size_t> cols;
-    cols.reserve(conditions_.size());
-    for (const auto &cond : conditions_)
-        cols.push_back(table_->schema().indexOf(cond.column));
-    return cols;
-}
-
-bool
-Query::rowMatches(size_t row, const std::vector<size_t> &cond_cols) const
-{
-    for (size_t i = 0; i < conditions_.size(); ++i)
-        if (!conditions_[i].matches(table_->column(cond_cols[i])[row]))
-            return false;
-    return true;
-}
-
 size_t
 Query::count() const
 {
     NAZAR_SPAN("driftlog.query.count");
-    auto cols = resolveConditionColumns();
-    size_t n = 0;
-    for (size_t r = 0; r < table_->rowCount(); ++r)
-        if (rowMatches(r, cols))
-            ++n;
-    return n;
+    return countMatching(*table_, bindConditions(*table_, conditions_));
 }
 
 std::vector<size_t>
 Query::select() const
 {
     NAZAR_SPAN("driftlog.query.select");
-    auto cols = resolveConditionColumns();
-    std::vector<size_t> out;
-    for (size_t r = 0; r < table_->rowCount(); ++r)
-        if (rowMatches(r, cols))
-            out.push_back(r);
-    return out;
+    return selectMatching(*table_, bindConditions(*table_, conditions_));
 }
 
 std::map<Value, size_t>
@@ -94,12 +69,18 @@ Query::groupByCount(const std::string &column) const
 {
     NAZAR_SPAN("driftlog.query.group_by");
     size_t group_col = table_->schema().indexOf(column);
-    auto cols = resolveConditionColumns();
+    // Dense per-id aggregation; the emitted map is built in id order
+    // (== sorted Value order), so construction is a linear walk with
+    // an end hint instead of per-row map lookups.
+    std::vector<size_t> counts = groupCountsSingle(
+        *table_, bindConditions(*table_, conditions_), group_col);
+    const Column &gc = table_->column(group_col);
     std::map<Value, size_t> out;
-    const auto &data = table_->column(group_col);
-    for (size_t r = 0; r < table_->rowCount(); ++r)
-        if (rowMatches(r, cols))
-            ++out[data[r]];
+    for (size_t id = 0; id < counts.size(); ++id)
+        if (counts[id] > 0)
+            out.emplace_hint(out.end(),
+                             gc.dictValue(static_cast<Column::Id>(id)),
+                             counts[id]);
     return out;
 }
 
@@ -112,16 +93,15 @@ Query::groupByCount(const std::vector<std::string> &columns) const
     group_cols.reserve(columns.size());
     for (const auto &name : columns)
         group_cols.push_back(table_->schema().indexOf(name));
-    auto cols = resolveConditionColumns();
+    auto grouped = groupCountsMulti(
+        *table_, bindConditions(*table_, conditions_), group_cols);
     std::map<std::vector<Value>, size_t> out;
-    for (size_t r = 0; r < table_->rowCount(); ++r) {
-        if (!rowMatches(r, cols))
-            continue;
+    for (const auto &[ids, count] : grouped) {
         std::vector<Value> key;
-        key.reserve(group_cols.size());
-        for (size_t gc : group_cols)
-            key.push_back(table_->column(gc)[r]);
-        ++out[key];
+        key.reserve(ids.size());
+        for (size_t i = 0; i < ids.size(); ++i)
+            key.push_back(table_->column(group_cols[i]).dictValue(ids[i]));
+        out.emplace_hint(out.end(), std::move(key), count);
     }
     return out;
 }

@@ -26,7 +26,11 @@ struct Condition
     CompareOp op = CompareOp::kEq;
     Value value;
 
-    /** Evaluate against a cell value. */
+    /** Evaluate against a cell value — the row-at-a-time Value
+     *  comparison. The vectorized path binds the condition to
+     *  dictionary-id space instead (driftlog/plan.h); this form is
+     *  retained as the semantic reference (differential tests pit the
+     *  two against each other). */
     bool matches(const Value &cell) const;
 };
 
@@ -64,12 +68,6 @@ class Query
     const std::vector<Condition> &conditions() const { return conditions_; }
 
   private:
-    bool rowMatches(size_t row,
-                    const std::vector<size_t> &cond_cols) const;
-
-    /** Resolve condition column names to indices once per evaluation. */
-    std::vector<size_t> resolveConditionColumns() const;
-
     const Table *table_;
     std::vector<Condition> conditions_;
 };

@@ -1,6 +1,28 @@
 /**
  * @file
- * Implementation of the SQL dialect: tokenizer, parser, executor.
+ * Implementation of the SQL dialect.
+ *
+ * The pipeline is staged like a real engine:
+ *
+ *   tokenize/parse  -> ParsedQuery        (syntax only)
+ *   bind            -> SqlPlan            (names -> column indices,
+ *                                          literals -> dictionary ids,
+ *                                          select-list resolution)
+ *   column-prune    -> SqlPlan.readCols   (only columns the query
+ *                                          touches are ever scanned)
+ *   execute         -> SqlResult          (vectorized: selection
+ *                                          vectors + dense group-by
+ *                                          over dictionary ids)
+ *
+ * `EXPLAIN SELECT ...` stops after binding and renders the plan: the
+ * pruned column set and every predicate's resolved id range — an
+ * absent literal shows up here as an explicit 0-row short-circuit.
+ *
+ * executeSqlNaive is the retained row-at-a-time interpreter (per-cell
+ * Value comparisons, Value-keyed group maps). It exists as the
+ * semantic oracle: differential tests assert the vectorized engine
+ * matches it bit-for-bit, and benchmarks use it as the dict-off
+ * baseline.
  */
 #include "sql.h"
 
@@ -10,7 +32,9 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "driftlog/plan.h"
 #include "driftlog/query.h"
+#include "obs/span.h"
 
 namespace nazar::driftlog {
 
@@ -130,6 +154,7 @@ struct SelectItem
 
 struct ParsedQuery
 {
+    bool explain = false; ///< Leading EXPLAIN keyword.
     std::vector<SelectItem> select;
     bool selectStar = false;
     std::string table;
@@ -153,6 +178,7 @@ class Parser
     parse()
     {
         ParsedQuery q;
+        q.explain = acceptKeyword("EXPLAIN");
         expectKeyword("SELECT");
         parseSelectList(q);
         expectKeyword("FROM");
@@ -328,6 +354,303 @@ class Parser
     Lexer lexer_;
 };
 
+// ---- bind + column-prune -------------------------------------------------
+
+/** One output column of the plan. */
+struct PlanOutput
+{
+    bool isCountStar = false;
+    size_t col = 0;     ///< Schema index when !isCountStar.
+    std::string name;   ///< Result column name.
+};
+
+/** The bound, pruned query plan. */
+struct SqlPlan
+{
+    std::vector<BoundPredicate> where; ///< Literals resolved to ids.
+    std::vector<size_t> groupBy;       ///< Schema column indices.
+    std::vector<PlanOutput> outputs;
+    bool hasOrderBy = false;
+    bool orderByCount = false;
+    bool orderDescending = false;
+    std::string orderByColumn;
+    long limit = -1;
+    /** Column-prune result: the schema indices this query reads
+     *  (predicates + group keys + projections + order key), sorted. */
+    std::vector<size_t> readCols;
+};
+
+/**
+ * Bind the parsed query against the table: validate names, resolve
+ * them to schema indices, resolve the select list (the grouped
+ * default list is group keys then COUNT(*)), bind every WHERE literal
+ * into its column's id space, and record the pruned read set.
+ */
+SqlPlan
+bindQuery(const Table &table, const ParsedQuery &parsed)
+{
+    const Schema &schema = table.schema();
+    auto check_col = [&](const std::string &name) {
+        NAZAR_CHECK(schema.has(name), "no such column: " + name);
+    };
+    for (const auto &item : parsed.select)
+        if (!item.isCountStar)
+            check_col(item.column);
+    for (const auto &col : parsed.groupBy)
+        check_col(col);
+    if (parsed.hasOrderBy && !parsed.orderByCount)
+        check_col(parsed.orderByColumn);
+
+    SqlPlan plan;
+    plan.where = bindConditions(table, parsed.where);
+    for (const auto &name : parsed.groupBy)
+        plan.groupBy.push_back(schema.indexOf(name));
+    plan.hasOrderBy = parsed.hasOrderBy;
+    plan.orderByCount = parsed.orderByCount;
+    plan.orderDescending = parsed.orderDescending;
+    plan.orderByColumn = parsed.orderByColumn;
+    plan.limit = parsed.limit;
+
+    // Resolve the select list into plan outputs.
+    if (!parsed.groupBy.empty()) {
+        // Grouped: selected columns must be group keys or COUNT(*);
+        // the default list is every group key then the count.
+        std::vector<SelectItem> items = parsed.select;
+        if (parsed.selectStar || items.empty()) {
+            items.clear();
+            for (const auto &name : parsed.groupBy)
+                items.push_back(SelectItem{false, name});
+            items.push_back(SelectItem{true, ""});
+        }
+        for (const auto &item : items) {
+            if (item.isCountStar) {
+                plan.outputs.push_back(PlanOutput{true, 0, "count"});
+                continue;
+            }
+            bool is_key =
+                std::find(parsed.groupBy.begin(), parsed.groupBy.end(),
+                          item.column) != parsed.groupBy.end();
+            NAZAR_CHECK(is_key, "selected column " + item.column +
+                                    " must appear in GROUP BY");
+            plan.outputs.push_back(
+                PlanOutput{false, schema.indexOf(item.column),
+                           item.column});
+        }
+    } else if (parsed.select.size() == 1 &&
+               parsed.select[0].isCountStar) {
+        plan.outputs.push_back(PlanOutput{true, 0, "count"});
+    } else {
+        NAZAR_CHECK(parsed.selectStar ||
+                        std::none_of(parsed.select.begin(),
+                                     parsed.select.end(),
+                                     [](const SelectItem &i) {
+                                         return i.isCountStar;
+                                     }),
+                    "COUNT(*) mixed with columns requires GROUP BY");
+        if (parsed.selectStar) {
+            for (size_t c = 0; c < schema.columnCount(); ++c)
+                plan.outputs.push_back(
+                    PlanOutput{false, c, schema.column(c).name});
+        } else {
+            for (const auto &item : parsed.select)
+                plan.outputs.push_back(
+                    PlanOutput{false, schema.indexOf(item.column),
+                               item.column});
+        }
+    }
+
+    // Column prune: the scan only ever touches these id vectors.
+    std::vector<bool> needed(schema.columnCount(), false);
+    for (const auto &p : plan.where)
+        needed[p.col] = true;
+    for (size_t gc : plan.groupBy)
+        needed[gc] = true;
+    for (const auto &out : plan.outputs)
+        if (!out.isCountStar)
+            needed[out.col] = true;
+    if (plan.hasOrderBy && !plan.orderByCount)
+        needed[schema.indexOf(plan.orderByColumn)] = true;
+    for (size_t c = 0; c < needed.size(); ++c)
+        if (needed[c])
+            plan.readCols.push_back(c);
+    return plan;
+}
+
+// ---- execute -------------------------------------------------------------
+
+/** ORDER BY + LIMIT over assembled result rows (shared by the
+ *  vectorized and naive executors — identical semantics). */
+void
+orderAndLimit(SqlResult &result, bool has_order_by, bool order_by_count,
+              bool descending, const std::string &order_column,
+              long limit)
+{
+    if (has_order_by) {
+        size_t key = order_by_count ? result.columnIndex("count")
+                                    : result.columnIndex(order_column);
+        std::stable_sort(result.rows.begin(), result.rows.end(),
+                         [&](const Row &a, const Row &b) {
+                             return descending ? b[key] < a[key]
+                                               : a[key] < b[key];
+                         });
+    }
+    if (limit >= 0 &&
+        result.rows.size() > static_cast<size_t>(limit))
+        result.rows.resize(static_cast<size_t>(limit));
+}
+
+/** Vectorized execution of a bound plan. */
+SqlResult
+executePlan(const Table &table, const SqlPlan &plan)
+{
+    NAZAR_SPAN("driftlog.sql.execute");
+    SqlResult result;
+    for (const auto &out : plan.outputs)
+        result.columns.push_back(out.name);
+
+    if (!plan.groupBy.empty()) {
+        if (plan.groupBy.size() == 1) {
+            // Dense per-id counts, emitted in id order (== the sorted
+            // Value order the old map-based group-by produced).
+            size_t gc = plan.groupBy[0];
+            std::vector<size_t> counts =
+                groupCountsSingle(table, plan.where, gc);
+            const Column &col = table.column(gc);
+            for (size_t id = 0; id < counts.size(); ++id) {
+                if (counts[id] == 0)
+                    continue;
+                Row row;
+                for (const auto &out : plan.outputs) {
+                    if (out.isCountStar)
+                        row.push_back(
+                            Value(static_cast<int64_t>(counts[id])));
+                    else
+                        row.push_back(col.dictValue(
+                            static_cast<Column::Id>(id)));
+                }
+                result.rows.push_back(std::move(row));
+            }
+        } else {
+            auto grouped =
+                groupCountsMulti(table, plan.where, plan.groupBy);
+            for (const auto &[key_ids, count] : grouped) {
+                Row row;
+                for (const auto &out : plan.outputs) {
+                    if (out.isCountStar) {
+                        row.push_back(
+                            Value(static_cast<int64_t>(count)));
+                        continue;
+                    }
+                    size_t key_pos = static_cast<size_t>(
+                        std::find(plan.groupBy.begin(),
+                                  plan.groupBy.end(), out.col) -
+                        plan.groupBy.begin());
+                    row.push_back(table.column(out.col)
+                                      .dictValue(key_ids[key_pos]));
+                }
+                result.rows.push_back(std::move(row));
+            }
+        }
+    } else if (plan.outputs.size() == 1 && plan.outputs[0].isCountStar) {
+        // Plain aggregation: no selection vector materialized.
+        result.rows.push_back(Row{Value(static_cast<int64_t>(
+            countMatching(table, plan.where)))});
+    } else {
+        // Plain projection: selection vector, then per-column
+        // dictionary decode of only the projected columns.
+        std::vector<size_t> row_ids = selectMatching(table, plan.where);
+        result.rows.reserve(row_ids.size());
+        for (size_t r : row_ids) {
+            Row row;
+            row.reserve(plan.outputs.size());
+            for (const auto &out : plan.outputs)
+                row.push_back(table.column(out.col).at(r));
+            result.rows.push_back(std::move(row));
+        }
+    }
+
+    orderAndLimit(result, plan.hasOrderBy, plan.orderByCount,
+                  plan.orderDescending, plan.orderByColumn, plan.limit);
+    return result;
+}
+
+// ---- EXPLAIN -------------------------------------------------------------
+
+/** Render the bound plan, one line per result row. */
+SqlResult
+renderPlan(const Table &table, const SqlPlan &plan,
+           const std::string &table_name)
+{
+    const Schema &schema = table.schema();
+    std::vector<std::string> lines;
+
+    std::ostringstream scan;
+    scan << "scan " << table_name << ": read " << plan.readCols.size()
+         << "/" << schema.columnCount() << " columns (";
+    for (size_t i = 0; i < plan.readCols.size(); ++i)
+        scan << (i ? ", " : "")
+             << schema.column(plan.readCols[i]).name;
+    scan << ")";
+    size_t pruned = schema.columnCount() - plan.readCols.size();
+    if (pruned > 0) {
+        scan << ", pruned " << pruned << " (";
+        size_t emitted = 0, read_pos = 0;
+        for (size_t c = 0; c < schema.columnCount(); ++c) {
+            if (read_pos < plan.readCols.size() &&
+                plan.readCols[read_pos] == c) {
+                ++read_pos;
+                continue;
+            }
+            scan << (emitted++ ? ", " : "") << schema.column(c).name;
+        }
+        scan << ")";
+    }
+    lines.push_back(scan.str());
+
+    for (const auto &p : plan.where)
+        lines.push_back(describePredicate(table, p));
+    if (anyImpossible(plan.where))
+        lines.push_back("result: 0 rows without scanning");
+
+    if (!plan.groupBy.empty()) {
+        std::ostringstream os;
+        os << "group by ";
+        for (size_t i = 0; i < plan.groupBy.size(); ++i)
+            os << (i ? ", " : "")
+               << schema.column(plan.groupBy[i]).name << "(dict "
+               << table.column(plan.groupBy[i]).dictSize() << ")";
+        os << (plan.groupBy.size() == 1 ? ": dense per-id counts"
+                                        : ": id-tuple counts");
+        lines.push_back(os.str());
+    }
+
+    std::ostringstream proj;
+    proj << (plan.groupBy.empty() && plan.outputs.size() == 1 &&
+                     plan.outputs[0].isCountStar
+                 ? "aggregate "
+                 : "project ");
+    for (size_t i = 0; i < plan.outputs.size(); ++i)
+        proj << (i ? ", " : "")
+             << (plan.outputs[i].isCountStar ? "COUNT(*)"
+                                             : plan.outputs[i].name);
+    lines.push_back(proj.str());
+
+    if (plan.hasOrderBy) {
+        lines.push_back(
+            std::string("order by ") +
+            (plan.orderByCount ? "COUNT(*)" : plan.orderByColumn) +
+            (plan.orderDescending ? " desc" : " asc"));
+    }
+    if (plan.limit >= 0)
+        lines.push_back("limit " + std::to_string(plan.limit));
+
+    SqlResult result;
+    result.columns = {"plan"};
+    for (auto &line : lines)
+        result.rows.push_back(Row{Value(std::move(line))});
+    return result;
+}
+
 } // namespace
 
 // ---- result helpers ------------------------------------------------------
@@ -377,7 +700,7 @@ SqlResult::toString() const
     return os.str();
 }
 
-// ---- executor -------------------------------------------------------------
+// ---- entry points --------------------------------------------------------
 
 SqlResult
 executeSql(const Table &table, const std::string &table_name,
@@ -386,8 +709,23 @@ executeSql(const Table &table, const std::string &table_name,
     ParsedQuery parsed = Parser(query_text).parse();
     NAZAR_CHECK(parsed.table == table_name,
                 "unknown table: " + parsed.table);
+    SqlPlan plan = bindQuery(table, parsed);
+    if (parsed.explain)
+        return renderPlan(table, plan, table_name);
+    return executePlan(table, plan);
+}
 
-    // Validate referenced columns.
+SqlResult
+executeSqlNaive(const Table &table, const std::string &table_name,
+                const std::string &query_text)
+{
+    ParsedQuery parsed = Parser(query_text).parse();
+    NAZAR_CHECK(parsed.table == table_name,
+                "unknown table: " + parsed.table);
+    NAZAR_CHECK(!parsed.explain,
+                "EXPLAIN requires the planned executor");
+
+    // Validate referenced columns (same messages as the binder).
     auto check_col = [&](const std::string &name) {
         NAZAR_CHECK(table.schema().has(name), "no such column: " + name);
     };
@@ -399,16 +737,33 @@ executeSql(const Table &table, const std::string &table_name,
     if (parsed.hasOrderBy && !parsed.orderByCount)
         check_col(parsed.orderByColumn);
 
-    // WHERE filtering via the query layer.
-    Query q(table);
-    for (const auto &cond : parsed.where)
-        q = q.where(cond.column, cond.op, cond.value);
-    std::vector<size_t> row_ids = q.select();
+    // Row-at-a-time WHERE: every cell is decoded and compared as a
+    // Value. (The vectorized engine must agree with this exactly.)
+    std::vector<Condition> conds = parsed.where;
+    std::vector<size_t> cond_cols;
+    for (auto &cond : conds) {
+        size_t c = table.schema().indexOf(cond.column);
+        cond_cols.push_back(c);
+        if (table.schema().column(c).type == ValueType::kDouble &&
+            cond.value.type() == ValueType::kInt)
+            cond.value = Value(cond.value.asDouble());
+    }
+    std::vector<size_t> row_ids;
+    for (size_t r = 0; r < table.rowCount(); ++r) {
+        bool ok = true;
+        for (size_t i = 0; i < conds.size(); ++i) {
+            if (!conds[i].matches(table.at(r, cond_cols[i]))) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            row_ids.push_back(r);
+    }
 
     SqlResult result;
 
     if (!parsed.groupBy.empty()) {
-        // Grouped: selected columns must be group keys or COUNT(*).
         for (const auto &item : parsed.select) {
             if (item.isCountStar)
                 continue;
@@ -427,11 +782,10 @@ executeSql(const Table &table, const std::string &table_name,
             std::vector<Value> key;
             key.reserve(group_cols.size());
             for (size_t gc : group_cols)
-                key.push_back(table.column(gc)[r]);
+                key.push_back(table.at(r, gc));
             ++groups[key];
         }
 
-        // Default select list: group keys then COUNT(*).
         std::vector<SelectItem> items = parsed.select;
         if (parsed.selectStar || items.empty()) {
             items.clear();
@@ -460,12 +814,10 @@ executeSql(const Table &table, const std::string &table_name,
         }
     } else if (parsed.select.size() == 1 &&
                parsed.select[0].isCountStar) {
-        // Plain aggregation: SELECT COUNT(*) FROM ...
         result.columns = {"count"};
         result.rows.push_back(
             Row{Value(static_cast<int64_t>(row_ids.size()))});
     } else {
-        // Plain projection.
         NAZAR_CHECK(parsed.selectStar ||
                         std::none_of(parsed.select.begin(),
                                      parsed.select.end(),
@@ -488,31 +840,14 @@ executeSql(const Table &table, const std::string &table_name,
         for (size_t r : row_ids) {
             Row row;
             for (size_t c : cols)
-                row.push_back(table.column(c)[r]);
+                row.push_back(table.at(r, c));
             result.rows.push_back(std::move(row));
         }
     }
 
-    // ORDER BY over the result rows.
-    if (parsed.hasOrderBy) {
-        size_t key;
-        if (parsed.orderByCount) {
-            key = result.columnIndex("count");
-        } else {
-            key = result.columnIndex(parsed.orderByColumn);
-        }
-        std::stable_sort(result.rows.begin(), result.rows.end(),
-                         [&](const Row &a, const Row &b) {
-                             return parsed.orderDescending
-                                        ? b[key] < a[key]
-                                        : a[key] < b[key];
-                         });
-    }
-
-    if (parsed.limit >= 0 &&
-        result.rows.size() > static_cast<size_t>(parsed.limit))
-        result.rows.resize(static_cast<size_t>(parsed.limit));
-
+    orderAndLimit(result, parsed.hasOrderBy, parsed.orderByCount,
+                  parsed.orderDescending, parsed.orderByColumn,
+                  parsed.limit);
     return result;
 }
 

@@ -8,7 +8,7 @@
  * recursive-descent parser and an executor for the query shapes the
  * RCA workload needs —
  *
- *   SELECT <cols | COUNT(*) | both> FROM <table>
+ *   [EXPLAIN] SELECT <cols | COUNT(*) | both> FROM <table>
  *     [WHERE col <op> literal [AND ...]]
  *     [GROUP BY col [, col ...]]
  *     [ORDER BY col | COUNT(*) [ASC | DESC]]
@@ -17,6 +17,13 @@
  * Operators: = != <> < <= > >=. Literals: integers, doubles,
  * single-quoted strings, true/false. Keywords are case-insensitive;
  * identifiers are snake_case column names.
+ *
+ * Execution is staged — parse, bind (names to column indices, literals
+ * to dictionary ids), column-prune, then a vectorized scan over the
+ * dictionary id vectors. `EXPLAIN SELECT ...` stops after binding and
+ * returns the plan as rows of a single "plan" column: the pruned read
+ * set and each predicate's resolved id range (or its 0-row
+ * short-circuit when the literal is absent from the dictionary).
  */
 #ifndef NAZAR_DRIFTLOG_SQL_H
 #define NAZAR_DRIFTLOG_SQL_H
@@ -57,6 +64,20 @@ struct SqlResult
  */
 SqlResult executeSql(const Table &table, const std::string &table_name,
                      const std::string &query);
+
+/**
+ * Parse and execute a query with the retained row-at-a-time
+ * interpreter: per-cell Value comparisons for WHERE, Value-keyed maps
+ * for GROUP BY. No binding, no pruning, no dictionary ids.
+ *
+ * This is the semantic oracle for the vectorized engine — differential
+ * tests assert `executeSql` and `executeSqlNaive` agree bit-for-bit on
+ * randomized workloads, and benchmarks use it as the dictionary-off
+ * baseline. Rejects EXPLAIN (there is no plan to render).
+ */
+SqlResult executeSqlNaive(const Table &table,
+                          const std::string &table_name,
+                          const std::string &query);
 
 } // namespace nazar::driftlog
 

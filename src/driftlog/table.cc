@@ -4,9 +4,6 @@
  */
 #include "table.h"
 
-#include <algorithm>
-#include <set>
-
 #include "common/error.h"
 
 namespace nazar::driftlog {
@@ -40,7 +37,9 @@ Schema::has(const std::string &name) const
 
 Table::Table(Schema schema) : schema_(std::move(schema))
 {
-    columns_.resize(schema_.columnCount());
+    columns_.reserve(schema_.columnCount());
+    for (size_t i = 0; i < schema_.columnCount(); ++i)
+        columns_.emplace_back(schema_.column(i).type);
 }
 
 void
@@ -68,7 +67,7 @@ Table::append(const Row &row)
                     "type mismatch in column " + schema_.column(i).name);
     }
     for (size_t i = 0; i < normalized.size(); ++i)
-        columns_[i].push_back(std::move(normalized[i]));
+        columns_[i].append(normalized[i]);
     ++rowCount_;
 }
 
@@ -77,7 +76,7 @@ Table::at(size_t row, size_t col) const
 {
     NAZAR_CHECK(row < rowCount_, "row out of range");
     NAZAR_CHECK(col < columns_.size(), "column out of range");
-    return columns_[col][row];
+    return columns_[col].at(row);
 }
 
 const Value &
@@ -93,18 +92,18 @@ Table::row(size_t r) const
     Row out;
     out.reserve(columns_.size());
     for (const auto &col : columns_)
-        out.push_back(col[r]);
+        out.push_back(col.at(r));
     return out;
 }
 
-const std::vector<Value> &
+const Column &
 Table::column(size_t col) const
 {
     NAZAR_CHECK(col < columns_.size(), "column out of range");
     return columns_[col];
 }
 
-const std::vector<Value> &
+const Column &
 Table::column(const std::string &name) const
 {
     return column(schema_.indexOf(name));
@@ -113,9 +112,8 @@ Table::column(const std::string &name) const
 std::vector<Value>
 Table::distinct(const std::string &name) const
 {
-    const auto &col = column(name);
-    std::set<Value> seen(col.begin(), col.end());
-    return std::vector<Value>(seen.begin(), seen.end());
+    // The dictionary is exactly the distinct set in sorted order.
+    return column(name).dictionary();
 }
 
 void

@@ -72,20 +72,26 @@ Analyzer::analyze(const driftlog::Table &table, AnalysisMode mode) const
     // must not be flipped concurrently.)
     std::vector<bool> flags = Fim::driftFlags(table, config_.driftColumn);
     auto mark_no_drift = [&](const AttributeSet &attrs) {
-        // Resolve the constrained columns once; matchesRow would redo
-        // the schema name lookup for every (row, attribute) pair.
-        std::vector<const std::vector<driftlog::Value> *> cols;
-        std::vector<const driftlog::Value *> wanted;
+        // Resolve the constrained columns to id vectors and the wanted
+        // values to dictionary ids once; the row walk is then pure
+        // uint32 compares. An accepted cause's values always occur in
+        // the table, so idOf never comes back empty here.
+        std::vector<const driftlog::Column::Id *> cols;
+        std::vector<driftlog::Column::Id> wanted;
         for (const auto &a : attrs.attributes()) {
-            cols.push_back(&table.column(a.column));
-            wanted.push_back(&a.value);
+            const driftlog::Column &col = table.column(a.column);
+            cols.push_back(col.ids().data());
+            auto id = col.idOf(a.value);
+            NAZAR_CHECK(id.has_value(),
+                        "accepted cause value missing from dictionary");
+            wanted.push_back(*id);
         }
         for (size_t r = 0; r < table.rowCount(); ++r) {
             if (!flags[r])
                 continue;
             bool match = true;
             for (size_t i = 0; i < cols.size(); ++i) {
-                if (!((*cols[i])[r] == *wanted[i])) {
+                if (cols[i][r] != wanted[i]) {
                     match = false;
                     break;
                 }

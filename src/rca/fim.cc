@@ -1,6 +1,22 @@
 /**
  * @file
  * Implementation of the apriori frequent-itemset miner.
+ *
+ * Two executions of the same algorithm live here:
+ *
+ *  - mine(): the production path. Attribute values are resolved to
+ *    dictionary ids up front (on the dispatching thread — that
+ *    resolution is the read barrier the Column thread contract
+ *    requires), and all row probes are uint32 compares over the dense
+ *    id vectors. Level-1 histograms count into per-id arrays instead
+ *    of Value-keyed maps.
+ *
+ *  - mineReference(): the retained pre-dictionary path, comparing
+ *    whole Values over materialized column vectors with Value-keyed
+ *    level-1 maps. Same chunking, same merge order, same candidate
+ *    generation — the only delta is the cell representation, which is
+ *    what makes it both a bit-for-bit oracle and a fair dict-off
+ *    baseline for the scaling benchmark.
  */
 #include "fim.h"
 
@@ -91,6 +107,19 @@ metricsFromCounts(size_t set_count, size_t set_drift, size_t total_rows,
     return m;
 }
 
+/**
+ * Resolve one attribute value into its column's id space. An absent
+ * value (possible for caller-supplied sets in computeMetrics; mined
+ * sets always resolve) maps to dictSize(), an id no row carries, so
+ * the probe keeps its single compare-per-row form.
+ */
+driftlog::Column::Id
+wantedId(const driftlog::Column &col, const driftlog::Value &v)
+{
+    auto id = col.idOf(v);
+    return id ? *id : static_cast<driftlog::Column::Id>(col.dictSize());
+}
+
 } // namespace
 
 CauseMetrics
@@ -102,12 +131,14 @@ computeMetrics(const driftlog::Table &table,
     NAZAR_CHECK(drift_flags.size() == table.rowCount(),
                 "drift-flag vector must cover the table");
 
-    // Resolve columns once.
-    std::vector<const std::vector<driftlog::Value> *> cols;
-    std::vector<const driftlog::Value *> wanted;
+    // Resolve columns and wanted ids once, on this thread (the read
+    // barrier the Column thread contract requires before fanning out).
+    std::vector<const driftlog::Column::Id *> cols;
+    std::vector<driftlog::Column::Id> wanted;
     for (const auto &a : attrs.attributes()) {
-        cols.push_back(&table.column(a.column));
-        wanted.push_back(&a.value);
+        const driftlog::Column &col = table.column(a.column);
+        cols.push_back(col.ids().data());
+        wanted.push_back(wantedId(col, a.value));
     }
 
     // One sharded scan accumulates all three counts; size_t sums are
@@ -122,7 +153,7 @@ computeMetrics(const driftlog::Table &table,
                 part[2] += drift_flags[r] ? 1 : 0;
                 bool match = true;
                 for (size_t i = 0; i < cols.size(); ++i) {
-                    if (!((*cols[i])[r] == *wanted[i])) {
+                    if (cols[i][r] != wanted[i]) {
                         match = false;
                         break;
                     }
@@ -182,10 +213,10 @@ std::vector<bool>
 Fim::driftFlags(const driftlog::Table &table,
                 const std::string &drift_column)
 {
-    const auto &col = table.column(drift_column);
+    const driftlog::Column &col = table.column(drift_column);
     std::vector<bool> flags(col.size());
     for (size_t r = 0; r < col.size(); ++r)
-        flags[r] = col[r].asBool();
+        flags[r] = col.at(r).asBool();
     return flags;
 }
 
@@ -209,21 +240,188 @@ Fim::mine(const std::vector<bool> &drift_flags) const
     std::vector<RankedCause> results;
 
     // ---- Level 1: one aggregation pass per attribute column --------
-    // Each column's value histogram is a sharded scan: every chunk
-    // builds its own Value-keyed map, and the partials merge in
-    // ascending chunk order. Count addition is commutative, so the
-    // merged map — and the map-order emission below — is identical to
-    // the sequential single-map pass. Correctness of the merge leans
-    // on Value's total order (see Value::operator<=>): a NaN cell that
-    // compared "equal" to everything would corrupt each partial map
-    // independently.
-    using ValueCounts =
-        std::map<driftlog::Value, std::pair<size_t, size_t>>;
+    // Each column's histogram is a dense per-id count array: chunks
+    // accumulate into fixed-size vectors indexed by dictionary id and
+    // the partials sum element-wise in ascending chunk order. Emission
+    // walks the array in id order, which — by the Column invariant
+    // (id order == Value total order) — is exactly the order the old
+    // Value-keyed map produced.
+    using IdCounts = std::vector<std::pair<size_t, size_t>>;
     std::vector<Attribute> frequent_singles;
     std::vector<AttributeSet> frequent_prev;
     NAZAR_SPAN_BEGIN(level1_span, "rca.fim.level1");
     for (const auto &col_name : config_.attributeColumns) {
-        const auto &col = table_.column(col_name);
+        const driftlog::Column &col = table_.column(col_name);
+        const driftlog::Column::Id *ids = col.ids().data();
+        const size_t dict_size = col.dictSize();
+        IdCounts counts = rowReduce<IdCounts>(
+            n, IdCounts(dict_size, {0, 0}),
+            [&](size_t chunk_begin, size_t chunk_end) {
+                IdCounts part(dict_size, {0, 0});
+                for (size_t r = chunk_begin; r < chunk_end; ++r) {
+                    auto &entry = part[ids[r]];
+                    ++entry.first;
+                    if (drift_flags[r])
+                        ++entry.second;
+                }
+                return part;
+            },
+            [](IdCounts acc, IdCounts part) {
+                for (size_t i = 0; i < acc.size(); ++i) {
+                    acc[i].first += part[i].first;
+                    acc[i].second += part[i].second;
+                }
+                return acc;
+            });
+        for (size_t id = 0; id < counts.size(); ++id) {
+            const auto &cnt = counts[id];
+            if (cnt.first == 0)
+                continue; // only possible on an empty table
+            CauseMetrics m = metricsFromCounts(cnt.first, cnt.second, n,
+                                               total_drift);
+            AttributeSet set({Attribute{
+                col_name,
+                col.dictValue(static_cast<driftlog::Column::Id>(id))}});
+            results.push_back(RankedCause{set, m});
+            if (m.occurrence >= config_.minOccurrence) {
+                frequent_singles.push_back(set.attributes().front());
+                frequent_prev.push_back(std::move(set));
+            }
+        }
+    }
+    std::sort(frequent_singles.begin(), frequent_singles.end());
+    level1_span.stop();
+
+    // ---- Levels 2..maxAttributes ------------------------------------
+    NAZAR_SPAN_BEGIN(levelk_span, "rca.fim.levelk");
+    for (size_t level = 2;
+         level <= config_.maxAttributes && !frequent_prev.empty();
+         ++level) {
+        // Candidate generation: extend each frequent (k-1)-set with a
+        // frequent single strictly greater than its last attribute and
+        // over a column the set does not constrain yet. (Value-level,
+        // so generation order is independent of the encoding.)
+        std::vector<AttributeSet> candidates;
+        for (const auto &set : frequent_prev) {
+            const Attribute &last = set.attributes().back();
+            for (const auto &single : frequent_singles) {
+                if (!(last < single))
+                    continue;
+                if (set.hasColumn(single.column))
+                    continue;
+                candidates.push_back(set.extended(single));
+            }
+        }
+        if (candidates.empty())
+            break;
+
+        // Counting pass: each candidate's attribute values resolve to
+        // dictionary ids once, so the row probe is two or three uint32
+        // compares against the dense id vectors. Within a chunk the
+        // candidate is the OUTER loop, so the inner row loop walks
+        // each candidate's id arrays contiguously. Per-chunk count
+        // arrays sum in chunk order.
+        struct CandidateProbe
+        {
+            std::vector<const driftlog::Column::Id *> cols;
+            std::vector<driftlog::Column::Id> wanted;
+        };
+        std::vector<CandidateProbe> probes(candidates.size());
+        for (size_t i = 0; i < candidates.size(); ++i) {
+            for (const auto &a : candidates[i].attributes()) {
+                const driftlog::Column &col = table_.column(a.column);
+                probes[i].cols.push_back(col.ids().data());
+                probes[i].wanted.push_back(wantedId(col, a.value));
+            }
+        }
+        using CountVec = std::vector<std::pair<size_t, size_t>>;
+        CountVec totals = rowReduce<CountVec>(
+            n, CountVec(probes.size(), {0, 0}),
+            [&](size_t chunk_begin, size_t chunk_end) {
+                CountVec part(probes.size(), {0, 0});
+                for (size_t c = 0; c < probes.size(); ++c) {
+                    const CandidateProbe &probe = probes[c];
+                    size_t count = 0, drift = 0;
+                    for (size_t r = chunk_begin; r < chunk_end; ++r) {
+                        bool match = true;
+                        for (size_t i = 0; i < probe.cols.size(); ++i) {
+                            if (probe.cols[i][r] != probe.wanted[i]) {
+                                match = false;
+                                break;
+                            }
+                        }
+                        if (match) {
+                            ++count;
+                            if (drift_flags[r])
+                                ++drift;
+                        }
+                    }
+                    part[c] = {count, drift};
+                }
+                return part;
+            },
+            [](CountVec acc, CountVec part) {
+                for (size_t i = 0; i < acc.size(); ++i) {
+                    acc[i].first += part[i].first;
+                    acc[i].second += part[i].second;
+                }
+                return acc;
+            });
+
+        std::vector<AttributeSet> frequent_now;
+        for (size_t i = 0; i < candidates.size(); ++i) {
+            CauseMetrics m = metricsFromCounts(
+                totals[i].first, totals[i].second, n, total_drift);
+            if (m.setCount == 0)
+                continue; // combination never occurs; not a real set
+            results.push_back(RankedCause{candidates[i], m});
+            if (m.occurrence >= config_.minOccurrence)
+                frequent_now.push_back(candidates[i]);
+        }
+        frequent_prev = std::move(frequent_now);
+    }
+    levelk_span.stop();
+
+    std::sort(results.begin(), results.end(), rankBefore);
+    return results;
+}
+
+std::vector<RankedCause>
+Fim::mineReference() const
+{
+    return mineReference(driftFlags(table_, config_.driftColumn));
+}
+
+std::vector<RankedCause>
+Fim::mineReference(const std::vector<bool> &drift_flags) const
+{
+    NAZAR_SPAN("rca.fim.mine_reference");
+    NAZAR_CHECK(drift_flags.size() == table_.rowCount(),
+                "drift-flag vector must cover the table");
+    const size_t n = table_.rowCount();
+    size_t total_drift = 0;
+    for (bool f : drift_flags)
+        total_drift += f ? 1 : 0;
+
+    // Decode every attribute column up front. The scans below then see
+    // what the pre-dictionary implementation saw: contiguous Value
+    // vectors. (Benchmarks exclude this step from timed regions.)
+    std::map<std::string, std::vector<driftlog::Value>> decoded;
+    for (const auto &col_name : config_.attributeColumns)
+        decoded.emplace(col_name, table_.column(col_name).materialize());
+
+    std::vector<RankedCause> results;
+
+    // ---- Level 1: Value-keyed histogram per column ------------------
+    // (The *_ref spans start after materialization, so span-based
+    // dict-off timings exclude the one-off decode above.)
+    using ValueCounts =
+        std::map<driftlog::Value, std::pair<size_t, size_t>>;
+    std::vector<Attribute> frequent_singles;
+    std::vector<AttributeSet> frequent_prev;
+    NAZAR_SPAN_BEGIN(level1_span, "rca.fim.level1_ref");
+    for (const auto &col_name : config_.attributeColumns) {
+        const std::vector<driftlog::Value> &col = decoded.at(col_name);
         ValueCounts counts = rowReduce<ValueCounts>(
             n, ValueCounts{},
             [&](size_t chunk_begin, size_t chunk_end) {
@@ -258,14 +456,11 @@ Fim::mine(const std::vector<bool> &drift_flags) const
     std::sort(frequent_singles.begin(), frequent_singles.end());
     level1_span.stop();
 
-    // ---- Levels 2..maxAttributes ------------------------------------
-    NAZAR_SPAN_BEGIN(levelk_span, "rca.fim.levelk");
+    // ---- Levels 2..maxAttributes: Value-comparing probes ------------
+    NAZAR_SPAN_BEGIN(levelk_span, "rca.fim.levelk_ref");
     for (size_t level = 2;
          level <= config_.maxAttributes && !frequent_prev.empty();
          ++level) {
-        // Candidate generation: extend each frequent (k-1)-set with a
-        // frequent single strictly greater than its last attribute and
-        // over a column the set does not constrain yet.
         std::vector<AttributeSet> candidates;
         for (const auto &set : frequent_prev) {
             const Attribute &last = set.attributes().back();
@@ -280,12 +475,6 @@ Fim::mine(const std::vector<bool> &drift_flags) const
         if (candidates.empty())
             break;
 
-        // Counting pass: resolve candidate columns once (read-only,
-        // shared across chunks), then one sharded scan counts every
-        // candidate. Within a chunk the candidate is the OUTER loop,
-        // so the inner row loop walks each candidate's two or three
-        // column arrays contiguously instead of pointer-chasing every
-        // probe per row. Per-chunk count arrays sum in chunk order.
         struct CandidateProbe
         {
             std::vector<const std::vector<driftlog::Value> *> cols;
@@ -294,7 +483,7 @@ Fim::mine(const std::vector<bool> &drift_flags) const
         std::vector<CandidateProbe> probes(candidates.size());
         for (size_t i = 0; i < candidates.size(); ++i) {
             for (const auto &a : candidates[i].attributes()) {
-                probes[i].cols.push_back(&table_.column(a.column));
+                probes[i].cols.push_back(&decoded.at(a.column));
                 probes[i].wanted.push_back(&a.value);
             }
         }
@@ -338,7 +527,7 @@ Fim::mine(const std::vector<bool> &drift_flags) const
             CauseMetrics m = metricsFromCounts(
                 totals[i].first, totals[i].second, n, total_drift);
             if (m.setCount == 0)
-                continue; // combination never occurs; not a real set
+                continue;
             results.push_back(RankedCause{candidates[i], m});
             if (m.occurrence >= config_.minOccurrence)
                 frequent_now.push_back(candidates[i]);

@@ -13,6 +13,13 @@
  * with a fixed row grain and chunk-ordered merges, so results are
  * bit-identical at every NAZAR_THREADS setting and NAZAR_THREADS=1
  * runs the exact sequential path.
+ *
+ * The scans run over dictionary ids: a candidate's attribute values
+ * resolve to per-column ids once, each row probe is a uint32 compare
+ * against the column's id vector, and the level-1 histograms count
+ * into dense per-id arrays emitted in id order (== sorted Value
+ * order, the order the old Value-keyed maps produced). mineReference
+ * keeps the pre-dictionary Value-comparing pass as the oracle.
  */
 #ifndef NAZAR_RCA_FIM_H
 #define NAZAR_RCA_FIM_H
@@ -93,6 +100,21 @@ class Fim
 
     /** Convenience: mine with the table's stored drift column. */
     std::vector<RankedCause> mine() const;
+
+    /**
+     * The retained pre-dictionary miner: identical apriori structure
+     * and chunking, but every candidate probe decodes and compares
+     * whole Values over materialized column vectors instead of uint32
+     * dictionary ids. Semantic oracle for differential tests (must
+     * match mine() bit-for-bit) and the dict-off baseline for the RCA
+     * scaling benchmark. Materialization cost is the caller's to
+     * exclude from timings (it happens up front, before the scans).
+     */
+    std::vector<RankedCause>
+    mineReference(const std::vector<bool> &drift_flags) const;
+
+    /** Convenience: mineReference with the stored drift column. */
+    std::vector<RankedCause> mineReference() const;
 
     /** Extract the drift column as a flag vector. */
     static std::vector<bool> driftFlags(const driftlog::Table &table,

@@ -330,7 +330,7 @@ TEST_F(RcaDeterminism, NanCellsFormASingleAttributeGroup)
         size_t nan_causes = 0, nan_rows = 0;
         const auto &col = t.column("severity");
         for (size_t r = 0; r < t.rowCount(); ++r)
-            nan_rows += std::isnan(col[r].asDouble()) ? 1 : 0;
+            nan_rows += std::isnan(col.at(r).asDouble()) ? 1 : 0;
         for (const auto &c : causes) {
             if (c.attrs.size() != 1)
                 continue;

@@ -15,7 +15,11 @@
  *   nazar_ops sql <log.csv> "<query>"
  *       Run a SQL query against the log (table name: drift_log),
  *       e.g. "SELECT weather, COUNT(*) FROM drift_log WHERE drift =
- *       true GROUP BY weather ORDER BY COUNT(*) DESC".
+ *       true GROUP BY weather ORDER BY COUNT(*) DESC". Prefix the
+ *       query with EXPLAIN to print the bound plan instead of
+ *       executing it: the pruned column read set and every WHERE
+ *       predicate's resolved dictionary-id range (a literal absent
+ *       from the column's dictionary shows as a 0-row short-circuit).
  *
  *   nazar_ops stats <log.csv> [fim|sr|full] [--metrics-out=<path>]
  *       Run root-cause analysis with self-monitoring on and print the
@@ -90,7 +94,7 @@ usage()
         "usage:\n"
         "  nazar_ops gen-log <out.csv> [rows] [seed]\n"
         "  nazar_ops analyze <log.csv> [fim|sr|full]\n"
-        "  nazar_ops sql <log.csv> \"<query>\"\n"
+        "  nazar_ops sql <log.csv> \"[EXPLAIN] <query>\"\n"
         "  nazar_ops stats <log.csv> [fim|sr|full] "
         "[--metrics-out=<path>]\n"
         "  nazar_ops sim [windows] [--metrics-out=<path>] "
