@@ -52,6 +52,7 @@ struct Row
     uint64_t retries;
     uint64_t dedupHits;
     uint64_t shed;
+    uint64_t crashLost;
     uint64_t gaveUp;
     uint64_t pushDropped;
 };
@@ -111,6 +112,7 @@ main(int argc, char **argv)
         row.retries = registry.counter("net.retries").value();
         row.dedupHits = registry.counter("net.dedup_hits").value();
         row.shed = registry.counter("net.shed").value();
+        row.crashLost = registry.counter("net.crash_lost").value();
         row.gaveUp = registry.counter("net.gave_up").value();
         row.pushDropped = registry.counter("net.push_dropped").value();
         rows.push_back(row);
@@ -128,12 +130,14 @@ main(int argc, char **argv)
             "\"avgAccuracyDrifted\": %.4f, \"staleDeviceWindows\": %zu, "
             "\"skippedCauses\": %zu, "
             "\"retries\": %llu, \"dedupHits\": %llu, \"shed\": %llu, "
+            "\"crashLost\": %llu, "
             "\"gaveUp\": %llu, \"pushDropped\": %llu}%s\n",
             r.drop, r.accAll, r.accDrifted, r.staleDeviceWindows,
             r.skippedCauses,
             static_cast<unsigned long long>(r.retries),
             static_cast<unsigned long long>(r.dedupHits),
             static_cast<unsigned long long>(r.shed),
+            static_cast<unsigned long long>(r.crashLost),
             static_cast<unsigned long long>(r.gaveUp),
             static_cast<unsigned long long>(r.pushDropped),
             i + 1 < rows.size() ? "," : "");

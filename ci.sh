@@ -129,6 +129,36 @@ if [ "$DO_RELEASE" = 1 ]; then
     ./build-ci/tools/nazar_ops wal build-ci/crash_state/wal.log \
         > /dev/null
     ./build-ci/bench/bench_crash_recovery --quick > /dev/null
+    # Networked-cloud smoke: a real server process behind a real
+    # socket, chaotic clients, exact reconciliation, then a SIGTERM
+    # shutdown that must drain cleanly and leave a loadable state dir.
+    echo "==== ingest server smoke (Release) ===="
+    rm -rf build-ci/served_state build-ci/served.port
+    ./build-ci/tools/nazar_served serve \
+        --port-file=build-ci/served.port \
+        --persist-dir=build-ci/served_state --fsync=fdatasync \
+        > build-ci/served.log 2>&1 &
+    SERVED_PID=$!
+    for _ in $(seq 1 100); do
+        [ -f build-ci/served.port ] && break
+        sleep 0.1
+    done
+    [ -f build-ci/served.port ] || {
+        echo "server smoke: port file never appeared" >&2; exit 1; }
+    ./build-ci/tools/nazar_served load \
+        --port="$(cat build-ci/served.port)" \
+        --clients=4 --events=200 --drop=0.3 --dup=0.2 --fault-seed=11 \
+        > build-ci/served_load.log
+    grep -q "RECONCILED ok" build-ci/served_load.log || {
+        echo "server smoke: load did not reconcile" >&2; exit 1; }
+    kill -TERM "$SERVED_PID"
+    wait "$SERVED_PID" || {
+        echo "server smoke: serve exited non-zero" >&2; exit 1; }
+    grep -q "clean shutdown" build-ci/served.log || {
+        echo "server smoke: no clean shutdown line" >&2; exit 1; }
+    ./build-ci/tools/nazar_ops recover build-ci/served_state \
+        > /dev/null
+    ./build-ci/bench/bench_ingest_server --quick > /dev/null
 fi
 
 if [ "$DO_TSAN" = 1 ]; then
@@ -169,6 +199,13 @@ if [ "$DO_ASAN" = 1 ]; then
     ./build-asan/tools/nazar_ops sim 1 \
         --persist-dir=build-asan/crash_state --snapshot-every=64 \
         --crash-at=333 > /dev/null
+    # Ingest-server smoke under ASAN: server, chaotic clients and
+    # shutdown in one process — sockets, reader threads and the
+    # committer must neither leak nor touch freed frames.
+    echo "==== ingest server smoke (ASAN) ===="
+    ./build-asan/tools/nazar_served smoke \
+        --clients=4 --events=100 --drop=0.3 --dup=0.2 --fault-seed=11 \
+        > /dev/null
 fi
 
 echo "CI OK"

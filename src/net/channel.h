@@ -37,6 +37,8 @@
 
 #include <algorithm>
 #include <deque>
+#include <optional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -55,6 +57,7 @@ struct ChannelStats
     uint64_t retries = 0;       ///< Re-attempts after a drop.
     uint64_t gaveUp = 0;        ///< Messages lost after retry/timeout.
     uint64_t shed = 0;          ///< Oldest-dropped by the queue bound.
+    uint64_t crashLost = 0;     ///< Queued messages wiped by a crash.
     uint64_t duplicates = 0;    ///< Extra copies delivered.
     uint64_t delayed = 0;       ///< Held over to the next round.
     uint64_t pushDropped = 0;   ///< Version pushes that missed a device.
@@ -77,6 +80,7 @@ class Channel
           retries_(obs::Registry::global().counter("net.retries")),
           gaveUp_(obs::Registry::global().counter("net.gave_up")),
           shedCounter_(obs::Registry::global().counter("net.shed")),
+          crashLost_(obs::Registry::global().counter("net.crash_lost")),
           duplicates_(obs::Registry::global().counter("net.duplicates")),
           delayedCounter_(obs::Registry::global().counter("net.delayed")),
           pushDropped_(
@@ -107,7 +111,9 @@ class Channel
     /**
      * Start one analysis-window epoch: draw each device's offline and
      * crash-restart state (fixed order: devices ascending). A crashed
-     * device loses its queued-but-unsent messages.
+     * device loses its queued-but-unsent messages; those are counted
+     * as `crashLost` (`net.crash_lost`), distinct from the
+     * queue-bound shedding tallied in `shed`.
      */
     void
     beginEpoch()
@@ -123,8 +129,8 @@ class Channel
             if (rng_.bernoulli(config_.crashProb)) {
                 ++stats_.crashRestarts;
                 crashRestarts_.add(1);
-                stats_.shed += queues_[d].size();
-                shedCounter_.add(queues_[d].size());
+                stats_.crashLost += queues_[d].size();
+                crashLost_.add(queues_[d].size());
                 queues_[d].clear();
             }
         }
@@ -161,8 +167,10 @@ class Channel
     /**
      * Transmit everything transmittable this round and hand arrivals
      * to @p sink as `sink(device, seq, Payload&&)` in arrival order.
-     * Offline devices keep their queues; delayed messages surface at
-     * the next deliver() call.
+     * A sink may also accept a fourth `bool isDup` argument to learn
+     * whether an arrival is a duplicated copy rather than the
+     * original transmission. Offline devices keep their queues;
+     * delayed messages surface at the next deliver() call.
      */
     template <typename Sink>
     void
@@ -174,7 +182,7 @@ class Channel
             for (auto &a : batch) {
                 ++stats_.delivered;
                 delivered_.add(1);
-                sink(a.device, a.seq, std::move(a.payload));
+                invokeSink(sink, a);
             }
             return;
         }
@@ -205,13 +213,16 @@ class Channel
                 bool dup = rng_.bernoulli(config_.dupProb);
                 Arrival arrival{latency, msg.sendIndex, d, msg.seq,
                                 std::move(msg.payload)};
+                std::optional<Arrival> copy;
                 if (dup) {
                     ++stats_.duplicates;
                     duplicates_.add(1);
-                    Arrival copy = arrival;
-                    (hold ? delayed_ : arrivals)
-                        .push_back(std::move(copy));
+                    copy = arrival;
+                    copy->dupRank = 1;
                 }
+                // The original goes in before its copy: with an
+                // identical (latency, sendIndex) key the dedup window
+                // must reject the duplicate, not the original.
                 if (hold) {
                     ++stats_.delayed;
                     delayedCounter_.add(1);
@@ -219,22 +230,28 @@ class Channel
                 } else {
                     arrivals.push_back(std::move(arrival));
                 }
+                if (copy)
+                    (hold ? delayed_ : arrivals)
+                        .push_back(std::move(*copy));
             }
         }
         inflightDelayed_.set(static_cast<double>(delayed_.size()));
 
         // Arrival order: by accumulated latency, send order breaking
         // ties — so a zero-latency round degenerates to send order.
+        // Duplicated copies rank after their original on a full tie.
         std::stable_sort(arrivals.begin(), arrivals.end(),
                          [](const Arrival &a, const Arrival &b) {
                              if (a.latency != b.latency)
                                  return a.latency < b.latency;
-                             return a.sendIndex < b.sendIndex;
+                             if (a.sendIndex != b.sendIndex)
+                                 return a.sendIndex < b.sendIndex;
+                             return a.dupRank < b.dupRank;
                          });
         for (auto &a : arrivals) {
             ++stats_.delivered;
             delivered_.add(1);
-            sink(a.device, a.seq, std::move(a.payload));
+            invokeSink(sink, a);
         }
     }
 
@@ -294,7 +311,21 @@ class Channel
         size_t device = 0;
         uint64_t seq = 0;
         Payload payload;
+        uint8_t dupRank = 0; ///< 0 = original, 1 = duplicated copy.
     };
+
+    /** Call @p sink with or without the trailing isDup flag. */
+    template <typename Sink>
+    void
+    invokeSink(Sink &sink, Arrival &a)
+    {
+        if constexpr (std::is_invocable_v<Sink &, size_t, uint64_t,
+                                          Payload &&, bool>)
+            sink(a.device, a.seq, std::move(a.payload),
+                 a.dupRank != 0);
+        else
+            sink(a.device, a.seq, std::move(a.payload));
+    }
 
     /**
      * Run one message through the retry loop. Accumulates backoff
@@ -343,6 +374,7 @@ class Channel
     obs::Counter &retries_;
     obs::Counter &gaveUp_;
     obs::Counter &shedCounter_;
+    obs::Counter &crashLost_;
     obs::Counter &duplicates_;
     obs::Counter &delayedCounter_;
     obs::Counter &pushDropped_;

@@ -1,0 +1,181 @@
+#include "net/ingest_client.h"
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace nazar::net {
+
+IngestClient::IngestClient(uint16_t port, const FaultConfig &chaos,
+                           const std::string &client_name)
+    : stream_(TcpStream::connect(port)), chaos_(chaos),
+      chaosOn_(chaos.dropProb > 0.0 || chaos.dupProb > 0.0),
+      rng_(chaos.seed)
+{
+    WireHello hello;
+    hello.clientName = client_name;
+    NAZAR_CHECK(stream_.sendFrame(MsgType::kHello, encodeHello(hello)),
+                "ingest client: server closed during handshake");
+    Frame reply = expectFrame();
+    NAZAR_CHECK(reply.type == MsgType::kHelloAck,
+                "ingest client: expected kHelloAck, got type " +
+                    std::to_string(static_cast<int>(reply.type)));
+    helloAck_ = decodeHelloAck(reply.payload);
+    NAZAR_CHECK(helloAck_.protoVersion == kProtocolVersion,
+                "ingest client: protocol version mismatch (server " +
+                    std::to_string(helloAck_.protoVersion) + ", client " +
+                    std::to_string(kProtocolVersion) + ")");
+}
+
+bool
+IngestClient::sendIngest(const WireIngest &m)
+{
+    if (chaosOn_ && chaos_.dropProb > 0.0) {
+        // A "lost send": retry up to the attempt cap, then give up —
+        // same shape as Channel::transmit, but over a real socket the
+        // only observable outcome is sent vs never-sent.
+        int attempt = 1;
+        while (rng_.bernoulli(chaos_.dropProb)) {
+            if (attempt >= chaos_.maxAttempts) {
+                ++stats_.gaveUp;
+                obs::Registry::global()
+                    .counter("net.client.gave_up")
+                    .add(1);
+                return false;
+            }
+            ++attempt;
+            ++stats_.retries;
+        }
+    }
+    // Encode only after the drop decision: a given-up message must
+    // not advance the string dictionary, or the server's mirror
+    // would fall out of lockstep.
+    std::string frame =
+        encodeFrame(MsgType::kIngest, encodeIngest(m, dict_));
+    NAZAR_CHECK(stream_.sendBytes(frame),
+                "ingest client: server closed during send");
+    ++stats_.sent;
+    ++stats_.framesSent;
+    ++outstanding_;
+    if (chaosOn_ && chaos_.dupProb > 0.0 &&
+        rng_.bernoulli(chaos_.dupProb)) {
+        // Retransmission whose ack was lost: byte-identical copy;
+        // the server must dedup it (its ack comes back rejected).
+        NAZAR_CHECK(stream_.sendBytes(frame),
+                    "ingest client: server closed during send");
+        ++stats_.duplicates;
+        ++stats_.framesSent;
+        ++outstanding_;
+    }
+    pumpAcks();
+    return true;
+}
+
+void
+IngestClient::onAck(const Frame &frame)
+{
+    NAZAR_CHECK(frame.type == MsgType::kAck,
+                "ingest client: expected kAck, got type " +
+                    std::to_string(static_cast<int>(frame.type)));
+    WireAck ack = decodeAck(frame.payload);
+    NAZAR_CHECK(outstanding_ > 0,
+                "ingest client: unsolicited ack for device " +
+                    std::to_string(ack.device));
+    --outstanding_;
+    if (ack.accepted)
+        ++stats_.acksAccepted;
+    else
+        ++stats_.acksRejected;
+    if (ackObserver_)
+        ackObserver_(ack);
+}
+
+void
+IngestClient::pumpAcks()
+{
+    while (outstanding_ > 0) {
+        auto frame = stream_.tryRecvFrame();
+        if (!frame.has_value())
+            return;
+        onAck(*frame);
+    }
+}
+
+void
+IngestClient::drainAcks()
+{
+    while (outstanding_ > 0) {
+        auto frame = stream_.recvFrame();
+        NAZAR_CHECK(frame.has_value(),
+                    "ingest client: EOF with " +
+                        std::to_string(outstanding_) +
+                        " acks outstanding");
+        onAck(*frame);
+    }
+}
+
+Frame
+IngestClient::expectFrame()
+{
+    auto frame = stream_.recvFrame();
+    NAZAR_CHECK(frame.has_value(),
+                "ingest client: unexpected EOF from server");
+    return std::move(*frame);
+}
+
+RemoteCycle
+IngestClient::requestCycle(const std::string &clean_patch_text)
+{
+    NAZAR_CHECK(stream_.sendFrame(MsgType::kCycleRequest,
+                                  clean_patch_text),
+                "ingest client: server closed during cycle request");
+    // The committer processes this connection's frames in order, so
+    // every ack for the ingests above arrives before kCycleDone.
+    drainAcks();
+    Frame frame = expectFrame();
+    NAZAR_CHECK(frame.type == MsgType::kCycleDone,
+                "ingest client: expected kCycleDone, got type " +
+                    std::to_string(static_cast<int>(frame.type)));
+    RemoteCycle cycle;
+    cycle.done = decodeCycleDone(frame.payload);
+    cycle.versionTexts.reserve(cycle.done.versionCount);
+    for (uint32_t i = 0; i < cycle.done.versionCount; ++i) {
+        Frame push = expectFrame();
+        NAZAR_CHECK(push.type == MsgType::kVersionPush,
+                    "ingest client: expected kVersionPush, got type " +
+                        std::to_string(static_cast<int>(push.type)));
+        cycle.versionTexts.push_back(std::move(push.payload));
+    }
+    return cycle;
+}
+
+void
+IngestClient::requestFlush()
+{
+    NAZAR_CHECK(stream_.sendFrame(MsgType::kFlushRequest, std::string()),
+                "ingest client: server closed during flush request");
+    drainAcks();
+    Frame frame = expectFrame();
+    NAZAR_CHECK(frame.type == MsgType::kFlushDone,
+                "ingest client: expected kFlushDone, got type " +
+                    std::to_string(static_cast<int>(frame.type)));
+}
+
+WireByeAck
+IngestClient::bye()
+{
+    NAZAR_CHECK(stream_.sendFrame(MsgType::kBye, std::string()),
+                "ingest client: server closed during bye");
+    drainAcks();
+    Frame frame = expectFrame();
+    NAZAR_CHECK(frame.type == MsgType::kByeAck,
+                "ingest client: expected kByeAck, got type " +
+                    std::to_string(static_cast<int>(frame.type)));
+    WireByeAck ack = decodeByeAck(frame.payload);
+    stream_.shutdownWrite();
+    auto eof = stream_.recvFrame();
+    NAZAR_CHECK(!eof.has_value(),
+                "ingest client: unexpected frame after kByeAck");
+    return ack;
+}
+
+} // namespace nazar::net

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Client side of the ingest wire protocol (wire.h) with an optional
+ * socket-level chaos layer.
+ *
+ * The chaos layer reuses net::FaultConfig to stress the server's
+ * retry/dedup semantics over a real socket: `dropProb` simulates a
+ * send lost before reaching the wire (retried up to maxAttempts, then
+ * given up — the message is never sent), and `dupProb` simulates a
+ * retransmission whose original ack was lost (the frame is sent
+ * twice, byte-identical, and the server's dedup window must reject
+ * the copy). TCP itself is reliable, so these are the only two
+ * transport faults that are observable end-to-end; the reconciliation
+ * invariant a load test asserts is
+ *
+ *     acksAccepted == sent - (dedup losses)      and
+ *     acksRejected == duplicates (+ upstream channel dups)
+ *
+ * which for unique (device, seq) pairs reduces to
+ * acksAccepted == sent, acksRejected == duplicates.
+ *
+ * Acks are drained opportunistically (non-blocking) after every send
+ * so neither side can wedge with both peers blocked in send(), and
+ * drained fully at the protocol barriers (cycle/flush/bye).
+ */
+#ifndef NAZAR_NET_INGEST_CLIENT_H
+#define NAZAR_NET_INGEST_CLIENT_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/fault.h"
+#include "net/tcp.h"
+#include "net/wire.h"
+
+namespace nazar::net {
+
+/** Everything the client did, for reconciliation and benches. */
+struct ClientStats
+{
+    uint64_t sent = 0;         ///< Ingest messages put on the wire.
+    uint64_t gaveUp = 0;       ///< Dropped by chaos before the wire.
+    uint64_t retries = 0;      ///< Chaos re-attempts after a drop.
+    uint64_t duplicates = 0;   ///< Extra byte-identical frame copies.
+    uint64_t framesSent = 0;   ///< sent + duplicates.
+    uint64_t acksAccepted = 0; ///< Server accepted (first arrival).
+    uint64_t acksRejected = 0; ///< Server dedup-rejected (dup/replay).
+};
+
+/** One cycle run remotely: the summary + published version blobs. */
+struct RemoteCycle
+{
+    WireCycleDone done;
+    /** deploy::ModelVersion::save text, one per published version. */
+    std::vector<std::string> versionTexts;
+};
+
+/**
+ * A connected ingest-protocol client. Not thread-safe; one owner
+ * drives the connection (mirrors a device's uplink being serial).
+ */
+class IngestClient
+{
+  public:
+    /**
+     * Connect to 127.0.0.1:@p port and complete the kHello handshake.
+     * Throws NazarError on connect/handshake failure or a protocol
+     * version mismatch.
+     */
+    IngestClient(uint16_t port, const FaultConfig &chaos = {},
+                 const std::string &client_name = "client");
+
+    /** The server's handshake reply (recovered clean patch, if any). */
+    const WireHelloAck &helloAck() const { return helloAck_; }
+
+    /**
+     * Send one ingest attempt through the chaos layer. Returns false
+     * when chaos gave the message up (it never reached the wire and
+     * no ack will come). Throws NazarError if the server vanished.
+     */
+    bool sendIngest(const WireIngest &m);
+
+    /**
+     * Run one analysis cycle remotely: drains outstanding acks, then
+     * returns the cycle summary plus the published version blobs.
+     */
+    RemoteCycle requestCycle(const std::string &clean_patch_text);
+
+    /** Archive the server's buffers without analysis (kFlush edge). */
+    void requestFlush();
+
+    /**
+     * End the session: drain acks, exchange kBye/kByeAck, observe
+     * EOF. Returns the server's final tallies.
+     */
+    WireByeAck bye();
+
+    const ClientStats &stats() const { return stats_; }
+
+    /** Frames sent whose ack has not arrived yet. */
+    uint64_t outstandingAcks() const { return outstanding_; }
+
+    /** Distinct strings interned on the send side. */
+    size_t dictStrings() const { return dict_.size(); }
+
+    /** String occurrences sent as a bare u32 id. */
+    uint64_t dictHits() const { return dict_.hits(); }
+
+    /**
+     * Observer invoked for every ack as it is absorbed (load gen uses
+     * it to clock ack round-trip latency per (device, seq)).
+     */
+    void setAckObserver(std::function<void(const WireAck &)> fn)
+    {
+        ackObserver_ = std::move(fn);
+    }
+
+  private:
+    /** Count one ack; anything else here is a protocol error. */
+    void onAck(const Frame &frame);
+
+    /** Non-blocking: absorb whatever acks are already readable. */
+    void pumpAcks();
+
+    /** Block until every outstanding ack has arrived. */
+    void drainAcks();
+
+    /** Blocking receive that treats EOF as a protocol error. */
+    Frame expectFrame();
+
+    TcpStream stream_;
+    StringDict dict_;
+    FaultConfig chaos_;
+    bool chaosOn_ = false;
+    Rng rng_;
+    ClientStats stats_;
+    uint64_t outstanding_ = 0;
+    WireHelloAck helloAck_;
+    std::function<void(const WireAck &)> ackObserver_;
+};
+
+} // namespace nazar::net
+
+#endif // NAZAR_NET_INGEST_CLIENT_H

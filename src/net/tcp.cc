@@ -1,0 +1,228 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.h"
+
+namespace nazar::net {
+
+namespace {
+
+sockaddr_in
+loopbackAddr(uint16_t port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return addr;
+}
+
+} // namespace
+
+TcpStream::TcpStream(TcpStream &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      eof_(std::exchange(other.eof_, false)),
+      parser_(std::move(other.parser_))
+{
+}
+
+TcpStream &
+TcpStream::operator=(TcpStream &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        eof_ = std::exchange(other.eof_, false);
+        parser_ = std::move(other.parser_);
+    }
+    return *this;
+}
+
+TcpStream
+TcpStream::connect(uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    NAZAR_CHECK(fd >= 0, "tcp: socket() failed: " +
+                             std::string(std::strerror(errno)));
+    sockaddr_in addr = loopbackAddr(port);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        int err = errno;
+        ::close(fd);
+        throw NazarError("tcp: connect to 127.0.0.1:" +
+                         std::to_string(port) +
+                         " failed: " + std::strerror(err));
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return TcpStream(fd);
+}
+
+bool
+TcpStream::sendBytes(const std::string &bytes)
+{
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+        ssize_t n = ::send(fd_, bytes.data() + sent,
+                           bytes.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false; // peer gone (EPIPE/ECONNRESET) or error
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+TcpStream::sendFrame(MsgType type, const std::string &payload)
+{
+    return sendBytes(encodeFrame(type, payload));
+}
+
+std::optional<Frame>
+TcpStream::recvFrame()
+{
+    for (;;) {
+        if (auto frame = parser_.next())
+            return frame;
+        if (eof_) {
+            NAZAR_CHECK(parser_.buffered() == 0,
+                        "tcp: connection closed mid-frame");
+            return std::nullopt; // orderly EOF
+        }
+        char buf[1 << 16];
+        ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw NazarError("tcp: recv failed: " +
+                             std::string(std::strerror(errno)));
+        }
+        if (n == 0) {
+            eof_ = true;
+            continue;
+        }
+        parser_.feed(buf, static_cast<size_t>(n));
+    }
+}
+
+std::optional<Frame>
+TcpStream::tryRecvFrame()
+{
+    for (;;) {
+        if (auto frame = parser_.next())
+            return frame;
+        if (eof_)
+            return std::nullopt;
+        char buf[1 << 16];
+        ssize_t n = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return std::nullopt;
+            throw NazarError("tcp: recv failed: " +
+                             std::string(std::strerror(errno)));
+        }
+        if (n == 0) {
+            eof_ = true;
+            return std::nullopt;
+        }
+        parser_.feed(buf, static_cast<size_t>(n));
+    }
+}
+
+void
+TcpStream::shutdownWrite()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_WR);
+}
+
+void
+TcpStream::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+TcpListener::listen(uint16_t port, int backlog)
+{
+    NAZAR_CHECK(fd_ < 0, "tcp: listener already listening");
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    NAZAR_CHECK(fd >= 0, "tcp: socket() failed: " +
+                             std::string(std::strerror(errno)));
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = loopbackAddr(port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        int err = errno;
+        ::close(fd);
+        throw NazarError("tcp: bind 127.0.0.1:" + std::to_string(port) +
+                         " failed: " + std::strerror(err));
+    }
+    if (::listen(fd, backlog) != 0) {
+        int err = errno;
+        ::close(fd);
+        throw NazarError("tcp: listen failed: " +
+                         std::string(std::strerror(err)));
+    }
+    socklen_t len = sizeof(addr);
+    NAZAR_CHECK(::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                              &len) == 0,
+                "tcp: getsockname failed");
+    fd_ = fd;
+    port_ = ntohs(addr.sin_port);
+}
+
+TcpStream
+TcpListener::accept()
+{
+    for (;;) {
+        int fd = ::accept(fd_, nullptr, nullptr);
+        if (fd >= 0) {
+            int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            return TcpStream(fd);
+        }
+        if (errno == EINTR)
+            continue;
+        return TcpStream(); // listener shut down or fatal error
+    }
+}
+
+void
+TcpListener::stop()
+{
+    // shutdown() first: it wakes a blocked accept() without the
+    // close()-from-another-thread fd-reuse race.
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+void
+TcpListener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace nazar::net

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Minimal blocking TCP wrappers for the ingest server and its
+ * clients: a loopback-bound listener with ephemeral-port support and
+ * a stream handle with whole-frame send/receive built on
+ * net::FrameParser.
+ *
+ * Scope is deliberately narrow — IPv4 loopback, blocking I/O, one
+ * reader per stream — because the concurrency lives in the server's
+ * thread structure, not in the socket layer. SIGPIPE is suppressed
+ * per-send (MSG_NOSIGNAL) so a vanished peer surfaces as an error
+ * return, not a process kill.
+ */
+#ifndef NAZAR_NET_TCP_H
+#define NAZAR_NET_TCP_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/wire.h"
+
+namespace nazar::net {
+
+/** One connected TCP stream (client or accepted) with frame I/O. */
+class TcpStream
+{
+  public:
+    TcpStream() = default;
+    explicit TcpStream(int fd) : fd_(fd) {}
+    ~TcpStream() { close(); }
+
+    TcpStream(TcpStream &&other) noexcept;
+    TcpStream &operator=(TcpStream &&other) noexcept;
+    TcpStream(const TcpStream &) = delete;
+    TcpStream &operator=(const TcpStream &) = delete;
+
+    /** Connect to 127.0.0.1:@p port; throws NazarError on failure. */
+    static TcpStream connect(uint16_t port);
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /**
+     * Send one whole frame; returns false when the peer is gone
+     * (EPIPE/ECONNRESET). Short writes are retried internally.
+     */
+    bool sendFrame(MsgType type, const std::string &payload);
+
+    /** Raw byte send (used by the chaos layer to duplicate frames). */
+    bool sendBytes(const std::string &bytes);
+
+    /**
+     * Receive the next frame, blocking. nullopt on orderly EOF;
+     * throws NazarError on a corrupt frame or socket error.
+     */
+    std::optional<Frame> recvFrame();
+
+    /**
+     * Non-blocking variant: drain whatever bytes are readable right
+     * now and return a complete frame when one is buffered. nullopt
+     * means "nothing complete yet" (or EOF already seen — check
+     * eofSeen()). Lets a sender pump acks without stalling, avoiding
+     * the both-sides-blocked-in-send() deadlock on full buffers.
+     */
+    std::optional<Frame> tryRecvFrame();
+
+    /** True once the peer's EOF has been observed by a recv. */
+    bool eofSeen() const { return eof_; }
+
+    /** Shut down the write side (signals EOF to the peer's reader). */
+    void shutdownWrite();
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    bool eof_ = false;
+    FrameParser parser_;
+};
+
+/** Loopback listener; port 0 binds an ephemeral port. */
+class TcpListener
+{
+  public:
+    TcpListener() = default;
+    ~TcpListener() { close(); }
+
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    /** Bind + listen on 127.0.0.1:@p port; throws on failure. */
+    void listen(uint16_t port, int backlog = 64);
+
+    /** The bound port (resolves an ephemeral bind). */
+    uint16_t port() const { return port_; }
+
+    bool listening() const { return fd_ >= 0; }
+
+    /**
+     * Accept one connection; an invalid stream means the listener was
+     * shut down (the accept loop should exit).
+     */
+    TcpStream accept();
+
+    /**
+     * Unblock any accept() in progress and stop listening. Safe to
+     * call from another thread: shutdown(2) on the listening fd wakes
+     * the blocked accept before the fd is closed.
+     */
+    void stop();
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    uint16_t port_ = 0;
+};
+
+} // namespace nazar::net
+
+#endif // NAZAR_NET_TCP_H

@@ -125,6 +125,9 @@ recoverDir(const fs::path &dir, size_t dedup_window)
         st.snapshotLoaded = true;
     }
     WalScan scan = Wal::scan(dir / "wal.log");
+    NAZAR_CHECK(!scan.unreadable,
+                "recover: " + (dir / "wal.log").string() +
+                    " exists but cannot be read");
     st.truncatedBytes = scan.truncatedBytes;
     for (const auto &rec : scan.records) {
         if (rec.seq <= st.lastWalSeq)
@@ -160,7 +163,8 @@ CloudPersistence::CloudPersistence(const PersistConfig &config,
     std::error_code ec;
     fs::remove(dir / "snapshot.tmp", ec);
 
-    wal_ = std::make_unique<Wal>(dir / "wal.log", &injector_);
+    wal_ = std::make_unique<Wal>(dir / "wal.log", &injector_,
+                                 config_.sync);
     wal_->bumpSeqPast(recovered_.lastWalSeq);
     recovered_.truncatedBytes = wal_->truncatedBytes();
     for (const auto &rec : wal_->records()) {
@@ -184,12 +188,12 @@ CloudPersistence::append(WalRecordType type, const std::string &payload)
     return seq;
 }
 
-void
-CloudPersistence::logIngest(int64_t device, uint64_t seq,
-                            const driftlog::DriftLogEntry &entry,
-                            const std::vector<double> *features,
-                            const rca::AttributeSet *context,
-                            bool drift_flag)
+std::string
+CloudPersistence::encodeIngest(int64_t device, uint64_t seq,
+                               const driftlog::DriftLogEntry &entry,
+                               const std::vector<double> *features,
+                               const rca::AttributeSet *context,
+                               bool drift_flag)
 {
     Writer w;
     uint8_t flags = 0;
@@ -208,7 +212,33 @@ CloudPersistence::logIngest(int64_t device, uint64_t seq,
         putAttributeSet(w, *context);
         w.putBool(drift_flag);
     }
-    append(WalRecordType::kIngest, w.bytes());
+    return w.bytes();
+}
+
+void
+CloudPersistence::logIngest(int64_t device, uint64_t seq,
+                            const driftlog::DriftLogEntry &entry,
+                            const std::vector<double> *features,
+                            const rca::AttributeSet *context,
+                            bool drift_flag)
+{
+    append(WalRecordType::kIngest,
+           encodeIngest(device, seq, entry, features, context,
+                        drift_flag));
+}
+
+void
+CloudPersistence::logIngestBatch(const std::vector<std::string> &payloads)
+{
+    if (payloads.empty())
+        return;
+    for (const auto &payload : payloads)
+        wal_->appendBuffered(WalRecordType::kIngest, payload);
+    wal_->sync();
+    appendsSince_ += payloads.size();
+    obs::Registry::global()
+        .counter("persist.wal.group_commits")
+        .add(1);
 }
 
 void

@@ -52,6 +52,12 @@ struct PersistConfig
     uint64_t snapshotEvery = 256;
     /** Arm the crash injector at the Nth site hit (0 = disarmed). */
     uint64_t crashAtHit = 0;
+    /**
+     * WAL durability: kFlush matches the process-kill fault model;
+     * kFdatasync/kFsync survive power loss (group commit amortizes
+     * the per-sync cost — see Wal::appendBuffered).
+     */
+    SyncMode sync = SyncMode::kFlush;
 
     bool enabled() const { return !dir.empty(); }
 };
@@ -122,6 +128,26 @@ class CloudPersistence
                    const driftlog::DriftLogEntry &entry,
                    const std::vector<double> *features,
                    const rca::AttributeSet *context, bool drift_flag);
+
+    /**
+     * Encode one ingest attempt as a kIngest payload (the bytes
+     * logIngest appends). Exposed so callers can pre-encode a batch
+     * for logIngestBatch.
+     */
+    static std::string encodeIngest(int64_t device, uint64_t seq,
+                                    const driftlog::DriftLogEntry &entry,
+                                    const std::vector<double> *features,
+                                    const rca::AttributeSet *context,
+                                    bool drift_flag);
+
+    /**
+     * Group commit: append every payload (from encodeIngest) with ONE
+     * sync for the whole batch. A crash mid-batch leaves at most a
+     * torn tail; records before the tear replay, the rest were never
+     * acknowledged. Callers must serialize against other WAL writers
+     * (the ingest server's committer thread is the sole writer).
+     */
+    void logIngestBatch(const std::vector<std::string> &payloads);
 
     /** Log one committed cycle (call after publishing to the store). */
     void logCycleCommit(int64_t logical_time, int64_t next_version_id,

@@ -1,5 +1,8 @@
 #include "persist/wal.h"
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstring>
 
 #include "common/error.h"
@@ -12,18 +15,36 @@ namespace fs = std::filesystem;
 
 namespace {
 
+struct SlurpResult
+{
+    std::string data;
+    /** Exists but can't be read — NOT the same as absent. */
+    bool unreadable = false;
+};
+
 /** Read an entire file into a string ("" when absent). */
-std::string
+SlurpResult
 slurp(const fs::path &path)
 {
+    SlurpResult out;
+    errno = 0;
     std::FILE *f = std::fopen(path.string().c_str(), "rb");
-    if (!f)
-        return {};
-    std::string out;
+    if (!f) {
+        // ENOENT means a fresh directory; anything else (EACCES,
+        // EIO, ...) means a file we must not pretend is absent.
+        out.unreadable = errno != ENOENT;
+        return out;
+    }
     char buf[1 << 16];
     size_t n;
     while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
-        out.append(buf, n);
+        out.data.append(buf, n);
+    if (std::ferror(f)) {
+        // fopen on a directory succeeds on Linux but fread fails
+        // with EISDIR; media errors surface the same way.
+        out.unreadable = true;
+        out.data.clear();
+    }
     std::fclose(f);
     return out;
 }
@@ -75,17 +96,52 @@ parseWal(const std::string &data)
 
 } // namespace
 
+SyncMode
+syncModeFromString(const std::string &name)
+{
+    if (name == "flush")
+        return SyncMode::kFlush;
+    if (name == "fdatasync")
+        return SyncMode::kFdatasync;
+    if (name == "fsync")
+        return SyncMode::kFsync;
+    throw NazarError("unknown sync mode '" + name +
+                     "' (expected flush|fdatasync|fsync)");
+}
+
+const char *
+syncModeName(SyncMode mode)
+{
+    switch (mode) {
+    case SyncMode::kFlush:
+        return "flush";
+    case SyncMode::kFdatasync:
+        return "fdatasync";
+    case SyncMode::kFsync:
+        return "fsync";
+    }
+    return "?";
+}
+
 WalScan
 Wal::scan(const fs::path &path)
 {
-    return parseWal(slurp(path)).first;
+    SlurpResult slurped = slurp(path);
+    WalScan scan = parseWal(slurped.data).first;
+    scan.unreadable = slurped.unreadable;
+    return scan;
 }
 
-Wal::Wal(const fs::path &path, CrashInjector *injector)
-    : path_(path), injector_(injector)
+Wal::Wal(const fs::path &path, CrashInjector *injector, SyncMode sync)
+    : path_(path), injector_(injector), sync_(sync)
 {
     NAZAR_CHECK(injector_ != nullptr, "Wal: null crash injector");
-    std::string data = slurp(path_);
+    SlurpResult slurped = slurp(path_);
+    NAZAR_CHECK(!slurped.unreadable,
+                "Wal: " + path_.string() +
+                    " exists but cannot be read; refusing to "
+                    "overwrite it");
+    std::string data = std::move(slurped.data);
     auto [scan, good] = parseWal(data);
     truncatedBytes_ = scan.truncatedBytes;
     records_ = std::move(scan.records);
@@ -119,6 +175,14 @@ Wal::~Wal()
 uint64_t
 Wal::append(WalRecordType type, const std::string &payload)
 {
+    uint64_t seq = appendBuffered(type, payload);
+    sync();
+    return seq;
+}
+
+uint64_t
+Wal::appendBuffered(WalRecordType type, const std::string &payload)
+{
     Writer body;
     body.putU8(static_cast<uint8_t>(type));
     body.putU64(nextSeq_);
@@ -142,12 +206,26 @@ Wal::append(WalRecordType type, const std::string &payload)
     size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file_);
     NAZAR_CHECK(written == bytes.size(),
                 "Wal: short write to " + path_.string());
-    NAZAR_CHECK(std::fflush(file_) == 0,
-                "Wal: flush failed for " + path_.string());
     uint64_t seq = nextSeq_++;
     obs::Registry::global().counter("persist.wal.appends").add(1);
-    injector_->check("wal.append.post");
     return seq;
+}
+
+void
+Wal::sync()
+{
+    NAZAR_CHECK(std::fflush(file_) == 0,
+                "Wal: flush failed for " + path_.string());
+    if (sync_ != SyncMode::kFlush) {
+        int fd = ::fileno(file_);
+        int rc = sync_ == SyncMode::kFdatasync ? ::fdatasync(fd)
+                                               : ::fsync(fd);
+        NAZAR_CHECK(rc == 0, "Wal: " +
+                                 std::string(syncModeName(sync_)) +
+                                 " failed for " + path_.string());
+    }
+    obs::Registry::global().counter("persist.wal.syncs").add(1);
+    injector_->check("wal.append.post");
 }
 
 void

@@ -54,7 +54,34 @@ struct WalScan
     std::vector<WalRecord> records;
     uint64_t truncatedBytes = 0; ///< Torn-tail bytes dropped (0 = clean).
     bool validHeader = false;
+    /**
+     * The file exists but could not be read (open failure other than
+     * ENOENT, or a read error such as EISDIR/EIO). The scan result is
+     * then meaningless and the file must not be overwritten.
+     */
+    bool unreadable = false;
 };
+
+/**
+ * How append() makes a record durable.
+ *
+ * kFlush (the default) only pushes stdio buffers into the page cache —
+ * enough for the process-kill fault model the crash injector
+ * simulates, but not for power loss. kFdatasync/kFsync add a real
+ * fdatasync(2)/fsync(2) per sync() call; group commit (see
+ * appendBuffered) amortizes that cost over a batch.
+ */
+enum class SyncMode : uint8_t {
+    kFlush = 0,
+    kFdatasync = 1,
+    kFsync = 2,
+};
+
+/** Parse "flush" / "fdatasync" / "fsync"; throws NazarError otherwise. */
+SyncMode syncModeFromString(const std::string &name);
+
+/** Name for a SyncMode (inverse of syncModeFromString). */
+const char *syncModeName(SyncMode mode);
 
 /** Append-only WAL file handle. */
 class Wal
@@ -64,22 +91,45 @@ class Wal
      * Open (creating if absent) the WAL at @p path. Scans existing
      * records, truncates any torn tail, and positions for append.
      * Recovered records are available via records() until
-     * dropRecords() frees them.
+     * dropRecords() frees them. An *unreadable* existing file (open
+     * or read failure that isn't ENOENT) throws NazarError instead of
+     * being clobbered with a fresh header.
      */
-    Wal(const std::filesystem::path &path, CrashInjector *injector);
+    Wal(const std::filesystem::path &path, CrashInjector *injector,
+        SyncMode sync = SyncMode::kFlush);
     ~Wal();
 
     Wal(const Wal &) = delete;
     Wal &operator=(const Wal &) = delete;
 
     /**
-     * Append one record durably (write + flush) and return its seq.
+     * Append one record durably (write + sync) and return its seq.
      * Crash sites: "wal.append.partial" fires after writing a torn
      * prefix of the record (the operation is NOT durable);
      * "wal.append.post" fires after the full record is on disk (the
      * operation IS durable, the in-memory apply was lost).
      */
     uint64_t append(WalRecordType type, const std::string &payload);
+
+    /**
+     * Group commit: append one record into the stdio buffer WITHOUT
+     * syncing, and return its seq. The record is not durable until
+     * the next sync(); a crash in between leaves at most a torn tail,
+     * which the open-time scan truncates. Fires "wal.append.partial"
+     * exactly like append().
+     */
+    uint64_t appendBuffered(WalRecordType type, const std::string &payload);
+
+    /**
+     * Make every buffered append durable: one flush (plus one
+     * fdatasync/fsync when the mode asks for it) for the whole batch.
+     * Fires "wal.append.post" once. append() is exactly
+     * appendBuffered() + sync(), so per-record callers hit the crash
+     * sites in the historical order.
+     */
+    void sync();
+
+    SyncMode syncMode() const { return sync_; }
 
     /**
      * Drop all records: truncate the file back to the bare header.
@@ -121,6 +171,7 @@ class Wal
     std::filesystem::path path_;
     CrashInjector *injector_; ///< Never null; owned by CloudPersistence.
     std::FILE *file_ = nullptr;
+    SyncMode sync_ = SyncMode::kFlush;
     uint64_t nextSeq_ = 1;
     uint64_t truncatedBytes_ = 0;
     std::vector<WalRecord> records_;

@@ -1,0 +1,351 @@
+#include "server/ingest_server.h"
+
+#include <sys/socket.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace nazar::server {
+
+using net::Frame;
+using net::MsgType;
+
+IngestServer::IngestServer(sim::Cloud &cloud, ServerConfig config)
+    : cloud_(cloud), config_(config)
+{
+    NAZAR_CHECK(config_.maxBatch >= 1,
+                "ingest server: maxBatch must be >= 1");
+    // A CrashInjected escaping the committer thread could not be
+    // replayed deterministically from here; crash sweeps run against
+    // the in-process cloud.
+    NAZAR_CHECK(cloud_.config().persist.crashAtHit == 0,
+                "ingest server: cloud crash injection must be disarmed");
+}
+
+IngestServer::~IngestServer() { stop(); }
+
+void
+IngestServer::start()
+{
+    NAZAR_CHECK(!running_, "ingest server: already started");
+    listener_.listen(config_.port);
+    running_ = true;
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    committerThread_ = std::thread([this] { committerLoop(); });
+    obs::Registry::global().counter("server.starts").add(1);
+}
+
+void
+IngestServer::stop()
+{
+    if (!running_)
+        return;
+    // Order matters: stop accepting first (no new readers), then wake
+    // and join the readers (no new work items), then let the
+    // committer drain what is queued, then release the sockets.
+    listener_.stop();
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    {
+        std::lock_guard<std::mutex> lk(connMutex_);
+        for (auto &conn : conns_) {
+            if (conn->stream.valid())
+                ::shutdown(conn->stream.fd(), SHUT_RDWR);
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lk(connMutex_);
+        for (auto &conn : conns_) {
+            if (conn->reader.joinable())
+                conn->reader.join();
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lk(queueMutex_);
+        stopping_ = true;
+    }
+    queueCv_.notify_all();
+    if (committerThread_.joinable())
+        committerThread_.join();
+    {
+        std::lock_guard<std::mutex> lk(connMutex_);
+        conns_.clear(); // closes the fds
+    }
+    running_ = false;
+}
+
+ServerStats
+IngestServer::stats() const
+{
+    std::lock_guard<std::mutex> lk(statsMutex_);
+    return stats_;
+}
+
+void
+IngestServer::acceptLoop()
+{
+    for (;;) {
+        net::TcpStream stream = listener_.accept();
+        if (!stream.valid())
+            return; // listener stopped
+        auto conn = std::make_shared<Conn>();
+        conn->stream = std::move(stream);
+        {
+            std::lock_guard<std::mutex> lk(connMutex_);
+            conn->id = nextConnId_++;
+            conns_.push_back(conn);
+        }
+        {
+            std::lock_guard<std::mutex> lk(statsMutex_);
+            ++stats_.connections;
+        }
+        obs::Registry::global().counter("server.connections").add(1);
+        conn->reader = std::thread([this, conn] { readerLoop(conn); });
+    }
+}
+
+void
+IngestServer::readerLoop(std::shared_ptr<Conn> conn)
+{
+    try {
+        // Handshake. The reader writes kHelloAck itself — the only
+        // frame it ever writes — before enqueuing anything, so the
+        // committer is the sole writer from then on.
+        auto first = conn->stream.recvFrame();
+        if (!first.has_value())
+            return; // connected and left
+        NAZAR_CHECK(first->type == MsgType::kHello,
+                    "server: expected kHello, got type " +
+                        std::to_string(static_cast<int>(first->type)));
+        net::WireHello hello = net::decodeHello(first->payload);
+        NAZAR_CHECK(hello.protoVersion == net::kProtocolVersion,
+                    "server: protocol version mismatch (client " +
+                        std::to_string(hello.protoVersion) + ")");
+        net::WireHelloAck ack;
+        if (cloud_.recoveredCleanPatch().has_value()) {
+            std::ostringstream out;
+            cloud_.recoveredCleanPatch()->save(out);
+            ack.cleanPatchText = out.str();
+            ack.cleanPatchTime = cloud_.recoveredCleanPatchTime();
+        }
+        conn->stream.sendFrame(MsgType::kHelloAck,
+                               net::encodeHelloAck(ack));
+
+        for (;;) {
+            auto frame = conn->stream.recvFrame();
+            if (!frame.has_value())
+                return; // orderly EOF
+            WorkItem item;
+            item.conn = conn;
+            switch (frame->type) {
+              case MsgType::kIngest:
+                item.kind = WorkItem::Kind::kIngest;
+                item.ingest =
+                    net::decodeIngest(frame->payload, conn->dict);
+                break;
+              case MsgType::kCycleRequest:
+                item.kind = WorkItem::Kind::kCycle;
+                item.cleanPatchText = std::move(frame->payload);
+                break;
+              case MsgType::kFlushRequest:
+                item.kind = WorkItem::Kind::kFlush;
+                break;
+              case MsgType::kBye:
+                item.kind = WorkItem::Kind::kBye;
+                break;
+              default:
+                throw NazarError(
+                    "server: unexpected message type " +
+                    std::to_string(static_cast<int>(frame->type)));
+            }
+            enqueue(std::move(item));
+        }
+    } catch (const NazarError &) {
+        // Corrupt frame or protocol violation: this connection is
+        // done, the server is not. Shut the socket both ways so the
+        // peer notices; the committer's writes to it fail gracefully.
+        {
+            std::lock_guard<std::mutex> lk(statsMutex_);
+            ++stats_.protocolErrors;
+        }
+        obs::Registry::global().counter("server.protocol_errors").add(1);
+        if (conn->stream.valid())
+            ::shutdown(conn->stream.fd(), SHUT_RDWR);
+    }
+}
+
+void
+IngestServer::enqueue(WorkItem item)
+{
+    {
+        std::lock_guard<std::mutex> lk(queueMutex_);
+        queue_.push_back(std::move(item));
+    }
+    queueCv_.notify_one();
+}
+
+void
+IngestServer::committerLoop()
+{
+    for (;;) {
+        std::unique_lock<std::mutex> lk(queueMutex_);
+        queueCv_.wait(lk,
+                      [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_)
+                return; // drained
+            continue;
+        }
+        if (queue_.front().kind == WorkItem::Kind::kIngest) {
+            // Greedy batch: take the consecutive ingests already
+            // queued (across connections), up to maxBatch. Never
+            // waits for more — latency under light load stays one
+            // record, batches grow only when the queue is deep.
+            std::vector<WorkItem> batch;
+            while (!queue_.empty() &&
+                   queue_.front().kind == WorkItem::Kind::kIngest &&
+                   batch.size() < config_.maxBatch) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+            lk.unlock();
+            commitBatch(batch);
+        } else {
+            WorkItem item = std::move(queue_.front());
+            queue_.pop_front();
+            lk.unlock();
+            switch (item.kind) {
+              case WorkItem::Kind::kCycle:
+                handleCycle(item);
+                break;
+              case WorkItem::Kind::kFlush:
+                handleFlush(item);
+                break;
+              case WorkItem::Kind::kBye:
+                handleBye(item);
+                break;
+              case WorkItem::Kind::kIngest:
+                break; // unreachable
+            }
+        }
+    }
+}
+
+void
+IngestServer::commitBatch(std::vector<WorkItem> &batch)
+{
+    std::vector<bool> accepted;
+    accepted.reserve(batch.size());
+    if (config_.groupCommit) {
+        std::vector<sim::IngestMessage> msgs;
+        msgs.reserve(batch.size());
+        for (auto &item : batch) {
+            sim::IngestMessage m;
+            m.device = static_cast<int>(item.ingest.device);
+            m.seq = item.ingest.seq;
+            m.entry = item.ingest.entry;
+            if (item.ingest.upload.has_value()) {
+                sim::Upload up;
+                up.features = std::move(item.ingest.upload->features);
+                up.context = std::move(item.ingest.upload->context);
+                up.driftFlag = item.ingest.upload->driftFlag;
+                m.upload = std::move(up);
+            }
+            msgs.push_back(std::move(m));
+        }
+        accepted = cloud_.ingestBatchFrom(std::move(msgs));
+    } else {
+        for (auto &item : batch) {
+            std::optional<sim::Upload> up;
+            if (item.ingest.upload.has_value()) {
+                sim::Upload u;
+                u.features = std::move(item.ingest.upload->features);
+                u.context = std::move(item.ingest.upload->context);
+                u.driftFlag = item.ingest.upload->driftFlag;
+                up = std::move(u);
+            }
+            accepted.push_back(cloud_.ingestFrom(
+                static_cast<int>(item.ingest.device), item.ingest.seq,
+                item.ingest.entry, std::move(up)));
+        }
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+        net::WireAck ack;
+        ack.device = batch[i].ingest.device;
+        ack.seq = batch[i].ingest.seq;
+        ack.accepted = accepted[i];
+        // A false return means the peer vanished; its loss.
+        batch[i].conn->stream.sendFrame(MsgType::kAck,
+                                        net::encodeAck(ack));
+    }
+    {
+        std::lock_guard<std::mutex> lk(statsMutex_);
+        stats_.ingestMessages += batch.size();
+        stats_.acksSent += batch.size();
+        ++stats_.batches;
+    }
+    auto &reg = obs::Registry::global();
+    reg.counter("server.ingest").add(batch.size());
+    reg.counter("server.acks").add(batch.size());
+    reg.counter("server.batches").add(1);
+}
+
+void
+IngestServer::handleCycle(const WorkItem &item)
+{
+    std::istringstream in(item.cleanPatchText);
+    nn::BnPatch clean = nn::BnPatch::load(in);
+    sim::CycleResult cycle = cloud_.runCycle(clean);
+    net::WireCycleDone done;
+    done.versionCount = static_cast<uint32_t>(cycle.newVersions.size());
+    done.rootCauses =
+        static_cast<uint32_t>(cycle.analysis.rootCauses.size());
+    done.skippedCauses = static_cast<uint32_t>(cycle.skippedCauses);
+    done.adaptedSampleCount = cycle.adaptedSampleCount;
+    if (cycle.newCleanPatch.has_value()) {
+        std::ostringstream out;
+        cycle.newCleanPatch->save(out);
+        done.cleanPatchText = out.str();
+    }
+    item.conn->stream.sendFrame(MsgType::kCycleDone,
+                                net::encodeCycleDone(done));
+    for (const auto &version : cycle.newVersions) {
+        std::ostringstream out;
+        version.save(out);
+        item.conn->stream.sendFrame(MsgType::kVersionPush, out.str());
+    }
+    {
+        std::lock_guard<std::mutex> lk(statsMutex_);
+        ++stats_.cycles;
+    }
+    obs::Registry::global().counter("server.cycles").add(1);
+}
+
+void
+IngestServer::handleFlush(const WorkItem &item)
+{
+    cloud_.flush();
+    item.conn->stream.sendFrame(MsgType::kFlushDone, std::string());
+    {
+        std::lock_guard<std::mutex> lk(statsMutex_);
+        ++stats_.flushes;
+    }
+    obs::Registry::global().counter("server.flushes").add(1);
+}
+
+void
+IngestServer::handleBye(const WorkItem &item)
+{
+    net::WireByeAck ack;
+    ack.totalIngested = cloud_.totalIngested();
+    ack.dedupHits = cloud_.dedupHits();
+    item.conn->stream.sendFrame(MsgType::kByeAck,
+                                net::encodeByeAck(ack));
+    // EOF for the client's final recv; its reader thread on our side
+    // exits when the client closes its half.
+    item.conn->stream.shutdownWrite();
+}
+
+} // namespace nazar::server

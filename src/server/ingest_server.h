@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The networked ingest front-end for sim::Cloud: a TCP server
+ * speaking the wire protocol (net/wire.h) with server-side group
+ * commit.
+ *
+ * Thread structure:
+ *
+ *   accept thread   one; hands each connection a reader thread.
+ *   reader threads  one per connection. Owns the receive side: does
+ *                   the kHello/kHelloAck handshake, decodes frames
+ *                   with the connection's StringDict (reader-only
+ *                   state), and enqueues WorkItems. Never touches the
+ *                   Cloud.
+ *   committer       one. Sole consumer of the queue and SOLE writer
+ *                   into the Cloud — this is the single-writer
+ *                   contract Cloud::ingestBatchFrom requires for its
+ *                   out-of-lock WAL appends. Greedily batches
+ *                   consecutive kIngest items (across connections) up
+ *                   to maxBatch and group-commits them with one WAL
+ *                   sync, then writes each item's kAck. Because the
+ *                   queue is FIFO and the committer is alone, every
+ *                   reply on one connection is sent in that
+ *                   connection's request order (acks always precede
+ *                   the kCycleDone that follows them).
+ *
+ * The committer also writes every non-handshake reply frame, so
+ * there is exactly one writer per socket direction: the reader writes
+ * only kHelloAck (before it enqueues anything), the committer writes
+ * everything after.
+ *
+ * Protocol errors (corrupt frame, unknown type, version mismatch)
+ * close that connection and count in stats().protocolErrors; they
+ * never take the server down.
+ */
+#ifndef NAZAR_SERVER_INGEST_SERVER_H
+#define NAZAR_SERVER_INGEST_SERVER_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/tcp.h"
+#include "net/wire.h"
+#include "sim/cloud.h"
+
+namespace nazar::server {
+
+struct ServerConfig
+{
+    /** Listen port; 0 binds an ephemeral port (see port()). */
+    uint16_t port = 0;
+    /**
+     * Batch consecutive kIngest items into Cloud::ingestBatchFrom
+     * (one WAL sync per batch). Off = one ingestFrom + sync per
+     * record, the configuration group commit is benchmarked against.
+     */
+    bool groupCommit = true;
+    /** Largest group-commit batch the committer will assemble. */
+    size_t maxBatch = 256;
+};
+
+struct ServerStats
+{
+    uint64_t connections = 0;
+    uint64_t ingestMessages = 0;
+    uint64_t batches = 0;       ///< Committer batches (size >= 1).
+    uint64_t acksSent = 0;
+    uint64_t cycles = 0;
+    uint64_t flushes = 0;
+    uint64_t protocolErrors = 0;
+};
+
+/**
+ * TCP ingest server over one Cloud. start() spawns the threads;
+ * stop() (or the destructor) shuts them down and closes every socket.
+ */
+class IngestServer
+{
+  public:
+    /**
+     * @param cloud The cloud this server fronts. Must outlive the
+     *              server; the committer thread is its only writer
+     *              while the server runs. Crash injection must be
+     *              disarmed — a CrashInjected escaping the committer
+     *              cannot be replayed deterministically from here.
+     */
+    explicit IngestServer(sim::Cloud &cloud, ServerConfig config = {});
+    ~IngestServer();
+
+    IngestServer(const IngestServer &) = delete;
+    IngestServer &operator=(const IngestServer &) = delete;
+
+    /** Bind, listen and spawn the threads. Throws on bind failure. */
+    void start();
+
+    /** Stop accepting, wake every thread, join them, close sockets.
+     *  Idempotent. Queued work is completed before shutdown. */
+    void stop();
+
+    /** The bound port (valid after start()). */
+    uint16_t port() const { return listener_.port(); }
+
+    bool running() const { return running_; }
+
+    ServerStats stats() const;
+
+  private:
+    /** One accepted connection, shared between its reader thread and
+     *  WorkItems in flight (kept alive until the last reply is sent). */
+    struct Conn
+    {
+        net::TcpStream stream;
+        /** Decode-side interning table; reader thread only. */
+        net::StringDict dict;
+        uint64_t id = 0;
+        std::thread reader;
+    };
+
+    struct WorkItem
+    {
+        enum class Kind : uint8_t { kIngest, kCycle, kFlush, kBye };
+        Kind kind = Kind::kIngest;
+        std::shared_ptr<Conn> conn;
+        net::WireIngest ingest;     ///< kIngest only.
+        std::string cleanPatchText; ///< kCycle only.
+    };
+
+    void acceptLoop();
+    void readerLoop(std::shared_ptr<Conn> conn);
+    void committerLoop();
+
+    /** Group-commit (or per-record) one batch and ack every item. */
+    void commitBatch(std::vector<WorkItem> &batch);
+    void handleCycle(const WorkItem &item);
+    void handleFlush(const WorkItem &item);
+    void handleBye(const WorkItem &item);
+
+    void enqueue(WorkItem item);
+
+    sim::Cloud &cloud_;
+    ServerConfig config_;
+    net::TcpListener listener_;
+    std::thread acceptThread_;
+    std::thread committerThread_;
+
+    std::mutex queueMutex_;
+    std::condition_variable queueCv_;
+    std::deque<WorkItem> queue_;
+    bool stopping_ = false;
+
+    mutable std::mutex connMutex_;
+    std::vector<std::shared_ptr<Conn>> conns_;
+    uint64_t nextConnId_ = 1;
+
+    mutable std::mutex statsMutex_;
+    ServerStats stats_;
+    bool running_ = false;
+};
+
+} // namespace nazar::server
+
+#endif // NAZAR_SERVER_INGEST_SERVER_H

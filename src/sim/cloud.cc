@@ -102,6 +102,25 @@ Cloud::ingest(const driftlog::DriftLogEntry &entry,
 }
 
 bool
+Cloud::dedupAcceptLocked(int device, uint64_t seq)
+{
+    static obs::Counter &dedup_hits =
+        obs::Registry::global().counter("net.dedup_hits");
+    DedupState &state = dedup_[device];
+    if (seq < state.floor || state.seen.count(seq) > 0) {
+        ++dedupHits_;
+        dedup_hits.add(1);
+        return false;
+    }
+    state.seen.insert(seq);
+    while (state.seen.size() > config_.ingestDedupWindow) {
+        state.floor = *state.seen.begin() + 1;
+        state.seen.erase(state.seen.begin());
+    }
+    return true;
+}
+
+bool
 Cloud::ingestFrom(int device, uint64_t seq,
                   const driftlog::DriftLogEntry &entry,
                   std::optional<Upload> upload)
@@ -110,8 +129,6 @@ Cloud::ingestFrom(int device, uint64_t seq,
         obs::Registry::global().counter("sim.ingest.rows");
     static obs::Counter &uploads =
         obs::Registry::global().counter("sim.uploads");
-    static obs::Counter &dedup_hits =
-        obs::Registry::global().counter("net.dedup_hits");
 
     std::lock_guard<std::mutex> lk(ingestMutex_);
     if (persist_) {
@@ -123,17 +140,9 @@ Cloud::ingestFrom(int device, uint64_t seq,
             upload ? &upload->context : nullptr,
             upload ? upload->driftFlag : false);
     }
-    DedupState &state = dedup_[device];
-    if (seq < state.floor || state.seen.count(seq) > 0) {
-        ++dedupHits_;
-        dedup_hits.add(1);
+    if (!dedupAcceptLocked(device, seq)) {
         maybeSnapshotLocked();
         return false;
-    }
-    state.seen.insert(seq);
-    while (state.seen.size() > config_.ingestDedupWindow) {
-        state.floor = *state.seen.begin() + 1;
-        state.seen.erase(state.seen.begin());
     }
     rows.add(1);
     if (upload.has_value())
@@ -141,6 +150,51 @@ Cloud::ingestFrom(int device, uint64_t seq,
     ingestLocked(entry, std::move(upload));
     maybeSnapshotLocked();
     return true;
+}
+
+std::vector<bool>
+Cloud::ingestBatchFrom(std::vector<IngestMessage> batch)
+{
+    static obs::Counter &rows =
+        obs::Registry::global().counter("sim.ingest.rows");
+    static obs::Counter &uploads =
+        obs::Registry::global().counter("sim.uploads");
+    static obs::Counter &batches =
+        obs::Registry::global().counter("sim.ingest.batches");
+
+    std::vector<bool> accepted(batch.size(), false);
+    if (batch.empty())
+        return accepted;
+    batches.add(1);
+    if (persist_) {
+        // Group commit: every attempt of the batch becomes durable
+        // with a single sync, before the ingest lock is touched
+        // (WAL-first still holds — durability precedes the apply).
+        std::vector<std::string> payloads;
+        payloads.reserve(batch.size());
+        for (const auto &m : batch) {
+            const auto *up = m.upload ? &*m.upload : nullptr;
+            payloads.push_back(persist::CloudPersistence::encodeIngest(
+                m.device, m.seq, m.entry,
+                up ? &up->features : nullptr,
+                up ? &up->context : nullptr,
+                up ? up->driftFlag : false));
+        }
+        persist_->logIngestBatch(payloads);
+    }
+    std::lock_guard<std::mutex> lk(ingestMutex_);
+    for (size_t i = 0; i < batch.size(); ++i) {
+        auto &m = batch[i];
+        if (!dedupAcceptLocked(m.device, m.seq))
+            continue;
+        rows.add(1);
+        if (m.upload.has_value())
+            uploads.add(1);
+        ingestLocked(m.entry, std::move(m.upload));
+        accepted[i] = true;
+    }
+    maybeSnapshotLocked();
+    return accepted;
 }
 
 data::Dataset

@@ -33,6 +33,15 @@ struct Upload
     bool driftFlag = false;    ///< The on-device detector's verdict.
 };
 
+/** One sequenced ingest attempt, as batched by the ingest server. */
+struct IngestMessage
+{
+    int device = 0;
+    uint64_t seq = 0;
+    driftlog::DriftLogEntry entry;
+    std::optional<Upload> upload;
+};
+
 /** Cloud-side configuration. */
 struct CloudConfig
 {
@@ -110,6 +119,21 @@ class Cloud
     bool ingestFrom(int device, uint64_t seq,
                     const driftlog::DriftLogEntry &entry,
                     std::optional<Upload> upload);
+
+    /**
+     * Group-committed batch of ingestFrom() calls: every attempt is
+     * appended to the WAL first with ONE sync for the whole batch
+     * (vs one per record), and the WAL work happens before the ingest
+     * lock is taken, so readers never stall behind an fsync. Dedup
+     * semantics per message are identical to ingestFrom(). Returns
+     * per-message acceptance (false = dedup hit).
+     *
+     * Single-writer: callers must not overlap this with other
+     * ingest/cycle/flush calls — the ingest server's committer thread
+     * is the sole writer, which is what makes the out-of-lock WAL
+     * appends safe.
+     */
+    std::vector<bool> ingestBatchFrom(std::vector<IngestMessage> batch);
 
     /**
      * Run one analysis + by-cause adaptation cycle over the entries
@@ -221,6 +245,13 @@ class Cloud
     /** Shared tail of ingest()/ingestFrom(); ingestMutex_ held. */
     void ingestLocked(const driftlog::DriftLogEntry &entry,
                       std::optional<Upload> upload);
+
+    /**
+     * Run one (device, seq) through the dedup window (ingestMutex_
+     * held). Returns false on a duplicate; true admits the seq into
+     * the window.
+     */
+    bool dedupAcceptLocked(int device, uint64_t seq);
 
     /** Adopt the state a CloudPersistence recovered at open. */
     void adoptRecovered(persist::RecoveredState &st);

@@ -5,11 +5,13 @@
 #include "runner.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/error.h"
 #include "common/logging.h"
 #include "common/stats.h"
 #include "net/channel.h"
+#include "net/ingest_client.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "runtime/thread_pool.h"
@@ -228,7 +230,22 @@ Runner::run()
     CloudConfig cloud_config = config_.cloud;
     cloud_config.ingestDedupWindow = config_.faults.dedupWindow;
     cloud_config.persist = config_.persist;
-    auto cloud = std::make_unique<Cloud>(cloud_config, *base_);
+    // Remote mode: the cloud lives behind an ingest server; this
+    // process holds only a protocol client. The socket itself is
+    // reliable — transport faults stay modeled in the uplink channel.
+    std::unique_ptr<net::IngestClient> remote;
+    std::unique_ptr<Cloud> cloud;
+    if (config_.remotePort != 0) {
+        NAZAR_CHECK(config_.strategy == Strategy::kNazar,
+                    "remote ingest supports only the nazar strategy");
+        NAZAR_CHECK(!config_.persist.enabled(),
+                    "remote ingest: durability lives with the "
+                    "server's cloud, not the runner");
+        remote = std::make_unique<net::IngestClient>(
+            config_.remotePort, net::FaultConfig{}, "runner");
+    } else {
+        cloud = std::make_unique<Cloud>(cloud_config, *base_);
+    }
     detect::MspDetector detector(config_.mspThreshold);
 
     // All device→cloud telemetry and cloud→device version pushes go
@@ -243,9 +260,16 @@ Runner::run()
     nn::Classifier scratch = base_->clone();
     nn::BnPatch clean_patch = base_->bnPatch();
     // A restarted run resumes calibration from the recovered clean
-    // patch instead of the base model's.
-    if (cloud->recoveredCleanPatch().has_value())
+    // patch instead of the base model's. In remote mode the server
+    // hands the recovered patch over in its handshake reply.
+    if (remote) {
+        if (remote->helloAck().cleanPatchText.has_value()) {
+            std::istringstream in(*remote->helloAck().cleanPatchText);
+            clean_patch = nn::BnPatch::load(in);
+        }
+    } else if (cloud->recoveredCleanPatch().has_value()) {
         clean_patch = *cloud->recoveredCleanPatch();
+    }
     // Adapt-all: the single continuously adapted model's BN state.
     nn::BnPatch global_patch = clean_patch;
 
@@ -257,7 +281,7 @@ Runner::run()
     // uncommitted cycle must start from.
     static obs::Counter &crash_counter =
         obs::Registry::global().counter("sim.cloud.crashes");
-    int64_t cycles_done = cloud->logicalTime();
+    int64_t cycles_done = cloud ? cloud->logicalTime() : 0;
     auto rebuild_cloud = [&]() {
         CloudConfig recover_config = cloud_config;
         recover_config.persist.crashAtHit = 0;
@@ -383,6 +407,24 @@ Runner::run()
         bool cloud_down = false;
         uplink.deliver([&](size_t device, uint64_t seq,
                            UplinkPayload &&payload) {
+            if (remote) {
+                // Same idempotent (device, seq) contract, over the
+                // wire; the server's dedup window does the rejecting
+                // and the acks reconcile at the next barrier.
+                net::WireIngest m;
+                m.device = static_cast<int64_t>(device);
+                m.seq = seq;
+                m.entry = std::move(payload.entry);
+                if (payload.upload.has_value()) {
+                    persist::UploadRecord up;
+                    up.features = std::move(payload.upload->features);
+                    up.context = std::move(payload.upload->context);
+                    up.driftFlag = payload.upload->driftFlag;
+                    m.upload = std::move(up);
+                }
+                remote->sendIngest(m);
+                return;
+            }
             if (cloud_down)
                 return; // cloud is down; telemetry in flight is lost
             try {
@@ -402,6 +444,29 @@ Runner::run()
         // ---- Window boundary: run the strategy's adaptation ----------
         switch (config_.strategy) {
           case Strategy::kNazar: {
+            std::vector<deploy::ModelVersion> new_versions;
+            if (remote) {
+                // Cycle runs server-side: ship the clean patch, get
+                // back the summary plus the published version blobs.
+                // requestCycle first drains the window's ingest acks,
+                // so the cycle sees every surviving row.
+                std::ostringstream patch_text;
+                clean_patch.save(patch_text);
+                net::RemoteCycle cycle =
+                    remote->requestCycle(patch_text.str());
+                wm.rootCauses = cycle.done.rootCauses;
+                wm.skippedCauses = cycle.done.skippedCauses;
+                if (cycle.done.cleanPatchText.has_value()) {
+                    std::istringstream in(*cycle.done.cleanPatchText);
+                    clean_patch = nn::BnPatch::load(in);
+                }
+                new_versions.reserve(cycle.versionTexts.size());
+                for (const auto &text : cycle.versionTexts) {
+                    std::istringstream in(text);
+                    new_versions.push_back(
+                        deploy::ModelVersion::load(in));
+                }
+            } else {
             // Fold a completed cycle into the window/run metrics and
             // hand back its versions for pushing.
             auto apply_cycle = [&](CycleResult &&cycle) {
@@ -414,7 +479,6 @@ Runner::run()
                 return std::move(cycle.newVersions);
             };
             const int64_t pre_cycle_next = cloud->nextVersionId();
-            std::vector<deploy::ModelVersion> new_versions;
             try {
                 new_versions = apply_cycle(cloud->runCycle(clean_patch));
             } catch (const persist::CrashInjected &crash) {
@@ -440,6 +504,7 @@ Runner::run()
                 }
             }
             cycles_done = cloud->logicalTime();
+            }
             wm.newVersions = new_versions.size();
             // Push each new version over the downlink. A device whose
             // push is lost (offline epoch, downlink drop) keeps
@@ -508,6 +573,13 @@ Runner::run()
             rebuild_cloud();
             cloud->checkpoint();
         }
+    }
+    if (remote) {
+        // Orderly end of session; the ByeAck tallies reconcile what
+        // the server accepted against what this client sent.
+        net::WireByeAck bye = remote->bye();
+        logInfo() << "remote cloud: ingested " << bye.totalIngested
+                  << ", dedup hits " << bye.dedupHits;
     }
     // Anything still queued or delayed past the last window is lost;
     // account for it so `net.sent` always reconciles against

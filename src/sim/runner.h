@@ -50,6 +50,17 @@ struct RunnerConfig
      * cloud from disk (see RunResult::cloudCrashes).
      */
     persist::PersistConfig persist;
+    /**
+     * When nonzero, telemetry is ingested by a networked cloud — an
+     * ingest server (server/ingest_server.h) on 127.0.0.1:remotePort —
+     * instead of an in-process Cloud, and analysis cycles run
+     * server-side (kCycleRequest/kCycleDone). Only the kNazar strategy
+     * supports this mode, and `persist` must stay off here: durability
+     * and dedup configuration live with the server's cloud. 0 (the
+     * default) keeps everything in-process and bit-identical to
+     * before the net layer existed.
+     */
+    uint16_t remotePort = 0;
     CloudConfig cloud;
     nn::TrainConfig train;         ///< Base-model training.
     data::WorkloadConfig workload;

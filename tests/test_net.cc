@@ -13,6 +13,7 @@
 
 #include "net/channel.h"
 #include "net/fault.h"
+#include "sim/cloud.h"
 
 namespace nazar::net {
 namespace {
@@ -191,8 +192,111 @@ TEST(Channel, CrashRestartLosesTheQueue)
     channel.send(0, 2);
     channel.beginEpoch(); // crash fires here
     EXPECT_GE(channel.stats().crashRestarts, 1u);
-    EXPECT_EQ(channel.stats().shed, 2u);
+    // Crash-wiped messages are their own failure mode, not queue
+    // pressure: they count as crashLost, never as shed.
+    EXPECT_EQ(channel.stats().crashLost, 2u);
+    EXPECT_EQ(channel.stats().shed, 0u);
     EXPECT_TRUE(drain(channel).empty());
+}
+
+TEST(Channel, OriginalPrecedesItsDuplicateOnATieKey)
+{
+    // A duplicated message and its copy share an identical
+    // (latency, sendIndex) sort key; the original must win the tie so
+    // a receiver's dedup window rejects the copy, not the original.
+    FaultConfig config;
+    config.dupProb = 1.0;
+    config.reorderProb = 1.0; // jitter everything; ties must still hold
+    Channel<int> channel(config, 1);
+    for (int i = 0; i < 16; ++i)
+        channel.send(0, i);
+    struct Arrival
+    {
+        uint64_t seq;
+        bool isDup;
+    };
+    std::vector<Arrival> got;
+    channel.deliver(
+        [&](size_t, uint64_t seq, int &&, bool is_dup) {
+            got.push_back({seq, is_dup});
+        });
+    ASSERT_EQ(got.size(), 32u);
+    std::set<uint64_t> seen;
+    for (const auto &a : got) {
+        if (seen.insert(a.seq).second)
+            EXPECT_FALSE(a.isDup) << "first arrival of seq " << a.seq
+                                  << " was the duplicate";
+        else
+            EXPECT_TRUE(a.isDup) << "second arrival of seq " << a.seq
+                                 << " was not the duplicate";
+    }
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(Channel, CloudIngestAcceptsTheOriginalOnADupDraw)
+{
+    // End-to-end form of the tie-break regression: drive a real
+    // Cloud's idempotent ingest off the faulted channel and check the
+    // dedup window always admits the original and rejects the copy.
+    FaultConfig config;
+    config.dupProb = 1.0;
+    Channel<driftlog::DriftLogEntry> channel(config, 1);
+    nn::Classifier base(nn::Architecture::kResNet18, 8, 4, 1);
+    sim::Cloud cloud(sim::CloudConfig{}, base);
+    for (int i = 0; i < 6; ++i) {
+        driftlog::DriftLogEntry entry;
+        entry.time = SimDate(i, 0);
+        entry.deviceId = "dev-0";
+        entry.location = "park";
+        channel.send(0, std::move(entry));
+    }
+    channel.deliver([&](size_t device, uint64_t seq,
+                        driftlog::DriftLogEntry &&entry, bool is_dup) {
+        bool accepted = cloud.ingestFrom(static_cast<int>(device), seq,
+                                         entry, std::nullopt);
+        EXPECT_EQ(accepted, !is_dup)
+            << "seq " << seq << ": dedup admitted the duplicate";
+    });
+    EXPECT_EQ(cloud.totalIngested(), 6u);
+    EXPECT_EQ(cloud.dedupHits(), 6u);
+}
+
+TEST(Channel, ShutdownCountsQueuedDelayedAndReadyAsUndelivered)
+{
+    // Pass-through: sends sit in the ready list until delivered.
+    Channel<int> ready_only(FaultConfig{}, 1);
+    ready_only.send(0, 1);
+    ready_only.send(0, 2);
+    ready_only.send(0, 3);
+    EXPECT_EQ(ready_only.pendingCount(), 3u);
+    ready_only.shutdown();
+    EXPECT_EQ(ready_only.stats().undelivered, 3u);
+    EXPECT_EQ(ready_only.pendingCount(), 0u);
+
+    // Delayed: held arrivals past the last round are undelivered too.
+    FaultConfig delay;
+    delay.delayProb = 1.0;
+    Channel<int> delayed(delay, 1);
+    delayed.send(0, 1);
+    delayed.send(0, 2);
+    EXPECT_TRUE(drain(delayed).empty());
+    EXPECT_EQ(delayed.pendingCount(), 2u);
+    delayed.shutdown();
+    EXPECT_EQ(delayed.stats().undelivered, 2u);
+
+    // Offline device queue: never flushed before the run ends.
+    FaultConfig off;
+    off.offlineProb = 1.0;
+    Channel<int> queued(off, 1);
+    queued.beginEpoch();
+    queued.send(0, 9);
+    EXPECT_TRUE(drain(queued).empty());
+    EXPECT_EQ(queued.pendingCount(), 1u);
+    queued.shutdown();
+    EXPECT_EQ(queued.stats().undelivered, 1u);
+    // Shutdown is terminal for the queues, not cumulative.
+    queued.shutdown();
+    EXPECT_EQ(queued.stats().undelivered, 1u);
 }
 
 TEST(Channel, ReorderStillDeliversEverythingExactlyOnce)

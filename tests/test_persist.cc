@@ -283,6 +283,85 @@ TEST(WalTest, ScanOfMissingFileIsInvalid)
     WalScan scan = Wal::scan(dir.path / "absent.log");
     EXPECT_FALSE(scan.validHeader);
     EXPECT_TRUE(scan.records.empty());
+    EXPECT_FALSE(scan.unreadable); // not-exists is a fresh start
+}
+
+TEST(WalTest, RefusesToClobberAnUnreadablePath)
+{
+    // A WAL path that exists but cannot be read (here: it is a
+    // directory, which fopen()s but fails the first fread) must never
+    // be silently overwritten — that would destroy the only copy of
+    // the state it cannot parse.
+    TempDir dir("wal_unreadable");
+    fs::path log = dir.path / "wal.log";
+    fs::create_directories(log);
+    WalScan scan = Wal::scan(log);
+    EXPECT_TRUE(scan.unreadable);
+    CrashInjector injector;
+    EXPECT_THROW(Wal(log, &injector), NazarError);
+    EXPECT_TRUE(fs::exists(log)); // still there, untouched
+}
+
+TEST(WalTest, AppendBufferedPlusSyncEqualsPerRecordAppends)
+{
+    TempDir dir("wal_group");
+    fs::path grouped_log = dir.path / "grouped.log";
+    fs::path single_log = dir.path / "single.log";
+    CrashInjector injector;
+    {
+        Wal grouped(grouped_log, &injector);
+        EXPECT_EQ(grouped.appendBuffered(WalRecordType::kIngest, "a"),
+                  1u);
+        EXPECT_EQ(grouped.appendBuffered(WalRecordType::kIngest, "b"),
+                  2u);
+        EXPECT_EQ(grouped.appendBuffered(WalRecordType::kIngest, "c"),
+                  3u);
+        grouped.sync(); // one flush for the whole batch
+    }
+    {
+        Wal single(single_log, &injector);
+        single.append(WalRecordType::kIngest, "a");
+        single.append(WalRecordType::kIngest, "b");
+        single.append(WalRecordType::kIngest, "c");
+    }
+    // Same bytes on disk: group commit changes durability timing, not
+    // the log's contents.
+    std::ifstream g(grouped_log, std::ios::binary);
+    std::ifstream s(single_log, std::ios::binary);
+    std::string gb((std::istreambuf_iterator<char>(g)),
+                   std::istreambuf_iterator<char>());
+    std::string sb((std::istreambuf_iterator<char>(s)),
+                   std::istreambuf_iterator<char>());
+    EXPECT_EQ(gb, sb);
+    WalScan scan = Wal::scan(grouped_log);
+    ASSERT_EQ(scan.records.size(), 3u);
+    EXPECT_EQ(scan.records[2].payload, "c");
+}
+
+TEST(WalTest, FdatasyncModeAppendsAndReplays)
+{
+    TempDir dir("wal_fsync");
+    fs::path log = dir.path / "wal.log";
+    CrashInjector injector;
+    {
+        Wal wal(log, &injector, SyncMode::kFdatasync);
+        EXPECT_EQ(wal.syncMode(), SyncMode::kFdatasync);
+        wal.append(WalRecordType::kIngest, "durable");
+        wal.appendBuffered(WalRecordType::kIngest, "batched");
+        wal.sync();
+    }
+    WalScan scan = Wal::scan(log);
+    ASSERT_EQ(scan.records.size(), 2u);
+    EXPECT_EQ(scan.records[0].payload, "durable");
+    EXPECT_EQ(scan.records[1].payload, "batched");
+}
+
+TEST(WalTest, SyncModeNamesRoundTrip)
+{
+    for (SyncMode mode :
+         {SyncMode::kFlush, SyncMode::kFdatasync, SyncMode::kFsync})
+        EXPECT_EQ(syncModeFromString(syncModeName(mode)), mode);
+    EXPECT_THROW(syncModeFromString("bogus"), NazarError);
 }
 
 // ---- snapshots ------------------------------------------------------

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * End-to-end tests for the TCP ingest server: multi-client chaos
+ * reconciliation, group commit vs per-record durability equivalence,
+ * flush and protocol-error edges, and a full remote-mode Runner
+ * matching the in-process run window for window.
+ */
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include "common/logging.h"
+#include "data/apps.h"
+#include "driftlog/csv.h"
+#include "net/ingest_client.h"
+#include "server/ingest_server.h"
+#include "server/load_gen.h"
+#include "sim/runner.h"
+
+namespace nazar::server {
+namespace {
+
+struct QuietLogs : ::testing::Test
+{
+    QuietLogs() { setLogLevel(LogLevel::kSilent); }
+    ~QuietLogs() override { setLogLevel(LogLevel::kInfo); }
+};
+
+struct TempDir
+{
+    std::filesystem::path path;
+
+    explicit TempDir(const std::string &tag)
+        : path(std::filesystem::temp_directory_path() /
+               ("nazar_server_" + tag + "_" +
+                std::to_string(::getpid())))
+    {
+        std::filesystem::remove_all(path);
+        std::filesystem::create_directories(path);
+    }
+
+    ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+nn::Classifier
+tinyBase()
+{
+    return nn::Classifier(nn::Architecture::kResNet18, 8, 4, 1);
+}
+
+using ServerTest = QuietLogs;
+
+TEST_F(ServerTest, ChaoticClientsReconcileExactly)
+{
+    nn::Classifier base = tinyBase();
+    sim::Cloud cloud(sim::CloudConfig{}, base);
+    IngestServer server(cloud, ServerConfig{});
+    server.start();
+
+    LoadConfig load;
+    load.port = server.port();
+    load.clients = 4;
+    load.eventsPerClient = 150;
+    // Give-up needs maxAttempts consecutive drop draws; 0.5^4 over
+    // 600 messages makes a zero-give-up run astronomically unlikely.
+    load.chaos.dropProb = 0.5;
+    load.chaos.dupProb = 0.2;
+    load.chaos.seed = 7;
+    LoadStats stats = runLoad(load);
+
+    // Unique (device, seq) pairs: everything sent is accepted exactly
+    // once, every chaos duplicate is dedup-rejected, nothing leaks.
+    EXPECT_TRUE(stats.reconciled);
+    EXPECT_GT(stats.sent, 0u);
+    EXPECT_GT(stats.gaveUp, 0u); // chaos actually fired
+    EXPECT_GT(stats.duplicates, 0u);
+    EXPECT_EQ(stats.acksAccepted, stats.sent);
+    EXPECT_EQ(stats.acksRejected, stats.duplicates);
+    EXPECT_EQ(cloud.totalIngested(), stats.acksAccepted);
+    EXPECT_EQ(cloud.dedupHits(), stats.acksRejected);
+    // The dictionary earned its keep: most strings went as bare ids.
+    EXPECT_GT(stats.dictHits, stats.dictStrings);
+
+    server.stop();
+    ServerStats ss = server.stats();
+    EXPECT_EQ(ss.connections, 4u);
+    EXPECT_EQ(ss.ingestMessages, stats.sent + stats.duplicates);
+    EXPECT_EQ(ss.acksSent, ss.ingestMessages);
+    EXPECT_EQ(ss.protocolErrors, 0u);
+    EXPECT_GE(ss.batches, 1u);
+    // Group commit did group: fewer batches than messages.
+    EXPECT_LT(ss.batches, ss.ingestMessages);
+}
+
+TEST_F(ServerTest, GroupCommitRecoversTheSameStateAsPerRecord)
+{
+    // Same single-client stream into two persisted clouds, one group
+    // committed and one flushed per record: a fresh cloud recovered
+    // from either directory must be identical.
+    auto runOne = [](const std::string &dir, bool group) {
+        nn::Classifier base = tinyBase();
+        sim::CloudConfig config;
+        config.persist.dir = dir;
+        config.persist.snapshotEvery = 64;
+        sim::Cloud cloud(config, base);
+        ServerConfig sc;
+        sc.groupCommit = group;
+        IngestServer server(cloud, sc);
+        server.start();
+        LoadConfig load;
+        load.port = server.port();
+        load.clients = 1; // deterministic arrival order
+        load.eventsPerClient = 200;
+        LoadStats stats = runLoad(load);
+        EXPECT_TRUE(stats.reconciled);
+        server.stop();
+    };
+    TempDir group_dir("group");
+    TempDir record_dir("record");
+    runOne(group_dir.path.string(), true);
+    runOne(record_dir.path.string(), false);
+
+    auto recover = [](const std::string &dir) {
+        nn::Classifier base = tinyBase();
+        sim::CloudConfig config;
+        config.persist.dir = dir;
+        sim::Cloud cloud(config, base);
+        std::ostringstream csv;
+        driftlog::writeCsv(cloud.driftLog().table(), csv);
+        return std::tuple(csv.str(), cloud.totalIngested(),
+                          cloud.uploadCount(), cloud.dedupHits());
+    };
+    EXPECT_EQ(recover(group_dir.path.string()),
+              recover(record_dir.path.string()));
+}
+
+TEST_F(ServerTest, FlushArchivesBuffersAndByeReportsTallies)
+{
+    nn::Classifier base = tinyBase();
+    sim::Cloud cloud(sim::CloudConfig{}, base);
+    IngestServer server(cloud);
+    server.start();
+    {
+        net::IngestClient client(server.port());
+        for (int i = 0; i < 10; ++i) {
+            net::WireIngest m;
+            m.device = 5;
+            m.seq = static_cast<uint64_t>(i) + 1;
+            m.entry.time = SimDate(i, 0);
+            m.entry.deviceId = "dev-5";
+            m.entry.location = "park";
+            EXPECT_TRUE(client.sendIngest(m));
+        }
+        client.requestFlush();
+        EXPECT_EQ(client.stats().acksAccepted, 10u);
+        net::WireByeAck bye = client.bye();
+        EXPECT_EQ(bye.totalIngested, 10u);
+        EXPECT_EQ(bye.dedupHits, 0u);
+    }
+    EXPECT_EQ(cloud.driftLogSize(), 0u); // flush archived the buffer
+    EXPECT_EQ(cloud.totalIngested(), 10u);
+    server.stop();
+    EXPECT_EQ(server.stats().flushes, 1u);
+}
+
+TEST_F(ServerTest, GarbageBytesDropTheConnectionNotTheServer)
+{
+    nn::Classifier base = tinyBase();
+    sim::Cloud cloud(sim::CloudConfig{}, base);
+    IngestServer server(cloud);
+    server.start();
+    {
+        net::TcpStream bad = net::TcpStream::connect(server.port());
+        std::string garbage(64, '\xff');
+        EXPECT_TRUE(bad.sendBytes(garbage));
+        // The server rejects the frame and shuts the socket; the
+        // stream eventually reads EOF rather than hanging.
+        while (bad.recvFrame().has_value()) {
+        }
+        EXPECT_TRUE(bad.eofSeen());
+    }
+    // A well-behaved client on the same server still works.
+    {
+        net::IngestClient client(server.port());
+        net::WireIngest m;
+        m.device = 1;
+        m.seq = 1;
+        m.entry.deviceId = "dev-1";
+        EXPECT_TRUE(client.sendIngest(m));
+        client.bye();
+    }
+    server.stop();
+    EXPECT_EQ(server.stats().protocolErrors, 1u);
+    EXPECT_EQ(cloud.totalIngested(), 1u);
+}
+
+TEST_F(ServerTest, RemoteRunMatchesInProcessWindowForWindow)
+{
+    data::AppSpec app = data::makeAnimalsApp(13, 8);
+    data::WeatherModel weather(app.locations, 21, 2020);
+    sim::RunnerConfig config;
+    config.arch = nn::Architecture::kResNet18;
+    config.strategy = sim::Strategy::kNazar;
+    config.windows = 2;
+    config.workload.days = 21;
+    config.workload.devicesPerLocation = 3;
+    config.workload.imagesPerDevicePerDay = 3.0;
+    config.train.epochs = 20;
+    config.cloud.minAdaptSamples = 16;
+    config.uploadSampleRate = 0.5;
+    config.seed = 17;
+
+    // One shared pretrained base so both runs (and the server's
+    // cloud) hold identical weights.
+    nn::Classifier base(config.arch, app.domain.featureDim(),
+                        app.domain.numClasses(), config.seed);
+    {
+        Rng rng(config.seed);
+        Rng data_rng = rng.fork();
+        data::Dataset train = app.domain.makeBalancedDataset(
+            app.trainPerClass, data_rng);
+        base.trainSupervised(train.x, train.labels, config.train);
+    }
+
+    sim::RunResult local =
+        sim::Runner(app, weather, config, &base).run();
+
+    // The server's cloud gets the exact configuration the in-process
+    // runner would have built.
+    sim::CloudConfig cloud_config = config.cloud;
+    cloud_config.ingestDedupWindow = config.faults.dedupWindow;
+    sim::Cloud cloud(cloud_config, base);
+    IngestServer server(cloud);
+    server.start();
+    sim::RunnerConfig remote_config = config;
+    remote_config.remotePort = server.port();
+    sim::RunResult remote =
+        sim::Runner(app, weather, remote_config, &base).run();
+    server.stop();
+
+    ASSERT_EQ(remote.windows.size(), local.windows.size());
+    for (size_t i = 0; i < local.windows.size(); ++i) {
+        SCOPED_TRACE("window " + std::to_string(i));
+        EXPECT_EQ(remote.windows[i].events, local.windows[i].events);
+        EXPECT_EQ(remote.windows[i].correctAll,
+                  local.windows[i].correctAll);
+        EXPECT_EQ(remote.windows[i].correctDrifted,
+                  local.windows[i].correctDrifted);
+        EXPECT_EQ(remote.windows[i].flagged, local.windows[i].flagged);
+        EXPECT_EQ(remote.windows[i].rootCauses,
+                  local.windows[i].rootCauses);
+        EXPECT_EQ(remote.windows[i].skippedCauses,
+                  local.windows[i].skippedCauses);
+        EXPECT_EQ(remote.windows[i].newVersions,
+                  local.windows[i].newVersions);
+        EXPECT_EQ(remote.windows[i].poolSize,
+                  local.windows[i].poolSize);
+    }
+    // The telemetry really went over the wire into the server's cloud.
+    EXPECT_GT(cloud.totalIngested(), 0u);
+}
+
+} // namespace
+} // namespace nazar::server

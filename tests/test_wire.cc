@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Tests for the ingest wire protocol: frame encode/parse round-trips
+ * under arbitrary chunking, corrupt-frame rejection (truncation, CRC,
+ * oversize, unknown type), string-dictionary lockstep and idempotent
+ * re-defines, and the interned kIngest payload codec.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "net/wire.h"
+
+namespace nazar::net {
+namespace {
+
+/** Feed @p bytes to a parser in chunks of @p chunk and collect. */
+std::vector<Frame>
+parseChunked(const std::string &bytes, size_t chunk)
+{
+    FrameParser parser;
+    std::vector<Frame> frames;
+    for (size_t i = 0; i < bytes.size(); i += chunk) {
+        parser.feed(bytes.data() + i,
+                    std::min(chunk, bytes.size() - i));
+        while (auto frame = parser.next())
+            frames.push_back(std::move(*frame));
+    }
+    return frames;
+}
+
+TEST(FrameParser, RoundTripsAtEveryChunking)
+{
+    std::string stream = encodeFrame(MsgType::kHello, "alpha") +
+                         encodeFrame(MsgType::kAck, std::string()) +
+                         encodeFrame(MsgType::kIngest,
+                                     std::string("\x00\x01\x02", 3));
+    for (size_t chunk : {size_t(1), size_t(3), size_t(7), stream.size()}) {
+        std::vector<Frame> frames = parseChunked(stream, chunk);
+        ASSERT_EQ(frames.size(), 3u) << "chunk " << chunk;
+        EXPECT_EQ(frames[0].type, MsgType::kHello);
+        EXPECT_EQ(frames[0].payload, "alpha");
+        EXPECT_EQ(frames[1].type, MsgType::kAck);
+        EXPECT_TRUE(frames[1].payload.empty());
+        EXPECT_EQ(frames[2].type, MsgType::kIngest);
+        EXPECT_EQ(frames[2].payload.size(), 3u);
+    }
+}
+
+TEST(FrameParser, TruncatedFrameWaitsForMoreBytes)
+{
+    std::string frame = encodeFrame(MsgType::kHello, "payload");
+    FrameParser parser;
+    parser.feed(frame.data(), frame.size() - 1);
+    EXPECT_FALSE(parser.next().has_value());
+    EXPECT_EQ(parser.buffered(), frame.size() - 1);
+    parser.feed(frame.data() + frame.size() - 1, 1);
+    auto out = parser.next();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->payload, "payload");
+    EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(FrameParser, CorruptBodyFailsTheCrc)
+{
+    std::string frame = encodeFrame(MsgType::kHello, "payload");
+    frame[frame.size() - 1] ^= 0x40; // flip a bit in the body
+    FrameParser parser;
+    parser.feed(frame.data(), frame.size());
+    EXPECT_THROW(parser.next(), NazarError);
+}
+
+TEST(FrameParser, OversizedLengthIsRejectedBeforeBuffering)
+{
+    // A corrupt length field must throw immediately, not make the
+    // parser wait for 2^31 bytes that will never come.
+    persist::Writer w;
+    w.putU32(kMaxFrameBytes + 1);
+    w.putU32(0);
+    std::string head = w.take();
+    FrameParser parser;
+    parser.feed(head.data(), head.size());
+    EXPECT_THROW(parser.next(), NazarError);
+
+    persist::Writer zero;
+    zero.putU32(0); // length 0 cannot even hold the type byte
+    zero.putU32(0);
+    std::string zhead = zero.take();
+    FrameParser zparser;
+    zparser.feed(zhead.data(), zhead.size());
+    EXPECT_THROW(zparser.next(), NazarError);
+}
+
+TEST(FrameParser, UnknownMessageTypeIsRejected)
+{
+    persist::Writer body;
+    body.putU8(99); // no such MsgType
+    persist::Writer frame;
+    frame.putU32(1);
+    frame.putU32(persist::crc32(body.bytes().data(), body.size()));
+    frame.putBytes(body.bytes().data(), body.size());
+    std::string bytes = frame.take();
+    FrameParser parser;
+    parser.feed(bytes.data(), bytes.size());
+    EXPECT_THROW(parser.next(), NazarError);
+}
+
+TEST(StringDict, EncoderAndDecoderStayInLockstep)
+{
+    StringDict enc, dec;
+    std::vector<std::string> sends = {"park", "rain", "park", "fog",
+                                      "rain", "park"};
+    for (const auto &s : sends) {
+        persist::Writer w;
+        enc.encode(w, s);
+        std::string bytes = w.take();
+        persist::Reader r(bytes);
+        EXPECT_EQ(dec.decode(r), s);
+    }
+    EXPECT_EQ(enc.size(), 3u);
+    EXPECT_EQ(dec.size(), 3u);
+    EXPECT_EQ(enc.hits(), 3u); // the three repeats went as bare ids
+}
+
+TEST(StringDict, RedefineIsIdempotentSoDuplicatedFramesCannotDesync)
+{
+    // A chaos-duplicated frame replays its kNewString definition
+    // bytes. The decoder must not intern the string twice, or every
+    // id assigned afterwards would be off by one from the encoder's.
+    StringDict enc, dec;
+    persist::Writer w1;
+    enc.encode(w1, "park"); // defines id 0
+    std::string define = w1.take();
+    for (int replay = 0; replay < 2; ++replay) {
+        persist::Reader r(define);
+        EXPECT_EQ(dec.decode(r), "park");
+    }
+    EXPECT_EQ(dec.size(), 1u);
+    // The next definition must land on the same id on both sides.
+    persist::Writer w2;
+    enc.encode(w2, "fog"); // defines id 1
+    std::string define_fog = w2.take();
+    persist::Reader r2(define_fog);
+    EXPECT_EQ(dec.decode(r2), "fog");
+    persist::Writer w3;
+    enc.encode(w3, "fog"); // bare id 1
+    std::string bare = w3.take();
+    persist::Reader r3(bare);
+    EXPECT_EQ(dec.decode(r3), "fog");
+    EXPECT_EQ(bare.size(), 4u); // just the u32 id
+}
+
+TEST(StringDict, OutOfRangeIdIsRejected)
+{
+    StringDict dec;
+    persist::Writer w;
+    w.putU32(5); // no strings interned yet
+    std::string bytes = w.take();
+    persist::Reader r(bytes);
+    EXPECT_THROW(dec.decode(r), NazarError);
+}
+
+WireIngest
+sampleIngest(bool with_upload)
+{
+    WireIngest m;
+    m.device = 42;
+    m.seq = 7;
+    m.entry.time = SimDate(33, 4521);
+    m.entry.deviceId = "android_42";
+    m.entry.deviceModel = "pixel-4";
+    m.entry.location = "harbor";
+    m.entry.weather = "snow";
+    m.entry.modelVersion = 3;
+    m.entry.drift = true;
+    if (with_upload) {
+        persist::UploadRecord up;
+        up.features = {0.25, -1.5, std::nan(""), 3.25};
+        up.context = rca::AttributeSet(
+            {{"location", driftlog::Value(std::string("harbor"))},
+             {"weather", driftlog::Value(std::string("snow"))}});
+        up.driftFlag = true;
+        m.upload = std::move(up);
+    }
+    return m;
+}
+
+TEST(WireIngest, RoundTripsThroughTheDictIncludingNaN)
+{
+    StringDict enc, dec;
+    for (bool with_upload : {true, false}) {
+        WireIngest in = sampleIngest(with_upload);
+        std::string bytes = encodeIngest(in, enc);
+        WireIngest out = decodeIngest(bytes, dec);
+        EXPECT_EQ(out.device, in.device);
+        EXPECT_EQ(out.seq, in.seq);
+        EXPECT_EQ(out.entry.time.dayIndex(), 33);
+        EXPECT_EQ(out.entry.time.secondOfDay(), 4521);
+        EXPECT_EQ(out.entry.deviceId, "android_42");
+        EXPECT_EQ(out.entry.weather, "snow");
+        EXPECT_EQ(out.entry.modelVersion, 3);
+        EXPECT_TRUE(out.entry.drift);
+        ASSERT_EQ(out.upload.has_value(), with_upload);
+        if (with_upload) {
+            ASSERT_EQ(out.upload->features.size(), 4u);
+            EXPECT_DOUBLE_EQ(out.upload->features[0], 0.25);
+            EXPECT_TRUE(std::isnan(out.upload->features[2]));
+            EXPECT_EQ(out.upload->context.size(), 2u);
+            EXPECT_TRUE(out.upload->driftFlag);
+        }
+    }
+    // Second encode of the same strings is all bare ids: smaller.
+    StringDict enc2;
+    std::string first = encodeIngest(sampleIngest(true), enc2);
+    std::string second = encodeIngest(sampleIngest(true), enc2);
+    EXPECT_LT(second.size(), first.size());
+}
+
+TEST(WireIngest, TrailingBytesAndTruncationAreRejected)
+{
+    StringDict enc;
+    std::string bytes = encodeIngest(sampleIngest(true), enc);
+    {
+        StringDict dec;
+        std::string trailing = bytes + "x";
+        EXPECT_THROW(decodeIngest(trailing, dec), NazarError);
+    }
+    {
+        // Truncating mid-upload leaves a feature count larger than the
+        // remaining bytes; the guard must catch it before allocating.
+        StringDict dec;
+        std::string cut = bytes.substr(0, bytes.size() - 9);
+        EXPECT_THROW(decodeIngest(cut, dec), NazarError);
+    }
+}
+
+TEST(WireMessages, ControlPayloadsRoundTrip)
+{
+    WireHello hello;
+    hello.clientName = "runner";
+    WireHello hello2 = decodeHello(encodeHello(hello));
+    EXPECT_EQ(hello2.protoVersion, kProtocolVersion);
+    EXPECT_EQ(hello2.clientName, "runner");
+
+    WireHelloAck hack;
+    hack.cleanPatchText = "patch-blob";
+    hack.cleanPatchTime = 5;
+    WireHelloAck hack2 = decodeHelloAck(encodeHelloAck(hack));
+    ASSERT_TRUE(hack2.cleanPatchText.has_value());
+    EXPECT_EQ(*hack2.cleanPatchText, "patch-blob");
+    EXPECT_EQ(hack2.cleanPatchTime, 5);
+    WireHelloAck none = decodeHelloAck(encodeHelloAck(WireHelloAck{}));
+    EXPECT_FALSE(none.cleanPatchText.has_value());
+
+    WireAck ack{42, 7, true};
+    WireAck ack2 = decodeAck(encodeAck(ack));
+    EXPECT_EQ(ack2.device, 42);
+    EXPECT_EQ(ack2.seq, 7u);
+    EXPECT_TRUE(ack2.accepted);
+
+    WireCycleDone done;
+    done.versionCount = 2;
+    done.rootCauses = 3;
+    done.skippedCauses = 1;
+    done.adaptedSampleCount = 640;
+    done.cleanPatchText = "clean";
+    WireCycleDone done2 = decodeCycleDone(encodeCycleDone(done));
+    EXPECT_EQ(done2.versionCount, 2u);
+    EXPECT_EQ(done2.rootCauses, 3u);
+    EXPECT_EQ(done2.skippedCauses, 1u);
+    EXPECT_EQ(done2.adaptedSampleCount, 640u);
+    ASSERT_TRUE(done2.cleanPatchText.has_value());
+    EXPECT_EQ(*done2.cleanPatchText, "clean");
+
+    WireByeAck bye{100, 4};
+    WireByeAck bye2 = decodeByeAck(encodeByeAck(bye));
+    EXPECT_EQ(bye2.totalIngested, 100u);
+    EXPECT_EQ(bye2.dedupHits, 4u);
+}
+
+} // namespace
+} // namespace nazar::net

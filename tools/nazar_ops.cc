@@ -52,10 +52,12 @@
  *       counters.
  *
  * The sim subcommand also takes durability flags
- * (--persist-dir=<dir> --snapshot-every=N --crash-at=N): with a
- * persist dir the cloud WALs its state there, and --crash-at=N kills
- * it at the Nth write-boundary crash site, exercising the
- * recover-and-resume path end to end.
+ * (--persist-dir=<dir> --snapshot-every=N --crash-at=N
+ * --fsync=flush|fdatasync|fsync): with a persist dir the cloud WALs
+ * its state there, --crash-at=N kills it at the Nth write-boundary
+ * crash site, exercising the recover-and-resume path end to end, and
+ * --fsync selects the WAL durability mode (flush matches the
+ * process-kill fault model; fdatasync/fsync survive power loss).
  */
 #include <cctype>
 #include <cstdio>
@@ -100,7 +102,8 @@ usage()
         "  nazar_ops sim [windows] [--metrics-out=<path>] "
         "[--drop=P --dup=P --delay=P --reorder=P --offline=P "
         "--crash=P --push-drop=P --queue-cap=N --fault-seed=S] "
-        "[--persist-dir=<dir> --snapshot-every=N --crash-at=N]\n"
+        "[--persist-dir=<dir> --snapshot-every=N --crash-at=N "
+        "--fsync=flush|fdatasync|fsync]\n"
         "  nazar_ops faults <metrics.json>\n"
         "  nazar_ops wal <wal.log>\n"
         "  nazar_ops recover <state-dir>\n");
@@ -541,6 +544,9 @@ main(int argc, char **argv)
                 persist_config.snapshotEvery = std::stoull(arg.substr(17));
             else if (arg.rfind("--crash-at=", 0) == 0)
                 persist_config.crashAtHit = std::stoull(arg.substr(11));
+            else if (arg.rfind("--fsync=", 0) == 0)
+                persist_config.sync =
+                    persist::syncModeFromString(arg.substr(8));
             else
                 args.push_back(std::move(arg));
         }

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * nazar_served: the networked cloud as a process.
+ *
+ * Three modes:
+ *
+ *   serve  — stand up a Cloud plus a TCP IngestServer and run until
+ *            SIGTERM/SIGINT. `--port-file=<path>` writes the bound
+ *            port (the OS picks one when --port=0) so a driver script
+ *            can find it without racing. On shutdown it prints a
+ *            greppable `SERVED ... clean shutdown` line.
+ *
+ *   load   — drive a running server with the multi-client load
+ *            generator, optionally through the socket-level chaos
+ *            layer (--drop= --dup=). Prints per-run tallies and
+ *            `RECONCILED ok` when every unique (device, seq) was
+ *            accepted exactly once and every duplicate rejected;
+ *            exits 1 on a mismatch.
+ *
+ *   smoke  — serve + load in one process (no fork, no port file),
+ *            for sanitizer legs in CI where a single binary is
+ *            easiest to wrap.
+ *
+ * Durability flags mirror nazar_ops sim: --persist-dir= puts a WAL
+ * and snapshots under the dir, --fsync= picks the sync mode, and
+ * --group-commit=0 forces per-record flushing for comparison runs.
+ */
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "net/fault.h"
+#include "nn/classifier.h"
+#include "server/ingest_server.h"
+#include "server/load_gen.h"
+#include "sim/cloud.h"
+
+using namespace nazar;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  nazar_served serve [--port=N] [--port-file=<path>] "
+        "[--persist-dir=<dir> --snapshot-every=N "
+        "--fsync=flush|fdatasync|fsync] "
+        "[--group-commit=0|1 --max-batch=N]\n"
+        "  nazar_served load --port=N [--clients=N --events=N "
+        "--drop=P --dup=P --fault-seed=S]\n"
+        "  nazar_served smoke [--clients=N --events=N --drop=P "
+        "--dup=P --fault-seed=S] [--persist-dir=<dir> ...]\n");
+    return 2;
+}
+
+/** The small fixed base every serve-mode cloud adapts around. */
+nn::Classifier
+serveBase()
+{
+    return nn::Classifier(nn::Architecture::kResNet18, 8, 4, 1);
+}
+
+/** Everything both serve and smoke need to bring a server up. */
+struct ServeOptions
+{
+    uint16_t port = 0;
+    std::string portFile;
+    server::ServerConfig server;
+    persist::PersistConfig persist;
+};
+
+struct LoadOptions
+{
+    uint16_t port = 0;
+    server::LoadConfig load;
+};
+
+void
+printLoadStats(const server::LoadStats &stats)
+{
+    std::printf("LOADGEN sent=%zu accepted=%zu rejected=%zu "
+                "gaveUp=%zu duplicates=%zu retries=%zu "
+                "dictStrings=%zu dictHits=%zu\n",
+                stats.sent, stats.acksAccepted, stats.acksRejected,
+                stats.gaveUp, stats.duplicates, stats.retries,
+                stats.dictStrings, stats.dictHits);
+    std::printf("LOADGEN eventsPerSec=%.0f p50Ms=%.3f p99Ms=%.3f\n",
+                stats.eventsPerSec, stats.p50Ms, stats.p99Ms);
+    std::printf(stats.reconciled ? "RECONCILED ok\n"
+                                 : "RECONCILED MISMATCH\n");
+}
+
+int
+cmdServe(const ServeOptions &opts)
+{
+    nn::Classifier base = serveBase();
+    sim::CloudConfig config;
+    config.persist = opts.persist;
+    sim::Cloud cloud(config, base);
+
+    server::IngestServer server(cloud, opts.server);
+    server.start();
+    std::printf("SERVED listening port=%u groupCommit=%d\n",
+                static_cast<unsigned>(server.port()),
+                opts.server.groupCommit ? 1 : 0);
+    std::fflush(stdout);
+    if (!opts.portFile.empty()) {
+        // Write-then-rename so a polling driver never reads a
+        // half-written port number.
+        std::string tmp = opts.portFile + ".tmp";
+        {
+            std::ofstream out(tmp);
+            NAZAR_CHECK(out.good(),
+                        "cannot write port file: " + tmp);
+            out << server.port() << "\n";
+        }
+        NAZAR_CHECK(std::rename(tmp.c_str(),
+                                opts.portFile.c_str()) == 0,
+                    "cannot move port file into place: " +
+                        opts.portFile);
+    }
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    while (!g_stop)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    server.stop();
+    server::ServerStats stats = server.stats();
+    std::printf("SERVED connections=%zu ingested=%zu dedup=%zu "
+                "batches=%zu cycles=%zu flushes=%zu "
+                "protocolErrors=%zu clean shutdown\n",
+                stats.connections, cloud.totalIngested(),
+                cloud.dedupHits(), stats.batches, stats.cycles,
+                stats.flushes, stats.protocolErrors);
+    return 0;
+}
+
+int
+cmdLoad(const LoadOptions &opts)
+{
+    server::LoadConfig load = opts.load;
+    load.port = opts.port;
+    NAZAR_CHECK(load.port != 0, "load mode needs --port=N");
+    server::LoadStats stats = server::runLoad(load);
+    printLoadStats(stats);
+    return stats.reconciled ? 0 : 1;
+}
+
+int
+cmdSmoke(const ServeOptions &serve_opts, const LoadOptions &load_opts)
+{
+    nn::Classifier base = serveBase();
+    sim::CloudConfig config;
+    config.persist = serve_opts.persist;
+    sim::Cloud cloud(config, base);
+    server::IngestServer server(cloud, serve_opts.server);
+    server.start();
+
+    server::LoadConfig load = load_opts.load;
+    load.port = server.port();
+    server::LoadStats stats = server::runLoad(load);
+    printLoadStats(stats);
+
+    server.stop();
+    server::ServerStats ss = server.stats();
+    bool tallies_match = cloud.totalIngested() == stats.acksAccepted &&
+                         cloud.dedupHits() == stats.acksRejected &&
+                         ss.protocolErrors == 0;
+    std::printf("SERVED connections=%zu ingested=%zu dedup=%zu "
+                "batches=%zu protocolErrors=%zu clean shutdown\n",
+                ss.connections, cloud.totalIngested(),
+                cloud.dedupHits(), ss.batches, ss.protocolErrors);
+    return stats.reconciled && tallies_match ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        if (argc < 2)
+            return usage();
+        std::string cmd = argv[1];
+
+        ServeOptions serve;
+        LoadOptions load;
+        auto probFlag = [](const std::string &arg,
+                           const std::string &flag, double &out) {
+            if (arg.rfind(flag, 0) != 0)
+                return false;
+            out = std::stod(arg.substr(flag.size()));
+            return true;
+        };
+        for (int i = 2; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind("--port=", 0) == 0) {
+                int port = std::stoi(arg.substr(7));
+                NAZAR_CHECK(port >= 0 && port <= 65535,
+                            "port out of range: " + arg);
+                serve.port = static_cast<uint16_t>(port);
+                load.port = static_cast<uint16_t>(port);
+                serve.server.port = serve.port;
+            } else if (arg.rfind("--port-file=", 0) == 0)
+                serve.portFile = arg.substr(12);
+            else if (arg.rfind("--group-commit=", 0) == 0)
+                serve.server.groupCommit =
+                    std::stoi(arg.substr(15)) != 0;
+            else if (arg.rfind("--max-batch=", 0) == 0)
+                serve.server.maxBatch = std::stoul(arg.substr(12));
+            else if (arg.rfind("--persist-dir=", 0) == 0)
+                serve.persist.dir = arg.substr(14);
+            else if (arg.rfind("--snapshot-every=", 0) == 0)
+                serve.persist.snapshotEvery =
+                    std::stoull(arg.substr(17));
+            else if (arg.rfind("--fsync=", 0) == 0)
+                serve.persist.sync =
+                    persist::syncModeFromString(arg.substr(8));
+            else if (arg.rfind("--clients=", 0) == 0)
+                load.load.clients = std::stoul(arg.substr(10));
+            else if (arg.rfind("--events=", 0) == 0)
+                load.load.eventsPerClient = std::stoul(arg.substr(9));
+            else if (probFlag(arg, "--drop=", load.load.chaos.dropProb) ||
+                     probFlag(arg, "--dup=", load.load.chaos.dupProb))
+                continue;
+            else if (arg.rfind("--fault-seed=", 0) == 0)
+                load.load.chaos.seed = std::stoull(arg.substr(13));
+            else
+                return usage();
+        }
+
+        setLogLevel(LogLevel::kWarn);
+        if (cmd == "serve")
+            return cmdServe(serve);
+        if (cmd == "load")
+            return cmdLoad(load);
+        if (cmd == "smoke")
+            return cmdSmoke(serve, load);
+        return usage();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
