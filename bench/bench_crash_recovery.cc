@@ -145,6 +145,7 @@ main(int argc, char **argv)
     std::printf("{\n");
     std::printf("  \"bench\": \"crash_recovery\",\n");
     std::printf("  \"quick\": %s,\n", quick ? "true" : "false");
+    std::printf("  %s,\n", bench::hostMetaJson().c_str());
     std::printf("  \"results\": [\n");
     for (size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];

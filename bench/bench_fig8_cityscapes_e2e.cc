@@ -22,6 +22,7 @@ main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
     bench::MetricsExport metrics(argc, argv);
+    bench::TraceExport trace(argc, argv);
     bench::printHeader("Figures 8a/8b/8d",
                        "Cityscapes end-to-end workload");
     bench::printPaperNote("8a: Nazar +10.1-19.4% over adapt-all on "

@@ -20,6 +20,7 @@ main(int argc, char **argv)
 {
     bench::QuietLogs quiet;
     bench::MetricsExport metrics(argc, argv);
+    bench::TraceExport trace(argc, argv);
     bench::printHeader("Figure 9c",
                        "Animals e2e with class skew (alpha = 1)");
     bench::printPaperNote("S3/8 windows: Nazar <= adapt-all; S3/4 "

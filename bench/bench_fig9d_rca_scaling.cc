@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "driftlog/drift_log.h"
 #include "obs/export.h"
@@ -186,6 +187,7 @@ runThreadSweep(bool quick)
     std::printf("  \"bench\": \"fig9d_rca_scaling\",\n");
     std::printf("  \"rows\": %zu,\n", rows);
     std::printf("  \"hardware_concurrency\": %u,\n", cores);
+    std::printf("  %s,\n", bench::hostMetaJson().c_str());
     std::printf("  \"note\": \"%s\",\n",
                 cores <= 1
                     ? "1-core machine: speedups ~1.0 expected; only "

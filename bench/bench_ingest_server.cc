@@ -14,7 +14,13 @@
  * classic group-commit win — while recovered state stays identical
  * (tested in test_server.cc, byte-level in test_persist.cc).
  *
+ * Each result row also carries the server-side per-stage latency
+ * breakdown (queue wait, batch encode, WAL sync, ack write) read back
+ * from the obs histograms, so the group-commit win is attributable to
+ * a stage, not just visible in the end-to-end number.
+ *
  * Usage: bench_ingest_server [--quick] [--metrics-out=<path>]
+ *                            [--trace-out=<trace.json>]
  *   --quick shrinks the workload (CI smoke run).
  */
 #include <unistd.h>
@@ -44,11 +50,15 @@ struct Row
     double p99Ms;
     size_t messages;
     size_t batches;
+    std::vector<server::StageStat> stages;
 };
 
 Row
 runPoint(bool group, size_t clients, size_t events_per_client)
 {
+    // Each point gets a fresh registry so its stage histograms are not
+    // polluted by the previous point's samples.
+    obs::Registry::global().reset();
     std::filesystem::path dir =
         std::filesystem::temp_directory_path() /
         ("nazar_bench_ingest_" + std::to_string(::getpid()));
@@ -81,6 +91,7 @@ runPoint(bool group, size_t clients, size_t events_per_client)
     row.p99Ms = stats.p99Ms;
     row.messages = stats.sent;
     row.batches = server.stats().batches;
+    row.stages = stats.stages;
     std::filesystem::remove_all(dir);
     return row;
 }
@@ -95,6 +106,7 @@ main(int argc, char **argv)
         if (std::strcmp(argv[i], "--quick") == 0)
             quick = true;
     bench::MetricsExport metrics(argc, argv);
+    bench::TraceExport trace(argc, argv);
     bench::QuietLogs quiet;
     setLogLevel(LogLevel::kSilent);
 
@@ -114,16 +126,27 @@ main(int argc, char **argv)
     std::printf("  \"quick\": %s,\n", quick ? "true" : "false");
     std::printf("  \"eventsPerClient\": %zu,\n", events_per_client);
     std::printf("  \"syncMode\": \"fdatasync\",\n");
+    std::printf("  %s,\n", bench::hostMetaJson("fdatasync").c_str());
     std::printf("  \"results\": [\n");
     for (size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];
         std::printf(
             "    {\"groupCommit\": %s, \"clients\": %zu, "
             "\"eventsPerSec\": %.0f, \"p50Ms\": %.3f, "
-            "\"p99Ms\": %.3f, \"messages\": %zu, \"batches\": %zu}%s\n",
+            "\"p99Ms\": %.3f, \"messages\": %zu, \"batches\": %zu,\n",
             r.groupCommit ? "true" : "false", r.clients,
-            r.eventsPerSec, r.p50Ms, r.p99Ms, r.messages, r.batches,
-            i + 1 < rows.size() ? "," : "");
+            r.eventsPerSec, r.p50Ms, r.p99Ms, r.messages, r.batches);
+        std::printf("     \"stages\": [");
+        for (size_t s = 0; s < r.stages.size(); ++s) {
+            const server::StageStat &st = r.stages[s];
+            std::printf("%s\n      {\"stage\": \"%s\", "
+                        "\"count\": %llu, \"p50Ms\": %.4f, "
+                        "\"p99Ms\": %.4f, \"meanMs\": %.4f}",
+                        s == 0 ? "" : ",", st.name.c_str(),
+                        static_cast<unsigned long long>(st.count),
+                        st.p50Ms, st.p99Ms, st.meanMs);
+        }
+        std::printf("]}%s\n", i + 1 < rows.size() ? "," : "");
     }
     std::printf("  ]\n}\n");
     return 0;

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "obs/export.h"
@@ -122,6 +123,7 @@ main(int argc, char **argv)
     std::printf("  \"matmul_dim\": %zu,\n", dim);
     std::printf("  \"hardware_concurrency\": %u,\n",
                 std::thread::hardware_concurrency());
+    std::printf("  %s,\n", nazar::bench::hostMetaJson().c_str());
     std::printf("  \"results\": [\n");
     for (size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];

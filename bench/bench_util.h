@@ -10,14 +10,19 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/rng.h"
 #include "obs/export.h"
+#include "obs/span.h"
 #include "data/apps.h"
 #include "data/stream.h"
+#include "runtime/thread_pool.h"
 #include "sim/runner.h"
 #include "data/corruption.h"
 #include "nn/classifier.h"
@@ -188,6 +193,75 @@ struct MetricsExport
         }
     }
 };
+
+/**
+ * RAII: honor a `--trace-out=<path>` flag. When present, causal
+ * tracing is switched on for the bench's lifetime and the trace rings
+ * are written as Chrome trace_event JSON (Perfetto-loadable) at scope
+ * exit. With no flag this is a no-op and tracing stays off.
+ */
+struct TraceExport
+{
+    std::string path;
+
+    TraceExport(int argc, char **argv)
+    {
+        const std::string flag = "--trace-out=";
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind(flag, 0) == 0)
+                path = arg.substr(flag.size());
+        }
+        if (!path.empty()) {
+            obs::setTracing(true);
+            obs::setThreadName("main");
+        }
+    }
+
+    ~TraceExport()
+    {
+        if (path.empty())
+            return;
+        try {
+            obs::writeTraceFile(path);
+            // stderr: a bench's stdout may be one pure JSON document.
+            std::fprintf(stderr,
+                         "trace: %zu events (%zu dropped) -> %s\n",
+                         obs::traceEvents().size(), obs::traceDropped(),
+                         path.c_str());
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "trace export failed: %s\n",
+                         e.what());
+        }
+    }
+};
+
+/**
+ * JSON fragment describing the machine a bench ran on, so a committed
+ * artifact (e.g. a 1-core container's scaling numbers) is
+ * self-describing. Emit inside the top-level object:
+ *
+ *   "host": {"cores": 8, "nazarThreadsEnv": "4", "threads": 4
+ *            [, "syncMode": "fdatasync"]},
+ */
+inline std::string
+hostMetaJson(const std::string &sync_mode = "")
+{
+    std::ostringstream os;
+    os << "\"host\": {\"cores\": "
+       << std::thread::hardware_concurrency();
+    const char *env = std::getenv("NAZAR_THREADS");
+    os << ", \"nazarThreadsEnv\": ";
+    if (env != nullptr)
+        os << "\"" << env << "\"";
+    else
+        os << "null";
+    os << ", \"threads\": " << runtime::configuredThreads();
+    if (!sync_mode.empty())
+        os << ", \"syncMode\": \"" << sync_mode << "\"";
+    os << "}";
+    return os.str();
+}
 
 } // namespace nazar::bench
 

@@ -159,6 +159,56 @@ if [ "$DO_RELEASE" = 1 ]; then
     ./build-ci/tools/nazar_ops recover build-ci/served_state \
         > /dev/null
     ./build-ci/bench/bench_ingest_server --quick > /dev/null
+    # Causal-tracing smoke: a chaotic in-process served run with
+    # tracing on must produce a Perfetto-loadable Chrome trace where a
+    # device upload's trace id links the client send through the
+    # server's reader/committer threads to the WAL sync and the ack —
+    # and the summarizer must be able to read its critical path.
+    echo "==== causal tracing smoke (Release) ===="
+    rm -rf build-ci/trace_state build-ci/served_trace.json
+    ./build-ci/tools/nazar_served smoke \
+        --clients=2 --events=80 --drop=0.2 --dup=0.1 --fault-seed=7 \
+        --persist-dir=build-ci/trace_state --fsync=fdatasync \
+        --trace-out=build-ci/served_trace.json \
+        > build-ci/served_trace.log
+    grep -q "RECONCILED ok" build-ci/served_trace.log || {
+        echo "tracing smoke: load did not reconcile" >&2; exit 1; }
+    grep -q "LOADGEN stage server.queue_wait" \
+        build-ci/served_trace.log || {
+        echo "tracing smoke: no per-stage breakdown" >&2; exit 1; }
+    if command -v python3 > /dev/null; then
+        python3 - build-ci/served_trace.json <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+events = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+names = {e["name"] for e in events}
+for need in ("net.client.ingest", "server.queue_wait",
+             "persist.wal.sync", "server.ack"):
+    assert need in names, f"missing span: {need}"
+spans = {(e["args"]["trace"], e["args"]["span"]): e for e in events}
+linked = 0
+for e in events:
+    parent = (e["args"]["trace"], e["args"]["parent"])
+    if e["args"]["parent"] != "0" and parent in spans:
+        tids = {e["tid"], spans[parent]["tid"]}
+        if e["name"].startswith("server.") and len(tids) >= 2:
+            linked += 1
+assert linked > 0, "no cross-thread parent links resolved"
+print(f"tracing smoke: {len(events)} events, "
+      f"{linked} cross-thread links")
+EOF
+    fi
+    ./build-ci/tools/nazar_ops trace build-ci/served_trace.json \
+        > build-ci/trace_summary.out
+    grep -q "critical path" build-ci/trace_summary.out || {
+        echo "tracing smoke: no critical-path summary" >&2; exit 1; }
+    # Tracing off must be bit-identical to never-traced runs at both
+    # pool widths (the gtest drives the full fleet loop both ways).
+    echo "==== tracing-off bit-identical (Release) ===="
+    ./build-ci/tests/test_obs --gtest_filter=\
+'ObsDeterminism.TracingOnOffBitIdenticalAcrossThreadCounts' \
+        > /dev/null
 fi
 
 if [ "$DO_TSAN" = 1 ]; then
@@ -174,6 +224,11 @@ if [ "$DO_TSAN" = 1 ]; then
     echo "==== obs registry stress (TSAN) ===="
     ./build-tsan/tests/test_obs \
         --gtest_filter='ObsTest.ConcurrentRegistryStress'
+    # And the trace rings: 8 threads appending spans concurrently with
+    # tracing on must be race-free and lose nothing uncounted.
+    echo "==== trace ring stress (TSAN) ===="
+    ./build-tsan/tests/test_obs \
+        --gtest_filter='ObsTest.TraceRingsConcurrentStress'
     # Chaos smoke under TSAN: the faulted channel + idempotent ingest
     # must be race-free at both pool widths.
     for threads in 1 4; do

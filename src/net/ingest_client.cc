@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace nazar::net {
 
@@ -49,8 +50,26 @@ IngestClient::sendIngest(const WireIngest &m)
     // Encode only after the drop decision: a given-up message must
     // not advance the string dictionary, or the server's mirror
     // would fall out of lockstep.
-    std::string frame =
-        encodeFrame(MsgType::kIngest, encodeIngest(m, dict_));
+    std::string payload;
+    if (obs::enabled() && obs::tracing()) {
+        // Mint this upload's root context; its ids ride the wire so
+        // the server's stage spans join the same trace. The root span
+        // itself is recorded when the ack closes it (see onAck).
+        obs::TraceContext ctx = obs::newTraceContext();
+        WireIngest traced = m;
+        traced.traceId = ctx.traceId;
+        traced.spanId = ctx.spanId;
+        static obs::SpanSite encodeSite("net.client.encode");
+        auto t0 = std::chrono::steady_clock::now();
+        payload = encodeIngest(traced, dict_);
+        obs::recordSpan(encodeSite, t0,
+                        std::chrono::steady_clock::now(), ctx);
+        pendingTraces_[{m.device, m.seq}] = {ctx.traceId, ctx.spanId,
+                                             t0};
+    } else {
+        payload = encodeIngest(m, dict_);
+    }
+    std::string frame = encodeFrame(MsgType::kIngest, payload);
     NAZAR_CHECK(stream_.sendBytes(frame),
                 "ingest client: server closed during send");
     ++stats_.sent;
@@ -85,6 +104,21 @@ IngestClient::onAck(const Frame &frame)
         ++stats_.acksAccepted;
     else
         ++stats_.acksRejected;
+    if (!pendingTraces_.empty()) {
+        auto it = pendingTraces_.find({ack.device, ack.seq});
+        if (it != pendingTraces_.end()) {
+            // Close the upload's root span: send → ack, with the id
+            // the wire carried so server-side children parent to it.
+            // (A duplicate's second ack finds no entry and is skipped.)
+            static obs::SpanSite rootSite("net.client.ingest");
+            obs::recordSpan(
+                rootSite, it->second.start,
+                std::chrono::steady_clock::now(),
+                obs::TraceContext{it->second.traceId, 0},
+                it->second.spanId);
+            pendingTraces_.erase(it);
+        }
+    }
     if (ackObserver_)
         ackObserver_(ack);
 }

@@ -26,9 +26,12 @@
 #ifndef NAZAR_NET_INGEST_CLIENT_H
 #define NAZAR_NET_INGEST_CLIENT_H
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -131,6 +134,21 @@ class IngestClient
     /** Blocking receive that treats EOF as a protocol error. */
     Frame expectFrame();
 
+    /**
+     * A traced in-flight ingest: the root context minted at send time
+     * (its ids rode the wire) and the send timestamp. Closed into the
+     * `net.client.ingest` root span when the ack arrives, so the root
+     * covers send → ack and every server-side child links under it.
+     * Present only while obs tracing is on; otherwise no entries are
+     * ever created and the send path is untouched.
+     */
+    struct PendingTrace
+    {
+        uint64_t traceId = 0;
+        uint64_t spanId = 0;
+        std::chrono::steady_clock::time_point start;
+    };
+
     TcpStream stream_;
     StringDict dict_;
     FaultConfig chaos_;
@@ -140,6 +158,7 @@ class IngestClient
     uint64_t outstanding_ = 0;
     WireHelloAck helloAck_;
     std::function<void(const WireAck &)> ackObserver_;
+    std::map<std::pair<int64_t, uint64_t>, PendingTrace> pendingTraces_;
 };
 
 } // namespace nazar::net

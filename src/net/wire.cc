@@ -201,6 +201,13 @@ encodeIngest(const WireIngest &m, StringDict &dict)
         putAttributeSetInterned(w, m.upload->context, dict);
         w.putBool(m.upload->driftFlag);
     }
+    if (m.traceId != 0) {
+        w.putU8(1); // Extension count.
+        w.putU8(kExtTraceContext);
+        w.putU32(16);
+        w.putU64(m.traceId);
+        w.putU64(m.spanId);
+    }
     return w.take();
 }
 
@@ -231,6 +238,21 @@ decodeIngest(const std::string &payload, StringDict &dict)
         up.context = getAttributeSetInterned(r, dict);
         up.driftFlag = r.getBool();
         m.upload = std::move(up);
+    }
+    if (!r.atEnd()) {
+        uint8_t extCount = r.getU8();
+        for (uint8_t i = 0; i < extCount; ++i) {
+            uint8_t tag = r.getU8();
+            uint32_t len = r.getU32();
+            NAZAR_CHECK(len <= r.remaining(),
+                        "wire: extension length exceeds frame");
+            if (tag == kExtTraceContext && len == 16) {
+                m.traceId = r.getU64();
+                m.spanId = r.getU64();
+            } else {
+                r.skip(len); // Unknown tag: forward compatible.
+            }
+        }
     }
     NAZAR_CHECK(r.atEnd(), "wire: trailing bytes in kIngest payload");
     return m;

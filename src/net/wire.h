@@ -29,6 +29,16 @@
  *     kBye          client→server  end of session
  *     kByeAck       server→client  final server tallies
  *
+ * Extensions: a kIngest payload may end with an optional extension
+ * block — [u8 extCount] then per extension [u8 tag][u32 len][bytes].
+ * Decoders skip unknown tags (forward compatible: an old peer built
+ * before a tag existed ignores it), and an absent block encodes
+ * byte-identically to the pre-extension protocol, so extension-free
+ * peers interoperate unchanged. Tag 1 (kExtTraceContext) carries the
+ * obs trace context (u64 traceId + u64 spanId) so a device upload's
+ * causal trace continues across the process boundary into the
+ * server's reader and committer threads.
+ *
  * String interning: device ids, locations, weather strings and
  * attribute columns repeat in almost every kIngest payload, so each
  * connection direction carries a StringDict. The first occurrence of
@@ -136,6 +146,9 @@ class StringDict
     uint64_t hits_ = 0;
 };
 
+/** kIngest extension tags (see the extension-block format above). */
+inline constexpr uint8_t kExtTraceContext = 1;
+
 /** One kIngest payload: what ingestFrom() takes, in persist types. */
 struct WireIngest
 {
@@ -143,6 +156,11 @@ struct WireIngest
     uint64_t seq = 0;
     driftlog::DriftLogEntry entry;
     std::optional<persist::UploadRecord> upload;
+    /** Causal trace context (obs::TraceContext ids; 0 = untraced).
+     *  Only encoded when traceId != 0 — untraced payloads are
+     *  byte-identical to the extension-free protocol. */
+    uint64_t traceId = 0;
+    uint64_t spanId = 0;
 };
 
 std::string encodeIngest(const WireIngest &m, StringDict &dict);

@@ -130,8 +130,8 @@ writeJson(const Snapshot &snap, std::ostream &os)
     os << (first ? "" : "\n  ") << "}";
 
     std::vector<TraceEvent> trace = traceEvents();
+    os << ",\n  \"trace_dropped\": " << traceDropped();
     if (!trace.empty()) {
-        os << ",\n  \"trace_dropped\": " << traceDropped();
         os << ",\n  \"trace\": [";
         for (size_t i = 0; i < trace.size(); ++i) {
             os << (i ? ",\n    " : "\n    ") << "{\"name\": \""
@@ -139,7 +139,9 @@ writeJson(const Snapshot &snap, std::ostream &os)
                << "\", \"tid\": " << trace[i].threadId
                << ", \"start\": " << jsonNumber(trace[i].startSeconds)
                << ", \"dur\": " << jsonNumber(trace[i].durationSeconds)
-               << "}";
+               << ", \"trace\": " << trace[i].traceId
+               << ", \"span\": " << trace[i].spanId
+               << ", \"parent\": " << trace[i].parentId << "}";
         }
         os << "\n  ]";
     }
@@ -161,6 +163,8 @@ writePrometheus(const Snapshot &snap, std::ostream &os)
         os << "# TYPE " << p << " gauge\n";
         os << p << " " << promNumber(value) << "\n";
     }
+    os << "# TYPE nazar_obs_trace_dropped gauge\n";
+    os << "nazar_obs_trace_dropped " << traceDropped() << "\n";
     for (const auto &[name, h] : snap.histograms) {
         std::string p = promName(name);
         os << "# TYPE " << p << " histogram\n";
@@ -192,6 +196,53 @@ writeMetricsFile(const std::string &path)
     else
         writeJson(snap, out);
     NAZAR_CHECK(out.good(), "error writing metrics file: " + path);
+}
+
+void
+writeChromeTrace(std::ostream &os)
+{
+    std::vector<TraceEvent> trace = traceEvents();
+    os << "{\"displayTimeUnit\": \"ms\",\n";
+    os << " \"otherData\": {\"trace_dropped\": \"" << traceDropped()
+       << "\"},\n";
+    os << " \"traceEvents\": [\n";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+    sep();
+    os << "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, "
+          "\"args\": {\"name\": \"nazar\"}}";
+    for (const auto &[tid, name] : threadNames()) {
+        sep();
+        os << "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, "
+              "\"tid\": "
+           << tid << ", \"args\": {\"name\": \"" << jsonEscape(name)
+           << "\"}}";
+    }
+    for (const TraceEvent &ev : trace) {
+        sep();
+        os << "{\"ph\": \"X\", \"name\": \"" << jsonEscape(ev.name)
+           << "\", \"cat\": \"nazar\", \"pid\": 1, \"tid\": "
+           << ev.threadId
+           << ", \"ts\": " << jsonNumber(ev.startSeconds * 1e6)
+           << ", \"dur\": " << jsonNumber(ev.durationSeconds * 1e6)
+           << ", \"args\": {\"trace\": \"" << ev.traceId
+           << "\", \"span\": \"" << ev.spanId << "\", \"parent\": \""
+           << ev.parentId << "\"}}";
+    }
+    os << "\n]}\n";
+}
+
+void
+writeTraceFile(const std::string &path)
+{
+    std::ofstream out(path);
+    NAZAR_CHECK(out.good(), "cannot write trace file: " + path);
+    writeChromeTrace(out);
+    NAZAR_CHECK(out.good(), "error writing trace file: " + path);
 }
 
 } // namespace nazar::obs

@@ -27,11 +27,14 @@ namespace nazar::obs {
  *                                    {"le": "+Inf", "count": 3}]},
  *       ...
  *     },
- *     "trace": [{"name": ..., "tid": 0, "start": ..., "dur": ...}]
+ *     "trace_dropped": 0,
+ *     "trace": [{"name": ..., "tid": 0, "start": ..., "dur": ...,
+ *                "trace": ..., "span": ..., "parent": ...}]
  *   }
  *
- * The "trace" array is present only when the trace buffer holds
- * events. Span histograms appear under their exact span name.
+ * "trace_dropped" is always present (silent ring-buffer drops must be
+ * visible); the "trace" array only when the trace rings hold events.
+ * Span histograms appear under their exact span name.
  */
 void writeJson(const Snapshot &snap, std::ostream &os);
 
@@ -49,6 +52,32 @@ void writePrometheus(const Snapshot &snap, std::ostream &os);
  * else JSON. Throws NazarError when the file cannot be written.
  */
 void writeMetricsFile(const std::string &path);
+
+/**
+ * Write the trace rings as Chrome `trace_event` JSON, loadable in
+ * Perfetto (ui.perfetto.dev) or chrome://tracing:
+ *
+ *   {"displayTimeUnit": "ms",
+ *    "otherData": {"trace_dropped": "0"},
+ *    "traceEvents": [
+ *      {"ph": "M", "name": "thread_name", "pid": 1, "tid": 3,
+ *       "args": {"name": "server.committer"}},
+ *      {"ph": "X", "name": "persist.wal.sync", "cat": "nazar",
+ *       "pid": 1, "tid": 3, "ts": 1234.5, "dur": 88.0,
+ *       "args": {"trace": "17", "span": "42", "parent": "17"}},
+ *      ...]}
+ *
+ * Complete duration events ("X", ts/dur in microseconds since the
+ * registry epoch); span/trace/parent ids ride in `args` as decimal
+ * strings (Chrome JSON has no 64-bit integers). Threads named via
+ * obs::setThreadName get a `thread_name` metadata event so Perfetto
+ * labels their lanes. One event per line, so `nazar_ops trace` can
+ * read the file back without a full JSON parser.
+ */
+void writeChromeTrace(std::ostream &os);
+
+/** writeChromeTrace to @p path. Throws NazarError on I/O failure. */
+void writeTraceFile(const std::string &path);
 
 } // namespace nazar::obs
 

@@ -5,6 +5,7 @@
 #include "metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace nazar::obs {
 
@@ -67,6 +68,34 @@ Counter::reset()
 }
 
 // ---- Histogram ------------------------------------------------------
+
+double
+HistogramSnapshot::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    uint64_t target = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    if (target < 1)
+        target = 1;
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < buckets.size(); ++b) {
+        uint64_t prev = cumulative;
+        cumulative += buckets[b];
+        if (cumulative < target)
+            continue;
+        double lo = b == 0 ? 0.0 : bounds[b - 1];
+        if (b >= bounds.size())
+            return lo; // Open +Inf bucket: report its lower edge.
+        double frac =
+            buckets[b] ? static_cast<double>(target - prev) /
+                             static_cast<double>(buckets[b])
+                       : 1.0;
+        return lo + (bounds[b] - lo) * frac;
+    }
+    return bounds.empty() ? 0.0 : bounds.back();
+}
 
 Histogram::Histogram(std::string name, std::vector<double> bounds)
     : name_(std::move(name)), bounds_(std::move(bounds)),

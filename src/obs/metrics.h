@@ -156,6 +156,14 @@ struct HistogramSnapshot
     {
         return count ? sum / static_cast<double>(count) : 0.0;
     }
+
+    /**
+     * Estimate the q-quantile (q in [0,1]) by linear interpolation
+     * within the bucket holding the target rank. Returns 0 when
+     * empty; the open +Inf bucket reports its lower edge (a
+     * conservative underestimate).
+     */
+    double quantile(double q) const;
 };
 
 /**

@@ -1,10 +1,18 @@
 /**
  * @file
- * Implementation of scoped spans and the trace buffer.
+ * Implementation of scoped spans, the thread-local trace-context
+ * stack, and the striped trace ring buffers.
  */
 #include "span.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <mutex>
+#include <utility>
+
+#include "common/logging.h"
 
 namespace nazar::obs {
 
@@ -12,22 +20,172 @@ namespace {
 
 std::atomic<bool> g_tracing{false};
 
-std::mutex g_trace_mu;
-std::vector<TraceEvent> g_trace;
-size_t g_trace_dropped = 0;
+/** Span-id allocator; 0 is reserved for "no span". */
+std::atomic<uint64_t> g_next_span_id{1};
+
+uint64_t
+nextSpanId()
+{
+    return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+/**
+ * Per-thread stack of active contexts (ScopedSpan frames and adopted
+ * ScopedTraceContexts). The top is the parent of the next span opened
+ * on this thread. Spans usually pop LIFO; an early stop() while a
+ * child is still open is handled by erasing the span's own frame
+ * wherever it sits.
+ */
+thread_local std::vector<TraceContext> t_span_stack;
+
+/**
+ * One trace ring stripe. Threads hash onto stripes by their obs
+ * thread id, so with <= kTraceStripes recording threads each has a
+ * private stripe and the mutex is uncontended; the bound applies per
+ * stripe (a single-threaded run sees exactly traceCapacity() events,
+ * like the old single-buffer design).
+ */
+struct alignas(64) TraceStripe
+{
+    std::mutex mu;
+    std::vector<TraceEvent> events;
+    uint64_t dropped = 0;
+};
+
+TraceStripe g_trace_stripes[kTraceStripes];
+
+size_t
+initialTraceCapacity()
+{
+    if (const char *env = std::getenv("NAZAR_TRACE_CAP")) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(env, &end, 10);
+        if (end != env && v > 0)
+            return static_cast<size_t>(v);
+    }
+    return kDefaultTraceCapacity;
+}
+
+std::atomic<size_t> &
+traceCapacityCell()
+{
+    static std::atomic<size_t> cap{initialTraceCapacity()};
+    return cap;
+}
 
 void
 appendTrace(const TraceEvent &ev)
 {
-    std::lock_guard<std::mutex> lk(g_trace_mu);
-    if (g_trace.size() >= kTraceCapacity) {
-        ++g_trace_dropped;
+    TraceStripe &s =
+        g_trace_stripes[detail::threadId() & (kTraceStripes - 1)];
+    const size_t cap = traceCapacity();
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (s.events.size() >= cap) {
+        ++s.dropped;
         return;
     }
-    g_trace.push_back(ev);
+    s.events.push_back(ev);
+}
+
+std::mutex g_thread_names_mu;
+std::map<size_t, std::string> g_thread_names;
+
+double
+initialSlowOpThreshold()
+{
+    if (const char *env = std::getenv("NAZAR_SLOW_OP_MS")) {
+        char *end = nullptr;
+        double ms = std::strtod(env, &end);
+        if (end != env && ms >= 0.0 && std::isfinite(ms))
+            return ms / 1000.0;
+    }
+    return std::numeric_limits<double>::infinity();
+}
+
+std::atomic<double> &
+slowOpThresholdCell()
+{
+    static std::atomic<double> t{initialSlowOpThreshold()};
+    return t;
+}
+
+/**
+ * Emit at most one slow-op warn line per wall second process-wide: a
+ * slow span first claims the current second via CAS, so a stall that
+ * slows thousands of spans produces a trickle of lines, not a flood.
+ */
+void
+maybeLogSlowOp(const char *name, double seconds, uint64_t traceId)
+{
+    const double threshold =
+        slowOpThresholdCell().load(std::memory_order_relaxed);
+    if (!(seconds >= threshold))
+        return;
+    static std::atomic<int64_t> lastEmitSecond{
+        std::numeric_limits<int64_t>::min()};
+    const int64_t nowSecond =
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    int64_t last = lastEmitSecond.load(std::memory_order_relaxed);
+    if (last == nowSecond ||
+        !lastEmitSecond.compare_exchange_strong(
+            last, nowSecond, std::memory_order_relaxed))
+        return;
+    logWarn() << "slow op: " << name << " took "
+              << seconds * 1e3 << " ms (threshold "
+              << threshold * 1e3 << " ms) trace=" << traceId;
+}
+
+double
+sinceEpochSeconds(std::chrono::steady_clock::time_point t)
+{
+    return std::chrono::duration<double>(
+               t - Registry::global().epoch())
+        .count();
 }
 
 } // namespace
+
+TraceContext
+newTraceContext()
+{
+    uint64_t id = nextSpanId();
+    return {id, id};
+}
+
+TraceContext
+currentTraceContext()
+{
+    if (t_span_stack.empty())
+        return {};
+    return t_span_stack.back();
+}
+
+ScopedTraceContext::ScopedTraceContext(TraceContext ctx)
+    : pushed_(false)
+{
+    if (ctx.valid() && enabled() && tracing()) {
+        t_span_stack.push_back(ctx);
+        pushed_ = true;
+    }
+}
+
+ScopedTraceContext::~ScopedTraceContext()
+{
+    if (pushed_)
+        t_span_stack.pop_back();
+}
+
+void
+ScopedSpan::beginTrace()
+{
+    spanId_ = nextSpanId();
+    TraceContext parent = currentTraceContext();
+    traceId_ = parent.valid() ? parent.traceId : spanId_;
+    parentId_ = parent.spanId;
+    t_span_stack.push_back({traceId_, spanId_});
+}
 
 double
 ScopedSpan::stop()
@@ -39,21 +197,68 @@ ScopedSpan::stop()
     auto end = std::chrono::steady_clock::now();
     double seconds =
         std::chrono::duration<double>(end - start_).count();
+    if (spanId_ != 0) {
+        // Pop this span's frame. Usually the top; an early stop()
+        // with a child still open finds it lower down.
+        for (size_t i = t_span_stack.size(); i-- > 0;) {
+            if (t_span_stack[i].spanId == spanId_) {
+                t_span_stack.erase(t_span_stack.begin() +
+                                   static_cast<ptrdiff_t>(i));
+                break;
+            }
+        }
+    }
     if (enabled()) {
         site->histogram().observe(seconds);
         if (tracing()) {
             TraceEvent ev;
             ev.name = site->name();
             ev.threadId = detail::threadId();
-            ev.startSeconds =
-                std::chrono::duration<double>(
-                    start_ - Registry::global().epoch())
-                    .count();
+            ev.startSeconds = sinceEpochSeconds(start_);
             ev.durationSeconds = seconds;
+            if (spanId_ == 0) {
+                // Tracing flipped on mid-span: mint ids now so the
+                // event is still well-formed (no stack frame to pop).
+                spanId_ = nextSpanId();
+                TraceContext parent = currentTraceContext();
+                traceId_ =
+                    parent.valid() ? parent.traceId : spanId_;
+                parentId_ = parent.spanId;
+            }
+            ev.traceId = traceId_;
+            ev.spanId = spanId_;
+            ev.parentId = parentId_;
             appendTrace(ev);
         }
     }
+    maybeLogSlowOp(site->name(), seconds, traceId_);
     return seconds;
+}
+
+void
+recordSpan(SpanSite &site,
+           std::chrono::steady_clock::time_point start,
+           std::chrono::steady_clock::time_point end,
+           const TraceContext &parent, uint64_t selfId)
+{
+    double seconds = std::chrono::duration<double>(end - start).count();
+    uint64_t traceId = parent.traceId;
+    if (enabled()) {
+        site.histogram().observe(seconds);
+        if (tracing()) {
+            TraceEvent ev;
+            ev.name = site.name();
+            ev.threadId = detail::threadId();
+            ev.startSeconds = sinceEpochSeconds(start);
+            ev.durationSeconds = seconds;
+            ev.spanId = selfId != 0 ? selfId : nextSpanId();
+            ev.traceId = parent.valid() ? parent.traceId : ev.spanId;
+            ev.parentId = parent.spanId;
+            traceId = ev.traceId;
+            appendTrace(ev);
+        }
+    }
+    maybeLogSlowOp(site.name(), seconds, traceId);
 }
 
 void
@@ -68,26 +273,85 @@ tracing()
     return g_tracing.load(std::memory_order_relaxed);
 }
 
+size_t
+traceCapacity()
+{
+    return traceCapacityCell().load(std::memory_order_relaxed);
+}
+
+void
+setTraceCapacity(size_t cap)
+{
+    traceCapacityCell().store(cap > 0 ? cap : 1,
+                              std::memory_order_relaxed);
+}
+
 std::vector<TraceEvent>
 traceEvents()
 {
-    std::lock_guard<std::mutex> lk(g_trace_mu);
-    return g_trace;
+    std::vector<TraceEvent> merged;
+    for (TraceStripe &s : g_trace_stripes) {
+        std::lock_guard<std::mutex> lk(s.mu);
+        merged.insert(merged.end(), s.events.begin(), s.events.end());
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         if (a.startSeconds != b.startSeconds)
+                             return a.startSeconds < b.startSeconds;
+                         return a.spanId < b.spanId;
+                     });
+    return merged;
 }
 
 size_t
 traceDropped()
 {
-    std::lock_guard<std::mutex> lk(g_trace_mu);
-    return g_trace_dropped;
+    size_t total = 0;
+    for (TraceStripe &s : g_trace_stripes) {
+        std::lock_guard<std::mutex> lk(s.mu);
+        total += s.dropped;
+    }
+    return total;
 }
 
 void
 clearTrace()
 {
-    std::lock_guard<std::mutex> lk(g_trace_mu);
-    g_trace.clear();
-    g_trace_dropped = 0;
+    for (TraceStripe &s : g_trace_stripes) {
+        std::lock_guard<std::mutex> lk(s.mu);
+        s.events.clear();
+        s.dropped = 0;
+    }
+}
+
+void
+setThreadName(const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(g_thread_names_mu);
+    g_thread_names[detail::threadId()] = name;
+}
+
+std::map<size_t, std::string>
+threadNames()
+{
+    std::lock_guard<std::mutex> lk(g_thread_names_mu);
+    return g_thread_names;
+}
+
+void
+setSlowOpThresholdSeconds(double seconds)
+{
+    slowOpThresholdCell().store(
+        seconds >= 0.0 && std::isfinite(seconds)
+            ? seconds
+            : std::numeric_limits<double>::infinity(),
+        std::memory_order_relaxed);
+}
+
+double
+slowOpThresholdSeconds()
+{
+    return slowOpThresholdCell().load(std::memory_order_relaxed);
 }
 
 } // namespace nazar::obs

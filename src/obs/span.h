@@ -1,7 +1,7 @@
 /**
  * @file
  * Scoped spans: RAII timers that feed a histogram named after the
- * span plus an optional in-memory trace buffer.
+ * span plus an optional in-memory causal trace.
  *
  * Usage at an instrumentation site:
  *
@@ -20,18 +20,31 @@
  *
  * Span naming scheme: `<layer>.<operation>[.<stage>]` with the layer
  * matching the source directory — runtime.*, nn.*, detect.*,
- * driftlog.*, rca.*, sim.*. The span's histogram appears under that
- * exact name in the JSON snapshot.
+ * driftlog.*, rca.*, sim.*, net.*, server.*, persist.*. The span's
+ * histogram appears under that exact name in the JSON snapshot.
+ *
+ * Causal tracing: with tracing on, every finished span becomes one
+ * TraceEvent carrying a traceId / spanId / parentId triple. A span's
+ * parent is the innermost span still open on the same thread (a
+ * thread-local stack NAZAR_SPAN maintains automatically), or a
+ * foreign context adopted with ScopedTraceContext — e.g. one decoded
+ * off the wire — so one device upload is followable as a single trace
+ * across client, reader and committer threads. recordSpan() covers
+ * the cross-thread stages (queue wait, group commit) whose start and
+ * end are observed on different threads.
  *
  * Spans always measure (two steady_clock reads) so stop() can report
  * wall time even with metrics disabled; recording into the histogram
- * and the trace buffer is gated on obs::enabled() / obs::tracing().
- * Like all of obs, spans are inert: no RNG, no data-path effect.
+ * and the trace rings is gated on obs::enabled() / obs::tracing().
+ * Like all of obs, spans are inert: no RNG, no data-path effect;
+ * tracing-off runs are bit-identical to pre-tracing builds.
  */
 #ifndef NAZAR_OBS_SPAN_H
 #define NAZAR_OBS_SPAN_H
 
 #include <chrono>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -59,9 +72,58 @@ class SpanSite
     Histogram &hist_;
 };
 
+// ---- Trace context --------------------------------------------------
+
+bool tracing(); // Defined below with the trace buffer API.
+
+/**
+ * The causal coordinates a span hands its children: the trace it
+ * belongs to and its own span id (the children's parentId). A zero
+ * traceId means "no context" — spans started under it become roots.
+ */
+struct TraceContext
+{
+    uint64_t traceId = 0;
+    uint64_t spanId = 0;
+
+    bool valid() const { return traceId != 0; }
+};
+
+/** Mint a fresh root context (traceId == spanId, both nonzero). Ids
+ *  come from a process-wide relaxed counter — no RNG. */
+TraceContext newTraceContext();
+
+/** The calling thread's innermost active context: the top of its span
+ *  stack (open ScopedSpan or adopted ScopedTraceContext), or an
+ *  invalid context when the stack is empty. */
+TraceContext currentTraceContext();
+
+/**
+ * Adopt a foreign trace context as the parent for spans opened on
+ * this thread while in scope. Used where causality crosses a thread
+ * or process boundary: the server's committer adopts the context
+ * decoded from a device's kIngest frame so the WAL-sync span it opens
+ * links into that device's trace. Purely a parent-stack push — emits
+ * no event itself.
+ */
+class ScopedTraceContext
+{
+  public:
+    explicit ScopedTraceContext(TraceContext ctx);
+    ~ScopedTraceContext();
+
+    ScopedTraceContext(const ScopedTraceContext &) = delete;
+    ScopedTraceContext &operator=(const ScopedTraceContext &) = delete;
+
+  private:
+    bool pushed_;
+};
+
 /**
  * RAII timer for one execution of a span. Records on destruction
- * unless stop() was called first.
+ * unless stop() was called first. With tracing on, the constructor
+ * assigns span ids and pushes the span onto the thread's parent
+ * stack; stop() pops it and appends the TraceEvent.
  */
 class ScopedSpan
 {
@@ -69,6 +131,8 @@ class ScopedSpan
     explicit ScopedSpan(SpanSite &site)
         : site_(&site), start_(std::chrono::steady_clock::now())
     {
+        if (enabled() && tracing())
+            beginTrace();
     }
 
     ScopedSpan(const ScopedSpan &) = delete;
@@ -84,9 +148,18 @@ class ScopedSpan
      *  Idempotent (later calls return 0 without recording). */
     double stop();
 
+    /** This span's context (valid only while tracing was on at
+     *  construction) — hand it to children on other threads. */
+    TraceContext context() const { return {traceId_, spanId_}; }
+
   private:
+    void beginTrace();
+
     SpanSite *site_; ///< Null once stopped.
     std::chrono::steady_clock::time_point start_;
+    uint64_t traceId_ = 0; ///< Nonzero only when traced from the start.
+    uint64_t spanId_ = 0;
+    uint64_t parentId_ = 0;
 };
 
 /** Time the rest of the enclosing scope under the given span name. */
@@ -112,34 +185,85 @@ class ScopedSpan
 
 // ---- Trace buffer ---------------------------------------------------
 
-/** One completed span occurrence in the trace buffer. */
+/** One completed span occurrence in the trace rings. */
 struct TraceEvent
 {
     const char *name;    ///< Span name (static storage at the site).
     size_t threadId;     ///< obs::detail::threadId() of the recorder.
     double startSeconds; ///< Start, relative to the registry epoch.
     double durationSeconds;
+    uint64_t traceId = 0; ///< Trace this span belongs to.
+    uint64_t spanId = 0;  ///< This span's id (unique per process run).
+    uint64_t parentId = 0; ///< Parent span id; 0 = trace root.
 };
 
 /**
- * Toggle the in-memory trace buffer (default: off). When on, every
- * finished span appends one TraceEvent; the buffer is bounded
- * (kTraceCapacity) and drops new events once full, counting drops.
+ * Toggle the in-memory trace rings (default: off). When on, every
+ * finished span appends one TraceEvent into the calling thread's
+ * stripe; each stripe is bounded (traceCapacity()) and drops new
+ * events once full, counting drops.
  */
 void setTracing(bool on);
 bool tracing();
 
-/** Bounded trace capacity. */
-inline constexpr size_t kTraceCapacity = 8192;
+/** Default per-stripe trace capacity (see traceCapacity()). */
+inline constexpr size_t kDefaultTraceCapacity = 8192;
 
-/** Copy of the buffered events, in completion order. */
+/**
+ * Per-stripe event capacity. Initialized from the NAZAR_TRACE_CAP
+ * environment variable (falling back to kDefaultTraceCapacity);
+ * setTraceCapacity() overrides at runtime (clamped to >= 1, applies
+ * to subsequent appends). The total buffered bound is
+ * capacity × kTraceStripes.
+ */
+size_t traceCapacity();
+void setTraceCapacity(size_t cap);
+
+/** Trace ring stripes (threads hash onto them by obs thread id). */
+inline constexpr size_t kTraceStripes = detail::kStripes;
+
+/**
+ * Record a completed span occurrence whose start and end were
+ * observed by the caller — the cross-thread stages (queue wait,
+ * group commit, ack write) where RAII scoping can't work. Feeds the
+ * site's histogram like a ScopedSpan and, when tracing, appends a
+ * TraceEvent parented to @p parent (invalid parent ⇒ a new root).
+ * @p selfId, when nonzero, becomes the event's span id — mint it
+ * earlier with newTraceContext() when children must link to this
+ * span before it is recorded.
+ */
+void recordSpan(SpanSite &site,
+                std::chrono::steady_clock::time_point start,
+                std::chrono::steady_clock::time_point end,
+                const TraceContext &parent, uint64_t selfId = 0);
+
+/** Merged copy of every stripe's events, ordered by start time. */
 std::vector<TraceEvent> traceEvents();
 
-/** Events dropped since the last clearTrace(). */
+/** Events dropped (rings full) since the last clearTrace(). */
 size_t traceDropped();
 
-/** Empty the buffer and zero the drop counter. */
+/** Empty every stripe and zero the drop counter. */
 void clearTrace();
+
+// ---- Thread names ---------------------------------------------------
+
+/** Name the calling thread for trace exports (Perfetto lanes). */
+void setThreadName(const std::string &name);
+
+/** Copy of the obs-thread-id → name map. */
+std::map<size_t, std::string> threadNames();
+
+// ---- Slow-op log ----------------------------------------------------
+
+/**
+ * Threshold above which a finished span emits one NAZAR_LOG warn line
+ * (name, duration, trace id), rate-limited to at most one line per
+ * second process-wide. Off by default (infinity); also settable via
+ * the NAZAR_SLOW_OP_MS environment variable (milliseconds).
+ */
+void setSlowOpThresholdSeconds(double seconds);
+double slowOpThresholdSeconds();
 
 } // namespace nazar::obs
 

@@ -75,6 +75,10 @@ class Reader
     double getF64();
     std::string getString();
 
+    /** Advance past @p n bytes without decoding them (bounds-checked).
+     *  Lets decoders step over unknown forward-compat fields. */
+    void skip(size_t n) { need(n); }
+
     size_t remaining() const { return len_ - pos_; }
     bool atEnd() const { return pos_ == len_; }
 

@@ -6,11 +6,25 @@
 
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace nazar::server {
 
 using net::Frame;
 using net::MsgType;
+
+namespace {
+
+/** The trace context a kIngest frame carried (invalid when the
+ *  client was untraced — stage spans then become standalone roots,
+ *  recorded into the histograms either way). */
+obs::TraceContext
+ingestContext(const net::WireIngest &m)
+{
+    return {m.traceId, m.spanId};
+}
+
+} // namespace
 
 IngestServer::IngestServer(sim::Cloud &cloud, ServerConfig config)
     : cloud_(cloud), config_(config)
@@ -109,6 +123,7 @@ IngestServer::acceptLoop()
 void
 IngestServer::readerLoop(std::shared_ptr<Conn> conn)
 {
+    obs::setThreadName("server.reader." + std::to_string(conn->id));
     try {
         // Handshake. The reader writes kHelloAck itself — the only
         // frame it ever writes — before enqueuing anything, so the
@@ -140,11 +155,17 @@ IngestServer::readerLoop(std::shared_ptr<Conn> conn)
             WorkItem item;
             item.conn = conn;
             switch (frame->type) {
-              case MsgType::kIngest:
+              case MsgType::kIngest: {
                 item.kind = WorkItem::Kind::kIngest;
+                static obs::SpanSite decodeSite("server.read.decode");
+                auto t0 = std::chrono::steady_clock::now();
                 item.ingest =
                     net::decodeIngest(frame->payload, conn->dict);
+                obs::recordSpan(decodeSite, t0,
+                                std::chrono::steady_clock::now(),
+                                ingestContext(item.ingest));
                 break;
+              }
               case MsgType::kCycleRequest:
                 item.kind = WorkItem::Kind::kCycle;
                 item.cleanPatchText = std::move(frame->payload);
@@ -160,6 +181,7 @@ IngestServer::readerLoop(std::shared_ptr<Conn> conn)
                     "server: unexpected message type " +
                     std::to_string(static_cast<int>(frame->type)));
             }
+            item.enqueueTime = std::chrono::steady_clock::now();
             enqueue(std::move(item));
         }
     } catch (const NazarError &) {
@@ -189,6 +211,7 @@ IngestServer::enqueue(WorkItem item)
 void
 IngestServer::committerLoop()
 {
+    obs::setThreadName("server.committer");
     for (;;) {
         std::unique_lock<std::mutex> lk(queueMutex_);
         queueCv_.wait(lk,
@@ -236,6 +259,20 @@ IngestServer::committerLoop()
 void
 IngestServer::commitBatch(std::vector<WorkItem> &batch)
 {
+    // Stage sites for the per-item latency decomposition. Batch-level
+    // intervals (encode, commit) are observed once per item: every
+    // item in a group commit waits for the whole batch, so the batch
+    // interval IS that item's stage latency.
+    static obs::SpanSite queueWaitSite("server.queue_wait");
+    static obs::SpanSite encodeSite("server.encode");
+    static obs::SpanSite walSyncSite("persist.wal.sync");
+    static obs::SpanSite ackSite("server.ack");
+
+    auto tDequeue = std::chrono::steady_clock::now();
+    for (const auto &item : batch)
+        obs::recordSpan(queueWaitSite, item.enqueueTime, tDequeue,
+                        ingestContext(item.ingest));
+
     std::vector<bool> accepted;
     accepted.reserve(batch.size());
     if (config_.groupCommit) {
@@ -255,8 +292,18 @@ IngestServer::commitBatch(std::vector<WorkItem> &batch)
             }
             msgs.push_back(std::move(m));
         }
+        auto tEncoded = std::chrono::steady_clock::now();
         accepted = cloud_.ingestBatchFrom(std::move(msgs));
+        auto tCommitted = std::chrono::steady_clock::now();
+        for (const auto &item : batch) {
+            obs::TraceContext ctx = ingestContext(item.ingest);
+            obs::recordSpan(encodeSite, tDequeue, tEncoded, ctx);
+            obs::recordSpan(walSyncSite, tEncoded, tCommitted, ctx);
+        }
     } else {
+        // Per-record mode interleaves conversion and commit, so the
+        // whole loop is attributed to the commit stage (no separate
+        // encode stage in this configuration).
         for (auto &item : batch) {
             std::optional<sim::Upload> up;
             if (item.ingest.upload.has_value()) {
@@ -266,9 +313,13 @@ IngestServer::commitBatch(std::vector<WorkItem> &batch)
                 u.driftFlag = item.ingest.upload->driftFlag;
                 up = std::move(u);
             }
+            auto t0 = std::chrono::steady_clock::now();
             accepted.push_back(cloud_.ingestFrom(
                 static_cast<int>(item.ingest.device), item.ingest.seq,
                 item.ingest.entry, std::move(up)));
+            obs::recordSpan(walSyncSite, t0,
+                            std::chrono::steady_clock::now(),
+                            ingestContext(item.ingest));
         }
     }
     for (size_t i = 0; i < batch.size(); ++i) {
@@ -276,9 +327,12 @@ IngestServer::commitBatch(std::vector<WorkItem> &batch)
         ack.device = batch[i].ingest.device;
         ack.seq = batch[i].ingest.seq;
         ack.accepted = accepted[i];
+        auto t0 = std::chrono::steady_clock::now();
         // A false return means the peer vanished; its loss.
         batch[i].conn->stream.sendFrame(MsgType::kAck,
                                         net::encodeAck(ack));
+        obs::recordSpan(ackSite, t0, std::chrono::steady_clock::now(),
+                        ingestContext(batch[i].ingest));
     }
     {
         std::lock_guard<std::mutex> lk(statsMutex_);

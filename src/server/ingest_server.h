@@ -32,10 +32,22 @@
  * Protocol errors (corrupt frame, unknown type, version mismatch)
  * close that connection and count in stats().protocolErrors; they
  * never take the server down.
+ *
+ * Latency attribution: every kIngest's path through the server is
+ * decomposed into stage spans — `server.read.decode` (reader),
+ * `server.queue_wait` (enqueue → committer dequeue), `server.encode`
+ * (wire → sim message conversion), `persist.wal.sync` (the group
+ * commit incl. the WAL sync), `server.ack` (reply write) — recorded
+ * per item into obs histograms, parented to the trace context the
+ * frame carried (net/wire.h kExtTraceContext) when present. Batch
+ * stages (encode, commit) are observed once per item at the batch's
+ * interval: every item in a group commit waits for the whole batch,
+ * so per-item stage sums approximate that item's end-to-end latency.
  */
 #ifndef NAZAR_SERVER_INGEST_SERVER_H
 #define NAZAR_SERVER_INGEST_SERVER_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -128,6 +140,9 @@ class IngestServer
         std::shared_ptr<Conn> conn;
         net::WireIngest ingest;     ///< kIngest only.
         std::string cleanPatchText; ///< kCycle only.
+        /** When the reader enqueued it; the committer's dequeue time
+         *  minus this is the item's `server.queue_wait` stage. */
+        std::chrono::steady_clock::time_point enqueueTime;
     };
 
     void acceptLoop();

@@ -11,6 +11,7 @@
 #include "common/error.h"
 #include "common/sim_date.h"
 #include "net/ingest_client.h"
+#include "obs/span.h"
 
 namespace nazar::server {
 
@@ -67,6 +68,7 @@ struct ClientOutcome
 void
 driveClient(const LoadConfig &config, int index, ClientOutcome &out)
 {
+    obs::setThreadName("load.client." + std::to_string(index));
     try {
         net::FaultConfig chaos = config.chaos;
         chaos.seed = config.chaos.seed + static_cast<uint64_t>(index);
@@ -152,7 +154,33 @@ runLoad(const LoadConfig &config)
         total.p50Ms = pct(0.50);
         total.p99Ms = pct(0.99);
     }
+    // Per-stage breakdown from the obs histograms the server's reader
+    // and committer recorded into. Empty when the server is in another
+    // process (its histograms are not in our registry).
+    obs::Snapshot snap = obs::Registry::global().snapshot();
+    for (const std::string &name : ingestStageNames()) {
+        auto it = snap.histograms.find(name);
+        if (it == snap.histograms.end() || it->second.count == 0)
+            continue;
+        StageStat stage;
+        stage.name = name;
+        stage.count = it->second.count;
+        stage.p50Ms = it->second.quantile(0.50) * 1e3;
+        stage.p99Ms = it->second.quantile(0.99) * 1e3;
+        stage.meanMs = it->second.mean() * 1e3;
+        total.stages.push_back(std::move(stage));
+    }
     return total;
+}
+
+const std::vector<std::string> &
+ingestStageNames()
+{
+    static const std::vector<std::string> names = {
+        "server.read.decode", "server.queue_wait", "server.encode",
+        "persist.wal.sync",   "server.ack",
+    };
+    return names;
 }
 
 } // namespace nazar::server

@@ -17,6 +17,8 @@
 #define NAZAR_SERVER_LOAD_GEN_H
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "net/fault.h"
 
@@ -38,6 +40,22 @@ struct LoadConfig
     net::FaultConfig chaos;
 };
 
+/**
+ * One server-side ingest stage's latency summary, read back from the
+ * obs histograms the committer/reader record into (quantiles are
+ * bucket-interpolated). Only populated when the server runs in the
+ * same process as the load generator — a remote server's histograms
+ * live in its process and appear in its own metrics snapshot instead.
+ */
+struct StageStat
+{
+    std::string name; ///< e.g. "server.queue_wait".
+    uint64_t count = 0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    double meanMs = 0.0;
+};
+
 struct LoadStats
 {
     uint64_t sent = 0;
@@ -54,7 +72,15 @@ struct LoadStats
     double p99Ms = 0.0;
     /** Per-client invariant held for every client. */
     bool reconciled = false;
+    /** Server-side per-stage latency breakdown (see StageStat). */
+    std::vector<StageStat> stages;
 };
+
+/**
+ * The ingest stage names runLoad() reports, in pipeline order
+ * (matches the spans IngestServer records per item).
+ */
+const std::vector<std::string> &ingestStageNames();
 
 /** Run the load; throws NazarError if the server misbehaves. */
 LoadStats runLoad(const LoadConfig &config);

@@ -7,6 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -76,6 +79,22 @@ TEST_F(ObsTest, HistogramBucketsAndSum)
     EXPECT_EQ(s.count, 3u);
     EXPECT_DOUBLE_EQ(s.sum, 55.5);
     EXPECT_DOUBLE_EQ(s.mean(), 18.5);
+}
+
+TEST_F(ObsTest, HistogramQuantileInterpolatesBuckets)
+{
+    Histogram &h = Registry::global().histogram(
+        "test.quantile", std::vector<double>{1.0, 10.0});
+    EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 0.0); // empty
+    for (int i = 0; i < 8; ++i)
+        h.observe(0.5); // all in bucket (0, 1]
+    HistogramSnapshot s = h.snapshot();
+    // Every sample in one bucket: quantiles interpolate inside it.
+    EXPECT_GT(s.quantile(0.5), 0.0);
+    EXPECT_LE(s.quantile(0.5), 1.0);
+    EXPECT_LE(s.quantile(0.5), s.quantile(0.99));
+    h.observe(50.0); // +Inf bucket: quantile clamps to its lower edge
+    EXPECT_DOUBLE_EQ(h.snapshot().quantile(1.0), 10.0);
 }
 
 TEST_F(ObsTest, DisabledRecordingIsDropped)
@@ -189,6 +208,162 @@ TEST_F(ObsTest, TraceBufferCapturesSpans)
     EXPECT_TRUE(traceEvents().empty());
 }
 
+// ---- Causal tracing -------------------------------------------------
+
+TEST_F(ObsTest, TraceEventsCarrySpanAndParentIds)
+{
+    setTracing(true);
+    {
+        NAZAR_SPAN("test.parent");
+        NAZAR_SPAN("test.child");
+    }
+    std::vector<TraceEvent> events = traceEvents();
+    ASSERT_EQ(events.size(), 2u);
+    const TraceEvent *parent = nullptr;
+    const TraceEvent *child = nullptr;
+    for (const TraceEvent &e : events) {
+        if (std::string(e.name) == "test.parent")
+            parent = &e;
+        else if (std::string(e.name) == "test.child")
+            child = &e;
+    }
+    ASSERT_NE(parent, nullptr);
+    ASSERT_NE(child, nullptr);
+    EXPECT_NE(parent->spanId, 0u);
+    EXPECT_NE(child->spanId, 0u);
+    EXPECT_EQ(parent->parentId, 0u); // trace root
+    EXPECT_EQ(parent->traceId, parent->spanId);
+    EXPECT_EQ(child->parentId, parent->spanId);
+    EXPECT_EQ(child->traceId, parent->traceId);
+}
+
+TEST_F(ObsTest, ScopedTraceContextAdoptsForeignParent)
+{
+    setTracing(true);
+    TraceContext foreign = newTraceContext();
+    ASSERT_TRUE(foreign.valid());
+    {
+        ScopedTraceContext adopt(foreign);
+        EXPECT_EQ(currentTraceContext().traceId, foreign.traceId);
+        EXPECT_EQ(currentTraceContext().spanId, foreign.spanId);
+        NAZAR_SPAN("test.adopted");
+    }
+    // Adoption is parent-stack only — no event of its own.
+    EXPECT_FALSE(currentTraceContext().valid());
+    std::vector<TraceEvent> events = traceEvents();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].traceId, foreign.traceId);
+    EXPECT_EQ(events[0].parentId, foreign.spanId);
+    EXPECT_NE(events[0].spanId, foreign.spanId);
+}
+
+TEST_F(ObsTest, RecordSpanLinksExplicitContextAndFeedsHistogram)
+{
+    setTracing(true);
+    static SpanSite site("test.record_span");
+    TraceContext parent = newTraceContext();
+    TraceContext self = newTraceContext();
+    auto t0 = std::chrono::steady_clock::now();
+    recordSpan(site, t0, std::chrono::steady_clock::now(), parent,
+               self.spanId);
+    // Invalid parent: the recorded span becomes its own root.
+    recordSpan(site, t0, std::chrono::steady_clock::now(),
+               TraceContext{});
+    EXPECT_EQ(site.histogram().snapshot().count, 2u);
+    std::vector<TraceEvent> events = traceEvents();
+    ASSERT_EQ(events.size(), 2u);
+    const TraceEvent *linked = nullptr;
+    const TraceEvent *root = nullptr;
+    for (const TraceEvent &e : events)
+        (e.spanId == self.spanId ? linked : root) = &e;
+    ASSERT_NE(linked, nullptr);
+    ASSERT_NE(root, nullptr);
+    EXPECT_EQ(linked->traceId, parent.traceId);
+    EXPECT_EQ(linked->parentId, parent.spanId);
+    EXPECT_EQ(root->parentId, 0u);
+    EXPECT_EQ(root->traceId, root->spanId);
+}
+
+TEST_F(ObsTest, TraceCapacityConfigurableAndDropsCounted)
+{
+    setTracing(true);
+    setTraceCapacity(4);
+    EXPECT_EQ(traceCapacity(), 4u);
+    for (int i = 0; i < 10; ++i) {
+        NAZAR_SPAN("test.cap");
+    }
+    // Single thread ⇒ one stripe ⇒ at most 4 kept, 6 dropped.
+    EXPECT_LE(traceEvents().size(), 4u);
+    EXPECT_GE(traceDropped(), 6u);
+    std::ostringstream os;
+    writeJson(Registry::global().snapshot(), os);
+    EXPECT_NE(os.str().find("\"trace_dropped\""), std::string::npos);
+    setTraceCapacity(kDefaultTraceCapacity);
+}
+
+TEST_F(ObsTest, TraceRingsConcurrentStress)
+{
+    constexpr size_t kThreads = 8;
+    constexpr size_t kSpansPerThread = 500;
+    setTracing(true);
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([] {
+            for (size_t i = 0; i < kSpansPerThread; ++i) {
+                NAZAR_SPAN("test.trace.stress");
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    std::vector<TraceEvent> events = traceEvents();
+    EXPECT_EQ(events.size() + traceDropped(),
+              kThreads * kSpansPerThread);
+    for (const TraceEvent &e : events) {
+        EXPECT_NE(e.spanId, 0u);
+        EXPECT_EQ(e.traceId, e.spanId); // all roots: no nesting here
+    }
+}
+
+TEST_F(ObsTest, ChromeTraceExportIsWellFormed)
+{
+    setTracing(true);
+    setThreadName("test.main");
+    {
+        NAZAR_SPAN("test.chrome.outer");
+        NAZAR_SPAN("test.chrome.inner");
+    }
+    std::ostringstream os;
+    writeChromeTrace(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(out.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(out.find("test.main"), std::string::npos);
+    EXPECT_NE(out.find("test.chrome.inner"), std::string::npos);
+    EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+              std::count(out.begin(), out.end(), '}'));
+    EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+              std::count(out.begin(), out.end(), ']'));
+}
+
+TEST_F(ObsTest, SlowOpThresholdParsesAndClamps)
+{
+    // Off by default.
+    EXPECT_TRUE(std::isinf(slowOpThresholdSeconds()));
+    setSlowOpThresholdSeconds(0.25);
+    EXPECT_DOUBLE_EQ(slowOpThresholdSeconds(), 0.25);
+    // Invalid values disable the log rather than arming it at 0.
+    setSlowOpThresholdSeconds(-1.0);
+    EXPECT_TRUE(std::isinf(slowOpThresholdSeconds()));
+    setSlowOpThresholdSeconds(0.0);
+    {
+        NAZAR_SPAN("test.slow"); // emits (rate-limited) warn, no crash
+    }
+    setSlowOpThresholdSeconds(
+        std::numeric_limits<double>::infinity());
+}
+
 // ---- Exporters ------------------------------------------------------
 
 TEST_F(ObsTest, JsonExportContainsRegisteredMetrics)
@@ -295,6 +470,29 @@ TEST_F(ObsDeterminism, MetricsOnOffBitIdenticalAcrossThreadCounts)
     setEnabled(false);
     sim::RunResult off4 = runTinyFleet();
     setEnabled(true);
+
+    expectIdenticalResults(on1, off1);
+    expectIdenticalResults(on1, on4);
+    expectIdenticalResults(on1, off4);
+}
+
+TEST_F(ObsDeterminism, TracingOnOffBitIdenticalAcrossThreadCounts)
+{
+    // The tracing layer must be as inert as the metrics layer: span
+    // ids come from a counter (no RNG) and the rings never feed back
+    // into the data path.
+    runtime::setThreads(1);
+    setTracing(true);
+    sim::RunResult on1 = runTinyFleet();
+    setTracing(false);
+    clearTrace();
+    sim::RunResult off1 = runTinyFleet();
+    runtime::setThreads(4);
+    setTracing(true);
+    sim::RunResult on4 = runTinyFleet();
+    setTracing(false);
+    clearTrace();
+    sim::RunResult off4 = runTinyFleet();
 
     expectIdenticalResults(on1, off1);
     expectIdenticalResults(on1, on4);

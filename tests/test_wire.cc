@@ -219,6 +219,68 @@ TEST(WireIngest, RoundTripsThroughTheDictIncludingNaN)
     EXPECT_LT(second.size(), first.size());
 }
 
+TEST(WireIngest, TraceContextRoundTripsAndZeroIdsStayByteIdentical)
+{
+    // With a trace context, the ids survive the round trip.
+    StringDict enc, dec;
+    WireIngest in = sampleIngest(true);
+    in.traceId = 0xDEADBEEFCAFEF00DULL;
+    in.spanId = 42;
+    std::string bytes = encodeIngest(in, enc);
+    WireIngest out = decodeIngest(bytes, dec);
+    EXPECT_EQ(out.traceId, in.traceId);
+    EXPECT_EQ(out.spanId, in.spanId);
+    EXPECT_EQ(out.device, in.device);
+    EXPECT_EQ(out.seq, in.seq);
+
+    // With no context (traceId == 0) the encoding is byte-identical
+    // to the pre-extension format — tracing off cannot change what
+    // goes on the wire — and decodes with zero ids.
+    StringDict enc2, enc3, dec2;
+    std::string plain = encodeIngest(sampleIngest(true), enc2);
+    WireIngest zero = sampleIngest(true);
+    zero.traceId = 0;
+    zero.spanId = 99; // ignored without a trace id
+    EXPECT_EQ(encodeIngest(zero, enc3), plain);
+    WireIngest plain_out = decodeIngest(plain, dec2);
+    EXPECT_EQ(plain_out.traceId, 0u);
+    EXPECT_EQ(plain_out.spanId, 0u);
+}
+
+TEST(WireIngest, UnknownExtensionTagsAreSkippedForwardCompatibly)
+{
+    // A newer peer may append extension tags this build has never
+    // heard of; the decoder must skip them by length and still pick
+    // out the trace context.
+    StringDict enc, dec;
+    std::string base = encodeIngest(sampleIngest(false), enc);
+    persist::Writer w;
+    w.putBytes(base.data(), base.size());
+    w.putU8(2); // two extensions
+    w.putU8(7); // unknown tag
+    w.putU32(3);
+    w.putBytes("abc", 3);
+    w.putU8(kExtTraceContext);
+    w.putU32(16);
+    w.putU64(1234);
+    w.putU64(5678);
+    WireIngest out = decodeIngest(w.take(), dec);
+    EXPECT_EQ(out.device, 42);
+    EXPECT_EQ(out.traceId, 1234u);
+    EXPECT_EQ(out.spanId, 5678u);
+
+    // An extension length pointing past the frame end must throw, not
+    // read out of bounds.
+    StringDict enc2, dec2;
+    std::string base2 = encodeIngest(sampleIngest(false), enc2);
+    persist::Writer bad;
+    bad.putBytes(base2.data(), base2.size());
+    bad.putU8(1);
+    bad.putU8(7);
+    bad.putU32(1000); // but no bytes follow
+    EXPECT_THROW(decodeIngest(bad.take(), dec2), NazarError);
+}
+
 TEST(WireIngest, TrailingBytesAndTruncationAreRejected)
 {
     StringDict enc;

@@ -51,6 +51,14 @@
  *       drift-log rows, uploads, registry versions, dedup windows,
  *       counters.
  *
+ *   nazar_ops trace <trace.json>
+ *       Summarize a Chrome trace_event file written by --trace-out
+ *       (obs::writeChromeTrace): a per-span-name latency table, and —
+ *       for traces rooted at `net.client.ingest` — the ingest critical
+ *       path: end-to-end ack latency decomposed into the recorded
+ *       stages (decode, queue wait, encode, WAL sync, ack) with the
+ *       unattributed remainder (socket + wire time) called out.
+ *
  * The sim subcommand also takes durability flags
  * (--persist-dir=<dir> --snapshot-every=N --crash-at=N
  * --fsync=flush|fdatasync|fsync): with a persist dir the cloud WALs
@@ -59,11 +67,13 @@
  * --fsync selects the WAL durability mode (flush matches the
  * process-kill fault model; fdatasync/fsync survive power loss).
  */
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -79,6 +89,7 @@
 #include "driftlog/sql.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "persist/cloud_persist.h"
 #include "persist/wal.h"
 #include "rca/analyzer.h"
@@ -106,7 +117,10 @@ usage()
         "--fsync=flush|fdatasync|fsync]\n"
         "  nazar_ops faults <metrics.json>\n"
         "  nazar_ops wal <wal.log>\n"
-        "  nazar_ops recover <state-dir>\n");
+        "  nazar_ops recover <state-dir>\n"
+        "  nazar_ops trace <trace.json>\n"
+        "  (sim also takes --trace-out=<file>: enable causal tracing "
+        "and write a Perfetto-loadable Chrome trace)\n");
     return 2;
 }
 
@@ -449,11 +463,179 @@ cmdRecover(const std::string &dir)
     return 0;
 }
 
+/** One "X" event parsed back out of a writeChromeTrace() file. */
+struct ParsedEvent
+{
+    std::string name;
+    uint64_t tid = 0;
+    double tsUs = 0.0;
+    double durUs = 0.0;
+    uint64_t trace = 0;
+    uint64_t span = 0;
+    uint64_t parent = 0;
+};
+
+/** The raw token after `key` up to the next `,`/`}`/`"` (exporter
+ *  lines are one event each, so line-local search is enough). */
+std::string
+fieldAfter(const std::string &line, const std::string &key)
+{
+    size_t pos = line.find(key);
+    if (pos == std::string::npos)
+        return "";
+    pos += key.size();
+    size_t end = pos;
+    while (end < line.size() && line[end] != ',' &&
+           line[end] != '}' && line[end] != '"')
+        ++end;
+    return line.substr(pos, end - pos);
+}
+
+bool
+parseTraceLine(const std::string &line, ParsedEvent &ev)
+{
+    if (line.find("\"ph\": \"X\"") == std::string::npos)
+        return false;
+    size_t name_begin = line.find("\"name\": \"");
+    if (name_begin == std::string::npos)
+        return false;
+    name_begin += 9;
+    size_t name_end = line.find('"', name_begin);
+    if (name_end == std::string::npos)
+        return false;
+    ev.name = line.substr(name_begin, name_end - name_begin);
+    ev.tid = std::stoull("0" + fieldAfter(line, "\"tid\": "));
+    ev.tsUs = std::stod("0" + fieldAfter(line, "\"ts\": "));
+    ev.durUs = std::stod("0" + fieldAfter(line, "\"dur\": "));
+    ev.trace = std::stoull("0" + fieldAfter(line, "\"trace\": \""));
+    ev.span = std::stoull("0" + fieldAfter(line, "\"span\": \""));
+    ev.parent = std::stoull("0" + fieldAfter(line, "\"parent\": \""));
+    return true;
+}
+
+/** Exact percentile over a sorted sample (nearest-rank style). */
+double
+pctOf(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    size_t i = static_cast<size_t>(p * (sorted.size() - 1));
+    return sorted[i];
+}
+
+int
+cmdTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    NAZAR_CHECK(in.good(), "cannot open: " + path);
+    std::vector<ParsedEvent> events;
+    std::string line;
+    while (std::getline(in, line)) {
+        ParsedEvent ev;
+        if (parseTraceLine(line, ev))
+            events.push_back(std::move(ev));
+    }
+    std::printf("%s: %zu span events\n\n", path.c_str(),
+                events.size());
+    if (events.empty())
+        return 0;
+
+    // Per-name latency table (exact durations, not bucketed).
+    std::map<std::string, std::vector<double>> byName;
+    for (const auto &ev : events)
+        byName[ev.name].push_back(ev.durUs / 1e3);
+    TablePrinter names(
+        {"span", "count", "mean ms", "p50 ms", "p99 ms", "total ms"});
+    for (auto &[name, durs] : byName) {
+        std::sort(durs.begin(), durs.end());
+        double total = 0.0;
+        for (double d : durs)
+            total += d;
+        names.addRow({name, TablePrinter::num(durs.size()),
+                      TablePrinter::num(total / durs.size(), 3),
+                      TablePrinter::num(pctOf(durs, 0.50), 3),
+                      TablePrinter::num(pctOf(durs, 0.99), 3),
+                      TablePrinter::num(total, 3)});
+    }
+    std::printf("spans:\n%s\n", names.toString().c_str());
+
+    // Ingest critical path: traces rooted at net.client.ingest. The
+    // root covers send -> ack; every other span in the trace is a
+    // stage of it (client encode, server decode/queue/commit/ack), so
+    // root minus the stage sum is the unattributed socket/wire time.
+    std::map<uint64_t, std::vector<const ParsedEvent *>> byTrace;
+    for (const auto &ev : events)
+        byTrace[ev.trace].push_back(&ev);
+    std::vector<double> e2e;
+    std::vector<double> remainder;
+    std::map<std::string, std::vector<double>> stages;
+    for (const auto &[trace, evs] : byTrace) {
+        const ParsedEvent *root = nullptr;
+        for (const ParsedEvent *ev : evs)
+            if (ev->parent == 0 && ev->name == "net.client.ingest")
+                root = ev;
+        if (root == nullptr)
+            continue;
+        double staged = 0.0;
+        for (const ParsedEvent *ev : evs) {
+            if (ev == root)
+                continue;
+            stages[ev->name].push_back(ev->durUs / 1e3);
+            staged += ev->durUs;
+        }
+        e2e.push_back(root->durUs / 1e3);
+        remainder.push_back((root->durUs - staged) / 1e3);
+    }
+    if (e2e.empty()) {
+        std::printf("no net.client.ingest-rooted traces (not a "
+                    "served-run trace, or tracing was off at the "
+                    "client)\n");
+        return 0;
+    }
+    std::sort(e2e.begin(), e2e.end());
+    std::sort(remainder.begin(), remainder.end());
+    double e2e_total = 0.0;
+    for (double d : e2e)
+        e2e_total += d;
+    TablePrinter path_table(
+        {"ingest stage", "count", "mean ms", "p50 ms", "p99 ms",
+         "share"});
+    auto addRow = [&](const std::string &name,
+                      std::vector<double> &durs) {
+        std::sort(durs.begin(), durs.end());
+        double total = 0.0;
+        for (double d : durs)
+            total += d;
+        path_table.addRow(
+            {name, TablePrinter::num(durs.size()),
+             TablePrinter::num(total / durs.size(), 3),
+             TablePrinter::num(pctOf(durs, 0.50), 3),
+             TablePrinter::num(pctOf(durs, 0.99), 3),
+             TablePrinter::num(
+                 e2e_total > 0.0 ? 100.0 * total / e2e_total : 0.0,
+                 1) +
+                 "%"});
+    };
+    for (auto &[name, durs] : stages)
+        addRow(name, durs);
+    addRow("(socket/wire remainder)", remainder);
+    std::printf("ingest critical path (%zu traced uploads, e2e "
+                "mean %.3f ms, p50 %.3f ms, p99 %.3f ms):\n%s\n",
+                e2e.size(), e2e_total / e2e.size(),
+                pctOf(e2e, 0.50), pctOf(e2e, 0.99),
+                path_table.toString().c_str());
+    return 0;
+}
+
 int
 cmdSim(size_t windows, const net::FaultConfig &faults,
        const persist::PersistConfig &persist_config,
-       const std::string &metrics_out)
+       const std::string &metrics_out, const std::string &trace_out)
 {
+    if (!trace_out.empty()) {
+        obs::setTracing(true);
+        obs::setThreadName("main");
+    }
     // Tiny animals-app fleet (the test workload): big enough to light
     // up every instrumented layer, small enough for a CI smoke run.
     data::AppSpec app = data::makeAnimalsApp(13, 8);
@@ -495,6 +677,12 @@ cmdSim(size_t windows, const net::FaultConfig &faults,
                 result.avgAccuracyDrifted());
     printSnapshot(obs::Registry::global().snapshot());
     maybeWriteMetrics(metrics_out);
+    if (!trace_out.empty()) {
+        obs::writeTraceFile(trace_out);
+        std::printf("trace: %zu events (%zu dropped) -> %s\n",
+                    obs::traceEvents().size(), obs::traceDropped(),
+                    trace_out.c_str());
+    }
     return 0;
 }
 
@@ -511,6 +699,7 @@ main(int argc, char **argv)
         // Pull out --metrics-out=<path> and the fault-injection flags
         // wherever they appear.
         std::string metrics_out;
+        std::string trace_out;
         net::FaultConfig faults;
         persist::PersistConfig persist_config;
         std::vector<std::string> args;
@@ -526,6 +715,8 @@ main(int argc, char **argv)
             const std::string flag = "--metrics-out=";
             if (arg.rfind(flag, 0) == 0)
                 metrics_out = arg.substr(flag.size());
+            else if (arg.rfind("--trace-out=", 0) == 0)
+                trace_out = arg.substr(12);
             else if (probFlag(arg, "--drop=", faults.dropProb) ||
                      probFlag(arg, "--dup=", faults.dupProb) ||
                      probFlag(arg, "--delay=", faults.delayProb) ||
@@ -570,7 +761,8 @@ main(int argc, char **argv)
         if (cmd == "sim") {
             size_t windows =
                 args.empty() ? 3 : std::stoul(args[0]);
-            return cmdSim(windows, faults, persist_config, metrics_out);
+            return cmdSim(windows, faults, persist_config, metrics_out,
+                          trace_out);
         }
         if (cmd == "faults" && !args.empty())
             return cmdFaults(args[0]);
@@ -578,6 +770,8 @@ main(int argc, char **argv)
             return cmdWal(args[0]);
         if (cmd == "recover" && !args.empty())
             return cmdRecover(args[0]);
+        if (cmd == "trace" && !args.empty())
+            return cmdTrace(args[0]);
         return usage();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());

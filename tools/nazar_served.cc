@@ -38,6 +38,8 @@
 #include "common/logging.h"
 #include "net/fault.h"
 #include "nn/classifier.h"
+#include "obs/export.h"
+#include "obs/span.h"
 #include "server/ingest_server.h"
 #include "server/load_gen.h"
 #include "sim/cloud.h"
@@ -67,7 +69,10 @@ usage()
         "  nazar_served load --port=N [--clients=N --events=N "
         "--drop=P --dup=P --fault-seed=S]\n"
         "  nazar_served smoke [--clients=N --events=N --drop=P "
-        "--dup=P --fault-seed=S] [--persist-dir=<dir> ...]\n");
+        "--dup=P --fault-seed=S] [--persist-dir=<dir> ...]\n"
+        "  any mode: [--trace-out=<file>] enables causal tracing and "
+        "writes a Chrome trace_event JSON (Perfetto-loadable) on "
+        "exit\n");
     return 2;
 }
 
@@ -104,6 +109,11 @@ printLoadStats(const server::LoadStats &stats)
                 stats.dictStrings, stats.dictHits);
     std::printf("LOADGEN eventsPerSec=%.0f p50Ms=%.3f p99Ms=%.3f\n",
                 stats.eventsPerSec, stats.p50Ms, stats.p99Ms);
+    for (const auto &stage : stats.stages)
+        std::printf("LOADGEN stage %s count=%zu p50Ms=%.3f "
+                    "p99Ms=%.3f meanMs=%.3f\n",
+                    stage.name.c_str(), stage.count, stage.p50Ms,
+                    stage.p99Ms, stage.meanMs);
     std::printf(stats.reconciled ? "RECONCILED ok\n"
                                  : "RECONCILED MISMATCH\n");
 }
@@ -204,6 +214,7 @@ main(int argc, char **argv)
 
         ServeOptions serve;
         LoadOptions load;
+        std::string traceOut;
         auto probFlag = [](const std::string &arg,
                            const std::string &flag, double &out) {
             if (arg.rfind(flag, 0) != 0)
@@ -244,18 +255,33 @@ main(int argc, char **argv)
                 continue;
             else if (arg.rfind("--fault-seed=", 0) == 0)
                 load.load.chaos.seed = std::stoull(arg.substr(13));
+            else if (arg.rfind("--trace-out=", 0) == 0)
+                traceOut = arg.substr(12);
             else
                 return usage();
         }
 
         setLogLevel(LogLevel::kWarn);
+        if (!traceOut.empty()) {
+            obs::setTracing(true);
+            obs::setThreadName("main");
+        }
+        int rc;
         if (cmd == "serve")
-            return cmdServe(serve);
-        if (cmd == "load")
-            return cmdLoad(load);
-        if (cmd == "smoke")
-            return cmdSmoke(serve, load);
-        return usage();
+            rc = cmdServe(serve);
+        else if (cmd == "load")
+            rc = cmdLoad(load);
+        else if (cmd == "smoke")
+            rc = cmdSmoke(serve, load);
+        else
+            return usage();
+        if (!traceOut.empty()) {
+            obs::writeTraceFile(traceOut);
+            std::printf("TRACE events=%zu dropped=%zu file=%s\n",
+                        obs::traceEvents().size(), obs::traceDropped(),
+                        traceOut.c_str());
+        }
+        return rc;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
