@@ -19,20 +19,33 @@
  * from the obs histograms, so the group-commit win is attributable to
  * a stage, not just visible in the end-to-end number.
  *
+ * A final "recovery" point measures fault-tolerant ingest: the crash
+ * injector kills the server mid-load while reconnect-enabled clients
+ * stream, a harness rebuilds the Cloud from the state dir and
+ * restarts the server on the same port, and the row reports the
+ * kill-to-first-accepted-ack latency (client-observed outage) plus
+ * the rebuild time and retransmit volume.
+ *
  * Usage: bench_ingest_server [--quick] [--metrics-out=<path>]
  *                            [--trace-out=<trace.json>]
  *   --quick shrinks the workload (CI smoke run).
  */
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/error.h"
+#include "net/ingest_client.h"
 #include "server/ingest_server.h"
 #include "server/load_gen.h"
 #include "sim/cloud.h"
@@ -96,6 +109,171 @@ runPoint(bool group, size_t clients, size_t events_per_client)
     return row;
 }
 
+/** The fault-tolerance point: measured crash–restart recovery. */
+struct RecoveryRow
+{
+    size_t clients = 0;
+    size_t eventsPerClient = 0;
+    /** Client-observed outage: SIGKILL-equivalent crash to the first
+     *  accepted ack on a resumed connection. */
+    double killToFirstAckMs = 0.0;
+    /** Server-side share of the outage: Cloud rebuild from the state
+     *  dir + same-port listener restart. */
+    double rebuildMs = 0.0;
+    uint64_t reconnects = 0;
+    uint64_t resent = 0;
+    uint64_t resumedLanded = 0;
+    uint64_t accepted = 0;
+    bool reconciled = false;
+};
+
+RecoveryRow
+runRecoveryPoint(size_t clients, size_t events_per_client)
+{
+    obs::Registry::global().reset();
+    std::filesystem::path dir =
+        std::filesystem::temp_directory_path() /
+        ("nazar_bench_recover_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    nn::Classifier base(nn::Architecture::kResNet18, 8, 4, 1);
+    sim::CloudConfig config;
+    config.persist.dir = dir.string();
+    // kFlush (the default): the fault model here is a process kill,
+    // not a power cut, and the recovery row should measure replay and
+    // reconnect cost rather than per-record fdatasync throughput.
+    // Per-record commits take 2 injector hits each, so arming at
+    // clients*events fires deterministically halfway through the load.
+    config.persist.crashAtHit =
+        static_cast<uint64_t>(clients * events_per_client);
+    auto cloud = std::make_unique<sim::Cloud>(config, base);
+    server::ServerConfig sc;
+    sc.groupCommit = false;
+    auto server =
+        std::make_unique<server::IngestServer>(*cloud, sc);
+    server->start();
+    const uint16_t port = server->port();
+
+    using Clock = std::chrono::steady_clock;
+    std::atomic<bool> crashed{false};
+    Clock::time_point crash_time; // written before `crashed` release
+    std::mutex first_mutex;
+    double first_ack_ms = -1.0;
+
+    net::ReconnectPolicy policy;
+    policy.enabled = true;
+    policy.maxAttempts = 400;
+    policy.backoffBaseMs = 1.0;
+    policy.backoffCapMs = 20.0;
+
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> reconnects{0};
+    std::atomic<uint64_t> resent{0};
+    std::atomic<uint64_t> resumed_landed{0};
+    std::atomic<bool> ok{true};
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            try {
+                net::IngestClient client(
+                    port, {}, "bench-recover-" + std::to_string(c),
+                    policy);
+                bool sampled = false;
+                client.setAckObserver([&](const net::WireAck &a) {
+                    // First accepted ack on a resumed connection:
+                    // pre-crash acks can't qualify (reconnects == 0
+                    // until the resume handshake lands), and resume
+                    // pass-1 credits never reach the observer.
+                    if (sampled || !a.accepted ||
+                        client.stats().reconnects == 0 ||
+                        !crashed.load(std::memory_order_acquire))
+                        return;
+                    sampled = true;
+                    double ms =
+                        std::chrono::duration<double, std::milli>(
+                            Clock::now() - crash_time)
+                            .count();
+                    std::lock_guard<std::mutex> lock(first_mutex);
+                    if (first_ack_ms < 0.0 || ms < first_ack_ms)
+                        first_ack_ms = ms;
+                });
+                for (size_t e = 0; e < events_per_client; ++e) {
+                    net::WireIngest m;
+                    m.device = 2000 + static_cast<int64_t>(c);
+                    m.seq = e + 1;
+                    m.entry.time = SimDate(
+                        static_cast<int>(e / 288),
+                        static_cast<int>(e % 288) * 300);
+                    m.entry.deviceId =
+                        "bench-recover-" + std::to_string(c);
+                    m.entry.location = "park";
+                    m.entry.modelVersion = 1;
+                    client.sendIngest(m);
+                }
+                client.bye();
+                accepted += client.stats().acksAccepted;
+                reconnects += client.stats().reconnects;
+                resent += client.stats().resent;
+                resumed_landed += client.stats().resumedLanded;
+                if (client.stats().acksAccepted !=
+                    client.stats().sent)
+                    ok = false;
+            } catch (const NazarError &) {
+                ok = false;
+            }
+        });
+    }
+
+    // The supervisor: wait for the injected crash, rebuild the Cloud
+    // from the state dir, restart the listener on the same port.
+    NAZAR_CHECK(server->waitCrashed(std::chrono::seconds(60)),
+                "recovery bench: armed crash never fired");
+    crash_time = Clock::now();
+    crashed.store(true, std::memory_order_release);
+    server->stop();
+    server.reset();
+    cloud.reset(); // release the WAL before re-opening the dir
+    sim::CloudConfig recovered = config;
+    recovered.persist.crashAtHit = 0;
+    cloud = std::make_unique<sim::Cloud>(recovered, base);
+    server::ServerConfig rc;
+    rc.groupCommit = false;
+    rc.port = port;
+    server = std::make_unique<server::IngestServer>(*cloud, rc);
+    server->start();
+    double rebuild_ms = std::chrono::duration<double, std::milli>(
+                            Clock::now() - crash_time)
+                            .count();
+
+    for (auto &t : threads)
+        t.join();
+    server->stop();
+
+    RecoveryRow row;
+    row.clients = clients;
+    row.eventsPerClient = events_per_client;
+    {
+        std::lock_guard<std::mutex> lock(first_mutex);
+        row.killToFirstAckMs = first_ack_ms;
+    }
+    row.rebuildMs = rebuild_ms;
+    row.reconnects = reconnects;
+    row.resent = resent;
+    row.resumedLanded = resumed_landed;
+    row.accepted = accepted;
+    row.reconciled =
+        ok && cloud->totalIngested() ==
+                  static_cast<size_t>(accepted.load());
+    NAZAR_CHECK(row.reconciled,
+                "recovery bench failed to reconcile");
+    server.reset();
+    cloud.reset();
+    std::filesystem::remove_all(dir);
+    return row;
+}
+
 } // namespace
 
 int
@@ -120,6 +298,8 @@ main(int argc, char **argv)
         for (size_t clients : client_counts)
             rows.push_back(runPoint(group, clients,
                                     events_per_client));
+    const size_t recovery_events = quick ? 600 : 2000;
+    RecoveryRow recovery = runRecoveryPoint(4, recovery_events);
 
     std::printf("{\n");
     std::printf("  \"bench\": \"ingest_server\",\n");
@@ -148,6 +328,20 @@ main(int argc, char **argv)
         }
         std::printf("]}%s\n", i + 1 < rows.size() ? "," : "");
     }
-    std::printf("  ]\n}\n");
+    std::printf("  ],\n");
+    std::printf(
+        "  \"recovery\": {\"clients\": %zu, "
+        "\"eventsPerClient\": %zu, \"killToFirstAckMs\": %.3f, "
+        "\"rebuildMs\": %.3f, \"reconnects\": %llu, "
+        "\"resent\": %llu, \"resumedLanded\": %llu, "
+        "\"accepted\": %llu, \"reconciled\": %s}\n",
+        recovery.clients, recovery.eventsPerClient,
+        recovery.killToFirstAckMs, recovery.rebuildMs,
+        static_cast<unsigned long long>(recovery.reconnects),
+        static_cast<unsigned long long>(recovery.resent),
+        static_cast<unsigned long long>(recovery.resumedLanded),
+        static_cast<unsigned long long>(recovery.accepted),
+        recovery.reconciled ? "true" : "false");
+    std::printf("}\n");
     return 0;
 }

@@ -159,6 +159,28 @@ if [ "$DO_RELEASE" = 1 ]; then
     ./build-ci/tools/nazar_ops recover build-ci/served_state \
         > /dev/null
     ./build-ci/bench/bench_ingest_server --quick > /dev/null
+    # Kill-restart chaos smoke: the supervise harness kills the
+    # committer mid-load (SIGKILL-equivalent crash injection) twice,
+    # rebuilds the cloud from the state dir and restarts the listener
+    # on the same port; the chaotic reconnect-enabled clients must
+    # resume their sessions and reconcile exactly — every event
+    # accepted once, every deliberate duplicate rejected — and the
+    # surviving state dir must load offline.
+    echo "==== kill-restart chaos smoke (Release) ===="
+    rm -rf build-ci/supervise_state
+    ./build-ci/tools/nazar_served supervise \
+        --persist-dir=build-ci/supervise_state \
+        --kills=2 --kill-after-ms=300 --clients=4 --events=8000 \
+        --drop=0.02 --dup=0.05 --fault-seed=11 \
+        > build-ci/supervise.log
+    grep -q "RECONCILED ok" build-ci/supervise.log || {
+        echo "kill-restart smoke: load did not reconcile" >&2
+        exit 1; }
+    grep -q "SUPERVISE kills=2 .*stateOk=1" build-ci/supervise.log || {
+        echo "kill-restart smoke: expected 2 kills and clean state" >&2
+        exit 1; }
+    ./build-ci/tools/nazar_ops recover build-ci/supervise_state \
+        > /dev/null
     # Causal-tracing smoke: a chaotic in-process served run with
     # tracing on must produce a Perfetto-loadable Chrome trace where a
     # device upload's trace id links the client send through the

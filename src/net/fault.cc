@@ -24,4 +24,11 @@ FaultConfig::backoffBeforeRetry(int attempt) const
     return std::min(backoffCap, raw);
 }
 
+double
+ReconnectPolicy::backoffBeforeAttemptMs(int attempt) const
+{
+    double raw = backoffBaseMs * std::pow(2.0, attempt - 1);
+    return std::min(backoffCapMs, raw);
+}
+
 } // namespace nazar::net

@@ -76,6 +76,39 @@ struct FaultConfig
     double backoffBeforeRetry(int attempt) const;
 };
 
+/**
+ * Session-layer recovery policy for IngestClient: when the server
+ * vanishes mid-session (crash, restart, receive deadline), the client
+ * reconnects with the same capped exponential backoff shape as
+ * FaultConfig — in real milliseconds rather than abstract ticks —
+ * re-handshakes, and retransmits its unacked frames (see
+ * ingest_client.h for the exactly-once reconciliation contract).
+ * Disabled by default: a default-constructed policy leaves the client
+ * byte-identical to the pre-session protocol.
+ */
+struct ReconnectPolicy
+{
+    bool enabled = false;
+    /** Connect attempts per outage before the error propagates. */
+    int maxAttempts = 40;
+    /** Backoff before the first reconnect attempt, in milliseconds. */
+    double backoffBaseMs = 5.0;
+    /** Cap on the exponential backoff between attempts. */
+    double backoffCapMs = 250.0;
+    /**
+     * Optional SO_RCVTIMEO receive deadline on the client socket so a
+     * blocking drain cannot wedge forever on a silently dead peer
+     * (0 = no deadline). A timeout surfaces as net::TcpTimeout and,
+     * with `enabled`, triggers the reconnect path. Leave at 0 when the
+     * server can legitimately go quiet for long stretches (e.g. the
+     * remote runner waiting on an analysis cycle).
+     */
+    int recvTimeoutMs = 0;
+
+    /** Capped exponential delay before reconnect @p attempt (1-based). */
+    double backoffBeforeAttemptMs(int attempt) const;
+};
+
 } // namespace nazar::net
 
 #endif // NAZAR_NET_FAULT_H

@@ -22,6 +22,27 @@
  * Acks are drained opportunistically (non-blocking) after every send
  * so neither side can wedge with both peers blocked in send(), and
  * drained fully at the protocol barriers (cycle/flush/bye).
+ *
+ * Session layer (ReconnectPolicy::enabled): the client survives a
+ * server crash–restart. Every in-flight ingest is remembered (decoded
+ * form, keyed by (device, seq)) until its acks settle; on any
+ * connection failure the client reconnects with capped exponential
+ * backoff, re-handshakes with `wantResume`, and reconciles against
+ * the server's recovered per-device high-water seqs: entries at or
+ * below the high water landed (credited as accepted without a resend
+ * — `resumedLanded`), the rest are re-encoded against the fresh
+ * string dictionary and retransmitted (`resent`); the server's dedup
+ * window guarantees exactly-once application, and the accounting
+ * keeps the reconciliation invariant above intact across any number
+ * of crashes (acksAccepted == sent − gaveUp, acksRejected ==
+ * duplicates). With the policy disabled (the default) none of this
+ * machinery runs and the wire bytes are identical to the pre-session
+ * protocol.
+ *
+ * Cycle/flush/bye caveat: ingest retransmission is exactly-once, but
+ * a crash after the server committed a cycle and before its reply
+ * reached the client makes the retried request run a second cycle —
+ * those barriers are at-least-once (see DESIGN.md §14).
  */
 #ifndef NAZAR_NET_INGEST_CLIENT_H
 #define NAZAR_NET_INGEST_CLIENT_H
@@ -51,6 +72,13 @@ struct ClientStats
     uint64_t framesSent = 0;   ///< sent + duplicates.
     uint64_t acksAccepted = 0; ///< Server accepted (first arrival).
     uint64_t acksRejected = 0; ///< Server dedup-rejected (dup/replay).
+
+    // ---- Session-layer tallies (ReconnectPolicy enabled) ------------
+    uint64_t reconnects = 0;     ///< Successful reconnect handshakes.
+    uint64_t resent = 0;         ///< Frames retransmitted after resume.
+    uint64_t resumedLanded = 0;  ///< Credited landed via resume seqs.
+    uint64_t resentRejected = 0; ///< Surplus rejected acks absorbed.
+    uint64_t busySeen = 0;       ///< kBusy advisories received.
 };
 
 /** One cycle run remotely: the summary + published version blobs. */
@@ -71,10 +99,13 @@ class IngestClient
     /**
      * Connect to 127.0.0.1:@p port and complete the kHello handshake.
      * Throws NazarError on connect/handshake failure or a protocol
-     * version mismatch.
+     * version mismatch. With @p reconnect enabled, the initial
+     * connect is itself retried with backoff, and every later
+     * connection failure triggers the session resume protocol.
      */
     IngestClient(uint16_t port, const FaultConfig &chaos = {},
-                 const std::string &client_name = "client");
+                 const std::string &client_name = "client",
+                 const ReconnectPolicy &reconnect = {});
 
     /** The server's handshake reply (recovered clean patch, if any). */
     const WireHelloAck &helloAck() const { return helloAck_; }
@@ -122,17 +153,33 @@ class IngestClient
     }
 
   private:
-    /** Count one ack; anything else here is a protocol error. */
+    /** Count one ack (kBusy advisories are tallied and absorbed). */
     void onAck(const Frame &frame);
 
     /** Non-blocking: absorb whatever acks are already readable. */
     void pumpAcks();
 
-    /** Block until every outstanding ack has arrived. */
+    /** Block until every outstanding ack has arrived (resumes). */
     void drainAcks();
 
-    /** Blocking receive that treats EOF as a protocol error. */
+    /** Blocking receive that treats EOF as a protocol error and
+     *  absorbs kBusy advisories. */
     Frame expectFrame();
+
+    /** kHello/kHelloAck exchange on the current stream. */
+    void handshake(bool want_resume);
+
+    /**
+     * The session recovery path: reconnect with capped backoff,
+     * re-handshake with wantResume, settle pending entries against
+     * the server's high-water seqs, retransmit the rest. Throws
+     * (a .cc-local ReconnectFailed, itself a NazarError) once
+     * ReconnectPolicy::maxAttempts is exhausted.
+     */
+    void reconnectAndResume();
+
+    /** Resume step: credit landed entries, retransmit the rest. */
+    void settleAndRetransmit();
 
     /**
      * A traced in-flight ingest: the root context minted at send time
@@ -149,16 +196,46 @@ class IngestClient
         std::chrono::steady_clock::time_point start;
     };
 
+    /**
+     * One session-tracked ingest, alive until its acks settle. The
+     * accounting is idempotent across any number of crashes: the
+     * unique accepted credit is guarded by `acceptedCredited`, and
+     * rejected credits only accrue up to `targetRejects` (one per
+     * duplicate copy owed a dedup rejection) — surplus rejected acks
+     * from crash retransmits are absorbed as `resentRejected`.
+     */
+    struct Pending
+    {
+        WireIngest msg;
+        /** Registration index: retransmits go out in original send
+         *  order, so the restarted committer sees the same global
+         *  arrival order the uncrashed run produced (drift-log rows
+         *  and upload-buffer order are reproduced exactly). */
+        uint64_t order = 0;
+        int copies = 0;          ///< Frames on the wire awaiting acks.
+        int targetRejects = 0;   ///< Duplicate copies owed a rejection.
+        int rejectsCredited = 0; ///< Rejections credited so far.
+        bool acceptedCredited = false; ///< Accepted credit spent.
+    };
+
     TcpStream stream_;
     StringDict dict_;
     FaultConfig chaos_;
     bool chaosOn_ = false;
     Rng rng_;
+    uint16_t port_ = 0;
+    std::string clientName_;
+    ReconnectPolicy policy_;
+    bool sessionOn_ = false;
     ClientStats stats_;
     uint64_t outstanding_ = 0;
     WireHelloAck helloAck_;
     std::function<void(const WireAck &)> ackObserver_;
     std::map<std::pair<int64_t, uint64_t>, PendingTrace> pendingTraces_;
+    /** Unsettled ingests by (device, seq); ascending seq per device. */
+    std::map<std::pair<int64_t, uint64_t>, Pending> pending_;
+    /** Next Pending::order value (counts registrations, not frames). */
+    uint64_t nextPendingOrder_ = 0;
 };
 
 } // namespace nazar::net

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -50,21 +51,28 @@ TcpStream::operator=(TcpStream &&other) noexcept
 TcpStream
 TcpStream::connect(uint16_t port)
 {
-    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    NAZAR_CHECK(fd >= 0, "tcp: socket() failed: " +
-                             std::string(std::strerror(errno)));
-    sockaddr_in addr = loopbackAddr(port);
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
-        int err = errno;
-        ::close(fd);
-        throw NazarError("tcp: connect to 127.0.0.1:" +
-                         std::to_string(port) +
-                         " failed: " + std::strerror(err));
+    for (;;) {
+        int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        NAZAR_CHECK(fd >= 0, "tcp: socket() failed: " +
+                                 std::string(std::strerror(errno)));
+        sockaddr_in addr = loopbackAddr(port);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            int err = errno;
+            ::close(fd);
+            // An interrupted connect leaves the socket in an
+            // unspecified state; restart with a fresh fd rather than
+            // surfacing the signal as a connection failure.
+            if (err == EINTR)
+                continue;
+            throw NazarError("tcp: connect to 127.0.0.1:" +
+                             std::to_string(port) +
+                             " failed: " + std::strerror(err));
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        return TcpStream(fd);
     }
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    return TcpStream(fd);
 }
 
 bool
@@ -106,6 +114,10 @@ TcpStream::recvFrame()
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            // With SO_RCVTIMEO armed, a blocking recv that exceeds
+            // the deadline fails with EAGAIN/EWOULDBLOCK.
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                throw TcpTimeout("tcp: receive deadline exceeded");
             throw NazarError("tcp: recv failed: " +
                              std::string(std::strerror(errno)));
         }
@@ -141,6 +153,17 @@ TcpStream::tryRecvFrame()
         }
         parser_.feed(buf, static_cast<size_t>(n));
     }
+}
+
+void
+TcpStream::setRecvTimeout(int ms)
+{
+    if (fd_ < 0)
+        return;
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = (ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
 void

@@ -10,6 +10,11 @@
  * thread structure, not in the socket layer. SIGPIPE is suppressed
  * per-send (MSG_NOSIGNAL) so a vanished peer surfaces as an error
  * return, not a process kill.
+ *
+ * EINTR contract: every blocking syscall here (connect, accept, send,
+ * recv) retries on EINTR instead of surfacing it as peer-gone — a
+ * stray signal (e.g. SIGCHLD in the supervise harness) must never be
+ * mistaken for a dead connection.
  */
 #ifndef NAZAR_NET_TCP_H
 #define NAZAR_NET_TCP_H
@@ -18,9 +23,23 @@
 #include <optional>
 #include <string>
 
+#include "common/error.h"
 #include "net/wire.h"
 
 namespace nazar::net {
+
+/**
+ * A blocking receive exceeded the SO_RCVTIMEO deadline set via
+ * TcpStream::setRecvTimeout. Distinct from NazarError so callers can
+ * tell "peer is slow/silent" (reap or reconnect) from "peer sent
+ * garbage" (protocol error) — but still a NazarError so existing
+ * catch sites treat it as a connection failure.
+ */
+class TcpTimeout : public NazarError
+{
+  public:
+    explicit TcpTimeout(const std::string &what) : NazarError(what) {}
+};
 
 /** One connected TCP stream (client or accepted) with frame I/O. */
 class TcpStream
@@ -67,6 +86,13 @@ class TcpStream
 
     /** True once the peer's EOF has been observed by a recv. */
     bool eofSeen() const { return eof_; }
+
+    /**
+     * Arm a receive deadline (SO_RCVTIMEO): a recvFrame() that blocks
+     * longer than @p ms without receiving any bytes throws TcpTimeout.
+     * 0 disarms. Guards blocking drains against a silently dead peer.
+     */
+    void setRecvTimeout(int ms);
 
     /** Shut down the write side (signals EOF to the peer's reader). */
     void shutdownWrite();

@@ -15,7 +15,7 @@ bool
 knownType(uint8_t t)
 {
     return t >= static_cast<uint8_t>(MsgType::kHello) &&
-           t <= static_cast<uint8_t>(MsgType::kByeAck);
+           t <= static_cast<uint8_t>(MsgType::kBusy);
 }
 
 /** Tagged driftlog::Value with dict-encoded strings. */
@@ -76,6 +76,11 @@ rca::AttributeSet
 getAttributeSetInterned(Reader &r, StringDict &dict)
 {
     uint32_t n = r.getU32();
+    // Each attribute needs at least a dict id (4 bytes) plus a value
+    // tag; bound the count before reserving so a corrupt frame with a
+    // recomputed CRC can't trigger a huge allocation.
+    NAZAR_CHECK(static_cast<uint64_t>(n) * 5 <= r.remaining(),
+                "wire: attribute count exceeds frame");
     std::vector<rca::Attribute> attrs;
     attrs.reserve(n);
     for (uint32_t i = 0; i < n; ++i) {
@@ -286,6 +291,11 @@ encodeHello(const WireHello &h)
     Writer w;
     w.putU32(h.protoVersion);
     w.putString(h.clientName);
+    // Trailing optional: only reconnect handshakes carry the flag, so
+    // a fresh session's kHello stays byte-identical to the pre-resume
+    // protocol.
+    if (h.wantResume)
+        w.putBool(true);
     return w.take();
 }
 
@@ -296,6 +306,8 @@ decodeHello(const std::string &payload)
     WireHello h;
     h.protoVersion = r.getU32();
     h.clientName = r.getString();
+    if (!r.atEnd())
+        h.wantResume = r.getBool();
     return h;
 }
 
@@ -309,6 +321,14 @@ encodeHelloAck(const WireHelloAck &h)
         w.putString(*h.cleanPatchText);
         w.putI64(h.cleanPatchTime);
     }
+    // Trailing optional resume block (answers kHello.wantResume).
+    if (!h.resumeHighWater.empty()) {
+        w.putU32(static_cast<uint32_t>(h.resumeHighWater.size()));
+        for (const auto &[device, highWater] : h.resumeHighWater) {
+            w.putI64(device);
+            w.putU64(highWater);
+        }
+    }
     return w.take();
 }
 
@@ -321,6 +341,17 @@ decodeHelloAck(const std::string &payload)
     if (r.getBool()) {
         h.cleanPatchText = r.getString();
         h.cleanPatchTime = r.getI64();
+    }
+    if (!r.atEnd()) {
+        uint32_t n = r.getU32();
+        NAZAR_CHECK(static_cast<uint64_t>(n) * 16 <= r.remaining(),
+                    "wire: resume block count exceeds frame");
+        h.resumeHighWater.reserve(n);
+        for (uint32_t i = 0; i < n; ++i) {
+            int64_t device = r.getI64();
+            uint64_t highWater = r.getU64();
+            h.resumeHighWater.emplace_back(device, highWater);
+        }
     }
     return h;
 }
@@ -369,6 +400,24 @@ decodeByeAck(const std::string &payload)
     WireByeAck b;
     b.totalIngested = r.getU64();
     b.dedupHits = r.getU64();
+    return b;
+}
+
+std::string
+encodeBusy(const WireBusy &b)
+{
+    Writer w;
+    w.putU32(b.queueDepth);
+    return w.take();
+}
+
+WireBusy
+decodeBusy(const std::string &payload)
+{
+    Reader r(payload);
+    WireBusy b;
+    b.queueDepth = r.getU32();
+    NAZAR_CHECK(r.atEnd(), "wire: trailing bytes in kBusy payload");
     return b;
 }
 

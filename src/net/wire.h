@@ -28,6 +28,9 @@
  *     kFlushDone    server→client
  *     kBye          client→server  end of session
  *     kByeAck       server→client  final server tallies
+ *     kBusy         server→client  advisory: committer queue full, the
+ *                                  reader has stopped draining; sent
+ *                                  at most once per blocking episode
  *
  * Extensions: a kIngest payload may end with an optional extension
  * block — [u8 extCount] then per extension [u8 tag][u32 len][bytes].
@@ -38,6 +41,15 @@
  * obs trace context (u64 traceId + u64 spanId) so a device upload's
  * causal trace continues across the process boundary into the
  * server's reader and committer threads.
+ *
+ * kHello/kHelloAck use the same trailing-optional pattern for session
+ * resume: a reconnecting client appends a `wantResume` bool to its
+ * kHello, and the server answers with a resume block of recovered
+ * per-device high-water seqs on the kHelloAck. Both are encoded only
+ * when present (fresh sessions never carry them), so fault-free runs
+ * stay byte-identical to the pre-resume protocol; decoders built
+ * before the fields existed never read past their known prefix, so
+ * old/new peers interoperate.
  *
  * String interning: device ids, locations, weather strings and
  * attribute columns repeat in almost every kIngest payload, so each
@@ -83,6 +95,7 @@ enum class MsgType : uint8_t {
     kFlushDone = 9,
     kBye = 10,
     kByeAck = 11,
+    kBusy = 12,
 };
 
 /** One decoded frame. */
@@ -182,6 +195,10 @@ struct WireHello
 {
     uint32_t protoVersion = kProtocolVersion;
     std::string clientName;
+    /** Set on a reconnect handshake: asks the server for its dedup
+     *  high-water seqs so the client can reconcile what landed.
+     *  Encoded only when true (trailing optional — see above). */
+    bool wantResume = false;
 };
 
 std::string encodeHello(const WireHello &h);
@@ -194,6 +211,14 @@ struct WireHelloAck
     /** Clean patch recovered from the server's state dir, when any. */
     std::optional<std::string> cleanPatchText;
     int64_t cleanPatchTime = 0;
+    /**
+     * Resume block: (device, highest seq the dedup window accounts
+     * for) per device the server knows about, from a live
+     * dedupSnapshot(). With per-device monotone send order on an
+     * ordered connection, seq <= highWater means that ingest landed.
+     * Encoded only when non-empty — answers to kHello.wantResume.
+     */
+    std::vector<std::pair<int64_t, uint64_t>> resumeHighWater;
 };
 
 std::string encodeHelloAck(const WireHelloAck &h);
@@ -221,6 +246,15 @@ struct WireByeAck
 
 std::string encodeByeAck(const WireByeAck &b);
 WireByeAck decodeByeAck(const std::string &payload);
+
+/** kBusy payload: committer queue depth when the advisory fired. */
+struct WireBusy
+{
+    uint32_t queueDepth = 0;
+};
+
+std::string encodeBusy(const WireBusy &b);
+WireBusy decodeBusy(const std::string &payload);
 
 } // namespace nazar::net
 

@@ -45,6 +45,20 @@ struct DedupWindow
     std::vector<uint64_t> seen; ///< Ascending sequence numbers.
 
     bool operator==(const DedupWindow &other) const = default;
+
+    /**
+     * Highest sequence number this window accounts for: with
+     * per-device monotone send order, every seq <= highWater() has
+     * been ingested (or dedup-rejected as already ingested). This is
+     * the resume line the ingest server reports to reconnecting
+     * clients.
+     */
+    uint64_t highWater() const
+    {
+        if (!seen.empty())
+            return seen.back();
+        return floor > 0 ? floor - 1 : 0;
+    }
 };
 
 /** Everything a snapshot captures. */

@@ -31,11 +31,6 @@ IngestServer::IngestServer(sim::Cloud &cloud, ServerConfig config)
 {
     NAZAR_CHECK(config_.maxBatch >= 1,
                 "ingest server: maxBatch must be >= 1");
-    // A CrashInjected escaping the committer thread could not be
-    // replayed deterministically from here; crash sweeps run against
-    // the in-process cloud.
-    NAZAR_CHECK(cloud_.config().persist.crashAtHit == 0,
-                "ingest server: cloud crash injection must be disarmed");
 }
 
 IngestServer::~IngestServer() { stop(); }
@@ -69,6 +64,14 @@ IngestServer::stop()
                 ::shutdown(conn->stream.fd(), SHUT_RDWR);
         }
     }
+    // A reader blocked in a bounded enqueue is not watching its
+    // socket; wake it so the join below cannot deadlock with a dead
+    // committer (post-crash stop) or a full queue.
+    {
+        std::lock_guard<std::mutex> lk(queueMutex_);
+        shuttingDown_ = true;
+    }
+    queueSpaceCv_.notify_all();
     {
         std::lock_guard<std::mutex> lk(connMutex_);
         for (auto &conn : conns_) {
@@ -95,6 +98,57 @@ IngestServer::stats() const
 {
     std::lock_guard<std::mutex> lk(statsMutex_);
     return stats_;
+}
+
+bool
+IngestServer::crashed() const
+{
+    std::lock_guard<std::mutex> lk(crashMutex_);
+    return crashed_;
+}
+
+bool
+IngestServer::waitCrashed(std::chrono::milliseconds timeout)
+{
+    std::unique_lock<std::mutex> lk(crashMutex_);
+    return crashCv_.wait_for(lk, timeout,
+                             [this] { return crashed_; });
+}
+
+std::string
+IngestServer::crashSite() const
+{
+    std::lock_guard<std::mutex> lk(crashMutex_);
+    return crashSite_;
+}
+
+void
+IngestServer::onCommitterCrash(const persist::CrashInjected &e)
+{
+    // The committer thread is dying: make the whole server look dead
+    // to the outside, the way a SIGKILL would. No reply for the item
+    // that crashed, no more accepts, every connection severed so
+    // clients see a reset and enter their reconnect path.
+    {
+        std::lock_guard<std::mutex> lk(crashMutex_);
+        crashed_ = true;
+        crashSite_ = e.site();
+    }
+    crashCv_.notify_all();
+    {
+        std::lock_guard<std::mutex> lk(queueMutex_);
+        shuttingDown_ = true;
+    }
+    queueSpaceCv_.notify_all();
+    listener_.stop();
+    {
+        std::lock_guard<std::mutex> lk(connMutex_);
+        for (auto &conn : conns_) {
+            if (conn->stream.valid())
+                ::shutdown(conn->stream.fd(), SHUT_RDWR);
+        }
+    }
+    obs::Registry::global().counter("server.crashes").add(1);
 }
 
 void
@@ -124,10 +178,13 @@ void
 IngestServer::readerLoop(std::shared_ptr<Conn> conn)
 {
     obs::setThreadName("server.reader." + std::to_string(conn->id));
+    if (config_.readTimeoutMs > 0)
+        conn->stream.setRecvTimeout(config_.readTimeoutMs);
     try {
-        // Handshake. The reader writes kHelloAck itself — the only
-        // frame it ever writes — before enqueuing anything, so the
-        // committer is the sole writer from then on.
+        // Handshake. The reader writes kHelloAck itself before
+        // enqueuing anything; after that the committer writes the
+        // replies and the reader only ever adds kBusy advisories
+        // (both under the connection's write mutex).
         auto first = conn->stream.recvFrame();
         if (!first.has_value())
             return; // connected and left
@@ -145,8 +202,20 @@ IngestServer::readerLoop(std::shared_ptr<Conn> conn)
             ack.cleanPatchText = out.str();
             ack.cleanPatchTime = cloud_.recoveredCleanPatchTime();
         }
-        conn->stream.sendFrame(MsgType::kHelloAck,
-                               net::encodeHelloAck(ack));
+        if (hello.wantResume) {
+            // A reconnecting client reconciles against the dedup
+            // windows as they stand right now — recovered state plus
+            // anything committed since — so retransmits of ingests
+            // that landed are dedup-rejected, never double-applied.
+            for (const auto &[device, window] : cloud_.dedupSnapshot())
+                ack.resumeHighWater.emplace_back(device,
+                                                 window.highWater());
+        }
+        {
+            std::lock_guard<std::mutex> wl(conn->writeMutex);
+            conn->stream.sendFrame(MsgType::kHelloAck,
+                                   net::encodeHelloAck(ack));
+        }
 
         for (;;) {
             auto frame = conn->stream.recvFrame();
@@ -182,30 +251,87 @@ IngestServer::readerLoop(std::shared_ptr<Conn> conn)
                     std::to_string(static_cast<int>(frame->type)));
             }
             item.enqueueTime = std::chrono::steady_clock::now();
-            enqueue(std::move(item));
+            if (!enqueue(std::move(item)))
+                return; // shutting down (or crashed)
         }
+    } catch (const net::TcpTimeout &) {
+        // Silent peer past the receive deadline: reap the connection.
+        {
+            std::lock_guard<std::mutex> lk(statsMutex_);
+            ++stats_.readTimeouts;
+        }
+        obs::Registry::global().counter("server.read_timeouts").add(1);
+        if (conn->stream.valid())
+            ::shutdown(conn->stream.fd(), SHUT_RDWR);
     } catch (const NazarError &) {
         // Corrupt frame or protocol violation: this connection is
         // done, the server is not. Shut the socket both ways so the
         // peer notices; the committer's writes to it fail gracefully.
+        // During shutdown/crash the server severed the socket itself —
+        // the resulting recv error is not the peer's fault.
+        bool expected;
         {
-            std::lock_guard<std::mutex> lk(statsMutex_);
-            ++stats_.protocolErrors;
+            std::lock_guard<std::mutex> lk(queueMutex_);
+            expected = shuttingDown_;
         }
-        obs::Registry::global().counter("server.protocol_errors").add(1);
+        if (!expected) {
+            {
+                std::lock_guard<std::mutex> lk(statsMutex_);
+                ++stats_.protocolErrors;
+            }
+            obs::Registry::global()
+                .counter("server.protocol_errors")
+                .add(1);
+        }
         if (conn->stream.valid())
             ::shutdown(conn->stream.fd(), SHUT_RDWR);
     }
 }
 
-void
+bool
 IngestServer::enqueue(WorkItem item)
 {
-    {
-        std::lock_guard<std::mutex> lk(queueMutex_);
-        queue_.push_back(std::move(item));
+    std::shared_ptr<Conn> conn = item.conn;
+    std::unique_lock<std::mutex> lk(queueMutex_);
+    if (config_.maxQueue > 0) {
+        if (queue_.size() >= config_.maxQueue && !shuttingDown_ &&
+            !conn->busyAdvised) {
+            // Advise once per full-queue episode, then block — the
+            // reader stops draining its socket and TCP flow control
+            // pushes back to the senders. The advisory is written
+            // outside the queue lock (the committer needs it to make
+            // space) but under the connection's write mutex so it
+            // cannot interleave with a committer reply frame.
+            conn->busyAdvised = true;
+            net::WireBusy busy;
+            busy.queueDepth = static_cast<uint32_t>(queue_.size());
+            lk.unlock();
+            {
+                std::lock_guard<std::mutex> wl(conn->writeMutex);
+                conn->stream.sendFrame(MsgType::kBusy,
+                                       net::encodeBusy(busy));
+            }
+            {
+                std::lock_guard<std::mutex> sl(statsMutex_);
+                ++stats_.busySent;
+            }
+            obs::Registry::global().counter("server.busy_sent").add(1);
+            lk.lock();
+        }
+        queueSpaceCv_.wait(lk, [this] {
+            return shuttingDown_ || queue_.size() < config_.maxQueue;
+        });
+        conn->busyAdvised = false;
     }
+    if (shuttingDown_)
+        return false;
+    queue_.push_back(std::move(item));
+    obs::Registry::global()
+        .gauge("server.queue_depth")
+        .set(static_cast<double>(queue_.size()));
+    lk.unlock();
     queueCv_.notify_one();
+    return true;
 }
 
 void
@@ -221,37 +347,52 @@ IngestServer::committerLoop()
                 return; // drained
             continue;
         }
-        if (queue_.front().kind == WorkItem::Kind::kIngest) {
-            // Greedy batch: take the consecutive ingests already
-            // queued (across connections), up to maxBatch. Never
-            // waits for more — latency under light load stays one
-            // record, batches grow only when the queue is deep.
-            std::vector<WorkItem> batch;
-            while (!queue_.empty() &&
-                   queue_.front().kind == WorkItem::Kind::kIngest &&
-                   batch.size() < config_.maxBatch) {
-                batch.push_back(std::move(queue_.front()));
+        try {
+            if (queue_.front().kind == WorkItem::Kind::kIngest) {
+                // Greedy batch: take the consecutive ingests already
+                // queued (across connections), up to maxBatch. Never
+                // waits for more — latency under light load stays one
+                // record, batches grow only when the queue is deep.
+                std::vector<WorkItem> batch;
+                while (!queue_.empty() &&
+                       queue_.front().kind == WorkItem::Kind::kIngest &&
+                       batch.size() < config_.maxBatch) {
+                    batch.push_back(std::move(queue_.front()));
+                    queue_.pop_front();
+                }
+                if (config_.maxQueue > 0)
+                    obs::Registry::global()
+                        .gauge("server.queue_depth")
+                        .set(static_cast<double>(queue_.size()));
+                lk.unlock();
+                queueSpaceCv_.notify_all();
+                commitBatch(batch);
+            } else {
+                WorkItem item = std::move(queue_.front());
                 queue_.pop_front();
+                if (config_.maxQueue > 0)
+                    obs::Registry::global()
+                        .gauge("server.queue_depth")
+                        .set(static_cast<double>(queue_.size()));
+                lk.unlock();
+                queueSpaceCv_.notify_all();
+                switch (item.kind) {
+                  case WorkItem::Kind::kCycle:
+                    handleCycle(item);
+                    break;
+                  case WorkItem::Kind::kFlush:
+                    handleFlush(item);
+                    break;
+                  case WorkItem::Kind::kBye:
+                    handleBye(item);
+                    break;
+                  case WorkItem::Kind::kIngest:
+                    break; // unreachable
+                }
             }
-            lk.unlock();
-            commitBatch(batch);
-        } else {
-            WorkItem item = std::move(queue_.front());
-            queue_.pop_front();
-            lk.unlock();
-            switch (item.kind) {
-              case WorkItem::Kind::kCycle:
-                handleCycle(item);
-                break;
-              case WorkItem::Kind::kFlush:
-                handleFlush(item);
-                break;
-              case WorkItem::Kind::kBye:
-                handleBye(item);
-                break;
-              case WorkItem::Kind::kIngest:
-                break; // unreachable
-            }
+        } catch (const persist::CrashInjected &e) {
+            onCommitterCrash(e);
+            return; // the committer "process" is dead
         }
     }
 }
@@ -267,6 +408,10 @@ IngestServer::commitBatch(std::vector<WorkItem> &batch)
     static obs::SpanSite encodeSite("server.encode");
     static obs::SpanSite walSyncSite("persist.wal.sync");
     static obs::SpanSite ackSite("server.ack");
+
+    if (config_.commitDelayUs > 0)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(config_.commitDelayUs));
 
     auto tDequeue = std::chrono::steady_clock::now();
     for (const auto &item : batch)
@@ -328,9 +473,12 @@ IngestServer::commitBatch(std::vector<WorkItem> &batch)
         ack.seq = batch[i].ingest.seq;
         ack.accepted = accepted[i];
         auto t0 = std::chrono::steady_clock::now();
-        // A false return means the peer vanished; its loss.
-        batch[i].conn->stream.sendFrame(MsgType::kAck,
-                                        net::encodeAck(ack));
+        {
+            std::lock_guard<std::mutex> wl(batch[i].conn->writeMutex);
+            // A false return means the peer vanished; its loss.
+            batch[i].conn->stream.sendFrame(MsgType::kAck,
+                                            net::encodeAck(ack));
+        }
         obs::recordSpan(ackSite, t0, std::chrono::steady_clock::now(),
                         ingestContext(batch[i].ingest));
     }
@@ -363,12 +511,16 @@ IngestServer::handleCycle(const WorkItem &item)
         cycle.newCleanPatch->save(out);
         done.cleanPatchText = out.str();
     }
-    item.conn->stream.sendFrame(MsgType::kCycleDone,
-                                net::encodeCycleDone(done));
-    for (const auto &version : cycle.newVersions) {
-        std::ostringstream out;
-        version.save(out);
-        item.conn->stream.sendFrame(MsgType::kVersionPush, out.str());
+    {
+        std::lock_guard<std::mutex> wl(item.conn->writeMutex);
+        item.conn->stream.sendFrame(MsgType::kCycleDone,
+                                    net::encodeCycleDone(done));
+        for (const auto &version : cycle.newVersions) {
+            std::ostringstream out;
+            version.save(out);
+            item.conn->stream.sendFrame(MsgType::kVersionPush,
+                                        out.str());
+        }
     }
     {
         std::lock_guard<std::mutex> lk(statsMutex_);
@@ -381,7 +533,10 @@ void
 IngestServer::handleFlush(const WorkItem &item)
 {
     cloud_.flush();
-    item.conn->stream.sendFrame(MsgType::kFlushDone, std::string());
+    {
+        std::lock_guard<std::mutex> wl(item.conn->writeMutex);
+        item.conn->stream.sendFrame(MsgType::kFlushDone, std::string());
+    }
     {
         std::lock_guard<std::mutex> lk(statsMutex_);
         ++stats_.flushes;
@@ -395,11 +550,14 @@ IngestServer::handleBye(const WorkItem &item)
     net::WireByeAck ack;
     ack.totalIngested = cloud_.totalIngested();
     ack.dedupHits = cloud_.dedupHits();
-    item.conn->stream.sendFrame(MsgType::kByeAck,
-                                net::encodeByeAck(ack));
-    // EOF for the client's final recv; its reader thread on our side
-    // exits when the client closes its half.
-    item.conn->stream.shutdownWrite();
+    {
+        std::lock_guard<std::mutex> wl(item.conn->writeMutex);
+        item.conn->stream.sendFrame(MsgType::kByeAck,
+                                    net::encodeByeAck(ack));
+        // EOF for the client's final recv; its reader thread on our
+        // side exits when the client closes its half.
+        item.conn->stream.shutdownWrite();
+    }
 }
 
 } // namespace nazar::server

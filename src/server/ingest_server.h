@@ -24,14 +24,33 @@
  *                   connection's request order (acks always precede
  *                   the kCycleDone that follows them).
  *
- * The committer also writes every non-handshake reply frame, so
- * there is exactly one writer per socket direction: the reader writes
- * only kHelloAck (before it enqueues anything), the committer writes
- * everything after.
+ * The committer writes every non-handshake reply frame; the reader
+ * writes only kHelloAck (before it enqueues anything) and the kBusy
+ * backpressure advisory. A per-connection write mutex keeps those two
+ * writers' frames from interleaving on the socket.
  *
  * Protocol errors (corrupt frame, unknown type, version mismatch)
  * close that connection and count in stats().protocolErrors; they
  * never take the server down.
+ *
+ * Crash–restart: crash injection on the fronted cloud may be armed.
+ * When a committer-side persist::CrashInjected fires, the server
+ * treats it as its process death: the listener stops, every
+ * connection is severed, and crashed()/crashSite() report the site.
+ * A harness then rebuilds the Cloud from the same state dir (WAL
+ * replay + snapshot re-arms the dedup windows) and starts a fresh
+ * IngestServer over it; reconnecting clients handshake with
+ * `wantResume` and receive the recovered per-device high-water seqs
+ * (from a live Cloud::dedupSnapshot()) in kHelloAck, so retransmits
+ * land exactly once. The single-writer contract holds across the
+ * restart: the old committer died before the new Cloud was built, so
+ * at every moment at most one committer writes the state dir.
+ *
+ * Backpressure: with ServerConfig::maxQueue set, a reader whose
+ * enqueue would exceed the bound sends one kBusy advisory and then
+ * blocks until the committer frees space — it stops draining its
+ * socket, so TCP flow control pushes back to the senders. The queue
+ * depth is exported as the `server.queue_depth` gauge.
  *
  * Latency attribution: every kIngest's path through the server is
  * decomposed into stage spans — `server.read.decode` (reader),
@@ -53,11 +72,13 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "net/tcp.h"
 #include "net/wire.h"
+#include "persist/crash_point.h"
 #include "sim/cloud.h"
 
 namespace nazar::server {
@@ -74,6 +95,24 @@ struct ServerConfig
     bool groupCommit = true;
     /** Largest group-commit batch the committer will assemble. */
     size_t maxBatch = 256;
+    /**
+     * Committer queue bound (0 = unbounded, the historical
+     * behaviour). When full, readers advise kBusy once and stop
+     * draining their sockets until space frees up.
+     */
+    size_t maxQueue = 0;
+    /**
+     * Per-connection receive deadline in ms (0 = none). A connection
+     * that stays silent past the deadline is reaped (its reader
+     * exits), so a wedged peer cannot pin a reader thread forever.
+     */
+    int readTimeoutMs = 0;
+    /**
+     * Test hook: sleep this long before each committer batch, making
+     * the committer deliberately slow so backpressure tests can fill
+     * the queue (0 = off).
+     */
+    int commitDelayUs = 0;
 };
 
 struct ServerStats
@@ -85,6 +124,8 @@ struct ServerStats
     uint64_t cycles = 0;
     uint64_t flushes = 0;
     uint64_t protocolErrors = 0;
+    uint64_t busySent = 0;     ///< kBusy advisories written.
+    uint64_t readTimeouts = 0; ///< Connections reaped by the deadline.
 };
 
 /**
@@ -97,9 +138,11 @@ class IngestServer
     /**
      * @param cloud The cloud this server fronts. Must outlive the
      *              server; the committer thread is its only writer
-     *              while the server runs. Crash injection must be
-     *              disarmed — a CrashInjected escaping the committer
-     *              cannot be replayed deterministically from here.
+     *              while the server runs. Crash injection may be
+     *              armed: a CrashInjected firing in the committer
+     *              plays the part of the server process dying — see
+     *              crashed()/waitCrashed() and the crash–restart
+     *              notes above.
      */
     explicit IngestServer(sim::Cloud &cloud, ServerConfig config = {});
     ~IngestServer();
@@ -119,6 +162,15 @@ class IngestServer
 
     bool running() const { return running_; }
 
+    /** True once a committer-side CrashInjected killed the server. */
+    bool crashed() const;
+
+    /** Block up to @p timeout for a committer crash; true if it came. */
+    bool waitCrashed(std::chrono::milliseconds timeout);
+
+    /** The crash site that fired (empty when !crashed()). */
+    std::string crashSite() const;
+
     ServerStats stats() const;
 
   private:
@@ -131,6 +183,12 @@ class IngestServer
         net::StringDict dict;
         uint64_t id = 0;
         std::thread reader;
+        /** Serializes socket writes: committer replies vs the
+         *  reader's kHelloAck/kBusy frames. */
+        std::mutex writeMutex;
+        /** kBusy already sent for the current full-queue episode;
+         *  reader thread only. */
+        bool busyAdvised = false;
     };
 
     struct WorkItem
@@ -155,7 +213,16 @@ class IngestServer
     void handleFlush(const WorkItem &item);
     void handleBye(const WorkItem &item);
 
-    void enqueue(WorkItem item);
+    /**
+     * Bounded when maxQueue > 0: blocks until space or shutdown.
+     * False means the server is shutting down (or crashed) and the
+     * item was dropped — the reader should exit.
+     */
+    bool enqueue(WorkItem item);
+
+    /** The committer's CrashInjected path: record the site, stop the
+     *  listener, sever every connection, wake all waiters. */
+    void onCommitterCrash(const persist::CrashInjected &e);
 
     sim::Cloud &cloud_;
     ServerConfig config_;
@@ -165,8 +232,18 @@ class IngestServer
 
     std::mutex queueMutex_;
     std::condition_variable queueCv_;
+    /** Signals queue space to readers blocked by maxQueue. */
+    std::condition_variable queueSpaceCv_;
     std::deque<WorkItem> queue_;
     bool stopping_ = false;
+    /** Set on stop() and on a committer crash: enqueue refuses new
+     *  work and blocked readers bail out. Guarded by queueMutex_. */
+    bool shuttingDown_ = false;
+
+    mutable std::mutex crashMutex_;
+    std::condition_variable crashCv_;
+    bool crashed_ = false;
+    std::string crashSite_;
 
     mutable std::mutex connMutex_;
     std::vector<std::shared_ptr<Conn>> conns_;

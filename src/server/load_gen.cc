@@ -73,7 +73,8 @@ driveClient(const LoadConfig &config, int index, ClientOutcome &out)
         net::FaultConfig chaos = config.chaos;
         chaos.seed = config.chaos.seed + static_cast<uint64_t>(index);
         net::IngestClient client(config.port, chaos,
-                                 "load-" + std::to_string(index));
+                                 "load-" + std::to_string(index),
+                                 config.reconnect);
         std::unordered_map<uint64_t, Clock::time_point> inFlight;
         client.setAckObserver([&](const net::WireAck &ack) {
             auto it = inFlight.find(ack.seq);
@@ -137,6 +138,10 @@ runLoad(const LoadConfig &config)
         total.acksRejected += out.stats.acksRejected;
         total.dictStrings += out.dictStrings;
         total.dictHits += out.dictHits;
+        total.reconnects += out.stats.reconnects;
+        total.resent += out.stats.resent;
+        total.resumedLanded += out.stats.resumedLanded;
+        total.busySeen += out.stats.busySeen;
         total.reconciled = total.reconciled && out.reconciled;
         latencies.insert(latencies.end(), out.latenciesMs.begin(),
                          out.latenciesMs.end());

@@ -38,6 +38,12 @@ struct LoadConfig
      * its own seed from `chaos.seed + clientIndex`.
      */
     net::FaultConfig chaos;
+    /**
+     * Session-layer recovery: with `enabled`, each client rides
+     * through server crash–restarts (reconnect, resume, retransmit)
+     * and the reconciliation invariant must still hold at the end.
+     */
+    net::ReconnectPolicy reconnect;
 };
 
 /**
@@ -66,6 +72,10 @@ struct LoadStats
     uint64_t acksRejected = 0;
     uint64_t dictStrings = 0; ///< Summed over clients.
     uint64_t dictHits = 0;    ///< Interned (bytes-saving) occurrences.
+    uint64_t reconnects = 0;  ///< Session-layer reconnect handshakes.
+    uint64_t resent = 0;      ///< Frames retransmitted after resume.
+    uint64_t resumedLanded = 0; ///< Credited landed via resume seqs.
+    uint64_t busySeen = 0;      ///< kBusy advisories received.
     double seconds = 0.0;     ///< Wall clock, connect through bye.
     double eventsPerSec = 0.0;
     double p50Ms = 0.0; ///< Ack round-trip latency percentiles.

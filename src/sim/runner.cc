@@ -242,7 +242,8 @@ Runner::run()
                     "remote ingest: durability lives with the "
                     "server's cloud, not the runner");
         remote = std::make_unique<net::IngestClient>(
-            config_.remotePort, net::FaultConfig{}, "runner");
+            config_.remotePort, net::FaultConfig{}, "runner",
+            config_.remoteReconnect);
     } else {
         cloud = std::make_unique<Cloud>(cloud_config, *base_);
     }

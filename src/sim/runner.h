@@ -61,6 +61,13 @@ struct RunnerConfig
      * before the net layer existed.
      */
     uint16_t remotePort = 0;
+    /**
+     * Session-layer recovery for remote mode: with `enabled`, the
+     * runner's IngestClient rides through a server crash–restart
+     * (reconnect, resume, retransmit) instead of aborting the run.
+     * Ignored when remotePort == 0.
+     */
+    net::ReconnectPolicy remoteReconnect;
     CloudConfig cloud;
     nn::TrainConfig train;         ///< Base-model training.
     data::WorkloadConfig workload;

@@ -9,9 +9,11 @@
 
 #include <cmath>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
+#include "common/rng.h"
 #include "net/wire.h"
 
 namespace nazar::net {
@@ -341,6 +343,164 @@ TEST(WireMessages, ControlPayloadsRoundTrip)
     WireByeAck bye2 = decodeByeAck(encodeByeAck(bye));
     EXPECT_EQ(bye2.totalIngested, 100u);
     EXPECT_EQ(bye2.dedupHits, 4u);
+}
+
+TEST(WireMessages, ResumeFieldsRoundTripAndAddNoBytesWhenAbsent)
+{
+    // wantResume survives the round trip; absent it costs zero bytes
+    // (trailing optional: a fresh session's kHello is byte-identical
+    // to the pre-resume protocol).
+    WireHello plain;
+    plain.clientName = "runner";
+    WireHello resume = plain;
+    resume.wantResume = true;
+    std::string plain_bytes = encodeHello(plain);
+    std::string resume_bytes = encodeHello(resume);
+    EXPECT_EQ(plain_bytes.size() + 1, resume_bytes.size());
+    EXPECT_EQ(resume_bytes.substr(0, plain_bytes.size()), plain_bytes);
+    EXPECT_FALSE(decodeHello(plain_bytes).wantResume);
+    EXPECT_TRUE(decodeHello(resume_bytes).wantResume);
+
+    // The kHelloAck resume block: round trip, and empty == absent.
+    WireHelloAck ack;
+    ack.cleanPatchText = "patch";
+    WireHelloAck with = ack;
+    with.resumeHighWater = {{1000, 57}, {-3, 9}};
+    std::string ack_bytes = encodeHelloAck(ack);
+    std::string with_bytes = encodeHelloAck(with);
+    EXPECT_EQ(with_bytes.substr(0, ack_bytes.size()), ack_bytes);
+    WireHelloAck out = decodeHelloAck(with_bytes);
+    ASSERT_EQ(out.resumeHighWater.size(), 2u);
+    EXPECT_EQ(out.resumeHighWater[0],
+              (std::pair<int64_t, uint64_t>(1000, 57)));
+    EXPECT_EQ(out.resumeHighWater[1],
+              (std::pair<int64_t, uint64_t>(-3, 9)));
+    EXPECT_TRUE(decodeHelloAck(ack_bytes).resumeHighWater.empty());
+
+    // A resume-block count larger than the frame must throw, not
+    // reserve gigabytes.
+    persist::Writer bad;
+    bad.putBytes(ack_bytes.data(), ack_bytes.size());
+    bad.putU32(0x00FFFFFFu); // claims ~16M entries, no bytes follow
+    EXPECT_THROW(decodeHelloAck(bad.take()), NazarError);
+
+    // kBusy round trip.
+    WireBusy busy{17};
+    EXPECT_EQ(decodeBusy(encodeBusy(busy)).queueDepth, 17u);
+}
+
+TEST(FrameParser, FuzzRegressionThrowsButNeverCrashesOrHangs)
+{
+    // Seed-deterministic fuzz corpus. Under the ASAN ctest leg this
+    // is the memory-safety regression net for the frame parser and
+    // the typed payload decoders: every input either parses or throws
+    // NazarError — never a crash, an out-of-bounds read, or an
+    // unbounded wait (all feeds are finite, so "waiting for more
+    // bytes" terminates the drive loop).
+    Rng rng(0xF0221u);
+    auto randomBytes = [&rng](size_t n) {
+        std::string s(n, '\0');
+        for (char &c : s)
+            c = static_cast<char>(rng.uniformInt(0, 255));
+        return s;
+    };
+    // Feed bytes at one chunking; count frames until a throw or the
+    // end of input. Only NazarError is an acceptable exit — anything
+    // else propagates and fails the test.
+    auto drive = [](const std::string &bytes, size_t chunk) {
+        FrameParser parser;
+        size_t frames = 0;
+        try {
+            for (size_t i = 0; i < bytes.size(); i += chunk) {
+                parser.feed(bytes.data() + i,
+                            std::min(chunk, bytes.size() - i));
+                while (parser.next().has_value())
+                    ++frames;
+            }
+        } catch (const NazarError &) {
+        }
+        return frames;
+    };
+
+    // 1. Pure random garbage at random chunkings.
+    for (int round = 0; round < 64; ++round) {
+        std::string junk = randomBytes(
+            static_cast<size_t>(rng.uniformInt(1, 512)));
+        drive(junk, static_cast<size_t>(rng.uniformInt(1, 64)));
+    }
+
+    // 2. A valid three-frame stream with one random bit flipped —
+    // corruption in the length, the CRC, the type, or the body.
+    StringDict enc;
+    WireHello hello;
+    hello.clientName = "fuzz";
+    std::string stream =
+        encodeFrame(MsgType::kHello, encodeHello(hello)) +
+        encodeFrame(MsgType::kIngest,
+                    encodeIngest(sampleIngest(true), enc)) +
+        encodeFrame(MsgType::kAck, encodeAck(WireAck{1, 2, true}));
+    for (int round = 0; round < 256; ++round) {
+        std::string flipped = stream;
+        size_t bit = static_cast<size_t>(
+            rng.uniformInt(0,
+                           static_cast<int64_t>(flipped.size()) * 8 -
+                               1));
+        flipped[bit / 8] ^=
+            static_cast<char>(1u << (bit % 8));
+        drive(flipped,
+              static_cast<size_t>(rng.uniformInt(1, 32)));
+    }
+
+    // 3. Every truncation point of the valid stream: a cut stream is
+    // an incomplete frame, never a corrupt one — whole frames before
+    // the cut still parse.
+    for (size_t cut = 0; cut <= stream.size(); ++cut) {
+        FrameParser parser;
+        parser.feed(stream.data(), cut);
+        size_t frames = 0;
+        while (parser.next().has_value())
+            ++frames;
+        EXPECT_LE(frames, 3u);
+        if (cut == stream.size()) {
+            EXPECT_EQ(frames, 3u);
+        }
+    }
+
+    // 4. Random garbage straight into the typed decoders (what a
+    // CRC-colliding or malicious body would hit).
+    for (int round = 0; round < 128; ++round) {
+        std::string payload = randomBytes(
+            static_cast<size_t>(rng.uniformInt(0, 200)));
+        StringDict dict;
+        try {
+            decodeIngest(payload, dict);
+        } catch (const NazarError &) {
+        }
+        try {
+            decodeHello(payload);
+        } catch (const NazarError &) {
+        }
+        try {
+            decodeHelloAck(payload);
+        } catch (const NazarError &) {
+        }
+        try {
+            decodeAck(payload);
+        } catch (const NazarError &) {
+        }
+        try {
+            decodeCycleDone(payload);
+        } catch (const NazarError &) {
+        }
+        try {
+            decodeByeAck(payload);
+        } catch (const NazarError &) {
+        }
+        try {
+            decodeBusy(payload);
+        } catch (const NazarError &) {
+        }
+    }
 }
 
 } // namespace

@@ -21,10 +21,23 @@
  *            for sanitizer legs in CI where a single binary is
  *            easiest to wrap.
  *
+ *   supervise — the chaos harness: fork a serve child on a fixed
+ *            port + state dir, drive it with reconnect-enabled load
+ *            clients, SIGKILL and respawn the child --kills times
+ *            mid-load, then reconcile exactly — every client must
+ *            end with acksAccepted == sent, and the state dir must
+ *            recover to exactly acksAccepted ingests. Prints
+ *            `SUPERVISE ...` and the final `RECONCILED ok` line;
+ *            exits 1 on any mismatch.
+ *
  * Durability flags mirror nazar_ops sim: --persist-dir= puts a WAL
  * and snapshots under the dir, --fsync= picks the sync mode, and
  * --group-commit=0 forces per-record flushing for comparison runs.
  */
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -37,9 +50,11 @@
 #include "common/error.h"
 #include "common/logging.h"
 #include "net/fault.h"
+#include "net/tcp.h"
 #include "nn/classifier.h"
 #include "obs/export.h"
 #include "obs/span.h"
+#include "persist/cloud_persist.h"
 #include "server/ingest_server.h"
 #include "server/load_gen.h"
 #include "sim/cloud.h"
@@ -65,11 +80,15 @@ usage()
         "  nazar_served serve [--port=N] [--port-file=<path>] "
         "[--persist-dir=<dir> --snapshot-every=N "
         "--fsync=flush|fdatasync|fsync] "
-        "[--group-commit=0|1 --max-batch=N]\n"
+        "[--group-commit=0|1 --max-batch=N --max-queue=N "
+        "--read-timeout-ms=N]\n"
         "  nazar_served load --port=N [--clients=N --events=N "
-        "--drop=P --dup=P --fault-seed=S]\n"
+        "--drop=P --dup=P --fault-seed=S --reconnect=0|1]\n"
         "  nazar_served smoke [--clients=N --events=N --drop=P "
         "--dup=P --fault-seed=S] [--persist-dir=<dir> ...]\n"
+        "  nazar_served supervise --persist-dir=<dir> [--kills=N "
+        "--kill-after-ms=M] [--clients=N --events=N --drop=P "
+        "--dup=P --fault-seed=S] [serve flags]\n"
         "  any mode: [--trace-out=<file>] enables causal tracing and "
         "writes a Chrome trace_event JSON (Perfetto-loadable) on "
         "exit\n");
@@ -98,8 +117,17 @@ struct LoadOptions
     server::LoadConfig load;
 };
 
+struct SuperviseOptions
+{
+    int kills = 2;
+    int killAfterMs = 300;
+    /** Serve-side flags forwarded verbatim to the forked child. */
+    std::vector<std::string> serveArgs;
+};
+
 void
-printLoadStats(const server::LoadStats &stats)
+printLoadStats(const server::LoadStats &stats,
+               bool print_reconciled = true)
 {
     std::printf("LOADGEN sent=%zu accepted=%zu rejected=%zu "
                 "gaveUp=%zu duplicates=%zu retries=%zu "
@@ -109,13 +137,18 @@ printLoadStats(const server::LoadStats &stats)
                 stats.dictStrings, stats.dictHits);
     std::printf("LOADGEN eventsPerSec=%.0f p50Ms=%.3f p99Ms=%.3f\n",
                 stats.eventsPerSec, stats.p50Ms, stats.p99Ms);
+    std::printf("LOADGEN reconnects=%zu resent=%zu resumedLanded=%zu "
+                "busySeen=%zu\n",
+                stats.reconnects, stats.resent, stats.resumedLanded,
+                stats.busySeen);
     for (const auto &stage : stats.stages)
         std::printf("LOADGEN stage %s count=%zu p50Ms=%.3f "
                     "p99Ms=%.3f meanMs=%.3f\n",
                     stage.name.c_str(), stage.count, stage.p50Ms,
                     stage.p99Ms, stage.meanMs);
-    std::printf(stats.reconciled ? "RECONCILED ok\n"
-                                 : "RECONCILED MISMATCH\n");
+    if (print_reconciled)
+        std::printf(stats.reconciled ? "RECONCILED ok\n"
+                                     : "RECONCILED MISMATCH\n");
 }
 
 int
@@ -202,6 +235,117 @@ cmdSmoke(const ServeOptions &serve_opts, const LoadOptions &load_opts)
     return stats.reconciled && tallies_match ? 0 : 1;
 }
 
+/** A currently-free loopback port, released before the child binds
+ *  it (SO_REUSEADDR makes the tiny handoff window benign). */
+uint16_t
+pickFreePort()
+{
+    net::TcpListener probe;
+    probe.listen(0);
+    uint16_t port = probe.port();
+    probe.close();
+    return port;
+}
+
+/** Fork + exec a `nazar_served serve` child; returns its pid. */
+pid_t
+spawnServe(const std::vector<std::string> &args)
+{
+    pid_t pid = ::fork();
+    NAZAR_CHECK(pid >= 0, "supervise: fork failed");
+    if (pid == 0) {
+        std::vector<char *> argvp;
+        static const char *exe = "/proc/self/exe";
+        argvp.push_back(const_cast<char *>(exe));
+        for (const auto &a : args)
+            argvp.push_back(const_cast<char *>(a.c_str()));
+        argvp.push_back(nullptr);
+        ::execv(exe, argvp.data());
+        std::fprintf(stderr, "supervise: execv failed\n");
+        ::_exit(127);
+    }
+    return pid;
+}
+
+int
+cmdSupervise(const ServeOptions &serve_opts,
+             const LoadOptions &load_opts,
+             const SuperviseOptions &sup)
+{
+    NAZAR_CHECK(!serve_opts.persist.dir.empty(),
+                "supervise needs --persist-dir=<dir>");
+    uint16_t port = pickFreePort();
+    std::vector<std::string> childArgs;
+    childArgs.push_back("serve");
+    childArgs.push_back("--port=" + std::to_string(port));
+    for (const auto &a : sup.serveArgs)
+        childArgs.push_back(a);
+
+    pid_t child = spawnServe(childArgs);
+
+    // The load clients ride through the kills: reconnect enabled,
+    // with enough attempts to outlast a child respawn (the respawned
+    // server replays its WAL before it listens).
+    server::LoadConfig load = load_opts.load;
+    load.port = port;
+    load.reconnect.enabled = true;
+    if (load.reconnect.recvTimeoutMs == 0)
+        load.reconnect.recvTimeoutMs = 5000;
+
+    std::atomic<bool> loadDone{false};
+    server::LoadStats stats;
+    std::string loadError;
+    std::thread loadThread([&] {
+        try {
+            stats = server::runLoad(load);
+        } catch (const NazarError &e) {
+            loadError = e.what();
+        }
+        loadDone = true;
+    });
+
+    int killsDone = 0;
+    for (int k = 0; k < sup.kills && !loadDone; ++k) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(sup.killAfterMs));
+        if (loadDone)
+            break;
+        ::kill(child, SIGKILL);
+        ::waitpid(child, nullptr, 0);
+        ++killsDone;
+        // Same port, same state dir: the respawn IS the recovery —
+        // WAL replay + snapshot rebuild the dedup windows the
+        // resuming clients reconcile against.
+        child = spawnServe(childArgs);
+    }
+    loadThread.join();
+
+    ::kill(child, SIGTERM);
+    ::waitpid(child, nullptr, 0);
+
+    if (!loadError.empty()) {
+        std::fprintf(stderr, "supervise: load failed: %s\n",
+                     loadError.c_str());
+        std::printf("RECONCILED MISMATCH\n");
+        return 1;
+    }
+    printLoadStats(stats, /*print_reconciled=*/false);
+
+    // The durable state must account for exactly the accepted
+    // ingests — nothing lost across the kills, nothing applied twice.
+    persist::RecoveredState recovered =
+        persist::recoverDir(serve_opts.persist.dir);
+    bool stateOk = recovered.totalIngested == stats.acksAccepted;
+    std::printf("SUPERVISE kills=%d ingested=%zu accepted=%zu "
+                "reconnects=%zu resent=%zu stateOk=%d\n",
+                killsDone, recovered.totalIngested,
+                stats.acksAccepted, stats.reconnects, stats.resent,
+                stateOk ? 1 : 0);
+    bool ok = stats.reconciled && stateOk;
+    std::printf(ok ? "RECONCILED ok\n" : "RECONCILED MISMATCH\n");
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -214,6 +358,7 @@ main(int argc, char **argv)
 
         ServeOptions serve;
         LoadOptions load;
+        SuperviseOptions sup;
         std::string traceOut;
         auto probFlag = [](const std::string &arg,
                            const std::string &flag, double &out) {
@@ -222,8 +367,20 @@ main(int argc, char **argv)
             out = std::stod(arg.substr(flag.size()));
             return true;
         };
+        // Serve-side flags a supervise parent forwards verbatim to
+        // its forked serve children.
+        const char *const kServeFlags[] = {
+            "--persist-dir=",  "--snapshot-every=", "--fsync=",
+            "--group-commit=", "--max-batch=",      "--max-queue=",
+            "--read-timeout-ms="};
         for (int i = 2; i < argc; ++i) {
             std::string arg = argv[i];
+            for (const char *flag : kServeFlags) {
+                if (arg.rfind(flag, 0) == 0) {
+                    sup.serveArgs.push_back(arg);
+                    break;
+                }
+            }
             if (arg.rfind("--port=", 0) == 0) {
                 int port = std::stoi(arg.substr(7));
                 NAZAR_CHECK(port >= 0 && port <= 65535,
@@ -238,6 +395,10 @@ main(int argc, char **argv)
                     std::stoi(arg.substr(15)) != 0;
             else if (arg.rfind("--max-batch=", 0) == 0)
                 serve.server.maxBatch = std::stoul(arg.substr(12));
+            else if (arg.rfind("--max-queue=", 0) == 0)
+                serve.server.maxQueue = std::stoul(arg.substr(12));
+            else if (arg.rfind("--read-timeout-ms=", 0) == 0)
+                serve.server.readTimeoutMs = std::stoi(arg.substr(18));
             else if (arg.rfind("--persist-dir=", 0) == 0)
                 serve.persist.dir = arg.substr(14);
             else if (arg.rfind("--snapshot-every=", 0) == 0)
@@ -255,6 +416,13 @@ main(int argc, char **argv)
                 continue;
             else if (arg.rfind("--fault-seed=", 0) == 0)
                 load.load.chaos.seed = std::stoull(arg.substr(13));
+            else if (arg.rfind("--reconnect=", 0) == 0)
+                load.load.reconnect.enabled =
+                    std::stoi(arg.substr(12)) != 0;
+            else if (arg.rfind("--kills=", 0) == 0)
+                sup.kills = std::stoi(arg.substr(8));
+            else if (arg.rfind("--kill-after-ms=", 0) == 0)
+                sup.killAfterMs = std::stoi(arg.substr(16));
             else if (arg.rfind("--trace-out=", 0) == 0)
                 traceOut = arg.substr(12);
             else
@@ -273,6 +441,8 @@ main(int argc, char **argv)
             rc = cmdLoad(load);
         else if (cmd == "smoke")
             rc = cmdSmoke(serve, load);
+        else if (cmd == "supervise")
+            rc = cmdSupervise(serve, load, sup);
         else
             return usage();
         if (!traceOut.empty()) {
