@@ -128,7 +128,31 @@ if [ "$DO_RELEASE" = 1 ]; then
     ./build-ci/tools/nazar_ops recover build-ci/crash_state > /dev/null
     ./build-ci/tools/nazar_ops wal build-ci/crash_state/wal.log \
         > /dev/null
+    # The offline scrubber must certify the crash-surviving directory:
+    # every WAL record CRC, every chain-file header and link.
+    ./build-ci/tools/nazar_ops scrub build-ci/crash_state \
+        > build-ci/crash_scrub.out
+    grep -q "SCRUB ok" build-ci/crash_scrub.out || {
+        echo "crash smoke: scrub found integrity issues" >&2; exit 1; }
     ./build-ci/bench/bench_crash_recovery --quick > /dev/null
+    # Disk-fault smoke: a sim with an injected mid-run ENOSPC on the
+    # WAL write path must latch the fsync gate (not crash), rebuild
+    # from the last durable state, finish every window, and leave a
+    # scrub-clean directory behind.
+    echo "==== disk-fault smoke (Release) ===="
+    rm -rf build-ci/diskfault_state
+    ./build-ci/tools/nazar_ops sim 2 --drop=0.1 --dup=0.05 \
+        --persist-dir=build-ci/diskfault_state --snapshot-every=64 \
+        --fault-site=env.wal.write --fault-kind=enospc --fault-hit=333 \
+        > build-ci/diskfault_smoke.log
+    grep -q '^cloudDiskFaults [1-9]' build-ci/diskfault_smoke.log || {
+        echo "disk-fault smoke: injected fault never fired" >&2
+        exit 1; }
+    ./build-ci/tools/nazar_ops scrub build-ci/diskfault_state \
+        > build-ci/diskfault_scrub.out
+    grep -q "SCRUB ok" build-ci/diskfault_scrub.out || {
+        echo "disk-fault smoke: scrub found integrity issues" >&2
+        exit 1; }
     # Networked-cloud smoke: a real server process behind a real
     # socket, chaotic clients, exact reconciliation, then a SIGTERM
     # shutdown that must drain cleanly and leave a loadable state dir.
@@ -181,6 +205,31 @@ if [ "$DO_RELEASE" = 1 ]; then
         exit 1; }
     ./build-ci/tools/nazar_ops recover build-ci/supervise_state \
         > /dev/null
+    # Disk-fault supervise smoke: two latch->restart episodes (ENOSPC
+    # on the write path, then a failed fsync that drops dirty pages).
+    # Each faulted child stops acking, reports the latch and exits;
+    # the supervisor restarts over the recovered state; the resuming
+    # clients must still reconcile exactly-once, and the surviving
+    # directory must scrub clean.
+    echo "==== disk-fault supervise smoke (Release) ===="
+    rm -rf build-ci/diskfault_sup_state
+    ./build-ci/tools/nazar_served supervise \
+        --persist-dir=build-ci/diskfault_sup_state \
+        --disk-faults=2 --clients=3 --events=2000 \
+        --drop=0.02 --dup=0.05 --fault-seed=11 \
+        > build-ci/diskfault_sup.log
+    grep -q "RECONCILED ok" build-ci/diskfault_sup.log || {
+        echo "disk-fault supervise smoke: did not reconcile" >&2
+        exit 1; }
+    grep -q "diskFaults=2 .*stateOk=1" build-ci/diskfault_sup.log || {
+        echo "disk-fault supervise smoke: expected 2 episodes and" \
+             "clean state" >&2
+        exit 1; }
+    ./build-ci/tools/nazar_ops scrub build-ci/diskfault_sup_state \
+        > build-ci/diskfault_sup_scrub.out
+    grep -q "SCRUB ok" build-ci/diskfault_sup_scrub.out || {
+        echo "disk-fault supervise smoke: scrub found issues" >&2
+        exit 1; }
     # Causal-tracing smoke: a chaotic in-process served run with
     # tracing on must produce a Perfetto-loadable Chrome trace where a
     # device upload's trace id links the client send through the
@@ -276,6 +325,17 @@ if [ "$DO_ASAN" = 1 ]; then
     ./build-asan/tools/nazar_ops sim 1 \
         --persist-dir=build-asan/crash_state --snapshot-every=64 \
         --crash-at=333 > /dev/null
+    # Disk-fault smoke under ASAN: the Env fault paths (short write,
+    # latch, dropped dirty tail) and the faulted-cloud rebuild must
+    # neither leak the poisoned WAL handle nor touch freed buffers.
+    echo "==== disk-fault smoke (ASAN) ===="
+    rm -rf build-asan/diskfault_state
+    ./build-asan/tools/nazar_ops sim 1 \
+        --persist-dir=build-asan/diskfault_state --snapshot-every=64 \
+        --fault-site=env.wal.sync --fault-kind=sync_fail --fault-hit=200 \
+        > /dev/null
+    ./build-asan/tools/nazar_ops scrub build-asan/diskfault_state \
+        > /dev/null
     # Ingest-server smoke under ASAN: server, chaotic clients and
     # shutdown in one process — sockets, reader threads and the
     # committer must neither leak nor touch freed frames.

@@ -143,6 +143,20 @@ ModelRegistry::versionIds() const
     return ids;
 }
 
+size_t
+ModelRegistry::evictBelow(int64_t min_id)
+{
+    size_t evicted = 0;
+    for (int64_t id : versionIds()) {
+        if (id >= min_id)
+            break;
+        store_->remove(metaKey(id));
+        store_->remove(patchKey(id));
+        ++evicted;
+    }
+    return evicted;
+}
+
 std::optional<ModelVersion>
 ModelRegistry::latestForCause(const rca::AttributeSet &cause) const
 {

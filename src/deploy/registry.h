@@ -76,6 +76,15 @@ class ModelRegistry
     std::optional<ModelVersion>
     latestForCause(const rca::AttributeSet &cause) const;
 
+    /**
+     * Evict every version with id < @p min_id from the blob store
+     * (meta + patch). The caller is responsible for the safety
+     * invariant: @p min_id must be at or below every device's
+     * last-seen version, so no fetch for an evicted id can ever
+     * arrive. @return The number of versions evicted.
+     */
+    size_t evictBelow(int64_t min_id);
+
     size_t size() const { return versionIds().size(); }
 
     /** Blob-store key of a version's metadata ("versions/<id>/meta"). */

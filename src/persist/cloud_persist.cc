@@ -76,6 +76,37 @@ replayCycleCommit(RecoveredState &st, Reader &r)
     st.uploads.clear();
 }
 
+/** Version id of a "versions/<id>/<kind>" blob key (-1 otherwise). */
+int64_t
+blobKeyVersion(const std::string &key)
+{
+    constexpr char kPrefix[] = "versions/";
+    constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+    if (key.compare(0, kPrefixLen, kPrefix) != 0)
+        return -1;
+    size_t slash = key.find('/', kPrefixLen);
+    if (slash == std::string::npos || slash == kPrefixLen)
+        return -1;
+    int64_t id = 0;
+    for (size_t i = kPrefixLen; i < slash; ++i) {
+        if (key[i] < '0' || key[i] > '9')
+            return -1;
+        id = id * 10 + (key[i] - '0');
+    }
+    return id;
+}
+
+/** Replay one registry GC: drop blobs below the version floor. */
+void
+replayRegistryGc(RecoveredState &st, Reader &r)
+{
+    int64_t min_id = r.getI64();
+    std::erase_if(st.blobs, [min_id](const auto &kv) {
+        int64_t id = blobKeyVersion(kv.first);
+        return id >= 0 && id < min_id;
+    });
+}
+
 void
 applyWalRecord(RecoveredState &st, const WalRecord &rec,
                size_t dedup_window)
@@ -91,6 +122,9 @@ applyWalRecord(RecoveredState &st, const WalRecord &rec,
       case WalRecordType::kFlush:
         st.log.clear();
         st.uploads.clear();
+        break;
+      case WalRecordType::kRegistryGc:
+        replayRegistryGc(st, r);
         break;
     }
 }
@@ -113,17 +147,152 @@ applySnapshot(RecoveredState &st, SnapshotData &&snap)
     st.cleanPatchTime = snap.cleanPatchTime;
 }
 
+/** All valid chain files in @p dir, keyed by id (invalid = absent). */
+std::map<uint64_t, ChainFile>
+collectChainFiles(const fs::path &dir)
+{
+    std::map<uint64_t, ChainFile> files;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        auto parsed = parseChainFileName(entry.path().filename().string());
+        if (!parsed.has_value())
+            continue;
+        auto loaded = loadChainFile(entry.path());
+        if (!loaded.has_value())
+            continue; // torn or corrupt: treated as absent
+        if (loaded->header.id != parsed->first ||
+            loaded->header.kind != parsed->second)
+            continue; // header disagrees with the filename
+        files.emplace(loaded->header.id, std::move(*loaded));
+    }
+    return files;
+}
+
+/** What the snapshot-chain loader tells CloudPersistence. */
+struct ChainRecovery
+{
+    bool loaded = false; ///< A chain (or legacy snapshot) was applied.
+    uint64_t headId = 0;
+    uint32_t headCrc = 0;
+    uint64_t headLastWalSeq = 0;
+    uint64_t deltasSinceFull = 0;
+};
+
+/**
+ * Load the newest snapshot chain (or the legacy snapshot.bin) into
+ * @p st. A delta whose base is missing or CRC-mismatched is a broken
+ * chain: recovery REFUSES (NazarError) rather than silently adopting
+ * stale state — the base provably existed when the delta committed,
+ * so its absence means the directory was damaged outside the
+ * protocol.
+ */
+ChainRecovery
+loadSnapshotChain(RecoveredState &st, const fs::path &dir,
+                  size_t dedup_window)
+{
+    ChainRecovery out;
+    std::map<uint64_t, ChainFile> files = collectChainFiles(dir);
+    if (files.empty()) {
+        // Legacy layout (pre-chain): a single snapshot.bin.
+        auto snap = loadSnapshotFile(dir / "snapshot.bin");
+        if (snap.has_value()) {
+            out.headLastWalSeq = snap->lastWalSeq;
+            applySnapshot(st, std::move(*snap));
+            out.loaded = true;
+        }
+        return out;
+    }
+
+    // Walk head -> base until a full snapshot anchors the chain.
+    const ChainFile *cur = &files.rbegin()->second;
+    out.headId = cur->header.id;
+    out.headCrc = cur->header.payloadCrc;
+    out.headLastWalSeq = cur->header.lastWalSeq;
+    std::vector<const ChainFile *> chain;
+    while (true) {
+        chain.push_back(cur);
+        if (cur->header.kind == ChainKind::kFull)
+            break;
+        auto base = files.find(cur->header.baseId);
+        NAZAR_CHECK(base != files.end(),
+                    "recover: snapshot chain broken — " +
+                        chainFileName(cur->header.id, cur->header.kind) +
+                        " needs missing/corrupt base id " +
+                        std::to_string(cur->header.baseId));
+        NAZAR_CHECK(base->second.header.payloadCrc == cur->header.baseCrc,
+                    "recover: snapshot chain broken — base id " +
+                        std::to_string(cur->header.baseId) +
+                        " does not match the CRC its delta recorded");
+        cur = &base->second;
+    }
+    out.deltasSinceFull = chain.size() - 1;
+
+    // Apply base-first: full snapshot, then each delta's records.
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        const ChainFile &file = **it;
+        if (file.header.kind == ChainKind::kFull) {
+            applySnapshot(st, decodeSnapshot(file.payload));
+        } else {
+            for (const WalRecord &rec :
+                 decodeDeltaRecords(file.payload)) {
+                if (rec.seq <= st.lastWalSeq)
+                    continue;
+                applyWalRecord(st, rec, dedup_window);
+                st.lastWalSeq = rec.seq;
+            }
+        }
+        if (file.header.lastWalSeq > st.lastWalSeq)
+            st.lastWalSeq = file.header.lastWalSeq;
+    }
+    out.loaded = true;
+    return out;
+}
+
 } // namespace
+
+std::string
+encodeDeltaRecords(const std::vector<WalRecord> &records)
+{
+    Writer w;
+    w.putU32(static_cast<uint32_t>(records.size()));
+    for (const WalRecord &rec : records) {
+        w.putU8(static_cast<uint8_t>(rec.type));
+        w.putU64(rec.seq);
+        w.putString(rec.payload);
+    }
+    return w.take();
+}
+
+std::vector<WalRecord>
+decodeDeltaRecords(const std::string &payload)
+{
+    Reader r(payload);
+    uint32_t count = r.getU32();
+    std::vector<WalRecord> records;
+    uint64_t last_seq = 0;
+    for (uint32_t i = 0; i < count; ++i) {
+        WalRecord rec;
+        uint8_t type = r.getU8();
+        NAZAR_CHECK(type >= 1 && type <= 4,
+                    "persist: unknown record type in delta snapshot");
+        rec.type = static_cast<WalRecordType>(type);
+        rec.seq = r.getU64();
+        NAZAR_CHECK(rec.seq > last_seq,
+                    "persist: non-increasing seq in delta snapshot");
+        last_seq = rec.seq;
+        rec.payload = r.getString();
+        records.push_back(std::move(rec));
+    }
+    NAZAR_CHECK(r.atEnd(), "persist: trailing bytes in delta snapshot");
+    return records;
+}
 
 RecoveredState
 recoverDir(const fs::path &dir, size_t dedup_window)
 {
     RecoveredState st;
-    auto snap = loadSnapshotFile(dir / "snapshot.bin");
-    if (snap.has_value()) {
-        applySnapshot(st, std::move(*snap));
-        st.snapshotLoaded = true;
-    }
+    ChainRecovery chain = loadSnapshotChain(st, dir, dedup_window);
+    st.snapshotLoaded = chain.loaded;
     WalScan scan = Wal::scan(dir / "wal.log");
     NAZAR_CHECK(!scan.unreadable,
                 "recover: " + (dir / "wal.log").string() +
@@ -148,23 +317,35 @@ CloudPersistence::CloudPersistence(const PersistConfig &config,
                 "CloudPersistence requires a state directory");
     fs::create_directories(config_.dir);
     injector_.armAtHit(config_.crashAtHit);
+    env_.arm(config_.fault);
 
     fs::path dir(config_.dir);
-    auto snap = loadSnapshotFile(dir / "snapshot.bin");
-    if (snap.has_value()) {
-        applySnapshot(recovered_, std::move(*snap));
+    ChainRecovery chain =
+        loadSnapshotChain(recovered_, dir, dedup_window);
+    if (chain.loaded) {
         recovered_.snapshotLoaded = true;
         obs::Registry::global()
             .counter("persist.recover.snapshot_loads")
             .add(1);
     }
-    // A crash during the tmp phase leaves an orphan; it was never
-    // committed, so it is simply discarded.
+    chainHeadId_ = chain.headId;
+    chainHeadCrc_ = chain.headCrc;
+    chainLastWalSeq_ = chain.headLastWalSeq;
+    deltasSinceFull_ = chain.deltasSinceFull;
+
+    // A crash during a tmp phase leaves orphans (snapshot.tmp or
+    // snap-*.tmp); they were never committed, so discard them.
     std::error_code ec;
-    fs::remove(dir / "snapshot.tmp", ec);
+    std::vector<fs::path> orphans;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (entry.path().extension() == ".tmp")
+            orphans.push_back(entry.path());
+    }
+    for (const auto &orphan : orphans)
+        fs::remove(orphan, ec);
 
     wal_ = std::make_unique<Wal>(dir / "wal.log", &injector_,
-                                 config_.sync);
+                                 config_.sync, &env_);
     wal_->bumpSeqPast(recovered_.lastWalSeq);
     recovered_.truncatedBytes = wal_->truncatedBytes();
     for (const auto &rec : wal_->records()) {
@@ -271,6 +452,14 @@ CloudPersistence::logFlush()
     append(WalRecordType::kFlush, std::string());
 }
 
+void
+CloudPersistence::logRegistryGc(int64_t min_version_id)
+{
+    Writer w;
+    w.putI64(min_version_id);
+    append(WalRecordType::kRegistryGc, w.bytes());
+}
+
 bool
 CloudPersistence::snapshotDue() const
 {
@@ -278,16 +467,235 @@ CloudPersistence::snapshotDue() const
            appendsSince_ >= config_.snapshotEvery;
 }
 
+bool
+CloudPersistence::nextSnapshotIsFull() const
+{
+    return chainHeadId_ == 0 || config_.fullEvery <= 1 ||
+           deltasSinceFull_ + 1 >= config_.fullEvery;
+}
+
 void
 CloudPersistence::writeSnapshot(SnapshotData data)
 {
     NAZAR_SPAN("persist.snapshot");
     data.lastWalSeq = wal_->lastSeq();
-    fs::path dir(config_.dir);
-    writeSnapshotFile(dir / "snapshot.tmp", dir / "snapshot.bin", data,
-                      injector_);
+    ChainHeader header;
+    header.kind = ChainKind::kFull;
+    header.id = chainHeadId_ + 1;
+    header.lastWalSeq = data.lastWalSeq;
+    chainHeadCrc_ = writeChainFile(fs::path(config_.dir), header,
+                                   encodeSnapshot(data), injector_, env_);
+    chainHeadId_ = header.id;
+    chainLastWalSeq_ = data.lastWalSeq;
+    deltasSinceFull_ = 0;
     wal_->truncateAll();
     appendsSince_ = 0;
+    gcSupersededChain();
+}
+
+void
+CloudPersistence::writeDeltaSnapshot()
+{
+    NAZAR_SPAN("persist.snapshot_delta");
+    NAZAR_ASSERT(chainHeadId_ != 0,
+                 "delta snapshot without a chain base");
+    // Every append path syncs before returning, so the on-disk WAL
+    // holds exactly the records since the last truncation. Filter to
+    // seqs above the chain head: a crash between a snapshot's rename
+    // and its WAL truncation legitimately leaves older records behind.
+    WalScan scan = Wal::scan(wal_->path());
+    std::vector<WalRecord> records;
+    records.reserve(scan.records.size());
+    for (auto &rec : scan.records) {
+        if (rec.seq > chainLastWalSeq_)
+            records.push_back(std::move(rec));
+    }
+    uint64_t last_seq = wal_->lastSeq();
+    ChainHeader header;
+    header.kind = ChainKind::kDelta;
+    header.id = chainHeadId_ + 1;
+    header.baseId = chainHeadId_;
+    header.baseCrc = chainHeadCrc_;
+    header.lastWalSeq = last_seq;
+    chainHeadCrc_ =
+        writeChainFile(fs::path(config_.dir), header,
+                       encodeDeltaRecords(records), injector_, env_);
+    chainHeadId_ = header.id;
+    chainLastWalSeq_ = last_seq;
+    ++deltasSinceFull_;
+    wal_->truncateAll();
+    appendsSince_ = 0;
+}
+
+void
+CloudPersistence::gcSupersededChain()
+{
+    // Safety invariant: only called right after a FULL snapshot
+    // committed, so the recovery chain is exactly {chainHeadId_} and
+    // every older chain file (and the legacy snapshot.bin) is
+    // superseded. Unlinks are best-effort: a survivor is harmless
+    // (recovery picks the newest chain) and must not poison the log.
+    fs::path dir(config_.dir);
+    std::error_code ec;
+    std::vector<fs::path> victims;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        auto parsed =
+            parseChainFileName(entry.path().filename().string());
+        if (parsed.has_value() && parsed->first < chainHeadId_)
+            victims.push_back(entry.path());
+    }
+    if (fs::exists(dir / "snapshot.bin", ec))
+        victims.push_back(dir / "snapshot.bin");
+    uint64_t removed = 0;
+    for (const auto &victim : victims) {
+        if (env_.remove("env.snap.unlink", victim))
+            ++removed;
+    }
+    snapshotGcRemoved_ += removed;
+    if (removed > 0)
+        obs::Registry::global()
+            .counter("persist.snapshot.gc_removed")
+            .add(removed);
+}
+
+ScrubReport
+scrubStateDir(const fs::path &dir)
+{
+    ScrubReport report;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) {
+        report.ok = false;
+        report.issues.push_back("not a directory: " + dir.string());
+        return report;
+    }
+
+    // --- WAL: header, per-record CRC + seq monotonicity -------------
+    fs::path wal_path = dir / "wal.log";
+    if (fs::exists(wal_path, ec)) {
+        WalScan scan = Wal::scan(wal_path);
+        if (scan.unreadable) {
+            report.ok = false;
+            report.issues.push_back("wal.log exists but is unreadable");
+        } else if (!scan.validHeader) {
+            report.ok = false;
+            report.issues.push_back("wal.log has no valid header");
+        } else {
+            report.walRecords = scan.records.size();
+            report.walTornBytes = scan.truncatedBytes;
+            if (scan.truncatedBytes > 0)
+                report.notes.push_back(
+                    "wal.log has a torn tail of " +
+                    std::to_string(scan.truncatedBytes) +
+                    " bytes (recovery truncates it)");
+        }
+    } else {
+        report.notes.push_back("no wal.log (fresh or empty state dir)");
+    }
+
+    // --- chain files: magic, CRC, filename/header agreement --------
+    std::map<uint64_t, ChainFile> valid;
+    std::vector<std::string> names;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        std::string name = entry.path().filename().string();
+        auto parsed = parseChainFileName(name);
+        if (!parsed.has_value())
+            continue;
+        auto loaded = loadChainFile(entry.path());
+        if (!loaded.has_value()) {
+            report.ok = false;
+            report.issues.push_back("corrupt chain file: " + name);
+            continue;
+        }
+        if (loaded->header.id != parsed->first ||
+            loaded->header.kind != parsed->second) {
+            report.ok = false;
+            report.issues.push_back(
+                "chain file header disagrees with filename: " + name);
+            continue;
+        }
+        ++report.chainFiles;
+        report.chainBytes += loaded->payload.size();
+        names.push_back(name);
+        valid.emplace(loaded->header.id, std::move(*loaded));
+    }
+
+    // --- recovery chain: head -> full, links pinned by CRC ----------
+    if (!valid.empty()) {
+        const ChainFile *cur = &valid.rbegin()->second;
+        uint64_t chain_last_seq = cur->header.lastWalSeq;
+        while (true) {
+            ++report.chainLength;
+            try {
+                if (cur->header.kind == ChainKind::kFull)
+                    decodeSnapshot(cur->payload);
+                else
+                    decodeDeltaRecords(cur->payload);
+            } catch (const NazarError &e) {
+                report.ok = false;
+                report.issues.push_back(
+                    "chain payload fails to decode (id " +
+                    std::to_string(cur->header.id) + "): " + e.what());
+            }
+            if (cur->header.kind == ChainKind::kFull)
+                break;
+            auto base = valid.find(cur->header.baseId);
+            if (base == valid.end()) {
+                report.ok = false;
+                report.issues.push_back(
+                    "chain link broken: id " +
+                    std::to_string(cur->header.id) +
+                    " needs missing/corrupt base id " +
+                    std::to_string(cur->header.baseId));
+                break;
+            }
+            if (base->second.header.payloadCrc != cur->header.baseCrc) {
+                report.ok = false;
+                report.issues.push_back(
+                    "chain link CRC mismatch: id " +
+                    std::to_string(cur->header.id) + " expects base " +
+                    std::to_string(cur->header.baseId) +
+                    " with a different payload CRC");
+                break;
+            }
+            cur = &base->second;
+        }
+        if (report.chainLength < valid.size())
+            report.notes.push_back(
+                std::to_string(valid.size() - report.chainLength) +
+                " superseded chain file(s) awaiting GC");
+        if (report.walRecords > 0 && report.ok) {
+            WalScan scan = Wal::scan(wal_path);
+            uint64_t stale = 0;
+            for (const auto &rec : scan.records)
+                if (rec.seq <= chain_last_seq)
+                    ++stale;
+            if (stale > 0)
+                report.notes.push_back(
+                    std::to_string(stale) +
+                    " WAL record(s) already inside the snapshot chain "
+                    "(crash before truncation; replay skips them)");
+        }
+    }
+
+    // --- legacy snapshot.bin ----------------------------------------
+    if (fs::exists(dir / "snapshot.bin", ec)) {
+        auto snap = loadSnapshotFile(dir / "snapshot.bin");
+        if (snap.has_value()) {
+            report.legacySnapshot = true;
+            if (!valid.empty())
+                report.notes.push_back(
+                    "stale legacy snapshot.bin awaiting GC");
+        } else if (valid.empty()) {
+            report.ok = false;
+            report.issues.push_back(
+                "snapshot.bin is corrupt and no chain exists");
+        } else {
+            report.notes.push_back(
+                "unreadable legacy snapshot.bin (not part of the "
+                "recovery chain)");
+        }
+    }
+    return report;
 }
 
 } // namespace nazar::persist

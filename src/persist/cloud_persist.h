@@ -38,6 +38,7 @@
 
 #include "driftlog/drift_log.h"
 #include "persist/crash_point.h"
+#include "persist/env.h"
 #include "persist/snapshot.h"
 #include "persist/wal.h"
 
@@ -46,12 +47,19 @@ namespace nazar::persist {
 /** Durability configuration (off by default: dir empty). */
 struct PersistConfig
 {
-    /** State directory (wal.log + snapshot.bin). Empty = off. */
+    /** State directory (wal.log + snapshot chain). Empty = off. */
     std::string dir;
     /** WAL appends between snapshots (0 = snapshot only on demand). */
     uint64_t snapshotEvery = 256;
+    /**
+     * Every Kth snapshot is a full one; the rest are deltas chained
+     * on top of it (1 = always full, the pre-chain behaviour).
+     */
+    uint64_t fullEvery = 8;
     /** Arm the crash injector at the Nth site hit (0 = disarmed). */
     uint64_t crashAtHit = 0;
+    /** Arm the I/O environment's disk fault (disarmed by default). */
+    DiskFaultPlan fault;
     /**
      * WAL durability: kFlush matches the process-kill fault model;
      * kFdatasync/kFsync survive power loss (group commit amortizes
@@ -101,6 +109,45 @@ struct VersionBlobs
  */
 RecoveredState recoverDir(const std::filesystem::path &dir,
                           size_t dedup_window = 4096);
+
+/**
+ * Encode WAL records as a delta-snapshot payload. A delta archives
+ * the live WAL's records (everything since the chain base, because
+ * the WAL is truncated at every snapshot) so recovery can replay them
+ * through the ordinary WAL machinery.
+ */
+std::string encodeDeltaRecords(const std::vector<WalRecord> &records);
+
+/**
+ * Decode a delta-snapshot payload; throws NazarError on malformed
+ * bytes, unknown record types, or non-increasing seqs.
+ */
+std::vector<WalRecord> decodeDeltaRecords(const std::string &payload);
+
+/** What `nazar_ops scrub` reports about a state directory. */
+struct ScrubReport
+{
+    bool ok = true; ///< No integrity issues (notes are fine).
+    /** Integrity violations: corrupt files, broken chain links. */
+    std::vector<std::string> issues;
+    /** Benign observations: torn WAL tail, stale leftovers. */
+    std::vector<std::string> notes;
+    uint64_t walRecords = 0;
+    uint64_t walTornBytes = 0;
+    uint64_t chainFiles = 0;       ///< Valid chain files present.
+    uint64_t chainLength = 0;      ///< Elements in the recovery chain.
+    uint64_t chainBytes = 0;       ///< Payload bytes across chain files.
+    bool legacySnapshot = false;   ///< A readable snapshot.bin exists.
+};
+
+/**
+ * Offline, read-only integrity walk of a state directory: verifies
+ * the WAL's record CRCs and seq monotonicity, every chain file's
+ * header + payload CRC, each delta's link to its base (baseId exists,
+ * baseCrc matches), and that the recovery chain decodes. Never
+ * modifies anything.
+ */
+ScrubReport scrubStateDir(const std::filesystem::path &dir);
 
 /** Per-state-directory durability engine, owned by sim::Cloud. */
 class CloudPersistence
@@ -158,30 +205,78 @@ class CloudPersistence
     /** Log one baseline flush (buffers cleared without analysis). */
     void logFlush();
 
+    /**
+     * Log a registry GC floor: versions with id < @p min_version_id
+     * are evicted from the blob store. WAL-first — call before
+     * evicting in memory so replay reproduces the eviction.
+     */
+    void logRegistryGc(int64_t min_version_id);
+
     /** True when enough appends accumulated to warrant a snapshot. */
     bool snapshotDue() const;
 
     /**
-     * Write a snapshot (rename-on-commit) and truncate the WAL.
-     * data.lastWalSeq is filled in from the WAL's last appended seq.
+     * True when the next snapshot must be a full one (no chain yet,
+     * or fullEvery deltas would otherwise pile up). The owner then
+     * builds a full SnapshotData for writeSnapshot(); otherwise it
+     * calls writeDeltaSnapshot(), which needs no state dump at all.
+     */
+    bool nextSnapshotIsFull() const;
+
+    /**
+     * Write a FULL chain snapshot (rename-on-commit), truncate the
+     * WAL, and GC every superseded chain file (safety invariant: a
+     * committed full IS the whole recovery chain, so everything older
+     * is removable). data.lastWalSeq is filled in from the WAL.
      */
     void writeSnapshot(SnapshotData data);
 
+    /**
+     * Write a DELTA chain snapshot: archive the live WAL's records
+     * (filtered to seqs above the chain head) under a chained header,
+     * then truncate the WAL. O(records since last snapshot) — the
+     * blob store is not touched.
+     */
+    void writeDeltaSnapshot();
+
+    /** True once any I/O failed: the fsync gate is latched. */
+    bool diskFaulted() const { return env_.faulted(); }
+
+    /** Site of the latched disk fault ("" when healthy). */
+    std::string diskFaultSite() const { return env_.faultSite(); }
+
     CrashInjector &injector() { return injector_; }
+    Env &env() { return env_; }
     const PersistConfig &config() const { return config_; }
     const Wal &wal() const { return *wal_; }
 
     /** Appends since the last snapshot (exposed for tests). */
     uint64_t appendsSinceSnapshot() const { return appendsSince_; }
 
+    /** Chain files removed by snapshot GC over this instance's life. */
+    uint64_t snapshotGcRemoved() const { return snapshotGcRemoved_; }
+
+    /** Newest chain element id (0 = no chain yet). */
+    uint64_t chainHeadId() const { return chainHeadId_; }
+
   private:
     uint64_t append(WalRecordType type, const std::string &payload);
 
+    /** Unlink chain files older than the head + the legacy snapshot. */
+    void gcSupersededChain();
+
     PersistConfig config_;
     CrashInjector injector_;
+    Env env_;
     std::unique_ptr<Wal> wal_;
     RecoveredState recovered_;
     uint64_t appendsSince_ = 0;
+    uint64_t chainHeadId_ = 0;
+    uint32_t chainHeadCrc_ = 0;
+    /** lastWalSeq of the chain head (next delta starts above it). */
+    uint64_t chainLastWalSeq_ = 0;
+    uint64_t deltasSinceFull_ = 0;
+    uint64_t snapshotGcRemoved_ = 0;
 };
 
 } // namespace nazar::persist

@@ -1,0 +1,341 @@
+#include "persist/env.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace nazar::persist {
+
+namespace fs = std::filesystem;
+
+FaultKind
+faultKindFromString(const std::string &name)
+{
+    if (name == "none")
+        return FaultKind::kNone;
+    if (name == "short_write")
+        return FaultKind::kShortWrite;
+    if (name == "enospc")
+        return FaultKind::kEnospc;
+    if (name == "eio")
+        return FaultKind::kEio;
+    if (name == "sync_fail")
+        return FaultKind::kSyncFail;
+    if (name == "lost_rename")
+        return FaultKind::kLostRename;
+    if (name == "lost_file")
+        return FaultKind::kLostFile;
+    throw NazarError("unknown fault kind '" + name +
+                     "' (expected none|short_write|enospc|eio|"
+                     "sync_fail|lost_rename|lost_file)");
+}
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::kNone:
+        return "none";
+    case FaultKind::kShortWrite:
+        return "short_write";
+    case FaultKind::kEnospc:
+        return "enospc";
+    case FaultKind::kEio:
+        return "eio";
+    case FaultKind::kSyncFail:
+        return "sync_fail";
+    case FaultKind::kLostRename:
+        return "lost_rename";
+    case FaultKind::kLostFile:
+        return "lost_file";
+    }
+    return "?";
+}
+
+void
+Env::arm(const DiskFaultPlan &plan)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    plan_ = plan;
+    fired_ = false;
+}
+
+bool
+Env::faulted() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return faulted_;
+}
+
+std::string
+Env::faultSite() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return faultSite_;
+}
+
+uint64_t
+Env::hitCount(const std::string &site) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = hits_.find(site);
+    return it == hits_.end() ? 0 : it->second;
+}
+
+uint64_t
+Env::totalHits() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    uint64_t total = 0;
+    for (const auto &[site, count] : hits_)
+        total += count;
+    return total;
+}
+
+FaultKind
+Env::maybeFault(const char *site)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (faulted_)
+        throw DiskFault(faultSite_,
+                        "durability layer latched by an earlier fault "
+                        "(fsync gate) — rebuild from the state "
+                        "directory to clear");
+    uint64_t hit = ++hits_[site];
+    if (plan_.armed() && !fired_ && plan_.site == site &&
+        hit == plan_.hit) {
+        fired_ = true;
+        return plan_.kind;
+    }
+    return FaultKind::kNone;
+}
+
+void
+Env::latch(const std::string &site, const std::string &detail)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!faulted_) {
+            faulted_ = true;
+            faultSite_ = site;
+        }
+    }
+    obs::Registry::global().counter("persist.env.disk_faults").add(1);
+    throw DiskFault(site, detail);
+}
+
+Env::File *
+Env::open(const char *site, const fs::path &path, const char *mode)
+{
+    FaultKind kind = maybeFault(site);
+    if (kind == FaultKind::kEio)
+        latch(site, "cannot open " + path.string() + " (injected EIO)");
+    errno = 0;
+    std::FILE *fp = std::fopen(path.string().c_str(), mode);
+    if (fp == nullptr)
+        latch(site, "cannot open " + path.string() + ": " +
+                        std::strerror(errno));
+    auto *f = new File;
+    f->fp = fp;
+    f->path = path;
+    if (mode[0] == 'a') {
+        std::error_code ec;
+        uint64_t existing = fs::file_size(path, ec);
+        f->length = ec ? 0 : existing;
+    }
+    // Existing bytes were synced by whoever wrote them (or recovery
+    // already truncated the torn tail); new dirt starts at length.
+    f->syncedLen = f->length;
+    return f;
+}
+
+void
+Env::write(const char *site, File *f, const void *data, size_t n)
+{
+    FaultKind kind = maybeFault(site);
+    switch (kind) {
+    case FaultKind::kShortWrite: {
+        // Half the bytes reach the file before the device gives up —
+        // a torn record that fails its CRC on recovery.
+        size_t torn = n / 2;
+        std::fwrite(data, 1, torn, f->fp);
+        std::fflush(f->fp);
+        f->length += torn;
+        latch(site, "short write to " + f->path.string() +
+                        " (injected, " + std::to_string(torn) + "/" +
+                        std::to_string(n) + " bytes)");
+    }
+    case FaultKind::kEnospc:
+        latch(site, "no space left on device writing " +
+                        f->path.string() + " (injected ENOSPC)");
+    case FaultKind::kEio:
+        latch(site,
+              "I/O error writing " + f->path.string() + " (injected EIO)");
+    default:
+        break;
+    }
+    size_t written = std::fwrite(data, 1, n, f->fp);
+    f->length += written;
+    if (written != n)
+        latch(site, "short write to " + f->path.string() + " (" +
+                        std::to_string(written) + "/" +
+                        std::to_string(n) + " bytes)");
+}
+
+void
+Env::sync(const char *site, File *f, int deep)
+{
+    FaultKind kind = maybeFault(site);
+    if (kind == FaultKind::kSyncFail) {
+        // The kernel may discard dirty pages on a failed fsync; model
+        // the worst case by dropping everything since the last
+        // successful sync. Retrying the sync cannot recover them —
+        // hence the fsync gate.
+        std::fflush(f->fp);
+        ::ftruncate(::fileno(f->fp), static_cast<off_t>(f->syncedLen));
+        f->length = f->syncedLen;
+        latch(site, "sync failed for " + f->path.string() +
+                        " (injected; dirty bytes dropped)");
+    }
+    if (kind == FaultKind::kEio)
+        latch(site, "sync failed for " + f->path.string() +
+                        " (injected EIO)");
+    if (std::fflush(f->fp) != 0)
+        latch(site, "flush failed for " + f->path.string());
+    if (deep > 0) {
+        int fd = ::fileno(f->fp);
+        int rc = deep == 1 ? ::fdatasync(fd) : ::fsync(fd);
+        if (rc != 0)
+            latch(site, "fsync failed for " + f->path.string() + ": " +
+                            std::strerror(errno));
+    }
+    f->syncedLen = f->length;
+}
+
+void
+Env::close(File *f) noexcept
+{
+    if (f == nullptr)
+        return;
+    if (f->fp != nullptr)
+        std::fclose(f->fp);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        closedUnsynced_[f->path.string()] = f->length != f->syncedLen;
+    }
+    delete f;
+}
+
+void
+Env::rename(const char *site, const fs::path &from, const fs::path &to)
+{
+    FaultKind kind = maybeFault(site);
+    if (kind == FaultKind::kEio)
+        latch(site, "rename " + from.string() + " -> " + to.string() +
+                        " failed (injected EIO)");
+    if (kind == FaultKind::kLostRename) {
+        // The syscall "succeeds" but the directory update never
+        // reaches the platter: after the (simulated) power cut the
+        // source is gone and the target never appeared. The next
+        // syncDir() reports the loss — which is exactly why the
+        // commit sequence must fsync the directory after renaming.
+        std::error_code ec;
+        fs::remove(from, ec);
+        std::lock_guard<std::mutex> lk(mu_);
+        lostRenamePending_ = true;
+        return;
+    }
+    bool zero_target = false;
+    if (kind == FaultKind::kLostFile) {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = closedUnsynced_.find(from.string());
+        zero_target = it != closedUnsynced_.end() && it->second;
+    }
+    std::error_code ec;
+    fs::rename(from, to, ec);
+    if (ec)
+        latch(site, "rename " + from.string() + " -> " + to.string() +
+                        " failed: " + ec.message());
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = closedUnsynced_.find(from.string());
+        if (it != closedUnsynced_.end()) {
+            closedUnsynced_[to.string()] = it->second;
+            closedUnsynced_.erase(it);
+        }
+    }
+    if (zero_target) {
+        // The rename committed but the file's data pages were never
+        // synced: after power loss the name points at zeroed blocks.
+        // A writer that fsyncs before renaming never gets here.
+        fs::resize_file(to, 0, ec);
+    }
+}
+
+void
+Env::syncDir(const char *site, const fs::path &dir)
+{
+    FaultKind kind = maybeFault(site);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (lostRenamePending_) {
+            lostRenamePending_ = false;
+            kind = FaultKind::kEio; // surface the lost rename here
+        }
+    }
+    if (kind == FaultKind::kEio)
+        latch(site, "directory sync failed for " + dir.string() +
+                        " (directory update lost)");
+    int fd = ::open(dir.string().c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        latch(site, "cannot open directory " + dir.string() + ": " +
+                        std::strerror(errno));
+    int rc = ::fsync(fd);
+    int saved = errno;
+    ::close(fd);
+    if (rc != 0)
+        latch(site, "fsync failed for directory " + dir.string() + ": " +
+                        std::strerror(saved));
+}
+
+void
+Env::resize(const char *site, const fs::path &path, uint64_t len)
+{
+    FaultKind kind = maybeFault(site);
+    if (kind != FaultKind::kNone)
+        latch(site, "resize of " + path.string() + " failed (injected " +
+                        std::string(faultKindName(kind)) + ")");
+    std::error_code ec;
+    fs::resize_file(path, len, ec);
+    if (ec)
+        latch(site, "resize of " + path.string() + " failed: " +
+                        ec.message());
+}
+
+bool
+Env::remove(const char *site, const fs::path &path)
+{
+    // Best-effort: GC unlinks must never poison the log — a stale
+    // file that survives is harmless (recovery picks the newest
+    // chain), so failures are reported, not latched.
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (faulted_)
+            return false;
+        uint64_t hit = ++hits_[site];
+        if (plan_.armed() && !fired_ && plan_.site == site &&
+            hit == plan_.hit) {
+            fired_ = true;
+            return false;
+        }
+    }
+    std::error_code ec;
+    return fs::remove(path, ec) && !ec;
+}
+
+} // namespace nazar::persist

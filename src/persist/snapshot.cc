@@ -13,6 +13,89 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr char kMagic[8] = {'N', 'Z', 'S', 'N', 'A', 'P', '1', 0};
+constexpr char kChainMagic[8] = {'N', 'Z', 'C', 'H', 'N', '1', 0, 0};
+
+/** Closes an Env file on scope exit (fault paths must not leak). */
+struct FileGuard
+{
+    Env &env;
+    Env::File *f;
+
+    ~FileGuard()
+    {
+        if (f != nullptr)
+            env.close(f);
+    }
+
+    void
+    closeNow()
+    {
+        env.close(f);
+        f = nullptr;
+    }
+};
+
+/** Read an entire file ("" when absent or unreadable). */
+std::string
+slurpFile(const fs::path &path)
+{
+    std::FILE *f = std::fopen(path.string().c_str(), "rb");
+    if (!f)
+        return std::string();
+    std::string bytes;
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.append(buf, n);
+    if (std::ferror(f))
+        bytes.clear();
+    std::fclose(f);
+    return bytes;
+}
+
+/**
+ * The rename-on-commit sequence every snapshot artifact uses: write
+ * @p bytes to @p tmp, fsync it, rename onto @p final, fsync the
+ * directory. Without the two fsyncs a "committed" file can be empty
+ * or missing after power loss — the Env's kLostFile / kLostRename
+ * faults regression-test exactly that.
+ */
+void
+writeFileAtomic(const fs::path &tmp, const fs::path &final,
+                const std::string &bytes, CrashInjector &injector,
+                Env &env)
+{
+    FileGuard guard{env, env.open("env.snap.create", tmp, "wb")};
+    if (injector.fires("snapshot.tmp.partial")) {
+        // Torn tmp file: roughly half the bytes. Harmless — recovery
+        // never reads tmp files, and the next open removes them.
+        std::fwrite(bytes.data(), 1, bytes.size() / 2, guard.f->fp);
+        std::fflush(guard.f->fp);
+        guard.closeNow();
+        throw CrashInjected("snapshot.tmp.partial", injector.hitCount());
+    }
+    env.write("env.snap.write", guard.f, bytes.data(), bytes.size());
+    // fsync BEFORE the rename: the commit must never point at data
+    // pages that were still dirty when the name changed.
+    env.sync("env.snap.sync", guard.f, /*deep=*/2);
+    guard.closeNow();
+    // Crash here leaves a complete tmp that was never committed; the
+    // old snapshot (or the bare WAL) still fully describes the state.
+    injector.check("snapshot.tmp.done");
+
+    env.rename("env.snap.rename", tmp, final); // commit point
+    fs::path parent = final.parent_path();
+    env.syncDir("env.snap.dirsync",
+                parent.empty() ? fs::path(".") : parent);
+    obs::Registry::global().counter("persist.snapshot.writes").add(1);
+    obs::Registry::global()
+        .counter("persist.snapshot.bytes")
+        .add(bytes.size());
+    // Crash here: the snapshot is committed but the WAL has not been
+    // truncated yet. Replay skips records with seq <= lastWalSeq, so
+    // nothing is double-applied.
+    injector.check("snapshot.rename.post");
+}
 
 } // namespace
 
@@ -93,62 +176,23 @@ decodeSnapshot(const std::string &payload)
 
 void
 writeSnapshotFile(const fs::path &tmp, const fs::path &final,
-                  const SnapshotData &data, CrashInjector &injector)
+                  const SnapshotData &data, CrashInjector &injector,
+                  Env &env)
 {
     std::string payload = encodeSnapshot(data);
 
-    Writer header;
-    header.putBytes(kMagic, sizeof(kMagic));
-    header.putU64(payload.size());
-    header.putU32(crc32(payload.data(), payload.size()));
-
-    std::FILE *f = std::fopen(tmp.string().c_str(), "wb");
-    NAZAR_CHECK(f != nullptr,
-                "persist: cannot create " + tmp.string());
-    if (injector.fires("snapshot.tmp.partial")) {
-        // Torn tmp file: header plus half the payload. Harmless —
-        // recovery never reads snapshot.tmp, and the next open
-        // removes it.
-        std::fwrite(header.bytes().data(), 1, header.size(), f);
-        std::fwrite(payload.data(), 1, payload.size() / 2, f);
-        std::fflush(f);
-        std::fclose(f);
-        throw CrashInjected("snapshot.tmp.partial", injector.hitCount());
-    }
-    size_t written = std::fwrite(header.bytes().data(), 1,
-                                 header.size(), f);
-    written += std::fwrite(payload.data(), 1, payload.size(), f);
-    bool flushed = std::fflush(f) == 0;
-    std::fclose(f);
-    NAZAR_CHECK(written == header.size() + payload.size() && flushed,
-                "persist: short write to " + tmp.string());
-    // Crash here leaves a complete tmp that was never committed; the
-    // old snapshot (or the bare WAL) still fully describes the state.
-    injector.check("snapshot.tmp.done");
-
-    fs::rename(tmp, final); // commit point: atomic on POSIX
-    obs::Registry::global().counter("persist.snapshot.writes").add(1);
-    obs::Registry::global()
-        .counter("persist.snapshot.bytes")
-        .add(header.size() + payload.size());
-    // Crash here: the snapshot is committed but the WAL has not been
-    // truncated yet. Replay skips records with seq <= lastWalSeq, so
-    // nothing is double-applied.
-    injector.check("snapshot.rename.post");
+    Writer w;
+    w.putBytes(kMagic, sizeof(kMagic));
+    w.putU64(payload.size());
+    w.putU32(crc32(payload.data(), payload.size()));
+    w.putBytes(payload.data(), payload.size());
+    writeFileAtomic(tmp, final, w.bytes(), injector, env);
 }
 
 std::optional<SnapshotData>
 loadSnapshotFile(const fs::path &path)
 {
-    std::FILE *f = std::fopen(path.string().c_str(), "rb");
-    if (!f)
-        return std::nullopt;
-    std::string bytes;
-    char buf[1 << 16];
-    size_t n;
-    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
-        bytes.append(buf, n);
-    std::fclose(f);
+    std::string bytes = slurpFile(path);
 
     if (bytes.size() < sizeof(kMagic) + 12 ||
         std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
@@ -165,6 +209,102 @@ loadSnapshotFile(const fs::path &path)
         return decodeSnapshot(bytes.substr(payload_at));
     } catch (const NazarError &) {
         return std::nullopt; // checksum passed but payload malformed
+    }
+}
+
+std::string
+chainFileName(uint64_t id, ChainKind kind)
+{
+    std::string digits = std::to_string(id);
+    if (digits.size() < 6)
+        digits.insert(0, 6 - digits.size(), '0');
+    return "snap-" + digits +
+           (kind == ChainKind::kFull ? ".full" : ".delta");
+}
+
+std::optional<std::pair<uint64_t, ChainKind>>
+parseChainFileName(const std::string &name)
+{
+    std::string stem;
+    ChainKind kind;
+    if (name.size() > 5 && name.substr(name.size() - 5) == ".full") {
+        stem = name.substr(0, name.size() - 5);
+        kind = ChainKind::kFull;
+    } else if (name.size() > 6 &&
+               name.substr(name.size() - 6) == ".delta") {
+        stem = name.substr(0, name.size() - 6);
+        kind = ChainKind::kDelta;
+    } else {
+        return std::nullopt;
+    }
+    if (stem.size() < 6 || stem.substr(0, 5) != "snap-")
+        return std::nullopt;
+    uint64_t id = 0;
+    for (size_t i = 5; i < stem.size(); ++i) {
+        if (stem[i] < '0' || stem[i] > '9')
+            return std::nullopt;
+        id = id * 10 + static_cast<uint64_t>(stem[i] - '0');
+    }
+    return std::make_pair(id, kind);
+}
+
+uint32_t
+writeChainFile(const fs::path &dir, ChainHeader header,
+               const std::string &payload, CrashInjector &injector,
+               Env &env)
+{
+    header.payloadCrc = crc32(payload.data(), payload.size());
+
+    Writer w;
+    w.putBytes(kChainMagic, sizeof(kChainMagic));
+    w.putU8(static_cast<uint8_t>(header.kind));
+    w.putU64(header.id);
+    w.putU64(header.baseId);
+    w.putU32(header.baseCrc);
+    w.putU64(header.lastWalSeq);
+    w.putU64(payload.size());
+    w.putU32(header.payloadCrc);
+    w.putBytes(payload.data(), payload.size());
+
+    std::string name = chainFileName(header.id, header.kind);
+    writeFileAtomic(dir / (name + ".tmp"), dir / name, w.bytes(),
+                    injector, env);
+    return header.payloadCrc;
+}
+
+std::optional<ChainFile>
+loadChainFile(const fs::path &path)
+{
+    std::string bytes = slurpFile(path);
+    constexpr size_t kHeaderSize = sizeof(kChainMagic) + 1 + 8 + 8 + 4 +
+                                   8 + 8 + 4;
+    if (bytes.size() < kHeaderSize ||
+        std::memcmp(bytes.data(), kChainMagic, sizeof(kChainMagic)) != 0)
+        return std::nullopt;
+    try {
+        Reader r(bytes.data() + sizeof(kChainMagic),
+                 kHeaderSize - sizeof(kChainMagic));
+        ChainFile out;
+        uint8_t kind = r.getU8();
+        if (kind != static_cast<uint8_t>(ChainKind::kFull) &&
+            kind != static_cast<uint8_t>(ChainKind::kDelta))
+            return std::nullopt;
+        out.header.kind = static_cast<ChainKind>(kind);
+        out.header.id = r.getU64();
+        out.header.baseId = r.getU64();
+        out.header.baseCrc = r.getU32();
+        out.header.lastWalSeq = r.getU64();
+        uint64_t len = r.getU64();
+        out.header.payloadCrc = r.getU32();
+        if (bytes.size() - kHeaderSize != len)
+            return std::nullopt; // torn or trailing garbage
+        if (crc32(bytes.data() + kHeaderSize,
+                  static_cast<size_t>(len)) != out.header.payloadCrc)
+            return std::nullopt;
+        out.payload = bytes.substr(kHeaderSize);
+        return out;
+    } catch (const NazarError &) {
+        return std::nullopt;
     }
 }
 

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "persist/crash_point.h"
+#include "persist/env.h"
 #include "persist/serial.h"
 
 namespace nazar::persist {
@@ -85,12 +86,16 @@ std::string encodeSnapshot(const SnapshotData &data);
 SnapshotData decodeSnapshot(const std::string &payload);
 
 /**
- * Write @p data to @p tmp, then atomically rename onto @p final.
- * Fires the three snapshot crash sites along the way.
+ * Write @p data to @p tmp, then atomically rename onto @p final,
+ * fsyncing the tmp file before the rename and the directory after it
+ * (a snapshot committed by rename alone can be empty after power
+ * loss). Fires the three snapshot crash sites along the way; all I/O
+ * goes through @p env ("env.snap.*" sites).
  */
 void writeSnapshotFile(const std::filesystem::path &tmp,
                        const std::filesystem::path &final,
-                       const SnapshotData &data, CrashInjector &injector);
+                       const SnapshotData &data, CrashInjector &injector,
+                       Env &env);
 
 /**
  * Load a snapshot file. Returns nullopt when the file is absent,
@@ -99,6 +104,74 @@ void writeSnapshotFile(const std::filesystem::path &tmp,
  */
 std::optional<SnapshotData>
 loadSnapshotFile(const std::filesystem::path &path);
+
+// ---- incremental snapshot chain ------------------------------------
+//
+// Full-state snapshots don't scale: the blob store alone makes every
+// snapshot O(published versions). Instead snapshots form a *chain*:
+// a full file every K-th snapshot, delta files in between. A delta
+// archives the WAL records since the previous chain element (the WAL
+// is truncated at every snapshot, so at snapshot time it holds
+// exactly that delta), and links to its base by (baseId, baseCrc).
+// Recovery loads the newest full, replays each delta's records in id
+// order through the ordinary WAL replay, then replays the live WAL.
+//
+// On-disk layout (file "snap-<id, 6 digits>.full" / ".delta"):
+//
+//     [8-byte magic "NZCHN1\0\0"][u8 kind][u64 id][u64 baseId]
+//     [u32 baseCrc][u64 lastWalSeq][u64 payloadLen]
+//     [u32 crc32(payload)][payload]
+//
+// kind 1 = full (payload = encodeSnapshot bytes; baseId/baseCrc 0),
+// kind 2 = delta (payload = encodeDeltaRecords bytes; baseCrc is the
+// payload CRC of the base file, pinning the chain link).
+
+enum class ChainKind : uint8_t {
+    kFull = 1,
+    kDelta = 2,
+};
+
+/** Parsed header of one chain file. */
+struct ChainHeader
+{
+    ChainKind kind = ChainKind::kFull;
+    uint64_t id = 0;
+    uint64_t baseId = 0;     ///< 0 for full snapshots.
+    uint32_t baseCrc = 0;    ///< Payload CRC of the base; 0 for full.
+    uint64_t lastWalSeq = 0; ///< Highest WAL seq this element includes.
+    uint32_t payloadCrc = 0;
+};
+
+/** One loaded chain file. */
+struct ChainFile
+{
+    ChainHeader header;
+    std::string payload;
+};
+
+/** "snap-000042.full" / "snap-000042.delta". */
+std::string chainFileName(uint64_t id, ChainKind kind);
+
+/** Parse a chain filename; nullopt when @p name is not a chain file. */
+std::optional<std::pair<uint64_t, ChainKind>>
+parseChainFileName(const std::string &name);
+
+/**
+ * Write one chain element into @p dir (tmp + fsync + rename + dir
+ * fsync, like writeSnapshotFile). @p header.payloadCrc is computed
+ * here and the final value returned, so the caller can link the next
+ * delta to it.
+ */
+uint32_t writeChainFile(const std::filesystem::path &dir,
+                        ChainHeader header, const std::string &payload,
+                        CrashInjector &injector, Env &env);
+
+/**
+ * Load one chain file. Returns nullopt when absent, torn, or failing
+ * its checksum — the caller treats the element as missing.
+ */
+std::optional<ChainFile>
+loadChainFile(const std::filesystem::path &path);
 
 } // namespace nazar::persist
 

@@ -80,7 +80,8 @@ parseWal(const std::string &data)
         rec.seq = r.getU64();
         if (rec.type != WalRecordType::kIngest &&
             rec.type != WalRecordType::kCycleCommit &&
-            rec.type != WalRecordType::kFlush)
+            rec.type != WalRecordType::kFlush &&
+            rec.type != WalRecordType::kRegistryGc)
             break; // unknown type: treat as corruption
         if (rec.seq <= last_seq)
             break; // seqs are strictly increasing
@@ -132,10 +133,16 @@ Wal::scan(const fs::path &path)
     return scan;
 }
 
-Wal::Wal(const fs::path &path, CrashInjector *injector, SyncMode sync)
+Wal::Wal(const fs::path &path, CrashInjector *injector, SyncMode sync,
+         Env *env)
     : path_(path), injector_(injector), sync_(sync)
 {
     NAZAR_CHECK(injector_ != nullptr, "Wal: null crash injector");
+    if (env == nullptr) {
+        ownedEnv_ = std::make_unique<Env>();
+        env = ownedEnv_.get();
+    }
+    env_ = env;
     SlurpResult slurped = slurp(path_);
     NAZAR_CHECK(!slurped.unreadable,
                 "Wal: " + path_.string() +
@@ -148,18 +155,18 @@ Wal::Wal(const fs::path &path, CrashInjector *injector, SyncMode sync)
     if (!records_.empty())
         nextSeq_ = records_.back().seq + 1;
     if (!scan.validHeader) {
-        // Absent or unrecognizable file: start fresh with a header.
-        file_ = std::fopen(path_.string().c_str(), "wb");
-        NAZAR_CHECK(file_ != nullptr,
-                    "Wal: cannot create " + path_.string());
-        std::fwrite(kMagic, 1, sizeof(kMagic), file_);
-        std::fflush(file_);
+        // Absent or unrecognizable file: start fresh with a header,
+        // made durable (file + directory entry) before any record
+        // relies on it.
+        file_ = env_->open("env.wal.open", path_, "wb");
+        env_->write("env.wal.write", file_, kMagic, sizeof(kMagic));
+        env_->sync("env.wal.sync", file_, syncDepth());
+        env_->syncDir("env.wal.dirsync", parentDir());
         return;
     }
     if (good < data.size())
-        fs::resize_file(path_, good); // drop the torn tail
-    file_ = std::fopen(path_.string().c_str(), "ab");
-    NAZAR_CHECK(file_ != nullptr, "Wal: cannot open " + path_.string());
+        env_->resize("env.wal.truncate", path_, good); // drop torn tail
+    file_ = env_->open("env.wal.open", path_, "ab");
     if (truncatedBytes_ > 0)
         obs::Registry::global()
             .counter("persist.wal.torn_bytes")
@@ -168,8 +175,29 @@ Wal::Wal(const fs::path &path, CrashInjector *injector, SyncMode sync)
 
 Wal::~Wal()
 {
-    if (file_)
-        std::fclose(file_);
+    if (file_ != nullptr)
+        env_->close(file_);
+}
+
+int
+Wal::syncDepth() const
+{
+    switch (sync_) {
+    case SyncMode::kFlush:
+        return 0;
+    case SyncMode::kFdatasync:
+        return 1;
+    case SyncMode::kFsync:
+        return 2;
+    }
+    return 0;
+}
+
+fs::path
+Wal::parentDir() const
+{
+    fs::path parent = path_.parent_path();
+    return parent.empty() ? fs::path(".") : parent;
 }
 
 uint64_t
@@ -199,13 +227,11 @@ Wal::appendBuffered(WalRecordType type, const std::string &payload)
         // reaches disk before the "process" dies. The record fails
         // its CRC on reopen, so the operation was never durable.
         size_t torn = 8 + (body.size() + 1) / 2;
-        std::fwrite(bytes.data(), 1, torn, file_);
-        std::fflush(file_);
+        std::fwrite(bytes.data(), 1, torn, file_->fp);
+        std::fflush(file_->fp);
         throw CrashInjected("wal.append.partial", injector_->hitCount());
     }
-    size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file_);
-    NAZAR_CHECK(written == bytes.size(),
-                "Wal: short write to " + path_.string());
+    env_->write("env.wal.write", file_, bytes.data(), bytes.size());
     uint64_t seq = nextSeq_++;
     obs::Registry::global().counter("persist.wal.appends").add(1);
     return seq;
@@ -214,16 +240,7 @@ Wal::appendBuffered(WalRecordType type, const std::string &payload)
 void
 Wal::sync()
 {
-    NAZAR_CHECK(std::fflush(file_) == 0,
-                "Wal: flush failed for " + path_.string());
-    if (sync_ != SyncMode::kFlush) {
-        int fd = ::fileno(file_);
-        int rc = sync_ == SyncMode::kFdatasync ? ::fdatasync(fd)
-                                               : ::fsync(fd);
-        NAZAR_CHECK(rc == 0, "Wal: " +
-                                 std::string(syncModeName(sync_)) +
-                                 " failed for " + path_.string());
-    }
+    env_->sync("env.wal.sync", file_, syncDepth());
     obs::Registry::global().counter("persist.wal.syncs").add(1);
     injector_->check("wal.append.post");
 }
@@ -231,11 +248,11 @@ Wal::sync()
 void
 Wal::truncateAll()
 {
-    std::fclose(file_);
+    env_->close(file_);
     file_ = nullptr;
-    fs::resize_file(path_, sizeof(kMagic));
-    file_ = std::fopen(path_.string().c_str(), "ab");
-    NAZAR_CHECK(file_ != nullptr, "Wal: cannot reopen " + path_.string());
+    env_->resize("env.wal.truncate", path_, sizeof(kMagic));
+    file_ = env_->open("env.wal.open", path_, "ab");
+    env_->syncDir("env.wal.dirsync", parentDir());
     obs::Registry::global().counter("persist.wal.truncations").add(1);
     injector_->check("wal.truncate.post");
 }

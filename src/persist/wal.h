@@ -26,10 +26,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "persist/crash_point.h"
+#include "persist/env.h"
 
 namespace nazar::persist {
 
@@ -38,6 +40,7 @@ enum class WalRecordType : uint8_t {
     kIngest = 1,      ///< One drift-log ingest (+ optional upload/dedup).
     kCycleCommit = 2, ///< One completed runCycle: publishes + counters.
     kFlush = 3,       ///< Baseline window flush: buffers cleared.
+    kRegistryGc = 4,  ///< Registry eviction of versions below a floor.
 };
 
 /** One decoded record, as returned by scan() / replay. */
@@ -94,9 +97,13 @@ class Wal
      * dropRecords() frees them. An *unreadable* existing file (open
      * or read failure that isn't ENOENT) throws NazarError instead of
      * being clobbered with a fresh header.
+     *
+     * All file I/O is routed through @p env (sites "env.wal.open",
+     * "env.wal.write", "env.wal.sync", "env.wal.truncate",
+     * "env.wal.dirsync"); when null the Wal owns a fault-free Env.
      */
     Wal(const std::filesystem::path &path, CrashInjector *injector,
-        SyncMode sync = SyncMode::kFlush);
+        SyncMode sync = SyncMode::kFlush, Env *env = nullptr);
     ~Wal();
 
     Wal(const Wal &) = delete;
@@ -162,15 +169,35 @@ class Wal
 
     const std::filesystem::path &path() const { return path_; }
 
+    /**
+     * True once any I/O through the Env failed (the fsync gate): the
+     * log is poisoned, every mutating call throws DiskFault, and the
+     * owner must recover from the last durable state by rebuilding.
+     */
+    bool diskFaulted() const { return env_->faulted(); }
+
+    /** Site of the latched disk fault ("" when healthy). */
+    std::string diskFaultSite() const { return env_->faultSite(); }
+
+    Env &env() { return *env_; }
+
     /** Read-only scan (used by `nazar_ops wal` and recovery). */
     static WalScan scan(const std::filesystem::path &path);
 
     static constexpr char kMagic[8] = {'N', 'Z', 'W', 'A', 'L', '1', 0, 0};
 
   private:
+    /** Env sync depth for the configured mode (0/1/2). */
+    int syncDepth() const;
+
+    /** Parent directory for dirsync ("." for bare filenames). */
+    std::filesystem::path parentDir() const;
+
     std::filesystem::path path_;
     CrashInjector *injector_; ///< Never null; owned by CloudPersistence.
-    std::FILE *file_ = nullptr;
+    std::unique_ptr<Env> ownedEnv_; ///< Set when no Env was supplied.
+    Env *env_ = nullptr;
+    Env::File *file_ = nullptr;
     SyncMode sync_ = SyncMode::kFlush;
     uint64_t nextSeq_ = 1;
     uint64_t truncatedBytes_ = 0;

@@ -122,6 +122,72 @@ IngestServer::crashSite() const
     return crashSite_;
 }
 
+bool
+IngestServer::diskFaulted() const
+{
+    std::lock_guard<std::mutex> lk(crashMutex_);
+    return diskFaulted_;
+}
+
+bool
+IngestServer::waitDiskFaulted(std::chrono::milliseconds timeout)
+{
+    std::unique_lock<std::mutex> lk(crashMutex_);
+    return crashCv_.wait_for(lk, timeout,
+                             [this] { return diskFaulted_; });
+}
+
+std::string
+IngestServer::diskFaultSite() const
+{
+    std::lock_guard<std::mutex> lk(crashMutex_);
+    return diskFaultSite_;
+}
+
+void
+IngestServer::onDiskFault(const persist::DiskFault &e)
+{
+    // The disk under the WAL failed. The durability layer's fsync
+    // gate is latched, so every further commit would throw the same
+    // fault — but unlike a crash the process is healthy: latch the
+    // degraded mode and keep serving. The item being committed was
+    // never acked, so its sender retransmits it to the restarted
+    // incarnation (the harness clears the fault by rebuilding the
+    // cloud from the state directory).
+    {
+        std::lock_guard<std::mutex> lk(crashMutex_);
+        if (!diskFaulted_) {
+            diskFaulted_ = true;
+            diskFaultSite_ = e.site();
+        }
+    }
+    crashCv_.notify_all();
+    {
+        std::lock_guard<std::mutex> lk(statsMutex_);
+        ++stats_.diskFaults;
+    }
+    obs::Registry::global().counter("server.disk_faults").add(1);
+}
+
+void
+IngestServer::adviseDiskBusy(const std::shared_ptr<Conn> &conn)
+{
+    if (conn->diskBusyAdvised)
+        return;
+    conn->diskBusyAdvised = true;
+    net::WireBusy busy;
+    busy.queueDepth = 0;
+    {
+        std::lock_guard<std::mutex> wl(conn->writeMutex);
+        conn->stream.sendFrame(MsgType::kBusy, net::encodeBusy(busy));
+    }
+    {
+        std::lock_guard<std::mutex> lk(statsMutex_);
+        ++stats_.busySent;
+    }
+    obs::Registry::global().counter("server.busy_sent").add(1);
+}
+
 void
 IngestServer::onCommitterCrash(const persist::CrashInjected &e)
 {
@@ -393,6 +459,11 @@ IngestServer::committerLoop()
         } catch (const persist::CrashInjected &e) {
             onCommitterCrash(e);
             return; // the committer "process" is dead
+        } catch (const persist::DiskFault &e) {
+            onDiskFault(e);
+            // Stay alive: the loop keeps draining the queue, but the
+            // degraded checks in commitBatch/handleCycle/handleFlush
+            // stop all cloud writes and all acks.
         }
     }
 }
@@ -408,6 +479,15 @@ IngestServer::commitBatch(std::vector<WorkItem> &batch)
     static obs::SpanSite encodeSite("server.encode");
     static obs::SpanSite walSyncSite("persist.wal.sync");
     static obs::SpanSite ackSite("server.ack");
+
+    if (diskFaulted()) {
+        // Degraded mode: nothing is durable, so nothing is acked —
+        // the senders retransmit after the restart. One advisory per
+        // connection tells them to back off meanwhile.
+        for (const auto &item : batch)
+            adviseDiskBusy(item.conn);
+        return;
+    }
 
     if (config_.commitDelayUs > 0)
         std::this_thread::sleep_for(
@@ -497,6 +577,10 @@ IngestServer::commitBatch(std::vector<WorkItem> &batch)
 void
 IngestServer::handleCycle(const WorkItem &item)
 {
+    if (diskFaulted()) {
+        adviseDiskBusy(item.conn);
+        return;
+    }
     std::istringstream in(item.cleanPatchText);
     nn::BnPatch clean = nn::BnPatch::load(in);
     sim::CycleResult cycle = cloud_.runCycle(clean);
@@ -532,6 +616,10 @@ IngestServer::handleCycle(const WorkItem &item)
 void
 IngestServer::handleFlush(const WorkItem &item)
 {
+    if (diskFaulted()) {
+        adviseDiskBusy(item.conn);
+        return;
+    }
     cloud_.flush();
     {
         std::lock_guard<std::mutex> wl(item.conn->writeMutex);

@@ -46,6 +46,17 @@
  * restart: the old committer died before the new Cloud was built, so
  * at every moment at most one committer writes the state dir.
  *
+ * Disk faults: a persist::DiskFault firing in the committer means the
+ * disk under the WAL failed and the durability layer's fsync gate is
+ * latched — every further commit would throw the same fault. Unlike a
+ * crash, the process stays up, in a DEGRADED mode: the committer
+ * keeps draining the queue but never acks, sending one kBusy advisory
+ * per connection instead, and counts the episode in
+ * stats().diskFaults / `server.disk_faults`. Clients treat the
+ * unacked ingests as lost and retransmit after the harness clears the
+ * fault and restarts the server over the same state directory;
+ * diskFaulted()/waitDiskFaulted() are the harness's signal.
+ *
  * Backpressure: with ServerConfig::maxQueue set, a reader whose
  * enqueue would exceed the bound sends one kBusy advisory and then
  * blocks until the committer frees space — it stops draining its
@@ -79,6 +90,7 @@
 #include "net/tcp.h"
 #include "net/wire.h"
 #include "persist/crash_point.h"
+#include "persist/env.h"
 #include "sim/cloud.h"
 
 namespace nazar::server {
@@ -126,6 +138,7 @@ struct ServerStats
     uint64_t protocolErrors = 0;
     uint64_t busySent = 0;     ///< kBusy advisories written.
     uint64_t readTimeouts = 0; ///< Connections reaped by the deadline.
+    uint64_t diskFaults = 0;   ///< Committer-side latched disk faults.
 };
 
 /**
@@ -171,6 +184,15 @@ class IngestServer
     /** The crash site that fired (empty when !crashed()). */
     std::string crashSite() const;
 
+    /** True once a committer-side DiskFault latched degraded mode. */
+    bool diskFaulted() const;
+
+    /** Block up to @p timeout for a disk fault; true if one latched. */
+    bool waitDiskFaulted(std::chrono::milliseconds timeout);
+
+    /** The latched fault's Env site (empty when !diskFaulted()). */
+    std::string diskFaultSite() const;
+
     ServerStats stats() const;
 
   private:
@@ -189,6 +211,9 @@ class IngestServer
         /** kBusy already sent for the current full-queue episode;
          *  reader thread only. */
         bool busyAdvised = false;
+        /** kBusy already sent for the degraded (disk-faulted) mode;
+         *  committer thread only. */
+        bool diskBusyAdvised = false;
     };
 
     struct WorkItem
@@ -224,6 +249,13 @@ class IngestServer
      *  listener, sever every connection, wake all waiters. */
     void onCommitterCrash(const persist::CrashInjected &e);
 
+    /** The committer's DiskFault path: latch degraded mode (the
+     *  process stays up, commits stop, acks stop). */
+    void onDiskFault(const persist::DiskFault &e);
+
+    /** Degraded-mode reply for an item: one kBusy per connection. */
+    void adviseDiskBusy(const std::shared_ptr<Conn> &conn);
+
     sim::Cloud &cloud_;
     ServerConfig config_;
     net::TcpListener listener_;
@@ -244,6 +276,9 @@ class IngestServer
     std::condition_variable crashCv_;
     bool crashed_ = false;
     std::string crashSite_;
+    /** Degraded mode: a DiskFault latched (guarded by crashMutex_). */
+    bool diskFaulted_ = false;
+    std::string diskFaultSite_;
 
     mutable std::mutex connMutex_;
     std::vector<std::shared_ptr<Conn>> conns_;

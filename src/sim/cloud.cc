@@ -480,9 +480,36 @@ Cloud::maybeSnapshotLocked()
         writeSnapshotLocked();
 }
 
+size_t
+Cloud::gcRegistryBelow(int64_t min_version_id)
+{
+    static obs::Counter &gc_evicted =
+        obs::Registry::global().counter("cloud.registry.gc_evicted");
+    std::lock_guard<std::mutex> lk(ingestMutex_);
+    if (persist_) {
+        // WAL-first, like every other mutation: the floor is durable
+        // before the blobs disappear, so a crash between the two
+        // replays the eviction instead of resurrecting dead versions.
+        persist_->logRegistryGc(min_version_id);
+    }
+    size_t evicted = registry_.evictBelow(min_version_id);
+    if (evicted > 0)
+        gc_evicted.add(evicted);
+    if (persist_)
+        maybeSnapshotLocked();
+    return evicted;
+}
+
 void
 Cloud::writeSnapshotLocked()
 {
+    if (!persist_->nextSnapshotIsFull()) {
+        // Delta snapshot: archive the live WAL's records under a
+        // chained header — no state dump, O(appends since last
+        // snapshot) instead of O(total state).
+        persist_->writeDeltaSnapshot();
+        return;
+    }
     persist::SnapshotData data;
     data.logicalTime = logicalTime_;
     data.nextVersionId = nextVersionId_;

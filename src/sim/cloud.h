@@ -212,6 +212,17 @@ class Cloud
     std::map<int64_t, persist::DedupWindow> dedupSnapshot() const;
 
     /**
+     * Garbage-collect registry versions with id < @p min_version_id
+     * from the blob store. The caller owns the safety invariant:
+     * @p min_version_id must be at or below every device's last-seen
+     * version, so no re-push or fetch for an evicted id can ever be
+     * needed. WAL-first when persistence is on, so recovery replays
+     * the eviction. Returns the number of versions evicted.
+     * Thread-safe against concurrent ingest.
+     */
+    size_t gcRegistryBelow(int64_t min_version_id);
+
+    /**
      * Force a snapshot now (rename-on-commit + WAL truncation). No-op
      * without persistence. Thread-safe against concurrent ingest.
      */

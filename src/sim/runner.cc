@@ -5,6 +5,7 @@
 #include "runner.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "common/error.h"
@@ -276,23 +277,35 @@ Runner::run()
 
     // Crash-restart: an injected crash "kills" the cloud process; the
     // runner rebuilds it from the state directory with the injector
-    // disarmed (the armed site already fired). The clean patch is
-    // cloud-side state, so it too comes back from disk — the last
-    // *committed* cycle's patch, which is exactly what a re-run of an
-    // uncommitted cycle must start from.
+    // disarmed (the armed site already fired). A latched disk fault
+    // follows the same discipline — the environment's fsync gate
+    // poisons the incarnation, and the rebuild (with the fault plan
+    // cleared, standing in for the operator fixing the disk) recovers
+    // from the last durable state. The clean patch is cloud-side
+    // state, so it too comes back from disk — the last *committed*
+    // cycle's patch, which is exactly what a re-run of an uncommitted
+    // cycle must start from.
     static obs::Counter &crash_counter =
         obs::Registry::global().counter("sim.cloud.crashes");
+    static obs::Counter &disk_fault_counter =
+        obs::Registry::global().counter("sim.cloud.disk_fault_rebuilds");
     int64_t cycles_done = cloud ? cloud->logicalTime() : 0;
-    auto rebuild_cloud = [&]() {
+    auto rebuild_cloud = [&](bool disk_fault = false) {
         CloudConfig recover_config = cloud_config;
         recover_config.persist.crashAtHit = 0;
+        recover_config.persist.fault = {};
         cloud.reset(); // release the WAL handle before reopening
         cloud = std::make_unique<Cloud>(recover_config, *base_);
         clean_patch = cloud->recoveredCleanPatch().has_value()
                           ? *cloud->recoveredCleanPatch()
                           : base_->bnPatch();
-        ++result.cloudCrashes;
-        crash_counter.add(1);
+        if (disk_fault) {
+            ++result.cloudDiskFaults;
+            disk_fault_counter.add(1);
+        } else {
+            ++result.cloudCrashes;
+            crash_counter.add(1);
+        }
     };
 
     Rng sample_rng = rng.fork();
@@ -406,6 +419,7 @@ Runner::run()
                                       std::move(upload)});
         }
         bool cloud_down = false;
+        bool disk_down = false;
         uplink.deliver([&](size_t device, uint64_t seq,
                            UplinkPayload &&payload) {
             if (remote) {
@@ -437,10 +451,15 @@ Runner::run()
                           << crash.site() << " (hit " << crash.hit()
                           << ") during ingest";
                 cloud_down = true;
+            } catch (const persist::DiskFault &fault) {
+                logInfo() << "cloud disk fault latched at "
+                          << fault.site() << " during ingest";
+                cloud_down = true;
+                disk_down = true;
             }
         });
         if (cloud_down)
-            rebuild_cloud();
+            rebuild_cloud(disk_down);
 
         // ---- Window boundary: run the strategy's adaptation ----------
         switch (config_.strategy) {
@@ -480,13 +499,23 @@ Runner::run()
                 return std::move(cycle.newVersions);
             };
             const int64_t pre_cycle_next = cloud->nextVersionId();
+            bool cycle_died = false;
+            bool cycle_disk_fault = false;
             try {
                 new_versions = apply_cycle(cloud->runCycle(clean_patch));
             } catch (const persist::CrashInjected &crash) {
                 logInfo() << "cloud crash injected at "
                           << crash.site() << " (hit " << crash.hit()
                           << ") during cycle";
-                rebuild_cloud();
+                cycle_died = true;
+            } catch (const persist::DiskFault &fault) {
+                logInfo() << "cloud disk fault latched at "
+                          << fault.site() << " during cycle";
+                cycle_died = true;
+                cycle_disk_fault = true;
+            }
+            if (cycle_died) {
+                rebuild_cloud(cycle_disk_fault);
                 if (cloud->logicalTime() > cycles_done) {
                     // The commit record survived, so the cycle is
                     // durable. The in-memory analysis summary died
@@ -527,6 +556,27 @@ Runner::run()
             }
             stale_gauge.set(static_cast<double>(wm.staleDevices));
             wm.poolSize = devices.empty() ? 0 : devices[0].pool().size();
+            if (config_.registryGc && cloud && !devices.empty()) {
+                // Safety invariant: every version below the fleet-wide
+                // minimum last-seen id has been acknowledged by every
+                // device, so no re-push or fetch for it can ever be
+                // needed again. (A device that never received a push
+                // holds lastSeenVersion 0, which blocks GC entirely.)
+                int64_t min_seen = std::numeric_limits<int64_t>::max();
+                for (const auto &device : devices)
+                    min_seen =
+                        std::min(min_seen, device.lastSeenVersion());
+                if (min_seen > 0) {
+                    try {
+                        result.registryGcEvicted +=
+                            cloud->gcRegistryBelow(min_seen);
+                    } catch (const persist::CrashInjected &) {
+                        rebuild_cloud();
+                    } catch (const persist::DiskFault &) {
+                        rebuild_cloud(/*disk_fault=*/true);
+                    }
+                }
+            }
             break;
           }
           case Strategy::kAdaptAll: {
@@ -539,6 +589,9 @@ Runner::run()
                 rebuild_cloud();
                 cloud->flush(); // idempotent: replay already cleared
                                 // or restored, and this clears again
+            } catch (const persist::DiskFault &) {
+                rebuild_cloud(/*disk_fault=*/true);
+                cloud->flush();
             }
             if (all.size() >= cloud_config.minAdaptSamples) {
                 NAZAR_SPAN_BEGIN(adapt_span, "sim.adapt_all");
@@ -558,6 +611,9 @@ Runner::run()
             } catch (const persist::CrashInjected &) {
                 rebuild_cloud();
                 cloud->flush();
+            } catch (const persist::DiskFault &) {
+                rebuild_cloud(/*disk_fault=*/true);
+                cloud->flush();
             }
             break;
         }
@@ -572,6 +628,9 @@ Runner::run()
             cloud->checkpoint();
         } catch (const persist::CrashInjected &) {
             rebuild_cloud();
+            cloud->checkpoint();
+        } catch (const persist::DiskFault &) {
+            rebuild_cloud(/*disk_fault=*/true);
             cloud->checkpoint();
         }
     }

@@ -51,6 +51,13 @@ struct RunnerConfig
      */
     persist::PersistConfig persist;
     /**
+     * After each window's version pushes, garbage-collect registry
+     * versions below every device's last-seen version (they can never
+     * be re-pushed or fetched again). Off by default: runs with GC
+     * off are bit-identical to runs before GC existed.
+     */
+    bool registryGc = false;
+    /**
      * When nonzero, telemetry is ingested by a networked cloud — an
      * ingest server (server/ingest_server.h) on 127.0.0.1:remotePort —
      * instead of an in-process Cloud, and analysis cycles run
@@ -121,6 +128,10 @@ struct RunResult
     double totalAdaptSeconds = 0.0;
     /** Injected cloud crashes survived by rebuilding from disk. */
     size_t cloudCrashes = 0;
+    /** Latched disk faults survived by rebuilding from disk. */
+    size_t cloudDiskFaults = 0;
+    /** Registry versions evicted by per-window GC. */
+    size_t registryGcEvicted = 0;
 
     /** Mean accuracy over all events, skipping @p skip lead windows
      *  (the paper averages over the last 7 of 8 windows). */

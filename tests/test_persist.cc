@@ -435,8 +435,9 @@ TEST(SnapshotTest, FileRoundTripAndCorruptionFallback)
     fs::path tmp = dir.path / "snapshot.tmp";
     fs::path final = dir.path / "snapshot.bin";
     CrashInjector injector;
+    Env env;
     SnapshotData data = sampleSnapshot();
-    writeSnapshotFile(tmp, final, data, injector);
+    writeSnapshotFile(tmp, final, data, injector, env);
     EXPECT_FALSE(fs::exists(tmp)); // renamed over the final name
     auto loaded = loadSnapshotFile(final);
     ASSERT_TRUE(loaded.has_value());

@@ -523,6 +523,105 @@ TEST_F(ServerTest, CrashRestartSweepMatchesUncrashedOracleExactly)
     EXPECT_GE(sites.size(), 4u);
 }
 
+TEST_F(ServerTest, DiskFaultDegradesServerThenRestartReconciles)
+{
+    // An injected WAL-sync failure latches the committer's durability
+    // layer. The server must NOT die: it stops acking, advises
+    // clients kBusy, and reports diskFaulted() so a supervisor can
+    // restart it over the recovered state — after which resuming
+    // clients reconcile exactly-once, same as a crash restart.
+    nn::Classifier base = tinyBase();
+    TempDir dir("diskfault");
+    auto cloudConfig = [&dir](persist::DiskFaultPlan fault) {
+        sim::CloudConfig cc;
+        cc.persist.dir = dir.path.string();
+        cc.persist.snapshotEvery = 64;
+        cc.persist.fault = std::move(fault);
+        return cc;
+    };
+    // The sync path runs once per group-commit batch: hit 3 latches a
+    // few batches into the load.
+    auto cloud = std::make_unique<sim::Cloud>(
+        cloudConfig({"env.wal.sync", 3, persist::FaultKind::kSyncFail}),
+        base);
+    auto server = std::make_unique<IngestServer>(*cloud, ServerConfig{});
+    server->start();
+    const uint16_t port = server->port();
+
+    LoadConfig load;
+    load.port = port;
+    load.clients = 3;
+    load.eventsPerClient = 120;
+    load.chaos.seed = 33;
+    load.reconnect.enabled = true;
+    load.reconnect.backoffBaseMs = 2.0;
+    load.reconnect.backoffCapMs = 50.0;
+    load.reconnect.maxAttempts = 200;
+    load.reconnect.recvTimeoutMs = 1000;
+
+    LoadStats stats;
+    std::string load_error;
+    std::atomic<bool> load_done{false};
+    std::thread loader([&] {
+        try {
+            stats = runLoad(load);
+        } catch (const NazarError &e) {
+            load_error = e.what();
+        }
+        load_done = true;
+    });
+
+    bool restarted = false;
+    uint64_t faults_seen = 0;
+    while (!load_done.load()) {
+        if (!restarted &&
+            server->waitDiskFaulted(std::chrono::milliseconds(10))) {
+            // Latched, not dead: the server object is still running
+            // and still reports its own demise coherently.
+            EXPECT_TRUE(server->diskFaulted());
+            EXPECT_EQ(server->diskFaultSite(), "env.wal.sync");
+            server->stop();
+            faults_seen = server->stats().diskFaults;
+            server.reset();
+            cloud.reset(); // release the WAL before recovery
+            // The restart IS the fault-clear: fresh Env, recovery
+            // from the last durable state (the dropped dirty tail is
+            // simply unacknowledged work the clients resend).
+            cloud = std::make_unique<sim::Cloud>(cloudConfig({}), base);
+            ServerConfig rc;
+            rc.port = port; // clients reconnect to the same port
+            server = std::make_unique<IngestServer>(*cloud, rc);
+            server->start();
+            restarted = true;
+        } else if (restarted) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+    }
+    loader.join();
+    ASSERT_TRUE(load_error.empty()) << load_error;
+    ASSERT_TRUE(restarted) << "disk fault never latched";
+    EXPECT_GE(faults_seen, 1u);
+    EXPECT_TRUE(stats.reconciled);
+    EXPECT_EQ(stats.acksAccepted, stats.sent);
+    // At least one client was mid-stream at the latch and rode
+    // through the restart (a client that drained all its events
+    // before the fault never needs to reconnect).
+    EXPECT_GE(stats.reconnects, 1u);
+
+    server->stop();
+    EXPECT_EQ(cloud->totalIngested(), stats.acksAccepted);
+    server.reset();
+    cloud.reset();
+    // The poisoned-then-recovered directory is intact: the offline
+    // scrub finds no integrity issues and cold recovery agrees with
+    // the clients' view of what was accepted.
+    persist::ScrubReport report = persist::scrubStateDir(dir.path);
+    EXPECT_TRUE(report.ok)
+        << (report.issues.empty() ? "" : report.issues[0]);
+    persist::RecoveredState rec = persist::recoverDir(dir.path);
+    EXPECT_EQ(rec.totalIngested, stats.acksAccepted);
+}
+
 TEST_F(ServerTest, BoundedQueueBackpressureHoldsUnderSlowCommitter)
 {
     obs::Registry::global().reset();

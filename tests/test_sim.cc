@@ -569,9 +569,16 @@ TEST_F(RunnerTest, PersistenceOnMatchesPersistenceOff)
     }
     EXPECT_EQ(on.cloudCrashes, 0u);
     // The final checkpoint leaves a loadable state directory with an
-    // empty (truncated) WAL.
-    EXPECT_TRUE(
-        std::filesystem::exists(dir.path / "snapshot.bin"));
+    // empty (truncated) WAL. Snapshots live in the chain format now
+    // (snap-NNNNNN.full / .delta), not the legacy snapshot.bin.
+    bool has_chain_file = false;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir.path)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("snap-", 0) == 0)
+            has_chain_file = true;
+    }
+    EXPECT_TRUE(has_chain_file);
     persist::RecoveredState st = persist::recoverDir(dir.path);
     EXPECT_TRUE(st.snapshotLoaded);
     EXPECT_EQ(st.replayedRecords, 0u);

@@ -47,9 +47,18 @@
  *
  *   nazar_ops recover <state-dir>
  *       Run standalone recovery over a cloud state directory
- *       (snapshot.bin + wal.log) and print what came back: pending
+ *       (snapshot chain + wal.log) and print what came back: pending
  *       drift-log rows, uploads, registry versions, dedup windows,
  *       counters.
+ *
+ *   nazar_ops scrub <state-dir>
+ *       Offline, read-only integrity walk: WAL record CRCs and seq
+ *       monotonicity, every snapshot chain file's header + payload
+ *       CRC, each delta's link to its base, and that the recovery
+ *       chain decodes. Prints `SCRUB ok` (exit 0) or `SCRUB CORRUPT`
+ *       (exit 1) plus the issues found; benign observations (torn
+ *       tail, stale superseded files awaiting GC) are notes, not
+ *       failures.
  *
  *   nazar_ops trace <trace.json>
  *       Summarize a Chrome trace_event file written by --trace-out
@@ -114,10 +123,13 @@ usage()
         "[--drop=P --dup=P --delay=P --reorder=P --offline=P "
         "--crash=P --push-drop=P --queue-cap=N --fault-seed=S] "
         "[--persist-dir=<dir> --snapshot-every=N --crash-at=N "
-        "--fsync=flush|fdatasync|fsync]\n"
+        "--fsync=flush|fdatasync|fsync] [--fault-site=<env site> "
+        "--fault-kind=enospc|eio|sync_fail|... --fault-hit=N] "
+        "[--registry-gc=0|1]\n"
         "  nazar_ops faults <metrics.json>\n"
         "  nazar_ops wal <wal.log>\n"
         "  nazar_ops recover <state-dir>\n"
+        "  nazar_ops scrub <state-dir>\n"
         "  nazar_ops trace <trace.json>\n"
         "  (sim also takes --trace-out=<file>: enable causal tracing "
         "and write a Perfetto-loadable Chrome trace)\n");
@@ -389,6 +401,7 @@ walTypeName(persist::WalRecordType type)
       case persist::WalRecordType::kIngest:      return "ingest";
       case persist::WalRecordType::kCycleCommit: return "cycle-commit";
       case persist::WalRecordType::kFlush:       return "flush";
+      case persist::WalRecordType::kRegistryGc:  return "registry-gc";
     }
     return "?";
 }
@@ -403,19 +416,20 @@ cmdWal(const std::string &path)
         return 1;
     }
     TablePrinter records({"seq", "type", "payload bytes", "crc"});
-    size_t by_type[4] = {0, 0, 0, 0};
+    size_t by_type[5] = {0, 0, 0, 0, 0};
     for (const auto &rec : scan.records) {
         records.addRow({TablePrinter::num(rec.seq),
                         walTypeName(rec.type),
                         TablePrinter::num(rec.payload.size()),
                         "ok"}); // scan() only yields CRC-valid records
         ++by_type[std::min<size_t>(
-            static_cast<size_t>(rec.type), 3)];
+            static_cast<size_t>(rec.type), 4)];
     }
     std::printf("%s: %zu records (%zu ingest, %zu cycle-commit, "
-                "%zu flush)\n%s\n",
+                "%zu flush, %zu registry-gc)\n%s\n",
                 path.c_str(), scan.records.size(), by_type[1],
-                by_type[2], by_type[3], records.toString().c_str());
+                by_type[2], by_type[3], by_type[4],
+                records.toString().c_str());
     if (scan.truncatedBytes > 0)
         std::printf("torn tail: %llu bytes after the last valid record "
                     "(a reopen would truncate them)\n",
@@ -461,6 +475,30 @@ cmdRecover(const std::string &dir)
     state.addRow({"last WAL seq", TablePrinter::num(st.lastWalSeq)});
     std::printf("%s\n", state.toString().c_str());
     return 0;
+}
+
+int
+cmdScrub(const std::string &dir)
+{
+    persist::ScrubReport report = persist::scrubStateDir(dir);
+    TablePrinter summary({"scrub", "value"});
+    summary.addRow({"wal records", TablePrinter::num(report.walRecords)});
+    summary.addRow(
+        {"wal torn bytes", TablePrinter::num(report.walTornBytes)});
+    summary.addRow({"chain files", TablePrinter::num(report.chainFiles)});
+    summary.addRow(
+        {"chain length", TablePrinter::num(report.chainLength)});
+    summary.addRow({"chain bytes", TablePrinter::num(report.chainBytes)});
+    summary.addRow(
+        {"legacy snapshot", report.legacySnapshot ? "present" : "absent"});
+    std::printf("%s: integrity walk\n%s\n", dir.c_str(),
+                summary.toString().c_str());
+    for (const auto &note : report.notes)
+        std::printf("note: %s\n", note.c_str());
+    for (const auto &issue : report.issues)
+        std::printf("ISSUE: %s\n", issue.c_str());
+    std::printf(report.ok ? "SCRUB ok\n" : "SCRUB CORRUPT\n");
+    return report.ok ? 0 : 1;
 }
 
 /** One "X" event parsed back out of a writeChromeTrace() file. */
@@ -629,7 +667,7 @@ cmdTrace(const std::string &path)
 
 int
 cmdSim(size_t windows, const net::FaultConfig &faults,
-       const persist::PersistConfig &persist_config,
+       const persist::PersistConfig &persist_config, bool registry_gc,
        const std::string &metrics_out, const std::string &trace_out)
 {
     if (!trace_out.empty()) {
@@ -653,6 +691,7 @@ cmdSim(size_t windows, const net::FaultConfig &faults,
     config.seed = 17;
     config.faults = faults;
     config.persist = persist_config;
+    config.registryGc = registry_gc;
 
     sim::Runner runner(app, weather, config);
     sim::RunResult result = runner.run();
@@ -668,8 +707,11 @@ cmdSim(size_t windows, const net::FaultConfig &faults,
                     w.newVersions, w.staleDevices, w.skippedCauses);
     std::printf("rca %.3fs, adapt %.3fs\n", result.totalRcaSeconds,
                 result.totalAdaptSeconds);
-    if (persist_config.enabled())
+    if (persist_config.enabled()) {
         std::printf("cloudCrashes %zu\n", result.cloudCrashes);
+        std::printf("cloudDiskFaults %zu registryGcEvicted %zu\n",
+                    result.cloudDiskFaults, result.registryGcEvicted);
+    }
     // Machine-greppable summary lines (the CI chaos smoke asserts an
     // accuracy floor on the drifted number).
     std::printf("avgAccuracyAll %.4f\n", result.avgAccuracyAll());
@@ -702,6 +744,7 @@ main(int argc, char **argv)
         std::string trace_out;
         net::FaultConfig faults;
         persist::PersistConfig persist_config;
+        bool registry_gc = false;
         std::vector<std::string> args;
         auto probFlag = [](const std::string &arg,
                            const std::string &flag, double &out) {
@@ -738,6 +781,15 @@ main(int argc, char **argv)
             else if (arg.rfind("--fsync=", 0) == 0)
                 persist_config.sync =
                     persist::syncModeFromString(arg.substr(8));
+            else if (arg.rfind("--fault-site=", 0) == 0)
+                persist_config.fault.site = arg.substr(13);
+            else if (arg.rfind("--fault-kind=", 0) == 0)
+                persist_config.fault.kind =
+                    persist::faultKindFromString(arg.substr(13));
+            else if (arg.rfind("--fault-hit=", 0) == 0)
+                persist_config.fault.hit = std::stoull(arg.substr(12));
+            else if (arg.rfind("--registry-gc=", 0) == 0)
+                registry_gc = std::stoi(arg.substr(14)) != 0;
             else
                 args.push_back(std::move(arg));
         }
@@ -761,8 +813,8 @@ main(int argc, char **argv)
         if (cmd == "sim") {
             size_t windows =
                 args.empty() ? 3 : std::stoul(args[0]);
-            return cmdSim(windows, faults, persist_config, metrics_out,
-                          trace_out);
+            return cmdSim(windows, faults, persist_config, registry_gc,
+                          metrics_out, trace_out);
         }
         if (cmd == "faults" && !args.empty())
             return cmdFaults(args[0]);
@@ -770,6 +822,8 @@ main(int argc, char **argv)
             return cmdWal(args[0]);
         if (cmd == "recover" && !args.empty())
             return cmdRecover(args[0]);
+        if (cmd == "scrub" && !args.empty())
+            return cmdScrub(args[0]);
         if (cmd == "trace" && !args.empty())
             return cmdTrace(args[0]);
         return usage();

@@ -87,8 +87,13 @@ usage()
         "  nazar_served smoke [--clients=N --events=N --drop=P "
         "--dup=P --fault-seed=S] [--persist-dir=<dir> ...]\n"
         "  nazar_served supervise --persist-dir=<dir> [--kills=N "
-        "--kill-after-ms=M] [--clients=N --events=N --drop=P "
-        "--dup=P --fault-seed=S] [serve flags]\n"
+        "--kill-after-ms=M | --disk-faults=N] [--clients=N --events=N "
+        "--drop=P --dup=P --fault-seed=S] [serve flags]\n"
+        "  serve only: [--disk-fault-site=<env site> "
+        "--disk-fault-kind=enospc|eio|sync_fail|short_write "
+        "--disk-fault-hit=N] arms one injected disk fault; when it "
+        "latches, the server degrades (no acks) and the process "
+        "self-exits with a greppable line\n"
         "  any mode: [--trace-out=<file>] enables causal tracing and "
         "writes a Chrome trace_event JSON (Perfetto-loadable) on "
         "exit\n");
@@ -121,6 +126,14 @@ struct SuperviseOptions
 {
     int kills = 2;
     int killAfterMs = 300;
+    /**
+     * When > 0, run disk-fault episodes instead of SIGKILLs: each
+     * episode spawns a child with one armed Env fault; the child
+     * latches, degrades, and self-exits; the respawn over the same
+     * state dir (fresh environment = cleared fault) is the recovery.
+     * The final child runs fault-free so the load can finish.
+     */
+    int diskFaults = 0;
     /** Serve-side flags forwarded verbatim to the forked child. */
     std::vector<std::string> serveArgs;
 };
@@ -183,8 +196,23 @@ cmdServe(const ServeOptions &opts)
 
     std::signal(SIGTERM, onSignal);
     std::signal(SIGINT, onSignal);
-    while (!g_stop)
+    while (!g_stop && !server.diskFaulted())
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    if (server.diskFaulted()) {
+        // The disk under the state dir "failed": the server is
+        // degraded (draining without acks) and no further write can
+        // succeed, so play a dying server process — the supervisor's
+        // respawn over the same state dir, with a fresh environment,
+        // is the recovery.
+        std::string site = server.diskFaultSite();
+        server.stop();
+        std::printf("SERVED disk fault latched site=%s ingested=%zu "
+                    "exiting\n",
+                    site.c_str(), cloud.totalIngested());
+        std::fflush(stdout);
+        return 0;
+    }
 
     server.stop();
     server::ServerStats stats = server.stats();
@@ -281,7 +309,30 @@ cmdSupervise(const ServeOptions &serve_opts,
     for (const auto &a : sup.serveArgs)
         childArgs.push_back(a);
 
-    pid_t child = spawnServe(childArgs);
+    // Disk-fault episodes arm one deterministic Env fault per child,
+    // alternating between the per-record WAL write path (hundreds of
+    // hits per run, so a mid-load hit count) and the per-batch sync
+    // path (few hits, so a small count). sync_fail exercises the
+    // worst case: buffered-but-unsynced bytes are dropped on the
+    // floor, and recovery must come from the last durable state.
+    auto faultArgsFor = [&childArgs](int episode) {
+        std::vector<std::string> args = childArgs;
+        if (episode % 2 == 0) {
+            args.push_back("--disk-fault-site=env.wal.write");
+            args.push_back("--disk-fault-kind=enospc");
+            args.push_back("--disk-fault-hit=" +
+                           std::to_string(40 + 25 * episode));
+        } else {
+            args.push_back("--disk-fault-site=env.wal.sync");
+            args.push_back("--disk-fault-kind=sync_fail");
+            args.push_back("--disk-fault-hit=" +
+                           std::to_string(2 + episode));
+        }
+        return args;
+    };
+
+    pid_t child = sup.diskFaults > 0 ? spawnServe(faultArgsFor(0))
+                                     : spawnServe(childArgs);
 
     // The load clients ride through the kills: reconnect enabled,
     // with enough attempts to outlast a child respawn (the respawned
@@ -305,18 +356,47 @@ cmdSupervise(const ServeOptions &serve_opts,
     });
 
     int killsDone = 0;
-    for (int k = 0; k < sup.kills && !loadDone; ++k) {
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(sup.killAfterMs));
-        if (loadDone)
-            break;
-        ::kill(child, SIGKILL);
-        ::waitpid(child, nullptr, 0);
-        ++killsDone;
-        // Same port, same state dir: the respawn IS the recovery —
-        // WAL replay + snapshot rebuild the dedup windows the
-        // resuming clients reconcile against.
-        child = spawnServe(childArgs);
+    int faultsDone = 0;
+    if (sup.diskFaults > 0) {
+        for (int k = 0; k < sup.diskFaults; ++k) {
+            // Wait for the faulted child to latch and self-exit. If
+            // the load finishes first (the armed hit was never
+            // reached), stop injecting — the SIGTERM below still
+            // shuts the child down cleanly.
+            bool exited = false;
+            while (!loadDone) {
+                if (::waitpid(child, nullptr, WNOHANG) == child) {
+                    exited = true;
+                    break;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+            }
+            if (!exited)
+                break;
+            ++faultsDone;
+            // Respawn over the same state dir: recovery from the
+            // last durable state, the next episode's fault armed in
+            // a fresh environment (= the fault was cleared). The
+            // final child runs fault-free so the load can finish.
+            child = (k + 1 < sup.diskFaults)
+                        ? spawnServe(faultArgsFor(k + 1))
+                        : spawnServe(childArgs);
+        }
+    } else {
+        for (int k = 0; k < sup.kills && !loadDone; ++k) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(sup.killAfterMs));
+            if (loadDone)
+                break;
+            ::kill(child, SIGKILL);
+            ::waitpid(child, nullptr, 0);
+            ++killsDone;
+            // Same port, same state dir: the respawn IS the recovery —
+            // WAL replay + snapshot rebuild the dedup windows the
+            // resuming clients reconcile against.
+            child = spawnServe(childArgs);
+        }
     }
     loadThread.join();
 
@@ -336,9 +416,9 @@ cmdSupervise(const ServeOptions &serve_opts,
     persist::RecoveredState recovered =
         persist::recoverDir(serve_opts.persist.dir);
     bool stateOk = recovered.totalIngested == stats.acksAccepted;
-    std::printf("SUPERVISE kills=%d ingested=%zu accepted=%zu "
-                "reconnects=%zu resent=%zu stateOk=%d\n",
-                killsDone, recovered.totalIngested,
+    std::printf("SUPERVISE kills=%d diskFaults=%d ingested=%zu "
+                "accepted=%zu reconnects=%zu resent=%zu stateOk=%d\n",
+                killsDone, faultsDone, recovered.totalIngested,
                 stats.acksAccepted, stats.reconnects, stats.resent,
                 stateOk ? 1 : 0);
     bool ok = stats.reconciled && stateOk;
@@ -407,6 +487,15 @@ main(int argc, char **argv)
             else if (arg.rfind("--fsync=", 0) == 0)
                 serve.persist.sync =
                     persist::syncModeFromString(arg.substr(8));
+            else if (arg.rfind("--disk-fault-site=", 0) == 0)
+                serve.persist.fault.site = arg.substr(18);
+            else if (arg.rfind("--disk-fault-kind=", 0) == 0)
+                serve.persist.fault.kind =
+                    persist::faultKindFromString(arg.substr(18));
+            else if (arg.rfind("--disk-fault-hit=", 0) == 0)
+                serve.persist.fault.hit = std::stoull(arg.substr(17));
+            else if (arg.rfind("--disk-faults=", 0) == 0)
+                sup.diskFaults = std::stoi(arg.substr(14));
             else if (arg.rfind("--clients=", 0) == 0)
                 load.load.clients = std::stoul(arg.substr(10));
             else if (arg.rfind("--events=", 0) == 0)
